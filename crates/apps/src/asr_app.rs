@@ -1,0 +1,142 @@
+//! Automatic Speech Recognition (ASR) — the paper's motivating benchmark
+//! \[39\]: an LSTM acoustic model followed by fully-connected scoring, as the
+//! four-kernel DAG of Fig. 6 (`K1 → K4` and `K2 → K3 → K4`).
+
+use poly_ir::{Kernel, KernelBuilder, KernelGraph, KernelGraphBuilder, OpFunc, PatternKind, Shape};
+
+/// The LSTM kernel (Table II: Map, Reduce, Pipeline, Tiling): gate
+/// matrix-vector products (map of MACs + reduction) feeding the
+/// sigmoid/tanh activation pipeline, iterated once per timestep.
+fn lstm(name: &str, shape: Shape, timesteps: u64, quantized: bool) -> Kernel {
+    // The forward (wide) LSTM runs dense float MACs — GPU territory. The
+    // backward/score (narrow, deep) LSTM is the quantized variant of
+    // C-LSTM [22]: table-driven gate evaluation that maps beautifully to
+    // LUT datapaths, giving it the FPGA affinity the paper's Fig. 6
+    // schedule exploits (K2/K3 on FPGA).
+    let gate_funcs: &[OpFunc] = if quantized {
+        &[OpFunc::Mac, OpFunc::Lookup, OpFunc::Lookup]
+    } else {
+        &[OpFunc::Mac]
+    };
+    KernelBuilder::new(name)
+        .pattern("tile", PatternKind::tiling2(16, 16), shape, &[])
+        .pattern("gates", PatternKind::Map, shape, gate_funcs)
+        .pattern("sum", PatternKind::Reduce, shape, &[OpFunc::Add])
+        .pattern(
+            "act",
+            PatternKind::pipeline(),
+            Shape::d1(shape.dims()[0]),
+            &[OpFunc::Sigmoid, OpFunc::Tanh, OpFunc::Mul],
+        )
+        .chain()
+        .iterations(timesteps)
+        .build()
+        .expect("valid LSTM kernel")
+}
+
+/// The fully-connected kernel (Table II: Map, Pipeline, Pack): dense layer
+/// plus activation and top-k packing of candidate scores.
+fn fully_connected(name: &str, shape: Shape, layers: u64, quantized: bool) -> Kernel {
+    let dense_funcs: &[OpFunc] = if quantized {
+        &[OpFunc::Mac, OpFunc::Lookup, OpFunc::Lookup]
+    } else {
+        &[OpFunc::Mac]
+    };
+    KernelBuilder::new(name)
+        .pattern("dense", PatternKind::Map, shape, dense_funcs)
+        .pattern(
+            "act",
+            PatternKind::pipeline(),
+            Shape::d1(shape.dims()[0]),
+            &[OpFunc::Sigmoid, OpFunc::Add],
+        )
+        .pattern(
+            "topk",
+            PatternKind::Pack,
+            Shape::d1(shape.dims()[0]),
+            &[OpFunc::Cmp],
+        )
+        .chain()
+        .iterations(layers)
+        .build()
+        .expect("valid FC kernel")
+}
+
+/// Build the ASR application graph of Fig. 6.
+///
+/// Iteration counts are calibrated so the per-kernel latency *ratios* of
+/// the most-energy-efficient designs track Fig. 1(e,f): `K1` is the
+/// heaviest (~2× `K2`/`K3`), `K4` sits in between.
+#[must_use]
+pub fn asr() -> KernelGraph {
+    KernelGraphBuilder::new("asr")
+        .kernel(lstm("k1_lstm_fwd", Shape::d2(1024, 2048), 2700, false))
+        .kernel(lstm("k2_lstm_bwd", Shape::d2(512, 768), 12000, true))
+        .kernel(fully_connected(
+            "k3_fc_hidden",
+            Shape::d2(768, 512),
+            10000,
+            true,
+        ))
+        .kernel(fully_connected(
+            "k4_fc_output",
+            Shape::d2(2048, 1024),
+            2200,
+            false,
+        ))
+        .edge("k1_lstm_fwd", "k4_fc_output", 4 << 20)
+        .edge("k2_lstm_bwd", "k3_fc_hidden", 4 << 20)
+        .edge("k3_fc_hidden", "k4_fc_output", 2 << 20)
+        .build()
+        .expect("valid ASR graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poly_ir::KernelId;
+
+    #[test]
+    fn fig6_topology() {
+        let app = asr();
+        assert_eq!(app.len(), 4);
+        let id = |n: &str| app.id_of(n).unwrap();
+        assert_eq!(app.sources(), vec![id("k1_lstm_fwd"), id("k2_lstm_bwd")]);
+        assert_eq!(app.sinks(), vec![id("k4_fc_output")]);
+        // K2's path has three kernels, K1's has two.
+        let succs: Vec<KernelId> = app.successors(id("k2_lstm_bwd")).map(|e| e.to).collect();
+        assert_eq!(succs, vec![id("k3_fc_hidden")]);
+    }
+
+    #[test]
+    fn table_ii_pattern_mix() {
+        let app = asr();
+        let lstm = app.kernel(app.id_of("k1_lstm_fwd").unwrap());
+        let kinds: Vec<&str> = lstm.patterns().map(|p| p.kind().name()).collect();
+        assert_eq!(kinds, vec!["tiling", "map", "reduce", "pipeline"]);
+        let fc = app.kernel(app.id_of("k4_fc_output").unwrap());
+        let kinds: Vec<&str> = fc.patterns().map(|p| p.kind().name()).collect();
+        assert_eq!(kinds, vec!["map", "pipeline", "pack"]);
+    }
+
+    #[test]
+    fn kernels_split_into_wide_and_deep() {
+        let app = asr();
+        let prof = |n: &str| app.kernel(app.id_of(n).unwrap()).profile();
+        // K1/K4 are wide, batch-friendly GPU kernels; K2/K3 are narrow,
+        // deeply iterated, LUT-quantized FPGA kernels (the Fig. 6 split).
+        assert!(prof("k1_lstm_fwd").elements > 4 * prof("k2_lstm_bwd").elements);
+        assert!(prof("k2_lstm_bwd").iterations > 3 * prof("k1_lstm_fwd").iterations);
+        assert!(prof("k2_lstm_bwd").fpga_affinity > prof("k1_lstm_fwd").fpga_affinity);
+        assert!(prof("k3_fc_hidden").fpga_affinity > prof("k4_fc_output").fpga_affinity);
+    }
+
+    #[test]
+    fn lstm_iterates_per_timestep() {
+        let app = asr();
+        assert_eq!(
+            app.kernel(app.id_of("k1_lstm_fwd").unwrap()).iterations(),
+            2700
+        );
+    }
+}

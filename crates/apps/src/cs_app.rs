@@ -1,0 +1,105 @@
+//! Cloud Storage (CS) \[54\]: Reed-Solomon erasure coding on heterogeneous
+//! architectures — an encoder producing parity shards and a decoder
+//! reconstructing lost ones.
+//!
+//! Galois-field arithmetic (table-driven multiply-accumulate) maps poorly
+//! to floating-point GPU lanes and extremely well to LUT-based datapaths,
+//! giving both kernels a strong FPGA affinity.
+
+use poly_ir::{
+    DType, Kernel, KernelBuilder, KernelGraph, KernelGraphBuilder, OpFunc, PatternKind, Shape,
+};
+
+fn rs_kernel(name: &str, blocks: u64) -> Kernel {
+    rs_kernel_with(
+        name,
+        blocks,
+        Shape::d2(8192, 32),
+        &[OpFunc::GfMac, OpFunc::Lookup],
+    )
+}
+
+fn rs_kernel_with(name: &str, blocks: u64, shape: Shape, gf_funcs: &[OpFunc]) -> Kernel {
+    KernelBuilder::new(name)
+        .dtype(DType::U8)
+        .pattern("fetch", PatternKind::Gather, shape, &[])
+        .pattern("tile", PatternKind::tiling2(256, 8), shape, &[])
+        .pattern("gf", PatternKind::Map, shape, gf_funcs)
+        .pattern(
+            "stream",
+            PatternKind::pipeline(),
+            Shape::d1(shape.dims()[0]),
+            &[OpFunc::GfMac, OpFunc::Lookup, OpFunc::Add],
+        )
+        .pattern("store", PatternKind::Scatter, shape, &[])
+        .chain()
+        .iterations(blocks)
+        .build()
+        .expect("valid RS kernel")
+}
+
+/// RS Encoder kernel (Table II: Gather, Map, Pipeline, Scatter, Tiling):
+/// pure table-driven Galois-field parity generation — the textbook FPGA
+/// kernel.
+fn rs_encoder() -> Kernel {
+    rs_kernel("rs_encoder", 17500)
+}
+
+/// RS Decoder kernel — same pattern mix, but reconstruction multiplies
+/// the wide data matrix by the inverted Cauchy matrix: a dense MAC sweep
+/// over all surviving shards (the GF table work shrinks to the pipeline
+/// stage), which batches extremely well on GPUs.
+fn rs_decoder() -> Kernel {
+    rs_kernel_with("rs_decoder", 1500, Shape::d2(16384, 256), &[OpFunc::Mac])
+}
+
+/// Build the CS application: a store-and-verify round trip
+/// `rs_encoder → rs_decoder`.
+#[must_use]
+pub fn cloud_storage() -> KernelGraph {
+    KernelGraphBuilder::new("cs")
+        .kernel(rs_encoder())
+        .kernel(rs_decoder())
+        .edge("rs_encoder", "rs_decoder", 8 << 20)
+        .build()
+        .expect("valid CS graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_kernel_chain() {
+        let app = cloud_storage();
+        assert_eq!(app.len(), 2);
+        assert_eq!(app.edges().len(), 1);
+    }
+
+    #[test]
+    fn encoder_prefers_fpga_decoder_is_mixed() {
+        let app = cloud_storage();
+        let enc = app.kernel(app.id_of("rs_encoder").unwrap()).profile();
+        let dec = app.kernel(app.id_of("rs_decoder").unwrap()).profile();
+        assert!(enc.fpga_affinity > 1.4, "{}", enc.fpga_affinity);
+        assert!(dec.fpga_affinity < enc.fpga_affinity);
+    }
+
+    #[test]
+    fn decoder_is_the_wide_mac_kernel() {
+        let app = cloud_storage();
+        let enc = app.kernel(app.id_of("rs_encoder").unwrap()).profile();
+        let dec = app.kernel(app.id_of("rs_decoder").unwrap()).profile();
+        // Reconstruction sweeps a much wider matrix per iteration...
+        assert!(dec.elements > 8 * enc.elements);
+        // ...while encode runs far more short GF iterations.
+        assert!(enc.iterations > 8 * dec.iterations);
+    }
+
+    #[test]
+    fn byte_oriented_data() {
+        let app = cloud_storage();
+        let enc = app.kernel(app.id_of("rs_encoder").unwrap());
+        assert!(enc.patterns().all(|p| p.dtype() == DType::U8));
+    }
+}

@@ -1,0 +1,128 @@
+//! Finance Quantitative Trading (FQT) \[7\]: Monte-Carlo option pricing —
+//! a pseudo-random number generator feeding Black-Scholes path evaluation
+//! and a final reduction of path payoffs.
+//!
+//! The PRNG kernel is the paper's example of an FPGA-amenable kernel: it
+//! "requires large batch size to enable high throughput [on GPUs]" but "is
+//! naturally amenable to be implemented as a customized pipeline on FPGAs
+//! with both relatively high throughput and low latency" (Section VI-B).
+
+use poly_ir::{Kernel, KernelBuilder, KernelGraph, KernelGraphBuilder, OpFunc, PatternKind, Shape};
+
+/// PRNG kernel (Table II: Map, Pipeline): a lattice of xorshift streams
+/// advanced once per path step — long sequential iteration, bit-level ops.
+fn prng() -> Kernel {
+    KernelBuilder::new("prng")
+        .pattern(
+            "advance",
+            PatternKind::Map,
+            Shape::d1(65_536),
+            &[OpFunc::RngStep],
+        )
+        .pattern(
+            "temper",
+            PatternKind::pipeline(),
+            Shape::d1(65_536),
+            &[OpFunc::RngStep, OpFunc::Lookup],
+        )
+        .chain()
+        .iterations(36000)
+        .build()
+        .expect("valid PRNG kernel")
+}
+
+/// Black-Scholes kernel (Table II: Map, Pipeline): geometric-Brownian
+/// path evolution over millions of paths — wide, MAC-dominated, and
+/// batch-friendly (the GPU-amenable kernel of the pair, Section VI-B) —
+/// with a transcendental payoff pipeline at the end.
+fn black_scholes() -> Kernel {
+    KernelBuilder::new("black_scholes")
+        .pattern(
+            "evolve",
+            PatternKind::Map,
+            Shape::d2(2048, 1024),
+            &[OpFunc::Mac, OpFunc::Mul],
+        )
+        .pattern(
+            "payoff",
+            PatternKind::pipeline(),
+            Shape::d1(2048),
+            &[OpFunc::Exp, OpFunc::Mul, OpFunc::Add],
+        )
+        .chain()
+        .iterations(4000)
+        .build()
+        .expect("valid Black-Scholes kernel")
+}
+
+/// Payoff reduction kernel (Table II: Reduce, Pack).
+fn payoff_reduce() -> Kernel {
+    KernelBuilder::new("reduce")
+        .pattern(
+            "sum",
+            PatternKind::Reduce,
+            Shape::d2(2048, 1024),
+            &[OpFunc::Add],
+        )
+        .pattern("pack", PatternKind::Pack, Shape::d1(2048), &[OpFunc::Cmp])
+        .chain()
+        .iterations(800)
+        .build()
+        .expect("valid reduce kernel")
+}
+
+/// Build the FQT application: `prng → black_scholes → reduce`.
+#[must_use]
+pub fn fqt() -> KernelGraph {
+    KernelGraphBuilder::new("fqt")
+        .kernel(prng())
+        .kernel(black_scholes())
+        .kernel(payoff_reduce())
+        .edge("prng", "black_scholes", 8 << 20)
+        .edge("black_scholes", "reduce", 1 << 20)
+        .build()
+        .expect("valid FQT graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_three_kernel_chain() {
+        let app = fqt();
+        assert_eq!(app.len(), 3);
+        assert_eq!(app.sources().len(), 1);
+        assert_eq!(app.sinks().len(), 1);
+    }
+
+    #[test]
+    fn prng_prefers_fpga_datapaths() {
+        let app = fqt();
+        let prng = app.kernel(app.id_of("prng").unwrap()).profile();
+        let bs = app.kernel(app.id_of("black_scholes").unwrap()).profile();
+        // RngStep/Lookup have strong FPGA affinity; the wide MAC path
+        // evolution favors GPU SIMD throughput.
+        assert!(prng.fpga_affinity > 1.5, "{}", prng.fpga_affinity);
+        assert!(bs.fpga_affinity < 1.0, "{}", bs.fpga_affinity);
+        assert!(
+            bs.elements > 100 * prng.elements / 32,
+            "bs is the wide kernel"
+        );
+    }
+
+    #[test]
+    fn prng_is_iteration_dominated() {
+        let app = fqt();
+        let prng = app.kernel(app.id_of("prng").unwrap());
+        assert!(prng.iterations() > 5000);
+    }
+
+    #[test]
+    fn table_ii_pattern_mix() {
+        let app = fqt();
+        let k = app.kernel(app.id_of("reduce").unwrap());
+        let kinds: Vec<&str> = k.patterns().map(|p| p.kind().name()).collect();
+        assert_eq!(kinds, vec!["reduce", "pack"]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Image Recognition (IR) \[53\]: a convolutional network — convolution,
+//! pooling, and fully-connected scoring over uploaded images.
+//!
+//! IR is the paper's example of the load-dependent platform crossover
+//! (Fig. 7(c)): FPGAs serve it at lower latency under light load (no
+//! batching needed for their customized pipeline), while GPUs sustain
+//! higher load once batches fill.
+
+use poly_ir::{
+    DType, Kernel, KernelBuilder, KernelGraph, KernelGraphBuilder, OpFunc, PatternKind, Shape,
+};
+
+/// Convolution kernel (Table II: Gather, Map, Pipeline, Stencil, Tiling,
+/// Scatter): im2col-style gather, tiled 3×3 stencil MACs, activation
+/// pipeline, and feature-map scatter. Iterated per layer/channel block.
+fn convolution() -> Kernel {
+    KernelBuilder::new("convolution")
+        .dtype(DType::U8)
+        .pattern("fetch", PatternKind::Gather, Shape::d2(448, 448), &[])
+        .pattern(
+            "tile",
+            PatternKind::tiling2(16, 16),
+            Shape::d2(448, 448),
+            &[],
+        )
+        .dtype(DType::F32)
+        .pattern(
+            "conv",
+            PatternKind::stencil(9),
+            Shape::d2(448, 448),
+            &[OpFunc::Mac],
+        )
+        .pattern(
+            "act",
+            PatternKind::pipeline(),
+            Shape::d2(448, 448),
+            &[OpFunc::Max, OpFunc::Add],
+        )
+        .pattern("store", PatternKind::Scatter, Shape::d2(448, 448), &[])
+        .chain()
+        .iterations(11200)
+        .build()
+        .expect("valid convolution kernel")
+}
+
+/// Pooling kernel (Table II: Map, Stencil, Tiling).
+fn pooling() -> Kernel {
+    KernelBuilder::new("pooling")
+        .pattern("tile", PatternKind::tiling2(8, 8), Shape::d2(224, 224), &[])
+        .pattern(
+            "pool",
+            PatternKind::stencil(4),
+            Shape::d2(224, 224),
+            &[OpFunc::Max],
+        )
+        .pattern(
+            "scale",
+            PatternKind::Map,
+            Shape::d2(224, 224),
+            &[OpFunc::Mul],
+        )
+        .chain()
+        .iterations(7200)
+        .build()
+        .expect("valid pooling kernel")
+}
+
+/// Fully-connected kernel (Table II: Map, Pipeline, Pack, Tiling).
+fn fully_connected() -> Kernel {
+    KernelBuilder::new("fc")
+        .pattern(
+            "tile",
+            PatternKind::tiling2(32, 32),
+            Shape::d2(4096, 1024),
+            &[],
+        )
+        .pattern(
+            "dense",
+            PatternKind::Map,
+            Shape::d2(4096, 1024),
+            &[OpFunc::Mac],
+        )
+        .pattern(
+            "act",
+            PatternKind::pipeline(),
+            Shape::d1(4096),
+            &[OpFunc::Sigmoid],
+        )
+        .pattern("topk", PatternKind::Pack, Shape::d1(4096), &[OpFunc::Cmp])
+        .chain()
+        .iterations(1600)
+        .build()
+        .expect("valid FC kernel")
+}
+
+/// Build the IR application: `convolution → pooling → fc`.
+#[must_use]
+pub fn image_recognition() -> KernelGraph {
+    KernelGraphBuilder::new("ir")
+        .kernel(convolution())
+        .kernel(pooling())
+        .kernel(fully_connected())
+        .edge("convolution", "pooling", 6 << 20)
+        .edge("pooling", "fc", 2 << 20)
+        .build()
+        .expect("valid IR graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_of_three() {
+        let app = image_recognition();
+        assert_eq!(app.len(), 3);
+        assert_eq!(app.name(), "ir");
+    }
+
+    #[test]
+    fn convolution_has_table_ii_patterns() {
+        let app = image_recognition();
+        let conv = app.kernel(app.id_of("convolution").unwrap());
+        let kinds: Vec<&str> = conv.patterns().map(|p| p.kind().name()).collect();
+        assert_eq!(
+            kinds,
+            vec!["gather", "tiling", "stencil", "pipeline", "scatter"]
+        );
+    }
+
+    #[test]
+    fn convolution_dominates_compute() {
+        let app = image_recognition();
+        let work = |n: &str| app.kernel(app.id_of(n).unwrap()).profile().total_flops();
+        assert!(work("convolution") > work("pooling"));
+        assert!(work("convolution") > work("fc"));
+    }
+
+    #[test]
+    fn irregular_patterns_enable_coalescing_knobs() {
+        let app = image_recognition();
+        let conv = app.kernel(app.id_of("convolution").unwrap()).profile();
+        assert!(conv
+            .pattern_kinds
+            .iter()
+            .any(poly_ir::PatternKind::is_irregular));
+    }
+}

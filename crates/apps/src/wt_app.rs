@@ -1,0 +1,155 @@
+//! WebP Transcoding (WT) \[55\]: server-side image transcoding —
+//! intra-prediction, symbol probability counting, and the inherently
+//! sequential arithmetic (boolean) coder.
+//!
+//! Arithmetic coding's bit-serial dependency chain makes it the most
+//! iteration-dominated kernel of the suite: GPUs pay a launch per coded
+//! segment while an FPGA pipeline streams symbols back-to-back.
+
+use poly_ir::{
+    DType, Kernel, KernelBuilder, KernelGraph, KernelGraphBuilder, OpFunc, PatternKind, Shape,
+};
+
+/// Intra-prediction kernel (Table II: Gather, Map, Pipeline, Tiling):
+/// predict each macroblock from its neighbors and compute residuals.
+fn intra_prediction() -> Kernel {
+    KernelBuilder::new("intra_prediction")
+        .dtype(DType::U8)
+        .pattern("fetch", PatternKind::Gather, Shape::d2(1920, 1080), &[])
+        .pattern(
+            "tile",
+            PatternKind::tiling2(16, 16),
+            Shape::d2(1920, 1080),
+            &[],
+        )
+        .pattern(
+            "residual",
+            PatternKind::Map,
+            Shape::d2(1920, 1080),
+            &[OpFunc::Mac],
+        )
+        .pattern(
+            "filter",
+            PatternKind::pipeline(),
+            Shape::d1(1920),
+            &[OpFunc::custom("vp8_filter", 6), OpFunc::Cmp],
+        )
+        .chain()
+        .iterations(6000)
+        .build()
+        .expect("valid intra-prediction kernel")
+}
+
+/// Probability Counting kernel (Table II: Map, Pipeline, Reduce, Pack):
+/// histogram the residual symbols to build coding contexts.
+fn probability_counting() -> Kernel {
+    KernelBuilder::new("probability_counting")
+        .dtype(DType::U8)
+        .pattern(
+            "classify",
+            PatternKind::Map,
+            Shape::d2(4096, 64),
+            &[OpFunc::Lookup, OpFunc::Cmp],
+        )
+        .pattern(
+            "stage",
+            PatternKind::pipeline(),
+            Shape::d2(4096, 64),
+            &[OpFunc::Add, OpFunc::Lookup],
+        )
+        .pattern(
+            "histogram",
+            PatternKind::Reduce,
+            Shape::d2(4096, 64),
+            &[OpFunc::Add],
+        )
+        .pattern("norm", PatternKind::Pack, Shape::d1(4096), &[OpFunc::Cmp])
+        .chain()
+        .iterations(8400)
+        .build()
+        .expect("valid probability-counting kernel")
+}
+
+/// Arithmetic Coding kernel (Table II: Scatter, Map, Stencil, Pipeline):
+/// the bit-serial boolean coder, iterated once per coded segment.
+fn arithmetic_coding() -> Kernel {
+    KernelBuilder::new("arithmetic_coding")
+        .dtype(DType::U8)
+        .pattern(
+            "context",
+            PatternKind::stencil(3),
+            Shape::d1(262_144),
+            &[OpFunc::Lookup],
+        )
+        .pattern(
+            "renorm",
+            PatternKind::Map,
+            Shape::d1(262_144),
+            &[OpFunc::Lookup, OpFunc::Cmp],
+        )
+        .pattern(
+            "code",
+            PatternKind::pipeline(),
+            Shape::d1(262_144),
+            &[OpFunc::Lookup, OpFunc::Add, OpFunc::Cmp],
+        )
+        .pattern("emit", PatternKind::Scatter, Shape::d1(262_144), &[])
+        .chain()
+        .iterations(22000)
+        .build()
+        .expect("valid arithmetic-coding kernel")
+}
+
+/// Build the WT application:
+/// `intra_prediction → probability_counting → arithmetic_coding`.
+#[must_use]
+pub fn webp_transcoding() -> KernelGraph {
+    KernelGraphBuilder::new("wt")
+        .kernel(intra_prediction())
+        .kernel(probability_counting())
+        .kernel(arithmetic_coding())
+        .edge("intra_prediction", "probability_counting", 3 << 20)
+        .edge("probability_counting", "arithmetic_coding", 1 << 20)
+        .build()
+        .expect("valid WT graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_of_three() {
+        let app = webp_transcoding();
+        assert_eq!(app.len(), 3);
+        assert_eq!(app.name(), "wt");
+    }
+
+    #[test]
+    fn arithmetic_coding_is_iteration_dominated() {
+        let app = webp_transcoding();
+        let ac = app.kernel(app.id_of("arithmetic_coding").unwrap());
+        assert!(ac.iterations() >= 20000);
+        // Lookup-heavy coder prefers FPGA LUT datapaths.
+        assert!(ac.profile().fpga_affinity > 1.3);
+    }
+
+    #[test]
+    fn table_ii_pattern_mix_for_coder() {
+        let app = webp_transcoding();
+        let ac = app.kernel(app.id_of("arithmetic_coding").unwrap());
+        let kinds: Vec<&str> = ac.patterns().map(|p| p.kind().name()).collect();
+        assert_eq!(kinds, vec!["stencil", "map", "pipeline", "scatter"]);
+    }
+
+    #[test]
+    fn custom_ip_core_in_prediction() {
+        let app = webp_transcoding();
+        let ip = app.kernel(app.id_of("intra_prediction").unwrap());
+        let has_custom = ip
+            .patterns()
+            .flat_map(|p| p.funcs().iter())
+            .any(|f| matches!(f, OpFunc::Custom { .. }));
+        assert!(has_custom);
+    }
+}

@@ -1,0 +1,63 @@
+//! Ablation benchmarks for the design choices DESIGN.md §6 calls out:
+//! energy step on/off, Pareto-pruned vs larger frontiers, fusion on/off,
+//! and the optimizer's candidate generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use poly_apps::asr;
+use poly_device::{catalog, GpuTuning};
+use poly_dse::{Explorer, ExplorerConfig};
+use poly_sched::{Pool, Scheduler};
+
+fn bench_ablations(c: &mut Criterion) {
+    let app = asr();
+    let pool = Pool::heterogeneous(1, 5);
+    let sched = Scheduler::default();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(20);
+
+    // Energy step cost: step 1 only vs both steps.
+    let explorer = Explorer::new(catalog::amd_w9100(), catalog::xilinx_7v3());
+    let spaces: Vec<_> = app.kernels().iter().map(|k| explorer.explore(k)).collect();
+    g.bench_function("step1_only", |b| {
+        b.iter(|| sched.plan_latency(&app, &spaces, &pool).expect("plan"))
+    });
+    g.bench_function("step1_plus_step2", |b| {
+        b.iter(|| sched.plan(&app, &spaces, &pool, 200.0).expect("plan"))
+    });
+
+    // Frontier size: scheduling over pruned vs richer design spaces.
+    for cap in [4usize, 24, 96] {
+        let explorer = Explorer::with_config(
+            catalog::amd_w9100(),
+            catalog::xilinx_7v3(),
+            ExplorerConfig { max_points: cap },
+        );
+        let spaces: Vec<_> = app.kernels().iter().map(|k| explorer.explore(k)).collect();
+        g.bench_function(format!("plan_with_frontier_cap_{cap}"), |b| {
+            b.iter(|| sched.plan(&app, &spaces, &pool, 200.0).expect("plan"))
+        });
+    }
+
+    // Fusion ablation: model evaluation with and without fused traffic.
+    let profile = app.kernels()[0].profile();
+    let gpu = catalog::amd_w9100();
+    g.bench_function("gpu_estimate_unfused", |b| {
+        let t = GpuTuning {
+            fused_fraction: 0.0,
+            ..GpuTuning::default()
+        };
+        b.iter(|| gpu.estimate(&profile, &t))
+    });
+    g.bench_function("gpu_estimate_fused", |b| {
+        let t = GpuTuning {
+            fused_fraction: 1.0,
+            ..GpuTuning::default()
+        };
+        b.iter(|| gpu.estimate(&profile, &t))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

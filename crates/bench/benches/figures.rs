@@ -1,0 +1,95 @@
+//! One benchmark per figure-regeneration path: scaled-down versions of the
+//! computations behind each experiment, so `cargo bench` exercises every
+//! table/figure pipeline (full regeneration: `cargo run --release --bin
+//! experiments all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use poly_apps::{asr, QOS_BOUND_MS};
+use poly_core::provision::{power_split, table_iii, Architecture, Setting};
+use poly_core::tco::{monthly_tco_usd, TcoParams};
+use poly_core::{Optimizer, PolyRuntime, RuntimeMode};
+use poly_dse::Explorer;
+use poly_sim::workload::google_trace_24h;
+use poly_sim::{ep_metric, steady_state};
+
+fn bench_figures(c: &mut Criterion) {
+    let app = asr();
+    let setup = table_iii(Setting::I, Architecture::HeterPoly);
+    let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+    let spaces: Vec<_> = app.kernels().iter().map(|k| explorer.explore(k)).collect();
+    let policy =
+        Optimizer::new().max_capacity_policy(&app, &spaces, &setup.pool, &setup.gpu, QOS_BOUND_MS);
+
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    // Fig. 1(c)/Table II: per-kernel design-space exploration.
+    g.bench_function("fig1c_table2_explore", |b| {
+        b.iter(|| explorer.explore(&app.kernels()[0]))
+    });
+
+    // Figs. 1(a)/7: one steady-state latency measurement point.
+    g.bench_function("fig1a_fig7_measure_point", |b| {
+        b.iter(|| {
+            steady_state(
+                &app,
+                &setup.pool,
+                &policy,
+                &setup.sim_config,
+                20.0,
+                1_000.0,
+                5_000.0,
+                7,
+            )
+        })
+    });
+
+    // Figs. 1(b)/9/10: EP metric over a measured curve.
+    g.bench_function("fig9_fig10_ep_metric", |b| {
+        let samples: Vec<(f64, f64)> = (0..=5)
+            .map(|i| {
+                let load = f64::from(i) / 5.0;
+                let r = steady_state(
+                    &app,
+                    &setup.pool,
+                    &policy,
+                    &setup.sim_config,
+                    (20.0 * load).max(0.01),
+                    500.0,
+                    3_000.0,
+                    9,
+                );
+                (load, r.avg_power_w)
+            })
+            .collect();
+        b.iter(|| ep_metric(&samples))
+    });
+
+    // Figs. 11/12: one short trace replay with the full runtime loop.
+    g.bench_function("fig12_trace_replay_short", |b| {
+        let trace: Vec<_> = google_trace_24h(2_000.0, 2011)
+            .into_iter()
+            .take(6)
+            .collect();
+        b.iter(|| {
+            let mut rt = PolyRuntime::new(app.clone(), spaces.clone(), setup.clone(), QOS_BOUND_MS);
+            rt.run_trace(&trace, 2_000.0, 30.0, &RuntimeMode::Poly, 1)
+        })
+    });
+
+    // Fig. 13: provisioning a power-split node.
+    g.bench_function("fig13_power_split_provision", |b| {
+        b.iter(|| power_split(Setting::I, 1000.0, 0.6))
+    });
+
+    // Fig. 14: the TCO model.
+    g.bench_function("fig14_tco", |b| {
+        let params = TcoParams::default();
+        b.iter(|| monthly_tco_usd(&setup, 250.0, &params))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

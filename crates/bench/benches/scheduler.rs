@@ -1,0 +1,39 @@
+//! Scheduler micro-benchmarks: the per-decision cost of the two-step
+//! runtime scheduler (Section V claims practical, lightweight decisions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use poly_apps::{asr, suite};
+use poly_device::catalog;
+use poly_dse::Explorer;
+use poly_sched::{Pool, Scheduler};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let explorer = Explorer::new(catalog::amd_w9100(), catalog::xilinx_7v3());
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(30);
+
+    let app = asr();
+    let spaces: Vec<_> = app.kernels().iter().map(|k| explorer.explore(k)).collect();
+    let pool = Pool::heterogeneous(1, 5);
+    let sched = Scheduler::default();
+
+    group.bench_function("step1_latency_plan_asr", |b| {
+        b.iter(|| sched.plan_latency(&app, &spaces, &pool).expect("plan"))
+    });
+    group.bench_function("two_step_plan_asr", |b| {
+        b.iter(|| sched.plan(&app, &spaces, &pool, 200.0).expect("plan"))
+    });
+
+    for app in suite() {
+        let spaces: Vec<_> = app.kernels().iter().map(|k| explorer.explore(k)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("two_step_plan", app.name()),
+            &app,
+            |b, app| b.iter(|| sched.plan(app, &spaces, &pool, 200.0).expect("plan")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

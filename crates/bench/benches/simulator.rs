@@ -1,0 +1,46 @@
+//! Discrete-event simulator benchmarks: event throughput of the leaf-node
+//! simulation at several load levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use poly_apps::asr;
+use poly_core::provision::{table_iii, Architecture, Setting};
+use poly_core::Optimizer;
+use poly_dse::Explorer;
+use poly_sim::{workload, Simulator};
+
+fn bench_sim(c: &mut Criterion) {
+    let app = asr();
+    let setup = table_iii(Setting::I, Architecture::HeterPoly);
+    let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+    let spaces: Vec<_> = app.kernels().iter().map(|k| explorer.explore(k)).collect();
+    let policy =
+        Optimizer::new().max_capacity_policy(&app, &spaces, &setup.pool, &setup.gpu, 200.0);
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for &rps in &[10.0, 40.0] {
+        let arrivals = workload::poisson(rps, 10_000.0, 42);
+        group.throughput(Throughput::Elements(arrivals.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("10s_asr", rps as u64),
+            &arrivals,
+            |b, arrivals| {
+                b.iter(|| {
+                    let mut sim = Simulator::new(
+                        app.clone(),
+                        &setup.pool,
+                        policy.clone(),
+                        setup.sim_config.clone(),
+                    );
+                    sim.enqueue_arrivals(arrivals);
+                    sim.drain();
+                    sim.finish(60_000.0)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

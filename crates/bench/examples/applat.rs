@@ -1,0 +1,28 @@
+//! Calibration probe: fastest per-kernel latencies per app per platform.
+
+use poly_device::{catalog, DeviceKind};
+use poly_dse::Explorer;
+
+fn main() {
+    let ex = Explorer::new(catalog::amd_w9100(), catalog::xilinx_7v3());
+    for app in poly_apps::suite() {
+        println!("-- {}", app.name());
+        for k in app.kernels() {
+            let s = ex.explore(k);
+            let g = s.min_latency(DeviceKind::Gpu).unwrap();
+            let f = s.min_latency(DeviceKind::Fpga).unwrap();
+            println!(
+                "  {:22} iters={:6} gpu: lat={:8.2} svc(b32~)={:7.2} | fpga: lat={:8.2} svc={:7.2}",
+                k.name(),
+                k.iterations(),
+                g.latency_ms(),
+                s.gpu
+                    .iter()
+                    .map(|p| p.service_ms())
+                    .fold(f64::INFINITY, f64::min),
+                f.latency_ms(),
+                f.service_ms(),
+            );
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Calibration probe: per-architecture max RPS and power scaling for ASR
+//! under Setting-I, checking the paper's qualitative shape
+//! (paper: Homo-GPU 68, Homo-FPGA 74, Heter-Poly 96 RPS; EP 0.68/0.63/0.92).
+
+use poly_apps::{asr, QOS_BOUND_MS};
+use poly_core::provision::{table_iii, Architecture, Setting};
+use poly_core::{NodeSetup, Optimizer};
+use poly_dse::Explorer;
+use poly_sim::{max_rps_under_qos, steady_state, Policy};
+
+fn main() {
+    let app = asr();
+
+    let eval = |name: &str, setup: &NodeSetup, policy_at: &mut dyn FnMut(f64) -> Policy| {
+        let max = max_rps_under_qos(
+            |rps| {
+                let policy = policy_at(rps);
+                steady_state(
+                    &app,
+                    &setup.pool,
+                    &policy,
+                    &setup.sim_config,
+                    rps,
+                    5_000.0,
+                    25_000.0,
+                    42,
+                )
+            },
+            QOS_BOUND_MS,
+            1.0,
+            300.0,
+            0.03,
+        );
+        // Power at a few load levels for EP shape.
+        let mut powers = Vec::new();
+        for load in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let rps = (max * load).max(0.01);
+            let policy = policy_at(rps);
+            let r = steady_state(
+                &app,
+                &setup.pool,
+                &policy,
+                &setup.sim_config,
+                rps,
+                5_000.0,
+                20_000.0,
+                43,
+            );
+            powers.push(r.avg_power_w);
+        }
+        println!("{name}: max RPS = {max:6.1}  power@load(0,25,50,75,100%) = {powers:.0?}");
+        max
+    };
+
+    // Homo-GPU: best fixed (static) policy.
+    let setup = table_iii(Setting::I, Architecture::HomoGpu);
+    let ex = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+    let spaces: Vec<_> = app.kernels().iter().map(|k| ex.explore(k)).collect();
+    let policy =
+        Optimizer::new().max_capacity_policy(&app, &spaces, &setup.pool, &setup.gpu, QOS_BOUND_MS);
+    eval("Homo-GPU ", &setup, &mut |_| policy.clone());
+
+    // Homo-FPGA: best fixed (static) policy.
+    let setup = table_iii(Setting::I, Architecture::HomoFpga);
+    let policy =
+        Optimizer::new().max_capacity_policy(&app, &spaces, &setup.pool, &setup.gpu, QOS_BOUND_MS);
+    eval("Homo-FPGA", &setup, &mut |_| policy.clone());
+
+    // Heter-Poly: the optimizer picks a policy per load level.
+    let setup = table_iii(Setting::I, Architecture::HeterPoly);
+    let mut opt = Optimizer::new();
+    eval("Heter    ", &setup, &mut |rps| {
+        let (policy, pred) =
+            opt.plan_for_load(&app, &spaces, &setup.pool, &setup.gpu, QOS_BOUND_MS, rps);
+        // One feedback round per decision, mirroring the runtime loop.
+        let probe = steady_state(
+            &app,
+            &setup.pool,
+            &policy,
+            &setup.sim_config,
+            rps,
+            2_000.0,
+            8_000.0,
+            77,
+        );
+        if probe.completed > 0 && pred.p99_ms.is_finite() {
+            opt.model_mut().observe(pred.p99_ms, probe.latency.p99());
+        }
+        let (policy, pred) =
+            opt.plan_for_load(&app, &spaces, &setup.pool, &setup.gpu, QOS_BOUND_MS, rps);
+        if std::env::var("VERBOSE").is_ok() {
+            println!(
+                "  rps={rps:6.1} cap={:6.1} p99pred={:6.1} P={:5.0} corr={:.2} kinds={:?}",
+                pred.capacity_rps,
+                pred.p99_ms,
+                pred.avg_power_w,
+                opt.model().correction(),
+                policy
+                    .impls()
+                    .iter()
+                    .map(|i| (i.kind.name().chars().next().unwrap(), i.impl_index, i.batch))
+                    .collect::<Vec<_>>()
+            );
+        }
+        policy
+    });
+}

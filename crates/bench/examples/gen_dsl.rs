@@ -1,0 +1,11 @@
+//! Regenerate the committed DSL sources of the six benchmarks from their
+//! typed builders (`crates/apps/dsl/*.poly`). Run after changing an app:
+//! `cargo run --release -p poly-bench --example gen_dsl`.
+
+fn main() {
+    for app in poly_apps::suite() {
+        let path = format!("crates/apps/dsl/{}.poly", app.name());
+        std::fs::write(&path, poly_ir::print_app(&app)).expect("write DSL asset");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Minimal CSV emission for experiment results (hand-rolled to keep the
+//! dependency set at the workspace's approved list).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Write `rows` under `header` to `results/<name>.csv`, creating the
+/// directory if needed. Also returns the rendered text.
+///
+/// # Panics
+/// Panics on I/O errors — experiment harness code treats an unwritable
+/// results directory as fatal.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut text = String::new();
+    text.push_str(&header.join(","));
+    text.push('\n');
+    for row in rows {
+        text.push_str(&row.join(","));
+        text.push('\n');
+    }
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results directory");
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create results file");
+    f.write_all(text.as_bytes()).expect("write results file");
+    println!("  -> wrote {}", path.display());
+    text
+}
+
+/// Format a float with 2 decimals for CSV cells.
+#[must_use]
+pub fn f2(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.2}")
+    } else {
+        "inf".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let text = write_csv(
+            "test_csvout",
+            &["a", "b"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec![f2(1.23456), f2(f64::INFINITY)],
+            ],
+        );
+        assert_eq!(text, "a,b\n1,2\n1.23,inf\n");
+        std::fs::remove_file("results/test_csvout.csv").ok();
+    }
+}

@@ -1,0 +1,188 @@
+//! A "system under test": one benchmark application on one provisioned
+//! leaf-node architecture, with its policy source (static baseline or the
+//! Poly optimizer with feedback).
+
+use poly_core::provision::{table_iii, Architecture, Setting};
+use poly_core::{NodeSetup, Optimizer};
+use poly_dse::{Explorer, KernelDesignSpace};
+use poly_ir::KernelGraph;
+use poly_sim::{max_rps_under_qos, steady_state, EpCurve, EpPoint, Policy, SimReport};
+
+/// Default measurement windows (ms of simulated time).
+const WARMUP_MS: f64 = 5_000.0;
+const WINDOW_MS: f64 = 25_000.0;
+
+enum Source {
+    /// Fixed policy for every load level (the homogeneous baselines).
+    Static(Policy),
+    /// Poly: pick a policy per load, with one feedback round per decision.
+    Poly(Box<Optimizer>),
+}
+
+/// One application on one architecture, ready to measure.
+pub struct System {
+    /// Display name (`Homo-GPU`, `Homo-FPGA`, `Heter-Poly`).
+    pub name: &'static str,
+    /// The application under test.
+    pub app: KernelGraph,
+    /// The provisioned node.
+    pub setup: NodeSetup,
+    /// Explored per-kernel design spaces.
+    pub spaces: Vec<KernelDesignSpace>,
+    source: Source,
+    bound_ms: f64,
+    seed: u64,
+}
+
+impl System {
+    /// Assemble the Table III node for `(setting, arch)` running `app`,
+    /// exploring design spaces and fixing the baseline policy for
+    /// homogeneous architectures.
+    #[must_use]
+    pub fn new(app: &KernelGraph, setting: Setting, arch: Architecture, bound_ms: f64) -> Self {
+        let setup = table_iii(setting, arch);
+        Self::with_setup(app, setup, bound_ms)
+    }
+
+    /// Assemble a system from an explicit node setup (used by the Fig. 13
+    /// power-split sweep).
+    #[must_use]
+    pub fn with_setup(app: &KernelGraph, setup: NodeSetup, bound_ms: f64) -> Self {
+        let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+        let spaces: Vec<KernelDesignSpace> =
+            app.kernels().iter().map(|k| explorer.explore(k)).collect();
+        let source = match setup.architecture {
+            Architecture::HeterPoly => Source::Poly(Box::new(Optimizer::new())),
+            Architecture::HomoGpu | Architecture::HomoFpga => {
+                let policy = Optimizer::new().max_capacity_policy(
+                    app,
+                    &spaces,
+                    &setup.pool,
+                    &setup.gpu,
+                    bound_ms,
+                );
+                Source::Static(policy)
+            }
+        };
+        Self {
+            name: setup.architecture.name(),
+            app: app.clone(),
+            setup,
+            spaces,
+            source,
+            bound_ms,
+            seed: 42,
+        }
+    }
+
+    /// The QoS bound in force.
+    #[must_use]
+    pub fn bound_ms(&self) -> f64 {
+        self.bound_ms
+    }
+
+    /// The policy the system would run at offered load `rps`. For Poly
+    /// systems this runs one short probe simulation and feeds the result
+    /// back into the model (the Fig. 2 feedback loop) before deciding.
+    pub fn policy_at(&mut self, rps: f64) -> Policy {
+        match &mut self.source {
+            Source::Static(p) => p.clone(),
+            Source::Poly(opt) => {
+                let (policy, pred) = opt.plan_for_load(
+                    &self.app,
+                    &self.spaces,
+                    &self.setup.pool,
+                    &self.setup.gpu,
+                    self.bound_ms,
+                    rps,
+                );
+                let probe = steady_state(
+                    &self.app,
+                    &self.setup.pool,
+                    &policy,
+                    &self.setup.sim_config,
+                    rps,
+                    2_000.0,
+                    8_000.0,
+                    self.seed ^ 0x5eed,
+                );
+                if probe.completed > 0 && pred.p99_ms.is_finite() {
+                    opt.model_mut().observe(pred.p99_ms, probe.latency.p99());
+                }
+                let (policy, _) = opt.plan_for_load(
+                    &self.app,
+                    &self.spaces,
+                    &self.setup.pool,
+                    &self.setup.gpu,
+                    self.bound_ms,
+                    rps,
+                );
+                policy
+            }
+        }
+    }
+
+    /// Steady-state measurement at offered load `rps` (warmup discarded).
+    pub fn measure(&mut self, rps: f64) -> SimReport {
+        let policy = self.policy_at(rps);
+        steady_state(
+            &self.app,
+            &self.setup.pool,
+            &policy,
+            &self.setup.sim_config,
+            rps,
+            WARMUP_MS,
+            WINDOW_MS,
+            self.seed,
+        )
+    }
+
+    /// Maximum sustainable RPS whose measured p99 stays within the bound.
+    pub fn max_rps(&mut self) -> f64 {
+        let bound = self.bound_ms;
+        max_rps_under_qos(|rps| self.measure(rps), bound, 0.5, 400.0, 0.03)
+    }
+
+    /// Power-vs-load curve at fractions of `max_rps` — the EP curve of
+    /// Figs. 1(b), 9, 10.
+    pub fn ep_curve(&mut self, max_rps: f64, points: usize) -> EpCurve {
+        let points = points.max(2);
+        let samples: Vec<EpPoint> = (0..points)
+            .map(|i| {
+                let load = i as f64 / (points - 1) as f64;
+                let rps = (max_rps * load).max(0.01);
+                let report = self.measure(rps);
+                EpPoint {
+                    load,
+                    power_w: report.avg_power_w,
+                }
+            })
+            .collect();
+        EpCurve::new(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homo_systems_use_fixed_policies() {
+        let app = poly_apps::asr();
+        let mut s = System::new(&app, Setting::I, Architecture::HomoFpga, 200.0);
+        let a = s.policy_at(1.0);
+        let b = s.policy_at(100.0);
+        assert_eq!(a, b, "static baseline never re-plans");
+        assert_eq!(s.name, "Homo-FPGA");
+    }
+
+    #[test]
+    fn measurement_reports_sane_numbers() {
+        let app = poly_apps::asr();
+        let mut s = System::new(&app, Setting::I, Architecture::HomoFpga, 200.0);
+        let r = s.measure(5.0);
+        assert!(r.completed > 0);
+        assert!(r.avg_power_w > 0.0);
+        assert!(r.latency.p99() > 0.0);
+    }
+}

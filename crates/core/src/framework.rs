@@ -1,0 +1,207 @@
+//! The top-level entry point: one type that owns the whole Poly pipeline
+//! for an application on a provisioned node — offline design-space
+//! exploration at construction, then plans, load-aware policies, and
+//! simulators on demand.
+
+use crate::{NodeSetup, Optimizer, PolicyPrediction, PolyRuntime};
+use poly_dse::{Explorer, KernelDesignSpace};
+use poly_ir::KernelGraph;
+use poly_sched::{ScheduleError, SchedulePlan, Scheduler};
+use poly_sim::{Policy, Simulator};
+
+/// The Poly framework for one application on one leaf node (Fig. 2):
+/// construction runs the **offline kernel analysis** (design-space
+/// exploration of every kernel on both platforms); the methods expose the
+/// **runtime kernel scheduler** and the system optimizer.
+///
+/// ```rust
+/// use poly_core::provision::{table_iii, Architecture, Setting};
+/// use poly_core::Poly;
+///
+/// let app = poly_apps::asr();
+/// let node = table_iii(Setting::I, Architecture::HeterPoly);
+/// let mut poly = Poly::offline(app, node);
+///
+/// // One request, scheduled under the 200 ms bound (Fig. 6).
+/// let plan = poly.plan(200.0).expect("schedulable");
+/// assert!(plan.meets(200.0));
+///
+/// // A policy for serving 20 requests/second.
+/// let (policy, prediction) = poly.policy_for_load(200.0, 20.0);
+/// assert!(prediction.capacity_rps > 20.0);
+/// assert_eq!(policy.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct Poly {
+    graph: KernelGraph,
+    setup: NodeSetup,
+    spaces: Vec<KernelDesignSpace>,
+    optimizer: Optimizer,
+    scheduler: Scheduler,
+}
+
+impl Poly {
+    /// Run the offline phase: explore every kernel's design space on the
+    /// node's GPU and FPGA models.
+    #[must_use]
+    pub fn offline(graph: KernelGraph, setup: NodeSetup) -> Self {
+        let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+        let spaces = graph
+            .kernels()
+            .iter()
+            .map(|k| explorer.explore(k))
+            .collect();
+        Self {
+            graph,
+            setup,
+            spaces,
+            optimizer: Optimizer::new(),
+            scheduler: Scheduler::default(),
+        }
+    }
+
+    /// The application under management.
+    #[must_use]
+    pub fn graph(&self) -> &KernelGraph {
+        &self.graph
+    }
+
+    /// The provisioned node.
+    #[must_use]
+    pub fn setup(&self) -> &NodeSetup {
+        &self.setup
+    }
+
+    /// Per-kernel Pareto design spaces (offline-phase output), indexed by
+    /// kernel id.
+    #[must_use]
+    pub fn design_spaces(&self) -> &[KernelDesignSpace] {
+        &self.spaces
+    }
+
+    /// The two-step single-request schedule (Section V): latency
+    /// optimization, then energy optimization within `bound_ms`.
+    ///
+    /// # Errors
+    /// Returns [`ScheduleError`] if some kernel has no feasible
+    /// implementation on the node's platforms.
+    pub fn plan(&self, bound_ms: f64) -> Result<SchedulePlan, ScheduleError> {
+        self.scheduler
+            .plan(&self.graph, &self.spaces, &self.setup.pool, bound_ms)
+    }
+
+    /// The latency-only (Step 1) schedule.
+    ///
+    /// # Errors
+    /// Same conditions as [`plan`](Self::plan).
+    pub fn plan_latency(&self) -> Result<SchedulePlan, ScheduleError> {
+        self.scheduler
+            .plan_latency(&self.graph, &self.spaces, &self.setup.pool)
+    }
+
+    /// A load-aware execution policy for serving `rps` under `bound_ms`,
+    /// with the model's prediction at that operating point.
+    #[must_use]
+    pub fn policy_for_load(&mut self, bound_ms: f64, rps: f64) -> (Policy, PolicyPrediction) {
+        self.optimizer.plan_for_load(
+            &self.graph,
+            &self.spaces,
+            &self.setup.pool,
+            &self.setup.gpu,
+            bound_ms,
+            rps,
+        )
+    }
+
+    /// The best *fixed* policy for maximum sustainable throughput — how
+    /// the homogeneous baselines are provisioned.
+    #[must_use]
+    pub fn max_capacity_policy(&mut self, bound_ms: f64) -> Policy {
+        self.optimizer.max_capacity_policy(
+            &self.graph,
+            &self.spaces,
+            &self.setup.pool,
+            &self.setup.gpu,
+            bound_ms,
+        )
+    }
+
+    /// Feed a measurement back into the system model (the Fig. 2 loop).
+    pub fn observe(&mut self, predicted_p99_ms: f64, measured_p99_ms: f64) {
+        self.optimizer
+            .model_mut()
+            .observe(predicted_p99_ms, measured_p99_ms);
+    }
+
+    /// A discrete-event simulator of this node executing `policy`.
+    #[must_use]
+    pub fn simulator(&self, policy: Policy) -> Simulator {
+        Simulator::new(
+            self.graph.clone(),
+            &self.setup.pool,
+            policy,
+            self.setup.sim_config.clone(),
+        )
+    }
+
+    /// Convert into the interval-driven trace runtime (Figs. 11–12).
+    #[must_use]
+    pub fn into_runtime(self, bound_ms: f64) -> PolyRuntime {
+        PolyRuntime::new(self.graph, self.spaces, self.setup, bound_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provision::{table_iii, Architecture, Setting};
+
+    fn poly() -> Poly {
+        Poly::offline(
+            poly_apps::asr(),
+            table_iii(Setting::I, Architecture::HeterPoly),
+        )
+    }
+
+    #[test]
+    fn offline_phase_explores_every_kernel() {
+        let p = poly();
+        assert_eq!(p.design_spaces().len(), p.graph().len());
+        assert!(p.design_spaces().iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn plan_and_policy_are_consistent() {
+        let mut p = poly();
+        let plan = p.plan(200.0).expect("schedulable");
+        assert!(plan.meets(200.0));
+        let (policy, pred) = p.policy_for_load(200.0, 10.0);
+        assert_eq!(policy.len(), p.graph().len());
+        assert!(pred.capacity_rps > 10.0);
+    }
+
+    #[test]
+    fn simulator_runs_the_policy() {
+        let mut p = poly();
+        let (policy, _) = p.policy_for_load(200.0, 5.0);
+        let mut sim = p.simulator(policy);
+        sim.enqueue_arrivals(&[0.0, 100.0, 200.0]);
+        sim.drain();
+        let report = sim.finish(60_000.0);
+        assert_eq!(report.completed, 3);
+    }
+
+    #[test]
+    fn observe_updates_the_model() {
+        let mut p = poly();
+        let before = p.optimizer.model().correction();
+        p.observe(100.0, 180.0);
+        assert!(p.optimizer.model().correction() > before);
+    }
+
+    #[test]
+    fn into_runtime_preserves_the_setup() {
+        let p = poly();
+        let _rt = p.into_runtime(200.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! The interval-driven runtime loop: monitor → model → optimizer →
+//! simulator, re-planning every interval over a utilization trace — the
+//! machinery behind the 24-hour trace evaluation (Figs. 11–12) and the
+//! QoS-violation / prediction-error analysis of Section VI-C.
+
+use crate::{IntervalObs, NodeSetup, Optimizer, SystemMonitor};
+use poly_dse::KernelDesignSpace;
+use poly_ir::KernelGraph;
+use poly_sim::workload::{poisson, TracePoint};
+use poly_sim::{Policy, Simulator};
+
+/// How the runtime selects policies.
+#[derive(Debug, Clone)]
+pub enum RuntimeMode {
+    /// Poly: re-plan every interval from monitor feedback.
+    Poly,
+    /// Static baseline: one fixed policy for the whole trace.
+    Static(Policy),
+}
+
+/// One interval of a trace run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalRecord {
+    /// Interval start in milliseconds since trace begin.
+    pub start_ms: f64,
+    /// Trace utilization level for the interval.
+    pub utilization: f64,
+    /// Offered load in RPS.
+    pub offered_rps: f64,
+    /// Measured p99 latency over the interval (0 if nothing completed).
+    pub p99_ms: f64,
+    /// Model-predicted p99 for the adopted policy (Poly mode only).
+    pub predicted_p99_ms: f64,
+    /// Mean node power over the interval, in watts.
+    pub avg_power_w: f64,
+    /// Whether the adopted policy differs from the previous interval's.
+    pub policy_changed: bool,
+    /// Requests completing over the bound during the interval.
+    pub violations: usize,
+    /// Requests completed during the interval.
+    pub completed: usize,
+}
+
+/// Aggregate results of a trace run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Per-interval records.
+    pub intervals: Vec<IntervalRecord>,
+    /// Total energy over the trace, in joules.
+    pub energy_j: f64,
+    /// Mean node power over the trace, in watts.
+    pub mean_power_w: f64,
+    /// Overall QoS violation ratio (violations / completed).
+    pub violation_ratio: f64,
+    /// Mean absolute relative error of the model's p99 predictions against
+    /// measurements (Poly mode; the paper reports < 6%).
+    pub prediction_error: f64,
+}
+
+/// The Poly runtime for one application on one provisioned node.
+#[derive(Debug)]
+pub struct PolyRuntime {
+    graph: KernelGraph,
+    spaces: Vec<KernelDesignSpace>,
+    setup: NodeSetup,
+    optimizer: Optimizer,
+    monitor: SystemMonitor,
+    bound_ms: f64,
+}
+
+impl PolyRuntime {
+    /// Runtime for `graph` with its explored design `spaces` on `setup`.
+    #[must_use]
+    pub fn new(
+        graph: KernelGraph,
+        spaces: Vec<KernelDesignSpace>,
+        setup: NodeSetup,
+        bound_ms: f64,
+    ) -> Self {
+        Self {
+            graph,
+            spaces,
+            setup,
+            optimizer: Optimizer::new(),
+            monitor: SystemMonitor::new(8),
+            bound_ms,
+        }
+    }
+
+    /// The optimizer (e.g. to inspect the model's correction factor).
+    #[must_use]
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.optimizer
+    }
+
+    /// Replay a utilization trace at `max_rps` scaling, re-planning every
+    /// interval (Poly mode) or holding one policy (static mode).
+    ///
+    /// `interval_ms` is both the trace sampling period and the re-planning
+    /// period; `seed` drives the Poisson arrivals.
+    #[must_use]
+    pub fn run_trace(
+        &mut self,
+        trace: &[TracePoint],
+        interval_ms: f64,
+        max_rps: f64,
+        mode: &RuntimeMode,
+        seed: u64,
+    ) -> TraceReport {
+        // Initial policy: plan for the first interval's load.
+        let first_rps = trace.first().map_or(0.0, |p| p.utilization * max_rps);
+        let (mut policy, mut predicted) = match mode {
+            RuntimeMode::Poly => self.optimizer.plan_for_load(
+                &self.graph,
+                &self.spaces,
+                &self.setup.pool,
+                &self.setup.gpu,
+                self.bound_ms,
+                first_rps,
+            ),
+            RuntimeMode::Static(p) => {
+                let pred =
+                    self.optimizer
+                        .model()
+                        .predict(&self.graph, p, &self.setup.pool, first_rps);
+                (p.clone(), pred)
+            }
+        };
+
+        let mut sim = Simulator::new(
+            self.graph.clone(),
+            &self.setup.pool,
+            policy.clone(),
+            self.setup.sim_config.clone(),
+        );
+
+        let mut intervals = Vec::with_capacity(trace.len());
+        let mut energy_mj = 0.0;
+        let mut total_completed = 0usize;
+        let mut total_violations = 0usize;
+        let mut err_sum = 0.0;
+        let mut err_n = 0usize;
+
+        for (i, point) in trace.iter().enumerate() {
+            let start = point.start_ms;
+            let end = start + interval_ms;
+            let offered_rps = point.utilization * max_rps;
+
+            // Re-plan from the monitor's estimate (skip the first interval,
+            // already planned).
+            let mut policy_changed = false;
+            if i > 0 {
+                if let RuntimeMode::Poly = mode {
+                    let est = self.monitor.load_estimate_rps().max(offered_rps * 0.1);
+                    let (next, pred) = self.optimizer.plan_for_load(
+                        &self.graph,
+                        &self.spaces,
+                        &self.setup.pool,
+                        &self.setup.gpu,
+                        self.bound_ms,
+                        est,
+                    );
+                    // Hysteresis: a policy change pays FPGA reconfiguration
+                    // and transient tail spikes, so keep the current policy
+                    // unless it is about to violate QoS or the candidate
+                    // saves a meaningful amount of power.
+                    let cur_pred =
+                        self.optimizer
+                            .model()
+                            .predict(&self.graph, &policy, &self.setup.pool, est);
+                    let cur_ok =
+                        cur_pred.p99_ms <= self.bound_ms * 0.85 && cur_pred.bottleneck_util <= 0.85;
+                    let worthwhile = pred.avg_power_w < cur_pred.avg_power_w * 0.92;
+                    if next != policy && (!cur_ok || worthwhile) {
+                        policy_changed = true;
+                        sim.set_policy(next.clone());
+                        policy = next;
+                        predicted = pred;
+                    } else {
+                        predicted = cur_pred;
+                    }
+                }
+            }
+
+            // Offer this interval's arrivals and run it.
+            let arrivals: Vec<f64> = poisson(offered_rps, interval_ms, seed.wrapping_add(i as u64))
+                .into_iter()
+                .map(|t| start + t)
+                .collect();
+            sim.enqueue_arrivals(&arrivals);
+            sim.reset_accounting();
+            sim.advance_to(end);
+            let report = sim.finish(end);
+            let (arrived, completed, latency) = sim.drain_segment();
+
+            let p99 = latency.p99();
+            let violations =
+                (latency.violation_ratio(self.bound_ms) * completed as f64).round() as usize;
+            total_completed += completed;
+            total_violations += violations;
+            energy_mj += report.energy_j * 1000.0;
+
+            // Feed measurements back into the model, excluding intervals
+            // that are statistically weak (few completions) or polluted by
+            // a policy transition's reconfiguration spike.
+            if matches!(mode, RuntimeMode::Poly)
+                && completed >= 30
+                && !policy_changed
+                && predicted.p99_ms.is_finite()
+            {
+                let err = ((p99 - predicted.p99_ms) / p99.max(1e-9)).abs();
+                err_sum += err.min(1.0);
+                err_n += 1;
+                self.optimizer.model_mut().observe(predicted.p99_ms, p99);
+            }
+
+            self.monitor.observe(IntervalObs {
+                duration_ms: interval_ms,
+                arrived,
+                completed,
+                p99_ms: p99,
+                avg_power_w: report.avg_power_w,
+                queued: sim.queued(),
+            });
+
+            intervals.push(IntervalRecord {
+                start_ms: start,
+                utilization: point.utilization,
+                offered_rps,
+                p99_ms: p99,
+                predicted_p99_ms: predicted.p99_ms,
+                avg_power_w: report.avg_power_w,
+                policy_changed,
+                violations,
+                completed,
+            });
+        }
+
+        let total_ms = trace.len() as f64 * interval_ms;
+        TraceReport {
+            intervals,
+            energy_j: energy_mj / 1000.0,
+            mean_power_w: if total_ms > 0.0 {
+                energy_mj / total_ms
+            } else {
+                0.0
+            },
+            violation_ratio: if total_completed > 0 {
+                total_violations as f64 / total_completed as f64
+            } else {
+                0.0
+            },
+            prediction_error: if err_n > 0 {
+                err_sum / err_n as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provision::{table_iii, Architecture, Setting};
+    use poly_dse::Explorer;
+
+    fn runtime() -> PolyRuntime {
+        let app = poly_apps::asr();
+        let setup = table_iii(Setting::I, Architecture::HeterPoly);
+        let ex = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+        let spaces = app.kernels().iter().map(|k| ex.explore(k)).collect();
+        PolyRuntime::new(app, spaces, setup, 200.0)
+    }
+
+    fn flat_trace(n: usize, util: f64, interval_ms: f64) -> Vec<TracePoint> {
+        (0..n)
+            .map(|i| TracePoint {
+                start_ms: i as f64 * interval_ms,
+                utilization: util,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn light_load_trace_is_violation_free_and_cheap() {
+        let mut rt = runtime();
+        let trace = flat_trace(6, 0.15, 10_000.0);
+        let report = rt.run_trace(&trace, 10_000.0, 20.0, &RuntimeMode::Poly, 7);
+        assert_eq!(report.intervals.len(), 6);
+        assert!(report.violation_ratio < 0.05, "{}", report.violation_ratio);
+        assert!(report.mean_power_w > 0.0);
+    }
+
+    #[test]
+    fn load_step_triggers_replanning() {
+        let mut rt = runtime();
+        let mut trace = flat_trace(4, 0.1, 10_000.0);
+        trace.extend(flat_trace(4, 0.9, 10_000.0).into_iter().map(|mut p| {
+            p.start_ms += 40_000.0;
+            p
+        }));
+        let report = rt.run_trace(&trace, 10_000.0, 20.0, &RuntimeMode::Poly, 11);
+        // Some interval after the step must adopt a different policy.
+        assert!(
+            report.intervals.iter().skip(4).any(|r| r.policy_changed),
+            "{:?}",
+            report
+                .intervals
+                .iter()
+                .map(|r| r.policy_changed)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn static_mode_never_changes_policy() {
+        let mut rt = runtime();
+        // Build a static policy from the latency-only plan.
+        let app = poly_apps::asr();
+        let setup = table_iii(Setting::I, Architecture::HeterPoly);
+        let ex = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+        let spaces: Vec<_> = app.kernels().iter().map(|k| ex.explore(k)).collect();
+        let plan = poly_sched::Scheduler::default()
+            .plan_latency(&app, &spaces, &setup.pool)
+            .unwrap();
+        let policy = Policy::from_plan(&plan, &spaces, &setup.gpu);
+        let trace = flat_trace(5, 0.3, 10_000.0);
+        let report = rt.run_trace(&trace, 10_000.0, 15.0, &RuntimeMode::Static(policy), 3);
+        assert!(report.intervals.iter().all(|r| !r.policy_changed));
+    }
+
+    #[test]
+    fn prediction_error_is_bounded() {
+        let mut rt = runtime();
+        let trace = flat_trace(8, 0.3, 10_000.0);
+        let report = rt.run_trace(&trace, 10_000.0, 20.0, &RuntimeMode::Poly, 21);
+        assert!(report.prediction_error <= 1.0);
+    }
+}

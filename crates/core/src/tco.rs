@@ -1,0 +1,113 @@
+//! Total-cost-of-ownership model behind the cost-efficiency analysis of
+//! Fig. 14, in the style of Google's datacenter cost model \[57\] with the
+//! Sirius parameter roles \[4\]: amortized server + accelerator capex,
+//! datacenter capex per provisioned watt, and power opex (utility price ×
+//! PUE).
+
+use crate::NodeSetup;
+
+/// TCO model parameters (USD, months, watts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcoParams {
+    /// Host server price (chassis, CPU, DRAM) in USD.
+    pub server_capex_usd: f64,
+    /// Amortization horizon for server + accelerators, in months.
+    pub server_amortization_months: f64,
+    /// Datacenter infrastructure capex per provisioned watt, in USD/W.
+    pub datacenter_capex_usd_per_w: f64,
+    /// Datacenter amortization horizon, in months.
+    pub datacenter_amortization_months: f64,
+    /// Electricity price in USD per kWh.
+    pub electricity_usd_per_kwh: f64,
+    /// Power usage effectiveness (facility overhead multiplier).
+    pub pue: f64,
+    /// Monthly maintenance as a fraction of amortized server capex.
+    pub maintenance_fraction: f64,
+}
+
+impl Default for TcoParams {
+    /// Parameter values in the range used by the Google model \[57\] /
+    /// Sirius \[4\]: $4k two-socket host amortized over 3 years, $10/W
+    /// facility over 12 years, $0.067/kWh utility power at PUE 1.1, 5%
+    /// maintenance.
+    fn default() -> Self {
+        Self {
+            server_capex_usd: 4_000.0,
+            server_amortization_months: 36.0,
+            datacenter_capex_usd_per_w: 10.0,
+            datacenter_amortization_months: 144.0,
+            electricity_usd_per_kwh: 0.067,
+            pue: 1.1,
+            maintenance_fraction: 0.05,
+        }
+    }
+}
+
+/// Monthly TCO of one provisioned leaf node drawing `avg_power_w` on
+/// average.
+#[must_use]
+pub fn monthly_tco_usd(setup: &NodeSetup, avg_power_w: f64, params: &TcoParams) -> f64 {
+    let accel_capex = setup.gpus() as f64 * setup.gpu.spec().price_usd
+        + setup.fpgas() as f64 * setup.fpga.spec().price_usd;
+    let server = (params.server_capex_usd + accel_capex) / params.server_amortization_months;
+    let dc = params.datacenter_capex_usd_per_w * setup.power_cap_w
+        / params.datacenter_amortization_months;
+    let hours_per_month = 730.0;
+    let energy =
+        avg_power_w / 1000.0 * hours_per_month * params.electricity_usd_per_kwh * params.pue;
+    let maintenance = server * params.maintenance_fraction;
+    server + dc + energy + maintenance
+}
+
+/// Cost efficiency as defined in Section VI-E: maximum sustainable
+/// throughput divided by TCO (requests per second per monthly dollar).
+#[must_use]
+pub fn cost_efficiency(max_rps: f64, monthly_tco_usd: f64) -> f64 {
+    if monthly_tco_usd <= 0.0 {
+        0.0
+    } else {
+        max_rps / monthly_tco_usd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provision::{table_iii, Architecture, Setting};
+
+    #[test]
+    fn tco_includes_all_components() {
+        let node = table_iii(Setting::I, Architecture::HeterPoly);
+        let params = TcoParams::default();
+        let idle = monthly_tco_usd(&node, 0.0, &params);
+        let loaded = monthly_tco_usd(&node, 400.0, &params);
+        assert!(idle > 0.0);
+        assert!(loaded > idle, "energy opex must matter");
+        // Energy delta: 400 W × 730 h × $0.067/kWh × 1.1 ≈ $21.5/month.
+        assert!((loaded - idle - 0.4 * 730.0 * 0.067 * 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accelerator_prices_enter_capex() {
+        let gpu_node = table_iii(Setting::I, Architecture::HomoGpu); // 2 × $4999
+        let fpga_node = table_iii(Setting::I, Architecture::HomoFpga); // 10 × $3200
+        let params = TcoParams::default();
+        let g = monthly_tco_usd(&gpu_node, 300.0, &params);
+        let f = monthly_tco_usd(&fpga_node, 300.0, &params);
+        // 10 FPGAs cost more capex than 2 GPUs here.
+        assert!(f > g);
+    }
+
+    #[test]
+    fn efficiency_monotone_in_throughput() {
+        assert!(cost_efficiency(100.0, 500.0) > cost_efficiency(50.0, 500.0));
+        assert_eq!(cost_efficiency(100.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn lower_power_lowers_tco() {
+        let node = table_iii(Setting::I, Architecture::HeterPoly);
+        let params = TcoParams::default();
+        assert!(monthly_tco_usd(&node, 150.0, &params) < monthly_tco_usd(&node, 450.0, &params));
+    }
+}

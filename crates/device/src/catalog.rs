@@ -1,0 +1,144 @@
+//! Named accelerator models for the devices of Tables IV and V.
+//!
+//! Figures quoted directly from the paper: core/DSP counts, peak
+//! frequencies, memory sizes, peak power, and prices. Figures the tables
+//! omit but the analytical models need (memory bandwidth, idle/static
+//! power, launch overhead, reconfiguration time) use the vendors' published
+//! numbers for the same boards.
+
+use crate::{FpgaModel, FpgaSpec, GpuModel, GpuSpec};
+
+/// AMD FirePro W9100 (Table IV): 2816 cores @ 930 MHz, 32 GB, 270 W, $4999.
+#[must_use]
+pub fn amd_w9100() -> GpuModel {
+    GpuModel::new(GpuSpec {
+        name: "AMD FirePro W9100".into(),
+        cores: 2816,
+        freq_ghz: 0.930,
+        mem_bandwidth_gbs: 320.0,
+        mem_gb: 32.0,
+        peak_power_w: 270.0,
+        idle_power_w: 42.0,
+        launch_overhead_ms: 0.022,
+        price_usd: 4999.0,
+    })
+}
+
+/// NVIDIA Tesla K20 (Table IV): 2496 cores @ 706 MHz, 5 GB, 225 W, $2999.
+#[must_use]
+pub fn nvidia_k20() -> GpuModel {
+    GpuModel::new(GpuSpec {
+        name: "NVIDIA Tesla K20".into(),
+        cores: 2496,
+        freq_ghz: 0.706,
+        mem_bandwidth_gbs: 208.0,
+        mem_gb: 5.0,
+        peak_power_w: 225.0,
+        idle_power_w: 25.0,
+        launch_overhead_ms: 0.018,
+        price_usd: 2999.0,
+    })
+}
+
+/// Xilinx Virtex7-690t ADM-PCIE-7V3 (Table V): 470 MHz, 693 K cells,
+/// 6.5 MB BRAM, 3600 DSPs, 45 W, $3200.
+#[must_use]
+pub fn xilinx_7v3() -> FpgaModel {
+    FpgaModel::new(FpgaSpec {
+        name: "Xilinx Virtex7-690t ADM-PCIE-7V3".into(),
+        peak_freq_mhz: 470.0,
+        logic_cells: 693_000,
+        bram_bytes: (6.5 * 1024.0 * 1024.0) as u64,
+        dsp_slices: 3600,
+        mem_bandwidth_gbs: 12.8,
+        peak_power_w: 45.0,
+        static_power_w: 4.5,
+        reconfig_ms: 220.0,
+        price_usd: 3200.0,
+    })
+}
+
+/// Xilinx Zynq UltraScale+ ZCU102 (Table V): 333 MHz, 600 K cells,
+/// 4.0 MB BRAM, 2520 DSPs, 30 W, $2495.
+#[must_use]
+pub fn xilinx_zcu102() -> FpgaModel {
+    FpgaModel::new(FpgaSpec {
+        name: "Xilinx Zynq UltraScale+ ZCU102".into(),
+        peak_freq_mhz: 333.0,
+        logic_cells: 600_000,
+        bram_bytes: 4 * 1024 * 1024,
+        dsp_slices: 2520,
+        mem_bandwidth_gbs: 19.2,
+        peak_power_w: 30.0,
+        static_power_w: 3.0,
+        reconfig_ms: 180.0,
+        price_usd: 2495.0,
+    })
+}
+
+/// Intel Arria 10 GX115 (Table V): 800 MHz, 8.2 MB BRAM, 1518 DSPs, 65 W,
+/// $4495.
+///
+/// Table V prints "43K" logic cells, which contradicts Intel's datasheet
+/// for the GX 1150 die (≈1150 K LEs); we use 1 150 000 so the resource
+/// model is not artificially starved by a typo.
+#[must_use]
+pub fn intel_arria10() -> FpgaModel {
+    FpgaModel::new(FpgaSpec {
+        name: "Intel Arria 10 GX115".into(),
+        peak_freq_mhz: 800.0,
+        logic_cells: 1_150_000,
+        bram_bytes: (8.2 * 1024.0 * 1024.0) as u64,
+        dsp_slices: 1518,
+        mem_bandwidth_gbs: 34.1,
+        peak_power_w: 65.0,
+        static_power_w: 6.5,
+        reconfig_ms: 250.0,
+        price_usd: 4495.0,
+    })
+}
+
+/// All GPUs of Table IV.
+#[must_use]
+pub fn all_gpus() -> Vec<GpuModel> {
+    vec![amd_w9100(), nvidia_k20()]
+}
+
+/// All FPGAs of Table V.
+#[must_use]
+pub fn all_fpgas() -> Vec<FpgaModel> {
+    vec![xilinx_7v3(), xilinx_zcu102(), intel_arria10()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_numbers() {
+        let w = amd_w9100();
+        assert_eq!(w.spec().cores, 2816);
+        assert_eq!(w.spec().peak_power_w, 270.0);
+        let k = nvidia_k20();
+        assert_eq!(k.spec().cores, 2496);
+        assert_eq!(k.spec().price_usd, 2999.0);
+    }
+
+    #[test]
+    fn table_v_numbers() {
+        let v7 = xilinx_7v3();
+        assert_eq!(v7.spec().dsp_slices, 3600);
+        assert_eq!(v7.spec().peak_power_w, 45.0);
+        let z = xilinx_zcu102();
+        assert_eq!(z.spec().peak_freq_mhz, 333.0);
+        let a = intel_arria10();
+        assert_eq!(a.spec().dsp_slices, 1518);
+        assert_eq!(a.spec().price_usd, 4495.0);
+    }
+
+    #[test]
+    fn catalogs_nonempty() {
+        assert_eq!(all_gpus().len(), 2);
+        assert_eq!(all_fpgas().len(), 3);
+    }
+}

@@ -1,0 +1,108 @@
+use crate::FpgaResources;
+
+/// Analytical prediction for one kernel implementation on one device.
+///
+/// All figures are *per kernel execution*: on the GPU that execution covers
+/// `batch` requests launched together; on the FPGA a pipelined execution
+/// streams requests with initiation interval [`service_ms`](Self::service_ms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// End-to-end latency of one execution in milliseconds (for a GPU batch
+    /// this is the completion time of the whole batch; every request in the
+    /// batch observes it).
+    pub latency_ms: f64,
+    /// Device-occupancy per request in milliseconds — the inverse of this
+    /// implementation's sustainable throughput on one device.
+    pub service_ms: f64,
+    /// Requests served per execution (GPU batching; `1` on FPGAs).
+    pub batch: u32,
+    /// Average board power while executing, in watts.
+    pub active_power_w: f64,
+    /// Board power while configured but idle, in watts.
+    pub idle_power_w: f64,
+    /// FPGA resource usage (`None` for GPU implementations).
+    pub resources: Option<FpgaResources>,
+}
+
+impl Estimate {
+    /// Energy per request in millijoules: active power over the per-request
+    /// service time.
+    #[must_use]
+    pub fn energy_per_request_mj(&self) -> f64 {
+        self.active_power_w * self.service_ms
+    }
+
+    /// *Dynamic* energy per request in millijoules: the marginal energy the
+    /// request adds on top of the idle power the device draws anyway,
+    /// `(P_active − P_idle) × service`.
+    ///
+    /// This is the quantity the runtime's energy-efficiency step minimizes:
+    /// in a continuously operating leaf node, idle power is paid regardless
+    /// of the chosen implementation, so minimizing average node power at a
+    /// given request rate is exactly minimizing dynamic energy per request.
+    #[must_use]
+    pub fn dynamic_energy_mj(&self) -> f64 {
+        (self.active_power_w - self.idle_power_w).max(0.0) * self.service_ms
+    }
+
+    /// Sustainable throughput of one device running only this kernel, in
+    /// requests per second.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        1000.0 / self.service_ms.max(1e-9)
+    }
+
+    /// Energy efficiency in requests per joule — the y-axis of Fig. 1(c).
+    #[must_use]
+    pub fn requests_per_joule(&self) -> f64 {
+        1000.0 / self.energy_per_request_mj().max(1e-12)
+    }
+}
+
+impl std::fmt::Display for Estimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lat {:.2} ms, svc {:.2} ms (batch {}), {:.1} W active / {:.1} W idle",
+            self.latency_ms, self.service_ms, self.batch, self.active_power_w, self.idle_power_w
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> Estimate {
+        Estimate {
+            latency_ms: 40.0,
+            service_ms: 10.0,
+            batch: 4,
+            active_power_w: 200.0,
+            idle_power_w: 40.0,
+            resources: None,
+        }
+    }
+
+    #[test]
+    fn energy_is_power_times_service() {
+        assert!((est().energy_per_request_mj() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_is_inverse_service() {
+        assert!((est().throughput_rps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn requests_per_joule_consistent() {
+        let e = est();
+        assert!((e.requests_per_joule() - 1000.0 / 2000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_the_key_figures() {
+        let s = est().to_string();
+        assert!(s.contains("40.00 ms") && s.contains("batch 4") && s.contains("200.0 W"));
+    }
+}

@@ -1,0 +1,497 @@
+use crate::{Estimate, FpgaSpec};
+use poly_ir::KernelProfile;
+use std::fmt;
+
+/// Tunable implementation parameters of an FPGA kernel — the aggregate
+/// effect of the per-pattern knobs of Table I (compute units, loop
+/// unrolling, BRAM port partitioning, hardware pipelining, double
+/// buffering) plus fusion from the global optimization step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaTuning {
+    /// Replicated compute units (the `num_compute_units` pragma).
+    pub compute_units: u32,
+    /// Loop unroll factor inside each compute unit.
+    pub unroll: u32,
+    /// BRAM partition factor — simultaneous on-chip access ports feeding
+    /// the datapath lanes.
+    pub bram_ports: u32,
+    /// Whether the datapath is pipelined (`#pragma HLS pipeline`,
+    /// Fig. 5(b) line 6). Unpipelined designs stall on the dependency
+    /// chain of each element.
+    pub pipelined: bool,
+    /// Whether load/compute/store are double-buffered, overlapping
+    /// successive requests.
+    pub double_buffer: bool,
+    /// Fraction of inter-pattern traffic kept on chip by fusion, in
+    /// `\[0, 1\]`. Fused state must fit in BRAM.
+    pub fused_fraction: f64,
+}
+
+impl Default for FpgaTuning {
+    fn default() -> Self {
+        Self {
+            compute_units: 1,
+            unroll: 1,
+            bram_ports: 1,
+            pipelined: true,
+            double_buffer: false,
+            fused_fraction: 0.0,
+        }
+    }
+}
+
+impl FpgaTuning {
+    /// Total datapath lanes (`compute_units × unroll`).
+    #[must_use]
+    pub fn lanes(&self) -> u32 {
+        self.compute_units.max(1) * self.unroll.max(1)
+    }
+
+    /// Short key used in design-space dumps, e.g. `cu2_u16_p8_pd_f50`.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!(
+            "cu{}_u{}_p{}_{}{}_f{:.0}",
+            self.compute_units,
+            self.unroll,
+            self.bram_ports,
+            if self.pipelined { "p" } else { "-" },
+            if self.double_buffer { "d" } else { "-" },
+            self.fused_fraction * 100.0
+        )
+    }
+}
+
+/// Resource usage of one FPGA implementation, checked against the device's
+/// capacity during design-space exploration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaResources {
+    /// DSP slices consumed.
+    pub dsp: u32,
+    /// LUT-equivalent logic cells consumed.
+    pub luts: u64,
+    /// On-chip BRAM bytes consumed.
+    pub bram_bytes: u64,
+    /// Peak fractional utilization across the three resource classes,
+    /// in `\[0, 1\]` for feasible designs.
+    pub utilization: f64,
+}
+
+/// Error returned when an implementation does not fit on the device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaOverflow {
+    /// The exhausted resource class (`"dsp"`, `"lut"`, or `"bram"`).
+    pub resource: &'static str,
+    /// Demanded amount in that resource's unit.
+    pub demanded: u64,
+    /// Available amount in that resource's unit.
+    pub available: u64,
+}
+
+impl fmt::Display for FpgaOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "implementation exceeds {} capacity ({} demanded, {} available)",
+            self.resource, self.demanded, self.available
+        )
+    }
+}
+
+impl std::error::Error for FpgaOverflow {}
+
+/// Analytical FPGA performance, resource, and power model in the spirit of
+/// FlexCL \[26, 48, 50\]: throughput follows from datapath lanes and their
+/// initiation interval, the achievable clock degrades with routing
+/// congestion (utilization), and power is proportional to resource
+/// utilization \[51\].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaModel {
+    spec: FpgaSpec,
+}
+
+/// Host-side invocation overhead (enqueue + DMA descriptor setup).
+const HOST_OVERHEAD_MS: f64 = 0.05;
+
+/// On-chip staging (working buffers) per compute unit in bytes.
+const STAGING_BYTES_PER_CU: u64 = 64 << 10;
+
+/// Elements each BRAM port can feed per cycle after partitioning.
+const ELEMS_PER_PORT: f64 = 6.0;
+
+impl FpgaModel {
+    /// Wrap an FPGA specification in the analytical model.
+    #[must_use]
+    pub fn new(spec: FpgaSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The wrapped specification.
+    #[must_use]
+    pub fn spec(&self) -> &FpgaSpec {
+        &self.spec
+    }
+
+    /// Time to load a new bitstream onto this device.
+    #[must_use]
+    pub fn reconfig_ms(&self) -> f64 {
+        self.spec.reconfig_ms
+    }
+
+    /// Resource usage of implementing `profile` with tuning `t`.
+    ///
+    /// # Errors
+    /// Returns [`FpgaOverflow`] when the design exceeds DSP, LUT, or BRAM
+    /// capacity — the explorer uses this to prune infeasible points.
+    pub fn resources(
+        &self,
+        profile: &KernelProfile,
+        t: &FpgaTuning,
+    ) -> Result<FpgaResources, FpgaOverflow> {
+        let lanes = u64::from(t.lanes());
+        // One DSP retires one MAC (2 ops) per cycle; each lane implements
+        // the whole per-element datapath.
+        let dsp_per_lane = (profile.ops_per_element() / 2.0).ceil().max(1.0) as u64;
+        let dsp = dsp_per_lane * lanes;
+        let luts = 30_000
+            + 120 * dsp
+            + 15_000 * u64::from(t.compute_units.max(1))
+            + 2_000 * u64::from(t.bram_ports.max(1));
+        let fused = (profile.fused_onchip_bytes as f64 * t.fused_fraction.clamp(0.0, 1.0)) as u64;
+        let buffers = fused + STAGING_BYTES_PER_CU * u64::from(t.compute_units.max(1));
+        let buffers = if t.double_buffer {
+            buffers * 2
+        } else {
+            buffers
+        };
+        // Partitioning replicates address decoders and fragments blocks.
+        let bram_bytes =
+            (buffers as f64 * (1.0 + 0.04 * f64::from(t.bram_ports.max(1) - 1))) as u64;
+
+        let caps = [
+            ("dsp", dsp, u64::from(self.spec.dsp_slices)),
+            ("lut", luts, self.spec.logic_cells),
+            ("bram", bram_bytes, self.spec.bram_bytes),
+        ];
+        for (resource, demanded, available) in caps {
+            if demanded > available {
+                return Err(FpgaOverflow {
+                    resource,
+                    demanded,
+                    available,
+                });
+            }
+        }
+        let utilization = (dsp as f64 / f64::from(self.spec.dsp_slices))
+            .max(luts as f64 / self.spec.logic_cells as f64)
+            .max(bram_bytes as f64 / self.spec.bram_bytes as f64);
+        Ok(FpgaResources {
+            dsp: u32::try_from(dsp).unwrap_or(u32::MAX),
+            luts,
+            bram_bytes,
+            utilization,
+        })
+    }
+
+    /// Achieved clock in MHz after routing degradation at the given
+    /// utilization (denser designs close timing at lower frequency).
+    #[must_use]
+    pub fn achieved_freq_mhz(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        self.spec.peak_freq_mhz * (1.0 - 0.35 * u.powf(1.5)).max(0.5)
+    }
+
+    /// Estimate latency, throughput, resources, and power of executing
+    /// `profile` with implementation parameters `t`.
+    ///
+    /// Iterated kernels stream through the datapath without per-iteration
+    /// host overhead (state stays on chip) — the FPGA's structural
+    /// advantage over GPU launch-bound execution.
+    ///
+    /// # Errors
+    /// Returns [`FpgaOverflow`] when the design does not fit.
+    pub fn estimate(
+        &self,
+        profile: &KernelProfile,
+        t: &FpgaTuning,
+    ) -> Result<Estimate, FpgaOverflow> {
+        let resources = self.resources(profile, t)?;
+        let freq_mhz = self.achieved_freq_mhz(resources.utilization);
+        let cycles_per_ms = freq_mhz * 1_000.0;
+
+        // Lanes actually fed with data: BRAM ports bound the on-chip
+        // bandwidth; operator affinity then scales the whole datapath's
+        // efficiency (LUT-friendly operator mixes pipeline tighter than
+        // the generic-II assumption, float-heavy mixes looser).
+        let fed_lanes = f64::from(t.lanes()).min(f64::from(t.bram_ports.max(1)) * ELEMS_PER_PORT)
+            * profile.fpga_affinity;
+
+        let elements = profile.elements as f64;
+        let per_iter_cycles = if t.pipelined {
+            // II = 1 pipeline: one element per lane per cycle.
+            elements / fed_lanes
+        } else {
+            // Unpipelined: each element serializes its dependency chain.
+            let dep = (profile.pipeline_depth as f64).clamp(2.0, 6.0);
+            elements * dep / fed_lanes
+        };
+        let fill_cycles = profile.pipeline_depth as f64 + profile.ops_per_element();
+
+        let iters = profile.iterations as f64;
+        let t_compute = (fill_cycles + per_iter_cycles * iters) / cycles_per_ms;
+
+        // Off-chip traffic paid once per request (resident working set).
+        let f = t.fused_fraction.clamp(0.0, 1.0);
+        let bytes =
+            profile.unfused_bytes as f64 - (profile.unfused_bytes - profile.min_bytes) as f64 * f;
+        let t_mem = bytes / (self.spec.mem_bandwidth_gbs * 1e6);
+
+        let latency_ms = HOST_OVERHEAD_MS
+            + if t.double_buffer {
+                t_compute.max(t_mem)
+            } else {
+                t_compute + t_mem
+            };
+        // Double buffering lets the next request's transfers overlap this
+        // request's compute.
+        let service_ms = if t.double_buffer {
+            t_compute.max(t_mem)
+        } else {
+            latency_ms
+        };
+
+        let activity = if t.pipelined { 0.75 } else { 0.45 };
+        // Dynamic power grows superlinearly with utilization: denser
+        // designs route through longer, higher-capacitance wires [51].
+        // This is what puts smaller/slower designs on the energy-efficient
+        // end of the Pareto frontier (Fig. 1(c)).
+        let active_power_w = self.spec.static_power_w
+            + (self.spec.peak_power_w - self.spec.static_power_w)
+                * resources.utilization.powf(1.35)
+                * activity
+                * (freq_mhz / self.spec.peak_freq_mhz);
+
+        Ok(Estimate {
+            latency_ms,
+            service_ms,
+            batch: 1,
+            active_power_w,
+            // Idle power of a *configured* FPGA is its static power plus
+            // clock-tree leakage of the loaded design.
+            idle_power_w: self.spec.static_power_w
+                + 0.1 * (self.spec.peak_power_w - self.spec.static_power_w) * resources.utilization,
+            resources: Some(resources),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use poly_ir::{KernelBuilder, OpFunc, PatternKind, Shape};
+
+    fn lstm_like() -> KernelProfile {
+        KernelBuilder::new("lstm")
+            .pattern("m", PatternKind::Map, Shape::d2(1024, 256), &[OpFunc::Mac])
+            .pattern(
+                "r",
+                PatternKind::Reduce,
+                Shape::d2(1024, 256),
+                &[OpFunc::Add],
+            )
+            .chain()
+            .iterations(1500)
+            .build()
+            .unwrap()
+            .profile()
+    }
+
+    #[test]
+    fn more_lanes_cut_latency_and_raise_power() {
+        let fpga = catalog::xilinx_7v3();
+        let p = lstm_like();
+        let small = fpga
+            .estimate(
+                &p,
+                &FpgaTuning {
+                    unroll: 2,
+                    bram_ports: 2,
+                    ..FpgaTuning::default()
+                },
+            )
+            .unwrap();
+        let big = fpga
+            .estimate(
+                &p,
+                &FpgaTuning {
+                    unroll: 32,
+                    bram_ports: 16,
+                    compute_units: 2,
+                    ..FpgaTuning::default()
+                },
+            )
+            .unwrap();
+        assert!(big.latency_ms < small.latency_ms);
+        assert!(big.active_power_w > small.active_power_w);
+    }
+
+    #[test]
+    fn oversized_design_overflows() {
+        let fpga = catalog::xilinx_zcu102();
+        // Heavy custom op: large per-lane DSP demand.
+        let p = KernelBuilder::new("conv")
+            .pattern(
+                "c",
+                PatternKind::Map,
+                Shape::d2(512, 512),
+                &[OpFunc::custom("conv", 400)],
+            )
+            .build()
+            .unwrap()
+            .profile();
+        let err = fpga
+            .estimate(
+                &p,
+                &FpgaTuning {
+                    unroll: 64,
+                    compute_units: 8,
+                    ..FpgaTuning::default()
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.resource, "dsp");
+        assert!(err.demanded > err.available);
+    }
+
+    #[test]
+    fn pipelining_beats_unpipelined() {
+        let fpga = catalog::xilinx_7v3();
+        let p = lstm_like();
+        let base = FpgaTuning {
+            unroll: 8,
+            bram_ports: 4,
+            ..FpgaTuning::default()
+        };
+        let piped = fpga.estimate(&p, &base).unwrap();
+        let unpiped = fpga
+            .estimate(
+                &p,
+                &FpgaTuning {
+                    pipelined: false,
+                    ..base
+                },
+            )
+            .unwrap();
+        assert!(piped.latency_ms < unpiped.latency_ms);
+    }
+
+    #[test]
+    fn double_buffer_raises_throughput() {
+        let fpga = catalog::intel_arria10();
+        let p = lstm_like();
+        let base = FpgaTuning {
+            unroll: 8,
+            bram_ports: 8,
+            ..FpgaTuning::default()
+        };
+        let plain = fpga.estimate(&p, &base).unwrap();
+        let dbuf = fpga
+            .estimate(
+                &p,
+                &FpgaTuning {
+                    double_buffer: true,
+                    ..base
+                },
+            )
+            .unwrap();
+        assert!(dbuf.service_ms <= plain.service_ms);
+    }
+
+    #[test]
+    fn no_per_iteration_overhead_unlike_gpu() {
+        let fpga = catalog::xilinx_7v3();
+        let one = KernelBuilder::new("k")
+            .pattern("m", PatternKind::Map, Shape::d1(1024), &[OpFunc::Mac])
+            .build()
+            .unwrap()
+            .profile();
+        let many = KernelBuilder::new("k")
+            .pattern("m", PatternKind::Map, Shape::d1(1024), &[OpFunc::Mac])
+            .iterations(1000)
+            .build()
+            .unwrap()
+            .profile();
+        let tun = FpgaTuning {
+            unroll: 8,
+            bram_ports: 4,
+            ..FpgaTuning::default()
+        };
+        let e1 = fpga.estimate(&one, &tun).unwrap();
+        let e1000 = fpga.estimate(&many, &tun).unwrap();
+        // Latency grows with compute, but without a 1000× overhead term the
+        // growth is bounded by the pure compute ratio.
+        assert!(e1000.latency_ms < e1.latency_ms * 1000.0);
+    }
+
+    #[test]
+    fn power_proportional_to_utilization() {
+        let fpga = catalog::xilinx_7v3();
+        let p = lstm_like();
+        let mut last_util = 0.0;
+        let mut last_power = 0.0;
+        for unroll in [1, 4, 16, 64] {
+            let e = fpga
+                .estimate(
+                    &p,
+                    &FpgaTuning {
+                        unroll,
+                        bram_ports: 8,
+                        ..FpgaTuning::default()
+                    },
+                )
+                .unwrap();
+            let util = e.resources.unwrap().utilization;
+            assert!(util >= last_util);
+            assert!(e.active_power_w >= last_power);
+            last_util = util;
+            last_power = e.active_power_w;
+        }
+    }
+
+    #[test]
+    fn routing_degrades_clock_with_utilization() {
+        let fpga = catalog::xilinx_7v3();
+        assert!(fpga.achieved_freq_mhz(0.9) < fpga.achieved_freq_mhz(0.1));
+        assert!(fpga.achieved_freq_mhz(1.0) >= fpga.spec().peak_freq_mhz * 0.5);
+    }
+
+    #[test]
+    fn idle_power_far_below_gpu() {
+        let fpga = catalog::xilinx_7v3();
+        let gpu = catalog::amd_w9100();
+        let p = lstm_like();
+        let e = fpga
+            .estimate(
+                &p,
+                &FpgaTuning {
+                    unroll: 8,
+                    bram_ports: 4,
+                    ..FpgaTuning::default()
+                },
+            )
+            .unwrap();
+        assert!(e.idle_power_w < gpu.spec().idle_power_w / 2.0);
+    }
+
+    #[test]
+    fn overflow_display_is_informative() {
+        let err = FpgaOverflow {
+            resource: "bram",
+            demanded: 100,
+            available: 50,
+        };
+        let s = err.to_string();
+        assert!(s.contains("bram") && s.contains("100") && s.contains("50"));
+    }
+}

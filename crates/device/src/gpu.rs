@@ -1,0 +1,369 @@
+use crate::{DvfsLevel, Estimate, GpuSpec};
+use poly_ir::{KernelProfile, PatternKind};
+
+/// Tunable implementation parameters of a GPU kernel — the aggregate
+/// effect of the per-pattern knobs of Table I (work-group size, loop
+/// unrolling, memory coalescing, scratchpad memory, software pipelining)
+/// plus the batching and DVFS dimensions the runtime controls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuTuning {
+    /// OpenCL work-group size (threads per group); the model's sweet spot
+    /// is 256, matching common practice.
+    pub workgroup_size: u32,
+    /// Loop unroll factor (instruction-level parallelism).
+    pub unroll: u32,
+    /// Whether irregular (gather/scatter) accesses were remapped to be
+    /// coalesced (Fig. 5(a) lines 2–3).
+    pub coalesced: bool,
+    /// Whether `__local` scratchpad staging is used for reused data.
+    pub scratchpad: bool,
+    /// Fraction of inter-pattern traffic kept on chip by fusion (global
+    /// optimization), in `\[0, 1\]`.
+    pub fused_fraction: f64,
+    /// Requests launched together in one batch.
+    pub batch: u32,
+    /// DVFS operating point.
+    pub dvfs: DvfsLevel,
+}
+
+impl Default for GpuTuning {
+    fn default() -> Self {
+        Self {
+            workgroup_size: 256,
+            unroll: 1,
+            coalesced: false,
+            scratchpad: false,
+            fused_fraction: 0.0,
+            batch: 1,
+            dvfs: DvfsLevel::Nominal,
+        }
+    }
+}
+
+impl GpuTuning {
+    /// Short key used in design-space dumps, e.g. `wg256_u4_cba_b8_nominal`.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!(
+            "wg{}_u{}_{}{}{}_f{:.0}_b{}_{}",
+            self.workgroup_size,
+            self.unroll,
+            if self.coalesced { "c" } else { "-" },
+            if self.scratchpad { "s" } else { "-" },
+            "", // reserved
+            self.fused_fraction * 100.0,
+            self.batch,
+            self.dvfs
+        )
+    }
+}
+
+/// Analytical GPU performance and power model in the spirit of Hong & Kim
+/// \[49\] and Harmonia \[18\]: execution time is the maximum of a compute
+/// roofline and a memory roofline, scaled by occupancy- and ILP-driven
+/// efficiency terms; power interpolates between idle and peak board power
+/// with the achieved utilization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuModel {
+    spec: GpuSpec,
+}
+
+/// Threads the device must have in flight per core to hide memory and
+/// pipeline latency (8 is typical for GCN/Kepler-class parts).
+const LATENCY_HIDING: f64 = 8.0;
+
+impl GpuModel {
+    /// Wrap a GPU specification in the analytical model.
+    #[must_use]
+    pub fn new(spec: GpuSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The wrapped specification.
+    #[must_use]
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Estimate latency, throughput, and power of executing `profile` with
+    /// implementation parameters `t`.
+    ///
+    /// The estimate covers a whole batch of `t.batch` requests: sequential
+    /// kernel iterations each pay a launch/dispatch overhead (this is what
+    /// makes small recurrent kernels latency-bound on GPUs), while batching
+    /// multiplies per-iteration parallel work and so amortizes both the
+    /// overhead and the occupancy shortfall.
+    #[must_use]
+    pub fn estimate(&self, profile: &KernelProfile, t: &GpuTuning) -> Estimate {
+        let batch = f64::from(t.batch.max(1));
+        let freq = t.dvfs.freq_scale();
+
+        // --- efficiency terms ---------------------------------------------
+        let concurrency = profile.max_data_parallelism as f64 * batch;
+        let needed = f64::from(self.spec.cores) * LATENCY_HIDING;
+        let occupancy = (concurrency / needed).min(1.0);
+
+        // Work-group sizing: quadratic penalty away from 256 threads.
+        let wg = f64::from(t.workgroup_size.max(1));
+        let wg_eff = 1.0 - 0.05 * (wg.log2() - 8.0).abs();
+        let wg_eff = wg_eff.clamp(0.6, 1.0);
+
+        // Unrolling buys ILP until register pressure bites at 16.
+        let unroll_eff = match t.unroll {
+            0 | 1 => 0.62,
+            2 => 0.74,
+            4 => 0.86,
+            8 => 1.0,
+            _ => 0.90,
+        };
+
+        // Scratchpad staging helps stencil/regular reuse compute efficiency.
+        let has_stencil = profile
+            .pattern_kinds
+            .iter()
+            .any(|k| matches!(k, PatternKind::Stencil { .. }));
+        let scratch_eff = if t.scratchpad && has_stencil {
+            1.15
+        } else {
+            1.0
+        };
+
+        let compute_eff = (occupancy * wg_eff * unroll_eff * scratch_eff).clamp(0.005, 1.0);
+
+        // --- memory terms ---------------------------------------------------
+        let has_irregular = profile.pattern_kinds.iter().any(PatternKind::is_irregular);
+        let coalesce = if has_irregular {
+            if t.coalesced {
+                0.9
+            } else {
+                0.35
+            }
+        } else {
+            1.0
+        };
+        // Off-chip traffic is paid once per request: iterated kernels keep
+        // their working set resident in device memory across iterations.
+        let bytes = self.traffic_bytes(profile, t.fused_fraction) * batch;
+
+        // --- rooflines -------------------------------------------------------
+        let flops_per_iter = profile.flops as f64 * batch;
+        // Gflop/s == flops/µs; convert to ms via 1e6 flops per Gflop·ms.
+        let t_compute = flops_per_iter / (self.spec.peak_gflops() * compute_eff * freq * 1e6);
+        let t_mem = bytes / (self.spec.mem_bandwidth_gbs * coalesce * 1e6);
+
+        // --- iteration loop ---------------------------------------------------
+        let iters = profile.iterations as f64;
+        // Successive launches of the same kernel pipeline in the driver:
+        // the first pays the full overhead, the rest a reduced dispatch fee
+        // (command-queue batching keeps the GPU fed at ~10% of a cold
+        // launch per iteration).
+        let dispatch = self.spec.launch_overhead_ms * (1.0 + 0.1 * (iters - 1.0));
+        let latency_ms = dispatch + t_mem + t_compute * iters;
+        let service_ms = latency_ms / batch;
+
+        // --- power ------------------------------------------------------------
+        let compute_total = t_compute * iters;
+        let mem_intensity = if compute_total + t_mem > 0.0 {
+            (t_mem / (compute_total + t_mem)).min(1.0)
+        } else {
+            0.0
+        };
+        let activity = (0.30 + 0.55 * occupancy + 0.15 * mem_intensity).min(1.0);
+        let dynamic =
+            (self.spec.peak_power_w - self.spec.idle_power_w) * activity * t.dvfs.power_scale();
+        let active_power_w = self.spec.idle_power_w + dynamic;
+
+        Estimate {
+            latency_ms,
+            service_ms,
+            batch: t.batch.max(1),
+            active_power_w,
+            idle_power_w: self.spec.idle_power_w,
+            resources: None,
+        }
+    }
+
+    /// Off-chip traffic per iteration after applying fusion.
+    fn traffic_bytes(&self, profile: &KernelProfile, fused_fraction: f64) -> f64 {
+        let f = fused_fraction.clamp(0.0, 1.0);
+        let min = profile.min_bytes as f64;
+        let max = profile.unfused_bytes as f64;
+        max - (max - min) * f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use poly_ir::{KernelBuilder, OpFunc, PatternKind, Shape};
+
+    fn lstm_like() -> KernelProfile {
+        KernelBuilder::new("lstm")
+            .pattern("m", PatternKind::Map, Shape::d2(1024, 256), &[OpFunc::Mac])
+            .pattern(
+                "r",
+                PatternKind::Reduce,
+                Shape::d2(1024, 256),
+                &[OpFunc::Add],
+            )
+            .pattern(
+                "act",
+                PatternKind::pipeline(),
+                Shape::d1(1024),
+                &[OpFunc::Sigmoid, OpFunc::Tanh],
+            )
+            .chain()
+            .iterations(1500)
+            .build()
+            .unwrap()
+            .profile()
+    }
+
+    #[test]
+    fn batching_reduces_service_time() {
+        let gpu = catalog::amd_w9100();
+        let p = lstm_like();
+        let b1 = gpu.estimate(&p, &GpuTuning::default());
+        let b16 = gpu.estimate(
+            &p,
+            &GpuTuning {
+                batch: 16,
+                ..GpuTuning::default()
+            },
+        );
+        assert!(b16.service_ms < b1.service_ms, "{b16:?} vs {b1:?}");
+        // ...but batch completion latency grows.
+        assert!(b16.latency_ms >= b1.latency_ms);
+    }
+
+    #[test]
+    fn iterations_dominate_small_kernel_latency() {
+        let gpu = catalog::amd_w9100();
+        let one = KernelBuilder::new("k")
+            .pattern("m", PatternKind::Map, Shape::d1(1024), &[OpFunc::Mac])
+            .build()
+            .unwrap()
+            .profile();
+        let many = KernelBuilder::new("k")
+            .pattern("m", PatternKind::Map, Shape::d1(1024), &[OpFunc::Mac])
+            .iterations(1000)
+            .build()
+            .unwrap()
+            .profile();
+        let e1 = gpu.estimate(&one, &GpuTuning::default());
+        let e2 = gpu.estimate(&many, &GpuTuning::default());
+        assert!(e2.latency_ms > 50.0 * e1.latency_ms);
+    }
+
+    #[test]
+    fn fusion_reduces_memory_bound_latency() {
+        let gpu = catalog::amd_w9100();
+        // Memory-bound kernel: cheap op over a big collection.
+        let p = KernelBuilder::new("memcpyish")
+            .pattern("a", PatternKind::Map, Shape::d2(4096, 1024), &[OpFunc::Add])
+            .pattern("b", PatternKind::Map, Shape::d2(4096, 1024), &[OpFunc::Add])
+            .chain()
+            .build()
+            .unwrap()
+            .profile();
+        let unfused = gpu.estimate(&p, &GpuTuning::default());
+        let fused = gpu.estimate(
+            &p,
+            &GpuTuning {
+                fused_fraction: 1.0,
+                ..GpuTuning::default()
+            },
+        );
+        assert!(fused.latency_ms < unfused.latency_ms);
+    }
+
+    #[test]
+    fn coalescing_helps_irregular_kernels_only() {
+        let gpu = catalog::nvidia_k20();
+        let irregular = KernelBuilder::new("g")
+            .pattern("g", PatternKind::Gather, Shape::d2(4096, 512), &[])
+            .build()
+            .unwrap()
+            .profile();
+        let base = gpu.estimate(&irregular, &GpuTuning::default());
+        let coal = gpu.estimate(
+            &irregular,
+            &GpuTuning {
+                coalesced: true,
+                ..GpuTuning::default()
+            },
+        );
+        assert!(coal.latency_ms < base.latency_ms);
+
+        let regular = KernelBuilder::new("m")
+            .pattern("m", PatternKind::Map, Shape::d2(4096, 512), &[OpFunc::Add])
+            .build()
+            .unwrap()
+            .profile();
+        let base = gpu.estimate(&regular, &GpuTuning::default());
+        let coal = gpu.estimate(
+            &regular,
+            &GpuTuning {
+                coalesced: true,
+                ..GpuTuning::default()
+            },
+        );
+        assert!((coal.latency_ms - base.latency_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dvfs_low_cuts_power_and_speed() {
+        let gpu = catalog::amd_w9100();
+        let p = lstm_like();
+        let nom = gpu.estimate(&p, &GpuTuning::default());
+        let low = gpu.estimate(
+            &p,
+            &GpuTuning {
+                dvfs: DvfsLevel::Low,
+                ..GpuTuning::default()
+            },
+        );
+        assert!(low.active_power_w < nom.active_power_w);
+        assert!(low.latency_ms > nom.latency_ms);
+    }
+
+    #[test]
+    fn power_stays_within_board_limits() {
+        let gpu = catalog::amd_w9100();
+        let p = lstm_like();
+        for batch in [1, 4, 32] {
+            for dvfs in DvfsLevel::ALL {
+                let e = gpu.estimate(
+                    &p,
+                    &GpuTuning {
+                        batch,
+                        dvfs,
+                        ..GpuTuning::default()
+                    },
+                );
+                assert!(e.active_power_w >= e.idle_power_w);
+                // Boost may exceed nominal peak slightly, never wildly.
+                assert!(e.active_power_w <= gpu.spec().peak_power_w * 1.4);
+            }
+        }
+    }
+
+    #[test]
+    fn unroll_sweet_spot_at_eight() {
+        let gpu = catalog::amd_w9100();
+        let p = lstm_like();
+        let lat = |u: u32| {
+            gpu.estimate(
+                &p,
+                &GpuTuning {
+                    unroll: u,
+                    ..GpuTuning::default()
+                },
+            )
+            .latency_ms
+        };
+        assert!(lat(8) < lat(1));
+        assert!(lat(8) < lat(16));
+    }
+}

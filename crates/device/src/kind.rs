@@ -1,0 +1,44 @@
+use std::fmt;
+
+/// The two accelerator classes Poly schedules across.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceKind {
+    /// Graphics processing unit — wide SIMD, high idle power, batches well.
+    Gpu,
+    /// Field-programmable gate array — custom pipelines, low idle power,
+    /// requires reconfiguration to change implementation.
+    Fpga,
+}
+
+impl DeviceKind {
+    /// Lowercase name (`"gpu"` / `"fpga"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::Gpu => "gpu",
+            DeviceKind::Fpga => "fpga",
+        }
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(DeviceKind::Gpu.to_string(), "gpu");
+        assert_eq!(DeviceKind::Fpga.to_string(), "fpga");
+    }
+
+    #[test]
+    fn orderable_for_map_keys() {
+        assert!(DeviceKind::Gpu < DeviceKind::Fpga);
+    }
+}

@@ -1,0 +1,59 @@
+//! # poly-device — analytical device models and the accelerator catalog
+//!
+//! The paper measures real GPUs and FPGAs; this crate is the simulated
+//! replacement (see DESIGN.md §2). It provides:
+//!
+//! - device specifications for the accelerators of Tables IV and V
+//!   ([`catalog`]),
+//! - a Hong&Kim-style analytical **GPU model** ([`GpuModel`]): roofline of
+//!   compute vs. memory time, occupancy-driven efficiency, batching, and
+//!   DVFS power states,
+//! - a FlexCL-style analytical **FPGA model** ([`FpgaModel`]): initiation-
+//!   interval pipelining, LUT/BRAM/DSP resource accounting with routing-
+//!   driven clock degradation, and power proportional to resource
+//!   utilization,
+//! - a **PCIe link model** ([`PcieLink`]) supplying the `T(e_ij)` transfer
+//!   term of the scheduler's Eq. 2.
+//!
+//! The same models serve double duty, exactly as in the paper: the DSE uses
+//! them to navigate the design space (Section IV-C) and the discrete-event
+//! simulator uses them as the ground-truth "hardware".
+//!
+//! ## Example
+//!
+//! ```rust
+//! use poly_device::{catalog, GpuTuning};
+//! use poly_ir::{KernelBuilder, OpFunc, PatternKind, Shape};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let kernel = KernelBuilder::new("dot")
+//!     .pattern("m", PatternKind::Map, Shape::d2(4096, 1024), &[OpFunc::Mac])
+//!     .pattern("r", PatternKind::Reduce, Shape::d2(4096, 1024), &[OpFunc::Add])
+//!     .chain()
+//!     .build()?;
+//! let gpu = catalog::amd_w9100();
+//! let est = gpu.estimate(&kernel.profile(), &GpuTuning::default());
+//! assert!(est.latency_ms > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+mod estimate;
+mod fpga;
+mod gpu;
+mod kind;
+mod pcie;
+mod power;
+mod spec;
+
+pub use estimate::Estimate;
+pub use fpga::{FpgaModel, FpgaOverflow, FpgaResources, FpgaTuning};
+pub use gpu::{GpuModel, GpuTuning};
+pub use kind::DeviceKind;
+pub use pcie::PcieLink;
+pub use power::DvfsLevel;
+pub use spec::{FpgaSpec, GpuSpec};

@@ -1,0 +1,72 @@
+/// PCIe interconnect model supplying the inter-kernel transfer time
+/// `T(e_ij)` of the scheduler's Eq. 2.
+///
+/// Transfers between kernels co-located on the same device are free (data
+/// stays in device memory); cross-device transfers pay a fixed DMA setup
+/// latency plus a bandwidth term.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieLink {
+    /// Sustained bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Per-transfer setup latency in milliseconds (DMA descriptor, driver).
+    pub latency_ms: f64,
+}
+
+impl PcieLink {
+    /// PCIe 3.0 ×16 as used by the paper's prototype server: ~12 GB/s
+    /// sustained, ~20 µs setup.
+    #[must_use]
+    pub fn gen3_x16() -> Self {
+        Self {
+            bandwidth_gbs: 12.0,
+            latency_ms: 0.02,
+        }
+    }
+
+    /// Transfer time for `bytes` across the link, in milliseconds.
+    ///
+    /// ```rust
+    /// let link = poly_device::PcieLink::gen3_x16();
+    /// let t = link.transfer_ms(12_000_000); // 12 MB
+    /// assert!(t > 1.0 && t < 1.1);
+    /// ```
+    #[must_use]
+    pub fn transfer_ms(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.latency_ms + bytes as f64 / (self.bandwidth_gbs * 1e6)
+    }
+}
+
+impl Default for PcieLink {
+    fn default() -> Self {
+        Self::gen3_x16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_is_free() {
+        assert_eq!(PcieLink::gen3_x16().transfer_ms(0), 0.0);
+    }
+
+    #[test]
+    fn transfer_scales_linearly_beyond_setup() {
+        let link = PcieLink::gen3_x16();
+        let t1 = link.transfer_ms(1 << 20);
+        let t2 = link.transfer_ms(2 << 20);
+        assert!(t2 > t1);
+        assert!(((t2 - link.latency_ms) / (t1 - link.latency_ms) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_transfers_dominated_by_setup() {
+        let link = PcieLink::gen3_x16();
+        let t = link.transfer_ms(64);
+        assert!(t < link.latency_ms * 1.01);
+    }
+}

@@ -1,0 +1,81 @@
+use std::fmt;
+
+/// GPU dynamic voltage/frequency scaling level.
+///
+/// The paper's runtime "boosts operating frequency of GPUs ... when the
+/// load intensity is very high" and "reduces the GPU operating frequency"
+/// at low load (Section VI-C). Power scales super-linearly with frequency
+/// (`P ∝ f·V²`, with `V ∝ f` this is cubic; we use the conventional 2.5
+/// exponent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum DvfsLevel {
+    /// Power-save clocks (~60% of nominal frequency).
+    Low,
+    /// Nominal clocks.
+    #[default]
+    Nominal,
+    /// Boost clocks (~112% of nominal frequency).
+    Boost,
+}
+
+impl DvfsLevel {
+    /// All levels in ascending frequency order.
+    pub const ALL: [DvfsLevel; 3] = [DvfsLevel::Low, DvfsLevel::Nominal, DvfsLevel::Boost];
+
+    /// Core/memory frequency multiplier relative to nominal.
+    #[must_use]
+    pub fn freq_scale(self) -> f64 {
+        match self {
+            DvfsLevel::Low => 0.60,
+            DvfsLevel::Nominal => 1.0,
+            DvfsLevel::Boost => 1.12,
+        }
+    }
+
+    /// Dynamic-power multiplier relative to nominal (`freq_scale^2.5`).
+    #[must_use]
+    pub fn power_scale(self) -> f64 {
+        self.freq_scale().powf(2.5)
+    }
+}
+
+impl fmt::Display for DvfsLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DvfsLevel::Low => "low",
+            DvfsLevel::Nominal => "nominal",
+            DvfsLevel::Boost => "boost",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_saves_superlinear_power() {
+        // At 60% frequency, dynamic power drops to ~28%.
+        let p = DvfsLevel::Low.power_scale();
+        assert!(p < DvfsLevel::Low.freq_scale());
+        assert!((p - 0.6_f64.powf(2.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boost_costs_superlinear_power() {
+        assert!(DvfsLevel::Boost.power_scale() > DvfsLevel::Boost.freq_scale());
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        let f: Vec<f64> = DvfsLevel::ALL.iter().map(|l| l.freq_scale()).collect();
+        assert!(f.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn nominal_is_identity() {
+        assert_eq!(DvfsLevel::Nominal.freq_scale(), 1.0);
+        assert_eq!(DvfsLevel::Nominal.power_scale(), 1.0);
+    }
+}

@@ -1,0 +1,101 @@
+/// Specification of a GPU accelerator (Table IV of the paper, extended with
+/// the memory bandwidth and idle power the analytical model needs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"AMD FirePro W9100"`.
+    pub name: String,
+    /// Shader cores (stream processors / CUDA cores).
+    pub cores: u32,
+    /// Peak core frequency in GHz.
+    pub freq_ghz: f64,
+    /// Off-chip memory bandwidth in GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Device memory capacity in GB.
+    pub mem_gb: f64,
+    /// Board power at full load in watts.
+    pub peak_power_w: f64,
+    /// Board power when idle (clocks parked) in watts.
+    pub idle_power_w: f64,
+    /// Kernel launch overhead in milliseconds (driver + queue).
+    pub launch_overhead_ms: f64,
+    /// List price in USD (Table IV), used by the TCO model.
+    pub price_usd: f64,
+}
+
+impl GpuSpec {
+    /// Peak single-precision throughput in Gflop/s (2 flops per core per
+    /// cycle — one FMA).
+    #[must_use]
+    pub fn peak_gflops(&self) -> f64 {
+        f64::from(self.cores) * 2.0 * self.freq_ghz
+    }
+}
+
+/// Specification of an FPGA accelerator (Table V of the paper, extended
+/// with board DRAM bandwidth, static power and reconfiguration time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaSpec {
+    /// Marketing name, e.g. `"Xilinx Virtex7-690t ADM-PCIE-7V3"`.
+    pub name: String,
+    /// Peak achievable clock in MHz (before routing degradation).
+    pub peak_freq_mhz: f64,
+    /// Logic cells (LUT-equivalent) available.
+    pub logic_cells: u64,
+    /// On-chip BRAM capacity in bytes.
+    pub bram_bytes: u64,
+    /// DSP slices available.
+    pub dsp_slices: u32,
+    /// Board DRAM bandwidth in GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Board power at full utilization in watts.
+    pub peak_power_w: f64,
+    /// Static (configured but idle) power in watts.
+    pub static_power_w: f64,
+    /// Time to load a new bitstream in milliseconds — the cost the runtime
+    /// pays when it swaps a kernel implementation on this device.
+    pub reconfig_ms: f64,
+    /// List price in USD (Table V), used by the TCO model.
+    pub price_usd: f64,
+}
+
+impl FpgaSpec {
+    /// Peak arithmetic throughput in Gflop/s if every DSP slice retires one
+    /// MAC (2 flops) per cycle at the peak clock.
+    #[must_use]
+    pub fn peak_gflops(&self) -> f64 {
+        f64::from(self.dsp_slices) * 2.0 * self.peak_freq_mhz / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::catalog;
+
+    #[test]
+    fn gpu_peak_flops_matches_cores_times_freq() {
+        let g = crate::catalog::amd_w9100();
+        let spec = g.spec();
+        assert!((spec.peak_gflops() - f64::from(spec.cores) * 2.0 * spec.freq_ghz).abs() < 1e-9);
+        // W9100 is a ~5.2 Tflop part.
+        assert!(spec.peak_gflops() > 5000.0 && spec.peak_gflops() < 5500.0);
+    }
+
+    #[test]
+    fn fpga_peak_flops_is_positive_and_below_gpu() {
+        let f = catalog::xilinx_7v3();
+        let g = catalog::amd_w9100();
+        assert!(f.spec().peak_gflops() > 0.0);
+        assert!(f.spec().peak_gflops() < g.spec().peak_gflops());
+    }
+
+    #[test]
+    fn fpga_static_power_below_peak() {
+        for f in [
+            catalog::xilinx_7v3(),
+            catalog::xilinx_zcu102(),
+            catalog::intel_arria10(),
+        ] {
+            assert!(f.spec().static_power_w < f.spec().peak_power_w);
+        }
+    }
+}

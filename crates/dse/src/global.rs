@@ -1,0 +1,152 @@
+//! Global optimization (Section IV-B): cross-pattern analysis — which
+//! adjacent pattern pairs to fuse under the on-chip memory constraint, and
+//! therefore which fused fractions are actually realizable on a device.
+
+use poly_ir::{Kernel, PatternEdge};
+
+/// A fusion plan for one kernel on one device: the subset of PPG edges
+/// whose traffic stays on chip, chosen greedily by communication intensity
+/// under a capacity budget (the paper "determin\[es\] the number of adjacent
+/// patterns \[that\] can be fused under the on-chip memory capacity
+/// constraint").
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionPlan {
+    fused: Vec<PatternEdge>,
+    onchip_bytes: u64,
+    total_edge_bytes: u64,
+}
+
+impl FusionPlan {
+    /// Greedily fuse the highest-intensity edges of `kernel` that fit in
+    /// `capacity_bytes` of on-chip memory.
+    #[must_use]
+    pub fn greedy(kernel: &Kernel, capacity_bytes: u64) -> Self {
+        let total_edge_bytes = kernel.ppg().edges().iter().map(|e| e.bytes).sum();
+        let mut fused = Vec::new();
+        let mut used = 0u64;
+        for edge in kernel.ppg().fusion_candidates() {
+            if used + edge.bytes <= capacity_bytes {
+                used += edge.bytes;
+                fused.push(edge);
+            }
+        }
+        Self {
+            fused,
+            onchip_bytes: used,
+            total_edge_bytes,
+        }
+    }
+
+    /// Edges kept on chip.
+    #[must_use]
+    pub fn fused_edges(&self) -> &[PatternEdge] {
+        &self.fused
+    }
+
+    /// On-chip bytes the plan consumes.
+    #[must_use]
+    pub fn onchip_bytes(&self) -> u64 {
+        self.onchip_bytes
+    }
+
+    /// Fraction of inter-pattern traffic kept on chip, in `\[0, 1\]` — the
+    /// `fused_fraction` realizable by this plan, fed to the device models.
+    #[must_use]
+    pub fn fused_fraction(&self) -> f64 {
+        if self.total_edge_bytes == 0 {
+            0.0
+        } else {
+            self.onchip_bytes as f64 / self.total_edge_bytes as f64
+        }
+    }
+
+    /// Off-chip bytes saved per kernel invocation (each fused edge saves a
+    /// global-memory write plus read).
+    #[must_use]
+    pub fn bytes_saved(&self) -> u64 {
+        2 * self.onchip_bytes
+    }
+}
+
+/// The fusion-fraction vocabulary realizable within `capacity_bytes` of
+/// on-chip memory: nothing fused, half of the realizable maximum, and the
+/// greedy maximum itself (deduplicated).
+#[must_use]
+pub fn realizable_fractions(kernel: &Kernel, capacity_bytes: u64) -> Vec<f64> {
+    let max = FusionPlan::greedy(kernel, capacity_bytes).fused_fraction();
+    let mut out = vec![0.0];
+    for f in [max / 2.0, max] {
+        if f > 0.01 && out.iter().all(|&x: &f64| (x - f).abs() > 0.01) {
+            out.push(f);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poly_ir::{KernelBuilder, OpFunc, PatternKind, Shape};
+
+    fn kernel() -> Kernel {
+        // map -> reduce edge carries 512*64*4 = 128 KiB;
+        // reduce -> pipeline edge carries 512*4 = 2 KiB.
+        KernelBuilder::new("k")
+            .pattern("m", PatternKind::Map, Shape::d2(512, 64), &[OpFunc::Mac])
+            .pattern("r", PatternKind::Reduce, Shape::d2(512, 64), &[OpFunc::Add])
+            .pattern(
+                "p",
+                PatternKind::pipeline(),
+                Shape::d1(512),
+                &[OpFunc::Sigmoid],
+            )
+            .chain()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn unlimited_capacity_fuses_everything() {
+        let plan = FusionPlan::greedy(&kernel(), u64::MAX);
+        assert_eq!(plan.fused_edges().len(), 2);
+        assert!((plan.fused_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tight_capacity_prefers_hot_edges() {
+        // Room for the big edge only.
+        let plan = FusionPlan::greedy(&kernel(), 512 * 64 * 4 + 1024);
+        assert_eq!(plan.fused_edges().len(), 1);
+        assert_eq!(plan.fused_edges()[0].bytes, 512 * 64 * 4);
+        assert!(plan.fused_fraction() > 0.9);
+    }
+
+    #[test]
+    fn tiny_capacity_still_takes_what_fits() {
+        // Too small for the hot edge, big enough for the cold one.
+        let plan = FusionPlan::greedy(&kernel(), 4096);
+        assert_eq!(plan.fused_edges().len(), 1);
+        assert_eq!(plan.fused_edges()[0].bytes, 512 * 4);
+    }
+
+    #[test]
+    fn realizable_fractions_scale_with_capacity() {
+        let k = kernel();
+        assert_eq!(realizable_fractions(&k, 0), vec![0.0]);
+        let unlimited = realizable_fractions(&k, u64::MAX);
+        assert!((unlimited.last().copied().unwrap() - 1.0).abs() < 1e-9);
+        assert!(unlimited.len() >= 2);
+        // Room for the small edge only: max fraction is small but present.
+        let partial = realizable_fractions(&k, 4096);
+        assert!(partial.len() >= 2);
+        assert!(partial.last().copied().unwrap() < 0.1);
+    }
+
+    #[test]
+    fn zero_capacity_fuses_nothing() {
+        let plan = FusionPlan::greedy(&kernel(), 0);
+        assert!(plan.fused_edges().is_empty());
+        assert_eq!(plan.fused_fraction(), 0.0);
+        assert_eq!(plan.bytes_saved(), 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-kernel knob vocabularies derived from the parallel patterns present
+//! (the "Optimization on Hardware Platforms" columns of Table I).
+//!
+//! A knob dimension is only enumerated when some pattern in the kernel can
+//! exploit it: coalescing requires an irregular (gather/scatter) pattern,
+//! scratchpad staging requires a stencil, pipelining requires a non-trivial
+//! operator chain, fusion requires at least one inter-pattern edge, and so
+//! on. This keeps the enumerated spaces close to the per-kernel design
+//! counts of Table II instead of a uniform cross product.
+
+use poly_ir::{KernelProfile, PatternKind};
+
+/// GPU knob vocabulary for one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuKnobs {
+    /// Candidate work-group sizes.
+    pub workgroup_sizes: Vec<u32>,
+    /// Candidate unroll factors.
+    pub unrolls: Vec<u32>,
+    /// Whether the coalescing remap is applicable (irregular patterns).
+    pub coalescing: bool,
+    /// Whether scratchpad staging is applicable (stencil patterns).
+    pub scratchpad: bool,
+    /// Candidate fused fractions (global optimization).
+    pub fused_fractions: Vec<f64>,
+    /// Candidate batch sizes (runtime dimension).
+    pub batches: Vec<u32>,
+}
+
+impl GpuKnobs {
+    /// Number of *static* implementation combinations (excludes the batch
+    /// and DVFS dimensions the runtime owns) — the figure comparable to
+    /// Table II's "# Designs".
+    #[must_use]
+    pub fn static_combinations(&self) -> usize {
+        self.workgroup_sizes.len()
+            * self.unrolls.len()
+            * (1 + usize::from(self.coalescing))
+            * (1 + usize::from(self.scratchpad))
+            * self.fused_fractions.len()
+    }
+}
+
+/// FPGA knob vocabulary for one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaKnobs {
+    /// Candidate compute-unit counts.
+    pub compute_units: Vec<u32>,
+    /// Candidate unroll factors.
+    pub unrolls: Vec<u32>,
+    /// Candidate BRAM partition factors.
+    pub bram_ports: Vec<u32>,
+    /// Whether an unpipelined variant is worth enumerating (deep operator
+    /// chains make pipelining mandatory in practice).
+    pub allow_unpipelined: bool,
+    /// Whether double buffering is applicable (irregular or boundary-heavy
+    /// traffic to hide).
+    pub double_buffer: bool,
+    /// Candidate fused fractions (global optimization).
+    pub fused_fractions: Vec<f64>,
+}
+
+impl FpgaKnobs {
+    /// Number of static implementation combinations (all FPGA dimensions
+    /// are static — every change is a new bitstream).
+    #[must_use]
+    pub fn static_combinations(&self) -> usize {
+        self.compute_units.len()
+            * self.unrolls.len()
+            * self.bram_ports.len()
+            * (1 + usize::from(self.allow_unpipelined))
+            * (1 + usize::from(self.double_buffer))
+            * self.fused_fractions.len()
+    }
+}
+
+fn fused_fractions(profile: &KernelProfile) -> Vec<f64> {
+    if profile.fused_onchip_bytes == 0 {
+        vec![0.0]
+    } else {
+        vec![0.0, 0.5, 1.0]
+    }
+}
+
+/// Derive the GPU knob vocabulary for a kernel (Table I, GPU column).
+#[must_use]
+pub fn gpu_knobs(profile: &KernelProfile) -> GpuKnobs {
+    let has_irregular = profile.pattern_kinds.iter().any(PatternKind::is_irregular);
+    let has_stencil = profile
+        .pattern_kinds
+        .iter()
+        .any(|k| matches!(k, PatternKind::Stencil { .. }));
+    let data_parallel = profile
+        .pattern_kinds
+        .iter()
+        .any(PatternKind::is_data_parallel);
+    GpuKnobs {
+        workgroup_sizes: vec![64, 128, 256, 512],
+        unrolls: if data_parallel {
+            vec![1, 2, 4, 8, 16]
+        } else {
+            vec![1, 2, 4]
+        },
+        coalescing: has_irregular,
+        scratchpad: has_stencil,
+        fused_fractions: fused_fractions(profile),
+        batches: vec![1, 2, 4, 8, 16, 32],
+    }
+}
+
+/// Derive the FPGA knob vocabulary for a kernel (Table I, FPGA column).
+#[must_use]
+pub fn fpga_knobs(profile: &KernelProfile) -> FpgaKnobs {
+    let has_irregular = profile.pattern_kinds.iter().any(PatternKind::is_irregular);
+    let boundary_heavy = profile.min_bytes > (1 << 20);
+    FpgaKnobs {
+        compute_units: vec![1, 2, 4, 8],
+        unrolls: vec![1, 2, 4, 8, 16, 32, 64],
+        bram_ports: vec![1, 4, 16, 64],
+        allow_unpipelined: profile.pipeline_depth <= 4,
+        double_buffer: has_irregular || boundary_heavy,
+        fused_fractions: fused_fractions(profile),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poly_ir::{KernelBuilder, OpFunc, Shape};
+
+    fn profile_of(kinds: &[(PatternKind, &[OpFunc])]) -> KernelProfile {
+        let mut b = KernelBuilder::new("k");
+        for (i, (kind, funcs)) in kinds.iter().enumerate() {
+            b = b.pattern(format!("p{i}"), *kind, Shape::d2(512, 64), funcs);
+        }
+        b.chain().build().unwrap().profile()
+    }
+
+    #[test]
+    fn coalescing_only_for_irregular() {
+        let regular = profile_of(&[(PatternKind::Map, &[OpFunc::Add])]);
+        assert!(!gpu_knobs(&regular).coalescing);
+        let irregular = profile_of(&[
+            (PatternKind::Gather, &[]),
+            (PatternKind::Map, &[OpFunc::Add]),
+        ]);
+        assert!(gpu_knobs(&irregular).coalescing);
+    }
+
+    #[test]
+    fn scratchpad_only_for_stencil() {
+        let stencil = profile_of(&[(PatternKind::stencil(9), &[OpFunc::Mac])]);
+        assert!(gpu_knobs(&stencil).scratchpad);
+        let map = profile_of(&[(PatternKind::Map, &[OpFunc::Add])]);
+        assert!(!gpu_knobs(&map).scratchpad);
+    }
+
+    #[test]
+    fn single_pattern_kernels_have_no_fusion_dimension() {
+        let single = profile_of(&[(PatternKind::Map, &[OpFunc::Add])]);
+        assert_eq!(gpu_knobs(&single).fused_fractions, vec![0.0]);
+        assert_eq!(fpga_knobs(&single).fused_fractions, vec![0.0]);
+        let multi = profile_of(&[
+            (PatternKind::Map, &[OpFunc::Add]),
+            (PatternKind::Map, &[OpFunc::Mul]),
+        ]);
+        assert_eq!(gpu_knobs(&multi).fused_fractions.len(), 3);
+    }
+
+    #[test]
+    fn static_counts_match_table_ii_magnitudes() {
+        let lstm = profile_of(&[
+            (PatternKind::Map, &[OpFunc::Mac]),
+            (PatternKind::Reduce, &[OpFunc::Add]),
+            (PatternKind::Pipeline, &[OpFunc::Sigmoid, OpFunc::Tanh]),
+        ]);
+        let g = gpu_knobs(&lstm).static_combinations();
+        let f = fpga_knobs(&lstm).static_combinations();
+        // Table II reports 16–256 designs per kernel per platform.
+        assert!((16..=1024).contains(&g), "gpu: {g}");
+        assert!((16..=2048).contains(&f), "fpga: {f}");
+    }
+
+    #[test]
+    fn deep_chains_forbid_unpipelined_variants() {
+        let deep = profile_of(&[(
+            PatternKind::Pipeline,
+            &[
+                OpFunc::Sigmoid,
+                OpFunc::Tanh,
+                OpFunc::Mul,
+                OpFunc::Add,
+                OpFunc::Exp,
+            ],
+        )]);
+        assert!(!fpga_knobs(&deep).allow_unpipelined);
+    }
+}

@@ -1,0 +1,156 @@
+//! Local optimization (Section IV-B): turn a kernel's knob vocabulary into
+//! the concrete list of candidate implementations to evaluate.
+
+use crate::knobs::{fpga_knobs, gpu_knobs};
+use poly_device::{DvfsLevel, FpgaTuning, GpuTuning};
+use poly_ir::KernelProfile;
+
+/// Enumerate candidate GPU implementations for `profile`.
+///
+/// The static dimensions (work-group size, unrolling, coalescing,
+/// scratchpad, fusion) come from the knob vocabulary; the runtime
+/// dimensions (batch, DVFS) are crossed in because the design space handed
+/// to the scheduler must already contain the latency/throughput/power
+/// trade-offs they create (Fig. 1(c)). Uses the knob vocabulary's default
+/// fusion fractions; the explorer substitutes capacity-realizable ones via
+/// [`gpu_candidates_with_fractions`].
+#[must_use]
+pub fn gpu_candidates(profile: &KernelProfile) -> Vec<GpuTuning> {
+    let fractions = gpu_knobs(profile).fused_fractions;
+    gpu_candidates_with_fractions(profile, &fractions)
+}
+
+/// [`gpu_candidates`] with an explicit fusion-fraction vocabulary (the
+/// fractions the global optimizer found realizable within the device's
+/// scratchpad capacity).
+#[must_use]
+pub fn gpu_candidates_with_fractions(profile: &KernelProfile, fractions: &[f64]) -> Vec<GpuTuning> {
+    let mut knobs = gpu_knobs(profile);
+    knobs.fused_fractions = fractions.to_vec();
+    let mut out = Vec::new();
+    let coalesced_opts: &[bool] = if knobs.coalescing {
+        &[false, true]
+    } else {
+        &[false]
+    };
+    let scratch_opts: &[bool] = if knobs.scratchpad {
+        &[false, true]
+    } else {
+        &[false]
+    };
+    for &workgroup_size in &knobs.workgroup_sizes {
+        for &unroll in &knobs.unrolls {
+            for &coalesced in coalesced_opts {
+                for &scratchpad in scratch_opts {
+                    for &fused_fraction in &knobs.fused_fractions {
+                        for &batch in &knobs.batches {
+                            for dvfs in DvfsLevel::ALL {
+                                out.push(GpuTuning {
+                                    workgroup_size,
+                                    unroll,
+                                    coalesced,
+                                    scratchpad,
+                                    fused_fraction,
+                                    batch,
+                                    dvfs,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Enumerate candidate FPGA implementations for `profile`. Infeasible
+/// (resource-overflowing) designs are pruned later by the explorer when the
+/// device model rejects them.
+#[must_use]
+pub fn fpga_candidates(profile: &KernelProfile) -> Vec<FpgaTuning> {
+    let fractions = fpga_knobs(profile).fused_fractions;
+    fpga_candidates_with_fractions(profile, &fractions)
+}
+
+/// [`fpga_candidates`] with an explicit fusion-fraction vocabulary.
+#[must_use]
+pub fn fpga_candidates_with_fractions(
+    profile: &KernelProfile,
+    fractions: &[f64],
+) -> Vec<FpgaTuning> {
+    let mut knobs = fpga_knobs(profile);
+    knobs.fused_fractions = fractions.to_vec();
+    let mut out = Vec::new();
+    let pipe_opts: &[bool] = if knobs.allow_unpipelined {
+        &[true, false]
+    } else {
+        &[true]
+    };
+    let dbuf_opts: &[bool] = if knobs.double_buffer {
+        &[false, true]
+    } else {
+        &[false]
+    };
+    for &compute_units in &knobs.compute_units {
+        for &unroll in &knobs.unrolls {
+            for &bram_ports in &knobs.bram_ports {
+                for &pipelined in pipe_opts {
+                    for &double_buffer in dbuf_opts {
+                        for &fused_fraction in &knobs.fused_fractions {
+                            out.push(FpgaTuning {
+                                compute_units,
+                                unroll,
+                                bram_ports,
+                                pipelined,
+                                double_buffer,
+                                fused_fraction,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poly_ir::{KernelBuilder, OpFunc, PatternKind, Shape};
+
+    fn profile() -> KernelProfile {
+        KernelBuilder::new("k")
+            .pattern("m", PatternKind::Map, Shape::d2(512, 64), &[OpFunc::Mac])
+            .pattern("r", PatternKind::Reduce, Shape::d2(512, 64), &[OpFunc::Add])
+            .chain()
+            .build()
+            .unwrap()
+            .profile()
+    }
+
+    #[test]
+    fn candidate_counts_match_knob_products() {
+        let p = profile();
+        let g = gpu_candidates(&p);
+        let gk = crate::knobs::gpu_knobs(&p);
+        assert_eq!(
+            g.len(),
+            gk.static_combinations() * gk.batches.len() * DvfsLevel::ALL.len()
+        );
+        let f = fpga_candidates(&p);
+        let fk = crate::knobs::fpga_knobs(&p);
+        assert_eq!(f.len(), fk.static_combinations());
+    }
+
+    #[test]
+    fn candidates_are_unique() {
+        let p = profile();
+        let mut keys: Vec<String> = gpu_candidates(&p).iter().map(|t| t.key()).collect();
+        let n = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), n);
+    }
+}

@@ -1,0 +1,104 @@
+//! Pareto-frontier extraction over arbitrary objective vectors.
+
+/// Return the indices of the Pareto-optimal elements of `items` under the
+/// objective vector `objectives` (all objectives minimized).
+///
+/// An element is kept iff no other element is ≤ in every objective and <
+/// in at least one. Ties (identical vectors) keep the first occurrence.
+/// The result is sorted by the first objective, ascending.
+///
+/// ```rust
+/// let pts = [(1.0, 5.0), (2.0, 2.0), (3.0, 3.0), (4.0, 1.0)];
+/// let front = poly_dse::pareto_front(&pts, |p| vec![p.0, p.1]);
+/// assert_eq!(front, vec![0, 1, 3]); // (3,3) dominated by (2,2)
+/// ```
+pub fn pareto_front<T>(items: &[T], mut objectives: impl FnMut(&T) -> Vec<f64>) -> Vec<usize> {
+    let vecs: Vec<Vec<f64>> = items.iter().map(&mut objectives).collect();
+    let mut keep = Vec::new();
+    'outer: for (i, a) in vecs.iter().enumerate() {
+        for (j, b) in vecs.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let dominates =
+                b.iter().zip(a).all(|(bj, ai)| bj <= ai) && b.iter().zip(a).any(|(bj, ai)| bj < ai);
+            if dominates {
+                continue 'outer;
+            }
+            // Identical vectors: keep only the earliest.
+            if j < i && b == a {
+                continue 'outer;
+            }
+        }
+        keep.push(i);
+    }
+    keep.sort_by(|&x, &y| {
+        vecs[x][0]
+            .partial_cmp(&vecs[y][0])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_element_is_optimal() {
+        assert_eq!(pareto_front(&[(1.0,)], |p| vec![p.0]), vec![0]);
+    }
+
+    #[test]
+    fn dominated_points_removed() {
+        let pts = [(1.0, 1.0), (2.0, 2.0), (0.5, 3.0)];
+        let front = pareto_front(&pts, |p| vec![p.0, p.1]);
+        assert_eq!(front, vec![2, 0]);
+    }
+
+    #[test]
+    fn duplicates_kept_once() {
+        let pts = [(1.0, 1.0), (1.0, 1.0), (1.0, 1.0)];
+        let front = pareto_front(&pts, |p| vec![p.0, p.1]);
+        assert_eq!(front, vec![0]);
+    }
+
+    #[test]
+    fn front_sorted_by_first_objective() {
+        let pts = [(3.0, 1.0), (1.0, 3.0), (2.0, 2.0)];
+        let front = pareto_front(&pts, |p| vec![p.0, p.1]);
+        assert_eq!(front, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn three_objectives() {
+        let pts = [
+            (1.0, 5.0, 9.0), // a
+            (2.0, 6.0, 1.0), // b: worse lat+power than a, saved by service
+            (3.0, 7.0, 5.0), // c: dominated by b (2<3, 6<7, 1<5)
+            (4.0, 8.0, 9.5), // d: dominated by a (1<4, 5<8, 9<9.5)
+        ];
+        let front = pareto_front(&pts, |p| vec![p.0, p.1, p.2]);
+        assert_eq!(front, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input_empty_front() {
+        let pts: [(f64, f64); 0] = [];
+        assert!(pareto_front(&pts, |p| vec![p.0, p.1]).is_empty());
+    }
+
+    #[test]
+    fn monotone_along_front() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = f64::from(i);
+                (x, 100.0 - x + if i % 3 == 0 { 20.0 } else { 0.0 })
+            })
+            .collect();
+        let front = pareto_front(&pts, |p| vec![p.0, p.1]);
+        // Along the front, second objective strictly decreases.
+        let ys: Vec<f64> = front.iter().map(|&i| pts[i].1).collect();
+        assert!(ys.windows(2).all(|w| w[1] < w[0]));
+    }
+}

@@ -1,0 +1,236 @@
+use poly_device::{DeviceKind, Estimate, FpgaTuning, GpuTuning};
+use poly_ir::KernelProfile;
+
+/// The implementation parameters behind a design point, tagged by platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tuning {
+    /// GPU implementation parameters.
+    Gpu(GpuTuning),
+    /// FPGA implementation parameters.
+    Fpga(FpgaTuning),
+}
+
+impl Tuning {
+    /// Platform this tuning targets.
+    #[must_use]
+    pub fn kind(&self) -> DeviceKind {
+        match self {
+            Tuning::Gpu(_) => DeviceKind::Gpu,
+            Tuning::Fpga(_) => DeviceKind::Fpga,
+        }
+    }
+
+    /// Short human-readable key.
+    #[must_use]
+    pub fn key(&self) -> String {
+        match self {
+            Tuning::Gpu(t) => t.key(),
+            Tuning::Fpga(t) => t.key(),
+        }
+    }
+}
+
+/// One Pareto-optimal kernel implementation `k_i^r`: concrete tuning plus
+/// its model-predicted latency, throughput, and power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Implementation index `r` within its platform's frontier (sorted by
+    /// ascending latency).
+    pub index: usize,
+    /// Target platform.
+    pub kind: DeviceKind,
+    /// Implementation parameters.
+    pub tuning: Tuning,
+    /// Model-predicted metrics.
+    pub estimate: Estimate,
+}
+
+impl DesignPoint {
+    /// Predicted end-to-end latency in milliseconds.
+    #[must_use]
+    pub fn latency_ms(&self) -> f64 {
+        self.estimate.latency_ms
+    }
+
+    /// Predicted per-request device occupancy in milliseconds.
+    #[must_use]
+    pub fn service_ms(&self) -> f64 {
+        self.estimate.service_ms
+    }
+
+    /// Predicted active power in watts.
+    #[must_use]
+    pub fn power_w(&self) -> f64 {
+        self.estimate.active_power_w
+    }
+
+    /// Predicted energy per request in millijoules.
+    #[must_use]
+    pub fn energy_mj(&self) -> f64 {
+        self.estimate.energy_per_request_mj()
+    }
+
+    /// Predicted *dynamic* energy per request in millijoules (see
+    /// [`poly_device::Estimate::dynamic_energy_mj`]) — the objective of the
+    /// scheduler's energy step.
+    #[must_use]
+    pub fn dynamic_energy_mj(&self) -> f64 {
+        self.estimate.dynamic_energy_mj()
+    }
+}
+
+/// The design space of one kernel: Pareto frontiers per platform plus the
+/// exploration statistics reported in Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDesignSpace {
+    /// Kernel name.
+    pub kernel: String,
+    /// The analyzed profile the points were evaluated against.
+    pub profile: KernelProfile,
+    /// Pareto-optimal GPU implementations, ascending latency.
+    pub gpu: Vec<DesignPoint>,
+    /// Pareto-optimal FPGA implementations, ascending latency.
+    pub fpga: Vec<DesignPoint>,
+    /// Static implementation combinations enumerated on the GPU
+    /// (comparable to Table II "# Designs / GPU").
+    pub gpu_explored: usize,
+    /// Static implementation combinations enumerated on the FPGA, after
+    /// resource-feasibility pruning.
+    pub fpga_explored: usize,
+}
+
+impl KernelDesignSpace {
+    /// Points of the requested platform.
+    #[must_use]
+    pub fn points(&self, kind: DeviceKind) -> &[DesignPoint] {
+        match kind {
+            DeviceKind::Gpu => &self.gpu,
+            DeviceKind::Fpga => &self.fpga,
+        }
+    }
+
+    /// The minimum-latency implementation on the given platform, if any.
+    #[must_use]
+    pub fn min_latency(&self, kind: DeviceKind) -> Option<&DesignPoint> {
+        self.points(kind)
+            .iter()
+            .min_by(|a, b| a.latency_ms().total_cmp(&b.latency_ms()))
+    }
+
+    /// The minimum-latency implementation across both platforms
+    /// (`T_min(k_i)` of Eq. 3).
+    #[must_use]
+    pub fn min_latency_any(&self) -> Option<&DesignPoint> {
+        [DeviceKind::Gpu, DeviceKind::Fpga]
+            .iter()
+            .filter_map(|&k| self.min_latency(k))
+            .min_by(|a, b| a.latency_ms().total_cmp(&b.latency_ms()))
+    }
+
+    /// The most energy-efficient implementation (by dynamic energy) on the
+    /// given platform whose latency does not exceed `latency_bound_ms`.
+    #[must_use]
+    pub fn most_efficient_within(
+        &self,
+        kind: DeviceKind,
+        latency_bound_ms: f64,
+    ) -> Option<&DesignPoint> {
+        self.points(kind)
+            .iter()
+            .filter(|p| p.latency_ms() <= latency_bound_ms)
+            .min_by(|a, b| a.dynamic_energy_mj().total_cmp(&b.dynamic_energy_mj()))
+    }
+
+    /// Total Pareto-optimal points across platforms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.gpu.len() + self.fpga.len()
+    }
+
+    /// Whether both frontiers are empty (a kernel no platform can run —
+    /// never produced by the explorer for feasible kernels).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gpu.is_empty() && self.fpga.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poly_device::DvfsLevel;
+
+    fn point(kind: DeviceKind, idx: usize, lat: f64, power: f64) -> DesignPoint {
+        let tuning = match kind {
+            DeviceKind::Gpu => Tuning::Gpu(GpuTuning::default()),
+            DeviceKind::Fpga => Tuning::Fpga(FpgaTuning::default()),
+        };
+        DesignPoint {
+            index: idx,
+            kind,
+            tuning,
+            estimate: Estimate {
+                latency_ms: lat,
+                service_ms: lat,
+                batch: 1,
+                active_power_w: power,
+                idle_power_w: 5.0,
+                resources: None,
+            },
+        }
+    }
+
+    fn space() -> KernelDesignSpace {
+        KernelDesignSpace {
+            kernel: "k".into(),
+            profile: poly_ir::KernelBuilder::new("k")
+                .pattern(
+                    "m",
+                    poly_ir::PatternKind::Map,
+                    poly_ir::Shape::d1(64),
+                    &[poly_ir::OpFunc::Add],
+                )
+                .build()
+                .unwrap()
+                .profile(),
+            gpu: vec![
+                point(DeviceKind::Gpu, 0, 10.0, 200.0),
+                point(DeviceKind::Gpu, 1, 20.0, 120.0),
+            ],
+            fpga: vec![
+                point(DeviceKind::Fpga, 0, 12.0, 30.0),
+                point(DeviceKind::Fpga, 1, 40.0, 8.0),
+            ],
+            gpu_explored: 100,
+            fpga_explored: 80,
+        }
+    }
+
+    #[test]
+    fn min_latency_per_platform_and_overall() {
+        let s = space();
+        assert_eq!(s.min_latency(DeviceKind::Gpu).unwrap().latency_ms(), 10.0);
+        assert_eq!(s.min_latency(DeviceKind::Fpga).unwrap().latency_ms(), 12.0);
+        assert_eq!(s.min_latency_any().unwrap().kind, DeviceKind::Gpu);
+    }
+
+    #[test]
+    fn efficiency_respects_latency_bound() {
+        let s = space();
+        // Within 15 ms only the 12 ms FPGA point (360 mJ) and the 10 ms GPU
+        // point (2000 mJ) qualify.
+        let best = s.most_efficient_within(DeviceKind::Fpga, 15.0).unwrap();
+        assert_eq!(best.latency_ms(), 12.0);
+        // With a loose bound the 40 ms / 8 W point wins (320 mJ).
+        let best = s.most_efficient_within(DeviceKind::Fpga, 100.0).unwrap();
+        assert_eq!(best.latency_ms(), 40.0);
+        // An impossible bound yields none.
+        assert!(s.most_efficient_within(DeviceKind::Fpga, 1.0).is_none());
+    }
+
+    #[test]
+    fn dvfs_default_is_nominal() {
+        // Guard: the default GPU tuning the tests rely on.
+        assert_eq!(GpuTuning::default().dvfs, DvfsLevel::Nominal);
+    }
+}

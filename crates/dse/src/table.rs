@@ -1,0 +1,178 @@
+//! The annotation/optimization reference of the paper's Table I: for each
+//! parallel pattern, its annotation method and the optimization knobs
+//! applicable on each platform, as implemented by this crate.
+
+use poly_ir::PatternKind;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnobRow {
+    /// The parallel pattern.
+    pub pattern: &'static str,
+    /// Annotation method (Table I, first column).
+    pub annotation: &'static str,
+    /// GPU-side optimization knobs this implementation applies.
+    pub gpu_knobs: &'static [&'static str],
+    /// FPGA-side optimization knobs this implementation applies.
+    pub fpga_knobs: &'static [&'static str],
+}
+
+/// The full Table I, in the paper's row order (plus the `Pack` pattern
+/// Table II uses).
+#[must_use]
+pub fn knob_table() -> Vec<KnobRow> {
+    vec![
+        KnobRow {
+            pattern: "map",
+            annotation: "Map(inputs, func)",
+            gpu_knobs: &[
+                "work-group size",
+                "thread-level parallelism",
+                "loop unrolling",
+            ],
+            fpga_knobs: &[
+                "work-group size",
+                "compute units",
+                "loop unrolling",
+                "BRAM ports",
+            ],
+        },
+        KnobRow {
+            pattern: "reduce",
+            annotation: "Reduce(inputs, func)",
+            gpu_knobs: &[
+                "serial/tree algorithm",
+                "software pipeline",
+                "loop unrolling",
+            ],
+            fpga_knobs: &[
+                "serial/tree architecture",
+                "hardware pipeline",
+                "BRAM ports",
+            ],
+        },
+        KnobRow {
+            pattern: "scan",
+            annotation: "Scan(inputs, func)",
+            gpu_knobs: &["scratchpad memory", "memory coalescing"],
+            fpga_knobs: &["loop unrolling", "BRAM ports"],
+        },
+        KnobRow {
+            pattern: "stencil",
+            annotation: "Stencil(inputs, func, list)",
+            gpu_knobs: &["scratchpad memory", "work-group size", "loop unrolling"],
+            fpga_knobs: &[
+                "double buffers",
+                "work-group size",
+                "compute units",
+                "loop unrolling",
+            ],
+        },
+        KnobRow {
+            pattern: "pipeline",
+            annotation: "Pipeline(inputs, func0, func1, ...)",
+            gpu_knobs: &["register reuse", "software pipeline", "pipes"],
+            fpga_knobs: &["hardware pipeline", "pipes"],
+        },
+        KnobRow {
+            pattern: "gather",
+            annotation: "Gather(inputs, list)",
+            gpu_knobs: &["scratchpad memory", "memory coalescing"],
+            fpga_knobs: &["double buffers", "memory burst accesses"],
+        },
+        KnobRow {
+            pattern: "scatter",
+            annotation: "Scatter(inputs, list)",
+            gpu_knobs: &["scratchpad memory", "memory coalescing"],
+            fpga_knobs: &["double buffers", "memory burst accesses"],
+        },
+        KnobRow {
+            pattern: "tiling",
+            annotation: "Tiling(inputs, [x,y,z], [X,Y,Z])",
+            gpu_knobs: &["work-group size"],
+            fpga_knobs: &["work-group size"],
+        },
+        KnobRow {
+            pattern: "pack",
+            annotation: "Pack(inputs, func)",
+            gpu_knobs: &["scratchpad memory", "work-group size"],
+            fpga_knobs: &["hardware pipeline", "BRAM ports"],
+        },
+    ]
+}
+
+/// The row describing one pattern kind.
+#[must_use]
+pub fn knob_row(kind: PatternKind) -> KnobRow {
+    let name = kind.name();
+    knob_table()
+        .into_iter()
+        .find(|r| r.pattern == name)
+        .expect("every pattern kind has a Table I row")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poly_ir::PatternKind;
+
+    #[test]
+    fn nine_patterns_nine_rows() {
+        assert_eq!(knob_table().len(), 9);
+    }
+
+    #[test]
+    fn every_pattern_kind_is_covered() {
+        for kind in [
+            PatternKind::Map,
+            PatternKind::Reduce,
+            PatternKind::Scan,
+            PatternKind::stencil(9),
+            PatternKind::Pipeline,
+            PatternKind::Gather,
+            PatternKind::Scatter,
+            PatternKind::tiling2(8, 8),
+            PatternKind::Pack,
+        ] {
+            let row = knob_row(kind);
+            assert!(!row.gpu_knobs.is_empty());
+            assert!(!row.fpga_knobs.is_empty());
+            assert!(row.annotation.to_lowercase().starts_with(row.pattern));
+        }
+    }
+
+    #[test]
+    fn irregular_patterns_list_coalescing_and_bursts() {
+        for kind in [PatternKind::Gather, PatternKind::Scatter] {
+            let row = knob_row(kind);
+            assert!(row.gpu_knobs.contains(&"memory coalescing"));
+            assert!(row.fpga_knobs.contains(&"memory burst accesses"));
+        }
+    }
+
+    #[test]
+    fn rows_match_the_knob_enumeration() {
+        // The vocabulary rows must agree with what the knob derivation
+        // actually enumerates: a stencil kernel gets the scratchpad
+        // dimension on GPU; a gather kernel gets coalescing.
+        use poly_ir::{KernelBuilder, OpFunc, Shape};
+        let stencil = KernelBuilder::new("s")
+            .pattern(
+                "p",
+                PatternKind::stencil(9),
+                Shape::d2(64, 64),
+                &[OpFunc::Mac],
+            )
+            .build()
+            .unwrap()
+            .profile();
+        assert!(crate::knobs::gpu_knobs(&stencil).scratchpad);
+        let gather = KernelBuilder::new("g")
+            .pattern("p", PatternKind::Gather, Shape::d2(64, 64), &[])
+            .build()
+            .unwrap()
+            .profile();
+        assert!(crate::knobs::gpu_knobs(&gather).coalescing);
+        assert!(crate::knobs::fpga_knobs(&gather).double_buffer);
+    }
+}

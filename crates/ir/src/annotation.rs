@@ -1,0 +1,732 @@
+//! Textual annotation DSL — the stand-in for the paper's LLVM/Clang
+//! frontend that extracts parallel-pattern annotations from OpenCL C
+//! (Section IV-A, Table I).
+//!
+//! The grammar mirrors the annotation methods of Table I:
+//!
+//! ```text
+//! // line comments are allowed anywhere
+//! kernel lstm {
+//!     input x : f32\[1024\]\[256\];
+//!     g = gather(x);
+//!     m = map(g, mac);
+//!     r = reduce(m, add);
+//!     p = pipeline(r, sigmoid, tanh);
+//!     output p;
+//! }
+//!
+//! app asr {
+//!     k1 = kernel lstm;
+//!     k2 = kernel lstm;
+//!     k1 -> k2 : 4mb;
+//! }
+//! ```
+//!
+//! Pattern calls accept the same argument forms as Table I:
+//! `map(v, func...)`, `reduce(v, func)`, `scan(v, func)`,
+//! `stencil(v, func, neighbors)`, `pipeline(v, func0, func1, ...)`,
+//! `gather(v)`, `scatter(v)`, `tiling(v, [x,y])`, `pack(v, func)`.
+//! A statement may narrow the collection it operates on with an explicit
+//! shape suffix, e.g. `a = pipeline(r, sigmoid) @ [1024];` — used when a
+//! stage consumes only a slice of its producer's output.
+//! Operator functions use the names of [`OpFunc::from_name`]; custom IP
+//! cores use `name:ops` (e.g. `conv3x3:18`).
+
+use crate::{
+    DType, IrError, Kernel, KernelBuilder, KernelGraph, KernelGraphBuilder, OpFunc, PatternKind,
+    Shape,
+};
+use std::collections::HashMap;
+
+/// Result of parsing an annotation module: kernel templates and the
+/// applications assembled from them.
+#[derive(Debug, Clone)]
+pub struct Module {
+    /// Kernel templates in declaration order.
+    pub kernels: Vec<Kernel>,
+    /// Applications in declaration order.
+    pub apps: Vec<KernelGraph>,
+}
+
+impl Module {
+    /// Look up a kernel template by name.
+    #[must_use]
+    pub fn kernel(&self, name: &str) -> Option<&Kernel> {
+        self.kernels.iter().find(|k| k.name() == name)
+    }
+
+    /// Look up an application by name.
+    #[must_use]
+    pub fn app(&self, name: &str) -> Option<&KernelGraph> {
+        self.apps.iter().find(|a| a.name() == name)
+    }
+}
+
+/// Parse an annotation module from source text.
+///
+/// # Errors
+///
+/// Returns [`IrError::Parse`] with a line number on syntax errors, and
+/// propagates semantic [`IrError`]s (unknown names, invalid patterns,
+/// cycles) from graph construction.
+pub fn parse(source: &str) -> Result<Module, IrError> {
+    Parser::new(source).module()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(u64),
+    Arrow,  // ->
+    LBrace, // {
+    RBrace, // }
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    Semi,
+    Equals,
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(source: &str) -> Self {
+        let mut toks = Vec::new();
+        for (lineno, raw) in source.lines().enumerate() {
+            let line = raw.split("//").next().unwrap_or("");
+            let mut chars = line.chars().peekable();
+            let ln = lineno + 1;
+            while let Some(&c) = chars.peek() {
+                match c {
+                    ' ' | '\t' | '\r' => {
+                        chars.next();
+                    }
+                    '{' => {
+                        chars.next();
+                        toks.push((Tok::LBrace, ln));
+                    }
+                    '}' => {
+                        chars.next();
+                        toks.push((Tok::RBrace, ln));
+                    }
+                    '[' => {
+                        chars.next();
+                        toks.push((Tok::LBracket, ln));
+                    }
+                    ']' => {
+                        chars.next();
+                        toks.push((Tok::RBracket, ln));
+                    }
+                    '(' => {
+                        chars.next();
+                        toks.push((Tok::LParen, ln));
+                    }
+                    ')' => {
+                        chars.next();
+                        toks.push((Tok::RParen, ln));
+                    }
+                    ',' => {
+                        chars.next();
+                        toks.push((Tok::Comma, ln));
+                    }
+                    ':' => {
+                        chars.next();
+                        toks.push((Tok::Colon, ln));
+                    }
+                    ';' => {
+                        chars.next();
+                        toks.push((Tok::Semi, ln));
+                    }
+                    '=' => {
+                        chars.next();
+                        toks.push((Tok::Equals, ln));
+                    }
+                    '-' => {
+                        chars.next();
+                        if chars.peek() == Some(&'>') {
+                            chars.next();
+                            toks.push((Tok::Arrow, ln));
+                        } else {
+                            // Lone '-' is invalid; surface as an ident so
+                            // the parser reports a useful error.
+                            toks.push((Tok::Ident("-".into()), ln));
+                        }
+                    }
+                    c if c.is_ascii_digit() => {
+                        let mut n = 0u64;
+                        while let Some(&d) = chars.peek() {
+                            if let Some(v) = d.to_digit(10) {
+                                n = n.saturating_mul(10).saturating_add(u64::from(v));
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        toks.push((Tok::Number(n), ln));
+                    }
+                    c if c.is_ascii_alphabetic() || c == '_' => {
+                        let mut s = String::new();
+                        while let Some(&d) = chars.peek() {
+                            if d.is_ascii_alphanumeric() || d == '_' {
+                                s.push(d);
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        toks.push((Tok::Ident(s), ln));
+                    }
+                    other => {
+                        toks.push((Tok::Ident(other.to_string()), ln));
+                        chars.next();
+                    }
+                }
+            }
+        }
+        Self { toks, pos: 0 }
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |t| t.1)
+    }
+
+    fn err(&self, message: impl Into<String>) -> IrError {
+        IrError::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.0.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), IrError> {
+        match self.peek() {
+            Some(t) if t == tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, IrError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<u64, IrError> {
+        match self.next() {
+            Some(Tok::Number(n)) => Ok(n),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn module(&mut self) -> Result<Module, IrError> {
+        let mut kernels: Vec<Kernel> = Vec::new();
+        let mut apps = Vec::new();
+        while let Some(tok) = self.peek() {
+            match tok {
+                Tok::Ident(kw) if kw == "kernel" => {
+                    self.pos += 1;
+                    kernels.push(self.kernel_decl()?);
+                }
+                Tok::Ident(kw) if kw == "app" => {
+                    self.pos += 1;
+                    let templates: HashMap<String, Kernel> = kernels
+                        .iter()
+                        .map(|k| (k.name().to_string(), k.clone()))
+                        .collect();
+                    apps.push(self.app_decl(&templates)?);
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected `kernel` or `app` declaration, found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(Module { kernels, apps })
+    }
+
+    fn shape(&mut self) -> Result<Shape, IrError> {
+        let mut dims = Vec::new();
+        while self.peek() == Some(&Tok::LBracket) {
+            self.pos += 1;
+            dims.push(self.number("dimension extent")?);
+            self.expect(&Tok::RBracket, "`]`")?;
+        }
+        match dims.as_slice() {
+            [] => Err(self.err("expected at least one `[dim]`")),
+            &[x] => Ok(Shape::d1(x.max(1))),
+            &[x, y] => Ok(Shape::d2(x.max(1), y.max(1))),
+            &[x, y, z] => Ok(Shape::d3(x.max(1), y.max(1), z.max(1))),
+            _ => Err(self.err("at most three dimensions are supported")),
+        }
+    }
+
+    fn kernel_decl(&mut self) -> Result<Kernel, IrError> {
+        let kname = self.ident("kernel name")?;
+        self.expect(&Tok::LBrace, "`{`")?;
+        // var -> (shape, dtype, Some(pattern name) if produced by a pattern)
+        let mut vars: HashMap<String, (Shape, DType, Option<String>)> = HashMap::new();
+        let mut builder = KernelBuilder::new(&kname);
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Tok::Ident(kw)) if kw == "input" => {
+                    self.pos += 1;
+                    let var = self.ident("input variable name")?;
+                    self.expect(&Tok::Colon, "`:`")?;
+                    let ty = self.ident("element type")?;
+                    let dtype = DType::from_name(&ty)
+                        .ok_or_else(|| self.err(format!("unknown element type `{ty}`")))?;
+                    let shape = self.shape()?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    vars.insert(var, (shape, dtype, None));
+                }
+                Some(Tok::Ident(kw)) if kw == "iterations" => {
+                    self.pos += 1;
+                    let n = self.number("iteration count")?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    builder = builder.iterations(n);
+                }
+                Some(Tok::Ident(kw)) if kw == "output" => {
+                    self.pos += 1;
+                    let var = self.ident("output variable name")?;
+                    if !vars.contains_key(&var) {
+                        return Err(self.err(format!("output references unknown `{var}`")));
+                    }
+                    self.expect(&Tok::Semi, "`;`")?;
+                }
+                Some(Tok::Ident(_)) => {
+                    let (var, pattern_stmt) = self.pattern_stmt(&vars)?;
+                    let PatternStmt {
+                        kind,
+                        source,
+                        funcs,
+                        shape,
+                        dtype,
+                    } = pattern_stmt;
+                    builder = builder
+                        .dtype(dtype)
+                        .pattern(var.clone(), kind, shape, &funcs);
+                    if let Some((_, _, Some(producer))) = vars.get(&source) {
+                        builder = builder.edge(producer.clone(), var.clone());
+                    }
+                    let out_shape = match kind {
+                        PatternKind::Reduce => {
+                            let [x, y, z] = shape.dims();
+                            if z > 1 {
+                                Shape::d2(x, y)
+                            } else if y > 1 {
+                                Shape::d1(x)
+                            } else {
+                                Shape::d1(1)
+                            }
+                        }
+                        _ => shape,
+                    };
+                    vars.insert(var.clone(), (out_shape, dtype, Some(var)));
+                }
+                other => return Err(self.err(format!("unexpected token {other:?} in kernel"))),
+            }
+        }
+        builder.build()
+    }
+
+    fn pattern_stmt(
+        &mut self,
+        vars: &HashMap<String, (Shape, DType, Option<String>)>,
+    ) -> Result<(String, PatternStmt), IrError> {
+        let var = self.ident("pattern variable name")?;
+        self.expect(&Tok::Equals, "`=`")?;
+        let pname_line = self.line();
+        let pname = self.ident("pattern name")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let source = self.ident("input variable")?;
+        let (shape, dtype, _) = *vars
+            .get(&source)
+            .ok_or_else(|| self.err(format!("pattern input `{source}` is undefined")))?;
+
+        let mut funcs: Vec<OpFunc> = Vec::new();
+        let mut stencil_neighbors: Option<u32> = None;
+        let mut tile: Option<[u32; 3]> = None;
+        while self.peek() == Some(&Tok::Comma) {
+            self.pos += 1;
+            match self.peek().cloned() {
+                Some(Tok::Ident(_)) => {
+                    let mut name = self.ident("operator function")?;
+                    // Custom ops use `name:ops`.
+                    if self.peek() == Some(&Tok::Colon) {
+                        self.pos += 1;
+                        let ops = self.number("custom op cost")?;
+                        name = format!("{name}:{ops}");
+                    }
+                    let func = OpFunc::from_name(&name)
+                        .ok_or_else(|| self.err(format!("unknown operator `{name}`")))?;
+                    funcs.push(func);
+                }
+                Some(Tok::Number(_)) => {
+                    let n = self.number("stencil neighborhood")?;
+                    stencil_neighbors = Some(u32::try_from(n).unwrap_or(u32::MAX));
+                }
+                Some(Tok::LBracket) => {
+                    // Tile syntax: `[x]`, `[x,y]`, or `[x,y,z]`.
+                    self.pos += 1;
+                    let mut dims = vec![self.number("tile extent")?];
+                    while self.peek() == Some(&Tok::Comma) {
+                        self.pos += 1;
+                        dims.push(self.number("tile extent")?);
+                    }
+                    self.expect(&Tok::RBracket, "`]`")?;
+                    if dims.len() > 3 {
+                        return Err(self.err("at most three tile dimensions"));
+                    }
+                    dims.resize(3, 1);
+                    tile = Some([
+                        u32::try_from(dims[0]).unwrap_or(u32::MAX),
+                        u32::try_from(dims[1]).unwrap_or(u32::MAX),
+                        u32::try_from(dims[2]).unwrap_or(u32::MAX),
+                    ]);
+                }
+                other => return Err(self.err(format!("unexpected pattern argument {other:?}"))),
+            }
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        // Optional explicit override: `@ [shape]`, `@ dtype`, or
+        // `@ dtype[shape]` — used when a stage consumes a narrowed or
+        // re-typed view of its producer's output.
+        let mut override_shape: Option<Shape> = None;
+        let mut override_dtype: Option<DType> = None;
+        if self.peek() == Some(&Tok::Ident("@".to_string())) {
+            self.pos += 1;
+            if let Some(Tok::Ident(ty)) = self.peek().cloned() {
+                let d = DType::from_name(&ty)
+                    .ok_or_else(|| self.err(format!("unknown element type `{ty}`")))?;
+                override_dtype = Some(d);
+                self.pos += 1;
+            }
+            match self.peek() {
+                Some(Tok::LBracket) => {
+                    self.pos += 1;
+                    let mut dims = vec![self.number("shape extent")?];
+                    loop {
+                        match self.peek() {
+                            Some(Tok::Comma) => {
+                                self.pos += 1;
+                                dims.push(self.number("shape extent")?);
+                            }
+                            Some(Tok::RBracket) => {
+                                self.pos += 1;
+                                if self.peek() == Some(&Tok::LBracket) {
+                                    self.pos += 1;
+                                    dims.push(self.number("shape extent")?);
+                                    continue;
+                                }
+                                break;
+                            }
+                            other => {
+                                return Err(self.err(format!("unexpected token {other:?} in shape")))
+                            }
+                        }
+                    }
+                    dims.resize(3, 1);
+                    override_shape =
+                        Some(Shape::d3(dims[0].max(1), dims[1].max(1), dims[2].max(1)));
+                }
+                _ if override_dtype.is_some() => {} // dtype-only override
+                other => {
+                    return Err(self.err(format!(
+                        "expected dtype or `[shape]` after `@`, found {other:?}"
+                    )))
+                }
+            }
+        }
+        self.expect(&Tok::Semi, "`;`")?;
+
+        let kind = match pname.as_str() {
+            "map" => PatternKind::Map,
+            "reduce" => PatternKind::Reduce,
+            "scan" => PatternKind::Scan,
+            "stencil" => PatternKind::Stencil {
+                neighbors: stencil_neighbors
+                    .ok_or_else(|| self.err("stencil requires a neighborhood size"))?,
+            },
+            "pipeline" => PatternKind::Pipeline,
+            "gather" => PatternKind::Gather,
+            "scatter" => PatternKind::Scatter,
+            "tiling" => PatternKind::Tiling {
+                tile: tile.ok_or_else(|| self.err("tiling requires a `[x,y,z]` tile"))?,
+            },
+            "pack" => PatternKind::Pack,
+            other => {
+                return Err(IrError::Parse {
+                    line: pname_line,
+                    message: format!("unknown pattern `{other}`"),
+                })
+            }
+        };
+        Ok((
+            var,
+            PatternStmt {
+                kind,
+                source,
+                funcs,
+                shape: override_shape.unwrap_or(shape),
+                dtype: override_dtype.unwrap_or(dtype),
+            },
+        ))
+    }
+
+    fn app_decl(&mut self, templates: &HashMap<String, Kernel>) -> Result<KernelGraph, IrError> {
+        let aname = self.ident("app name")?;
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut builder = KernelGraphBuilder::new(&aname);
+        loop {
+            match self.peek().cloned() {
+                Some(Tok::RBrace) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Tok::Ident(_)) => {
+                    let first = self.ident("kernel instance name")?;
+                    match self.peek() {
+                        Some(Tok::Equals) => {
+                            self.pos += 1;
+                            let kw = self.ident("`kernel` keyword")?;
+                            if kw != "kernel" {
+                                return Err(self.err("expected `kernel <template>`"));
+                            }
+                            let template = self.ident("kernel template name")?;
+                            self.expect(&Tok::Semi, "`;`")?;
+                            let k = templates.get(&template).ok_or_else(|| {
+                                self.err(format!("unknown kernel template `{template}`"))
+                            })?;
+                            builder = builder.kernel(k.with_name(first));
+                        }
+                        Some(Tok::Arrow) => {
+                            self.pos += 1;
+                            let to = self.ident("edge target kernel")?;
+                            self.expect(&Tok::Colon, "`:`")?;
+                            let n = self.number("byte count")?;
+                            let bytes = match self.peek() {
+                                Some(Tok::Ident(unit)) => {
+                                    let mult = match unit.as_str() {
+                                        "b" => 1,
+                                        "kb" => 1 << 10,
+                                        "mb" => 1 << 20,
+                                        other => {
+                                            return Err(
+                                                self.err(format!("unknown byte unit `{other}`"))
+                                            )
+                                        }
+                                    };
+                                    self.pos += 1;
+                                    n.saturating_mul(mult)
+                                }
+                                _ => n,
+                            };
+                            self.expect(&Tok::Semi, "`;`")?;
+                            builder = builder.edge(first, to, bytes);
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "expected `= kernel <t>` or `-> <k>`, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+                other => return Err(self.err(format!("unexpected token {other:?} in app"))),
+            }
+        }
+        builder.build()
+    }
+}
+
+struct PatternStmt {
+    kind: PatternKind,
+    source: String,
+    funcs: Vec<OpFunc>,
+    shape: Shape,
+    dtype: DType,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PatternId;
+
+    const LSTM_SRC: &str = r#"
+        // the LSTM kernel of the ASR benchmark
+        kernel lstm {
+            input x : f32[1024][256];
+            g = gather(x);
+            m = map(g, mac);
+            r = reduce(m, add);
+            p = pipeline(r, sigmoid, tanh);
+            output p;
+        }
+    "#;
+
+    #[test]
+    fn parses_kernel_with_chain_of_patterns() {
+        let m = parse(LSTM_SRC).unwrap();
+        let k = m.kernel("lstm").unwrap();
+        assert_eq!(k.pattern_count(), 4);
+        assert_eq!(k.ppg().edges().len(), 3);
+        assert_eq!(k.ppg().pattern(PatternId(1)).kind(), PatternKind::Map);
+        assert_eq!(
+            k.ppg().pattern(PatternId(3)).funcs(),
+            &[OpFunc::Sigmoid, OpFunc::Tanh]
+        );
+    }
+
+    #[test]
+    fn reduce_output_shape_feeds_downstream_patterns() {
+        let m = parse(LSTM_SRC).unwrap();
+        let k = m.kernel("lstm").unwrap();
+        // pipeline consumes the reduce output: 1024 elements, not 1024*256
+        assert_eq!(k.ppg().pattern(PatternId(3)).elements(), 1024);
+    }
+
+    #[test]
+    fn parses_app_with_edges_and_units() {
+        let src = format!(
+            "{LSTM_SRC}
+            app asr {{
+                k1 = kernel lstm;
+                k2 = kernel lstm;
+                k1 -> k2 : 4mb;
+            }}"
+        );
+        let m = parse(&src).unwrap();
+        let app = m.app("asr").unwrap();
+        assert_eq!(app.len(), 2);
+        assert_eq!(app.edges()[0].bytes, 4 << 20);
+    }
+
+    #[test]
+    fn stencil_and_tiling_arguments() {
+        let src = r#"
+            kernel conv {
+                input img : u8[224][224];
+                t = tiling(img, [16,16]);
+                s = stencil(t, mac, 9);
+                output s;
+            }
+        "#;
+        let m = parse(src).unwrap();
+        let k = m.kernel("conv").unwrap();
+        assert_eq!(
+            k.ppg().pattern(PatternId(0)).kind(),
+            PatternKind::Tiling { tile: [16, 16, 1] }
+        );
+        assert_eq!(
+            k.ppg().pattern(PatternId(1)).kind(),
+            PatternKind::Stencil { neighbors: 9 }
+        );
+        assert_eq!(k.ppg().pattern(PatternId(1)).dtype(), DType::U8);
+    }
+
+    #[test]
+    fn shape_override_suffix() {
+        let src = r#"
+            kernel k {
+                input x : f32[1024][256];
+                m = map(x, mac);
+                p = pipeline(m, sigmoid) @ [1024];
+                output p;
+            }
+        "#;
+        let m = parse(src).unwrap();
+        let k = m.kernel("k").unwrap();
+        assert_eq!(
+            k.ppg().pattern(PatternId(1)).shape(),
+            crate::Shape::d1(1024)
+        );
+        assert_eq!(k.ppg().pattern(PatternId(0)).elements(), 1024 * 256);
+    }
+
+    #[test]
+    fn iterations_statement() {
+        let src = r#"
+            kernel lstm {
+                input x : f32[256];
+                iterations 1500;
+                m = map(x, mac);
+                output m;
+            }
+        "#;
+        let m = parse(src).unwrap();
+        assert_eq!(m.kernel("lstm").unwrap().iterations(), 1500);
+    }
+
+    #[test]
+    fn custom_operator_syntax() {
+        let src = r#"
+            kernel enc {
+                input blk : u8[4096];
+                e = map(blk, rs_syndrome:32);
+                output e;
+            }
+        "#;
+        let m = parse(src).unwrap();
+        let k = m.kernel("enc").unwrap();
+        assert_eq!(k.ppg().pattern(PatternId(0)).funcs()[0].ops(), 32);
+    }
+
+    #[test]
+    fn undefined_input_var_is_an_error() {
+        let src = "kernel k { m = map(zzz, add); output m; }";
+        let err = parse(src).unwrap_err();
+        assert!(matches!(err, IrError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn parse_error_carries_line_number() {
+        let src = "kernel k {\n  input x : f32[8];\n  m = zigzag(x, add);\n}";
+        match parse(src).unwrap_err() {
+            IrError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_template_in_app() {
+        let src = "app a { k1 = kernel nothere; }";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn stencil_without_neighborhood_fails() {
+        let src = "kernel k { input x : f32[8]; s = stencil(x, add); output s; }";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn comments_and_whitespace_ignored() {
+        let src = "// header\nkernel k { // body\n input x : f32[8]; // input\n m = map(x, add);\n output m;\n}";
+        assert!(parse(src).is_ok());
+    }
+}

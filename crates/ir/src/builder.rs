@@ -1,0 +1,322 @@
+use crate::{
+    DType, IrError, Kernel, KernelEdge, KernelGraph, KernelId, OpFunc, PatternEdge, PatternId,
+    PatternInstance, PatternKind, Ppg, Shape,
+};
+use std::collections::HashMap;
+
+/// Fluent builder for a [`Kernel`].
+///
+/// Patterns are declared in order; dependencies are added either explicitly
+/// with [`edge`](Self::edge) (byte volume inferred from the producer's
+/// output) or all at once with [`chain`](Self::chain), which connects each
+/// declared pattern to the next.
+///
+/// ```rust
+/// use poly_ir::{KernelBuilder, OpFunc, PatternKind, Shape};
+///
+/// # fn main() -> Result<(), poly_ir::IrError> {
+/// let k = KernelBuilder::new("dot")
+///     .pattern("mul", PatternKind::Map, Shape::d1(4096), &[OpFunc::Mul])
+///     .pattern("sum", PatternKind::Reduce, Shape::d1(4096), &[OpFunc::Add])
+///     .chain()
+///     .build()?;
+/// assert_eq!(k.pattern_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    dtype: DType,
+    patterns: Vec<(String, PatternKind, Shape, Vec<OpFunc>, DType)>,
+    edges: Vec<(String, String)>,
+    chain: bool,
+    iterations: u64,
+    error: Option<IrError>,
+}
+
+impl KernelBuilder {
+    /// Start building a kernel named `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            dtype: DType::F32,
+            patterns: Vec::new(),
+            edges: Vec::new(),
+            chain: false,
+            iterations: 1,
+            error: None,
+        }
+    }
+
+    /// Set the sequential invocation count per request (default 1); see
+    /// [`Kernel::iterations`].
+    #[must_use]
+    pub fn iterations(mut self, iterations: u64) -> Self {
+        self.iterations = iterations.max(1);
+        self
+    }
+
+    /// Set the element type used by subsequently declared patterns
+    /// (default [`DType::F32`]).
+    #[must_use]
+    pub fn dtype(mut self, dtype: DType) -> Self {
+        self.dtype = dtype;
+        self
+    }
+
+    /// Declare a pattern instance.
+    #[must_use]
+    pub fn pattern(
+        mut self,
+        name: impl Into<String>,
+        kind: PatternKind,
+        shape: Shape,
+        funcs: &[OpFunc],
+    ) -> Self {
+        self.patterns
+            .push((name.into(), kind, shape, funcs.to_vec(), self.dtype));
+        self
+    }
+
+    /// Declare a data dependency between two previously declared patterns;
+    /// the byte volume is the producer's output traffic.
+    #[must_use]
+    pub fn edge(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.edges.push((from.into(), to.into()));
+        self
+    }
+
+    /// Connect every declared pattern to the next one in declaration order.
+    /// Mutually exclusive with explicit [`edge`](Self::edge)s only in the
+    /// sense that `chain` adds the linear backbone and `edge` may add more.
+    #[must_use]
+    pub fn chain(mut self) -> Self {
+        self.chain = true;
+        self
+    }
+
+    /// Validate and build the kernel.
+    ///
+    /// # Errors
+    /// Propagates any [`IrError`] from pattern validation, unknown edge
+    /// endpoints, duplicate pattern names, or cycles.
+    pub fn build(self) -> Result<Kernel, IrError> {
+        if let Some(err) = self.error {
+            return Err(err);
+        }
+        let mut ids: HashMap<String, PatternId> = HashMap::new();
+        let mut instances = Vec::with_capacity(self.patterns.len());
+        for (i, (name, kind, shape, funcs, dtype)) in self.patterns.into_iter().enumerate() {
+            if ids.contains_key(&name) {
+                return Err(IrError::DuplicateName { name });
+            }
+            let id = PatternId(i);
+            ids.insert(name.clone(), id);
+            instances.push(PatternInstance::new(id, name, kind, shape, dtype, funcs)?);
+        }
+        let mut edges = Vec::new();
+        if self.chain {
+            for pair in instances.windows(2) {
+                edges.push(PatternEdge {
+                    from: pair[0].id(),
+                    to: pair[1].id(),
+                    bytes: pair[0].output_bytes(),
+                });
+            }
+        }
+        for (from, to) in self.edges {
+            let from = *ids.get(&from).ok_or(IrError::UnknownNode { name: from })?;
+            let to = *ids.get(&to).ok_or(IrError::UnknownNode { name: to })?;
+            edges.push(PatternEdge {
+                from,
+                to,
+                bytes: instances[from.0].output_bytes(),
+            });
+        }
+        Ok(Kernel::new(self.name, Ppg::new(instances, edges)?)?.with_iterations(self.iterations))
+    }
+}
+
+/// Fluent builder for a [`KernelGraph`] (application DAG).
+///
+/// ```rust
+/// use poly_ir::{KernelBuilder, KernelGraphBuilder, OpFunc, PatternKind, Shape};
+///
+/// # fn main() -> Result<(), poly_ir::IrError> {
+/// let k = KernelBuilder::new("k1")
+///     .pattern("m", PatternKind::Map, Shape::d1(64), &[OpFunc::Add])
+///     .build()?;
+/// let g = KernelGraphBuilder::new("app")
+///     .kernel(k.clone())
+///     .kernel(k.with_name("k2"))
+///     .edge("k1", "k2", 256)
+///     .build()?;
+/// assert_eq!(g.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelGraphBuilder {
+    name: String,
+    kernels: Vec<Kernel>,
+    edges: Vec<(String, String, u64)>,
+}
+
+impl KernelGraphBuilder {
+    /// Start building an application graph named `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            kernels: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add a kernel node.
+    #[must_use]
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernels.push(kernel);
+        self
+    }
+
+    /// Add a dependency edge by kernel name with an explicit byte payload.
+    #[must_use]
+    pub fn edge(mut self, from: impl Into<String>, to: impl Into<String>, bytes: u64) -> Self {
+        self.edges.push((from.into(), to.into(), bytes));
+        self
+    }
+
+    /// Validate and build the graph.
+    ///
+    /// # Errors
+    /// Propagates [`IrError`] for unknown kernel names, duplicates, or
+    /// cycles.
+    pub fn build(self) -> Result<KernelGraph, IrError> {
+        let mut ids: HashMap<&str, KernelId> = HashMap::new();
+        for (i, k) in self.kernels.iter().enumerate() {
+            ids.insert(k.name(), KernelId(i));
+        }
+        let mut edges = Vec::with_capacity(self.edges.len());
+        for (from, to, bytes) in &self.edges {
+            let from = *ids
+                .get(from.as_str())
+                .ok_or_else(|| IrError::UnknownNode { name: from.clone() })?;
+            let to = *ids
+                .get(to.as_str())
+                .ok_or_else(|| IrError::UnknownNode { name: to.clone() })?;
+            edges.push(KernelEdge {
+                from,
+                to,
+                bytes: *bytes,
+            });
+        }
+        KernelGraph::new(self.name, self.kernels, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_builds_linear_ppg() {
+        let k = KernelBuilder::new("lstm")
+            .pattern("g", PatternKind::Gather, Shape::d1(1024), &[])
+            .pattern("m", PatternKind::Map, Shape::d1(1024), &[OpFunc::Mac])
+            .pattern("r", PatternKind::Reduce, Shape::d1(1024), &[OpFunc::Add])
+            .chain()
+            .build()
+            .unwrap();
+        assert_eq!(k.ppg().edges().len(), 2);
+        assert_eq!(
+            k.ppg().edges()[0].bytes,
+            k.ppg().pattern(PatternId(0)).output_bytes()
+        );
+    }
+
+    #[test]
+    fn explicit_edges_combine_with_chain() {
+        let k = KernelBuilder::new("k")
+            .pattern("a", PatternKind::Map, Shape::d1(8), &[OpFunc::Add])
+            .pattern("b", PatternKind::Map, Shape::d1(8), &[OpFunc::Add])
+            .pattern("c", PatternKind::Map, Shape::d1(8), &[OpFunc::Add])
+            .chain()
+            .edge("a", "c")
+            .build()
+            .unwrap();
+        assert_eq!(k.ppg().edges().len(), 3);
+    }
+
+    #[test]
+    fn unknown_edge_name_fails() {
+        let err = KernelBuilder::new("k")
+            .pattern("a", PatternKind::Map, Shape::d1(8), &[OpFunc::Add])
+            .edge("a", "zzz")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, IrError::UnknownNode { .. }));
+    }
+
+    #[test]
+    fn duplicate_pattern_name_fails() {
+        let err = KernelBuilder::new("k")
+            .pattern("a", PatternKind::Map, Shape::d1(8), &[OpFunc::Add])
+            .pattern("a", PatternKind::Map, Shape::d1(8), &[OpFunc::Add])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, IrError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn iterations_setting_propagates() {
+        let k = KernelBuilder::new("k")
+            .iterations(1500)
+            .pattern("a", PatternKind::Map, Shape::d1(8), &[OpFunc::Add])
+            .build()
+            .unwrap();
+        assert_eq!(k.iterations(), 1500);
+    }
+
+    #[test]
+    fn dtype_applies_to_following_patterns() {
+        let k = KernelBuilder::new("k")
+            .dtype(DType::U8)
+            .pattern("a", PatternKind::Map, Shape::d1(8), &[OpFunc::Add])
+            .build()
+            .unwrap();
+        assert_eq!(k.ppg().pattern(PatternId(0)).dtype(), DType::U8);
+    }
+
+    #[test]
+    fn graph_builder_resolves_names() {
+        let k = KernelBuilder::new("a")
+            .pattern("m", PatternKind::Map, Shape::d1(8), &[OpFunc::Add])
+            .build()
+            .unwrap();
+        let g = KernelGraphBuilder::new("app")
+            .kernel(k.clone())
+            .kernel(k.with_name("b"))
+            .edge("a", "b", 99)
+            .build()
+            .unwrap();
+        assert_eq!(g.edges()[0].bytes, 99);
+        assert_eq!(g.id_of("b"), Some(KernelId(1)));
+    }
+
+    #[test]
+    fn graph_builder_rejects_unknown_kernel() {
+        let k = KernelBuilder::new("a")
+            .pattern("m", PatternKind::Map, Shape::d1(8), &[OpFunc::Add])
+            .build()
+            .unwrap();
+        let err = KernelGraphBuilder::new("app")
+            .kernel(k)
+            .edge("a", "nope", 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, IrError::UnknownNode { .. }));
+    }
+}

@@ -1,0 +1,281 @@
+use crate::{OpFunc, PatternInstance, PatternKind};
+use std::fmt;
+
+/// Index of a node inside a [`Cdfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CdfgNodeId(pub usize);
+
+/// Kind of a CDFG node: an on-chip data buffer (the gray circles of
+/// Fig. 4(b)) or an arithmetic operator (the remaining circles/squares).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CdfgNodeKind {
+    /// Data buffer holding `bytes` of pattern state.
+    Buffer {
+        /// Buffer capacity in bytes.
+        bytes: u64,
+    },
+    /// Arithmetic operator applying `func`, replicated `lanes` times.
+    Operator {
+        /// The operator function.
+        func: OpFunc,
+        /// Number of independent lanes of this operator at this CDFG level.
+        lanes: u64,
+    },
+}
+
+/// A node of the control-data flow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdfgNode {
+    /// Node identifier.
+    pub id: CdfgNodeId,
+    /// Debug label (`in`, `out`, operator name, ...).
+    pub label: String,
+    /// Node payload.
+    pub kind: CdfgNodeKind,
+}
+
+/// A directed data-dependency edge between two CDFG nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CdfgEdge {
+    /// Producing node.
+    pub from: CdfgNodeId,
+    /// Consuming node.
+    pub to: CdfgNodeId,
+}
+
+/// Control-data flow graph of a single parallel pattern (Section IV-A).
+///
+/// The CDFG is lowered automatically from a [`PatternInstance`]: the input
+/// collection becomes an input buffer node, each operator function becomes an
+/// operator level (a tree for associative combiners, a chain for pipelines),
+/// and the result feeds an output buffer node. Poly's offline analysis reads
+/// the CDFG's operator count, dependency depth, and width to size the local
+/// optimization knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdfg {
+    nodes: Vec<CdfgNode>,
+    edges: Vec<CdfgEdge>,
+    depth: u64,
+    width: u64,
+}
+
+impl Cdfg {
+    /// Lower a pattern instance into its CDFG.
+    #[must_use]
+    pub fn from_pattern(pattern: &PatternInstance) -> Self {
+        let mut nodes = Vec::new();
+        let mut edges = Vec::new();
+        let push = |label: &str, kind: CdfgNodeKind, nodes: &mut Vec<CdfgNode>| {
+            let id = CdfgNodeId(nodes.len());
+            nodes.push(CdfgNode {
+                id,
+                label: label.to_string(),
+                kind,
+            });
+            id
+        };
+
+        let in_bytes = pattern.input_bytes();
+        let out_bytes = pattern.output_bytes();
+        let input = push("in", CdfgNodeKind::Buffer { bytes: in_bytes }, &mut nodes);
+        let mut frontier = input;
+
+        match pattern.kind() {
+            PatternKind::Reduce | PatternKind::Scan => {
+                // Tree lowering: one operator level per tree depth.
+                let levels = pattern.dependency_depth();
+                let mut lanes = pattern.data_parallelism();
+                for (level, func) in (0..levels).zip(pattern.funcs().iter().cycle()) {
+                    let op = push(
+                        &format!("{}@{level}", func.name()),
+                        CdfgNodeKind::Operator {
+                            func: func.clone(),
+                            lanes: lanes.max(1),
+                        },
+                        &mut nodes,
+                    );
+                    edges.push(CdfgEdge {
+                        from: frontier,
+                        to: op,
+                    });
+                    frontier = op;
+                    lanes = (lanes / 2).max(1);
+                }
+            }
+            _ => {
+                // Chain lowering: one operator node per function.
+                let lanes = pattern.data_parallelism().max(1);
+                for func in pattern.funcs() {
+                    let op = push(
+                        func.name(),
+                        CdfgNodeKind::Operator {
+                            func: func.clone(),
+                            lanes,
+                        },
+                        &mut nodes,
+                    );
+                    edges.push(CdfgEdge {
+                        from: frontier,
+                        to: op,
+                    });
+                    frontier = op;
+                }
+            }
+        }
+
+        let output = push("out", CdfgNodeKind::Buffer { bytes: out_bytes }, &mut nodes);
+        edges.push(CdfgEdge {
+            from: frontier,
+            to: output,
+        });
+
+        let depth = nodes
+            .iter()
+            .filter(|n| matches!(n.kind, CdfgNodeKind::Operator { .. }))
+            .count() as u64;
+        let width = nodes
+            .iter()
+            .filter_map(|n| match &n.kind {
+                CdfgNodeKind::Operator { lanes, .. } => Some(*lanes),
+                CdfgNodeKind::Buffer { .. } => None,
+            })
+            .max()
+            .unwrap_or(1);
+
+        Self {
+            nodes,
+            edges,
+            depth: depth.max(1),
+            width,
+        }
+    }
+
+    /// All nodes in construction order (input buffer first, output last).
+    #[must_use]
+    pub fn nodes(&self) -> &[CdfgNode] {
+        &self.nodes
+    }
+
+    /// All data-dependency edges.
+    #[must_use]
+    pub fn edges(&self) -> &[CdfgEdge] {
+        &self.edges
+    }
+
+    /// Number of operator levels on the critical path (natural FPGA
+    /// pipeline depth for this pattern).
+    #[must_use]
+    pub fn depth(&self) -> u64 {
+        self.depth
+    }
+
+    /// Maximum operator lanes at any level (replication ceiling for PE /
+    /// unroll knobs).
+    #[must_use]
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Total operator nodes.
+    #[must_use]
+    pub fn operator_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, CdfgNodeKind::Operator { .. }))
+            .count()
+    }
+
+    /// Sum of buffer node capacities in bytes — the on-chip memory this
+    /// pattern needs when fully fused.
+    #[must_use]
+    pub fn buffer_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n.kind {
+                CdfgNodeKind::Buffer { bytes } => Some(bytes),
+                CdfgNodeKind::Operator { .. } => None,
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Cdfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cdfg({} ops, depth {}, width {})",
+            self.operator_count(),
+            self.depth,
+            self.width
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, PatternId, Shape};
+
+    fn pat(kind: PatternKind, shape: Shape, funcs: &[OpFunc]) -> PatternInstance {
+        PatternInstance::new(PatternId(0), "t", kind, shape, DType::F32, funcs.to_vec())
+            .expect("valid pattern")
+    }
+
+    #[test]
+    fn map_cdfg_has_in_ops_out() {
+        let cdfg = Cdfg::from_pattern(&pat(
+            PatternKind::Map,
+            Shape::d1(64),
+            &[OpFunc::Mul, OpFunc::Add],
+        ));
+        assert_eq!(cdfg.nodes().len(), 4); // in, mul, add, out
+        assert_eq!(cdfg.operator_count(), 2);
+        assert_eq!(cdfg.depth(), 2);
+        assert_eq!(cdfg.width(), 64);
+        assert_eq!(cdfg.edges().len(), 3);
+    }
+
+    #[test]
+    fn reduce_cdfg_is_a_shrinking_tree() {
+        let cdfg = Cdfg::from_pattern(&pat(PatternKind::Reduce, Shape::d1(256), &[OpFunc::Add]));
+        assert_eq!(cdfg.depth(), 8); // log2(256)
+        assert_eq!(cdfg.width(), 128); // 256/2 lanes at the first level
+                                       // Lanes must shrink monotonically.
+        let lanes: Vec<u64> = cdfg
+            .nodes()
+            .iter()
+            .filter_map(|n| match n.kind {
+                CdfgNodeKind::Operator { lanes, .. } => Some(lanes),
+                _ => None,
+            })
+            .collect();
+        assert!(lanes.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn buffer_bytes_match_pattern_traffic() {
+        let p = pat(PatternKind::Map, Shape::d1(100), &[OpFunc::Add]);
+        let cdfg = Cdfg::from_pattern(&p);
+        assert_eq!(cdfg.buffer_bytes(), p.input_bytes() + p.output_bytes());
+    }
+
+    #[test]
+    fn pipeline_width_is_stage_count() {
+        let cdfg = Cdfg::from_pattern(&pat(
+            PatternKind::pipeline(),
+            Shape::d1(64),
+            &[OpFunc::Sigmoid, OpFunc::Tanh],
+        ));
+        assert_eq!(cdfg.depth(), 2);
+        assert_eq!(cdfg.width(), 2);
+    }
+
+    #[test]
+    fn gather_cdfg_has_no_operator_chain_but_depth_one() {
+        let p = pat(PatternKind::Gather, Shape::d1(32), &[]);
+        let cdfg = Cdfg::from_pattern(&p);
+        assert_eq!(cdfg.operator_count(), 0);
+        assert_eq!(cdfg.depth(), 1); // clamped
+    }
+}

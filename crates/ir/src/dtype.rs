@@ -1,0 +1,91 @@
+use std::fmt;
+
+/// Element data type of a pattern's input collection.
+///
+/// The byte width feeds the communication-volume analysis of the PPG and the
+/// memory-bandwidth terms of the analytical device models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[non_exhaustive]
+pub enum DType {
+    /// 8-bit unsigned integer (e.g. image pixels, coded bytes).
+    U8,
+    /// 16-bit integer / half-precision payloads.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 32-bit IEEE float — the default OpenCL compute type.
+    #[default]
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    ///
+    /// ```rust
+    /// assert_eq!(poly_ir::DType::F32.bytes(), 4);
+    /// ```
+    #[must_use]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            DType::U8 => 1,
+            DType::I16 => 2,
+            DType::I32 | DType::F32 => 4,
+            DType::F64 => 8,
+        }
+    }
+
+    /// Parse a DSL type name (`u8`, `i16`, `i32`, `f32`, `f64`).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "u8" => Some(DType::U8),
+            "i16" => Some(DType::I16),
+            "i32" => Some(DType::I32),
+            "f32" => Some(DType::F32),
+            "f64" => Some(DType::F64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::U8 => "u8",
+            DType::I16 => "i16",
+            DType::I32 => "i32",
+            DType::F32 => "f32",
+            DType::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_are_correct() {
+        assert_eq!(DType::U8.bytes(), 1);
+        assert_eq!(DType::I16.bytes(), 2);
+        assert_eq!(DType::I32.bytes(), 4);
+        assert_eq!(DType::F32.bytes(), 4);
+        assert_eq!(DType::F64.bytes(), 8);
+    }
+
+    #[test]
+    fn roundtrip_name() {
+        for d in [DType::U8, DType::I16, DType::I32, DType::F32, DType::F64] {
+            assert_eq!(DType::from_name(&d.to_string()), Some(d));
+        }
+        assert_eq!(DType::from_name("f16"), None);
+    }
+
+    #[test]
+    fn default_is_f32() {
+        assert_eq!(DType::default(), DType::F32);
+    }
+}

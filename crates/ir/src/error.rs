@@ -1,0 +1,95 @@
+use std::fmt;
+
+/// Error raised while constructing or validating the parallel-pattern IR.
+///
+/// Every fallible public function in this crate returns `Result<_, IrError>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A kernel or application graph contains a dependency cycle.
+    Cycle {
+        /// Name of the graph in which the cycle was detected.
+        graph: String,
+    },
+    /// An edge refers to a kernel or pattern name that does not exist.
+    UnknownNode {
+        /// The unresolved name.
+        name: String,
+    },
+    /// Two nodes in the same graph share a name.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A pattern was declared with inconsistent parameters
+    /// (e.g. a `Pipeline` with zero stages or a `Tiling` whose tile does not
+    /// divide its grid extent).
+    InvalidPattern {
+        /// Name of the offending pattern instance.
+        pattern: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A graph has no nodes, which the scheduler cannot handle.
+    EmptyGraph {
+        /// Name of the empty graph.
+        graph: String,
+    },
+    /// The annotation DSL failed to parse.
+    Parse {
+        /// 1-based line of the failure.
+        line: usize,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Cycle { graph } => write!(f, "dependency cycle in graph `{graph}`"),
+            IrError::UnknownNode { name } => write!(f, "unknown node `{name}`"),
+            IrError::DuplicateName { name } => write!(f, "duplicate node name `{name}`"),
+            IrError::InvalidPattern { pattern, reason } => {
+                write!(f, "invalid pattern `{pattern}`: {reason}")
+            }
+            IrError::EmptyGraph { graph } => write!(f, "graph `{graph}` has no nodes"),
+            IrError::Parse { line, message } => {
+                write!(f, "annotation parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = IrError::Cycle {
+            graph: "asr".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("asr"));
+        assert!(msg.starts_with(char::is_lowercase));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err = IrError::Parse {
+            line: 7,
+            message: "expected `}`".into(),
+        };
+        assert!(err.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,190 @@
+use crate::{Cdfg, IrError, KernelProfile, PatternInstance, Ppg};
+use std::fmt;
+use std::sync::Arc;
+
+/// An OpenCL kernel, represented by its parallel pattern graph.
+///
+/// Kernels are immutable and cheap to clone (the PPG is shared through an
+/// [`Arc`]); the same kernel template can appear in several applications or
+/// several positions of one kernel graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    name: String,
+    ppg: Arc<Ppg>,
+    iterations: u64,
+}
+
+impl Kernel {
+    /// Create a kernel from a validated PPG, executing its PPG once per
+    /// request (see [`with_iterations`](Self::with_iterations) for
+    /// sequentially iterated kernels).
+    ///
+    /// # Errors
+    /// Returns [`IrError::InvalidPattern`] if `name` is empty.
+    pub fn new(name: impl Into<String>, ppg: Ppg) -> Result<Self, IrError> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(IrError::InvalidPattern {
+                pattern: "<kernel>".into(),
+                reason: "kernel name must be non-empty".into(),
+            });
+        }
+        Ok(Self {
+            name,
+            ppg: Arc::new(ppg),
+            iterations: 1,
+        })
+    }
+
+    /// Number of sequential invocations of the PPG per service request —
+    /// e.g. the timestep count of an LSTM, the option paths of a Monte
+    /// Carlo sweep, or the macroblocks of a transcoded frame.
+    ///
+    /// Iterations are *sequential* (each consumes the previous state), so
+    /// they cannot be parallelized across, only pipelined within. This is
+    /// precisely what makes such kernels launch-overhead-bound on GPUs and
+    /// streaming-friendly on FPGAs.
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Copy of this kernel with a different iteration count (clamped to a
+    /// minimum of 1).
+    #[must_use]
+    pub fn with_iterations(&self, iterations: u64) -> Self {
+        let mut c = self.clone();
+        c.iterations = iterations.max(1);
+        c
+    }
+
+    /// Kernel name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The kernel's parallel pattern graph.
+    #[must_use]
+    pub fn ppg(&self) -> &Ppg {
+        &self.ppg
+    }
+
+    /// Lower every pattern to its CDFG, in [`PatternId`](crate::PatternId)
+    /// order.
+    #[must_use]
+    pub fn cdfgs(&self) -> Vec<Cdfg> {
+        self.ppg.patterns().iter().map(Cdfg::from_pattern).collect()
+    }
+
+    /// Aggregate analysis profile consumed by the device models and DSE.
+    #[must_use]
+    pub fn profile(&self) -> KernelProfile {
+        KernelProfile::of(self)
+    }
+
+    /// Copy of this kernel under a different name (shares the PPG).
+    #[must_use]
+    pub fn with_name(&self, name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ppg: Arc::clone(&self.ppg),
+            iterations: self.iterations,
+        }
+    }
+
+    /// Number of pattern instances.
+    #[must_use]
+    pub fn pattern_count(&self) -> usize {
+        self.ppg.patterns().len()
+    }
+
+    /// Iterate over the pattern instances.
+    pub fn patterns(&self) -> impl Iterator<Item = &PatternInstance> {
+        self.ppg.patterns().iter()
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kernel {} ({} patterns)",
+            self.name,
+            self.pattern_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, OpFunc, PatternEdge, PatternId, PatternKind, Shape};
+
+    fn ppg() -> Ppg {
+        let p0 = PatternInstance::new(
+            PatternId(0),
+            "m",
+            PatternKind::Map,
+            Shape::d1(64),
+            DType::F32,
+            vec![OpFunc::Mul],
+        )
+        .unwrap();
+        let p1 = PatternInstance::new(
+            PatternId(1),
+            "r",
+            PatternKind::Reduce,
+            Shape::d1(64),
+            DType::F32,
+            vec![OpFunc::Add],
+        )
+        .unwrap();
+        Ppg::new(
+            vec![p0, p1],
+            vec![PatternEdge {
+                from: PatternId(0),
+                to: PatternId(1),
+                bytes: 256,
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn kernel_exposes_its_patterns() {
+        let k = Kernel::new("dot", ppg()).unwrap();
+        assert_eq!(k.pattern_count(), 2);
+        assert_eq!(k.patterns().count(), 2);
+        assert_eq!(k.name(), "dot");
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        assert!(Kernel::new("", ppg()).is_err());
+    }
+
+    #[test]
+    fn rename_shares_ppg() {
+        let k = Kernel::new("dot", ppg()).unwrap();
+        let k2 = k.with_name("dot2");
+        assert_eq!(k2.name(), "dot2");
+        assert!(Arc::ptr_eq(&k.ppg, &k2.ppg));
+    }
+
+    #[test]
+    fn iterations_default_and_override() {
+        let k = Kernel::new("dot", ppg()).unwrap();
+        assert_eq!(k.iterations(), 1);
+        let k = k.with_iterations(1500);
+        assert_eq!(k.iterations(), 1500);
+        assert_eq!(k.with_name("x").iterations(), 1500);
+        assert_eq!(k.with_iterations(0).iterations(), 1);
+    }
+
+    #[test]
+    fn cdfgs_cover_all_patterns() {
+        let k = Kernel::new("dot", ppg()).unwrap();
+        assert_eq!(k.cdfgs().len(), 2);
+    }
+}

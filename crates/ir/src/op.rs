@@ -1,0 +1,230 @@
+use std::fmt;
+
+/// Operator function applied by a parallel pattern to its input elements.
+///
+/// The paper's CDFG operators range "from multiplication, addition, and
+/// sigmoid" to "highly customized and optimized libraries, such as the
+/// convolution or encoding/decoding IP core" (Section IV-A). Each variant
+/// carries an arithmetic cost used by the analytical device models and an
+/// *FPGA affinity* used to bias the pattern-level knob space (customized IP
+/// cores pipeline extremely well on FPGAs, transcendental functions less so
+/// on GPU SFUs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum OpFunc {
+    /// Addition / subtraction.
+    Add,
+    /// Multiplication.
+    Mul,
+    /// Fused multiply-accumulate (one MAC = 2 flops).
+    Mac,
+    /// Maximum (e.g. max-pooling, reductions).
+    Max,
+    /// Division.
+    Div,
+    /// Comparison / select.
+    Cmp,
+    /// Logistic sigmoid (LSTM gates).
+    Sigmoid,
+    /// Hyperbolic tangent (LSTM cell activation).
+    Tanh,
+    /// Exponential (Black-Scholes, softmax).
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Square root.
+    Sqrt,
+    /// Galois-field multiply-add (Reed-Solomon coding).
+    GfMac,
+    /// Xorshift/LCG step of a pseudo-random number generator.
+    RngStep,
+    /// Table lookup (arithmetic coding contexts, GF tables).
+    Lookup,
+    /// A customized library operator / IP core with an explicit cost.
+    Custom {
+        /// Short identifier, e.g. `"conv3x3"` or `"rs_syndrome"`.
+        name: String,
+        /// Equivalent scalar operations per invocation.
+        ops: u64,
+    },
+}
+
+impl OpFunc {
+    /// Convenience constructor for a custom IP-core operator.
+    #[must_use]
+    pub fn custom(name: impl Into<String>, ops: u64) -> Self {
+        OpFunc::Custom {
+            name: name.into(),
+            ops: ops.max(1),
+        }
+    }
+
+    /// Equivalent scalar-operation count of one application of the operator.
+    ///
+    /// Transcendentals are costed at their typical polynomial-expansion
+    /// op counts rather than 1, so that activation-heavy patterns (LSTM)
+    /// weigh correctly against MAC-heavy ones.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        match self {
+            OpFunc::Add | OpFunc::Mul | OpFunc::Max | OpFunc::Cmp | OpFunc::Lookup => 1,
+            OpFunc::Mac | OpFunc::GfMac | OpFunc::RngStep => 2,
+            OpFunc::Div | OpFunc::Sqrt => 4,
+            OpFunc::Exp | OpFunc::Log => 8,
+            OpFunc::Sigmoid | OpFunc::Tanh => 10,
+            OpFunc::Custom { ops, .. } => *ops,
+        }
+    }
+
+    /// Whether the operator is an associative combiner, i.e. legal as the
+    /// `func` of `Reduce`/`Scan` and eligible for tree-structured lowering.
+    #[must_use]
+    pub fn is_associative(&self) -> bool {
+        matches!(
+            self,
+            OpFunc::Add | OpFunc::Mul | OpFunc::Max | OpFunc::GfMac
+        )
+    }
+
+    /// FPGA affinity in `[0.5, 2.0]`: >1 means the operator maps to custom
+    /// datapaths better than to GPU ALUs (bit-level ops, GF arithmetic,
+    /// custom IP), <1 means it prefers the GPU's wide SIMD FPUs.
+    #[must_use]
+    pub fn fpga_affinity(&self) -> f64 {
+        match self {
+            OpFunc::Add | OpFunc::Mul | OpFunc::Mac => 0.9,
+            OpFunc::Max | OpFunc::Cmp => 1.0,
+            OpFunc::Div | OpFunc::Sqrt | OpFunc::Exp | OpFunc::Log => 0.8,
+            OpFunc::Sigmoid | OpFunc::Tanh => 1.1,
+            OpFunc::GfMac | OpFunc::RngStep | OpFunc::Lookup => 1.8,
+            OpFunc::Custom { .. } => 1.5,
+        }
+    }
+
+    /// Short display name used in CDFG dumps and experiment tables.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            OpFunc::Add => "add",
+            OpFunc::Mul => "mul",
+            OpFunc::Mac => "mac",
+            OpFunc::Max => "max",
+            OpFunc::Div => "div",
+            OpFunc::Cmp => "cmp",
+            OpFunc::Sigmoid => "sigmoid",
+            OpFunc::Tanh => "tanh",
+            OpFunc::Exp => "exp",
+            OpFunc::Log => "log",
+            OpFunc::Sqrt => "sqrt",
+            OpFunc::GfMac => "gf_mac",
+            OpFunc::RngStep => "rng_step",
+            OpFunc::Lookup => "lookup",
+            OpFunc::Custom { name, .. } => name,
+        }
+    }
+
+    /// Parse a DSL operator name. Custom operators use `name:ops` syntax,
+    /// e.g. `conv3x3:18`.
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Self> {
+        let known = match s {
+            "add" => Some(OpFunc::Add),
+            "mul" => Some(OpFunc::Mul),
+            "mac" => Some(OpFunc::Mac),
+            "max" => Some(OpFunc::Max),
+            "div" => Some(OpFunc::Div),
+            "cmp" => Some(OpFunc::Cmp),
+            "sigmoid" => Some(OpFunc::Sigmoid),
+            "tanh" => Some(OpFunc::Tanh),
+            "exp" => Some(OpFunc::Exp),
+            "log" => Some(OpFunc::Log),
+            "sqrt" => Some(OpFunc::Sqrt),
+            "gf_mac" => Some(OpFunc::GfMac),
+            "rng_step" => Some(OpFunc::RngStep),
+            "lookup" => Some(OpFunc::Lookup),
+            _ => None,
+        };
+        if known.is_some() {
+            return known;
+        }
+        let (name, ops) = s.split_once(':')?;
+        let ops: u64 = ops.parse().ok()?;
+        if name.is_empty() || ops == 0 {
+            return None;
+        }
+        Some(OpFunc::custom(name, ops))
+    }
+}
+
+impl fmt::Display for OpFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpFunc::Custom { name, ops } => write!(f, "{name}:{ops}"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_are_positive() {
+        for op in [
+            OpFunc::Add,
+            OpFunc::Mac,
+            OpFunc::Sigmoid,
+            OpFunc::custom("conv", 18),
+        ] {
+            assert!(op.ops() >= 1);
+        }
+    }
+
+    #[test]
+    fn associativity_matches_reduce_legality() {
+        assert!(OpFunc::Add.is_associative());
+        assert!(OpFunc::Max.is_associative());
+        assert!(!OpFunc::Sigmoid.is_associative());
+        assert!(!OpFunc::Div.is_associative());
+    }
+
+    #[test]
+    fn custom_op_roundtrips_through_display() {
+        let op = OpFunc::custom("rs_syndrome", 32);
+        assert_eq!(OpFunc::from_name(&op.to_string()), Some(op));
+    }
+
+    #[test]
+    fn builtin_roundtrips_through_display() {
+        for op in [OpFunc::Add, OpFunc::Tanh, OpFunc::GfMac, OpFunc::Lookup] {
+            assert_eq!(OpFunc::from_name(&op.to_string()), Some(op.clone()));
+        }
+    }
+
+    #[test]
+    fn custom_zero_ops_is_clamped() {
+        assert_eq!(OpFunc::custom("x", 0).ops(), 1);
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        assert_eq!(OpFunc::from_name("fft2d"), None); // missing :ops
+        assert_eq!(OpFunc::from_name(":4"), None);
+        assert_eq!(OpFunc::from_name("x:0"), None);
+        assert_eq!(OpFunc::from_name("x:abc"), None);
+    }
+
+    #[test]
+    fn affinity_in_documented_range() {
+        for op in [
+            OpFunc::Add,
+            OpFunc::GfMac,
+            OpFunc::custom("ip", 100),
+            OpFunc::Exp,
+        ] {
+            let a = op.fpga_affinity();
+            assert!((0.5..=2.0).contains(&a), "{op}: {a}");
+        }
+    }
+}

@@ -1,0 +1,283 @@
+use crate::{IrError, PatternId, PatternInstance};
+
+/// A data-dependency edge between two patterns of a kernel, annotated with
+/// the data volume that crosses it (the "communication intensity" of
+/// Section IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternEdge {
+    /// Producing pattern.
+    pub from: PatternId,
+    /// Consuming pattern.
+    pub to: PatternId,
+    /// Bytes transferred from producer to consumer. When the pair is not
+    /// fused this traffic goes through off-chip global memory (a write plus
+    /// a read); when fused it stays in on-chip scratchpad/BRAM.
+    pub bytes: u64,
+}
+
+/// Parallel pattern graph of one kernel: pattern instances as nodes, data
+/// dependencies as edges (Fig. 4(a)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ppg {
+    patterns: Vec<PatternInstance>,
+    edges: Vec<PatternEdge>,
+}
+
+impl Ppg {
+    /// Build a PPG from patterns and explicit dependency edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an edge references an out-of-range pattern id,
+    /// if the graph is cyclic, or if it is empty.
+    pub fn new(patterns: Vec<PatternInstance>, edges: Vec<PatternEdge>) -> Result<Self, IrError> {
+        if patterns.is_empty() {
+            return Err(IrError::EmptyGraph {
+                graph: "ppg".into(),
+            });
+        }
+        for e in &edges {
+            for id in [e.from, e.to] {
+                if id.0 >= patterns.len() {
+                    return Err(IrError::UnknownNode {
+                        name: id.to_string(),
+                    });
+                }
+            }
+        }
+        let ppg = Self { patterns, edges };
+        ppg.topological_order()?; // cycle check
+        Ok(ppg)
+    }
+
+    /// All pattern instances, indexed by [`PatternId`].
+    #[must_use]
+    pub fn patterns(&self) -> &[PatternInstance] {
+        &self.patterns
+    }
+
+    /// All dependency edges.
+    #[must_use]
+    pub fn edges(&self) -> &[PatternEdge] {
+        &self.edges
+    }
+
+    /// Look up a pattern by id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range (ids handed out by this PPG are
+    /// always in range).
+    #[must_use]
+    pub fn pattern(&self, id: PatternId) -> &PatternInstance {
+        &self.patterns[id.0]
+    }
+
+    /// Immediate successors of `id`.
+    pub fn successors(&self, id: PatternId) -> impl Iterator<Item = PatternId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |e| e.from == id)
+            .map(|e| e.to)
+    }
+
+    /// Immediate predecessors of `id`.
+    pub fn predecessors(&self, id: PatternId) -> impl Iterator<Item = PatternId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |e| e.to == id)
+            .map(|e| e.from)
+    }
+
+    /// Kahn topological order of the patterns.
+    ///
+    /// # Errors
+    /// Returns [`IrError::Cycle`] if the PPG is cyclic.
+    pub fn topological_order(&self) -> Result<Vec<PatternId>, IrError> {
+        let n = self.patterns.len();
+        let mut indegree = vec![0usize; n];
+        for e in &self.edges {
+            indegree[e.to.0] += 1;
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(PatternId(i));
+            for e in self.edges.iter().filter(|e| e.from.0 == i) {
+                indegree[e.to.0] -= 1;
+                if indegree[e.to.0] == 0 {
+                    ready.push(e.to.0);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(IrError::Cycle {
+                graph: "ppg".into(),
+            })
+        }
+    }
+
+    /// Total off-chip traffic in bytes when **no** pattern pairs are fused:
+    /// every inter-pattern edge costs a global-memory write plus read, and
+    /// the kernel-boundary inputs/outputs always touch global memory.
+    #[must_use]
+    pub fn unfused_global_traffic(&self) -> u64 {
+        let internal: u64 = self.edges.iter().map(|e| 2 * e.bytes).sum();
+        internal + self.boundary_input_bytes() + self.boundary_output_bytes()
+    }
+
+    /// Bytes read by patterns with no in-PPG producer (kernel inputs).
+    #[must_use]
+    pub fn boundary_input_bytes(&self) -> u64 {
+        self.patterns
+            .iter()
+            .filter(|p| self.predecessors(p.id()).next().is_none())
+            .map(PatternInstance::input_bytes)
+            .sum()
+    }
+
+    /// Bytes written by patterns with no in-PPG consumer (kernel outputs).
+    #[must_use]
+    pub fn boundary_output_bytes(&self) -> u64 {
+        self.patterns
+            .iter()
+            .filter(|p| self.successors(p.id()).next().is_none())
+            .map(PatternInstance::output_bytes)
+            .sum()
+    }
+
+    /// Total equivalent scalar operations across all patterns.
+    #[must_use]
+    pub fn total_flops(&self) -> u64 {
+        self.patterns.iter().map(PatternInstance::flops).sum()
+    }
+
+    /// Adjacent pattern pairs ordered by descending communication intensity
+    /// — the fusion candidates the global optimizer evaluates first.
+    #[must_use]
+    pub fn fusion_candidates(&self) -> Vec<PatternEdge> {
+        let mut edges = self.edges.clone();
+        edges.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.from.cmp(&b.from)));
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, OpFunc, PatternKind, Shape};
+
+    fn pattern(id: usize, kind: PatternKind) -> PatternInstance {
+        PatternInstance::new(
+            PatternId(id),
+            format!("p{id}"),
+            kind,
+            Shape::d1(256),
+            DType::F32,
+            vec![OpFunc::Add],
+        )
+        .expect("valid")
+    }
+
+    fn chain3() -> Ppg {
+        Ppg::new(
+            vec![
+                pattern(0, PatternKind::Map),
+                pattern(1, PatternKind::Reduce),
+                pattern(2, PatternKind::Map),
+            ],
+            vec![
+                PatternEdge {
+                    from: PatternId(0),
+                    to: PatternId(1),
+                    bytes: 1024,
+                },
+                PatternEdge {
+                    from: PatternId(1),
+                    to: PatternId(2),
+                    bytes: 4,
+                },
+            ],
+        )
+        .expect("valid ppg")
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let ppg = chain3();
+        let order = ppg.topological_order().unwrap();
+        let pos = |id: usize| order.iter().position(|p| p.0 == id).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(1) < pos(2));
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let err = Ppg::new(
+            vec![pattern(0, PatternKind::Map), pattern(1, PatternKind::Map)],
+            vec![
+                PatternEdge {
+                    from: PatternId(0),
+                    to: PatternId(1),
+                    bytes: 1,
+                },
+                PatternEdge {
+                    from: PatternId(1),
+                    to: PatternId(0),
+                    bytes: 1,
+                },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, IrError::Cycle { .. }));
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let err = Ppg::new(
+            vec![pattern(0, PatternKind::Map)],
+            vec![PatternEdge {
+                from: PatternId(0),
+                to: PatternId(5),
+                bytes: 1,
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, IrError::UnknownNode { .. }));
+    }
+
+    #[test]
+    fn empty_ppg_rejected() {
+        assert!(matches!(
+            Ppg::new(vec![], vec![]),
+            Err(IrError::EmptyGraph { .. })
+        ));
+    }
+
+    #[test]
+    fn unfused_traffic_counts_write_plus_read() {
+        let ppg = chain3();
+        let internal = 2 * (1024 + 4);
+        assert_eq!(
+            ppg.unfused_global_traffic(),
+            internal + ppg.boundary_input_bytes() + ppg.boundary_output_bytes()
+        );
+    }
+
+    #[test]
+    fn fusion_candidates_sorted_by_intensity() {
+        let ppg = chain3();
+        let cands = ppg.fusion_candidates();
+        assert_eq!(cands[0].bytes, 1024);
+        assert_eq!(cands[1].bytes, 4);
+    }
+
+    #[test]
+    fn boundary_bytes_identify_sources_and_sinks() {
+        let ppg = chain3();
+        assert_eq!(ppg.boundary_input_bytes(), 256 * 4);
+        // p2 is a Map over 256 f32 elements
+        assert_eq!(ppg.boundary_output_bytes(), 256 * 4);
+    }
+}

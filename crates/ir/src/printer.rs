@@ -1,0 +1,220 @@
+//! Pretty-printer: emit annotation-DSL source from IR structures, the
+//! inverse of [`annotation::parse`](crate::annotation::parse).
+//!
+//! Round-tripping (`print` → `parse`) reproduces the same pattern
+//! structure, which the property suite verifies; this is how generated or
+//! programmatically built applications are persisted in a reviewable form.
+
+use crate::{Kernel, KernelGraph, OpFunc, PatternInstance, PatternKind};
+use std::fmt::Write as _;
+
+/// Render one kernel as DSL source.
+///
+/// The kernel's dataflow is emitted in PPG id order; inputs are synthesized
+/// for patterns without in-kernel producers. Only tree-shaped (single
+/// producer) PPGs are guaranteed to round-trip exactly — the DSL's
+/// statement form allows one input per pattern, which is also all the
+/// builder's `chain()` produces.
+#[must_use]
+pub fn print_kernel(kernel: &Kernel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "kernel {} {{", kernel.name());
+
+    let ppg = kernel.ppg();
+    // Name each pattern's output variable after the pattern.
+    for p in ppg.patterns() {
+        if ppg.predecessors(p.id()).next().is_none() {
+            let _ = writeln!(
+                out,
+                "    input in_{} : {}{};",
+                p.name(),
+                p.dtype(),
+                p.shape()
+            );
+        }
+    }
+    if kernel.iterations() > 1 {
+        let _ = writeln!(out, "    iterations {};", kernel.iterations());
+    }
+    for p in ppg.patterns() {
+        let pred = ppg.predecessors(p.id()).next();
+        let source = pred.map_or_else(
+            || format!("in_{}", p.name()),
+            |pred| ppg.pattern(pred).name().to_string(),
+        );
+        // The parser infers a pattern's shape from its source variable's
+        // (post-reduce) shape; emit an explicit override when they differ.
+        let inferred = pred.map_or(p.shape(), |pr| {
+            let src = ppg.pattern(pr);
+            match src.kind() {
+                PatternKind::Reduce => {
+                    let [x, y, z] = src.shape().dims();
+                    if z > 1 {
+                        crate::Shape::d2(x, y)
+                    } else if y > 1 {
+                        crate::Shape::d1(x)
+                    } else {
+                        crate::Shape::d1(1)
+                    }
+                }
+                _ => src.shape(),
+            }
+        });
+        let inherited_dtype = pred.map_or(p.dtype(), |pr| ppg.pattern(pr).dtype());
+        let suffix = match (inherited_dtype == p.dtype(), inferred == p.shape()) {
+            (true, true) => String::new(),
+            (true, false) => format!(" @ {}", p.shape()),
+            (false, true) => format!(" @ {}", p.dtype()),
+            (false, false) => format!(" @ {}{}", p.dtype(), p.shape()),
+        };
+        let _ = writeln!(out, "    {}{suffix};", pattern_stmt(p, &source));
+    }
+    // Sinks become outputs.
+    for p in ppg.patterns() {
+        if ppg.successors(p.id()).next().is_none() {
+            let _ = writeln!(out, "    output {};", p.name());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn pattern_stmt(p: &PatternInstance, source: &str) -> String {
+    let funcs: Vec<String> = p.funcs().iter().map(render_func).collect();
+    let args = if funcs.is_empty() {
+        String::new()
+    } else {
+        format!(", {}", funcs.join(", "))
+    };
+    match p.kind() {
+        PatternKind::Stencil { neighbors } => {
+            format!("{} = stencil({source}{args}, {neighbors})", p.name())
+        }
+        PatternKind::Tiling { tile } => {
+            let t = if tile[2] > 1 {
+                format!("[{},{},{}]", tile[0], tile[1], tile[2])
+            } else if tile[1] > 1 {
+                format!("[{},{}]", tile[0], tile[1])
+            } else {
+                format!("[{}]", tile[0])
+            };
+            format!("{} = tiling({source}, {t})", p.name())
+        }
+        kind => format!("{} = {}({source}{args})", p.name(), kind.name()),
+    }
+}
+
+fn render_func(f: &OpFunc) -> String {
+    match f {
+        OpFunc::Custom { name, ops } => format!("{name}:{ops}"),
+        other => other.name().to_string(),
+    }
+}
+
+/// Render a whole application (kernel templates plus the app block).
+///
+/// Kernels appearing several times in the graph are emitted once per node
+/// (each node is its own template), keeping the output self-contained.
+#[must_use]
+pub fn print_app(app: &KernelGraph) -> String {
+    let mut out = String::new();
+    for k in app.kernels() {
+        out.push_str(&print_kernel(k));
+        out.push('\n');
+    }
+    let _ = writeln!(out, "app {} {{", app.name());
+    for k in app.kernels() {
+        let _ = writeln!(out, "    {0} = kernel {0};", k.name());
+    }
+    for e in app.edges() {
+        let _ = writeln!(
+            out,
+            "    {} -> {} : {};",
+            app.kernel(e.from).name(),
+            app.kernel(e.to).name(),
+            e.bytes
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{annotation, KernelBuilder, Shape};
+
+    fn sample() -> Kernel {
+        KernelBuilder::new("lstm")
+            .pattern("t", PatternKind::tiling2(16, 16), Shape::d2(256, 128), &[])
+            .pattern("m", PatternKind::Map, Shape::d2(256, 128), &[OpFunc::Mac])
+            .pattern(
+                "r",
+                PatternKind::Reduce,
+                Shape::d2(256, 128),
+                &[OpFunc::Add],
+            )
+            .pattern(
+                "p",
+                PatternKind::pipeline(),
+                Shape::d1(256),
+                &[OpFunc::Sigmoid, OpFunc::custom("gate", 7)],
+            )
+            .chain()
+            .iterations(500)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn printed_kernel_reparses_with_same_structure() {
+        let original = sample();
+        let source = print_kernel(&original);
+        let module = annotation::parse(&source).expect("printed source parses");
+        let reparsed = module.kernel("lstm").expect("kernel present");
+        assert_eq!(reparsed.pattern_count(), original.pattern_count());
+        assert_eq!(reparsed.iterations(), original.iterations());
+        for (a, b) in original.patterns().zip(reparsed.patterns()) {
+            assert_eq!(a.kind(), b.kind(), "{source}");
+            assert_eq!(a.funcs(), b.funcs());
+        }
+    }
+
+    #[test]
+    fn printed_app_reparses_with_same_topology() {
+        let k = sample();
+        let app = crate::KernelGraphBuilder::new("demo")
+            .kernel(k.clone())
+            .kernel(k.with_name("lstm2"))
+            .edge("lstm", "lstm2", 4096)
+            .build()
+            .unwrap();
+        let source = print_app(&app);
+        let module = annotation::parse(&source).expect("printed app parses");
+        let reparsed = module.app("demo").expect("app present");
+        assert_eq!(reparsed.len(), app.len());
+        assert_eq!(reparsed.edges().len(), app.edges().len());
+        assert_eq!(reparsed.edges()[0].bytes, 4096);
+    }
+
+    #[test]
+    fn all_six_benchmark_sources_would_parse() {
+        // Guard the printer against every pattern mix the suite uses
+        // (poly-apps can't be imported here; the ASR-like sample plus a
+        // movement-heavy kernel cover the grammar).
+        let mover = KernelBuilder::new("mover")
+            .pattern("g", PatternKind::Gather, Shape::d2(64, 8), &[])
+            .pattern(
+                "s",
+                PatternKind::stencil(9),
+                Shape::d2(64, 8),
+                &[OpFunc::Mac],
+            )
+            .pattern("o", PatternKind::Scatter, Shape::d2(64, 8), &[])
+            .chain()
+            .build()
+            .unwrap();
+        let source = print_kernel(&mover);
+        assert!(annotation::parse(&source).is_ok(), "{source}");
+    }
+}

@@ -1,0 +1,199 @@
+use crate::{Cdfg, Kernel, OpFunc, PatternKind};
+
+/// Aggregate analysis of one kernel, produced by the offline pattern
+/// analysis (Section IV-A) and consumed by the analytical device models and
+/// the design-space explorer.
+///
+/// All per-invocation quantities describe **one iteration** of the kernel's
+/// PPG; a service request executes [`iterations`](Self::iterations)
+/// sequential invocations (LSTM timesteps, Monte Carlo paths, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProfile {
+    /// Sequential PPG invocations per service request.
+    pub iterations: u64,
+    /// Equivalent scalar operations per invocation.
+    pub flops: u64,
+    /// Total input elements across the patterns of one invocation.
+    pub elements: u64,
+    /// Off-chip bytes when nothing is fused (every PPG edge through DRAM).
+    pub unfused_bytes: u64,
+    /// Off-chip bytes when everything fusable is fused (boundary traffic
+    /// only) — the lower bound the global optimizer works toward.
+    pub min_bytes: u64,
+    /// Maximum element-level data parallelism across the patterns.
+    pub max_data_parallelism: u64,
+    /// Sum of CDFG operator depths — the natural depth of a fully fused
+    /// FPGA pipeline implementing this kernel.
+    pub pipeline_depth: u64,
+    /// On-chip buffer bytes required to fuse the whole kernel.
+    pub fused_onchip_bytes: u64,
+    /// Flops-weighted mean FPGA affinity of the kernel's operators, in
+    /// `[0.5, 2.0]` (see [`OpFunc::fpga_affinity`]).
+    pub fpga_affinity: f64,
+    /// Pattern kinds present, in PPG id order (used for knob selection).
+    pub pattern_kinds: Vec<PatternKind>,
+}
+
+impl KernelProfile {
+    /// Analyze `kernel` (also available as [`Kernel::profile`]).
+    #[must_use]
+    pub fn of(kernel: &Kernel) -> Self {
+        let ppg = kernel.ppg();
+        let cdfgs: Vec<Cdfg> = kernel.cdfgs();
+
+        let flops = ppg.total_flops();
+        let unfused_bytes = ppg.unfused_global_traffic();
+        let min_bytes = ppg.boundary_input_bytes() + ppg.boundary_output_bytes();
+        let max_data_parallelism = ppg
+            .patterns()
+            .iter()
+            .map(|p| p.data_parallelism())
+            .max()
+            .unwrap_or(1);
+        let pipeline_depth = cdfgs.iter().map(Cdfg::depth).sum::<u64>().max(1);
+        let fused_onchip_bytes = ppg.edges().iter().map(|e| e.bytes).sum();
+
+        let mut weighted = 0.0_f64;
+        let mut weight = 0.0_f64;
+        for p in ppg.patterns() {
+            let p_flops = p.flops() as f64;
+            let affinity: f64 = if p.funcs().is_empty() {
+                // Pure data movement favors FPGA burst engines slightly.
+                1.2
+            } else {
+                let total_ops: u64 = p.funcs().iter().map(OpFunc::ops).sum();
+                p.funcs()
+                    .iter()
+                    .map(|f| f.fpga_affinity() * (f.ops() as f64 / total_ops as f64))
+                    .sum()
+            };
+            weighted += affinity * p_flops;
+            weight += p_flops;
+        }
+        let fpga_affinity = if weight > 0.0 { weighted / weight } else { 1.0 };
+        let elements = ppg
+            .patterns()
+            .iter()
+            .map(|p| p.elements())
+            .max()
+            .unwrap_or(1);
+
+        Self {
+            iterations: kernel.iterations(),
+            flops,
+            elements,
+            unfused_bytes,
+            min_bytes,
+            max_data_parallelism,
+            pipeline_depth,
+            fused_onchip_bytes,
+            fpga_affinity,
+            pattern_kinds: ppg.patterns().iter().map(|p| p.kind()).collect(),
+        }
+    }
+
+    /// Arithmetic intensity in flops per off-chip byte for the given fusion
+    /// level (`fused = false` ⇒ unfused traffic).
+    #[must_use]
+    pub fn arithmetic_intensity(&self, fused: bool) -> f64 {
+        let bytes = if fused {
+            self.min_bytes
+        } else {
+            self.unfused_bytes
+        };
+        self.flops as f64 / bytes.max(1) as f64
+    }
+
+    /// Total equivalent scalar operations per service request
+    /// (`flops × iterations`).
+    #[must_use]
+    pub fn total_flops(&self) -> f64 {
+        self.flops as f64 * self.iterations as f64
+    }
+
+    /// Equivalent scalar operations per element per invocation — the depth
+    /// of the per-element datapath an FPGA lane must implement.
+    #[must_use]
+    pub fn ops_per_element(&self) -> f64 {
+        self.flops as f64 / self.elements.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, Kernel, PatternEdge, PatternId, PatternInstance, Ppg, Shape};
+
+    fn kernel() -> Kernel {
+        let p0 = PatternInstance::new(
+            PatternId(0),
+            "m",
+            PatternKind::Map,
+            Shape::d2(512, 128),
+            DType::F32,
+            vec![OpFunc::Mac],
+        )
+        .unwrap();
+        let p1 = PatternInstance::new(
+            PatternId(1),
+            "r",
+            PatternKind::Reduce,
+            Shape::d2(512, 128),
+            DType::F32,
+            vec![OpFunc::Add],
+        )
+        .unwrap();
+        let ppg = Ppg::new(
+            vec![p0, p1],
+            vec![PatternEdge {
+                from: PatternId(0),
+                to: PatternId(1),
+                bytes: 512 * 128 * 4,
+            }],
+        )
+        .unwrap();
+        Kernel::new("matvec", ppg).unwrap()
+    }
+
+    #[test]
+    fn fusion_reduces_traffic() {
+        let p = kernel().profile();
+        assert!(p.min_bytes < p.unfused_bytes);
+        assert!(p.arithmetic_intensity(true) > p.arithmetic_intensity(false));
+    }
+
+    #[test]
+    fn parallelism_and_depth_positive() {
+        let p = kernel().profile();
+        assert_eq!(p.max_data_parallelism, 512 * 128);
+        assert!(p.pipeline_depth >= 2);
+        assert_eq!(p.pattern_kinds.len(), 2);
+    }
+
+    #[test]
+    fn affinity_in_range() {
+        let p = kernel().profile();
+        assert!((0.5..=2.0).contains(&p.fpga_affinity));
+    }
+
+    #[test]
+    fn fused_onchip_bytes_equals_edge_traffic() {
+        let p = kernel().profile();
+        assert_eq!(p.fused_onchip_bytes, 512 * 128 * 4);
+    }
+
+    #[test]
+    fn iterations_flow_into_total_flops() {
+        let k = kernel().with_iterations(100);
+        let p = k.profile();
+        assert_eq!(p.iterations, 100);
+        assert!((p.total_flops() - p.flops as f64 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ops_per_element_is_flops_over_elements() {
+        let p = kernel().profile();
+        assert_eq!(p.elements, 512 * 128);
+        assert!(p.ops_per_element() > 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+use std::fmt;
+
+/// Shape of a pattern's input collection: up to three dimensions, matching
+/// the OpenCL NDRange model the paper's annotations are written against.
+///
+/// A `Shape` is never empty; unused trailing dimensions are `1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: [u64; 3],
+}
+
+impl Shape {
+    /// One-dimensional shape.
+    ///
+    /// # Panics
+    /// Panics if `x == 0`; zero-extent collections are meaningless.
+    #[must_use]
+    pub fn d1(x: u64) -> Self {
+        Self::d3(x, 1, 1)
+    }
+
+    /// Two-dimensional shape.
+    ///
+    /// # Panics
+    /// Panics if any extent is zero.
+    #[must_use]
+    pub fn d2(x: u64, y: u64) -> Self {
+        Self::d3(x, y, 1)
+    }
+
+    /// Three-dimensional shape.
+    ///
+    /// # Panics
+    /// Panics if any extent is zero.
+    #[must_use]
+    pub fn d3(x: u64, y: u64, z: u64) -> Self {
+        assert!(x > 0 && y > 0 && z > 0, "shape extents must be non-zero");
+        Self { dims: [x, y, z] }
+    }
+
+    /// Extents as `[x, y, z]`.
+    #[must_use]
+    pub const fn dims(&self) -> [u64; 3] {
+        self.dims
+    }
+
+    /// Total number of elements (`x * y * z`).
+    ///
+    /// ```rust
+    /// assert_eq!(poly_ir::Shape::d2(16, 4).elements(), 64);
+    /// ```
+    #[must_use]
+    pub const fn elements(&self) -> u64 {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Number of dimensions with extent greater than one.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.dims.iter().filter(|&&d| d > 1).count().max(1)
+    }
+
+    /// Collapse to a single dimension with the same element count
+    /// (what `Reduce` produces along all axes, times one output).
+    #[must_use]
+    pub fn flattened(&self) -> Self {
+        Self::d1(self.elements())
+    }
+}
+
+impl Default for Shape {
+    fn default() -> Self {
+        Self::d1(1)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [x, y, z] = self.dims;
+        if z > 1 {
+            write!(f, "[{x}][{y}][{z}]")
+        } else if y > 1 {
+            write!(f, "[{x}][{y}]")
+        } else {
+            write!(f, "[{x}]")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_count() {
+        assert_eq!(Shape::d1(7).elements(), 7);
+        assert_eq!(Shape::d3(2, 3, 4).elements(), 24);
+    }
+
+    #[test]
+    fn rank_ignores_unit_dims() {
+        assert_eq!(Shape::d1(8).rank(), 1);
+        assert_eq!(Shape::d2(8, 8).rank(), 2);
+        assert_eq!(Shape::d3(8, 1, 8).rank(), 2);
+        assert_eq!(Shape::d1(1).rank(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_extent_panics() {
+        let _ = Shape::d2(0, 4);
+    }
+
+    #[test]
+    fn display_matches_dsl_syntax() {
+        assert_eq!(Shape::d2(1024, 256).to_string(), "[1024][256]");
+        assert_eq!(Shape::d1(64).to_string(), "[64]");
+        assert_eq!(Shape::d3(2, 2, 2).to_string(), "[2][2][2]");
+    }
+
+    #[test]
+    fn flatten_preserves_elements() {
+        let s = Shape::d3(4, 5, 6);
+        assert_eq!(s.flattened().elements(), s.elements());
+        assert_eq!(s.flattened().rank(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Static homogeneous baselines — the Sirius-style \[4\] hard mapping the
+//! paper compares against: every kernel on one platform, one fixed
+//! implementation per kernel, no runtime adaptation ("the allocation scheme
+//! ... is fixed across different load intensities by using only one
+//! implementation with the maximum energy efficiency or minimum latency
+//! depending on the latency constraint", Section VI-A).
+
+use crate::priority::{by_descending_priority, latency_priorities};
+use crate::timeline::{schedule, Choice};
+use crate::{Pool, ScheduleError, SchedulePlan};
+use poly_device::{DeviceKind, PcieLink};
+use poly_dse::KernelDesignSpace;
+use poly_ir::KernelGraph;
+
+/// Implementation selection rule of a static baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticPolicy {
+    /// Always the minimum-latency implementation.
+    MinLatency,
+    /// The most energy-efficient implementation whose latency stays within
+    /// the application bound; falls back to minimum latency when none does.
+    MaxEfficiency {
+        /// The application QoS bound in milliseconds.
+        latency_bound_ms: u32,
+    },
+}
+
+/// Plan an application on a homogeneous pool with a fixed per-kernel
+/// implementation chosen by `policy`.
+///
+/// # Errors
+/// Returns [`ScheduleError::NoImplementation`] when some kernel has no
+/// implementation on `kind`, and the usual validation errors otherwise.
+pub fn static_plan(
+    graph: &KernelGraph,
+    spaces: &[KernelDesignSpace],
+    pool: &Pool,
+    kind: DeviceKind,
+    policy: StaticPolicy,
+    pcie: &PcieLink,
+) -> Result<SchedulePlan, ScheduleError> {
+    let order = by_descending_priority(&latency_priorities(graph, spaces, pcie));
+
+    // Fastest pins available on this platform (and the fallback plan).
+    let mut fast_pins = Vec::with_capacity(graph.len());
+    for (kernel, space) in graph.kernels().iter().zip(spaces) {
+        let point = space
+            .min_latency(kind)
+            .ok_or_else(|| ScheduleError::NoImplementation {
+                kernel: kernel.name().to_string(),
+            })?;
+        fast_pins.push((kind, point.index));
+    }
+    let fast = schedule(
+        graph,
+        spaces,
+        pool,
+        pcie,
+        &order,
+        Choice::Pinned(&fast_pins),
+    )?;
+
+    let StaticPolicy::MaxEfficiency { latency_bound_ms } = policy else {
+        return Ok(fast);
+    };
+    let bound = f64::from(latency_bound_ms);
+    if fast.makespan_ms >= bound {
+        // No slack at all: the fastest static mapping is the baseline.
+        return Ok(fast);
+    }
+
+    // Distribute the application-level slack proportionally: each kernel
+    // may slow down by the same factor the whole graph can afford.
+    let factor = bound / fast.makespan_ms;
+    let mut pins = Vec::with_capacity(graph.len());
+    for (i, (kernel, space)) in graph.kernels().iter().zip(spaces).enumerate() {
+        let cap = fast.assignments[i].duration_ms() * factor;
+        let point = space
+            .most_efficient_within(kind, cap)
+            .or_else(|| space.min_latency(kind))
+            .ok_or_else(|| ScheduleError::NoImplementation {
+                kernel: kernel.name().to_string(),
+            })?;
+        pins.push((kind, point.index));
+    }
+    let eff = schedule(graph, spaces, pool, pcie, &order, Choice::Pinned(&pins))?;
+    // Proportional caps can still overshoot when paths share devices; the
+    // crude static baseline then falls back to its fast mapping.
+    if eff.meets(bound) {
+        Ok(eff)
+    } else {
+        Ok(fast)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poly_device::catalog;
+    use poly_dse::Explorer;
+    use poly_ir::{KernelBuilder, KernelGraphBuilder, OpFunc, PatternKind, Shape};
+
+    fn setup() -> (KernelGraph, Vec<KernelDesignSpace>) {
+        let k = KernelBuilder::new("t")
+            .pattern("m", PatternKind::Map, Shape::d2(1024, 128), &[OpFunc::Mac])
+            .iterations(300)
+            .build()
+            .unwrap();
+        let app = KernelGraphBuilder::new("app")
+            .kernel(k.with_name("a"))
+            .kernel(k.with_name("b"))
+            .edge("a", "b", 1 << 18)
+            .build()
+            .unwrap();
+        let ex = Explorer::new(catalog::amd_w9100(), catalog::xilinx_7v3());
+        let spaces = app.kernels().iter().map(|k| ex.explore(k)).collect();
+        (app, spaces)
+    }
+
+    #[test]
+    fn min_latency_policy_is_fastest_static_option() {
+        let (app, spaces) = setup();
+        let pool = Pool::heterogeneous(0, 4);
+        let pcie = PcieLink::gen3_x16();
+        let fast = static_plan(
+            &app,
+            &spaces,
+            &pool,
+            DeviceKind::Fpga,
+            StaticPolicy::MinLatency,
+            &pcie,
+        )
+        .unwrap();
+        let eff = static_plan(
+            &app,
+            &spaces,
+            &pool,
+            DeviceKind::Fpga,
+            StaticPolicy::MaxEfficiency {
+                latency_bound_ms: 10_000,
+            },
+            &pcie,
+        )
+        .unwrap();
+        assert!(fast.makespan_ms <= eff.makespan_ms + 1e-9);
+        assert!(eff.dynamic_mj <= fast.dynamic_mj + 1e-9);
+    }
+
+    #[test]
+    fn all_assignments_on_requested_platform() {
+        let (app, spaces) = setup();
+        let pcie = PcieLink::gen3_x16();
+        for (kind, pool) in [
+            (DeviceKind::Gpu, Pool::heterogeneous(2, 0)),
+            (DeviceKind::Fpga, Pool::heterogeneous(0, 3)),
+        ] {
+            let plan =
+                static_plan(&app, &spaces, &pool, kind, StaticPolicy::MinLatency, &pcie).unwrap();
+            assert!(plan.assignments.iter().all(|a| a.kind == kind));
+        }
+    }
+
+    #[test]
+    fn efficiency_policy_falls_back_under_tight_bound() {
+        let (app, spaces) = setup();
+        let pool = Pool::heterogeneous(2, 0);
+        let pcie = PcieLink::gen3_x16();
+        // Bound of 1 ms: nothing qualifies, so it must fall back to the
+        // min-latency implementation instead of erroring.
+        let plan = static_plan(
+            &app,
+            &spaces,
+            &pool,
+            DeviceKind::Gpu,
+            StaticPolicy::MaxEfficiency {
+                latency_bound_ms: 1,
+            },
+            &pcie,
+        )
+        .unwrap();
+        let fast = static_plan(
+            &app,
+            &spaces,
+            &pool,
+            DeviceKind::Gpu,
+            StaticPolicy::MinLatency,
+            &pcie,
+        )
+        .unwrap();
+        assert_eq!(plan.makespan_ms, fast.makespan_ms);
+    }
+}

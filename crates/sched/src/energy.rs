@@ -1,0 +1,234 @@
+//! Step 2 — energy-efficiency optimization (Section V): spend the latency
+//! slack left by Step 1 on lower-power implementations, in descending
+//! energy-priority order, re-timing the schedule after every tentative swap
+//! and keeping only swaps that still meet the QoS bound.
+
+use crate::priority::{by_descending_priority, energy_priorities};
+use crate::timeline::{schedule, Choice};
+use crate::{Pool, ScheduleError, SchedulePlan};
+use poly_device::{DeviceKind, PcieLink};
+use poly_dse::KernelDesignSpace;
+use poly_ir::{KernelGraph, KernelId};
+
+/// Extract the pinned `(kind, impl_index)` selection of an existing plan.
+fn pins_of(plan: &SchedulePlan) -> Vec<(DeviceKind, usize)> {
+    plan.assignments
+        .iter()
+        .map(|a| (a.kind, a.impl_index))
+        .collect()
+}
+
+/// Improve `plan` in place by implementation swaps while `latency_bound_ms`
+/// holds. Returns the improved plan (which may be the input plan when no
+/// swap is feasible).
+pub(crate) fn optimize(
+    graph: &KernelGraph,
+    spaces: &[KernelDesignSpace],
+    pool: &Pool,
+    pcie: &PcieLink,
+    order: &[KernelId],
+    plan: SchedulePlan,
+    latency_bound_ms: f64,
+) -> Result<SchedulePlan, ScheduleError> {
+    let mut current = plan;
+    let mut pins = pins_of(&current);
+    // Each kernel can be re-chosen several times as slack shifts, but the
+    // loop must terminate: every accepted swap strictly reduces energy.
+    let max_rounds = graph.len() * 8 + 8;
+    for _ in 0..max_rounds {
+        let chosen_energy: Vec<f64> = current.assignments.iter().map(|a| a.dynamic_mj).collect();
+        let w_e = energy_priorities(spaces, &chosen_energy);
+        let mut improved = false;
+        for kid in by_descending_priority(&w_e) {
+            if w_e[kid.0] <= 0.0 {
+                break; // descending order: nothing further can improve
+            }
+            if let Some(better) = try_swap(
+                graph,
+                spaces,
+                pool,
+                pcie,
+                order,
+                &current,
+                &pins,
+                kid,
+                latency_bound_ms,
+            )? {
+                pins = pins_of(&better);
+                current = better;
+                improved = true;
+                break; // recompute priorities against the new slack
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Ok(current)
+}
+
+/// Try every alternative implementation of `kid` in ascending energy
+/// order; return the first re-timed plan that lowers total energy and
+/// still meets the bound.
+#[allow(clippy::too_many_arguments)]
+fn try_swap(
+    graph: &KernelGraph,
+    spaces: &[KernelDesignSpace],
+    pool: &Pool,
+    pcie: &PcieLink,
+    order: &[KernelId],
+    current: &SchedulePlan,
+    pins: &[(DeviceKind, usize)],
+    kid: KernelId,
+    latency_bound_ms: f64,
+) -> Result<Option<SchedulePlan>, ScheduleError> {
+    let space = &spaces[kid.0];
+    let current_energy = current.assignments[kid.0].dynamic_mj;
+
+    let mut alternatives: Vec<(DeviceKind, usize, f64)> = Vec::new();
+    for kind in [DeviceKind::Gpu, DeviceKind::Fpga] {
+        if !pool.has(kind) {
+            continue;
+        }
+        for point in space.points(kind) {
+            if point.dynamic_energy_mj() < current_energy {
+                alternatives.push((kind, point.index, point.dynamic_energy_mj()));
+            }
+        }
+    }
+    alternatives.sort_by(|a, b| a.2.total_cmp(&b.2));
+
+    for (kind, index, _) in alternatives {
+        let mut pinned = pins.to_vec();
+        pinned[kid.0] = (kind, index);
+        let candidate = schedule(graph, spaces, pool, pcie, order, Choice::Pinned(&pinned))?;
+        if candidate.meets(latency_bound_ms) && candidate.dynamic_mj < current.dynamic_mj - 1e-9 {
+            return Ok(Some(candidate));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority::latency_priorities;
+    use poly_device::catalog;
+    use poly_dse::Explorer;
+    use poly_ir::{KernelBuilder, KernelGraphBuilder, OpFunc, PatternKind, Shape};
+
+    fn setup() -> (KernelGraph, Vec<KernelDesignSpace>) {
+        let k = KernelBuilder::new("t")
+            .pattern("m", PatternKind::Map, Shape::d2(512, 128), &[OpFunc::Mac])
+            .iterations(300)
+            .build()
+            .unwrap();
+        let app = KernelGraphBuilder::new("app")
+            .kernel(k.with_name("a"))
+            .kernel(k.with_name("b"))
+            .edge("a", "b", 1 << 18)
+            .build()
+            .unwrap();
+        let ex = Explorer::new(catalog::amd_w9100(), catalog::xilinx_7v3());
+        let spaces = app.kernels().iter().map(|k| ex.explore(k)).collect();
+        (app, spaces)
+    }
+
+    fn step1(
+        graph: &KernelGraph,
+        spaces: &[KernelDesignSpace],
+        pool: &Pool,
+    ) -> (Vec<KernelId>, SchedulePlan) {
+        let pcie = PcieLink::gen3_x16();
+        let order = by_descending_priority(&latency_priorities(graph, spaces, &pcie));
+        let plan = schedule(graph, spaces, pool, &pcie, &order, Choice::Free).unwrap();
+        (order, plan)
+    }
+
+    #[test]
+    fn generous_slack_lowers_energy() {
+        let (app, spaces) = setup();
+        let pool = Pool::heterogeneous(1, 2);
+        let (order, fast) = step1(&app, &spaces, &pool);
+        let bound = fast.makespan_ms * 10.0;
+        let eff = optimize(
+            &app,
+            &spaces,
+            &pool,
+            &PcieLink::gen3_x16(),
+            &order,
+            fast.clone(),
+            bound,
+        )
+        .unwrap();
+        assert!(eff.dynamic_mj <= fast.dynamic_mj);
+        assert!(eff.meets(bound));
+        // With 10× slack at least one kernel should have moved to a more
+        // efficient implementation.
+        assert!(eff.dynamic_mj < fast.dynamic_mj, "{eff:?}");
+    }
+
+    #[test]
+    fn zero_slack_keeps_fast_plan() {
+        let (app, spaces) = setup();
+        let pool = Pool::heterogeneous(1, 2);
+        let (order, fast) = step1(&app, &spaces, &pool);
+        let bound = fast.makespan_ms; // no slack at all
+        let eff = optimize(
+            &app,
+            &spaces,
+            &pool,
+            &PcieLink::gen3_x16(),
+            &order,
+            fast.clone(),
+            bound,
+        )
+        .unwrap();
+        assert!(eff.meets(bound));
+        // Energy can only stay equal or improve via equal-latency swaps.
+        assert!(eff.dynamic_mj <= fast.dynamic_mj + 1e-9);
+    }
+
+    #[test]
+    fn optimizer_never_violates_bound() {
+        let (app, spaces) = setup();
+        let pool = Pool::heterogeneous(1, 1);
+        let (order, fast) = step1(&app, &spaces, &pool);
+        for mult in [1.0, 1.2, 2.0, 5.0] {
+            let bound = fast.makespan_ms * mult;
+            let eff = optimize(
+                &app,
+                &spaces,
+                &pool,
+                &PcieLink::gen3_x16(),
+                &order,
+                fast.clone(),
+                bound,
+            )
+            .unwrap();
+            assert!(eff.meets(bound), "violated at mult {mult}");
+        }
+    }
+
+    #[test]
+    fn more_slack_never_costs_energy() {
+        let (app, spaces) = setup();
+        let pool = Pool::heterogeneous(1, 2);
+        let (order, fast) = step1(&app, &spaces, &pool);
+        let mut last = f64::INFINITY;
+        for mult in [1.0, 1.5, 2.5, 6.0, 20.0] {
+            let eff = optimize(
+                &app,
+                &spaces,
+                &pool,
+                &PcieLink::gen3_x16(),
+                &order,
+                fast.clone(),
+                fast.makespan_ms * mult,
+            )
+            .unwrap();
+            assert!(eff.dynamic_mj <= last + 1e-9, "energy rose with slack");
+            last = eff.dynamic_mj;
+        }
+    }
+}

@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Error raised while planning a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// A kernel has no feasible implementation on any platform present in
+    /// the device pool.
+    NoImplementation {
+        /// The kernel without an implementation.
+        kernel: String,
+    },
+    /// The design-space list does not align with the kernel graph
+    /// (different length or different kernel names).
+    SpaceMismatch {
+        /// What mismatched.
+        detail: String,
+    },
+    /// The device pool is empty.
+    EmptyPool,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NoImplementation { kernel } => {
+                write!(
+                    f,
+                    "kernel `{kernel}` has no feasible implementation in the pool"
+                )
+            }
+            ScheduleError::SpaceMismatch { detail } => {
+                write!(f, "design spaces do not match kernel graph: {detail}")
+            }
+            ScheduleError::EmptyPool => write!(f, "device pool is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_kernel() {
+        let e = ScheduleError::NoImplementation {
+            kernel: "k3".into(),
+        };
+        assert!(e.to_string().contains("k3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<ScheduleError>();
+    }
+}

@@ -1,0 +1,66 @@
+//! # poly-sched — the two-step runtime kernel scheduler
+//!
+//! Implements Section V of the paper. Given an application kernel graph
+//! `G = (K, E)`, the per-kernel design spaces produced by
+//! [`poly_dse`], and a pool of accelerators:
+//!
+//! 1. **Latency optimization** ([`Scheduler::plan_latency`]) — build the
+//!    latency priority list `W_L` (Eqs. 2–3) bottom-up, then list-schedule
+//!    kernels in priority order onto the earliest-finishing
+//!    (implementation, device) pair using the earliest-start-time table of
+//!    Eq. 4 (HEFT/MKMD style).
+//! 2. **Energy optimization** ([`Scheduler::plan`]) — compute the latency
+//!    slack against the QoS bound, build the energy priority list `W_E`
+//!    (Eq. 5), and greedily swap kernel implementations (possibly
+//!    reallocating across platforms, as in the paper's Fig. 6 example)
+//!    while the bound still holds.
+//!
+//! The static **Homo-GPU / Homo-FPGA baselines** of Sirius \[4\] — a fixed
+//! hard mapping using one implementation (minimum latency or maximum
+//! energy efficiency) — are provided by [`static_plan`].
+//!
+//! ```rust
+//! use poly_device::{catalog, DeviceKind, PcieLink};
+//! use poly_dse::Explorer;
+//! use poly_ir::{KernelBuilder, KernelGraphBuilder, OpFunc, PatternKind, Shape};
+//! use poly_sched::{Pool, Scheduler};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let k = KernelBuilder::new("k1")
+//!     .pattern("m", PatternKind::Map, Shape::d2(1024, 256), &[OpFunc::Mac])
+//!     .iterations(500)
+//!     .build()?;
+//! let app = KernelGraphBuilder::new("app")
+//!     .kernel(k.clone())
+//!     .kernel(k.with_name("k2"))
+//!     .edge("k1", "k2", 1 << 20)
+//!     .build()?;
+//! let explorer = Explorer::new(catalog::amd_w9100(), catalog::xilinx_7v3());
+//! let spaces: Vec<_> = app.kernels().iter().map(|k| explorer.explore(k)).collect();
+//! let pool = Pool::new(&[DeviceKind::Gpu, DeviceKind::Fpga]);
+//! let plan = Scheduler::new(PcieLink::gen3_x16()).plan(&app, &spaces, &pool, 200.0)?;
+//! assert!(plan.makespan_ms > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod energy;
+mod error;
+mod naive;
+mod plan;
+mod pool;
+mod priority;
+mod scheduler;
+mod timeline;
+
+pub use baseline::{static_plan, StaticPolicy};
+pub use error::ScheduleError;
+pub use naive::naive_plan;
+pub use plan::{Assignment, SchedulePlan};
+pub use pool::{DeviceId, Pool};
+pub use priority::{energy_priorities, latency_priorities};
+pub use scheduler::Scheduler;

@@ -1,0 +1,283 @@
+use crate::DeviceId;
+use poly_device::DeviceKind;
+use poly_ir::KernelId;
+
+/// Placement of one kernel: implementation `r` of kernel `i` on device `n`
+/// (the `(K_i^r, Device)` tuples of Fig. 6), with its scheduled window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// The kernel.
+    pub kernel: KernelId,
+    /// The chosen device.
+    pub device: DeviceId,
+    /// The device's platform kind (redundant with the pool, kept for
+    /// self-contained plans).
+    pub kind: DeviceKind,
+    /// Index `r` into the kernel's Pareto frontier on that platform.
+    pub impl_index: usize,
+    /// Scheduled start, in milliseconds from request arrival.
+    pub start_ms: f64,
+    /// Scheduled finish (`T_end(k_j)` of Eq. 4).
+    pub end_ms: f64,
+    /// Predicted active power of the implementation, in watts.
+    pub power_w: f64,
+    /// Predicted energy of the execution, in millijoules.
+    pub energy_mj: f64,
+    /// Predicted dynamic (above-idle) energy of the execution, in
+    /// millijoules — the energy step's objective.
+    pub dynamic_mj: f64,
+    /// Predicted per-request device occupancy of the implementation.
+    pub service_ms: f64,
+}
+
+impl Assignment {
+    /// Execution duration in milliseconds.
+    #[must_use]
+    pub fn duration_ms(&self) -> f64 {
+        self.end_ms - self.start_ms
+    }
+}
+
+/// A complete schedule of one application request across the pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulePlan {
+    /// Per-kernel assignments, indexed by [`KernelId`].
+    pub assignments: Vec<Assignment>,
+    /// End-to-end latency of the request (`L` of Section V).
+    pub makespan_ms: f64,
+    /// Total predicted energy across kernels, in millijoules.
+    pub energy_mj: f64,
+    /// Total predicted dynamic energy across kernels, in millijoules.
+    pub dynamic_mj: f64,
+}
+
+impl SchedulePlan {
+    /// Assignment of one kernel.
+    ///
+    /// # Panics
+    /// Panics if `kernel` is out of range for the planned graph.
+    #[must_use]
+    pub fn assignment(&self, kernel: KernelId) -> &Assignment {
+        &self.assignments[kernel.0]
+    }
+
+    /// Latency slack against a QoS bound (`LB - L`); negative when the
+    /// plan violates the bound.
+    #[must_use]
+    pub fn slack_ms(&self, latency_bound_ms: f64) -> f64 {
+        latency_bound_ms - self.makespan_ms
+    }
+
+    /// Whether the plan meets the QoS bound.
+    #[must_use]
+    pub fn meets(&self, latency_bound_ms: f64) -> bool {
+        self.makespan_ms <= latency_bound_ms
+    }
+
+    /// Sum of per-kernel device occupancy on the given platform, in
+    /// milliseconds — the demand one request places on that platform.
+    #[must_use]
+    pub fn service_demand_ms(&self, kind: DeviceKind) -> f64 {
+        self.assignments
+            .iter()
+            .filter(|a| a.kind == kind)
+            .map(|a| a.service_ms)
+            .sum()
+    }
+
+    /// Average power the request draws while executing, in watts
+    /// (energy / makespan).
+    #[must_use]
+    pub fn avg_power_w(&self) -> f64 {
+        if self.makespan_ms <= 0.0 {
+            0.0
+        } else {
+            self.energy_mj / self.makespan_ms
+        }
+    }
+}
+
+impl SchedulePlan {
+    /// Check the structural invariants of the plan against its graph:
+    /// every dependency's consumer starts after its producer ends, no two
+    /// kernels overlap on one device, and the makespan equals the latest
+    /// finish. Returns the first violation as text.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the violated invariant.
+    pub fn validate(&self, graph: &poly_ir::KernelGraph) -> Result<(), String> {
+        if self.assignments.len() != graph.len() {
+            return Err(format!(
+                "{} assignments for {} kernels",
+                self.assignments.len(),
+                graph.len()
+            ));
+        }
+        for e in graph.edges() {
+            let from = &self.assignments[e.from.0];
+            let to = &self.assignments[e.to.0];
+            if to.start_ms < from.end_ms - 1e-6 {
+                return Err(format!(
+                    "dependency violated: {} ends {:.3} but {} starts {:.3}",
+                    e.from, from.end_ms, e.to, to.start_ms
+                ));
+            }
+        }
+        for a in &self.assignments {
+            for b in &self.assignments {
+                if a.kernel != b.kernel
+                    && a.device == b.device
+                    && a.end_ms > b.start_ms + 1e-6
+                    && b.end_ms > a.start_ms + 1e-6
+                {
+                    return Err(format!(
+                        "device overlap on {}: {} and {}",
+                        a.device, a.kernel, b.kernel
+                    ));
+                }
+            }
+        }
+        let latest = self
+            .assignments
+            .iter()
+            .map(|a| a.end_ms)
+            .fold(0.0_f64, f64::max);
+        if (latest - self.makespan_ms).abs() > 1e-6 {
+            return Err(format!(
+                "makespan {:.3} != latest finish {:.3}",
+                self.makespan_ms, latest
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for SchedulePlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "plan: makespan {:.1} ms, energy {:.0} mJ ({:.0} mJ dynamic)",
+            self.makespan_ms, self.energy_mj, self.dynamic_mj
+        )?;
+        for a in &self.assignments {
+            writeln!(
+                f,
+                "  {}^{} -> {} on {} [{:.1}..{:.1} ms]",
+                a.kernel, a.impl_index, a.kind, a.device, a.start_ms, a.end_ms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> SchedulePlan {
+        SchedulePlan {
+            assignments: vec![
+                Assignment {
+                    kernel: KernelId(0),
+                    device: DeviceId(0),
+                    kind: DeviceKind::Gpu,
+                    impl_index: 2,
+                    start_ms: 0.0,
+                    end_ms: 50.0,
+                    power_w: 200.0,
+                    energy_mj: 10_000.0,
+                    dynamic_mj: 9_000.0,
+                    service_ms: 25.0,
+                },
+                Assignment {
+                    kernel: KernelId(1),
+                    device: DeviceId(1),
+                    kind: DeviceKind::Fpga,
+                    impl_index: 0,
+                    start_ms: 50.0,
+                    end_ms: 120.0,
+                    power_w: 20.0,
+                    energy_mj: 1_400.0,
+                    dynamic_mj: 1_000.0,
+                    service_ms: 70.0,
+                },
+            ],
+            makespan_ms: 120.0,
+            energy_mj: 11_400.0,
+            dynamic_mj: 10_000.0,
+        }
+    }
+
+    #[test]
+    fn slack_and_bound() {
+        let p = plan();
+        assert!((p.slack_ms(200.0) - 80.0).abs() < 1e-9);
+        assert!(p.meets(200.0));
+        assert!(!p.meets(100.0));
+    }
+
+    #[test]
+    fn service_demand_by_platform() {
+        let p = plan();
+        assert_eq!(p.service_demand_ms(DeviceKind::Gpu), 25.0);
+        assert_eq!(p.service_demand_ms(DeviceKind::Fpga), 70.0);
+    }
+
+    #[test]
+    fn avg_power_is_energy_over_makespan() {
+        let p = plan();
+        assert!((p.avg_power_w() - 11_400.0 / 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_from_window() {
+        assert!((plan().assignment(KernelId(1)).duration_ms() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_accepts_a_consistent_plan() {
+        use poly_ir::{KernelBuilder, KernelGraphBuilder, OpFunc, PatternKind, Shape};
+        let k = KernelBuilder::new("a")
+            .pattern("m", PatternKind::Map, Shape::d1(8), &[OpFunc::Add])
+            .build()
+            .unwrap();
+        let g = KernelGraphBuilder::new("app")
+            .kernel(k.clone())
+            .kernel(k.with_name("b"))
+            .edge("a", "b", 64)
+            .build()
+            .unwrap();
+        let p = plan();
+        assert!(p.validate(&g).is_ok());
+
+        // Break the dependency: consumer starts before producer ends.
+        let mut broken = p.clone();
+        broken.assignments[1].start_ms = 10.0;
+        assert!(broken.validate(&g).unwrap_err().contains("dependency"));
+
+        // Break device exclusivity (use an edgeless graph so the
+        // dependency check cannot fire first).
+        let g2 = KernelGraphBuilder::new("app2")
+            .kernel(k.with_name("a"))
+            .kernel(k.with_name("b"))
+            .build()
+            .unwrap();
+        let mut broken = p.clone();
+        broken.assignments[1].device = broken.assignments[0].device;
+        broken.assignments[1].start_ms = 25.0;
+        assert!(broken.validate(&g2).unwrap_err().contains("overlap"));
+
+        // Break the makespan bookkeeping.
+        let mut broken = p;
+        broken.makespan_ms = 1.0;
+        assert!(broken.validate(&g).unwrap_err().contains("makespan"));
+    }
+
+    #[test]
+    fn display_lists_every_assignment() {
+        let text = plan().to_string();
+        assert!(text.contains("makespan 120.0 ms"));
+        assert!(text.contains("k0^2 -> gpu on d0"));
+        assert!(text.contains("k1^0 -> fpga on d1"));
+    }
+}

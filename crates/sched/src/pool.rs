@@ -1,0 +1,123 @@
+use poly_device::DeviceKind;
+use std::fmt;
+
+/// Index of a device within a [`Pool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub usize);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// The accelerator pool of one leaf node: an ordered list of device kinds
+/// (e.g. one GPU and five FPGAs for the Setting-I Heter-Poly node).
+///
+/// The scheduler only needs each device's kind; the concrete performance
+/// comes from the per-kernel design spaces, and runtime state (occupancy,
+/// loaded bitstream) lives in the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pool {
+    kinds: Vec<DeviceKind>,
+}
+
+impl Pool {
+    /// Pool from an explicit kind list.
+    #[must_use]
+    pub fn new(kinds: &[DeviceKind]) -> Self {
+        Self {
+            kinds: kinds.to_vec(),
+        }
+    }
+
+    /// Pool with `gpus` GPUs followed by `fpgas` FPGAs.
+    ///
+    /// ```rust
+    /// use poly_sched::Pool;
+    /// let p = Pool::heterogeneous(1, 5);
+    /// assert_eq!(p.len(), 6);
+    /// ```
+    #[must_use]
+    pub fn heterogeneous(gpus: usize, fpgas: usize) -> Self {
+        let mut kinds = vec![DeviceKind::Gpu; gpus];
+        kinds.extend(std::iter::repeat_n(DeviceKind::Fpga, fpgas));
+        Self { kinds }
+    }
+
+    /// Device kinds in id order.
+    #[must_use]
+    pub fn kinds(&self) -> &[DeviceKind] {
+        &self.kinds
+    }
+
+    /// Kind of one device.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn kind(&self, id: DeviceId) -> DeviceKind {
+        self.kinds[id.0]
+    }
+
+    /// Number of devices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the pool has no devices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Number of devices of `kind`.
+    #[must_use]
+    pub fn count(&self, kind: DeviceKind) -> usize {
+        self.kinds.iter().filter(|&&k| k == kind).count()
+    }
+
+    /// Ids of the devices of `kind`.
+    pub fn devices_of(&self, kind: DeviceKind) -> impl Iterator<Item = DeviceId> + '_ {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter(move |(_, &k)| k == kind)
+            .map(|(i, _)| DeviceId(i))
+    }
+
+    /// Whether the pool contains at least one device of `kind`.
+    #[must_use]
+    pub fn has(&self, kind: DeviceKind) -> bool {
+        self.count(kind) > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heterogeneous_layout() {
+        let p = Pool::heterogeneous(2, 3);
+        assert_eq!(p.count(DeviceKind::Gpu), 2);
+        assert_eq!(p.count(DeviceKind::Fpga), 3);
+        assert_eq!(p.kind(DeviceId(0)), DeviceKind::Gpu);
+        assert_eq!(p.kind(DeviceId(4)), DeviceKind::Fpga);
+    }
+
+    #[test]
+    fn devices_of_filters_by_kind() {
+        let p = Pool::heterogeneous(1, 2);
+        let fpgas: Vec<DeviceId> = p.devices_of(DeviceKind::Fpga).collect();
+        assert_eq!(fpgas, vec![DeviceId(1), DeviceId(2)]);
+    }
+
+    #[test]
+    fn empty_pool() {
+        let p = Pool::new(&[]);
+        assert!(p.is_empty());
+        assert!(!p.has(DeviceKind::Gpu));
+    }
+}

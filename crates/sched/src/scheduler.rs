@@ -1,0 +1,180 @@
+use crate::priority::{by_descending_priority, latency_priorities};
+use crate::timeline::{schedule, Choice};
+use crate::{energy, Pool, ScheduleError, SchedulePlan};
+use poly_device::PcieLink;
+use poly_dse::KernelDesignSpace;
+use poly_ir::KernelGraph;
+
+/// The Poly runtime kernel scheduler (Section V): Step 1 latency
+/// optimization followed by Step 2 energy-efficiency optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scheduler {
+    pcie: PcieLink,
+}
+
+impl Scheduler {
+    /// Scheduler using the given PCIe link model for `T(e_ij)`.
+    #[must_use]
+    pub fn new(pcie: PcieLink) -> Self {
+        Self { pcie }
+    }
+
+    /// The link model in use.
+    #[must_use]
+    pub fn pcie(&self) -> &PcieLink {
+        &self.pcie
+    }
+
+    /// Step 1 only: the latency-optimal plan, ignoring energy.
+    ///
+    /// # Errors
+    /// Returns [`ScheduleError`] if the spaces mismatch the graph, the pool
+    /// is empty, or a kernel has no feasible implementation.
+    pub fn plan_latency(
+        &self,
+        graph: &KernelGraph,
+        spaces: &[KernelDesignSpace],
+        pool: &Pool,
+    ) -> Result<SchedulePlan, ScheduleError> {
+        let order = by_descending_priority(&latency_priorities(graph, spaces, &self.pcie));
+        schedule(graph, spaces, pool, &self.pcie, &order, Choice::Free)
+    }
+
+    /// Both steps: latency optimization, then energy optimization within
+    /// `latency_bound_ms`.
+    ///
+    /// If even the latency-optimal plan violates the bound the plan is
+    /// returned as-is (the caller decides how to react — the system
+    /// optimizer treats it as an overload signal).
+    ///
+    /// # Errors
+    /// Same conditions as [`plan_latency`](Self::plan_latency).
+    pub fn plan(
+        &self,
+        graph: &KernelGraph,
+        spaces: &[KernelDesignSpace],
+        pool: &Pool,
+        latency_bound_ms: f64,
+    ) -> Result<SchedulePlan, ScheduleError> {
+        let order = by_descending_priority(&latency_priorities(graph, spaces, &self.pcie));
+        let fast = schedule(graph, spaces, pool, &self.pcie, &order, Choice::Free)?;
+        if !fast.meets(latency_bound_ms) {
+            return Ok(fast);
+        }
+        energy::optimize(
+            graph,
+            spaces,
+            pool,
+            &self.pcie,
+            &order,
+            fast,
+            latency_bound_ms,
+        )
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::new(PcieLink::gen3_x16())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poly_device::{catalog, DeviceKind};
+    use poly_dse::Explorer;
+    use poly_ir::{KernelBuilder, KernelGraphBuilder, OpFunc, PatternKind, Shape};
+
+    /// The four-kernel ASR shape of Fig. 6: K1→K4, K2→K3→K4.
+    fn asr() -> (KernelGraph, Vec<KernelDesignSpace>) {
+        let lstm = KernelBuilder::new("t")
+            .pattern("m", PatternKind::Map, Shape::d2(1024, 256), &[OpFunc::Mac])
+            .pattern(
+                "r",
+                PatternKind::Reduce,
+                Shape::d2(1024, 256),
+                &[OpFunc::Add],
+            )
+            .chain()
+            .iterations(600)
+            .build()
+            .unwrap();
+        let fc = KernelBuilder::new("t")
+            .pattern("m", PatternKind::Map, Shape::d2(512, 512), &[OpFunc::Mac])
+            .iterations(200)
+            .build()
+            .unwrap();
+        let app = KernelGraphBuilder::new("asr")
+            .kernel(lstm.with_name("k1"))
+            .kernel(lstm.with_name("k2"))
+            .kernel(fc.with_name("k3"))
+            .kernel(fc.with_name("k4"))
+            .edge("k1", "k4", 1 << 20)
+            .edge("k2", "k3", 1 << 20)
+            .edge("k3", "k4", 1 << 20)
+            .build()
+            .unwrap();
+        let ex = Explorer::new(catalog::amd_w9100(), catalog::xilinx_7v3());
+        let spaces = app.kernels().iter().map(|k| ex.explore(k)).collect();
+        (app, spaces)
+    }
+
+    #[test]
+    fn two_step_plan_meets_bound_and_saves_energy() {
+        let (app, spaces) = asr();
+        let pool = Pool::heterogeneous(1, 5);
+        let sched = Scheduler::default();
+        let fast = sched.plan_latency(&app, &spaces, &pool).unwrap();
+        let bound = fast.makespan_ms * 3.0;
+        let plan = sched.plan(&app, &spaces, &pool, bound).unwrap();
+        assert!(plan.meets(bound));
+        assert!(plan.dynamic_mj <= fast.dynamic_mj);
+    }
+
+    #[test]
+    fn heterogeneous_plan_uses_both_platforms_given_slack() {
+        let (app, spaces) = asr();
+        let pool = Pool::heterogeneous(1, 5);
+        let sched = Scheduler::default();
+        let fast = sched.plan_latency(&app, &spaces, &pool).unwrap();
+        let plan = sched
+            .plan(&app, &spaces, &pool, fast.makespan_ms * 4.0)
+            .unwrap();
+        let kinds: std::collections::HashSet<DeviceKind> =
+            plan.assignments.iter().map(|a| a.kind).collect();
+        assert!(
+            kinds.len() == 2 || plan.dynamic_mj < fast.dynamic_mj,
+            "with generous slack the plan should exploit heterogeneity: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn overload_returns_fast_plan_unchanged() {
+        let (app, spaces) = asr();
+        let pool = Pool::heterogeneous(1, 1);
+        let sched = Scheduler::default();
+        let fast = sched.plan_latency(&app, &spaces, &pool).unwrap();
+        // Impossible bound: Step 2 must not run.
+        let plan = sched.plan(&app, &spaces, &pool, 0.001).unwrap();
+        assert_eq!(plan.makespan_ms, fast.makespan_ms);
+        assert!(!plan.meets(0.001));
+    }
+
+    #[test]
+    fn latency_plan_beats_or_matches_single_platform() {
+        let (app, spaces) = asr();
+        let sched = Scheduler::default();
+        let het = sched
+            .plan_latency(&app, &spaces, &Pool::heterogeneous(1, 5))
+            .unwrap();
+        let gpu_only = sched
+            .plan_latency(&app, &spaces, &Pool::heterogeneous(1, 0))
+            .unwrap();
+        let fpga_only = sched
+            .plan_latency(&app, &spaces, &Pool::heterogeneous(0, 5))
+            .unwrap();
+        assert!(het.makespan_ms <= gpu_only.makespan_ms + 1e-9);
+        assert!(het.makespan_ms <= fpga_only.makespan_ms + 1e-9);
+    }
+}

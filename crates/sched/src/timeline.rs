@@ -1,0 +1,329 @@
+//! The list scheduler core shared by the latency step, the energy step,
+//! and the static baselines: place kernels in priority order using the
+//! earliest-start-time table of Eq. 4.
+
+use crate::{Assignment, DeviceId, Pool, ScheduleError, SchedulePlan};
+use poly_device::{DeviceKind, PcieLink};
+use poly_dse::{DesignPoint, KernelDesignSpace};
+use poly_ir::{KernelGraph, KernelId};
+
+/// How implementations are selected during placement.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Choice<'a> {
+    /// HEFT-style: for each kernel pick the (implementation, device) pair
+    /// with the earliest finish time across the whole pool.
+    Free,
+    /// Implementations are pinned per kernel as `(kind, impl_index)`; only
+    /// the device among that kind is chosen (earliest start).
+    Pinned(&'a [(DeviceKind, usize)]),
+}
+
+/// Validate that `spaces` aligns with `graph` and that the pool can host
+/// every kernel under `choice`.
+pub(crate) fn validate(
+    graph: &KernelGraph,
+    spaces: &[KernelDesignSpace],
+    pool: &Pool,
+) -> Result<(), ScheduleError> {
+    if pool.is_empty() {
+        return Err(ScheduleError::EmptyPool);
+    }
+    if spaces.len() != graph.len() {
+        return Err(ScheduleError::SpaceMismatch {
+            detail: format!("{} spaces for {} kernels", spaces.len(), graph.len()),
+        });
+    }
+    for (kernel, space) in graph.kernels().iter().zip(spaces) {
+        if kernel.name() != space.kernel {
+            return Err(ScheduleError::SpaceMismatch {
+                detail: format!(
+                    "kernel `{}` paired with space `{}`",
+                    kernel.name(),
+                    space.kernel
+                ),
+            });
+        }
+        let feasible = (pool.has(DeviceKind::Gpu) && !space.gpu.is_empty())
+            || (pool.has(DeviceKind::Fpga) && !space.fpga.is_empty());
+        if !feasible {
+            return Err(ScheduleError::NoImplementation {
+                kernel: kernel.name().to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Run the list scheduler over `order` (which must be a topological order;
+/// descending `W_L` always is).
+pub(crate) fn schedule(
+    graph: &KernelGraph,
+    spaces: &[KernelDesignSpace],
+    pool: &Pool,
+    pcie: &PcieLink,
+    order: &[KernelId],
+    choice: Choice<'_>,
+) -> Result<SchedulePlan, ScheduleError> {
+    validate(graph, spaces, pool)?;
+    let mut device_free = vec![0.0_f64; pool.len()];
+    let mut end = vec![f64::NAN; graph.len()];
+    let mut slots: Vec<Option<Assignment>> = vec![None; graph.len()];
+
+    for &kid in order {
+        let space = &spaces[kid.0];
+        let mut best: Option<(f64, f64, Assignment)> = None; // (finish, energy, a)
+
+        let consider = |point: &DesignPoint,
+                        device: DeviceId,
+                        best: &mut Option<(f64, f64, Assignment)>,
+                        device_free: &[f64],
+                        end: &[f64],
+                        slots: &[Option<Assignment>]| {
+            // Eq. 4: data-ready time over predecessors plus device queue.
+            let ready = graph
+                .predecessors(kid)
+                .map(|e| {
+                    let pred_end = end[e.from.0];
+                    let same = slots[e.from.0].as_ref().is_some_and(|a| a.device == device);
+                    pred_end + if same { 0.0 } else { pcie.transfer_ms(e.bytes) }
+                })
+                .fold(0.0_f64, f64::max);
+            let est = ready.max(device_free[device.0]);
+            let finish = est + point.latency_ms();
+            let energy = point.energy_mj();
+            let better = match best {
+                None => true,
+                Some((bf, be, _)) => {
+                    finish < *bf - 1e-12 || ((finish - *bf).abs() <= 1e-12 && energy < *be)
+                }
+            };
+            if better {
+                *best = Some((
+                    finish,
+                    energy,
+                    Assignment {
+                        kernel: kid,
+                        device,
+                        kind: point.kind,
+                        impl_index: point.index,
+                        start_ms: est,
+                        end_ms: finish,
+                        power_w: point.power_w(),
+                        energy_mj: point.energy_mj(),
+                        dynamic_mj: point.dynamic_energy_mj(),
+                        service_ms: point.service_ms(),
+                    },
+                ));
+            }
+        };
+
+        match choice {
+            Choice::Free => {
+                for kind in [DeviceKind::Gpu, DeviceKind::Fpga] {
+                    for point in space.points(kind) {
+                        for device in pool.devices_of(kind) {
+                            consider(point, device, &mut best, &device_free, &end, &slots);
+                        }
+                    }
+                }
+            }
+            Choice::Pinned(pins) => {
+                let (kind, index) = pins[kid.0];
+                let point = space.points(kind).get(index).ok_or_else(|| {
+                    ScheduleError::NoImplementation {
+                        kernel: graph.kernel(kid).name().to_string(),
+                    }
+                })?;
+                for device in pool.devices_of(kind) {
+                    consider(point, device, &mut best, &device_free, &end, &slots);
+                }
+            }
+        }
+
+        let (_, _, assignment) = best.ok_or_else(|| ScheduleError::NoImplementation {
+            kernel: graph.kernel(kid).name().to_string(),
+        })?;
+        device_free[assignment.device.0] = assignment.end_ms;
+        end[kid.0] = assignment.end_ms;
+        slots[kid.0] = Some(assignment);
+    }
+
+    let assignments: Vec<Assignment> = slots
+        .into_iter()
+        .map(|a| a.expect("every kernel scheduled"))
+        .collect();
+    let makespan_ms = assignments.iter().map(|a| a.end_ms).fold(0.0, f64::max);
+    let energy_mj = assignments.iter().map(|a| a.energy_mj).sum();
+    let dynamic_mj = assignments.iter().map(|a| a.dynamic_mj).sum();
+    Ok(SchedulePlan {
+        assignments,
+        makespan_ms,
+        energy_mj,
+        dynamic_mj,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority::{by_descending_priority, latency_priorities};
+    use poly_device::catalog;
+    use poly_dse::Explorer;
+    use poly_ir::{KernelBuilder, KernelGraphBuilder, OpFunc, PatternKind, Shape};
+
+    fn setup() -> (KernelGraph, Vec<KernelDesignSpace>) {
+        let k = KernelBuilder::new("t")
+            .pattern("m", PatternKind::Map, Shape::d2(512, 128), &[OpFunc::Mac])
+            .iterations(200)
+            .build()
+            .unwrap();
+        let app = KernelGraphBuilder::new("app")
+            .kernel(k.with_name("a"))
+            .kernel(k.with_name("b"))
+            .kernel(k.with_name("c"))
+            .edge("a", "c", 1 << 20)
+            .edge("b", "c", 1 << 20)
+            .build()
+            .unwrap();
+        let ex = Explorer::new(catalog::amd_w9100(), catalog::xilinx_7v3());
+        let spaces = app.kernels().iter().map(|k| ex.explore(k)).collect();
+        (app, spaces)
+    }
+
+    fn order(graph: &KernelGraph, spaces: &[KernelDesignSpace]) -> Vec<KernelId> {
+        by_descending_priority(&latency_priorities(graph, spaces, &PcieLink::gen3_x16()))
+    }
+
+    #[test]
+    fn free_schedule_respects_dependencies() {
+        let (app, spaces) = setup();
+        let pool = Pool::heterogeneous(1, 2);
+        let plan = schedule(
+            &app,
+            &spaces,
+            &pool,
+            &PcieLink::gen3_x16(),
+            &order(&app, &spaces),
+            Choice::Free,
+        )
+        .unwrap();
+        let c = app.id_of("c").unwrap();
+        for e in app.predecessors(c) {
+            assert!(plan.assignment(c).start_ms >= plan.assignment(e.from).end_ms - 1e-9);
+        }
+        assert!(plan.makespan_ms > 0.0);
+    }
+
+    #[test]
+    fn parallel_sources_use_different_devices() {
+        let (app, spaces) = setup();
+        let pool = Pool::heterogeneous(1, 1);
+        let plan = schedule(
+            &app,
+            &spaces,
+            &pool,
+            &PcieLink::gen3_x16(),
+            &order(&app, &spaces),
+            Choice::Free,
+        )
+        .unwrap();
+        let a = plan.assignment(app.id_of("a").unwrap());
+        let b = plan.assignment(app.id_of("b").unwrap());
+        // Independent kernels must not overlap on one device.
+        if a.device == b.device {
+            assert!(a.end_ms <= b.start_ms + 1e-9 || b.end_ms <= a.start_ms + 1e-9);
+        } else {
+            assert_ne!(a.device, b.device);
+        }
+    }
+
+    #[test]
+    fn no_device_overlap_anywhere() {
+        let (app, spaces) = setup();
+        let pool = Pool::heterogeneous(2, 2);
+        let plan = schedule(
+            &app,
+            &spaces,
+            &pool,
+            &PcieLink::gen3_x16(),
+            &order(&app, &spaces),
+            Choice::Free,
+        )
+        .unwrap();
+        for a in &plan.assignments {
+            for b in &plan.assignments {
+                if a.kernel != b.kernel && a.device == b.device {
+                    assert!(
+                        a.end_ms <= b.start_ms + 1e-9 || b.end_ms <= a.start_ms + 1e-9,
+                        "overlap on {:?}: {a:?} vs {b:?}",
+                        a.device
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_respects_requested_platform() {
+        let (app, spaces) = setup();
+        let pool = Pool::heterogeneous(1, 1);
+        let pins = vec![(DeviceKind::Fpga, 0); app.len()];
+        let plan = schedule(
+            &app,
+            &spaces,
+            &pool,
+            &PcieLink::gen3_x16(),
+            &order(&app, &spaces),
+            Choice::Pinned(&pins),
+        )
+        .unwrap();
+        assert!(plan.assignments.iter().all(|a| a.kind == DeviceKind::Fpga));
+    }
+
+    #[test]
+    fn pinned_out_of_range_impl_errors() {
+        let (app, spaces) = setup();
+        let pool = Pool::heterogeneous(1, 1);
+        let pins = vec![(DeviceKind::Gpu, 9999); app.len()];
+        let err = schedule(
+            &app,
+            &spaces,
+            &pool,
+            &PcieLink::gen3_x16(),
+            &order(&app, &spaces),
+            Choice::Pinned(&pins),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScheduleError::NoImplementation { .. }));
+    }
+
+    #[test]
+    fn gpu_only_pool_rejected_for_mismatched_spaces() {
+        let (app, spaces) = setup();
+        let err = schedule(
+            &app,
+            &spaces[..1],
+            &Pool::heterogeneous(1, 0),
+            &PcieLink::gen3_x16(),
+            &[KernelId(0)],
+            Choice::Free,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScheduleError::SpaceMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_pool_rejected() {
+        let (app, spaces) = setup();
+        let err = schedule(
+            &app,
+            &spaces,
+            &Pool::new(&[]),
+            &PcieLink::gen3_x16(),
+            &[],
+            Choice::Free,
+        )
+        .unwrap_err();
+        assert_eq!(err, ScheduleError::EmptyPool);
+    }
+}

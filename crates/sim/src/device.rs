@@ -1,0 +1,142 @@
+use poly_device::DeviceKind;
+use poly_ir::KernelId;
+use std::collections::VecDeque;
+
+/// One queued kernel execution: request `req` needs kernel `kernel`, ready
+/// since `ready_ms`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct WorkItem {
+    pub req: usize,
+    pub kernel: KernelId,
+    pub ready_ms: f64,
+}
+
+/// Simulation state of one accelerator.
+#[derive(Debug, Clone)]
+pub(crate) struct DeviceState {
+    pub kind: DeviceKind,
+    /// FIFO of ready work.
+    pub queue: VecDeque<WorkItem>,
+    /// Device is executing until this time.
+    pub busy_until: f64,
+    /// Whether an execution is in flight (distinguishes "busy_until in the
+    /// past" from "currently executing").
+    pub executing: bool,
+    /// Loaded FPGA bitstream: `(kernel, impl_index)`.
+    pub loaded: Option<(KernelId, usize)>,
+    /// Reconfiguration time of this device in ms (0 for GPUs).
+    pub reconfig_ms: f64,
+    /// Idle power of the currently configured state, in watts.
+    pub idle_power_w: f64,
+    // --- accounting -------------------------------------------------------
+    /// Active (busy) energy accumulated, in millijoules.
+    pub busy_energy_mj: f64,
+    /// Idle energy accumulated, in millijoules.
+    pub idle_energy_mj: f64,
+    /// Total busy time, in milliseconds.
+    pub busy_ms: f64,
+    /// End of the last accounted interval.
+    pub accounted_to_ms: f64,
+    /// Number of reconfigurations performed.
+    pub reconfigs: usize,
+}
+
+impl DeviceState {
+    pub fn new(kind: DeviceKind, reconfig_ms: f64, idle_power_w: f64) -> Self {
+        Self {
+            kind,
+            queue: VecDeque::new(),
+            busy_until: 0.0,
+            executing: false,
+            loaded: None,
+            reconfig_ms,
+            idle_power_w,
+            busy_energy_mj: 0.0,
+            idle_energy_mj: 0.0,
+            busy_ms: 0.0,
+            accounted_to_ms: 0.0,
+            reconfigs: 0,
+        }
+    }
+
+    /// Account an idle stretch from the last accounted instant to `t`.
+    pub fn account_idle_until(&mut self, t: f64) {
+        if t > self.accounted_to_ms {
+            self.idle_energy_mj += self.idle_power_w * (t - self.accounted_to_ms);
+            self.accounted_to_ms = t;
+        }
+    }
+
+    /// Account a busy stretch `[start, end)` at `power_w` (idle up to
+    /// `start` is accounted first).
+    pub fn account_busy(&mut self, start: f64, end: f64, power_w: f64) {
+        self.account_idle_until(start);
+        let dur = (end - start).max(0.0);
+        self.busy_energy_mj += power_w * dur;
+        self.busy_ms += dur;
+        self.accounted_to_ms = self.accounted_to_ms.max(end);
+    }
+
+    /// Total energy in millijoules after closing the books at `t`.
+    pub fn finish(&mut self, t: f64) -> f64 {
+        self.account_idle_until(t);
+        self.busy_energy_mj + self.idle_energy_mj
+    }
+
+    /// Utilization over `[0, t]`.
+    pub fn utilization(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            (self.busy_ms / t).min(1.0)
+        }
+    }
+}
+
+/// Per-device statistics reported after a simulation segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceStats {
+    /// Device kind.
+    pub kind: DeviceKind,
+    /// Fraction of simulated time spent executing.
+    pub utilization: f64,
+    /// Total energy (busy + idle) in joules.
+    pub energy_j: f64,
+    /// Number of FPGA reconfigurations performed.
+    pub reconfigs: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_then_busy_accounting() {
+        let mut d = DeviceState::new(DeviceKind::Fpga, 200.0, 5.0);
+        d.account_busy(100.0, 150.0, 25.0);
+        // 100 ms idle at 5 W + 50 ms busy at 25 W.
+        assert!((d.idle_energy_mj - 500.0).abs() < 1e-9);
+        assert!((d.busy_energy_mj - 1250.0).abs() < 1e-9);
+        let total = d.finish(200.0);
+        // + 50 ms idle tail.
+        assert!((total - (500.0 + 1250.0 + 250.0)).abs() < 1e-9);
+        assert!((d.utilization(200.0) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn double_finish_is_idempotent() {
+        let mut d = DeviceState::new(DeviceKind::Gpu, 0.0, 40.0);
+        let a = d.finish(100.0);
+        let b = d.finish(100.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn busy_before_accounted_does_not_go_negative() {
+        let mut d = DeviceState::new(DeviceKind::Gpu, 0.0, 40.0);
+        d.account_idle_until(50.0);
+        d.account_busy(40.0, 45.0, 100.0); // overlaps already-accounted idle
+        assert!(d.busy_energy_mj >= 0.0);
+        assert!(d.accounted_to_ms >= 50.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Energy proportionality (Eq. 1 of the paper): how close a node's
+//! power-vs-load curve is to the ideal linear scaling.
+
+/// One point of a power scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpPoint {
+    /// Load level as a fraction of maximum throughput, in `\[0, 1\]`.
+    pub load: f64,
+    /// Mean node power at that load, in watts.
+    pub power_w: f64,
+}
+
+/// A power-vs-load curve (Fig. 1(b) / Fig. 9), sorted by load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpCurve {
+    points: Vec<EpPoint>,
+}
+
+impl EpCurve {
+    /// Build a curve from `(load, power)` samples; sorted internally.
+    ///
+    /// # Panics
+    /// Panics if fewer than two points are given (a curve needs an area).
+    #[must_use]
+    pub fn new(mut points: Vec<EpPoint>) -> Self {
+        assert!(points.len() >= 2, "an EP curve needs at least two points");
+        points.sort_by(|a, b| a.load.total_cmp(&b.load));
+        Self { points }
+    }
+
+    /// The sample points, ascending load.
+    #[must_use]
+    pub fn points(&self) -> &[EpPoint] {
+        &self.points
+    }
+
+    /// Power at full load (the last sample).
+    #[must_use]
+    pub fn peak_power_w(&self) -> f64 {
+        self.points.last().expect("non-empty").power_w
+    }
+
+    /// Area under the curve by trapezoid rule, in watt·(load units).
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| 0.5 * (w[0].power_w + w[1].power_w) * (w[1].load - w[0].load))
+            .sum()
+    }
+
+    /// The energy-proportionality metric of Eq. 1:
+    /// `EP = 1 − (Area_actual − Area_ideal) / Area_ideal`, where the ideal
+    /// curve rises linearly from zero power at zero load to the actual
+    /// peak power at full load.
+    ///
+    /// `EP = 1` is perfectly proportional; lower is worse. Values above 1
+    /// would mean sub-linear power (better than proportional).
+    #[must_use]
+    pub fn ep(&self) -> f64 {
+        let lo = self.points.first().expect("non-empty").load;
+        let hi = self.points.last().expect("non-empty").load;
+        let ideal = 0.5 * self.peak_power_w() * (hi + lo) * (hi - lo).max(1e-12);
+        1.0 - (self.area() - ideal) / ideal
+    }
+}
+
+/// Convenience: EP of raw `(load, power)` pairs.
+#[must_use]
+pub fn ep_metric(samples: &[(f64, f64)]) -> f64 {
+    EpCurve::new(
+        samples
+            .iter()
+            .map(|&(load, power_w)| EpPoint { load, power_w })
+            .collect(),
+    )
+    .ep()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_linear_curve_scores_one() {
+        let c = EpCurve::new(
+            (0..=10)
+                .map(|i| EpPoint {
+                    load: f64::from(i) / 10.0,
+                    power_w: f64::from(i) * 50.0,
+                })
+                .collect(),
+        );
+        assert!((c.ep() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_curve_scores_low() {
+        // Constant power regardless of load: Area_actual = 2 × Area_ideal
+        // ⇒ EP = 0.
+        let c = EpCurve::new(
+            (0..=10)
+                .map(|i| EpPoint {
+                    load: f64::from(i) / 10.0,
+                    power_w: 300.0,
+                })
+                .collect(),
+        );
+        assert!(c.ep().abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_idle_power_hurts_ep() {
+        let idle_heavy = ep_metric(&[(0.0, 200.0), (0.5, 250.0), (1.0, 300.0)]);
+        let idle_light = ep_metric(&[(0.0, 20.0), (0.5, 160.0), (1.0, 300.0)]);
+        assert!(idle_light > idle_heavy);
+    }
+
+    #[test]
+    fn points_sorted_regardless_of_input_order() {
+        let c = EpCurve::new(vec![
+            EpPoint {
+                load: 1.0,
+                power_w: 100.0,
+            },
+            EpPoint {
+                load: 0.0,
+                power_w: 0.0,
+            },
+        ]);
+        assert_eq!(c.points()[0].load, 0.0);
+        assert!((c.ep() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_point_panics() {
+        let _ = EpCurve::new(vec![EpPoint {
+            load: 0.5,
+            power_w: 10.0,
+        }]);
+    }
+
+    #[test]
+    fn paper_magnitudes_reproducible() {
+        // Homo-GPU-like: high idle power -> EP ≈ 0.6–0.7 (paper: 0.68).
+        let gpu = ep_metric(&[
+            (0.0, 170.0),
+            (0.2, 230.0),
+            (0.4, 300.0),
+            (0.6, 370.0),
+            (0.8, 450.0),
+            (1.0, 530.0),
+        ]);
+        assert!((0.5..0.8).contains(&gpu), "{gpu}");
+        // Heter-Poly-like: low idle, near-linear -> EP ≈ 0.9 (paper: 0.92).
+        let het = ep_metric(&[
+            (0.0, 40.0),
+            (0.2, 120.0),
+            (0.4, 210.0),
+            (0.6, 300.0),
+            (0.8, 400.0),
+            (1.0, 500.0),
+        ]);
+        assert!(het > 0.85, "{het}");
+    }
+}

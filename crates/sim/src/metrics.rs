@@ -1,0 +1,146 @@
+/// Latency distribution summary of a set of completed requests.
+///
+/// The paper's QoS metric is the 99th-percentile ("tail") latency; the
+/// summary also exposes p50/p95, mean, and max for the figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    sorted_ms: Vec<f64>,
+    mean_ms: f64,
+}
+
+impl LatencyStats {
+    /// Summarize a set of latency samples (milliseconds). Order of the
+    /// input does not matter; an empty input yields all-zero statistics.
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.retain(|x| x.is_finite());
+        samples.sort_by(f64::total_cmp);
+        let mean_ms = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<f64>() / samples.len() as f64
+        };
+        Self {
+            sorted_ms: samples,
+            mean_ms,
+        }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted_ms.len()
+    }
+
+    /// Whether there are no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted_ms.is_empty()
+    }
+
+    /// The `q`-quantile latency (nearest-rank), `q` in `\[0, 1\]`.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `\[0, 1\]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.sorted_ms.is_empty() {
+            return 0.0;
+        }
+        let rank =
+            ((q * self.sorted_ms.len() as f64).ceil() as usize).clamp(1, self.sorted_ms.len());
+        self.sorted_ms[rank - 1]
+    }
+
+    /// Median latency.
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency.
+    #[must_use]
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile ("tail") latency — the paper's QoS metric.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean latency.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean_ms
+    }
+
+    /// Maximum latency.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.sorted_ms.last().copied().unwrap_or(0.0)
+    }
+
+    /// Fraction of samples strictly above `bound_ms`.
+    #[must_use]
+    pub fn violation_ratio(&self, bound_ms: f64) -> f64 {
+        if self.sorted_ms.is_empty() {
+            return 0.0;
+        }
+        let violating = self.sorted_ms.partition_point(|&x| x <= bound_ms);
+        (self.sorted_ms.len() - violating) as f64 / self.sorted_ms.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_on_known_distribution() {
+        let s = LatencyStats::from_samples((1..=100).map(f64::from).collect());
+        assert_eq!(s.p50(), 50.0);
+        assert_eq!(s.p95(), 95.0);
+        assert_eq!(s.p99(), 99.0);
+        assert_eq!(s.max(), 100.0);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_is_all_zero() {
+        let s = LatencyStats::from_samples(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.p99(), 0.0);
+        assert_eq!(s.violation_ratio(100.0), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencyStats::from_samples(vec![42.0]);
+        assert_eq!(s.p50(), 42.0);
+        assert_eq!(s.p99(), 42.0);
+    }
+
+    #[test]
+    fn violation_ratio_counts_strict_exceedance() {
+        let s = LatencyStats::from_samples(vec![10.0, 20.0, 30.0, 40.0]);
+        assert!((s.violation_ratio(25.0) - 0.5).abs() < 1e-12);
+        assert_eq!(s.violation_ratio(40.0), 0.0);
+        assert_eq!(s.violation_ratio(5.0), 1.0);
+    }
+
+    #[test]
+    fn non_finite_samples_dropped() {
+        let s = LatencyStats::from_samples(vec![1.0, f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.max(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_quantile_panics() {
+        let _ = LatencyStats::from_samples(vec![1.0]).quantile(1.5);
+    }
+}

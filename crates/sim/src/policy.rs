@@ -1,0 +1,216 @@
+use poly_device::{DeviceKind, GpuModel, GpuTuning};
+use poly_dse::{KernelDesignSpace, Tuning};
+use poly_ir::KernelId;
+use poly_sched::SchedulePlan;
+
+/// The implementation the current policy selects for one kernel, with
+/// everything the simulator needs to execute it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelImpl {
+    /// The kernel.
+    pub kernel: KernelId,
+    /// Target platform.
+    pub kind: DeviceKind,
+    /// Implementation index `r` on that platform's frontier.
+    pub impl_index: usize,
+    /// Completion latency of a full batch (GPU) or one streamed request
+    /// (FPGA), in milliseconds.
+    pub latency_ms: f64,
+    /// Completion latency when only a single request is available (GPU
+    /// batch-of-one; equals `latency_ms` on FPGAs).
+    pub latency_single_ms: f64,
+    /// Device occupancy per request at full batch, in milliseconds.
+    pub service_ms: f64,
+    /// Maximum batch size (1 on FPGAs).
+    pub batch: u32,
+    /// Board power while executing, in watts.
+    pub active_power_w: f64,
+    /// Board power while configured but idle, in watts.
+    pub idle_power_w: f64,
+}
+
+impl KernelImpl {
+    /// Execution latency of a batch of `n ≤ batch` requests: linear
+    /// interpolation between the single-request and full-batch latencies.
+    #[must_use]
+    pub fn exec_ms(&self, n: u32) -> f64 {
+        let n = n.clamp(1, self.batch);
+        if self.batch <= 1 {
+            return self.latency_ms;
+        }
+        let frac = f64::from(n - 1) / f64::from(self.batch - 1);
+        self.latency_single_ms + frac * (self.latency_ms - self.latency_single_ms)
+    }
+
+    /// Device occupancy of a batch of `n` requests: the full execution on
+    /// GPUs, the pipelined per-request service on FPGAs.
+    #[must_use]
+    pub fn occupancy_ms(&self, n: u32) -> f64 {
+        match self.kind {
+            DeviceKind::Gpu => self.exec_ms(n),
+            DeviceKind::Fpga => self.service_ms * f64::from(n.max(1)),
+        }
+    }
+}
+
+/// A complete execution policy for an application: the `(implementation,
+/// platform)` choice per kernel, as produced by the runtime scheduler (or a
+/// static baseline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Policy {
+    impls: Vec<KernelImpl>,
+}
+
+impl Policy {
+    /// Build a policy from a schedule plan and the design spaces it indexes.
+    ///
+    /// `gpu_model` recomputes each GPU implementation's batch-of-one
+    /// latency, which the plan does not carry (the simulator needs it to
+    /// execute partial batches at low load).
+    ///
+    /// # Panics
+    /// Panics if the plan references implementation indices outside the
+    /// given spaces (plans and spaces from the same scheduler run always
+    /// agree).
+    #[must_use]
+    pub fn from_plan(
+        plan: &SchedulePlan,
+        spaces: &[KernelDesignSpace],
+        gpu_model: &GpuModel,
+    ) -> Self {
+        let impls = plan
+            .assignments
+            .iter()
+            .map(|a| {
+                let space = &spaces[a.kernel.0];
+                let point = &space.points(a.kind)[a.impl_index];
+                let latency_single_ms = match &point.tuning {
+                    Tuning::Gpu(t) => {
+                        let single = GpuTuning {
+                            batch: 1,
+                            ..t.clone()
+                        };
+                        gpu_model.estimate(&space.profile, &single).latency_ms
+                    }
+                    Tuning::Fpga(_) => point.estimate.latency_ms,
+                };
+                KernelImpl {
+                    kernel: a.kernel,
+                    kind: a.kind,
+                    impl_index: a.impl_index,
+                    latency_ms: point.estimate.latency_ms,
+                    latency_single_ms,
+                    service_ms: point.estimate.service_ms,
+                    batch: point.estimate.batch,
+                    active_power_w: point.estimate.active_power_w,
+                    idle_power_w: point.estimate.idle_power_w,
+                }
+            })
+            .collect();
+        Self { impls }
+    }
+
+    /// Build a policy directly from per-kernel implementations (tests and
+    /// synthetic experiments).
+    #[must_use]
+    pub fn from_impls(impls: Vec<KernelImpl>) -> Self {
+        Self { impls }
+    }
+
+    /// Implementation chosen for `kernel`.
+    ///
+    /// # Panics
+    /// Panics if `kernel` is out of range.
+    #[must_use]
+    pub fn of(&self, kernel: KernelId) -> &KernelImpl {
+        &self.impls[kernel.0]
+    }
+
+    /// All per-kernel implementations, indexed by kernel id.
+    #[must_use]
+    pub fn impls(&self) -> &[KernelImpl] {
+        &self.impls
+    }
+
+    /// Number of kernels covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.impls.len()
+    }
+
+    /// Whether the policy covers no kernels.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.impls.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu_impl() -> KernelImpl {
+        KernelImpl {
+            kernel: KernelId(0),
+            kind: DeviceKind::Gpu,
+            impl_index: 0,
+            latency_ms: 80.0,
+            latency_single_ms: 20.0,
+            service_ms: 10.0,
+            batch: 8,
+            active_power_w: 200.0,
+            idle_power_w: 40.0,
+        }
+    }
+
+    fn fpga_impl() -> KernelImpl {
+        KernelImpl {
+            kernel: KernelId(0),
+            kind: DeviceKind::Fpga,
+            impl_index: 0,
+            latency_ms: 30.0,
+            latency_single_ms: 30.0,
+            service_ms: 25.0,
+            batch: 1,
+            active_power_w: 25.0,
+            idle_power_w: 5.0,
+        }
+    }
+
+    #[test]
+    fn gpu_batch_latency_interpolates() {
+        let k = gpu_impl();
+        assert_eq!(k.exec_ms(1), 20.0);
+        assert_eq!(k.exec_ms(8), 80.0);
+        let mid = k.exec_ms(4);
+        assert!(mid > 20.0 && mid < 80.0);
+        // Oversized n clamps to the batch limit.
+        assert_eq!(k.exec_ms(99), 80.0);
+    }
+
+    #[test]
+    fn gpu_occupancy_is_full_execution() {
+        let k = gpu_impl();
+        assert_eq!(k.occupancy_ms(8), k.exec_ms(8));
+    }
+
+    #[test]
+    fn fpga_occupancy_is_pipelined_service() {
+        let k = fpga_impl();
+        assert_eq!(k.exec_ms(1), 30.0);
+        assert_eq!(k.occupancy_ms(1), 25.0);
+        assert!(k.occupancy_ms(1) < k.latency_ms);
+    }
+
+    #[test]
+    fn policy_indexes_by_kernel() {
+        let p = Policy::from_impls(vec![gpu_impl(), {
+            let mut f = fpga_impl();
+            f.kernel = KernelId(1);
+            f
+        }]);
+        assert_eq!(p.of(KernelId(0)).kind, DeviceKind::Gpu);
+        assert_eq!(p.of(KernelId(1)).kind, DeviceKind::Fpga);
+        assert_eq!(p.len(), 2);
+    }
+}

@@ -1,0 +1,45 @@
+use std::cmp::Ordering;
+
+/// Totally ordered `f64` wrapper for event-queue keys.
+///
+/// Uses [`f64::total_cmp`]; NaN sorts after every number, but the simulator
+/// never produces NaN times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TotalF64(pub f64);
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn orders_like_f64() {
+        assert!(TotalF64(1.0) < TotalF64(2.0));
+        assert!(TotalF64(-1.0) < TotalF64(0.0));
+        assert_eq!(TotalF64(3.5), TotalF64(3.5));
+    }
+
+    #[test]
+    fn works_in_a_min_heap() {
+        let mut heap = BinaryHeap::new();
+        for t in [3.0, 1.0, 2.0] {
+            heap.push(std::cmp::Reverse(TotalF64(t)));
+        }
+        let order: Vec<f64> = std::iter::from_fn(|| heap.pop().map(|x| x.0 .0)).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Request generators and the 24-hour datacenter utilization trace.
+//!
+//! All generators are deterministic given a seed, so every experiment in
+//! EXPERIMENTS.md is reproducible bit-for-bit.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Arrival times (ms) at a constant inter-arrival interval — the paper's
+/// motivation experiment sends ASR requests "in a constant interval which
+/// is varied from 100ms to 1ms".
+#[must_use]
+pub fn constant(rate_rps: f64, duration_ms: f64) -> Vec<f64> {
+    if rate_rps <= 0.0 {
+        return Vec::new();
+    }
+    let interval = 1000.0 / rate_rps;
+    let n = (duration_ms / interval).floor() as usize;
+    (0..n).map(|i| i as f64 * interval).collect()
+}
+
+/// Poisson (open-loop) arrivals at `rate_rps`, seeded.
+#[must_use]
+pub fn poisson(rate_rps: f64, duration_ms: f64, seed: u64) -> Vec<f64> {
+    if rate_rps <= 0.0 {
+        return Vec::new();
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mean_interval = 1000.0 / rate_rps;
+    let mut t = 0.0;
+    let mut out = Vec::new();
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -mean_interval * u.ln();
+        if t >= duration_ms {
+            return out;
+        }
+        out.push(t);
+    }
+}
+
+/// Markov-modulated Poisson arrivals: a two-state process that switches
+/// between a `base_rps` state and a `burst_rps` state with exponentially
+/// distributed sojourn times (`mean_state_ms`). Bursty open-loop traffic —
+/// the stress case for the runtime's queue-length reaction (Section VI-C).
+#[must_use]
+pub fn mmpp(
+    base_rps: f64,
+    burst_rps: f64,
+    mean_state_ms: f64,
+    duration_ms: f64,
+    seed: u64,
+) -> Vec<f64> {
+    if duration_ms <= 0.0 || (base_rps <= 0.0 && burst_rps <= 0.0) {
+        return Vec::new();
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    let mut bursting = false;
+    while t < duration_ms {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let state_len = -mean_state_ms * u.ln();
+        let end = (t + state_len).min(duration_ms);
+        let rate = if bursting { burst_rps } else { base_rps };
+        if rate > 0.0 {
+            let mean_interval = 1000.0 / rate;
+            loop {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t += -mean_interval * u.ln();
+                if t >= end {
+                    break;
+                }
+                out.push(t);
+            }
+        }
+        t = end;
+        bursting = !bursting;
+    }
+    out
+}
+
+/// One point of a utilization trace: the interval starting at
+/// `start_ms` runs at `utilization` (fraction of the node's max RPS).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Interval start in milliseconds since trace begin.
+    pub start_ms: f64,
+    /// Load level in `\[0, 1\]`.
+    pub utilization: f64,
+}
+
+/// A synthesized 24-hour server utilization trace in the style of the
+/// Google cluster trace the paper replays (Fig. 11): a diurnal baseline
+/// (low at night, high in the evening), plus noise and occasional bursts.
+///
+/// `interval_ms` is the sampling period (the paper's re-planning interval);
+/// deterministic in `seed`.
+#[must_use]
+pub fn google_trace_24h(interval_ms: f64, seed: u64) -> Vec<TracePoint> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let day_ms = 24.0 * 3600.0 * 1000.0;
+    let n = (day_ms / interval_ms).ceil() as usize;
+    let mut points = Vec::with_capacity(n);
+    let mut burst_left = 0usize;
+    let mut burst_level = 0.0;
+    for i in 0..n {
+        let start_ms = i as f64 * interval_ms;
+        let hour = start_ms / 3_600_000.0;
+        // Diurnal: trough ~04:00 (≈0.18), peak ~20:00 (≈0.85).
+        let phase = (hour - 14.0) / 24.0 * std::f64::consts::TAU;
+        let diurnal = 0.50 + 0.33 * phase.cos();
+        // Noise.
+        let noise: f64 = rng.gen_range(-0.06..0.06);
+        // Bursts: ~1% of intervals start a burst lasting a few intervals.
+        if burst_left == 0 && rng.gen_bool(0.01) {
+            burst_left = rng.gen_range(2..6);
+            burst_level = rng.gen_range(0.15..0.30);
+        }
+        let burst = if burst_left > 0 {
+            burst_left -= 1;
+            burst_level
+        } else {
+            0.0
+        };
+        points.push(TracePoint {
+            start_ms,
+            utilization: (diurnal + noise + burst).clamp(0.02, 1.0),
+        });
+    }
+    points
+}
+
+/// Arrival times over a trace: each interval produces Poisson arrivals at
+/// `utilization × max_rps`.
+#[must_use]
+pub fn trace_arrivals(trace: &[TracePoint], interval_ms: f64, max_rps: f64, seed: u64) -> Vec<f64> {
+    let mut out = Vec::new();
+    for (i, p) in trace.iter().enumerate() {
+        let rate = p.utilization * max_rps;
+        for t in poisson(rate, interval_ms, seed.wrapping_add(i as u64)) {
+            out.push(p.start_ms + t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_spacing_is_exact() {
+        let a = constant(100.0, 100.0); // 100 RPS for 100 ms -> 10 arrivals
+        assert_eq!(a.len(), 10);
+        assert!((a[1] - a[0] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rate_yields_nothing() {
+        assert!(constant(0.0, 1000.0).is_empty());
+        assert!(poisson(0.0, 1000.0, 1).is_empty());
+    }
+
+    #[test]
+    fn poisson_mean_rate_approximately_correct() {
+        let a = poisson(50.0, 60_000.0, 42);
+        // 50 RPS over 60 s ⇒ ~3000 arrivals; Poisson σ≈55.
+        assert!((2700..=3300).contains(&a.len()), "{}", a.len());
+        assert!(a.windows(2).all(|w| w[1] > w[0]), "sorted");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_in_seed() {
+        assert_eq!(poisson(10.0, 10_000.0, 7), poisson(10.0, 10_000.0, 7));
+        assert_ne!(poisson(10.0, 10_000.0, 7), poisson(10.0, 10_000.0, 8));
+    }
+
+    #[test]
+    fn mmpp_alternates_between_rates() {
+        let a = mmpp(5.0, 120.0, 2_000.0, 60_000.0, 9);
+        // Mean rate sits between the two states.
+        let mean_rps = a.len() as f64 / 60.0;
+        assert!(mean_rps > 10.0 && mean_rps < 110.0, "{mean_rps}");
+        assert!(a.windows(2).all(|w| w[1] >= w[0]), "sorted");
+        // Deterministic in the seed.
+        assert_eq!(a, mmpp(5.0, 120.0, 2_000.0, 60_000.0, 9));
+        // Degenerate cases.
+        assert!(mmpp(0.0, 0.0, 1000.0, 1000.0, 1).is_empty());
+        assert!(mmpp(1.0, 1.0, 1000.0, 0.0, 1).is_empty());
+    }
+
+    #[test]
+    fn trace_has_diurnal_shape() {
+        let trace = google_trace_24h(300_000.0, 1); // 5-minute intervals
+        assert_eq!(trace.len(), 288);
+        let at_hour = |h: f64| {
+            trace
+                .iter()
+                .find(|p| p.start_ms >= h * 3_600_000.0)
+                .unwrap()
+                .utilization
+        };
+        // Early morning trough far below evening peak.
+        assert!(at_hour(4.0) < at_hour(20.0) - 0.2);
+        assert!(trace.iter().all(|p| (0.0..=1.0).contains(&p.utilization)));
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        assert_eq!(
+            google_trace_24h(300_000.0, 5),
+            google_trace_24h(300_000.0, 5)
+        );
+    }
+
+    #[test]
+    fn trace_arrivals_follow_utilization() {
+        let trace = vec![
+            TracePoint {
+                start_ms: 0.0,
+                utilization: 0.1,
+            },
+            TracePoint {
+                start_ms: 10_000.0,
+                utilization: 1.0,
+            },
+        ];
+        let arrivals = trace_arrivals(&trace, 10_000.0, 100.0, 3);
+        let low = arrivals.iter().filter(|&&t| t < 10_000.0).count();
+        let high = arrivals.len() - low;
+        assert!(high > low * 4, "high-load interval has ~10x the arrivals");
+        assert!(arrivals.windows(2).all(|w| w[1] >= w[0]), "sorted");
+    }
+}

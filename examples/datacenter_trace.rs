@@ -1,0 +1,87 @@
+//! Trace-driven operation (Section VI-C): replay a diurnal utilization
+//! trace against the Heter-Poly node and watch the runtime re-plan as load
+//! moves, versus a static baseline that never adapts.
+//!
+//! ```sh
+//! cargo run --release --example datacenter_trace
+//! ```
+
+use poly::apps::{asr, QOS_BOUND_MS};
+use poly::core::provision::{table_iii, Architecture, Setting};
+use poly::core::{Optimizer, PolyRuntime, RuntimeMode};
+use poly::dse::Explorer;
+use poly::sim::workload::google_trace_24h;
+
+fn main() {
+    let app = asr();
+    // A compressed 24-"hour" trace: 48 intervals of 10 simulated seconds.
+    let interval_ms = 10_000.0;
+    let trace: Vec<_> = google_trace_24h(interval_ms, 2011)
+        .into_iter()
+        .step_by(6)
+        .take(48)
+        .enumerate()
+        .map(|(i, mut p)| {
+            p.start_ms = i as f64 * interval_ms;
+            p
+        })
+        .collect();
+    let max_rps = 45.0;
+
+    let setup = table_iii(Setting::I, Architecture::HeterPoly);
+    let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+    let spaces: Vec<_> = app.kernels().iter().map(|k| explorer.explore(k)).collect();
+
+    // Static baseline: the best fixed policy, never re-planned.
+    let static_policy =
+        Optimizer::new().max_capacity_policy(&app, &spaces, &setup.pool, &setup.gpu, QOS_BOUND_MS);
+    let mut rt = PolyRuntime::new(app.clone(), spaces.clone(), setup.clone(), QOS_BOUND_MS);
+    let static_report = rt.run_trace(
+        &trace,
+        interval_ms,
+        max_rps,
+        &RuntimeMode::Static(static_policy),
+        9,
+    );
+
+    // Poly: monitor -> model -> optimizer every interval.
+    let mut rt = PolyRuntime::new(app, spaces, setup, QOS_BOUND_MS);
+    let poly_report = rt.run_trace(&trace, interval_ms, max_rps, &RuntimeMode::Poly, 9);
+
+    println!("interval  util   offered   poly-P(W)  static-P(W)  poly-p99  replanned");
+    for (i, (p, s)) in poly_report
+        .intervals
+        .iter()
+        .zip(&static_report.intervals)
+        .enumerate()
+    {
+        if i % 4 == 0 {
+            println!(
+                "{i:8} {:5.2} {:8.1} {:10.1} {:12.1} {:9.1} {:>9}",
+                p.utilization,
+                p.offered_rps,
+                p.avg_power_w,
+                s.avg_power_w,
+                p.p99_ms,
+                if p.policy_changed { "yes" } else { "" }
+            );
+        }
+    }
+    println!(
+        "Poly:   mean power {:6.1} W, violations {:4.2}%, model error {:4.1}%",
+        poly_report.mean_power_w,
+        poly_report.violation_ratio * 100.0,
+        poly_report.prediction_error * 100.0
+    );
+    println!(
+        "Static: mean power {:6.1} W, violations {:4.2}%",
+        static_report.mean_power_w,
+        static_report.violation_ratio * 100.0
+    );
+    let saved = 1.0 - poly_report.mean_power_w / static_report.mean_power_w.max(1e-9);
+    println!("Poly saves {:.0}% power over the trace.", saved * 100.0);
+    assert!(
+        poly_report.intervals.iter().any(|r| r.policy_changed),
+        "the runtime should adapt at least once over a diurnal trace"
+    );
+}

@@ -1,0 +1,110 @@
+//! Quickstart: define a kernel, explore its design space, schedule an
+//! application, and simulate it under load.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use poly::core::provision::{table_iii, Architecture, Setting};
+use poly::core::Poly;
+use poly::device::DeviceKind;
+use poly::ir::{KernelBuilder, KernelGraphBuilder, OpFunc, PatternKind, Shape};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe kernels as compositions of parallel patterns (Table I).
+    let embed = KernelBuilder::new("embed")
+        .pattern("fetch", PatternKind::Gather, Shape::d2(4096, 64), &[])
+        .pattern(
+            "proj",
+            PatternKind::Map,
+            Shape::d2(4096, 64),
+            &[OpFunc::Mac],
+        )
+        .chain()
+        .iterations(400)
+        .build()?;
+    let score = KernelBuilder::new("score")
+        .pattern(
+            "dense",
+            PatternKind::Map,
+            Shape::d2(2048, 512),
+            &[OpFunc::Mac],
+        )
+        .pattern(
+            "sum",
+            PatternKind::Reduce,
+            Shape::d2(2048, 512),
+            &[OpFunc::Add],
+        )
+        .pattern(
+            "act",
+            PatternKind::pipeline(),
+            Shape::d1(2048),
+            &[OpFunc::Sigmoid],
+        )
+        .chain()
+        .iterations(900)
+        .build()?;
+
+    // 2. Wire them into an application DAG.
+    let app = KernelGraphBuilder::new("ranker")
+        .kernel(embed)
+        .kernel(score)
+        .edge("embed", "score", 2 << 20)
+        .build()?;
+
+    // 3. Offline phase: constructing `Poly` explores each kernel's Pareto
+    //    design space on both platforms using the analytical device models.
+    let node = table_iii(Setting::I, Architecture::HeterPoly); // 1 GPU + 5 FPGAs
+    let mut poly = Poly::offline(app, node);
+    for s in poly.design_spaces() {
+        println!(
+            "kernel {:8} explored {}/{} designs, kept {} GPU + {} FPGA Pareto points",
+            s.kernel,
+            s.gpu_explored,
+            s.fpga_explored,
+            s.gpu.len(),
+            s.fpga.len()
+        );
+    }
+
+    // 4. Runtime: the two-step schedule for a single request under the
+    //    200 ms tail-latency bound (Fig. 6 of the paper).
+    let plan = poly.plan(200.0)?;
+    println!(
+        "plan: makespan {:.1} ms, dynamic energy {:.0} mJ",
+        plan.makespan_ms, plan.dynamic_mj
+    );
+    for a in &plan.assignments {
+        println!(
+            "  {} -> implementation {} on {}",
+            poly.graph().kernel(a.kernel).name(),
+            a.impl_index,
+            a.kind
+        );
+    }
+
+    // 5. The single-request plan optimizes one request in isolation; to
+    //    *serve* a request rate, ask the system optimizer for a load-aware
+    //    policy and simulate the node at 20 RPS.
+    let (policy, prediction) = poly.policy_for_load(200.0, 20.0);
+    println!(
+        "optimizer: capacity {:.1} RPS, predicted p99 {:.1} ms",
+        prediction.capacity_rps, prediction.p99_ms
+    );
+    let mut sim = poly.simulator(policy.clone());
+    sim.enqueue_arrivals(&poly::sim::workload::poisson(20.0, 20_000.0, 7));
+    sim.drain();
+    let report = sim.finish(25_000.0);
+    println!(
+        "at 20 RPS: p99 = {:.1} ms, node power = {:.1} W, {} requests served",
+        report.latency.p99(),
+        report.avg_power_w,
+        report.completed
+    );
+    assert!(report.completed > 0);
+    assert!(report.latency.p99() < 200.0, "policy should meet the bound");
+    // The heterogeneous pool is actually used heterogeneously.
+    assert!(policy.impls().iter().any(|i| i.kind == DeviceKind::Fpga));
+    Ok(())
+}

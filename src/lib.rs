@@ -1,0 +1,30 @@
+//! # Poly — heterogeneous system and application management for interactive applications
+//!
+//! A from-scratch Rust reproduction of *"Poly: Efficient Heterogeneous
+//! System and Application Management for Interactive Applications"*
+//! (Wang, Liang, Zhang — HPCA 2019).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! - [`ir`] — parallel-pattern IR (patterns, CDFG, PPG, kernel DAGs, DSL)
+//! - [`device`] — analytical GPU/FPGA models and the accelerator catalog
+//! - [`dse`] — offline kernel analysis and design-space exploration
+//! - [`sched`] — the two-step runtime kernel scheduler
+//! - [`sim`] — discrete-event datacenter simulator and metrics
+//! - [`apps`] — the six QoS-sensitive benchmark applications
+//! - [`core`] — the Poly framework (monitor / model / optimizer loop,
+//!   provisioning, TCO)
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory; `EXPERIMENTS.md` records paper-vs-measured results for every
+//! table and figure.
+
+#![forbid(unsafe_code)]
+
+pub use poly_apps as apps;
+pub use poly_core as core;
+pub use poly_device as device;
+pub use poly_dse as dse;
+pub use poly_ir as ir;
+pub use poly_sched as sched;
+pub use poly_sim as sim;

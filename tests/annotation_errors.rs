@@ -1,0 +1,104 @@
+//! Error-path tests of the annotation DSL parser: every malformed input
+//! must produce a located, readable parse error — never a panic.
+
+use poly::ir::{annotation, IrError};
+
+fn err_of(src: &str) -> IrError {
+    annotation::parse(src).expect_err("should not parse")
+}
+
+#[test]
+fn missing_semicolon_is_reported() {
+    let e = err_of("kernel k { input x : f32[8]\n m = map(x, add); output m; }");
+    assert!(matches!(e, IrError::Parse { .. }), "{e}");
+}
+
+#[test]
+fn unknown_dtype() {
+    let e = err_of("kernel k { input x : f16[8]; m = map(x, add); output m; }");
+    assert!(e.to_string().contains("f16"), "{e}");
+}
+
+#[test]
+fn unknown_operator_names_the_operator() {
+    let e = err_of("kernel k { input x : f32[8]; m = map(x, frobnicate); output m; }");
+    assert!(e.to_string().contains("frobnicate"), "{e}");
+}
+
+#[test]
+fn unknown_pattern_names_the_pattern() {
+    let e = err_of("kernel k { input x : f32[8]; m = mapreduce(x, add); output m; }");
+    assert!(e.to_string().contains("mapreduce"), "{e}");
+}
+
+#[test]
+fn output_of_undefined_variable() {
+    let e = err_of("kernel k { input x : f32[8]; output zzz; }");
+    assert!(e.to_string().contains("zzz"), "{e}");
+}
+
+#[test]
+fn reduce_with_non_associative_combiner_is_semantic_error() {
+    let e = err_of("kernel k { input x : f32[8]; r = reduce(x, sigmoid); output r; }");
+    assert!(matches!(e, IrError::InvalidPattern { .. }), "{e}");
+}
+
+#[test]
+fn four_dimensional_shape_rejected() {
+    let e = err_of("kernel k { input x : f32[2][2][2][2]; m = map(x, add); output m; }");
+    assert!(e.to_string().contains("three dimensions"), "{e}");
+}
+
+#[test]
+fn empty_app_block_is_rejected_downstream() {
+    let e = err_of("app a { }");
+    // Empty graphs are rejected by graph validation.
+    assert!(matches!(e, IrError::EmptyGraph { .. }) || matches!(e, IrError::Parse { .. }));
+}
+
+#[test]
+fn edge_to_unknown_kernel_instance() {
+    let src = r#"
+        kernel k { input x : f32[8]; m = map(x, add); output m; }
+        app a { n1 = kernel k; n1 -> n2 : 10; }
+    "#;
+    let e = err_of(src);
+    assert!(e.to_string().contains("n2"), "{e}");
+}
+
+#[test]
+fn bad_byte_unit() {
+    let src = r#"
+        kernel k { input x : f32[8]; m = map(x, add); output m; }
+        app a { n1 = kernel k; n2 = kernel k; n1 -> n2 : 4tb; }
+    "#;
+    let e = err_of(src);
+    assert!(e.to_string().contains("tb"), "{e}");
+}
+
+#[test]
+fn dangling_at_suffix() {
+    let e = err_of("kernel k { input x : f32[8]; m = map(x, add) @ ; output m; }");
+    assert!(matches!(e, IrError::Parse { .. }), "{e}");
+}
+
+#[test]
+fn shape_override_with_unknown_dtype() {
+    let e = err_of("kernel k { input x : f32[8]; m = map(x, add) @ q8[4]; output m; }");
+    assert!(e.to_string().contains("q8"), "{e}");
+}
+
+#[test]
+fn error_lines_point_at_the_offending_statement() {
+    let src = "kernel k {\n    input x : f32[8];\n    m = map(x, add);\n    z = zap(m, add);\n}";
+    match err_of(src) {
+        IrError::Parse { line, .. } => assert_eq!(line, 4),
+        other => panic!("expected parse error, got {other}"),
+    }
+}
+
+#[test]
+fn stray_top_level_tokens() {
+    let e = err_of("banana");
+    assert!(matches!(e, IrError::Parse { .. }), "{e}");
+}

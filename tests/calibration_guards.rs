@@ -1,0 +1,127 @@
+//! Calibration guards: the per-kernel platform asymmetries that the
+//! paper's headline results depend on, locked in against regression.
+//!
+//! If one of these fails after a model or workload change, re-run
+//! `experiments fig8` before trusting EXPERIMENTS.md.
+
+use poly::apps;
+use poly::device::{catalog, DeviceKind};
+use poly::dse::{Explorer, KernelDesignSpace};
+
+fn explore(app: &poly::ir::KernelGraph) -> Vec<KernelDesignSpace> {
+    let ex = Explorer::new(catalog::amd_w9100(), catalog::xilinx_7v3());
+    app.kernels().iter().map(|k| ex.explore(k)).collect()
+}
+
+/// Best sustainable per-device service time on each platform.
+fn best_service(space: &KernelDesignSpace, kind: DeviceKind) -> f64 {
+    space
+        .points(kind)
+        .iter()
+        .map(|p| p.service_ms())
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+fn asr_splits_wide_gpu_kernels_from_deep_fpga_kernels() {
+    let app = apps::asr();
+    let spaces = explore(&app);
+    let id = |n: &str| app.id_of(n).unwrap().0;
+    // K1/K4 (wide dense): GPU service must beat FPGA by a wide margin.
+    for k in ["k1_lstm_fwd", "k4_fc_output"] {
+        let s = &spaces[id(k)];
+        assert!(
+            best_service(s, DeviceKind::Gpu) * 3.0 < best_service(s, DeviceKind::Fpga),
+            "{k} should be GPU-dominant"
+        );
+    }
+    // K2/K3 (deep quantized): FPGA must at least win on latency.
+    for k in ["k2_lstm_bwd", "k3_fc_hidden"] {
+        let s = &spaces[id(k)];
+        let gpu_lat = s.min_latency(DeviceKind::Gpu).unwrap().latency_ms();
+        let fpga_lat = s.min_latency(DeviceKind::Fpga).unwrap().latency_ms();
+        assert!(fpga_lat < gpu_lat, "{k} should be FPGA-leaning on latency");
+    }
+}
+
+#[test]
+fn fqt_prng_streams_on_fpga_paths_batch_on_gpu() {
+    let app = apps::fqt();
+    let spaces = explore(&app);
+    let id = |n: &str| app.id_of(n).unwrap().0;
+    let prng = &spaces[id("prng")];
+    // PRNG: FPGA latency crushes GPU latency (paper's Section VI-B).
+    assert!(
+        prng.min_latency(DeviceKind::Fpga).unwrap().latency_ms() * 4.0
+            < prng.min_latency(DeviceKind::Gpu).unwrap().latency_ms()
+    );
+    // Path evolution: GPU service crushes FPGA service.
+    let bs = &spaces[id("black_scholes")];
+    assert!(best_service(bs, DeviceKind::Gpu) * 4.0 < best_service(bs, DeviceKind::Fpga));
+}
+
+#[test]
+fn cs_encoder_fpga_decoder_gpu() {
+    let app = apps::cloud_storage();
+    let spaces = explore(&app);
+    let id = |n: &str| app.id_of(n).unwrap().0;
+    let enc = &spaces[id("rs_encoder")];
+    assert!(
+        enc.min_latency(DeviceKind::Fpga).unwrap().latency_ms()
+            < enc.min_latency(DeviceKind::Gpu).unwrap().latency_ms(),
+        "GF encode belongs on LUT datapaths"
+    );
+    let dec = &spaces[id("rs_decoder")];
+    assert!(
+        best_service(dec, DeviceKind::Gpu) * 4.0 < best_service(dec, DeviceKind::Fpga),
+        "dense reconstruction belongs on the GPU"
+    );
+}
+
+#[test]
+fn wt_coder_is_the_fpga_anchor() {
+    let app = apps::webp_transcoding();
+    let spaces = explore(&app);
+    let id = |n: &str| app.id_of(n).unwrap().0;
+    let ac = &spaces[id("arithmetic_coding")];
+    assert!(
+        ac.min_latency(DeviceKind::Fpga).unwrap().latency_ms()
+            < ac.min_latency(DeviceKind::Gpu).unwrap().latency_ms()
+    );
+    let intra = &spaces[id("intra_prediction")];
+    assert!(best_service(intra, DeviceKind::Gpu) * 3.0 < best_service(intra, DeviceKind::Fpga));
+}
+
+#[test]
+fn every_kernel_latency_lands_in_the_papers_regime() {
+    // Fig. 1(f) works in tens of milliseconds; each kernel's fastest
+    // implementation must land between 1 ms and 150 ms so the 200 ms bound
+    // is meaningful for every app.
+    for app in apps::suite() {
+        for (kernel, space) in app.kernels().iter().zip(explore(&app)) {
+            let best = space.min_latency_any().unwrap().latency_ms();
+            assert!(
+                (1.0..150.0).contains(&best),
+                "{}::{} fastest latency {best} ms out of regime",
+                app.name(),
+                kernel.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_app_critical_path_fits_the_bound_at_min_latency() {
+    for app in apps::suite() {
+        let spaces = explore(&app);
+        let path = app.critical_path(
+            |k| spaces[k.0].min_latency_any().unwrap().latency_ms(),
+            |_| 0.5, // generous per-edge transfer allowance
+        );
+        assert!(
+            path < poly::apps::QOS_BOUND_MS * 0.9,
+            "{}: fastest critical path {path} ms leaves no queueing headroom",
+            app.name()
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Behavioral tests of the analytical device models across the whole
+//! catalog: monotonicity laws, batching economics, DVFS trade-offs, and
+//! resource-model consistency.
+
+use poly::device::{catalog, DeviceKind, DvfsLevel, FpgaTuning, GpuTuning, PcieLink};
+use poly::dse::Explorer;
+use poly::ir::{KernelBuilder, OpFunc, PatternKind, Shape};
+
+fn wide_kernel() -> poly::ir::KernelProfile {
+    KernelBuilder::new("wide")
+        .pattern("m", PatternKind::Map, Shape::d2(2048, 1024), &[OpFunc::Mac])
+        .iterations(2000)
+        .build()
+        .unwrap()
+        .profile()
+}
+
+fn deep_kernel() -> poly::ir::KernelProfile {
+    KernelBuilder::new("deep")
+        .pattern(
+            "m",
+            PatternKind::Map,
+            Shape::d2(256, 256),
+            &[OpFunc::Mac, OpFunc::Lookup, OpFunc::Lookup],
+        )
+        .iterations(20000)
+        .build()
+        .unwrap()
+        .profile()
+}
+
+#[test]
+fn gpu_batching_amortizes_but_never_below_compute_floor() {
+    for gpu in catalog::all_gpus() {
+        let p = wide_kernel();
+        let mut prev_service = f64::INFINITY;
+        for batch in [1u32, 2, 4, 8, 16, 32] {
+            let est = gpu.estimate(
+                &p,
+                &GpuTuning {
+                    batch,
+                    ..GpuTuning::default()
+                },
+            );
+            assert!(
+                est.service_ms <= prev_service + 1e-9,
+                "{}: service must fall with batch",
+                gpu.spec().name
+            );
+            prev_service = est.service_ms;
+        }
+        // The floor is the pure compute time: service(32) is within 2× of
+        // latency(1) minus the dispatch overhead.
+        let b1 = gpu.estimate(&p, &GpuTuning::default());
+        let b32 = gpu.estimate(
+            &p,
+            &GpuTuning {
+                batch: 32,
+                ..GpuTuning::default()
+            },
+        );
+        assert!(b32.service_ms < b1.latency_ms);
+        assert!(b32.latency_ms > b1.latency_ms);
+    }
+}
+
+#[test]
+fn deep_kernels_prefer_fpga_wide_kernels_prefer_gpu() {
+    // The structural asymmetry behind every Heter-Poly win: per-device
+    // latency ratios flip between the two kernel characters.
+    let gpu = catalog::amd_w9100();
+    let fpga = catalog::xilinx_7v3();
+    let strong_fpga_tuning = FpgaTuning {
+        compute_units: 8,
+        unroll: 64,
+        bram_ports: 64,
+        double_buffer: true,
+        ..FpgaTuning::default()
+    };
+
+    let wide = wide_kernel();
+    let wide_gpu = gpu.estimate(
+        &wide,
+        &GpuTuning {
+            batch: 16,
+            unroll: 8,
+            ..GpuTuning::default()
+        },
+    );
+    let wide_fpga = fpga.estimate(&wide, &strong_fpga_tuning).unwrap();
+    assert!(
+        wide_gpu.service_ms * 3.0 < wide_fpga.service_ms,
+        "wide: gpu {} vs fpga {}",
+        wide_gpu.service_ms,
+        wide_fpga.service_ms
+    );
+
+    let deep = deep_kernel();
+    let deep_gpu = gpu.estimate(
+        &deep,
+        &GpuTuning {
+            batch: 1,
+            unroll: 8,
+            ..GpuTuning::default()
+        },
+    );
+    let deep_fpga = fpga.estimate(&deep, &strong_fpga_tuning).unwrap();
+    assert!(
+        deep_fpga.latency_ms < deep_gpu.latency_ms,
+        "deep: fpga {} vs gpu {} (latency)",
+        deep_fpga.latency_ms,
+        deep_gpu.latency_ms
+    );
+}
+
+#[test]
+fn dvfs_sweep_orders_power_and_latency() {
+    let gpu = catalog::nvidia_k20();
+    let p = wide_kernel();
+    let ests: Vec<_> = DvfsLevel::ALL
+        .iter()
+        .map(|&dvfs| {
+            gpu.estimate(
+                &p,
+                &GpuTuning {
+                    dvfs,
+                    ..GpuTuning::default()
+                },
+            )
+        })
+        .collect();
+    for w in ests.windows(2) {
+        assert!(
+            w[0].latency_ms > w[1].latency_ms,
+            "higher clocks are faster"
+        );
+        assert!(w[0].active_power_w < w[1].active_power_w, "and hotter");
+    }
+    // Low DVFS is more efficient per request (the energy step's lever).
+    assert!(ests[0].dynamic_energy_mj() < ests[2].dynamic_energy_mj());
+}
+
+#[test]
+fn fpga_unroll_sweep_trades_area_for_speed_consistently() {
+    for fpga in catalog::all_fpgas() {
+        let p = deep_kernel();
+        let mut prev = None;
+        for unroll in [1u32, 2, 4, 8, 16] {
+            let t = FpgaTuning {
+                unroll,
+                bram_ports: 16,
+                ..FpgaTuning::default()
+            };
+            let Ok(est) = fpga.estimate(&p, &t) else {
+                continue;
+            };
+            let r = est.resources.unwrap();
+            if let Some((lat, util)) = prev {
+                assert!(est.latency_ms <= lat + 1e-9, "{}", fpga.spec().name);
+                assert!(r.utilization >= util - 1e-12);
+            }
+            prev = Some((est.latency_ms, r.utilization));
+        }
+    }
+}
+
+#[test]
+fn explorer_frontiers_exist_for_every_catalog_pairing() {
+    let k = KernelBuilder::new("k")
+        .pattern("m", PatternKind::Map, Shape::d2(512, 256), &[OpFunc::Mac])
+        .pattern(
+            "r",
+            PatternKind::Reduce,
+            Shape::d2(512, 256),
+            &[OpFunc::Add],
+        )
+        .chain()
+        .iterations(500)
+        .build()
+        .unwrap();
+    for gpu in catalog::all_gpus() {
+        for fpga in catalog::all_fpgas() {
+            let space = Explorer::new(gpu.clone(), fpga.clone()).explore(&k);
+            assert!(
+                !space.gpu.is_empty(),
+                "{} x {}",
+                gpu.spec().name,
+                fpga.spec().name
+            );
+            assert!(!space.fpga.is_empty());
+            assert!(space.min_latency(DeviceKind::Gpu).is_some());
+            assert!(space.min_latency(DeviceKind::Fpga).is_some());
+        }
+    }
+}
+
+#[test]
+fn pcie_transfer_dominates_for_large_payloads_only() {
+    let link = PcieLink::gen3_x16();
+    // The ASR edges (2–4 MiB) cost well under a millisecond — transfers
+    // must not dominate kernel latencies in any experiment.
+    assert!(link.transfer_ms(4 << 20) < 0.5);
+    // But a 1 GiB payload would: the model scales correctly.
+    assert!(link.transfer_ms(1 << 30) > 80.0);
+}
+
+#[test]
+fn coalescing_never_hurts_and_only_helps_irregular() {
+    let gpu = catalog::amd_w9100();
+    let irregular = KernelBuilder::new("g")
+        .pattern("g", PatternKind::Gather, Shape::d2(4096, 256), &[])
+        .pattern("m", PatternKind::Map, Shape::d2(4096, 256), &[OpFunc::Add])
+        .chain()
+        .build()
+        .unwrap()
+        .profile();
+    let base = gpu.estimate(&irregular, &GpuTuning::default());
+    let coal = gpu.estimate(
+        &irregular,
+        &GpuTuning {
+            coalesced: true,
+            ..GpuTuning::default()
+        },
+    );
+    assert!(coal.latency_ms <= base.latency_ms);
+}

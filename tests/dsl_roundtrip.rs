@@ -1,0 +1,65 @@
+//! Round-trip the entire benchmark suite through the DSL printer and
+//! parser: every application must re-parse to an equivalent structure.
+
+use poly::ir::{annotation, print_app, print_kernel};
+
+#[test]
+fn every_benchmark_round_trips_through_the_dsl() {
+    for app in poly::apps::suite() {
+        let source = print_app(&app);
+        let module = annotation::parse(&source).unwrap_or_else(|e| {
+            panic!(
+                "{}: printed source fails to parse: {e}\n{source}",
+                app.name()
+            )
+        });
+        let reparsed = module.app(app.name()).expect("app block present");
+
+        assert_eq!(reparsed.len(), app.len(), "{}", app.name());
+        assert_eq!(reparsed.edges().len(), app.edges().len());
+        for (a, b) in app.edges().iter().zip(reparsed.edges()) {
+            assert_eq!(a.bytes, b.bytes);
+        }
+        for (orig, re) in app.kernels().iter().zip(reparsed.kernels()) {
+            assert_eq!(orig.pattern_count(), re.pattern_count(), "{}", orig.name());
+            assert_eq!(orig.iterations(), re.iterations());
+            for (p, q) in orig.patterns().zip(re.patterns()) {
+                assert_eq!(p.kind(), q.kind(), "{}::{}", orig.name(), p.name());
+                assert_eq!(p.funcs(), q.funcs());
+                assert_eq!(p.dtype(), q.dtype(), "{}::{}", orig.name(), p.name());
+                assert_eq!(p.shape(), q.shape(), "{}::{}", orig.name(), p.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn round_trip_preserves_analysis_profiles() {
+    // The profile (what the DSE consumes) must be identical after a
+    // print/parse cycle — structure equality is necessary but this is the
+    // property that actually matters downstream.
+    for app in poly::apps::suite() {
+        let source = print_app(&app);
+        let module = annotation::parse(&source).expect("parses");
+        let reparsed = module.app(app.name()).expect("present");
+        for (orig, re) in app.kernels().iter().zip(reparsed.kernels()) {
+            let a = orig.profile();
+            let b = re.profile();
+            assert_eq!(a.flops, b.flops, "{}::{}", app.name(), orig.name());
+            assert_eq!(a.elements, b.elements);
+            assert_eq!(a.iterations, b.iterations);
+            assert_eq!(a.unfused_bytes, b.unfused_bytes);
+            assert!((a.fpga_affinity - b.fpga_affinity).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn printed_kernels_are_human_readable() {
+    let app = poly::apps::asr();
+    let text = print_kernel(&app.kernels()[0]);
+    assert!(text.contains("kernel k1_lstm_fwd {"));
+    assert!(text.contains("iterations"));
+    assert!(text.contains("output"));
+    assert!(text.lines().count() >= 6);
+}

@@ -1,0 +1,198 @@
+//! Integration tests spanning every crate: DSL → IR → DSE → scheduler →
+//! simulator → framework.
+
+use poly::apps::{suite, QOS_BOUND_MS};
+use poly::core::provision::{table_iii, Architecture, Setting};
+use poly::core::Optimizer;
+use poly::device::{catalog, DeviceKind, PcieLink};
+use poly::dse::Explorer;
+use poly::ir::annotation;
+use poly::sched::{Pool, Scheduler};
+use poly::sim::{steady_state, Policy};
+
+#[test]
+fn dsl_to_simulation_pipeline() {
+    // Author an app in the annotation DSL...
+    let module = annotation::parse(
+        r#"
+        kernel feature {
+            input x : f32[2048][256];
+            m = map(x, mac);
+            r = reduce(m, add);
+            output r;
+        }
+        kernel classify {
+            input f : f32[2048];
+            iterations 600;
+            d = map(f, mac);
+            p = pipeline(d, sigmoid);
+            k = pack(p, cmp);
+            output k;
+        }
+        app pipeline {
+            feat = kernel feature;
+            cls = kernel classify;
+            feat -> cls : 1mb;
+        }
+    "#,
+    )
+    .expect("valid DSL");
+    let app = module.app("pipeline").expect("declared");
+
+    // ...explore, schedule, and simulate it end to end.
+    let explorer = Explorer::new(catalog::amd_w9100(), catalog::xilinx_7v3());
+    let spaces: Vec<_> = app.kernels().iter().map(|k| explorer.explore(k)).collect();
+    let pool = Pool::heterogeneous(1, 2);
+    let plan = Scheduler::new(PcieLink::gen3_x16())
+        .plan(app, &spaces, &pool, QOS_BOUND_MS)
+        .expect("schedulable");
+    assert!(plan.meets(QOS_BOUND_MS));
+
+    let policy = Policy::from_plan(&plan, &spaces, explorer.gpu());
+    let report = steady_state(
+        app,
+        &pool,
+        &policy,
+        &poly::sim::SimConfig::default(),
+        5.0,
+        1_000.0,
+        10_000.0,
+        1,
+    );
+    assert!(report.completed > 20);
+    assert!(report.latency.p99() > 0.0);
+    assert!(report.avg_power_w > 0.0);
+}
+
+#[test]
+fn every_benchmark_schedules_on_every_architecture() {
+    for app in suite() {
+        for arch in [
+            Architecture::HomoGpu,
+            Architecture::HomoFpga,
+            Architecture::HeterPoly,
+        ] {
+            let setup = table_iii(Setting::I, arch);
+            let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+            let spaces: Vec<_> = app.kernels().iter().map(|k| explorer.explore(k)).collect();
+            let plan = Scheduler::default()
+                .plan_latency(&app, &spaces, &setup.pool)
+                .unwrap_or_else(|e| panic!("{} on {:?}: {e}", app.name(), arch));
+            assert!(
+                plan.makespan_ms.is_finite() && plan.makespan_ms > 0.0,
+                "{} on {:?}",
+                app.name(),
+                arch
+            );
+            // Homogeneous pools must only use their own platform.
+            match arch {
+                Architecture::HomoGpu => {
+                    assert!(plan.assignments.iter().all(|a| a.kind == DeviceKind::Gpu));
+                }
+                Architecture::HomoFpga => {
+                    assert!(plan.assignments.iter().all(|a| a.kind == DeviceKind::Fpga));
+                }
+                Architecture::HeterPoly => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn optimizer_policies_match_simulation_within_feedback_tolerance() {
+    // The analytic model's predictions should land near the DES truth
+    // after one feedback round — this is the reproduction of the paper's
+    // model-accuracy claim at the system level.
+    let app = poly::apps::asr();
+    let setup = table_iii(Setting::I, Architecture::HeterPoly);
+    let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+    let spaces: Vec<_> = app.kernels().iter().map(|k| explorer.explore(k)).collect();
+    let mut opt = Optimizer::new();
+    let rps = 20.0;
+    let (policy, pred) =
+        opt.plan_for_load(&app, &spaces, &setup.pool, &setup.gpu, QOS_BOUND_MS, rps);
+    let measured = steady_state(
+        &app,
+        &setup.pool,
+        &policy,
+        &setup.sim_config,
+        rps,
+        5_000.0,
+        20_000.0,
+        3,
+    );
+    opt.model_mut().observe(pred.p99_ms, measured.latency.p99());
+    let (policy, pred) =
+        opt.plan_for_load(&app, &spaces, &setup.pool, &setup.gpu, QOS_BOUND_MS, rps);
+    let measured = steady_state(
+        &app,
+        &setup.pool,
+        &policy,
+        &setup.sim_config,
+        rps,
+        5_000.0,
+        20_000.0,
+        4,
+    );
+    let err = (measured.latency.p99() - pred.p99_ms).abs() / measured.latency.p99();
+    assert!(err < 0.6, "corrected model error {err:.2} too large");
+    // And the chosen policy must actually meet QoS at this load.
+    assert!(
+        measured.latency.p99() <= QOS_BOUND_MS,
+        "p99 {} over bound",
+        measured.latency.p99()
+    );
+}
+
+#[test]
+fn heterogeneity_beats_homogeneity_on_asr_throughput() {
+    // The headline claim at fixed load points (cheaper than a full
+    // max-RPS search): Heter-Poly sustains a load that both homogeneous
+    // baselines fail.
+    let app = poly::apps::asr();
+    let probe = |arch: Architecture, rps: f64| -> f64 {
+        let setup = table_iii(Setting::I, arch);
+        let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+        let spaces: Vec<_> = app.kernels().iter().map(|k| explorer.explore(k)).collect();
+        let mut opt = Optimizer::new();
+        let policy = match arch {
+            Architecture::HeterPoly => {
+                let (p, pred) =
+                    opt.plan_for_load(&app, &spaces, &setup.pool, &setup.gpu, QOS_BOUND_MS, rps);
+                let m = steady_state(
+                    &app,
+                    &setup.pool,
+                    &p,
+                    &setup.sim_config,
+                    rps,
+                    2_000.0,
+                    8_000.0,
+                    5,
+                );
+                if m.completed > 0 && pred.p99_ms.is_finite() {
+                    opt.model_mut().observe(pred.p99_ms, m.latency.p99());
+                }
+                opt.plan_for_load(&app, &spaces, &setup.pool, &setup.gpu, QOS_BOUND_MS, rps)
+                    .0
+            }
+            _ => opt.max_capacity_policy(&app, &spaces, &setup.pool, &setup.gpu, QOS_BOUND_MS),
+        };
+        steady_state(
+            &app,
+            &setup.pool,
+            &policy,
+            &setup.sim_config,
+            rps,
+            5_000.0,
+            20_000.0,
+            42,
+        )
+        .latency
+        .p99()
+    };
+    let rps = 55.0;
+    let het = probe(Architecture::HeterPoly, rps);
+    let gpu = probe(Architecture::HomoGpu, rps);
+    assert!(het <= QOS_BOUND_MS, "Heter-Poly p99 {het} at {rps} RPS");
+    assert!(gpu > QOS_BOUND_MS, "Homo-GPU p99 {gpu} at {rps} RPS");
+}

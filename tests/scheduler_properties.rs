@@ -1,0 +1,174 @@
+//! Property-based tests of the runtime scheduler over randomized
+//! application DAGs: dependency and device-exclusivity invariants, bound
+//! safety of the energy step, and monotonicity properties.
+
+use poly::device::{catalog, PcieLink};
+use poly::dse::{Explorer, ExplorerConfig, KernelDesignSpace};
+use poly::ir::{
+    Kernel, KernelBuilder, KernelGraph, KernelGraphBuilder, OpFunc, PatternKind, Shape,
+};
+use poly::sched::{Pool, Scheduler};
+use proptest::prelude::*;
+
+/// A random kernel: width/depth/op mix drawn from ranges that keep DSE
+/// cheap but exercise both platforms' knob spaces.
+fn arb_kernel(name: String) -> impl Strategy<Value = Kernel> {
+    (
+        64u64..2048,
+        8u64..256,
+        1u64..1500,
+        prop_oneof![
+            Just(vec![OpFunc::Mac]),
+            Just(vec![OpFunc::Mac, OpFunc::Lookup]),
+            Just(vec![OpFunc::GfMac, OpFunc::Lookup]),
+            Just(vec![OpFunc::Exp, OpFunc::Mul]),
+        ],
+    )
+        .prop_map(move |(x, y, iters, funcs)| {
+            KernelBuilder::new(name.clone())
+                .pattern("m", PatternKind::Map, Shape::d2(x, y), &funcs)
+                .pattern("r", PatternKind::Reduce, Shape::d2(x, y), &[OpFunc::Add])
+                .chain()
+                .iterations(iters)
+                .build()
+                .expect("generated kernel is valid")
+        })
+}
+
+/// A random layered DAG of 2–5 kernels with forward edges only.
+fn arb_app() -> impl Strategy<Value = KernelGraph> {
+    (2usize..=5)
+        .prop_flat_map(|n| {
+            let kernels: Vec<_> = (0..n).map(|i| arb_kernel(format!("k{i}"))).collect();
+            let edges = proptest::collection::vec(
+                (0usize..n, 0usize..n, 1u64 << 10..1u64 << 22),
+                0..=n * 2,
+            );
+            (kernels, edges)
+        })
+        .prop_map(|(kernels, edges)| {
+            let n = kernels.len();
+            let mut b = KernelGraphBuilder::new("app");
+            for k in kernels {
+                b = b.kernel(k);
+            }
+            for (a, c, bytes) in edges {
+                let (a, c) = (a.min(c), a.max(c));
+                if a != c && a < n && c < n {
+                    b = b.edge(format!("k{a}"), format!("k{c}"), bytes);
+                }
+            }
+            b.build().expect("forward edges keep the graph acyclic")
+        })
+}
+
+fn explore(app: &KernelGraph) -> Vec<KernelDesignSpace> {
+    // Small frontier cap keeps property cases fast.
+    let explorer = Explorer::with_config(
+        catalog::amd_w9100(),
+        catalog::xilinx_7v3(),
+        ExplorerConfig { max_points: 8 },
+    );
+    app.kernels().iter().map(|k| explorer.explore(k)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Step-1 plans respect data dependencies and never overlap two
+    /// kernels on one device.
+    #[test]
+    fn plans_respect_dependencies_and_exclusivity(app in arb_app()) {
+        let spaces = explore(&app);
+        let pool = Pool::heterogeneous(1, 2);
+        let plan = Scheduler::default().plan_latency(&app, &spaces, &pool).expect("schedulable");
+
+        for e in app.edges() {
+            let from = plan.assignment(e.from);
+            let to = plan.assignment(e.to);
+            prop_assert!(to.start_ms >= from.end_ms - 1e-6,
+                "dependency violated: {from:?} -> {to:?}");
+        }
+        for a in &plan.assignments {
+            for b in &plan.assignments {
+                if a.kernel != b.kernel && a.device == b.device {
+                    prop_assert!(
+                        a.end_ms <= b.start_ms + 1e-6 || b.end_ms <= a.start_ms + 1e-6,
+                        "device overlap: {a:?} vs {b:?}");
+                }
+            }
+        }
+        prop_assert!((plan.makespan_ms
+            - plan.assignments.iter().map(|a| a.end_ms).fold(0.0, f64::max)).abs() < 1e-9);
+    }
+
+    /// The energy step never violates the bound it was given and never
+    /// increases dynamic energy.
+    #[test]
+    fn energy_step_is_safe(app in arb_app(), slack in 1.05f64..4.0) {
+        let spaces = explore(&app);
+        let pool = Pool::heterogeneous(1, 2);
+        let sched = Scheduler::default();
+        let fast = sched.plan_latency(&app, &spaces, &pool).expect("schedulable");
+        let bound = fast.makespan_ms * slack;
+        let tuned = sched.plan(&app, &spaces, &pool, bound).expect("schedulable");
+        prop_assert!(tuned.meets(bound + 1e-9), "bound violated: {} > {bound}", tuned.makespan_ms);
+        prop_assert!(tuned.dynamic_mj <= fast.dynamic_mj + 1e-9,
+            "energy step increased dynamic energy");
+    }
+
+    /// Adding devices essentially never hurts. Greedy list scheduling is
+    /// subject to Graham's scheduling anomalies — more resources *can*
+    /// produce a worse schedule when an early earliest-finish commitment
+    /// forces a cross-platform transfer — but the classic bound for list
+    /// scheduling caps the damage at 2×; we assert that bound.
+    #[test]
+    fn more_devices_bounded_by_grahams_anomaly(app in arb_app()) {
+        let spaces = explore(&app);
+        let sched = Scheduler::default();
+        let small = sched
+            .plan_latency(&app, &spaces, &Pool::heterogeneous(1, 1))
+            .expect("schedulable");
+        let large = sched
+            .plan_latency(&app, &spaces, &Pool::heterogeneous(2, 4))
+            .expect("schedulable");
+        prop_assert!(large.makespan_ms <= small.makespan_ms * 2.0 + 1e-6,
+            "{} > 2x {}", large.makespan_ms, small.makespan_ms);
+    }
+
+    /// Plans on a heterogeneous pool are essentially never slower than
+    /// the better of the two homogeneous pools of the same device counts.
+    /// The list scheduler is a greedy (HEFT-style) heuristic, so a small
+    /// tolerance is allowed: an early earliest-finish commitment can force
+    /// a cross-platform PCIe transfer a homogeneous pool avoids.
+    #[test]
+    fn heterogeneous_at_least_as_fast_as_best_homogeneous(app in arb_app()) {
+        let spaces = explore(&app);
+        let sched = Scheduler::default();
+        let het = sched
+            .plan_latency(&app, &spaces, &Pool::heterogeneous(2, 2))
+            .expect("schedulable");
+        let gpu = sched
+            .plan_latency(&app, &spaces, &Pool::heterogeneous(2, 0))
+            .expect("schedulable");
+        let fpga = sched
+            .plan_latency(&app, &spaces, &Pool::heterogeneous(0, 2))
+            .expect("schedulable");
+        let best = gpu.makespan_ms.min(fpga.makespan_ms);
+        prop_assert!(het.makespan_ms <= best * 1.10 + 1.0,
+            "{} far above {best}", het.makespan_ms);
+    }
+
+    /// PCIe transfers only charge cross-device edges: a single-kernel app
+    /// has makespan equal to its fastest implementation's latency.
+    #[test]
+    fn single_kernel_makespan_is_its_latency(kernel in arb_kernel("k0".into())) {
+        let app = KernelGraphBuilder::new("app").kernel(kernel).build().expect("valid");
+        let spaces = explore(&app);
+        let plan = Scheduler::new(PcieLink::gen3_x16())
+            .plan_latency(&app, &spaces, &Pool::heterogeneous(1, 1))
+            .expect("schedulable");
+        let fastest = spaces[0].min_latency_any().expect("non-empty").latency_ms();
+        prop_assert!((plan.makespan_ms - fastest).abs() < 1e-6);
+    }
+}

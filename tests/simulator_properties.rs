@@ -1,0 +1,177 @@
+//! Property-based tests of the discrete-event simulator: conservation
+//! laws, latency floors, energy accounting, and monotonicity under load.
+
+use poly::device::DeviceKind;
+use poly::ir::{
+    KernelBuilder, KernelGraph, KernelGraphBuilder, KernelId, OpFunc, PatternKind, Shape,
+};
+use poly::sched::Pool;
+use poly::sim::{workload, KernelImpl, Policy, SimConfig, Simulator};
+use proptest::prelude::*;
+
+fn chain_app(n: usize) -> KernelGraph {
+    let k = KernelBuilder::new("k0")
+        .pattern("m", PatternKind::Map, Shape::d1(1024), &[OpFunc::Mac])
+        .build()
+        .expect("valid");
+    let mut b = KernelGraphBuilder::new("app").kernel(k.clone());
+    for i in 1..n {
+        b = b.kernel(k.with_name(format!("k{i}"))).edge(
+            format!("k{}", i - 1),
+            format!("k{i}"),
+            1 << 18,
+        );
+    }
+    b.build().expect("valid chain")
+}
+
+fn fpga_impl(kernel: usize, latency: f64) -> KernelImpl {
+    KernelImpl {
+        kernel: KernelId(kernel),
+        kind: DeviceKind::Fpga,
+        impl_index: 0,
+        latency_ms: latency,
+        latency_single_ms: latency,
+        service_ms: latency * 0.9,
+        batch: 1,
+        active_power_w: 25.0,
+        idle_power_w: 5.0,
+    }
+}
+
+fn gpu_impl(kernel: usize, latency: f64, batch: u32) -> KernelImpl {
+    KernelImpl {
+        kernel: KernelId(kernel),
+        kind: DeviceKind::Gpu,
+        impl_index: 0,
+        latency_ms: latency,
+        latency_single_ms: latency / f64::from(batch.max(1)) * 1.4,
+        service_ms: latency / f64::from(batch.max(1)),
+        batch,
+        active_power_w: 180.0,
+        idle_power_w: 40.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Every offered request completes once the queue drains, and no
+    /// latency is below the sum of single-execution latencies (the
+    /// physical floor).
+    #[test]
+    fn conservation_and_latency_floor(
+        n_kernels in 1usize..4,
+        n_fpgas in 1usize..4,
+        rate in 1.0f64..40.0,
+        seed in 0u64..1000,
+    ) {
+        let app = chain_app(n_kernels);
+        let lats: Vec<f64> = (0..n_kernels).map(|i| 4.0 + i as f64).collect();
+        let policy = Policy::from_impls(
+            (0..n_kernels).map(|i| fpga_impl(i, lats[i])).collect(),
+        );
+        let mut sim = Simulator::new(
+            app,
+            &Pool::heterogeneous(0, n_fpgas.max(n_kernels)),
+            policy,
+            SimConfig::default(),
+        );
+        let arrivals = workload::poisson(rate, 5_000.0, seed);
+        let offered = arrivals.len();
+        sim.enqueue_arrivals(&arrivals);
+        sim.drain();
+        let report = sim.finish(60_000.0);
+        prop_assert_eq!(report.completed, offered, "conservation");
+        let floor: f64 = lats.iter().sum();
+        if offered > 0 {
+            prop_assert!(report.latency.quantile(0.01) >= floor - 1e-6,
+                "latency {} below physical floor {floor}", report.latency.quantile(0.01));
+        }
+    }
+
+    /// Energy equals at least the idle floor and at most every device at
+    /// its active power for the whole window.
+    #[test]
+    fn energy_is_bounded(
+        rate in 0.5f64..20.0,
+        seed in 0u64..1000,
+    ) {
+        let app = chain_app(2);
+        let policy = Policy::from_impls(vec![fpga_impl(0, 5.0), fpga_impl(1, 5.0)]);
+        let config = SimConfig::default();
+        let mut sim = Simulator::new(app, &Pool::heterogeneous(0, 2), policy, config);
+        sim.enqueue_arrivals(&workload::poisson(rate, 5_000.0, seed));
+        sim.drain();
+        let horizon = sim.now().max(5_000.0);
+        let report = sim.finish(horizon);
+        // Preloaded bitstreams idle at the implementation's 5 W;
+        // energy[J] = power[W] × time[s] = power × horizon_ms / 1000.
+        let idle_floor = 2.0 * 5.0 * horizon / 1000.0; // J
+        let active_ceiling = 2.0 * 25.0 * horizon / 1000.0;
+        prop_assert!(report.energy_j >= idle_floor - 1e-6);
+        prop_assert!(report.energy_j <= active_ceiling + 1e-6);
+    }
+
+    /// Tail latency is monotone (weakly) in offered load for a
+    /// single-kernel FPGA system with deterministic arrivals.
+    #[test]
+    fn p99_monotone_in_load(base in 2.0f64..8.0) {
+        let app = chain_app(1);
+        let policy = Policy::from_impls(vec![fpga_impl(0, 10.0)]);
+        let p99_at = |rate: f64| {
+            let mut sim = Simulator::new(
+                app.clone(),
+                &Pool::heterogeneous(0, 1),
+                policy.clone(),
+                SimConfig::default(),
+            );
+            sim.enqueue_arrivals(&workload::constant(rate, 10_000.0));
+            sim.drain();
+            sim.finish(120_000.0).latency.p99()
+        };
+        let low = p99_at(base);
+        let high = p99_at(base * 12.0); // far past the ~111 RPS capacity
+        prop_assert!(high >= low - 1e-9, "{high} < {low}");
+    }
+
+    /// GPU batching conserves requests and respects the batch bound on
+    /// execution sizes (observable through total busy time).
+    #[test]
+    fn gpu_batching_conserves(
+        batch in 1u32..16,
+        burst in 1usize..40,
+    ) {
+        let app = chain_app(1);
+        let policy = Policy::from_impls(vec![gpu_impl(0, 40.0, batch)]);
+        let mut sim = Simulator::new(
+            app,
+            &Pool::heterogeneous(1, 0),
+            policy,
+            SimConfig::default(),
+        );
+        sim.enqueue_arrivals(&vec![0.0; burst]);
+        sim.drain();
+        let report = sim.finish(600_000.0);
+        prop_assert_eq!(report.completed, burst);
+        prop_assert!(report.latency.max() < 600_000.0);
+    }
+
+    /// Reset accounting starts a clean window: measuring twice over the
+    /// same quiet period gives identical idle power.
+    #[test]
+    fn reset_accounting_is_clean(gap in 100.0f64..5000.0) {
+        let app = chain_app(1);
+        let policy = Policy::from_impls(vec![fpga_impl(0, 5.0)]);
+        let mut sim = Simulator::new(
+            app,
+            &Pool::heterogeneous(0, 1),
+            policy,
+            SimConfig::default(),
+        );
+        sim.advance_to(gap);
+        sim.reset_accounting();
+        let r = sim.finish(gap + 1000.0);
+        prop_assert!((r.avg_power_w - 5.0).abs() < 1e-9, "{}", r.avg_power_w);
+    }
+}
