@@ -1,0 +1,60 @@
+//! Parallel-engine benchmarks: serial vs parallel load sweeps and cached
+//! vs uncached design-space exploration — the two levers behind the
+//! `experiments --jobs N` wall-clock win.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use poly_apps::{asr, QOS_BOUND_MS};
+use poly_core::provision::{table_iii, Architecture, Setting};
+use poly_core::Optimizer;
+use poly_dse::{DesignSpaceCache, Explorer};
+use poly_sim::{steady_state, LoadSweep, SimReport};
+
+fn bench_sweep(c: &mut Criterion) {
+    let app = asr();
+    let setup = table_iii(Setting::I, Architecture::HomoGpu);
+    let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+    let spaces: Vec<_> = app.kernels().iter().map(|k| explorer.explore(k)).collect();
+    let policy =
+        Optimizer::new().max_capacity_policy(&app, &spaces, &setup.pool, &setup.gpu, QOS_BOUND_MS);
+    // Short windows keep one sweep ~hundreds of ms; the serial/parallel
+    // ratio is what matters, not the absolute numbers.
+    let eval = |rps: f64| -> SimReport {
+        steady_state(
+            &app,
+            &setup.pool,
+            &policy,
+            &setup.sim_config,
+            rps,
+            1_000.0,
+            4_000.0,
+            42,
+        )
+    };
+    let loads: Vec<f64> = (1..=8).map(|i| f64::from(i) * 10.0).collect();
+    let jobs = poly_par::jobs();
+
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("load_sweep_serial", |b| {
+        b.iter(|| LoadSweep::run(black_box(&loads), eval))
+    });
+    group.bench_function(format!("load_sweep_parallel_jobs{jobs}"), |b| {
+        b.iter(|| LoadSweep::run_par(jobs, black_box(&loads), eval))
+    });
+
+    let kernel = &app.kernels()[0];
+    group.bench_function("explore_uncached", |b| {
+        b.iter(|| explorer.explore(black_box(kernel)))
+    });
+    group.bench_function("explore_cached", |b| {
+        // A bench-local cache: the first call populates, every timed call
+        // after it is the hit path the experiments binary runs on.
+        let cache = DesignSpaceCache::new();
+        let _ = cache.explore(&explorer, kernel);
+        b.iter(|| cache.explore(black_box(&explorer), black_box(kernel)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

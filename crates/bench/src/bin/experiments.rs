@@ -1,21 +1,48 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
-//! Usage: `experiments <id>` where `<id>` is one of
-//! `table2 table3 table45 fig1a fig1b fig1c fig1d fig1ef fig6 fig7 fig8
-//! fig9 fig10 fig11 fig12 fig13 fig14 all` (or `quick` for the subset used
-//! in smoke tests). Results are printed and written to `results/<id>.csv`.
+//! Usage: `experiments [--jobs N] <id>` where `<id>` is one of
+//! `table1 table2 table3 table45 fig1a fig1b fig1c fig1d fig1ef fig6 fig7
+//! fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablations all` (or `quick` for
+//! the subset used in smoke tests). Results are printed and written to
+//! `results/<id>.csv`.
+//!
+//! `--jobs N` (or the `POLY_JOBS` environment variable) sets the worker
+//! thread count; the default is the machine's available parallelism.
+//! Every emitted CSV is byte-identical for every job count: parallelism
+//! only ever spans *independent* simulations (figures, load points,
+//! speculative bisection probes), never a single event loop, and results
+//! are always collected in input order. Design-space exploration is
+//! memoized process-wide, so each (kernel, device-pair) is explored at
+//! most once per run regardless of how many figures need it; the timing
+//! summary reports the cache's hit/miss counts alongside per-figure
+//! wall-clock times.
 
 use poly_apps::{asr, suite, QOS_BOUND_MS};
-use poly_bench::csvout::{f2, write_csv};
+use poly_bench::csvout::{f2, save_csv};
 use poly_bench::System;
 use poly_core::provision::{power_split, table_iii, Architecture, Setting};
 use poly_core::tco::{cost_efficiency, monthly_tco_usd, TcoParams};
 use poly_core::{Optimizer, PolyRuntime, RuntimeMode};
 use poly_device::{catalog, DeviceKind, PcieLink};
-use poly_dse::Explorer;
+use poly_dse::{DesignSpaceCache, Explorer};
+use poly_par::par_map;
 use poly_sched::Scheduler;
 use poly_sim::workload::{google_trace_24h, TracePoint};
 use poly_sim::Policy;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Append a line to a figure's output buffer (infallible for `String`).
+macro_rules! outln {
+    ($out:expr) => { writeln!($out).expect("write to string") };
+    ($out:expr, $($arg:tt)*) => { writeln!($out, $($arg)*).expect("write to string") };
+}
+
+/// Append text (no newline) to a figure's output buffer.
+macro_rules! outp {
+    ($out:expr, $($arg:tt)*) => { write!($out, $($arg)*).expect("write to string") };
+}
 
 const ARCHS: [Architecture; 3] = [
     Architecture::HomoGpu,
@@ -23,62 +50,126 @@ const ARCHS: [Architecture; 3] = [
     Architecture::HeterPoly,
 ];
 
+/// Worker-thread budget for this run (set once in `main`).
+static JOBS: OnceLock<usize> = OnceLock::new();
+
+fn jobs() -> usize {
+    *JOBS.get().unwrap_or(&1)
+}
+
+fn cache() -> &'static DesignSpaceCache {
+    DesignSpaceCache::global()
+}
+
+type FigFn = fn(&mut String);
+
+/// Every experiment, in the order `all` runs them.
+const EXPERIMENTS: &[(&str, FigFn)] = &[
+    ("table45", table45),
+    ("table3", table3),
+    ("table1", table1),
+    ("table2", table2),
+    ("fig1c", fig1c),
+    ("fig1ef", fig1ef),
+    ("fig6", fig6),
+    ("fig1a", fig1a),
+    ("fig1b", fig1b),
+    ("fig1d", fig1d),
+    ("fig7", fig7),
+    ("fig8", fig8),
+    ("fig9", fig9),
+    ("fig10", fig10),
+    ("fig11", fig11),
+    ("fig12", fig12),
+    ("fig13", fig13),
+    ("fig14", fig14),
+    ("ablations", ablations),
+];
+
+const QUICK: &[&str] = &["table45", "table3", "fig1c", "fig6"];
+
 fn main() {
-    let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    let t0 = std::time::Instant::now();
-    match what.as_str() {
-        "table1" => table1(),
-        "table2" => table2(),
-        "table3" => table3(),
-        "table45" => table45(),
-        "fig1a" => fig1a(),
-        "fig1b" => fig1b(),
-        "fig1c" => fig1c(),
-        "fig1d" => fig1d(),
-        "fig1ef" => fig1ef(),
-        "fig6" => fig6(),
-        "fig7" => fig7(),
-        "fig8" => fig8(),
-        "fig9" => fig9(),
-        "fig10" => fig10(),
-        "fig11" => fig11(),
-        "fig12" => fig12(),
-        "fig13" => fig13(),
-        "fig14" => fig14(),
-        "ablations" => ablations(),
-        "quick" => {
-            table45();
-            table3();
-            fig1c();
-            fig6();
-        }
-        "all" => {
-            table45();
-            table3();
-            table1();
-            table2();
-            fig1c();
-            fig1ef();
-            fig6();
-            fig1a();
-            fig1b();
-            fig1d();
-            fig7();
-            fig8();
-            fig9();
-            fig10();
-            fig11();
-            fig12();
-            fig13();
-            fig14();
-            ablations();
-        }
-        other => {
-            eprintln!("unknown experiment `{other}`");
-            std::process::exit(2);
+    let mut jobs_arg: Option<usize> = None;
+    let mut what: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => jobs_arg = Some(n),
+                None => {
+                    eprintln!("--jobs needs a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            match v.parse() {
+                Ok(n) => jobs_arg = Some(n),
+                Err(_) => {
+                    eprintln!("--jobs needs a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            what = Some(a);
         }
     }
-    println!("[{}] done in {:.1}s", what, t0.elapsed().as_secs_f64());
+    let what = what.unwrap_or_else(|| "all".into());
+    let n_jobs = jobs_arg.unwrap_or_else(poly_par::jobs).max(1);
+    JOBS.set(n_jobs).expect("set once");
+
+    let names: Vec<&str> = match what.as_str() {
+        "all" => EXPERIMENTS.iter().map(|&(n, _)| n).collect(),
+        "quick" => QUICK.to_vec(),
+        other => match EXPERIMENTS.iter().find(|&&(n, _)| n == other) {
+            Some(&(n, _)) => vec![n],
+            None => {
+                eprintln!("unknown experiment `{other}`");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let t0 = Instant::now();
+    let tasks: Vec<(&str, FigFn)> = names
+        .iter()
+        .map(|&n| {
+            *EXPERIMENTS
+                .iter()
+                .find(|&&(name, _)| name == n)
+                .expect("validated above")
+        })
+        .collect();
+    // Figure-level fan-out: each experiment renders into its own buffer;
+    // buffers are printed in the fixed order above, so stdout (like the
+    // CSVs) is independent of the job count and of completion order.
+    let results = par_map(n_jobs, &tasks, |_, &(_, f)| {
+        let t = Instant::now();
+        let mut out = String::new();
+        f(&mut out);
+        (out, t.elapsed().as_secs_f64())
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    for (out, _) in &results {
+        print!("{out}");
+    }
+
+    println!("== timing summary (jobs={n_jobs}) ==");
+    let mut busy = 0.0;
+    for (&(name, _), &(_, secs)) in tasks.iter().zip(&results) {
+        println!("  {name:9} {secs:7.1}s");
+        busy += secs;
+    }
+    println!(
+        "  figure time {busy:.1}s over {wall:.1}s wall-clock -> speedup {:.1}x",
+        busy / wall.max(1e-9)
+    );
+    let (hits, misses) = cache().stats();
+    println!(
+        "  design-space cache: {misses} explorations, {hits} hits, {} entries",
+        cache().len()
+    );
+    println!("[{what}] done in {wall:.1}s");
 }
 
 // ---------------------------------------------------------------------------
@@ -86,12 +177,13 @@ fn main() {
 // ---------------------------------------------------------------------------
 
 /// Table IV/V — device specifications.
-fn table45() {
-    println!("== Table IV: GPU platforms ==");
+fn table45(out: &mut String) {
+    outln!(out, "== Table IV: GPU platforms ==");
     let mut rows = Vec::new();
     for g in catalog::all_gpus() {
         let s = g.spec().clone();
-        println!(
+        outln!(
+            out,
             "{:22} cores={:5} f={:.0}MHz mem={:.0}GB peak={:.0}W idle={:.0}W ${:.0}",
             s.name,
             s.cores,
@@ -109,17 +201,19 @@ fn table45() {
             f2(s.price_usd),
         ]);
     }
-    write_csv(
+    save_csv(
+        out,
         "table4_gpus",
         &["name", "cores", "freq_mhz", "peak_w", "price"],
         &rows,
     );
 
-    println!("== Table V: FPGA platforms ==");
+    outln!(out, "== Table V: FPGA platforms ==");
     let mut rows = Vec::new();
     for f in catalog::all_fpgas() {
         let s = f.spec().clone();
-        println!(
+        outln!(
+            out,
             "{:38} f={:.0}MHz cells={:7} bram={:.1}MB dsp={:5} peak={:.0}W ${:.0}",
             s.name,
             s.peak_freq_mhz,
@@ -138,7 +232,8 @@ fn table45() {
             f2(s.price_usd),
         ]);
     }
-    write_csv(
+    save_csv(
+        out,
         "table5_fpgas",
         &["name", "freq_mhz", "logic_cells", "dsp", "peak_w", "price"],
         &rows,
@@ -146,13 +241,17 @@ fn table45() {
 }
 
 /// Table III — the three hardware settings.
-fn table3() {
-    println!("== Table III: heterogeneous system settings (500 W cap) ==");
+fn table3(out: &mut String) {
+    outln!(
+        out,
+        "== Table III: heterogeneous system settings (500 W cap) =="
+    );
     let mut rows = Vec::new();
     for setting in Setting::ALL {
         for arch in ARCHS {
             let n = table_iii(setting, arch);
-            println!(
+            outln!(
+                out,
                 "{:12} {:11} {} x GPU ({}), {} x FPGA ({})",
                 setting.name(),
                 arch.name(),
@@ -169,7 +268,8 @@ fn table3() {
             ]);
         }
     }
-    write_csv(
+    save_csv(
+        out,
         "table3_settings",
         &["setting", "arch", "gpus", "fpgas"],
         &rows,
@@ -177,11 +277,15 @@ fn table3() {
 }
 
 /// Table I — annotation methods and per-platform optimization knobs.
-fn table1() {
-    println!("== Table I: parallel patterns, annotations, optimization knobs ==");
+fn table1(out: &mut String) {
+    outln!(
+        out,
+        "== Table I: parallel patterns, annotations, optimization knobs =="
+    );
     let mut rows = Vec::new();
     for r in poly_dse::knob_table() {
-        println!(
+        outln!(
+            out,
             "{:9} {:38} GPU: {:60} FPGA: {}",
             r.pattern,
             r.annotation,
@@ -195,7 +299,8 @@ fn table1() {
             r.fpga_knobs.join("+"),
         ]);
     }
-    write_csv(
+    save_csv(
+        out,
         "table1_knobs",
         &["pattern", "annotation", "gpu_knobs", "fpga_knobs"],
         &rows,
@@ -203,15 +308,19 @@ fn table1() {
 }
 
 /// Table II — benchmarks, kernels, patterns, and design-space sizes.
-fn table2() {
-    println!("== Table II: benchmarks and design spaces (Setting-I devices) ==");
+fn table2(out: &mut String) {
+    outln!(
+        out,
+        "== Table II: benchmarks and design spaces (Setting-I devices) =="
+    );
     let explorer = Explorer::new(catalog::amd_w9100(), catalog::xilinx_7v3());
     let mut rows = Vec::new();
     for app in suite() {
         for kernel in app.kernels() {
-            let space = explorer.explore(kernel);
+            let space = cache().explore(&explorer, kernel);
             let patterns: Vec<&str> = kernel.patterns().map(|p| p.kind().name()).collect();
-            println!(
+            outln!(
+                out,
                 "{:4} {:22} {:48} designs: gpu={:4} fpga={:4} (pareto {:2}/{:2})",
                 app.name(),
                 kernel.name(),
@@ -230,7 +339,8 @@ fn table2() {
             ]);
         }
     }
-    write_csv(
+    save_csv(
+        out,
         "table2_design_spaces",
         &["app", "kernel", "patterns", "gpu_designs", "fpga_designs"],
         &rows,
@@ -242,15 +352,20 @@ fn table2() {
 // ---------------------------------------------------------------------------
 
 /// Fig. 1(c) — the Pareto design space of the LSTM kernel.
-fn fig1c() {
-    println!("== Fig. 1(c): LSTM kernel Pareto frontier (latency vs energy efficiency) ==");
+fn fig1c(out: &mut String) {
+    outln!(
+        out,
+        "== Fig. 1(c): LSTM kernel Pareto frontier (latency vs energy efficiency) =="
+    );
     let app = asr();
     let lstm = app.kernel(app.id_of("k1_lstm_fwd").expect("k1 exists"));
-    let space = Explorer::new(catalog::amd_w9100(), catalog::xilinx_7v3()).explore(lstm);
+    let explorer = Explorer::new(catalog::amd_w9100(), catalog::xilinx_7v3());
+    let space = cache().explore(&explorer, lstm);
     let mut rows = Vec::new();
     for (platform, points) in [("gpu", &space.gpu), ("fpga", &space.fpga)] {
         for p in points {
-            println!(
+            outln!(
+                out,
                 "{platform:4} r={:2} lat={:8.2}ms  P={:7.2}W  req/J={:8.3}  {}",
                 p.index,
                 p.latency_ms(),
@@ -267,7 +382,8 @@ fn fig1c() {
             ]);
         }
     }
-    write_csv(
+    save_csv(
+        out,
         "fig1c_lstm_pareto",
         &["platform", "r", "latency_ms", "power_w", "req_per_joule"],
         &rows,
@@ -276,19 +392,23 @@ fn fig1c() {
 
 /// Fig. 1(e,f) — per-kernel energy and latency of the most energy
 /// efficient designs per platform.
-fn fig1ef() {
-    println!("== Fig. 1(e,f): ASR kernel-by-kernel energy and latency ==");
+fn fig1ef(out: &mut String) {
+    outln!(
+        out,
+        "== Fig. 1(e,f): ASR kernel-by-kernel energy and latency =="
+    );
     let app = asr();
     let explorer = Explorer::new(catalog::amd_w9100(), catalog::xilinx_7v3());
     let mut rows = Vec::new();
     for kernel in app.kernels() {
-        let space = explorer.explore(kernel);
+        let space = cache().explore(&explorer, kernel);
         for kind in [DeviceKind::Gpu, DeviceKind::Fpga] {
             let point = space
                 .most_efficient_within(kind, QOS_BOUND_MS * 0.75)
                 .or_else(|| space.min_latency(kind))
                 .expect("platform has designs");
-            println!(
+            outln!(
+                out,
                 "{:14} {:4} lat={:7.2}ms energy={:8.1}mJ dyn={:8.1}mJ",
                 kernel.name(),
                 kind.name(),
@@ -305,7 +425,8 @@ fn fig1ef() {
             ]);
         }
     }
-    write_csv(
+    save_csv(
+        out,
         "fig1ef_asr_kernels",
         &[
             "kernel",
@@ -319,24 +440,29 @@ fn fig1ef() {
 }
 
 /// Fig. 6 — the two-step schedule of the ASR request.
-fn fig6() {
-    println!("== Fig. 6: two-step runtime schedule of ASR (1 GPU + 5 FPGA) ==");
+fn fig6(out: &mut String) {
+    outln!(
+        out,
+        "== Fig. 6: two-step runtime schedule of ASR (1 GPU + 5 FPGA) =="
+    );
     let app = asr();
     let setup = table_iii(Setting::I, Architecture::HeterPoly);
     let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
-    let spaces: Vec<_> = app.kernels().iter().map(|k| explorer.explore(k)).collect();
+    let spaces = cache().explore_graph(&explorer, app.kernels(), jobs());
     let sched = Scheduler::new(PcieLink::gen3_x16());
 
     let step1 = sched
         .plan_latency(&app, &spaces, &setup.pool)
         .expect("schedulable");
-    println!(
+    outln!(
+        out,
         "-- Step 1 (latency optimization): makespan {:.1} ms",
         step1.makespan_ms
     );
     let mut rows = Vec::new();
     for a in &step1.assignments {
-        println!(
+        outln!(
+            out,
             "  {}^{} -> {} [{}..{}ms]",
             app.kernel(a.kernel).name(),
             a.impl_index,
@@ -356,12 +482,14 @@ fn fig6() {
     let step2 = sched
         .plan(&app, &spaces, &setup.pool, QOS_BOUND_MS)
         .expect("schedulable");
-    println!(
+    outln!(
+        out,
         "-- Step 2 (energy optimization): makespan {:.1} ms (bound {QOS_BOUND_MS}), dynamic energy {:.0} -> {:.0} mJ",
         step2.makespan_ms, step1.dynamic_mj, step2.dynamic_mj
     );
     for a in &step2.assignments {
-        println!(
+        outln!(
+            out,
             "  {}^{} -> {} [{}..{}ms]",
             app.kernel(a.kernel).name(),
             a.impl_index,
@@ -386,9 +514,13 @@ fn fig6() {
     sim.record_timeline(true);
     sim.enqueue_arrivals(&[0.0]);
     sim.drain();
-    println!("-- Simulated execution of one request (measured Gantt):");
+    outln!(
+        out,
+        "-- Simulated execution of one request (measured Gantt):"
+    );
     for r in sim.timeline() {
-        println!(
+        outln!(
+            out,
             "  {}^{} on {} d{}: {:.1}..{:.1} ms (batch {}, reconfig {:.0} ms)",
             app.kernel(r.kernel).name(),
             r.impl_index,
@@ -408,7 +540,8 @@ fn fig6() {
             f2(r.completion_ms),
         ]);
     }
-    write_csv(
+    save_csv(
+        out,
         "fig6_schedule",
         &["step", "kernel", "impl", "platform", "start_ms", "end_ms"],
         &rows,
@@ -416,18 +549,25 @@ fn fig6() {
 }
 
 /// Fig. 1(a) — ASR tail latency vs request throughput, three systems.
-fn fig1a() {
-    println!("== Fig. 1(a): ASR tail latency vs RPS ==");
+fn fig1a(out: &mut String) {
+    outln!(out, "== Fig. 1(a): ASR tail latency vs RPS ==");
     let app = asr();
-    let mut rows = Vec::new();
-    for arch in ARCHS {
+    // One task per architecture; each task's measurement sequence is the
+    // same as the serial code path, so results match for every job count.
+    let per_arch = par_map(jobs(), &ARCHS, |_, &arch| {
         let mut sys = System::new(&app, Setting::I, arch, QOS_BOUND_MS);
-        let max = sys.max_rps();
-        println!("{:11} max RPS under {QOS_BOUND_MS} ms = {max:.1}", sys.name);
+        let max = sys.max_rps_jobs(jobs());
+        let mut block = String::new();
+        let mut rows = Vec::new();
+        outln!(
+            block,
+            "{:11} max RPS under {QOS_BOUND_MS} ms = {max:.1}",
+            sys.name
+        );
         for i in 1..=10 {
             let rps = max * 1.2 * f64::from(i) / 10.0;
             let r = sys.measure(rps);
-            println!("  rps={rps:6.1} p99={:8.1}ms", r.latency.p99());
+            outln!(block, "  rps={rps:6.1} p99={:8.1}ms", r.latency.p99());
             rows.push(vec![
                 sys.name.into(),
                 f2(rps),
@@ -435,8 +575,15 @@ fn fig1a() {
                 f2(r.avg_power_w),
             ]);
         }
+        (block, rows)
+    });
+    let mut rows = Vec::new();
+    for (block, part) in per_arch {
+        out.push_str(&block);
+        rows.extend(part);
     }
-    write_csv(
+    save_csv(
+        out,
         "fig1a_asr_tail",
         &["arch", "rps", "p99_ms", "power_w"],
         &rows,
@@ -444,27 +591,37 @@ fn fig1a() {
 }
 
 /// Fig. 1(b) — ASR energy-proportionality curves.
-fn fig1b() {
-    println!("== Fig. 1(b): ASR energy proportionality ==");
+fn fig1b(out: &mut String) {
+    outln!(out, "== Fig. 1(b): ASR energy proportionality ==");
     let app = asr();
-    let mut rows = Vec::new();
-    for arch in ARCHS {
+    let per_arch = par_map(jobs(), &ARCHS, |_, &arch| {
         let mut sys = System::new(&app, Setting::I, arch, QOS_BOUND_MS);
-        let max = sys.max_rps();
+        let max = sys.max_rps_jobs(jobs());
         let curve = sys.ep_curve(max, 6);
-        println!("{:11} EP = {:.2}", sys.name, curve.ep());
+        let mut block = String::new();
+        let mut rows = Vec::new();
+        outln!(block, "{:11} EP = {:.2}", sys.name, curve.ep());
         for p in curve.points() {
             rows.push(vec![sys.name.into(), f2(p.load), f2(p.power_w)]);
         }
         rows.push(vec![sys.name.into(), "EP".into(), f2(curve.ep())]);
+        (block, rows)
+    });
+    let mut rows = Vec::new();
+    for (block, part) in per_arch {
+        out.push_str(&block);
+        rows.extend(part);
     }
-    write_csv("fig1b_asr_ep", &["arch", "load", "power_w"], &rows);
+    save_csv(out, "fig1b_asr_ep", &["arch", "load", "power_w"], &rows);
 }
 
 /// Fig. 1(d) — energy efficiency vs utilization: Poly's dynamic policy
 /// against the two fixed extreme implementations.
-fn fig1d() {
-    println!("== Fig. 1(d): energy efficiency vs utilization (ASR, Heter pool) ==");
+fn fig1d(out: &mut String) {
+    outln!(
+        out,
+        "== Fig. 1(d): energy efficiency vs utilization (ASR, Heter pool) =="
+    );
     let app = asr();
     let mut poly = System::new(&app, Setting::I, Architecture::HeterPoly, QOS_BOUND_MS);
     let max = poly.max_rps();
@@ -473,7 +630,7 @@ fn fig1d() {
     // hard choices, Section II-B).
     let setup = table_iii(Setting::I, Architecture::HeterPoly);
     let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
-    let spaces: Vec<_> = app.kernels().iter().map(|k| explorer.explore(k)).collect();
+    let spaces = cache().explore_graph(&explorer, app.kernels(), jobs());
     let sched = Scheduler::default();
     let fast_plan = sched
         .plan_latency(&app, &spaces, &setup.pool)
@@ -484,52 +641,52 @@ fn fig1d() {
         .expect("plan");
     let eff = Policy::from_plan(&eff_plan, &spaces, &setup.gpu);
 
-    let mut rows = Vec::new();
-    for i in 1..=8 {
-        let load = f64::from(i) / 8.0;
+    // The fixed-policy runs are pure, so they fan out; the Poly runs stay
+    // serial because each feeds the optimizer's model.
+    let loads: Vec<f64> = (1..=8).map(|i| f64::from(i) / 8.0).collect();
+    let fixed = par_map(jobs(), &loads, |_, &load| {
         let rps = max * load;
-        let p = poly.measure(rps);
-        let fixed_fast = poly_sim::steady_state(
-            &app,
-            &setup.pool,
-            &fast,
-            &setup.sim_config,
-            rps,
-            5_000.0,
-            20_000.0,
-            42,
-        );
-        let fixed_eff = poly_sim::steady_state(
-            &app,
-            &setup.pool,
-            &eff,
-            &setup.sim_config,
-            rps,
-            5_000.0,
-            20_000.0,
-            42,
-        );
-        let rpj = |r: &poly_sim::SimReport| {
-            if r.energy_j > 0.0 {
-                r.completed as f64 / r.energy_j
-            } else {
-                0.0
-            }
+        let run = |policy: &Policy| {
+            poly_sim::steady_state(
+                &app,
+                &setup.pool,
+                policy,
+                &setup.sim_config,
+                rps,
+                5_000.0,
+                20_000.0,
+                42,
+            )
         };
-        println!(
+        (run(&fast), run(&eff))
+    });
+
+    let rpj = |r: &poly_sim::SimReport| {
+        if r.energy_j > 0.0 {
+            r.completed as f64 / r.energy_j
+        } else {
+            0.0
+        }
+    };
+    let mut rows = Vec::new();
+    for (&load, (fixed_fast, fixed_eff)) in loads.iter().zip(&fixed) {
+        let p = poly.measure(max * load);
+        outln!(
+            out,
             "load={load:4.2} req/J: poly={:6.3} fixed-fast={:6.3} fixed-eff={:6.3}",
             rpj(&p),
-            rpj(&fixed_fast),
-            rpj(&fixed_eff)
+            rpj(fixed_fast),
+            rpj(fixed_eff)
         );
         rows.push(vec![
             f2(load),
             f2(rpj(&p)),
-            f2(rpj(&fixed_fast)),
-            f2(rpj(&fixed_eff)),
+            f2(rpj(fixed_fast)),
+            f2(rpj(fixed_eff)),
         ]);
     }
-    write_csv(
+    save_csv(
+        out,
         "fig1d_dynamic_efficiency",
         &[
             "load",
@@ -546,35 +703,60 @@ fn fig1d() {
 // ---------------------------------------------------------------------------
 
 /// Fig. 7 — tail latency vs load for all six applications.
-fn fig7() {
-    println!("== Fig. 7: tail latency vs load, six applications ==");
+fn fig7(out: &mut String) {
+    outln!(out, "== Fig. 7: tail latency vs load, six applications ==");
+    let apps = suite();
+    // Phase 1: capacity search for every (app, arch) pair concurrently.
+    let pairs: Vec<(usize, Architecture)> = (0..apps.len())
+        .flat_map(|ai| ARCHS.iter().map(move |&a| (ai, a)))
+        .collect();
+    let prepped = par_map(jobs(), &pairs, |_, &(ai, arch)| {
+        let mut sys = System::new(&apps[ai], Setting::I, arch, QOS_BOUND_MS);
+        let max = sys.max_rps();
+        (sys, max)
+    });
+    // Phase 2 (needs each app's best capacity): ten-point sweeps, one task
+    // per (app, arch); each task's measurements run in request order so
+    // Poly's feedback sequence is preserved.
+    let bests: Vec<f64> = (0..apps.len())
+        .map(|ai| {
+            prepped[ai * ARCHS.len()..(ai + 1) * ARCHS.len()]
+                .iter()
+                .fold(0.0_f64, |acc, &(_, m)| acc.max(m))
+                .max(0.5)
+        })
+        .collect();
+    let swept = poly_par::par_map_owned(jobs(), prepped, |idx, (mut sys, own_max)| {
+        let (ai, _) = pairs[idx];
+        let best = bests[ai];
+        let mut block = String::new();
+        let mut rows = Vec::new();
+        outp!(block, "  {:11}(max {own_max:6.1}) p99:", sys.name);
+        for i in 1..=10 {
+            let rps = best * f64::from(i) / 10.0;
+            let r = sys.measure(rps);
+            outp!(block, " {:7.0}", r.latency.p99());
+            rows.push(vec![
+                apps[ai].name().into(),
+                sys.name.into(),
+                f2(f64::from(i) / 10.0),
+                f2(rps),
+                f2(r.latency.p99()),
+            ]);
+        }
+        outln!(block);
+        (block, rows)
+    });
     let mut rows = Vec::new();
-    for app in suite() {
-        let mut systems: Vec<System> = ARCHS
-            .iter()
-            .map(|&a| System::new(&app, Setting::I, a, QOS_BOUND_MS))
-            .collect();
-        let maxes: Vec<f64> = systems.iter_mut().map(System::max_rps).collect();
-        let best = maxes.iter().fold(0.0_f64, |a, &b| a.max(b)).max(0.5);
-        println!("-- {} (100% load = {best:.1} RPS)", app.name());
-        for (sys, own_max) in systems.iter_mut().zip(&maxes) {
-            print!("  {:11}(max {own_max:6.1}) p99:", sys.name);
-            for i in 1..=10 {
-                let rps = best * f64::from(i) / 10.0;
-                let r = sys.measure(rps);
-                print!(" {:7.0}", r.latency.p99());
-                rows.push(vec![
-                    app.name().into(),
-                    sys.name.into(),
-                    f2(f64::from(i) / 10.0),
-                    f2(rps),
-                    f2(r.latency.p99()),
-                ]);
-            }
-            println!();
+    for (ai, app) in apps.iter().enumerate() {
+        outln!(out, "-- {} (100% load = {:.1} RPS)", app.name(), bests[ai]);
+        for (block, part) in &swept[ai * ARCHS.len()..(ai + 1) * ARCHS.len()] {
+            out.push_str(block);
+            rows.extend(part.iter().cloned());
         }
     }
-    write_csv(
+    save_csv(
+        out,
         "fig7_tail_latency",
         &["app", "arch", "load", "rps", "p99_ms"],
         &rows,
@@ -582,21 +764,28 @@ fn fig7() {
 }
 
 /// Fig. 8 — maximum system throughput (normalized), six apps + averages.
-fn fig8() {
-    println!("== Fig. 8: maximum throughput under QoS (normalized to best) ==");
+fn fig8(out: &mut String) {
+    outln!(
+        out,
+        "== Fig. 8: maximum throughput under QoS (normalized to best) =="
+    );
+    let apps = suite();
+    let pairs: Vec<(usize, Architecture)> = (0..apps.len())
+        .flat_map(|ai| ARCHS.iter().map(move |&a| (ai, a)))
+        .collect();
+    let maxes_flat = par_map(jobs(), &pairs, |_, &(ai, arch)| {
+        System::new(&apps[ai], Setting::I, arch, QOS_BOUND_MS).max_rps_jobs(jobs())
+    });
     let mut rows = Vec::new();
     let mut norm: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for app in suite() {
-        let maxes: Vec<f64> = ARCHS
-            .iter()
-            .map(|&a| System::new(&app, Setting::I, a, QOS_BOUND_MS).max_rps())
-            .collect();
+    for (ai, app) in apps.iter().enumerate() {
+        let maxes = &maxes_flat[ai * ARCHS.len()..(ai + 1) * ARCHS.len()];
         let best = maxes.iter().fold(0.0_f64, |a, &b| a.max(b)).max(1e-9);
-        print!("{:4}", app.name());
+        outp!(out, "{:4}", app.name());
         for (i, (&m, arch)) in maxes.iter().zip(ARCHS).enumerate() {
             let pct = m / best;
             norm[i].push(pct.max(1e-3));
-            print!("  {}={:5.1}rps ({:3.0}%)", arch.name(), m, pct * 100.0);
+            outp!(out, "  {}={:5.1}rps ({:3.0}%)", arch.name(), m, pct * 100.0);
             rows.push(vec![
                 app.name().into(),
                 arch.name().into(),
@@ -604,12 +793,13 @@ fn fig8() {
                 f2(pct * 100.0),
             ]);
         }
-        println!();
+        outln!(out);
     }
     for (i, arch) in ARCHS.iter().enumerate() {
         let avg = norm[i].iter().sum::<f64>() / norm[i].len() as f64;
         let geo = (norm[i].iter().map(|x| x.ln()).sum::<f64>() / norm[i].len() as f64).exp();
-        println!(
+        outln!(
+            out,
             "{:11} average={:4.0}% geomean={:4.0}%",
             arch.name(),
             avg * 100.0,
@@ -622,7 +812,8 @@ fn fig8() {
             f2(geo * 100.0),
         ]);
     }
-    write_csv(
+    save_csv(
+        out,
         "fig8_max_throughput",
         &["app", "arch", "max_rps", "normalized_pct"],
         &rows,
@@ -630,30 +821,37 @@ fn fig8() {
 }
 
 /// Fig. 9 — power scaling trends for ASR, IR, FQT.
-fn fig9() {
-    println!("== Fig. 9: power scaling trends (ASR, IR, FQT) ==");
+fn fig9(out: &mut String) {
+    outln!(out, "== Fig. 9: power scaling trends (ASR, IR, FQT) ==");
+    let names = ["asr", "ir", "fqt"];
+    let pairs: Vec<(usize, Architecture)> = (0..names.len())
+        .flat_map(|ni| ARCHS.iter().map(move |&a| (ni, a)))
+        .collect();
+    let curves = par_map(jobs(), &pairs, |_, &(ni, arch)| {
+        let app = poly_apps::by_name(names[ni]).expect("known app");
+        let mut sys = System::new(&app, Setting::I, arch, QOS_BOUND_MS);
+        let max = sys.max_rps_jobs(jobs());
+        (sys.name, sys.ep_curve(max, 6))
+    });
     let mut rows = Vec::new();
-    for name in ["asr", "ir", "fqt"] {
-        let app = poly_apps::by_name(name).expect("known app");
-        println!("-- {name}");
-        for arch in ARCHS {
-            let mut sys = System::new(&app, Setting::I, arch, QOS_BOUND_MS);
-            let max = sys.max_rps();
-            let curve = sys.ep_curve(max, 6);
-            print!("  {:11}", sys.name);
+    for (ni, name) in names.iter().enumerate() {
+        outln!(out, "-- {name}");
+        for (sys_name, curve) in &curves[ni * ARCHS.len()..(ni + 1) * ARCHS.len()] {
+            outp!(out, "  {sys_name:11}");
             for p in curve.points() {
-                print!(" {:4.0}W@{:3.0}%", p.power_w, p.load * 100.0);
+                outp!(out, " {:4.0}W@{:3.0}%", p.power_w, p.load * 100.0);
                 rows.push(vec![
-                    name.into(),
-                    sys.name.into(),
+                    (*name).into(),
+                    (*sys_name).into(),
                     f2(p.load),
                     f2(p.power_w),
                 ]);
             }
-            println!("  (peak {:.0}W)", curve.peak_power_w());
+            outln!(out, "  (peak {:.0}W)", curve.peak_power_w());
         }
     }
-    write_csv(
+    save_csv(
+        out,
         "fig9_power_scaling",
         &["app", "arch", "load", "power_w"],
         &rows,
@@ -661,27 +859,37 @@ fn fig9() {
 }
 
 /// Fig. 10 — energy proportionality for all six applications.
-fn fig10() {
-    println!("== Fig. 10: energy proportionality, six applications ==");
+fn fig10(out: &mut String) {
+    outln!(
+        out,
+        "== Fig. 10: energy proportionality, six applications =="
+    );
+    let apps = suite();
+    let pairs: Vec<(usize, Architecture)> = (0..apps.len())
+        .flat_map(|ai| ARCHS.iter().map(move |&a| (ai, a)))
+        .collect();
+    let eps = par_map(jobs(), &pairs, |_, &(ai, arch)| {
+        let mut sys = System::new(&apps[ai], Setting::I, arch, QOS_BOUND_MS);
+        let max = sys.max_rps_jobs(jobs());
+        sys.ep_curve(max, 6).ep()
+    });
     let mut rows = Vec::new();
     let mut sums = [0.0_f64; 3];
-    for app in suite() {
-        print!("{:4}", app.name());
+    for (ai, app) in apps.iter().enumerate() {
+        outp!(out, "{:4}", app.name());
         for (i, arch) in ARCHS.iter().enumerate() {
-            let mut sys = System::new(&app, Setting::I, *arch, QOS_BOUND_MS);
-            let max = sys.max_rps();
-            let ep = sys.ep_curve(max, 6).ep();
+            let ep = eps[ai * ARCHS.len() + i];
             sums[i] += ep;
-            print!("  {}={ep:5.2}", arch.name());
+            outp!(out, "  {}={ep:5.2}", arch.name());
             rows.push(vec![app.name().into(), arch.name().into(), f2(ep)]);
         }
-        println!();
+        outln!(out);
     }
     for (i, arch) in ARCHS.iter().enumerate() {
-        println!("{:11} mean EP = {:.2}", arch.name(), sums[i] / 6.0);
+        outln!(out, "{:11} mean EP = {:.2}", arch.name(), sums[i] / 6.0);
         rows.push(vec!["mean".into(), arch.name().into(), f2(sums[i] / 6.0)]);
     }
-    write_csv("fig10_ep", &["app", "arch", "ep"], &rows);
+    save_csv(out, "fig10_ep", &["app", "arch", "ep"], &rows);
 }
 
 // ---------------------------------------------------------------------------
@@ -708,67 +916,79 @@ fn replay_trace() -> Vec<TracePoint> {
 }
 
 /// Fig. 11 — the synthesized 24-hour utilization trace.
-fn fig11() {
-    println!("== Fig. 11: 24-hour server utilization trace ==");
+fn fig11(out: &mut String) {
+    outln!(out, "== Fig. 11: 24-hour server utilization trace ==");
     let trace = google_trace_24h(300_000.0, 2011);
     let mut rows = Vec::new();
     for (i, p) in trace.iter().enumerate() {
         if i % 12 == 0 {
-            println!("hour {:5.1}  util {:4.2}", i as f64 / 12.0, p.utilization);
+            outln!(
+                out,
+                "hour {:5.1}  util {:4.2}",
+                i as f64 / 12.0,
+                p.utilization
+            );
         }
         rows.push(vec![f2(i as f64 / 12.0), f2(p.utilization)]);
     }
-    write_csv("fig11_trace", &["hour", "utilization"], &rows);
+    save_csv(out, "fig11_trace", &["hour", "utilization"], &rows);
 }
 
 /// Fig. 12 + Section VI-C — 24-hour power traces, power savings, QoS
 /// violations, and model prediction error.
-fn fig12() {
-    println!("== Fig. 12: trace-driven power comparison (ASR, Setting-I) ==");
+fn fig12(out: &mut String) {
+    outln!(
+        out,
+        "== Fig. 12: trace-driven power comparison (ASR, Setting-I) =="
+    );
     let app = asr();
     let trace = replay_trace();
     // The paper "directly use[s] the same utilization value" for all three
     // platforms: each system serves util x its own sustainable capacity.
-    let mut rows = Vec::new();
-    let mut summary = Vec::new();
-    let own_max: Vec<f64> = ARCHS
-        .iter()
-        .map(|&a| {
-            System::new(&app, Setting::I, a, QOS_BOUND_MS)
-                .max_rps()
-                .max(1.0)
-        })
-        .collect();
+    let own_max = par_map(jobs(), &ARCHS, |_, &a| {
+        System::new(&app, Setting::I, a, QOS_BOUND_MS)
+            .max_rps_jobs(jobs())
+            .max(1.0)
+    });
     // Pass 1 (the paper's method): same *utilization* — each platform
     // serves util x its own capacity. Pass 2: same *offered load* — the
     // largest load every platform sustains — isolating the power cost of
-    // overprovisioned idle capacity.
+    // overprovisioned idle capacity. The six replays are independent
+    // deterministic simulations, so they fan out.
     let common = own_max.iter().fold(f64::INFINITY, |a, &b| a.min(b)) * 0.9;
-    for (pass, label) in [(0, "same-utilization"), (1, "same-load")] {
-        println!("-- pass: {label}");
-        for (ai, arch) in ARCHS.iter().enumerate() {
-            let arch = *arch;
-            let max_rps = if pass == 0 { own_max[ai] * 0.9 } else { common };
-            let setup = table_iii(Setting::I, arch);
-            let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
-            let spaces: Vec<_> = app.kernels().iter().map(|k| explorer.explore(k)).collect();
-            let mode = match arch {
-                Architecture::HeterPoly => RuntimeMode::Poly,
-                _ => {
-                    let policy = Optimizer::new().max_capacity_policy(
-                        &app,
-                        &spaces,
-                        &setup.pool,
-                        &setup.gpu,
-                        QOS_BOUND_MS,
-                    );
-                    RuntimeMode::Static(policy)
-                }
-            };
-            let mut rt = PolyRuntime::new(app.clone(), spaces, setup, QOS_BOUND_MS);
-            let report = rt.run_trace(&trace, TRACE_INTERVAL_MS, max_rps, &mode, 2011);
-            let served: usize = report.intervals.iter().map(|r| r.completed).sum();
-            println!(
+    let combos: Vec<(usize, usize)> = (0..2)
+        .flat_map(|pass| (0..ARCHS.len()).map(move |ai| (pass, ai)))
+        .collect();
+    let replays = par_map(jobs(), &combos, |_, &(pass, ai)| {
+        let arch = ARCHS[ai];
+        let label = if pass == 0 {
+            "same-utilization"
+        } else {
+            "same-load"
+        };
+        let max_rps = if pass == 0 { own_max[ai] * 0.9 } else { common };
+        let setup = table_iii(Setting::I, arch);
+        let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+        let spaces = cache().explore_graph(&explorer, app.kernels(), 1);
+        let mode = match arch {
+            Architecture::HeterPoly => RuntimeMode::Poly,
+            _ => {
+                let policy = Optimizer::new().max_capacity_policy(
+                    &app,
+                    &spaces,
+                    &setup.pool,
+                    &setup.gpu,
+                    QOS_BOUND_MS,
+                );
+                RuntimeMode::Static(policy)
+            }
+        };
+        let mut rt = PolyRuntime::new(app.clone(), spaces, setup, QOS_BOUND_MS);
+        let report = rt.run_trace(&trace, TRACE_INTERVAL_MS, max_rps, &mode, 2011);
+        let served: usize = report.intervals.iter().map(|r| r.completed).sum();
+        let mut block = String::new();
+        outln!(
+            block,
             "{:11} (trace peak {max_rps:5.1} RPS) mean power {:6.1} W  {:6.2} J/request  violations {:5.2}%  model err {:4.1}%",
             arch.name(),
             report.mean_power_w,
@@ -776,19 +996,34 @@ fn fig12() {
             report.violation_ratio * 100.0,
             report.prediction_error * 100.0
         );
-            summary.push((pass, arch.name(), report.mean_power_w));
-            for (i, r) in report.intervals.iter().enumerate() {
-                if i % 4 == 0 {
-                    rows.push(vec![
-                        label.into(),
-                        arch.name().into(),
-                        f2(i as f64 / 12.0),
-                        f2(r.utilization),
-                        f2(r.avg_power_w),
-                        f2(r.p99_ms),
-                    ]);
-                }
+        let mut rows = Vec::new();
+        for (i, r) in report.intervals.iter().enumerate() {
+            if i % 4 == 0 {
+                rows.push(vec![
+                    label.into(),
+                    arch.name().into(),
+                    f2(i as f64 / 12.0),
+                    f2(r.utilization),
+                    f2(r.avg_power_w),
+                    f2(r.p99_ms),
+                ]);
             }
+        }
+        (block, rows, (pass, arch.name(), report.mean_power_w))
+    });
+    let mut rows = Vec::new();
+    let mut summary = Vec::new();
+    for (pass, label) in [(0, "same-utilization"), (1, "same-load")] {
+        outln!(out, "-- pass: {label}");
+        for (block, part, entry) in replays
+            .iter()
+            .zip(&combos)
+            .filter(|(_, &(p, _))| p == pass)
+            .map(|(r, _)| r)
+        {
+            out.push_str(block);
+            rows.extend(part.iter().cloned());
+            summary.push(*entry);
         }
     }
     if let (Some(gpu), Some(het)) = (
@@ -797,12 +1032,14 @@ fn fig12() {
             .iter()
             .find(|(p, n, _)| *p == 1 && *n == "Heter-Poly"),
     ) {
-        println!(
+        outln!(
+            out,
             "At equal offered load, Heter-Poly saves {:.0}% power vs Homo-GPU over the trace",
             (1.0 - het.2 / gpu.2) * 100.0
         );
     }
-    write_csv(
+    save_csv(
+        out,
         "fig12_trace_power",
         &["pass", "arch", "hour", "utilization", "power_w", "p99_ms"],
         &rows,
@@ -814,12 +1051,15 @@ fn fig12() {
 // ---------------------------------------------------------------------------
 
 /// Ablations (DESIGN.md §6): quality deltas of the design choices.
-fn ablations() {
-    println!("== Ablations: value of each design choice (ASR, Setting-I Heter) ==");
+fn ablations(out: &mut String) {
+    outln!(
+        out,
+        "== Ablations: value of each design choice (ASR, Setting-I Heter) =="
+    );
     let app = asr();
     let setup = table_iii(Setting::I, Architecture::HeterPoly);
     let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
-    let spaces: Vec<_> = app.kernels().iter().map(|k| explorer.explore(k)).collect();
+    let spaces = cache().explore_graph(&explorer, app.kernels(), jobs());
     let sched = Scheduler::default();
     let mut rows = Vec::new();
 
@@ -830,7 +1070,8 @@ fn ablations() {
     let tuned = sched
         .plan(&app, &spaces, &setup.pool, QOS_BOUND_MS)
         .expect("plan");
-    println!(
+    outln!(
+        out,
         "energy step: dynamic energy {:.0} -> {:.0} mJ ({:.0}% less), makespan {:.0} -> {:.0} ms",
         fast.dynamic_mj,
         tuned.dynamic_mj,
@@ -847,7 +1088,8 @@ fn ablations() {
     // 2. Fusion: off-chip traffic saved by global optimization.
     for kernel in app.kernels() {
         let p = kernel.profile();
-        println!(
+        outln!(
+            out,
             "fusion: {:14} off-chip {:6.1} -> {:6.1} MB per invocation",
             kernel.name(),
             p.unfused_bytes as f64 / 1e6,
@@ -868,7 +1110,8 @@ fn ablations() {
     let fpga_only = sched
         .plan_latency(&app, &spaces, &poly_sched::Pool::heterogeneous(0, 5))
         .expect("plan");
-    println!(
+    outln!(
+        out,
         "heterogeneity: single-request makespan het {:.0} ms vs gpu-only {:.0} ms vs fpga-only {:.0} ms",
         fast.makespan_ms, gpu_only.makespan_ms, fpga_only.makespan_ms
     );
@@ -882,9 +1125,11 @@ fn ablations() {
     //    order with min-latency implementations.
     let naive =
         poly_sched::naive_plan(&app, &spaces, &setup.pool, &PcieLink::gen3_x16()).expect("plan");
-    println!(
+    outln!(
+        out,
         "priority list: makespan {:.0} ms (W_L ordered) vs {:.0} ms (naive topo order)",
-        fast.makespan_ms, naive.makespan_ms
+        fast.makespan_ms,
+        naive.makespan_ms
     );
     rows.push(vec![
         "priority_list_makespan".into(),
@@ -921,34 +1166,52 @@ fn ablations() {
         4,
     );
     let after = (measured.latency.p99() - pred.p99_ms).abs() / measured.latency.p99();
-    println!(
+    outln!(
+        out,
         "feedback: model p99 error {:.0}% -> {:.0}% after one correction",
         before * 100.0,
         after * 100.0
     );
     rows.push(vec!["model_p99_error".into(), f2(before), f2(after)]);
 
-    write_csv("ablations", &["ablation", "before", "after"], &rows);
+    save_csv(out, "ablations", &["ablation", "before", "after"], &rows);
 }
 
 /// Fig. 13 — max throughput vs GPU/FPGA power split (1000 W cap).
-fn fig13() {
-    println!("== Fig. 13: architecture scalability (power split, 1000 W) ==");
+fn fig13(out: &mut String) {
+    outln!(
+        out,
+        "== Fig. 13: architecture scalability (power split, 1000 W) =="
+    );
     let app = asr();
+    const SPLITS: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let combos: Vec<(Setting, f64)> = Setting::ALL
+        .iter()
+        .flat_map(|&s| SPLITS.iter().map(move |&x| (s, x)))
+        .collect();
+    let measured = par_map(jobs(), &combos, |_, &(setting, split)| {
+        let setup = power_split(setting, 1000.0, split);
+        let label = format!("{}g{}f", setup.gpus(), setup.fpgas());
+        let mut sys = System::with_setup(&app, setup, QOS_BOUND_MS);
+        (label, sys.max_rps_jobs(jobs()))
+    });
     let mut rows = Vec::new();
-    for setting in Setting::ALL {
-        print!("{:12}", setting.name());
-        for split in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
-            let setup = power_split(setting, 1000.0, split);
-            let label = format!("{}g{}f", setup.gpus(), setup.fpgas());
-            let mut sys = System::with_setup(&app, setup, QOS_BOUND_MS);
-            let max = sys.max_rps();
-            print!("  {:3.0}%:{max:6.1}({label})", split * 100.0);
-            rows.push(vec![setting.name().into(), f2(split), label, f2(max)]);
+    for (si, setting) in Setting::ALL.iter().enumerate() {
+        outp!(out, "{:12}", setting.name());
+        for (xi, &split) in SPLITS.iter().enumerate() {
+            let (label, max) = &measured[si * SPLITS.len() + xi];
+            outp!(out, "  {:3.0}%:{max:6.1}({label})", split * 100.0);
+            rows.push(vec![
+                setting.name().into(),
+                f2(split),
+                label.clone(),
+                f2(*max),
+            ]);
         }
-        println!();
+        outln!(out);
     }
-    write_csv(
+    save_csv(
+        out,
         "fig13_power_split",
         &["setting", "gpu_share", "devices", "max_rps"],
         &rows,
@@ -956,21 +1219,32 @@ fn fig13() {
 }
 
 /// Fig. 14 — cost efficiency under the three settings.
-fn fig14() {
-    println!("== Fig. 14: cost efficiency (max RPS / monthly TCO) ==");
+fn fig14(out: &mut String) {
+    outln!(
+        out,
+        "== Fig. 14: cost efficiency (max RPS / monthly TCO) =="
+    );
     let app = asr();
     let params = TcoParams::default();
+    let combos: Vec<(Setting, Architecture)> = Setting::ALL
+        .iter()
+        .flat_map(|&s| ARCHS.iter().map(move |&a| (s, a)))
+        .collect();
+    let measured = par_map(jobs(), &combos, |_, &(setting, arch)| {
+        let mut sys = System::new(&app, setting, arch, QOS_BOUND_MS);
+        let max = sys.max_rps_jobs(jobs());
+        // Operate at 70% load for the power term.
+        let power = sys.measure((max * 0.7).max(0.01)).avg_power_w;
+        let tco = monthly_tco_usd(&sys.setup, power, &params);
+        let ce = cost_efficiency(max, tco) * 1000.0; // RPS per k$/month
+        (max, power, tco, ce)
+    });
     let mut rows = Vec::new();
-    for setting in Setting::ALL {
-        print!("{:12}", setting.name());
-        for arch in ARCHS {
-            let mut sys = System::new(&app, setting, arch, QOS_BOUND_MS);
-            let max = sys.max_rps();
-            // Operate at 70% load for the power term.
-            let power = sys.measure((max * 0.7).max(0.01)).avg_power_w;
-            let tco = monthly_tco_usd(&sys.setup, power, &params);
-            let ce = cost_efficiency(max, tco) * 1000.0; // RPS per k$/month
-            print!("  {}={ce:6.2}", arch.name());
+    for (si, setting) in Setting::ALL.iter().enumerate() {
+        outp!(out, "{:12}", setting.name());
+        for (ai, arch) in ARCHS.iter().enumerate() {
+            let (max, power, tco, ce) = measured[si * ARCHS.len() + ai];
+            outp!(out, "  {}={ce:6.2}", arch.name());
             rows.push(vec![
                 setting.name().into(),
                 arch.name().into(),
@@ -980,9 +1254,10 @@ fn fig14() {
                 f2(ce),
             ]);
         }
-        println!();
+        outln!(out);
     }
-    write_csv(
+    save_csv(
+        out,
         "fig14_cost_efficiency",
         &[
             "setting",

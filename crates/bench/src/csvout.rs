@@ -5,13 +5,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::Path;
 
-/// Write `rows` under `header` to `results/<name>.csv`, creating the
-/// directory if needed. Also returns the rendered text.
-///
-/// # Panics
-/// Panics on I/O errors — experiment harness code treats an unwritable
-/// results directory as fatal.
-pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+fn render(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut text = String::new();
     text.push_str(&header.join(","));
     text.push('\n');
@@ -19,13 +13,42 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> String {
         text.push_str(&row.join(","));
         text.push('\n');
     }
+    text
+}
+
+fn persist(name: &str, text: &str) -> String {
     let dir = Path::new("results");
     fs::create_dir_all(dir).expect("create results directory");
     let path = dir.join(format!("{name}.csv"));
     let mut f = fs::File::create(&path).expect("create results file");
     f.write_all(text.as_bytes()).expect("write results file");
-    println!("  -> wrote {}", path.display());
+    path.display().to_string()
+}
+
+/// Write `rows` under `header` to `results/<name>.csv`, creating the
+/// directory if needed. Also returns the rendered text.
+///
+/// # Panics
+/// Panics on I/O errors — experiment harness code treats an unwritable
+/// results directory as fatal.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let text = render(header, rows);
+    let path = persist(name, &text);
+    println!("  -> wrote {path}");
     text
+}
+
+/// [`write_csv`], but appending the confirmation line to a caller-owned
+/// buffer instead of printing it — for experiment drivers that run
+/// figures concurrently and print each figure's output as one block.
+///
+/// # Panics
+/// Panics on I/O errors, like [`write_csv`].
+pub fn save_csv(out: &mut String, name: &str, header: &[&str], rows: &[Vec<String>]) {
+    use std::fmt::Write as _;
+    let text = render(header, rows);
+    let path = persist(name, &text);
+    writeln!(out, "  -> wrote {path}").expect("write to string");
 }
 
 /// Format a float with 2 decimals for CSV cells.
@@ -54,5 +77,14 @@ mod tests {
         );
         assert_eq!(text, "a,b\n1,2\n1.23,inf\n");
         std::fs::remove_file("results/test_csvout.csv").ok();
+    }
+
+    #[test]
+    fn save_csv_buffers_the_confirmation() {
+        let mut out = String::new();
+        save_csv(&mut out, "test_csvout_buf", &["a"], &[vec!["1".into()]]);
+        assert!(out.contains("-> wrote"));
+        assert!(out.contains("test_csvout_buf.csv"));
+        std::fs::remove_file("results/test_csvout_buf.csv").ok();
     }
 }

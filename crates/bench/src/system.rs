@@ -4,9 +4,11 @@
 
 use poly_core::provision::{table_iii, Architecture, Setting};
 use poly_core::{NodeSetup, Optimizer};
-use poly_dse::{Explorer, KernelDesignSpace};
+use poly_dse::{DesignSpaceCache, Explorer, KernelDesignSpace};
 use poly_ir::KernelGraph;
-use poly_sim::{max_rps_under_qos, steady_state, EpCurve, EpPoint, Policy, SimReport};
+use poly_sim::{
+    max_rps_under_qos, max_rps_under_qos_par, steady_state, EpCurve, EpPoint, Policy, SimReport,
+};
 
 /// Default measurement windows (ms of simulated time).
 const WARMUP_MS: f64 = 5_000.0;
@@ -50,7 +52,7 @@ impl System {
     pub fn with_setup(app: &KernelGraph, setup: NodeSetup, bound_ms: f64) -> Self {
         let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
         let spaces: Vec<KernelDesignSpace> =
-            app.kernels().iter().map(|k| explorer.explore(k)).collect();
+            DesignSpaceCache::global().explore_graph(&explorer, app.kernels(), 1);
         let source = match setup.architecture {
             Architecture::HeterPoly => Source::Poly(Box::new(Optimizer::new())),
             Architecture::HomoGpu | Architecture::HomoFpga => {
@@ -137,10 +139,53 @@ impl System {
         )
     }
 
+    /// Whether the policy source is a fixed baseline (no feedback state).
+    #[must_use]
+    pub fn is_static(&self) -> bool {
+        matches!(self.source, Source::Static(_))
+    }
+
     /// Maximum sustainable RPS whose measured p99 stays within the bound.
     pub fn max_rps(&mut self) -> f64 {
         let bound = self.bound_ms;
         max_rps_under_qos(|rps| self.measure(rps), bound, 0.5, 400.0, 0.03)
+    }
+
+    /// [`System::max_rps`] with up to `jobs` concurrent simulations.
+    ///
+    /// Static-policy systems evaluate loads with a pure function (fixed
+    /// policy, fixed seed), so the speculative parallel bisection applies
+    /// and the result is bit-identical to the serial search. Poly systems
+    /// run a feedback round per decision — their measurement sequence is
+    /// order-dependent — so they always take the serial path, whatever
+    /// `jobs` says.
+    pub fn max_rps_jobs(&mut self, jobs: usize) -> f64 {
+        match &self.source {
+            Source::Static(policy) => {
+                let policy = policy.clone();
+                let (app, setup, seed) = (&self.app, &self.setup, self.seed);
+                max_rps_under_qos_par(
+                    jobs,
+                    |rps| {
+                        steady_state(
+                            app,
+                            &setup.pool,
+                            &policy,
+                            &setup.sim_config,
+                            rps,
+                            WARMUP_MS,
+                            WINDOW_MS,
+                            seed,
+                        )
+                    },
+                    self.bound_ms,
+                    0.5,
+                    400.0,
+                    0.03,
+                )
+            }
+            Source::Poly(_) => self.max_rps(),
+        }
     }
 
     /// Power-vs-load curve at fractions of `max_rps` — the EP curve of

@@ -4,7 +4,7 @@
 //! simulators on demand.
 
 use crate::{NodeSetup, Optimizer, PolicyPrediction, PolyRuntime};
-use poly_dse::{Explorer, KernelDesignSpace};
+use poly_dse::{DesignSpaceCache, Explorer, KernelDesignSpace};
 use poly_ir::KernelGraph;
 use poly_sched::{ScheduleError, SchedulePlan, Scheduler};
 use poly_sim::{Policy, Simulator};
@@ -46,11 +46,7 @@ impl Poly {
     #[must_use]
     pub fn offline(graph: KernelGraph, setup: NodeSetup) -> Self {
         let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
-        let spaces = graph
-            .kernels()
-            .iter()
-            .map(|k| explorer.explore(k))
-            .collect();
+        let spaces = DesignSpaceCache::global().explore_graph(&explorer, graph.kernels(), 1);
         Self {
             graph,
             setup,

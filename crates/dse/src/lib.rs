@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod explorer;
 mod global;
 mod knobs;
@@ -38,6 +39,7 @@ mod pareto;
 mod space;
 mod table;
 
+pub use cache::{explorer_fingerprint, kernel_fingerprint, DesignSpaceCache};
 pub use explorer::{Explorer, ExplorerConfig};
 pub use global::{realizable_fractions, FusionPlan};
 pub use knobs::{FpgaKnobs, GpuKnobs};

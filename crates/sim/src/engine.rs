@@ -5,6 +5,7 @@ use poly_ir::{KernelGraph, KernelId};
 use poly_sched::Pool;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Fraction of GPU board idle power drawn when the current policy leaves
 /// the GPU unused (deep-idle clocks, memory parked).
@@ -182,7 +183,12 @@ pub struct Simulator {
     /// EWMA arrival rate (requests per ms), for adaptive batching.
     arrival_rate: f64,
     last_arrival_ms: f64,
-    latencies: Vec<f64>,
+    /// Completed-request latencies since the last accounting reset.
+    /// Shared (copy-on-write) so report generation can snapshot it in
+    /// O(1) instead of cloning the whole buffer.
+    latencies: Arc<Vec<f64>>,
+    /// Reusable workspace for quantile selection at report time.
+    lat_scratch: Vec<f64>,
     segment_latencies: Vec<f64>,
     segment_arrived: usize,
     segment_completed: usize,
@@ -221,7 +227,8 @@ impl Simulator {
             wait_budget: Vec::new(),
             arrival_rate: 0.0,
             last_arrival_ms: -1.0,
-            latencies: Vec::new(),
+            latencies: Arc::new(Vec::new()),
+            lat_scratch: Vec::new(),
             segment_latencies: Vec::new(),
             segment_arrived: 0,
             segment_completed: 0,
@@ -514,9 +521,7 @@ impl Simulator {
                 // Expansion hysteresis: only consider reconfiguring an
                 // additional device when every configured device already
                 // has a sustained backlog.
-                let all_backlogged = matching
-                    .iter()
-                    .all(|&i| self.devices[i].queue.len() >= 3);
+                let all_backlogged = matching.iter().all(|&i| self.devices[i].queue.len() >= 3);
                 if !all_backlogged {
                     peers = matching;
                 }
@@ -556,7 +561,7 @@ impl Simulator {
             self.devices[dev].executing = false;
             return;
         };
-        let imp: KernelImpl = self.policy.of(front.kernel).clone();
+        let imp: KernelImpl = *self.policy.of(front.kernel);
 
         // Deliberate batch formation (DjiNN-style): hold a partial GPU
         // batch open while (a) the oldest request's slack still allows it
@@ -694,7 +699,7 @@ impl Simulator {
         }
         if self.requests[req].kernels_left == 0 {
             let latency = now - self.requests[req].arrival_ms;
-            self.latencies.push(latency);
+            Arc::make_mut(&mut self.latencies).push(latency);
             self.segment_latencies.push(latency);
             self.completed += 1;
             self.segment_completed += 1;
@@ -715,7 +720,7 @@ impl Simulator {
         self.stats_since = self.now;
         self.arrived = 0;
         self.completed = 0;
-        self.latencies.clear();
+        Arc::make_mut(&mut self.latencies).clear();
         self.segment_latencies.clear();
         self.segment_arrived = 0;
         self.segment_completed = 0;
@@ -757,7 +762,7 @@ impl Simulator {
                 reconfigs: d.reconfigs,
             });
         }
-        let latency = LatencyStats::from_samples(self.latencies.clone());
+        let latency = LatencyStats::from_shared(&self.latencies, &mut self.lat_scratch);
         let qos_violation_ratio = latency.violation_ratio(self.config.latency_bound_ms);
         SimReport {
             duration_ms,

@@ -40,7 +40,7 @@ pub use engine::{
     ExecutionRecord, KernelStats, SimConfig, SimReport, Simulator, GPU_PARKED_FRACTION,
 };
 pub use ep::{ep_metric, EpCurve, EpPoint};
-pub use load::{max_rps_under_qos, steady_state, LoadPoint, LoadSweep};
+pub use load::{max_rps_under_qos, max_rps_under_qos_par, steady_state, LoadPoint, LoadSweep};
 pub use metrics::LatencyStats;
 pub use policy::{KernelImpl, Policy};
 pub use time::TotalF64;

@@ -80,6 +80,21 @@ impl LoadSweep {
         Self { points }
     }
 
+    /// Like [`LoadSweep::run`], but evaluating the load points on up to
+    /// `jobs` worker threads.
+    ///
+    /// Each point is an independent simulation, so for any pure `eval`
+    /// (same report for the same `rps`, regardless of call order — true of
+    /// [`steady_state`] with a fixed policy and seed) the result is
+    /// identical to the serial [`LoadSweep::run`] for every job count.
+    #[must_use]
+    pub fn run_par(jobs: usize, loads_rps: &[f64], eval: impl Fn(f64) -> SimReport + Sync) -> Self {
+        let points = poly_par::par_map(jobs, loads_rps, |_, &rps| {
+            LoadPoint::from_report(rps, &eval(rps))
+        });
+        Self { points }
+    }
+
     /// The highest offered load whose measured p99 stays within
     /// `bound_ms`, if any point qualifies.
     #[must_use]
@@ -127,6 +142,69 @@ pub fn max_rps_under_qos(
     lo
 }
 
+/// Parallel [`max_rps_under_qos`]: speculatively evaluates both bracket
+/// endpoints at once, then per round the midpoint *and* both possible
+/// next midpoints, so each round of three concurrent simulations advances
+/// the bisection by exactly two serial steps.
+///
+/// `eval` must be pure (the same `rps` always yields the same report,
+/// independent of call order or count) — true of [`steady_state`] with a
+/// fixed policy and seed. Under that contract the returned value is
+/// bit-identical to the serial search for every `jobs` count: the interval
+/// updates replay the serial arithmetic exactly, speculation only changes
+/// *when* each evaluation runs.
+#[must_use]
+pub fn max_rps_under_qos_par(
+    jobs: usize,
+    eval: impl Fn(f64) -> SimReport + Sync,
+    bound_ms: f64,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+) -> f64 {
+    assert!(lo > 0.0 && hi > lo, "need a positive bracket");
+    if jobs <= 1 {
+        return max_rps_under_qos(eval, bound_ms, lo, hi, tol);
+    }
+    let p99_at = |rps: &[f64]| poly_par::par_map(jobs, rps, |_, &r| eval(r).latency.p99());
+    let ends = p99_at(&[lo, hi]);
+    if ends[0] > bound_ms {
+        return 0.0;
+    }
+    if ends[1] <= bound_ms {
+        return hi;
+    }
+    while (hi - lo) / hi > tol {
+        let mid = 0.5 * (lo + hi);
+        // The two candidate next midpoints; `0.5 * (lo + mid)` is exactly
+        // what the serial loop would compute after `hi = mid`, and
+        // `0.5 * (mid + hi)` after `lo = mid`.
+        let lo_mid = 0.5 * (lo + mid);
+        let hi_mid = 0.5 * (mid + hi);
+        let p = p99_at(&[mid, lo_mid, hi_mid]);
+        if p[0] <= bound_ms {
+            lo = mid;
+            if (hi - lo) / hi > tol {
+                if p[2] <= bound_ms {
+                    lo = hi_mid;
+                } else {
+                    hi = hi_mid;
+                }
+            }
+        } else {
+            hi = mid;
+            if (hi - lo) / hi > tol {
+                if p[1] <= bound_ms {
+                    lo = lo_mid;
+                } else {
+                    hi = lo_mid;
+                }
+            }
+        }
+    }
+    lo
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +245,45 @@ mod tests {
     fn hi_returned_when_bracket_too_small() {
         let max = max_rps_under_qos(|rps| synthetic(rps, 1e9), 200.0, 1.0, 50.0, 0.01);
         assert_eq!(max, 50.0);
+    }
+
+    #[test]
+    fn parallel_search_is_bit_identical_to_serial() {
+        for (bound, capacity, tol) in [
+            (200.0, 100.0, 0.01),
+            (200.0, 100.0, 0.03),
+            (50.0, 250.0, 0.02),
+            (5.0, 100.0, 0.01),   // zero-capacity path
+            (200.0, 1e9, 0.01),   // bracket-too-small path
+            (200.0, 100.0, 0.25), // coarse tolerance: few rounds
+        ] {
+            let serial = max_rps_under_qos(|rps| synthetic(rps, capacity), bound, 1.0, 1000.0, tol);
+            for jobs in [1, 2, 3, 8] {
+                let par = max_rps_under_qos_par(
+                    jobs,
+                    |rps| synthetic(rps, capacity),
+                    bound,
+                    1.0,
+                    1000.0,
+                    tol,
+                );
+                assert_eq!(
+                    serial.to_bits(),
+                    par.to_bits(),
+                    "bound={bound} capacity={capacity} tol={tol} jobs={jobs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let loads = [10.0, 30.0, 50.0, 70.0, 90.0];
+        let serial = LoadSweep::run(&loads, |rps| synthetic(rps, 100.0));
+        for jobs in [1, 2, 4, 8] {
+            let par = LoadSweep::run_par(jobs, &loads, |rps| synthetic(rps, 100.0));
+            assert_eq!(serial, par, "jobs={jobs}");
+        }
     }
 
     #[test]

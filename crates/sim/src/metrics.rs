@@ -1,11 +1,92 @@
+use std::sync::Arc;
+
+/// Quantiles precomputed by the digest. Every quantile the framework
+/// queries (p50/p95/p99 plus the 1st/10th percentiles used by tests and
+/// calibration) maps onto one of these grid points, so lookups are O(log
+/// grid) with no per-query pass over the samples.
+const GRID_QS: [f64; 10] = [0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0];
+
 /// Latency distribution summary of a set of completed requests.
 ///
 /// The paper's QoS metric is the 99th-percentile ("tail") latency; the
 /// summary also exposes p50/p95, mean, and max for the figures.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Internally the samples are kept **unsorted** behind an `Arc` and the
+/// common quantiles are extracted with `select_nth_unstable` (expected
+/// O(n) total, vs. O(n log n) for a full sort). This keeps report
+/// generation off the simulator's hot path: producing a report shares the
+/// sample buffer instead of cloning and sorting it.
+#[derive(Debug, Clone)]
 pub struct LatencyStats {
-    sorted_ms: Vec<f64>,
+    /// Finite samples, in no particular order (shared, never mutated).
+    samples: Arc<Vec<f64>>,
     mean_ms: f64,
+    /// `(rank0, value)` pairs, sorted by rank: `value` is what the sorted
+    /// sample array would hold at index `rank0`. Covers [`GRID_QS`] plus
+    /// the minimum (rank 0).
+    grid: Vec<(usize, f64)>,
+}
+
+impl PartialEq for LatencyStats {
+    /// Equality is on the *distribution* (order-insensitive), matching
+    /// the former sorted representation.
+    fn eq(&self, other: &Self) -> bool {
+        if self.samples.len() != other.samples.len()
+            || self.mean_ms.to_bits() != other.mean_ms.to_bits()
+            || self.grid != other.grid
+        {
+            return false;
+        }
+        if Arc::ptr_eq(&self.samples, &other.samples) {
+            return true;
+        }
+        let sort = |v: &[f64]| {
+            let mut s = v.to_vec();
+            s.sort_by(f64::total_cmp);
+            s
+        };
+        sort(&self.samples) == sort(&other.samples)
+    }
+}
+
+/// Nearest-rank index of quantile `q` in a sorted array of length `n`.
+fn rank0(q: f64, n: usize) -> usize {
+    ((q * n as f64).ceil() as usize).clamp(1, n) - 1
+}
+
+/// Extract the values at the given strictly-increasing absolute ranks
+/// from `buf` (a sub-slice whose elements would occupy sorted positions
+/// `base..base + buf.len()`), appending `(rank, value)` pairs to `out`.
+/// Recursion on select partitions makes the whole extraction expected
+/// O(n log ranks) without ever fully sorting the buffer.
+fn select_ranks(buf: &mut [f64], base: usize, ranks: &[usize], out: &mut Vec<(usize, f64)>) {
+    if ranks.is_empty() || buf.is_empty() {
+        return;
+    }
+    let mid = ranks.len() / 2;
+    let rank = ranks[mid];
+    let local = rank - base;
+    let (_, &mut value, _) = buf.select_nth_unstable_by(local, |a, b| a.total_cmp(b));
+    out.push((rank, value));
+    let (left, rest) = buf.split_at_mut(local);
+    select_ranks(left, base, &ranks[..mid], out);
+    select_ranks(&mut rest[1..], rank + 1, &ranks[mid + 1..], out);
+}
+
+fn digest(samples: &mut [f64]) -> (f64, Vec<(usize, f64)>) {
+    if samples.is_empty() {
+        return (0.0, Vec::new());
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let mut ranks: Vec<usize> = std::iter::once(0)
+        .chain(GRID_QS.iter().map(|&q| rank0(q, samples.len())))
+        .collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    let mut grid = Vec::with_capacity(ranks.len());
+    select_ranks(samples, 0, &ranks, &mut grid);
+    grid.sort_unstable_by_key(|&(r, _)| r);
+    (mean, grid)
 }
 
 impl LatencyStats {
@@ -14,43 +95,73 @@ impl LatencyStats {
     #[must_use]
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
         samples.retain(|x| x.is_finite());
-        samples.sort_by(f64::total_cmp);
-        let mean_ms = if samples.is_empty() {
-            0.0
+        let (mean_ms, grid) = digest(&mut samples);
+        Self {
+            samples: Arc::new(samples),
+            mean_ms,
+            grid,
+        }
+    }
+
+    /// Summarize a shared sample buffer without taking ownership of it.
+    ///
+    /// `scratch` is a caller-owned reusable buffer (cleared and refilled
+    /// here) on which the rank selection permutes; `shared` itself is
+    /// never mutated, and when every sample is finite — always true for
+    /// simulator-produced latencies — the result shares `shared` instead
+    /// of copying it, so repeated report generation allocates nothing.
+    #[must_use]
+    pub fn from_shared(shared: &Arc<Vec<f64>>, scratch: &mut Vec<f64>) -> Self {
+        scratch.clear();
+        scratch.extend(shared.iter().copied().filter(|x| x.is_finite()));
+        let (mean_ms, grid) = digest(scratch);
+        let samples = if scratch.len() == shared.len() {
+            Arc::clone(shared)
         } else {
-            samples.iter().sum::<f64>() / samples.len() as f64
+            Arc::new(scratch.clone())
         };
         Self {
-            sorted_ms: samples,
+            samples,
             mean_ms,
+            grid,
         }
     }
 
     /// Number of samples.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.sorted_ms.len()
+        self.samples.len()
     }
 
     /// Whether there are no samples.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.sorted_ms.is_empty()
+        self.samples.is_empty()
     }
 
     /// The `q`-quantile latency (nearest-rank), `q` in `\[0, 1\]`.
+    ///
+    /// Grid quantiles (all the ones the framework uses) are answered from
+    /// the precomputed digest; anything else falls back to a one-off
+    /// selection over a copy of the samples.
     ///
     /// # Panics
     /// Panics if `q` is outside `\[0, 1\]`.
     #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        if self.sorted_ms.is_empty() {
+        if self.samples.is_empty() {
             return 0.0;
         }
-        let rank =
-            ((q * self.sorted_ms.len() as f64).ceil() as usize).clamp(1, self.sorted_ms.len());
-        self.sorted_ms[rank - 1]
+        let rank = rank0(q, self.samples.len());
+        match self.grid.binary_search_by_key(&rank, |&(r, _)| r) {
+            Ok(i) => self.grid[i].1,
+            Err(_) => {
+                let mut scratch = self.samples.as_ref().clone();
+                let (_, &mut v, _) = scratch.select_nth_unstable_by(rank, |a, b| a.total_cmp(b));
+                v
+            }
+        }
     }
 
     /// Median latency.
@@ -80,17 +191,17 @@ impl LatencyStats {
     /// Maximum latency.
     #[must_use]
     pub fn max(&self) -> f64 {
-        self.sorted_ms.last().copied().unwrap_or(0.0)
+        self.grid.last().map_or(0.0, |&(_, v)| v)
     }
 
     /// Fraction of samples strictly above `bound_ms`.
     #[must_use]
     pub fn violation_ratio(&self, bound_ms: f64) -> f64 {
-        if self.sorted_ms.is_empty() {
+        if self.samples.is_empty() {
             return 0.0;
         }
-        let violating = self.sorted_ms.partition_point(|&x| x <= bound_ms);
-        (self.sorted_ms.len() - violating) as f64 / self.sorted_ms.len() as f64
+        let violating = self.samples.iter().filter(|&&x| x > bound_ms).count();
+        violating as f64 / self.samples.len() as f64
     }
 }
 
@@ -142,5 +253,57 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn out_of_range_quantile_panics() {
         let _ = LatencyStats::from_samples(vec![1.0]).quantile(1.5);
+    }
+
+    /// The digest must agree with a full sort at every quantile the
+    /// framework queries, on awkward sizes and unsorted inputs.
+    #[test]
+    fn digest_matches_full_sort_reference() {
+        for n in [1usize, 2, 3, 7, 19, 100, 101, 997] {
+            // Deterministic shuffle-ish input: decimated multiples.
+            let samples: Vec<f64> = (0..n).map(|i| ((i * 7919) % n) as f64 * 0.5).collect();
+            let mut sorted = samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            let s = LatencyStats::from_samples(samples);
+            for q in [
+                0.0, 0.01, 0.05, 0.1, 0.25, 0.5, 0.6, 0.75, 0.9, 0.95, 0.99, 1.0,
+            ] {
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+                assert_eq!(s.quantile(q), sorted[rank], "n={n} q={q}");
+            }
+            assert_eq!(s.max(), *sorted.last().unwrap());
+        }
+    }
+
+    #[test]
+    fn off_grid_quantile_falls_back_to_selection() {
+        let s = LatencyStats::from_samples((1..=1000).map(f64::from).collect());
+        // 0.333 is not on the digest grid.
+        assert_eq!(s.quantile(0.333), 333.0);
+    }
+
+    #[test]
+    fn from_shared_shares_finite_buffers_and_matches_from_samples() {
+        let shared = Arc::new((1..=100).map(f64::from).rev().collect::<Vec<_>>());
+        let mut scratch = Vec::new();
+        let a = LatencyStats::from_shared(&shared, &mut scratch);
+        assert!(Arc::ptr_eq(&a.samples, &shared), "finite input is shared");
+        let b = LatencyStats::from_samples(shared.as_ref().clone());
+        assert_eq!(a, b);
+        assert_eq!(a.p99(), 99.0);
+        // Non-finite entries force a filtered private copy.
+        let dirty = Arc::new(vec![1.0, f64::NAN, 3.0]);
+        let c = LatencyStats::from_shared(&dirty, &mut scratch);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.max(), 3.0);
+    }
+
+    #[test]
+    fn equality_is_order_insensitive() {
+        let a = LatencyStats::from_samples(vec![3.0, 1.0, 2.0]);
+        let b = LatencyStats::from_samples(vec![1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+        let c = LatencyStats::from_samples(vec![1.0, 2.0, 4.0]);
+        assert_ne!(a, c);
     }
 }

@@ -2,10 +2,14 @@ use poly_device::{DeviceKind, GpuModel, GpuTuning};
 use poly_dse::{KernelDesignSpace, Tuning};
 use poly_ir::KernelId;
 use poly_sched::SchedulePlan;
+use std::sync::Arc;
 
 /// The implementation the current policy selects for one kernel, with
 /// everything the simulator needs to execute it.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// All fields are plain scalars, so the struct is `Copy`: the simulator's
+/// dispatch path reads it by value instead of cloning through a pointer.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelImpl {
     /// The kernel.
     pub kernel: KernelId,
@@ -56,9 +60,13 @@ impl KernelImpl {
 /// A complete execution policy for an application: the `(implementation,
 /// platform)` choice per kernel, as produced by the runtime scheduler (or a
 /// static baseline).
+///
+/// The implementation table is behind an `Arc`, so cloning a policy —
+/// which every simulation in a parallel sweep does — is O(1) and clones
+/// share storage.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Policy {
-    impls: Vec<KernelImpl>,
+    impls: Arc<Vec<KernelImpl>>,
 }
 
 impl Policy {
@@ -107,14 +115,18 @@ impl Policy {
                 }
             })
             .collect();
-        Self { impls }
+        Self {
+            impls: Arc::new(impls),
+        }
     }
 
     /// Build a policy directly from per-kernel implementations (tests and
     /// synthetic experiments).
     #[must_use]
     pub fn from_impls(impls: Vec<KernelImpl>) -> Self {
-        Self { impls }
+        Self {
+            impls: Arc::new(impls),
+        }
     }
 
     /// Implementation chosen for `kernel`.

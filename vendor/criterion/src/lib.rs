@@ -1,0 +1,350 @@
+//! Workspace-local micro-benchmark harness with the `criterion` API
+//! surface this repository uses.
+//!
+//! The build environment has no crates-registry access, so this crate
+//! vendors a small, dependency-free timing harness: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Behaviour depends on how the binary was launched:
+//! - under `cargo bench` (a `--bench` argument is present) every
+//!   benchmark is calibrated, run for `sample_size` timed samples, and a
+//!   summary line is printed; each group also records its results to
+//!   `results/BENCH_<group>.json`;
+//! - under `cargo test` (no `--bench` argument) every closure runs once
+//!   as a smoke test, so `[[bench]]` targets stay fast in test runs.
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum measured wall-clock per sample while calibrating batch sizes.
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    id: String,
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+/// Top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the target with `--bench`; `cargo test`
+        // does not. Running the full timing loop only under `cargo
+        // bench` keeps `[[bench]]` targets cheap in test runs.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Self { bench_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if self.bench_mode {
+            println!("group {name}");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmark outside a group (treated as a group of one).
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.label.clone());
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Per-benchmark throughput annotation, reported as rate in bench mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name` specialized by `parameter` (rendered as `name/parameter`).
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// A group of related benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    results: Vec<BenchResult>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (minimum 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measure `f`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        if !self.criterion.bench_mode {
+            // Smoke mode: one iteration proves the benchmark still runs.
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            return;
+        }
+        let result = run_bench(&self.name, &id.label, self.sample_size, self.throughput, f);
+        self.results.push(result);
+    }
+
+    /// Measure `f` applied to `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Finish the group; in bench mode, persist its results to
+    /// `results/BENCH_<group>.json`.
+    pub fn finish(self) {
+        if !self.criterion.bench_mode || self.results.is_empty() {
+            return;
+        }
+        let path = format!("results/BENCH_{}.json", self.name);
+        if let Err(e) = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write(&path, render_json(&self.name, &self.results)))
+        {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("  -> wrote {path}");
+        }
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the harness-chosen number of iterations and record
+    /// the total wall-clock time.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(
+    group: &str,
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) -> BenchResult {
+    // Calibrate: grow the per-sample iteration count until one sample
+    // takes at least TARGET_SAMPLE (bounds Instant overhead for
+    // nanosecond-scale bodies without stalling second-scale ones).
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE || iters >= 1 << 20 {
+            break;
+        }
+        let scale = if b.elapsed.is_zero() {
+            16.0
+        } else {
+            (TARGET_SAMPLE.as_secs_f64() / b.elapsed.as_secs_f64() * 1.2).clamp(1.5, 16.0)
+        };
+        iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+    }
+
+    let mut per_iter_ns = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    let mean_ns = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let min_ns = per_iter_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:.0} elem/s", n as f64 * 1e9 / mean_ns),
+        Throughput::Bytes(n) => format!("  {:.1} MiB/s", n as f64 * 1e9 / mean_ns / 1048576.0),
+    });
+    println!(
+        "  {group}/{label}: mean {} (min {}, n={sample_size} x {iters}){}",
+        fmt_ns(mean_ns),
+        fmt_ns(min_ns),
+        rate.unwrap_or_default()
+    );
+    BenchResult {
+        id: label.to_string(),
+        mean_ns,
+        min_ns,
+        samples: sample_size,
+        throughput,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn render_json(group: &str, results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"group\": \"{group}\",\n"));
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let tp = match r.throughput {
+            Some(Throughput::Elements(n)) => format!(", \"elements\": {n}"),
+            Some(Throughput::Bytes(n)) => format!(", \"bytes\": {n}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}{}}}{}\n",
+            r.id,
+            r.mean_ns,
+            r.min_ns,
+            r.samples,
+            tp,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Assemble benchmark functions into a runner (upstream-compatible form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more [`criterion_group!`] runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_closure_once() {
+        // Tests never pass --bench, so this exercises smoke mode.
+        let mut c = Criterion::default();
+        assert!(!c.bench_mode);
+        let mut runs = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_function("a", |b| {
+            b.iter(|| ());
+            runs += 1;
+        });
+        group.bench_with_input(BenchmarkId::new("b", 7), &3u32, |b, &x| {
+            b.iter(|| x * 2);
+            runs += 1;
+        });
+        group.finish();
+        assert_eq!(runs, 2);
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed() {
+        let results = vec![BenchResult {
+            id: "x".into(),
+            mean_ns: 12.5,
+            min_ns: 10.0,
+            samples: 20,
+            throughput: Some(Throughput::Elements(3)),
+        }];
+        let s = render_json("g", &results);
+        assert!(s.contains("\"group\": \"g\""));
+        assert!(s.contains("\"mean_ns\": 12.5"));
+        assert!(s.contains("\"elements\": 3"));
+    }
+}

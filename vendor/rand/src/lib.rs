@@ -1,0 +1,166 @@
+//! Workspace-local stand-in for the small slice of the `rand` crate API
+//! this repository uses (`Rng::gen_range`, `Rng::gen_bool`,
+//! `SeedableRng::seed_from_u64`).
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors the handful of external APIs it needs as local path
+//! crates. Streams are deterministic given a seed (which is all the
+//! simulator requires) but are **not** bit-compatible with upstream
+//! `rand`, and none of this is cryptographically secure.
+#![forbid(unsafe_code)]
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)`.
+#[must_use]
+pub fn unit_f64(bits: u64) -> f64 {
+    // 53 mantissa bits; 2^-53 spacing keeps the result strictly below 1.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Ranges that can produce one uniform sample.
+pub trait SampleRange<T> {
+    /// Draw one sample from the range.
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let v = self.start + unit_f64(rng.next_u64()) * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; fold it back.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> f32 {
+        let wide = std::ops::Range {
+            start: f64::from(self.start),
+            end: f64::from(self.end),
+        };
+        wide.sample_single(rng) as f32
+    }
+}
+
+// Integer sampling by modulo reduction. The spans in this workspace are
+// tiny relative to 2^64, so the modulo bias is far below any observable
+// effect.
+macro_rules! int_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = u128::from(rng.next_u64()) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from an empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = u128::from(rng.next_u64()) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-0.06..0.06);
+            assert!((-0.06..0.06).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_and_stay_in_bounds() {
+        let mut rng = Counter(3);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            let v: usize = rng.gen_range(2..6);
+            assert!((2..6).contains(&v));
+            seen[v - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 2..6 reachable");
+        for _ in 0..1_000 {
+            let v: u64 = rng.gen_range(1u64 << 10..1u64 << 22);
+            assert!((1u64 << 10..1u64 << 22).contains(&v));
+        }
+        let v: usize = rng.gen_range(5..=5);
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(11);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}
