@@ -2,9 +2,9 @@
 //!
 //! Usage: `experiments [--jobs N] <id>` where `<id>` is one of
 //! `table1 table2 table3 table45 fig1a fig1b fig1c fig1d fig1ef fig6 fig7
-//! fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablations all` (or `quick` for
-//! the subset used in smoke tests). Results are printed and written to
-//! `results/<id>.csv`.
+//! fig8 fig9 fig10 fig11 fig12 fault fig13 fig14 ablations all` (or
+//! `quick` for the subset used in smoke tests). Results are printed and
+//! written to `results/<id>.csv`.
 //!
 //! `--jobs N` (or the `POLY_JOBS` environment variable) sets the worker
 //! thread count; the default is the machine's available parallelism.
@@ -28,7 +28,7 @@ use poly_dse::{DesignSpaceCache, Explorer};
 use poly_par::par_map;
 use poly_sched::Scheduler;
 use poly_sim::workload::{google_trace_24h, TracePoint};
-use poly_sim::Policy;
+use poly_sim::{FaultPlan, Policy};
 use std::fmt::Write as _;
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -81,6 +81,7 @@ const EXPERIMENTS: &[(&str, FigFn)] = &[
     ("fig10", fig10),
     ("fig11", fig11),
     ("fig12", fig12),
+    ("fault", fault),
     ("fig13", fig13),
     ("fig14", fig14),
     ("ablations", ablations),
@@ -1042,6 +1043,108 @@ fn fig12(out: &mut String) {
         out,
         "fig12_trace_power",
         &["pass", "arch", "hour", "utilization", "power_w", "p99_ms"],
+        &rows,
+    );
+}
+
+/// Failure trace (DESIGN.md §7) — graceful degradation under injected
+/// device faults: a GPU fail-stop plus an FPGA slowdown over the 24-hour
+/// trace, Poly's degraded-pool re-planning vs a static latency plan.
+fn fault(out: &mut String) {
+    outln!(
+        out,
+        "== Failure trace: fault injection and graceful degradation (ASR, Setting-I Heter) =="
+    );
+    let app = asr();
+    let trace = replay_trace();
+    // One trace hour is 12 points at TRACE_INTERVAL_MS each.
+    let hour_ms = |h: f64| h * 12.0 * TRACE_INTERVAL_MS;
+    // Device 0 is the GPU, devices 1..=5 the FPGAs (Pool::heterogeneous
+    // order). The GPU fails outright for four trace hours; later one FPGA
+    // runs at half speed for three hours (e.g. thermal throttling).
+    let faults = FaultPlan::new()
+        .fail_stop(hour_ms(6.0), 0)
+        .recover(hour_ms(10.0), 0)
+        .slow_down(hour_ms(16.0), 1, 2.0)
+        .recover(hour_ms(19.0), 1);
+    outln!(
+        out,
+        "faults: GPU fail-stop 06:00-10:00, FPGA0 2x slowdown 16:00-19:00"
+    );
+    const MAX_RPS: f64 = 20.0;
+    let modes = ["Heter-Poly", "Static-latency"];
+    // The two replays are independent deterministic simulations.
+    let runs = par_map(jobs(), &modes, |_, &name| {
+        let setup = table_iii(Setting::I, Architecture::HeterPoly);
+        let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+        let spaces = cache().explore_graph(&explorer, app.kernels(), 1);
+        let mode = if name == "Heter-Poly" {
+            RuntimeMode::Poly
+        } else {
+            // The latency-optimal plan pins two ASR kernels to the GPU and
+            // never re-plans, so the outage hits it head-on.
+            let plan = Scheduler::default()
+                .plan_latency(&app, &spaces, &setup.pool)
+                .expect("latency plan");
+            RuntimeMode::Static(Policy::from_plan(&plan, &spaces, &setup.gpu))
+        };
+        let mut rt = PolyRuntime::new(app.clone(), spaces, setup, QOS_BOUND_MS);
+        let report =
+            rt.run_trace_with_faults(&trace, TRACE_INTERVAL_MS, MAX_RPS, &mode, 2011, &faults);
+        let violations: usize = report.intervals.iter().map(|r| r.violations).sum();
+        let completed: usize = report.intervals.iter().map(|r| r.completed).sum();
+        let mut block = String::new();
+        outln!(
+            block,
+            "{name:14} mean power {:6.1} W  completed {completed:6}  violations {violations:5} ({:5.2}%)  retried {:3}  recovery {:7.0} ms",
+            report.mean_power_w,
+            report.violation_ratio * 100.0,
+            report.retried_requests,
+            report.mean_recovery_ms
+        );
+        let mut rows = Vec::new();
+        for (i, r) in report.intervals.iter().enumerate() {
+            if i % 4 == 0 {
+                rows.push(vec![
+                    name.into(),
+                    f2(i as f64 / 12.0),
+                    f2(r.utilization),
+                    f2(r.p99_ms),
+                    f2(r.avg_power_w),
+                    r.healthy_devices.to_string(),
+                    r.retried.to_string(),
+                    r.violations.to_string(),
+                    r.completed.to_string(),
+                ]);
+            }
+        }
+        (block, rows, violations)
+    });
+    let mut rows = Vec::new();
+    for (block, part, _) in &runs {
+        out.push_str(block);
+        rows.extend(part.iter().cloned());
+    }
+    outln!(
+        out,
+        "violation ratio under faults: Poly {} vs Static {} (Poly re-plans onto survivors; Static strands its GPU kernels)",
+        runs[0].2,
+        runs[1].2
+    );
+    save_csv(
+        out,
+        "fault_trace",
+        &[
+            "mode",
+            "hour",
+            "utilization",
+            "p99_ms",
+            "power_w",
+            "healthy",
+            "retried",
+            "violations",
+            "completed",
+        ],
         &rows,
     );
 }

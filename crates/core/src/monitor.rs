@@ -43,7 +43,11 @@ impl IntervalObs {
 pub struct SystemMonitor {
     window: VecDeque<IntervalObs>,
     capacity: usize,
-    smoothed_rps: f64,
+    /// EWMA of the offered load; `None` until the first observation, so
+    /// the estimate is *seeded* from what is actually measured instead of
+    /// cold-starting biased toward zero (which would make the first
+    /// re-plan under-provision).
+    smoothed_rps: Option<f64>,
 }
 
 impl SystemMonitor {
@@ -53,21 +57,28 @@ impl SystemMonitor {
         Self {
             window: VecDeque::with_capacity(window.max(1)),
             capacity: window.max(1),
-            smoothed_rps: 0.0,
+            smoothed_rps: None,
         }
     }
 
     /// Record one interval.
     pub fn observe(&mut self, obs: IntervalObs) {
-        self.smoothed_rps = if self.window.is_empty() {
-            obs.arrival_rps()
-        } else {
-            0.5 * self.smoothed_rps + 0.5 * obs.arrival_rps()
-        };
+        self.smoothed_rps = Some(match self.smoothed_rps {
+            None => obs.arrival_rps(),
+            Some(prev) => 0.5 * prev + 0.5 * obs.arrival_rps(),
+        });
         if self.window.len() == self.capacity {
             self.window.pop_front();
         }
         self.window.push_back(obs);
+    }
+
+    /// Forget all observations and the smoothed estimate — called when the
+    /// workload context changes (a new trace replay), so the next
+    /// observation re-seeds the EWMA instead of blending with stale state.
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.smoothed_rps = None;
     }
 
     /// Smoothed load estimate in RPS, inflated by the backlog: queued work
@@ -78,7 +89,7 @@ impl SystemMonitor {
             .window
             .back()
             .map_or(0.0, |o| o.queued as f64 * 1000.0 / o.duration_ms.max(1.0));
-        self.smoothed_rps + backlog_boost
+        self.smoothed_rps.unwrap_or(0.0) + backlog_boost
     }
 
     /// Most recent measured p99, if any interval completed work.
@@ -146,6 +157,28 @@ mod tests {
         let calm = m.load_estimate_rps();
         m.observe(obs(10, 25));
         assert!(m.load_estimate_rps() > calm + 20.0);
+    }
+
+    #[test]
+    fn first_observation_seeds_estimate() {
+        // The very first interval must not be averaged with a zero prior.
+        let mut m = SystemMonitor::new(8);
+        m.observe(obs(100, 0));
+        assert!((m.load_estimate_rps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_reseeds_from_next_observation() {
+        let mut m = SystemMonitor::new(8);
+        m.observe(obs(100, 0));
+        m.observe(obs(100, 0));
+        m.reset();
+        assert!(m.window().is_empty());
+        assert_eq!(m.load_estimate_rps(), 0.0);
+        // Post-reset, the next observation seeds afresh: no blend with the
+        // pre-reset 100 RPS history.
+        m.observe(obs(10, 0));
+        assert!((m.load_estimate_rps() - 10.0).abs() < 1e-9);
     }
 
     #[test]

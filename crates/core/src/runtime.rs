@@ -7,7 +7,7 @@ use crate::{IntervalObs, NodeSetup, Optimizer, SystemMonitor};
 use poly_dse::KernelDesignSpace;
 use poly_ir::KernelGraph;
 use poly_sim::workload::{poisson, TracePoint};
-use poly_sim::{Policy, Simulator};
+use poly_sim::{FaultPlan, Policy, Simulator};
 
 /// How the runtime selects policies.
 #[derive(Debug, Clone)]
@@ -39,6 +39,13 @@ pub struct IntervalRecord {
     pub violations: usize,
     /// Requests completed during the interval.
     pub completed: usize,
+    /// Healthy devices at the end of the interval.
+    pub healthy_devices: usize,
+    /// Fault events (fail-stop / slowdown / recovery) applied during the
+    /// interval.
+    pub fault_events: usize,
+    /// Work items retried onto surviving devices during the interval.
+    pub retried: usize,
 }
 
 /// Aggregate results of a trace run.
@@ -55,6 +62,14 @@ pub struct TraceReport {
     /// Mean absolute relative error of the model's p99 predictions against
     /// measurements (Poly mode; the paper reports < 6%).
     pub prediction_error: f64,
+    /// Total fault events applied over the trace.
+    pub fault_events: usize,
+    /// Total work items retried after fail-stops.
+    pub retried_requests: usize,
+    /// Mean time from a fail-stop to the first subsequent interval whose
+    /// measured p99 is back under the bound, in milliseconds (0 when no
+    /// fail-stop was injected or service never recovered).
+    pub mean_recovery_ms: f64,
 }
 
 /// The Poly runtime for one application on one provisioned node.
@@ -107,6 +122,27 @@ impl PolyRuntime {
         mode: &RuntimeMode,
         seed: u64,
     ) -> TraceReport {
+        self.run_trace_with_faults(trace, interval_ms, max_rps, mode, seed, &FaultPlan::new())
+    }
+
+    /// [`run_trace`](Self::run_trace) with a scripted device [`FaultPlan`]:
+    /// devices fail-stop, throttle, and recover at the scripted times, and
+    /// in Poly mode the runtime detects the changed availability at the
+    /// next interval and re-plans onto the surviving devices (bypassing
+    /// the change hysteresis — a failure is never "not worthwhile").
+    #[must_use]
+    pub fn run_trace_with_faults(
+        &mut self,
+        trace: &[TracePoint],
+        interval_ms: f64,
+        max_rps: f64,
+        mode: &RuntimeMode,
+        seed: u64,
+        faults: &FaultPlan,
+    ) -> TraceReport {
+        // A fresh trace is a fresh workload context: re-seed the load EWMA
+        // from what this trace actually offers.
+        self.monitor.reset();
         // Initial policy: plan for the first interval's load.
         let first_rps = trace.first().map_or(0.0, |p| p.utilization * max_rps);
         let (mut policy, mut predicted) = match mode {
@@ -133,11 +169,17 @@ impl PolyRuntime {
             policy.clone(),
             self.setup.sim_config.clone(),
         );
+        sim.inject_faults(faults);
+        // The pool the last plan was made against; diverging availability
+        // (a fault fired during the previous interval) forces a re-plan.
+        let mut avail = self.setup.pool.clone();
 
         let mut intervals = Vec::with_capacity(trace.len());
         let mut energy_mj = 0.0;
         let mut total_completed = 0usize;
         let mut total_violations = 0usize;
+        let mut total_fault_events = 0usize;
+        let mut total_retried = 0usize;
         let mut err_sum = 0.0;
         let mut err_n = 0usize;
 
@@ -151,33 +193,60 @@ impl PolyRuntime {
             let mut policy_changed = false;
             if i > 0 {
                 if let RuntimeMode::Poly = mode {
+                    let now_avail = sim.available_pool();
+                    let degraded = now_avail != avail;
+                    if degraded {
+                        avail = now_avail;
+                    }
                     let est = self.monitor.load_estimate_rps().max(offered_rps * 0.1);
-                    let (next, pred) = self.optimizer.plan_for_load(
-                        &self.graph,
-                        &self.spaces,
-                        &self.setup.pool,
-                        &self.setup.gpu,
-                        self.bound_ms,
-                        est,
-                    );
-                    // Hysteresis: a policy change pays FPGA reconfiguration
-                    // and transient tail spikes, so keep the current policy
-                    // unless it is about to violate QoS or the candidate
-                    // saves a meaningful amount of power.
-                    let cur_pred =
-                        self.optimizer
-                            .model()
-                            .predict(&self.graph, &policy, &self.setup.pool, est);
-                    let cur_ok =
-                        cur_pred.p99_ms <= self.bound_ms * 0.85 && cur_pred.bottleneck_util <= 0.85;
-                    let worthwhile = pred.avg_power_w < cur_pred.avg_power_w * 0.92;
-                    if next != policy && (!cur_ok || worthwhile) {
-                        policy_changed = true;
-                        sim.set_policy(next.clone());
-                        policy = next;
+                    if avail.is_empty() {
+                        // Nothing left to plan on; ride out the outage with
+                        // the current (inert) policy.
+                    } else if degraded {
+                        // Availability changed since the last plan: re-plan
+                        // unconditionally onto what actually remains.
+                        let (next, pred) = self.optimizer.plan_for_load(
+                            &self.graph,
+                            &self.spaces,
+                            &avail,
+                            &self.setup.gpu,
+                            self.bound_ms,
+                            est,
+                        );
+                        if next != policy {
+                            policy_changed = true;
+                            sim.set_policy(next.clone());
+                            policy = next;
+                        }
                         predicted = pred;
                     } else {
-                        predicted = cur_pred;
+                        let (next, pred) = self.optimizer.plan_for_load(
+                            &self.graph,
+                            &self.spaces,
+                            &avail,
+                            &self.setup.gpu,
+                            self.bound_ms,
+                            est,
+                        );
+                        // Hysteresis: a policy change pays FPGA reconfiguration
+                        // and transient tail spikes, so keep the current policy
+                        // unless it is about to violate QoS or the candidate
+                        // saves a meaningful amount of power.
+                        let cur_pred =
+                            self.optimizer
+                                .model()
+                                .predict(&self.graph, &policy, &avail, est);
+                        let cur_ok = cur_pred.p99_ms <= self.bound_ms * 0.85
+                            && cur_pred.bottleneck_util <= 0.85;
+                        let worthwhile = pred.avg_power_w < cur_pred.avg_power_w * 0.92;
+                        if next != policy && (!cur_ok || worthwhile) {
+                            policy_changed = true;
+                            sim.set_policy(next.clone());
+                            policy = next;
+                            predicted = pred;
+                        } else {
+                            predicted = cur_pred;
+                        }
                     }
                 }
             }
@@ -194,10 +263,15 @@ impl PolyRuntime {
             let (arrived, completed, latency) = sim.drain_segment();
 
             let p99 = latency.p99();
-            let violations =
-                (latency.violation_ratio(self.bound_ms) * completed as f64).round() as usize;
+            // Exact exceedance count — the former reconstruction through
+            // `violation_ratio * completed` could drift off-by-one.
+            let violations = latency.violations_over(self.bound_ms);
+            let (fault_events, retried) = sim.take_fault_counts();
+            let healthy_devices = sim.healthy_devices();
             total_completed += completed;
             total_violations += violations;
+            total_fault_events += fault_events;
+            total_retried += retried;
             energy_mj += report.energy_j * 1000.0;
 
             // Feed measurements back into the model, excluding intervals
@@ -233,7 +307,25 @@ impl PolyRuntime {
                 policy_changed,
                 violations,
                 completed,
+                healthy_devices,
+                fault_events,
+                retried,
             });
+        }
+
+        // Recovery latency: time from each fail-stop to the end of the
+        // first subsequent interval that completed work back under the
+        // bound.
+        let mut recovery_sum = 0.0;
+        let mut recovery_n = 0usize;
+        for f in faults.fail_stops() {
+            if let Some(r) = intervals
+                .iter()
+                .find(|r| r.start_ms >= f.at_ms && r.completed > 0 && r.p99_ms <= self.bound_ms)
+            {
+                recovery_sum += r.start_ms + interval_ms - f.at_ms;
+                recovery_n += 1;
+            }
         }
 
         let total_ms = trace.len() as f64 * interval_ms;
@@ -252,6 +344,13 @@ impl PolyRuntime {
             },
             prediction_error: if err_n > 0 {
                 err_sum / err_n as f64
+            } else {
+                0.0
+            },
+            fault_events: total_fault_events,
+            retried_requests: total_retried,
+            mean_recovery_ms: if recovery_n > 0 {
+                recovery_sum / recovery_n as f64
             } else {
                 0.0
             },

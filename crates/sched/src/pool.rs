@@ -92,6 +92,35 @@ impl Pool {
     pub fn has(&self, kind: DeviceKind) -> bool {
         self.count(kind) > 0
     }
+
+    /// The pool with device `id` removed — the degraded pool after a
+    /// fail-stop. Returns `self` unchanged if `id` is out of range.
+    #[must_use]
+    pub fn without_device(&self, id: DeviceId) -> Self {
+        let kinds = self
+            .kinds
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != id.0)
+            .map(|(_, &k)| k)
+            .collect();
+        Self { kinds }
+    }
+
+    /// The pool restricted to devices whose `healthy` flag is set (missing
+    /// entries count as healthy) — what remains to plan against after an
+    /// arbitrary set of failures.
+    #[must_use]
+    pub fn subset(&self, healthy: &[bool]) -> Self {
+        let kinds = self
+            .kinds
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| healthy.get(i).copied().unwrap_or(true))
+            .map(|(_, &k)| k)
+            .collect();
+        Self { kinds }
+    }
 }
 
 #[cfg(test)]
@@ -119,5 +148,32 @@ mod tests {
         let p = Pool::new(&[]);
         assert!(p.is_empty());
         assert!(!p.has(DeviceKind::Gpu));
+    }
+
+    #[test]
+    fn without_device_degrades_pool() {
+        let p = Pool::heterogeneous(1, 2);
+        let no_gpu = p.without_device(DeviceId(0));
+        assert_eq!(no_gpu.count(DeviceKind::Gpu), 0);
+        assert_eq!(no_gpu.count(DeviceKind::Fpga), 2);
+        // Out-of-range removal is a no-op.
+        assert_eq!(p.without_device(DeviceId(99)), p);
+        // Chained failures can empty the pool entirely.
+        let none = no_gpu
+            .without_device(DeviceId(0))
+            .without_device(DeviceId(0));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn subset_keeps_healthy_devices() {
+        let p = Pool::heterogeneous(2, 3);
+        let degraded = p.subset(&[false, true, true, false, true]);
+        assert_eq!(degraded.count(DeviceKind::Gpu), 1);
+        assert_eq!(degraded.count(DeviceKind::Fpga), 2);
+        // Missing entries count as healthy; an all-true mask is identity.
+        assert_eq!(p.subset(&[false]), Pool::heterogeneous(1, 3));
+        assert_eq!(p.subset(&[true; 5]), p);
+        assert_eq!(p.subset(&[]), p);
     }
 }

@@ -11,6 +11,16 @@ pub(crate) struct WorkItem {
     pub ready_ms: f64,
 }
 
+/// One batch the device has committed to: the work items it serves, the
+/// attempt number each was dispatched under, and the completion time. Used
+/// to retry in-flight work when the device fail-stops mid-execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct InflightItem {
+    pub item: WorkItem,
+    pub attempt: u32,
+    pub completion_ms: f64,
+}
+
 /// Simulation state of one accelerator.
 #[derive(Debug, Clone)]
 pub(crate) struct DeviceState {
@@ -28,6 +38,18 @@ pub(crate) struct DeviceState {
     pub reconfig_ms: f64,
     /// Idle power of the currently configured state, in watts.
     pub idle_power_w: f64,
+    /// Whether the device is in service (false after a fail-stop fault,
+    /// until recovery).
+    pub healthy: bool,
+    /// Execution-time multiplier (1.0 nominal, > 1.0 while a slowdown
+    /// fault is active).
+    pub derate: f64,
+    /// Active power of the execution currently occupying the device (for
+    /// refunding pre-booked busy energy when the device fails mid-batch).
+    pub active_power_w: f64,
+    /// Work committed to this device whose completions are still pending.
+    /// Pruned lazily; retried onto survivors on fail-stop.
+    pub inflight: Vec<InflightItem>,
     // --- accounting -------------------------------------------------------
     /// Active (busy) energy accumulated, in millijoules.
     pub busy_energy_mj: f64,
@@ -51,6 +73,10 @@ impl DeviceState {
             loaded: None,
             reconfig_ms,
             idle_power_w,
+            healthy: true,
+            derate: 1.0,
+            active_power_w: 0.0,
+            inflight: Vec::new(),
             busy_energy_mj: 0.0,
             idle_energy_mj: 0.0,
             busy_ms: 0.0,

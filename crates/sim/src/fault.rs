@@ -1,0 +1,158 @@
+//! Scripted fault injection for the leaf-node simulator.
+//!
+//! A production leaf node does not keep a fixed, healthy accelerator pool
+//! forever: devices fail-stop (driver crash, ECC shutdown, a board dropping
+//! off the PCIe bus), run slow (thermal throttling, a misbehaving
+//! neighbour), and eventually come back. A [`FaultPlan`] scripts such
+//! events at absolute simulation times, so degradation scenarios are as
+//! deterministic and replayable as every other workload in this repo.
+//!
+//! The simulator applies the plan as ordinary discrete events:
+//!
+//! - **fail-stop** removes the device from dispatch, drops its loaded
+//!   bitstream, zeroes its power draw, and *retries* everything it was
+//!   queueing or executing on the surviving devices (or strands the work
+//!   until a re-plan/recovery makes it dispatchable again);
+//! - **slowdown** derates the device: executions take `factor`× longer
+//!   until it recovers;
+//! - **recover** returns the device to service, cold (no bitstream, nominal
+//!   speed), and re-dispatches any stranded work.
+//!
+//! The Poly runtime observes the resulting availability change through
+//! [`Simulator::available_pool`](crate::Simulator::available_pool) and
+//! re-plans onto the surviving devices at the next interval.
+
+/// What happens to the device at the event time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The device fails permanently (until a later [`FaultKind::Recover`]):
+    /// it stops dispatching, its queued and in-flight work is retried
+    /// elsewhere, and it draws no power.
+    FailStop,
+    /// The device keeps running but every execution takes `factor`× as
+    /// long (thermal throttling, contention). Factors below 1 are clamped
+    /// to 1 when applied.
+    Slowdown {
+        /// Execution-time multiplier (≥ 1).
+        factor: f64,
+    },
+    /// The device returns to service at nominal speed, cold: an FPGA must
+    /// reload its bitstream, a GPU rejoins at its configured idle power.
+    Recover,
+}
+
+/// One scripted fault: `kind` applied to pool device `device` at `at_ms`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Absolute simulation time of the event, in milliseconds.
+    pub at_ms: f64,
+    /// Device index within the simulated pool.
+    pub device: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic script of device faults, ordered by time.
+///
+/// ```rust
+/// use poly_sim::FaultPlan;
+/// let plan = FaultPlan::new()
+///     .fail_stop(60_000.0, 0)        // GPU 0 dies after a minute
+///     .slow_down(90_000.0, 2, 2.0)   // FPGA 2 throttles to half speed
+///     .recover(180_000.0, 0)         // GPU 0 comes back
+///     .recover(180_000.0, 2);
+/// assert_eq!(plan.events().len(), 4);
+/// assert_eq!(plan.fail_stops().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — the healthy-pool baseline).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an arbitrary event.
+    #[must_use]
+    pub fn with(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self.events
+            .sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms).then(a.device.cmp(&b.device)));
+        self
+    }
+
+    /// Fail device `device` permanently at `at_ms`.
+    #[must_use]
+    pub fn fail_stop(self, at_ms: f64, device: usize) -> Self {
+        self.with(FaultEvent {
+            at_ms,
+            device,
+            kind: FaultKind::FailStop,
+        })
+    }
+
+    /// Derate device `device` by `factor` from `at_ms` until it recovers.
+    #[must_use]
+    pub fn slow_down(self, at_ms: f64, device: usize, factor: f64) -> Self {
+        self.with(FaultEvent {
+            at_ms,
+            device,
+            kind: FaultKind::Slowdown { factor },
+        })
+    }
+
+    /// Return device `device` to service at `at_ms`.
+    #[must_use]
+    pub fn recover(self, at_ms: f64, device: usize) -> Self {
+        self.with(FaultEvent {
+            at_ms,
+            device,
+            kind: FaultKind::Recover,
+        })
+    }
+
+    /// The scripted events, ordered by time.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan scripts no faults.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The fail-stop events only (recovery-latency accounting).
+    pub fn fail_stops(&self) -> impl Iterator<Item = &FaultEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::FailStop))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_orders_events_by_time() {
+        let plan = FaultPlan::new()
+            .recover(300.0, 1)
+            .fail_stop(100.0, 1)
+            .slow_down(200.0, 0, 1.5);
+        let times: Vec<f64> = plan.events().iter().map(|e| e.at_ms).collect();
+        assert_eq!(times, vec![100.0, 200.0, 300.0]);
+        assert_eq!(plan.fail_stops().count(), 1);
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::new().is_empty());
+        assert!(FaultPlan::default().events().is_empty());
+    }
+}

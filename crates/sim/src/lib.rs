@@ -29,6 +29,7 @@
 mod device;
 mod engine;
 mod ep;
+mod fault;
 mod load;
 mod metrics;
 mod policy;
@@ -40,6 +41,7 @@ pub use engine::{
     ExecutionRecord, KernelStats, SimConfig, SimReport, Simulator, GPU_PARKED_FRACTION,
 };
 pub use ep::{ep_metric, EpCurve, EpPoint};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use load::{max_rps_under_qos, max_rps_under_qos_par, steady_state, LoadPoint, LoadSweep};
 pub use metrics::LatencyStats;
 pub use policy::{KernelImpl, Policy};

@@ -225,6 +225,8 @@ mod tests {
             throughput_rps: rps,
             devices: vec![],
             kernels: vec![],
+            device_failures: 0,
+            retried_requests: 0,
         }
     }
 

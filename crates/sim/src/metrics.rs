@@ -1,4 +1,4 @@
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Quantiles precomputed by the digest. Every quantile the framework
 /// queries (p50/p95/p99 plus the 1st/10th percentiles used by tests and
@@ -16,7 +16,7 @@ const GRID_QS: [f64; 10] = [0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99
 /// O(n) total, vs. O(n log n) for a full sort). This keeps report
 /// generation off the simulator's hot path: producing a report shares the
 /// sample buffer instead of cloning and sorting it.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct LatencyStats {
     /// Finite samples, in no particular order (shared, never mutated).
     samples: Arc<Vec<f64>>,
@@ -25,11 +25,27 @@ pub struct LatencyStats {
     /// sample array would hold at index `rank0`. Covers [`GRID_QS`] plus
     /// the minimum (rank 0).
     grid: Vec<(usize, f64)>,
+    /// Lazily memoized off-grid ranks (same layout as `grid`): the first
+    /// off-grid query pays one selection over a private copy, repeated
+    /// queries are O(log memo) with no allocation.
+    memo: Mutex<Vec<(usize, f64)>>,
+}
+
+impl Clone for LatencyStats {
+    fn clone(&self) -> Self {
+        Self {
+            samples: Arc::clone(&self.samples),
+            mean_ms: self.mean_ms,
+            grid: self.grid.clone(),
+            memo: Mutex::new(self.memo.lock().map(|m| m.clone()).unwrap_or_default()),
+        }
+    }
 }
 
 impl PartialEq for LatencyStats {
     /// Equality is on the *distribution* (order-insensitive), matching
-    /// the former sorted representation.
+    /// the former sorted representation. The lazily-filled off-grid memo
+    /// is a cache, not state, and is ignored.
     fn eq(&self, other: &Self) -> bool {
         if self.samples.len() != other.samples.len()
             || self.mean_ms.to_bits() != other.mean_ms.to_bits()
@@ -100,6 +116,7 @@ impl LatencyStats {
             samples: Arc::new(samples),
             mean_ms,
             grid,
+            memo: Mutex::new(Vec::new()),
         }
     }
 
@@ -124,6 +141,7 @@ impl LatencyStats {
             samples,
             mean_ms,
             grid,
+            memo: Mutex::new(Vec::new()),
         }
     }
 
@@ -142,8 +160,9 @@ impl LatencyStats {
     /// The `q`-quantile latency (nearest-rank), `q` in `\[0, 1\]`.
     ///
     /// Grid quantiles (all the ones the framework uses) are answered from
-    /// the precomputed digest; anything else falls back to a one-off
-    /// selection over a copy of the samples.
+    /// the precomputed digest; anything else is selected once and
+    /// memoized, so only the *first* query at a given off-grid rank pays a
+    /// pass over the samples.
     ///
     /// # Panics
     /// Panics if `q` is outside `\[0, 1\]`.
@@ -157,9 +176,17 @@ impl LatencyStats {
         match self.grid.binary_search_by_key(&rank, |&(r, _)| r) {
             Ok(i) => self.grid[i].1,
             Err(_) => {
-                let mut scratch = self.samples.as_ref().clone();
-                let (_, &mut v, _) = scratch.select_nth_unstable_by(rank, |a, b| a.total_cmp(b));
-                v
+                let mut memo = self.memo.lock().expect("memo lock poisoned");
+                match memo.binary_search_by_key(&rank, |&(r, _)| r) {
+                    Ok(i) => memo[i].1,
+                    Err(pos) => {
+                        let mut scratch = self.samples.as_ref().clone();
+                        let (_, &mut v, _) =
+                            scratch.select_nth_unstable_by(rank, |a, b| a.total_cmp(b));
+                        memo.insert(pos, (rank, v));
+                        v
+                    }
+                }
             }
         }
     }
@@ -194,14 +221,21 @@ impl LatencyStats {
         self.grid.last().map_or(0.0, |&(_, v)| v)
     }
 
+    /// Number of samples strictly above `bound_ms` — the exact exceedance
+    /// count, with no float round-trip through [`violation_ratio`]
+    /// (Self::violation_ratio).
+    #[must_use]
+    pub fn violations_over(&self, bound_ms: f64) -> usize {
+        self.samples.iter().filter(|&&x| x > bound_ms).count()
+    }
+
     /// Fraction of samples strictly above `bound_ms`.
     #[must_use]
     pub fn violation_ratio(&self, bound_ms: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let violating = self.samples.iter().filter(|&&x| x > bound_ms).count();
-        violating as f64 / self.samples.len() as f64
+        self.violations_over(bound_ms) as f64 / self.samples.len() as f64
     }
 }
 
@@ -280,6 +314,43 @@ mod tests {
         let s = LatencyStats::from_samples((1..=1000).map(f64::from).collect());
         // 0.333 is not on the digest grid.
         assert_eq!(s.quantile(0.333), 333.0);
+    }
+
+    #[test]
+    fn off_grid_quantile_is_memoized() {
+        let s = LatencyStats::from_samples((1..=1000).map(f64::from).collect());
+        assert!(s.memo.lock().unwrap().is_empty());
+        assert_eq!(s.quantile(0.333), 333.0);
+        assert_eq!(s.memo.lock().unwrap().len(), 1, "selection cached");
+        // The repeat answers from the memo (and must agree).
+        assert_eq!(s.quantile(0.333), 333.0);
+        assert_eq!(s.memo.lock().unwrap().len(), 1);
+        // A different off-grid rank adds a second entry, in rank order.
+        assert_eq!(s.quantile(0.666), 666.0);
+        let memo = s.memo.lock().unwrap().clone();
+        assert_eq!(memo, vec![(332, 333.0), (665, 666.0)]);
+        // Clones carry the cache; equality ignores it.
+        let c = s.clone();
+        assert_eq!(c.memo.lock().unwrap().len(), 2);
+        assert_eq!(
+            c,
+            LatencyStats::from_samples((1..=1000).map(f64::from).collect())
+        );
+    }
+
+    #[test]
+    fn violations_over_counts_exactly() {
+        let s = LatencyStats::from_samples(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(s.violations_over(25.0), 2);
+        assert_eq!(
+            s.violations_over(40.0),
+            0,
+            "bound itself is not a violation"
+        );
+        assert_eq!(s.violations_over(5.0), 4);
+        assert_eq!(LatencyStats::from_samples(vec![]).violations_over(1.0), 0);
+        // The ratio is derived from the same count.
+        assert!((s.violation_ratio(25.0) - 0.5).abs() < 1e-12);
     }
 
     #[test]
