@@ -2,7 +2,7 @@
 //!
 //! Usage: `experiments [--jobs N] <id>` where `<id>` is one of
 //! `table1 table2 table3 table45 fig1a fig1b fig1c fig1d fig1ef fig6 fig7
-//! fig8 fig9 fig10 fig11 fig12 fault fig13 fig14 ablations all` (or
+//! fig8 fig9 fig10 fig11 fig12 fault cluster fig13 fig14 ablations all` (or
 //! `quick` for the subset used in smoke tests). Results are printed and
 //! written to `results/<id>.csv`.
 //!
@@ -18,8 +18,9 @@
 //! wall-clock times.
 
 use poly_apps::{asr, suite, QOS_BOUND_MS};
-use poly_bench::csvout::{f2, save_csv};
+use poly_bench::csvout::{f2, save_csv, Csv};
 use poly_bench::System;
+use poly_cluster::{Cluster, ClusterConfig, RoutingPolicy};
 use poly_core::provision::{power_split, table_iii, Architecture, Setting};
 use poly_core::tco::{cost_efficiency, monthly_tco_usd, TcoParams};
 use poly_core::{Optimizer, PolyRuntime, RuntimeMode};
@@ -82,6 +83,7 @@ const EXPERIMENTS: &[(&str, FigFn)] = &[
     ("fig11", fig11),
     ("fig12", fig12),
     ("fault", fault),
+    ("cluster", cluster),
     ("fig13", fig13),
     ("fig14", fig14),
     ("ablations", ablations),
@@ -920,7 +922,7 @@ fn replay_trace() -> Vec<TracePoint> {
 fn fig11(out: &mut String) {
     outln!(out, "== Fig. 11: 24-hour server utilization trace ==");
     let trace = google_trace_24h(300_000.0, 2011);
-    let mut rows = Vec::new();
+    let mut csv = Csv::new(&["hour", "utilization"]);
     for (i, p) in trace.iter().enumerate() {
         if i % 12 == 0 {
             outln!(
@@ -930,9 +932,9 @@ fn fig11(out: &mut String) {
                 p.utilization
             );
         }
-        rows.push(vec![f2(i as f64 / 12.0), f2(p.utilization)]);
+        csv.row().f(i as f64 / 12.0).f(p.utilization);
     }
-    save_csv(out, "fig11_trace", &["hour", "utilization"], &rows);
+    csv.save(out, "fig11_trace");
 }
 
 /// Fig. 12 + Section VI-C — 24-hour power traces, power savings, QoS
@@ -997,22 +999,21 @@ fn fig12(out: &mut String) {
             report.violation_ratio * 100.0,
             report.prediction_error * 100.0
         );
-        let mut rows = Vec::new();
+        let mut part = Csv::new(FIG12_HEADER);
         for (i, r) in report.intervals.iter().enumerate() {
             if i % 4 == 0 {
-                rows.push(vec![
-                    label.into(),
-                    arch.name().into(),
-                    f2(i as f64 / 12.0),
-                    f2(r.utilization),
-                    f2(r.avg_power_w),
-                    f2(r.p99_ms),
-                ]);
+                part.row()
+                    .s(label)
+                    .s(arch.name())
+                    .f(i as f64 / 12.0)
+                    .f(r.utilization)
+                    .f(r.avg_power_w)
+                    .f(r.p99_ms);
             }
         }
-        (block, rows, (pass, arch.name(), report.mean_power_w))
+        (block, part, (pass, arch.name(), report.mean_power_w))
     });
-    let mut rows = Vec::new();
+    let mut csv = Csv::new(FIG12_HEADER);
     let mut summary = Vec::new();
     for (pass, label) in [(0, "same-utilization"), (1, "same-load")] {
         outln!(out, "-- pass: {label}");
@@ -1023,7 +1024,7 @@ fn fig12(out: &mut String) {
             .map(|(r, _)| r)
         {
             out.push_str(block);
-            rows.extend(part.iter().cloned());
+            csv.append(part.clone());
             summary.push(*entry);
         }
     }
@@ -1039,13 +1040,11 @@ fn fig12(out: &mut String) {
             (1.0 - het.2 / gpu.2) * 100.0
         );
     }
-    save_csv(
-        out,
-        "fig12_trace_power",
-        &["pass", "arch", "hour", "utilization", "power_w", "p99_ms"],
-        &rows,
-    );
+    csv.save(out, "fig12_trace_power");
 }
+
+/// `fig12_trace_power.csv` columns (shared by the per-task builders).
+const FIG12_HEADER: &[&str] = &["pass", "arch", "hour", "utilization", "power_w", "p99_ms"];
 
 /// Failure trace (DESIGN.md §7) — graceful degradation under injected
 /// device faults: a GPU fail-stop plus an FPGA slowdown over the 24-hour
@@ -1102,28 +1101,27 @@ fn fault(out: &mut String) {
             report.retried_requests,
             report.mean_recovery_ms
         );
-        let mut rows = Vec::new();
+        let mut part = Csv::new(FAULT_HEADER);
         for (i, r) in report.intervals.iter().enumerate() {
             if i % 4 == 0 {
-                rows.push(vec![
-                    name.into(),
-                    f2(i as f64 / 12.0),
-                    f2(r.utilization),
-                    f2(r.p99_ms),
-                    f2(r.avg_power_w),
-                    r.healthy_devices.to_string(),
-                    r.retried.to_string(),
-                    r.violations.to_string(),
-                    r.completed.to_string(),
-                ]);
+                part.row()
+                    .s(name)
+                    .f(i as f64 / 12.0)
+                    .f(r.utilization)
+                    .f(r.p99_ms)
+                    .f(r.avg_power_w)
+                    .n(r.healthy_devices)
+                    .n(r.retried)
+                    .n(r.violations)
+                    .n(r.completed);
             }
         }
-        (block, rows, violations)
+        (block, part, violations)
     });
-    let mut rows = Vec::new();
+    let mut csv = Csv::new(FAULT_HEADER);
     for (block, part, _) in &runs {
         out.push_str(block);
-        rows.extend(part.iter().cloned());
+        csv.append(part.clone());
     }
     outln!(
         out,
@@ -1131,23 +1129,132 @@ fn fault(out: &mut String) {
         runs[0].2,
         runs[1].2
     );
-    save_csv(
-        out,
-        "fault_trace",
-        &[
-            "mode",
-            "hour",
-            "utilization",
-            "p99_ms",
-            "power_w",
-            "healthy",
-            "retried",
-            "violations",
-            "completed",
-        ],
-        &rows,
-    );
+    csv.save(out, "fault_trace");
 }
+
+/// `fault_trace.csv` columns (shared by the per-mode builders).
+const FAULT_HEADER: &[&str] = &[
+    "mode",
+    "hour",
+    "utilization",
+    "p99_ms",
+    "power_w",
+    "healthy",
+    "retried",
+    "violations",
+    "completed",
+];
+
+/// Cluster trace (DESIGN.md §11) — four routing/admission policies over
+/// the 24-hour trace on a 4-node Setting-I Heter fleet with a shared
+/// power budget and a node-level fail-stop at the morning ramp.
+fn cluster(out: &mut String) {
+    outln!(
+        out,
+        "== Cluster: routing policies, 24 h trace (4 x Setting-I Heter nodes, shared budget) =="
+    );
+    let app = asr();
+    let trace = replay_trace();
+    let hour_ms = |h: f64| h * 12.0 * TRACE_INTERVAL_MS;
+    const NODES: usize = 4;
+    // 60 RPS/node at trace peak vs ~75 RPS single-node capacity
+    // (fig1a): the healthy fleet absorbs it, but a down node's share
+    // pushes the survivors to 80 RPS each — past what any policy can
+    // serve inside the bound.
+    const CLUSTER_MAX_RPS: f64 = 240.0;
+    // Node-level fault domain: node 1 (whole node, all six devices)
+    // fail-stops for four hours across the diurnal peak (the trace tops
+    // out around hour 13-15), so the survivors are genuinely overloaded
+    // and the admission policies separate.
+    let node_faults = FaultPlan::new()
+        .fail_stop(hour_ms(12.0), 1)
+        .recover(hour_ms(16.0), 1);
+    outln!(
+        out,
+        "fault: node 1 fail-stop 12:00-16:00 (whole node, peak hours)"
+    );
+    // The four replays are independent deterministic simulations.
+    let policies = RoutingPolicy::ALL;
+    let runs = par_map(jobs(), &policies, |_, &routing| {
+        let setup = table_iii(Setting::I, Architecture::HeterPoly);
+        let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+        let spaces = cache().explore_graph(&explorer, app.kernels(), 1);
+        let setups = vec![setup; NODES];
+        let mut cl = Cluster::new(
+            &app,
+            &spaces,
+            setups,
+            ClusterConfig {
+                bound_ms: QOS_BOUND_MS,
+                routing,
+                // Tighter than 4 provisioned 500 W nodes: the governor
+                // has to re-split a budget that actually binds.
+                power_budget_w: 260.0 * NODES as f64,
+                node_floor_w: 40.0,
+                max_backlog: 512,
+            },
+        );
+        let report = cl.run_trace(
+            &trace,
+            TRACE_INTERVAL_MS,
+            CLUSTER_MAX_RPS,
+            2011,
+            &node_faults,
+        );
+        let violations: usize = report.intervals.iter().map(|r| r.violations).sum();
+        let mut block = String::new();
+        outln!(
+            block,
+            "{:19} p99 {:7.1} ms  energy {:8.0} J  violations {violations:5} ({:5.2}%)  shed {:5}  redistributed {:3}  skew {:.2}",
+            routing.name(),
+            report.p99_ms,
+            report.energy_j,
+            report.violation_ratio * 100.0,
+            report.shed,
+            report.redistributed,
+            report.mean_util_skew
+        );
+        let mut part = Csv::new(CLUSTER_HEADER);
+        for (i, r) in report.intervals.iter().enumerate() {
+            if i % 4 == 0 {
+                part.row()
+                    .s(routing.name())
+                    .f(i as f64 / 12.0)
+                    .f(r.utilization)
+                    .f(r.p99_ms)
+                    .f(r.power_w)
+                    .n(r.nodes_up)
+                    .n(r.shed)
+                    .n(r.redistributed)
+                    .n(r.violations)
+                    .n(r.completed)
+                    .f(r.util_skew);
+            }
+        }
+        (block, part)
+    });
+    let mut csv = Csv::new(CLUSTER_HEADER);
+    for (block, part) in &runs {
+        out.push_str(block);
+        csv.append(part.clone());
+    }
+    csv.save(out, "cluster_trace");
+}
+
+/// `cluster_trace.csv` columns (shared by the per-policy builders).
+const CLUSTER_HEADER: &[&str] = &[
+    "policy",
+    "hour",
+    "utilization",
+    "p99_ms",
+    "power_w",
+    "nodes_up",
+    "shed",
+    "redistributed",
+    "violations",
+    "completed",
+    "skew",
+];
 
 // ---------------------------------------------------------------------------
 // Scalability and cost (Figs. 13–14)

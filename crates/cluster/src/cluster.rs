@@ -1,0 +1,378 @@
+//! The cluster driver: N leaf nodes behind a front-end [`Router`],
+//! stepped interval-by-interval over a utilization trace on the shared
+//! discrete-event clock, with a [`PowerGovernor`] re-splitting the
+//! fleet power budget and node-level fault domains on top of the
+//! device-level [`FaultPlan`] machinery.
+//!
+//! Determinism contract: given the same trace, seed, config, and fault
+//! plan, `run_trace` produces bit-identical reports — every node's
+//! simulation is sequential and the router/governor state evolves in
+//! node-index order, so replays of *different* routing policies can be
+//! fanned out across worker threads without perturbing each other.
+
+use crate::{ClusterNode, NodeTransition, NodeView, PowerGovernor, Router, RoutingPolicy};
+use poly_core::NodeSetup;
+use poly_dse::KernelDesignSpace;
+use poly_ir::KernelGraph;
+use poly_sim::workload::{poisson, TracePoint};
+use poly_sim::{FaultEvent, FaultPlan, LatencyStats};
+
+/// Cluster-level knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// QoS latency bound, in milliseconds.
+    pub bound_ms: f64,
+    /// Front-end routing / admission policy.
+    pub routing: RoutingPolicy,
+    /// Cluster-wide power budget split across nodes by the governor, in
+    /// watts.
+    pub power_budget_w: f64,
+    /// Per-node floor the governor never squeezes an up node below, in
+    /// watts.
+    pub node_floor_w: f64,
+    /// Router deferral bound: beyond this many waiting requests excess
+    /// traffic is shed instead of deferred to the next interval.
+    pub max_backlog: usize,
+}
+
+/// One interval of a cluster trace run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterIntervalRecord {
+    /// Interval start in milliseconds since trace begin.
+    pub start_ms: f64,
+    /// Trace utilization level for the interval.
+    pub utilization: f64,
+    /// Offered load in RPS (before admission control).
+    pub offered_rps: f64,
+    /// Cluster-wide p99 over the interval, merged across nodes (0 when
+    /// nothing completed).
+    pub p99_ms: f64,
+    /// Total cluster power over the interval, in watts.
+    pub power_w: f64,
+    /// Nodes with at least one healthy device at interval end.
+    pub nodes_up: usize,
+    /// Completions over the bound, summed across nodes.
+    pub violations: usize,
+    /// Completions summed across nodes.
+    pub completed: usize,
+    /// Requests shed by admission control this interval.
+    pub shed: usize,
+    /// Requests re-issued after a node drain this interval.
+    pub redistributed: usize,
+    /// Load-balance skew across up nodes: `(max - min) / mean` of
+    /// per-node completions (0 with fewer than two up nodes).
+    pub util_skew: f64,
+}
+
+/// Aggregate results of a cluster trace run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Per-interval records.
+    pub intervals: Vec<ClusterIntervalRecord>,
+    /// Total cluster energy over the trace, in joules.
+    pub energy_j: f64,
+    /// Cluster-wide p99 over the whole trace, merged across all nodes
+    /// and intervals.
+    pub p99_ms: f64,
+    /// Overall QoS violation ratio (violations / completed).
+    pub violation_ratio: f64,
+    /// Requests completed over the trace.
+    pub completed: usize,
+    /// Requests shed by admission control over the trace.
+    pub shed: usize,
+    /// Requests re-issued after node drains over the trace.
+    pub redistributed: usize,
+    /// Mean per-interval load-balance skew across up nodes.
+    pub mean_util_skew: f64,
+}
+
+/// Expand a *node-level* fault plan (device index = node index) into the
+/// device-level plan for node `node`: an event against the node hits
+/// every one of its `devices` at the same instant, so a node-level
+/// fail-stop takes the whole node down and a node-level recover brings
+/// all of it back.
+#[must_use]
+pub fn node_fault_plan(cluster_plan: &FaultPlan, node: usize, devices: usize) -> FaultPlan {
+    let mut out = FaultPlan::new();
+    for e in cluster_plan.events().iter().filter(|e| e.device == node) {
+        for d in 0..devices {
+            out = out.with(FaultEvent {
+                at_ms: e.at_ms,
+                device: d,
+                kind: e.kind,
+            });
+        }
+    }
+    out
+}
+
+/// N leaf nodes behind a front-end router with a shared power budget.
+#[derive(Debug)]
+pub struct Cluster {
+    nodes: Vec<ClusterNode>,
+    router: Router,
+    governor: PowerGovernor,
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Cluster of identical-application nodes, one per entry of `setups`.
+    ///
+    /// # Panics
+    /// Panics if `setups` is empty or the governor floors exceed the
+    /// budget.
+    #[must_use]
+    pub fn new(
+        graph: &KernelGraph,
+        spaces: &[KernelDesignSpace],
+        setups: Vec<NodeSetup>,
+        config: ClusterConfig,
+    ) -> Self {
+        assert!(!setups.is_empty(), "cluster needs at least one node");
+        let n = setups.len();
+        let nodes = setups
+            .into_iter()
+            .map(|s| ClusterNode::new(graph.clone(), spaces.to_vec(), s, config.bound_ms))
+            .collect();
+        let mut router = Router::new(config.routing);
+        router.set_max_backlog(config.max_backlog);
+        Self {
+            nodes,
+            router,
+            governor: PowerGovernor::new(config.power_budget_w, config.node_floor_w, n),
+            config,
+        }
+    }
+
+    /// Number of leaf nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes (never true after construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Replay a utilization trace at `max_rps` *cluster-wide* scaling.
+    /// `node_faults` is a node-level plan: `FaultEvent::device` indexes a
+    /// **node**, and each event is expanded to every device of that node
+    /// (see [`node_fault_plan`]). Deterministic in all inputs.
+    #[must_use]
+    pub fn run_trace(
+        &mut self,
+        trace: &[TracePoint],
+        interval_ms: f64,
+        max_rps: f64,
+        seed: u64,
+        node_faults: &FaultPlan,
+    ) -> ClusterReport {
+        let n = self.nodes.len();
+        self.router.reset();
+        self.governor.reset();
+        let first_rps = trace.first().map_or(0.0, |p| p.utilization * max_rps);
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let plan = node_fault_plan(node_faults, i, node.setup().pool.len());
+            node.begin_replay(first_rps / n as f64, &plan);
+        }
+
+        let mut intervals = Vec::with_capacity(trace.len());
+        let mut all_samples: Vec<f64> = Vec::new();
+        let mut energy_j = 0.0;
+        let mut total_completed = 0usize;
+        let mut total_violations = 0usize;
+        let mut total_shed = 0usize;
+        let mut total_redistributed = 0usize;
+        let mut skew_sum = 0.0;
+        // Per-node power and assigned load from the previous interval —
+        // the stale-snapshot signals the router and governor act on.
+        let mut last_power_w = vec![0.0; n];
+        let mut last_assigned_rps = vec![0.0; n];
+
+        for (i, point) in trace.iter().enumerate() {
+            let start = point.start_ms;
+            let end = start + interval_ms;
+            let offered_rps = point.utilization * max_rps;
+
+            // 1. Boundary health check: drain nodes that died during the
+            //    previous interval; their abandoned requests re-enter the
+            //    router at the interval start.
+            let mut redistributed = 0usize;
+            for node in &mut self.nodes {
+                if let NodeTransition::WentDown(cancelled) = node.maintain() {
+                    redistributed += cancelled;
+                }
+            }
+            total_redistributed += redistributed;
+            let up: Vec<bool> = self.nodes.iter().map(|nd| !nd.is_down()).collect();
+            let n_up = up.iter().filter(|&&u| u).count();
+
+            // 2. Governor: re-split the fleet budget from the previous
+            //    interval's observed per-node load (skip the first
+            //    interval — nothing observed yet, caps stay provisioned).
+            if i > 0 {
+                let caps = self.governor.observe_and_split(&last_assigned_rps, &up);
+                for (node, cap) in self.nodes.iter_mut().zip(&caps) {
+                    node.set_power_cap(*cap);
+                }
+            }
+
+            // 3. Per-node re-planning from each node's own monitor (the
+            //    first interval was planned by `begin_replay`).
+            if i > 0 {
+                let floor_est = if n_up > 0 {
+                    offered_rps / n_up as f64 * 0.1
+                } else {
+                    0.0
+                };
+                for node in &mut self.nodes {
+                    let est = node.load_estimate_rps().max(floor_est);
+                    let _ = node.begin_interval(est);
+                }
+            }
+
+            // 4. Route this interval's arrivals: drained-node traffic
+            //    (re-timed to the boundary) ahead of fresh Poisson
+            //    arrivals, all against start-of-interval node views.
+            let mut arrivals: Vec<f64> = std::iter::repeat_n(start, redistributed)
+                .chain(
+                    poisson(offered_rps, interval_ms, seed.wrapping_add(i as u64))
+                        .into_iter()
+                        .map(|t| start + t),
+                )
+                .collect();
+            arrivals.sort_by(f64::total_cmp);
+            let views: Vec<NodeView> = self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(j, node)| NodeView {
+                    up: !node.is_down(),
+                    queued: node.queued(),
+                    power_w: last_power_w[j],
+                    power_cap_w: node.power_cap_w(),
+                    capacity_rps: node.capacity_rps(),
+                })
+                .collect();
+            let outcome = self
+                .router
+                .route_interval(&views, &arrivals, start, interval_ms);
+            total_shed += outcome.shed;
+
+            // 5. Advance every node's simulation to the interval end.
+            let mut interval_samples: Vec<f64> = Vec::new();
+            let mut completed = 0usize;
+            let mut violations = 0usize;
+            let mut power_w = 0.0;
+            let mut nodes_up = 0usize;
+            let mut per_node_completed: Vec<usize> = Vec::with_capacity(n);
+            for (j, node) in self.nodes.iter_mut().enumerate() {
+                let stats = node.run_to(&outcome.per_node[j], end);
+                last_power_w[j] = stats.avg_power_w;
+                last_assigned_rps[j] = outcome.per_node[j].len() as f64 * 1000.0 / interval_ms;
+                completed += stats.completed;
+                violations += stats.violations;
+                power_w += stats.avg_power_w;
+                energy_j += stats.energy_j;
+                if stats.healthy_devices > 0 {
+                    nodes_up += 1;
+                    per_node_completed.push(stats.completed);
+                }
+                interval_samples.extend_from_slice(&stats.latency_samples);
+            }
+            total_completed += completed;
+            total_violations += violations;
+
+            // 6. Aggregate: fleet p99 from merged samples, load-balance
+            //    skew across the up nodes.
+            let util_skew = if per_node_completed.len() >= 2 {
+                let max = *per_node_completed.iter().max().unwrap() as f64;
+                let min = *per_node_completed.iter().min().unwrap() as f64;
+                let mean = per_node_completed.iter().sum::<usize>() as f64
+                    / per_node_completed.len() as f64;
+                if mean > 0.0 {
+                    (max - min) / mean
+                } else {
+                    0.0
+                }
+            } else {
+                0.0
+            };
+            skew_sum += util_skew;
+            all_samples.extend_from_slice(&interval_samples);
+            let p99 = LatencyStats::from_samples(interval_samples).p99();
+
+            intervals.push(ClusterIntervalRecord {
+                start_ms: start,
+                utilization: point.utilization,
+                offered_rps,
+                p99_ms: p99,
+                power_w,
+                nodes_up,
+                violations,
+                completed,
+                shed: outcome.shed,
+                redistributed,
+                util_skew,
+            });
+        }
+
+        let p99_ms = LatencyStats::from_samples(all_samples).p99();
+        ClusterReport {
+            energy_j,
+            p99_ms,
+            violation_ratio: if total_completed > 0 {
+                total_violations as f64 / total_completed as f64
+            } else {
+                0.0
+            },
+            completed: total_completed,
+            shed: total_shed,
+            redistributed: total_redistributed,
+            mean_util_skew: if intervals.is_empty() {
+                0.0
+            } else {
+                skew_sum / intervals.len() as f64
+            },
+            intervals,
+        }
+    }
+
+    /// The cluster configuration.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poly_sim::FaultKind;
+
+    #[test]
+    fn node_fault_plan_expands_to_every_device() {
+        let plan = FaultPlan::new()
+            .fail_stop(1000.0, 1)
+            .recover(5000.0, 1)
+            .fail_stop(2000.0, 0);
+        let node1 = node_fault_plan(&plan, 1, 3);
+        let events = node1.events();
+        assert_eq!(events.len(), 6, "2 node events x 3 devices");
+        assert!(events
+            .iter()
+            .filter(|e| e.kind == FaultKind::FailStop)
+            .all(|e| e.at_ms == 1000.0));
+        assert_eq!(
+            events
+                .iter()
+                .map(|e| e.device)
+                .collect::<std::collections::BTreeSet<_>>(),
+            [0, 1, 2].into_iter().collect()
+        );
+        // Node 2 has no events scripted against it.
+        assert!(node_fault_plan(&plan, 2, 3).events().is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Cluster-wide power budget governor.
+//!
+//! A datacenter rack has one provisioned power envelope, not one per
+//! node. The governor owns that envelope and re-splits it across leaf
+//! nodes every interval from *observed* load: busy nodes get a larger
+//! cap (so their optimizer can pick faster, hungrier policies), idle
+//! nodes are squeezed toward a floor, and fail-stopped nodes release
+//! their share back to the survivors. Cap changes feed each node's
+//! optimizer through [`crate::ClusterNode::set_power_cap`], which
+//! triggers a re-plan when the split moves materially.
+
+/// Splits a fixed cluster power budget across nodes proportionally to a
+/// smoothed per-node load signal, with a per-node floor.
+#[derive(Debug, Clone)]
+pub struct PowerGovernor {
+    budget_w: f64,
+    floor_w: f64,
+    /// EWMA of each node's assigned load, in RPS. `None` until the first
+    /// observation so the split seeds from real traffic (same cold-start
+    /// treatment as the node monitor's load estimate).
+    load_ewma: Vec<Option<f64>>,
+}
+
+impl PowerGovernor {
+    /// Governor over `nodes` nodes sharing `budget_w` watts, never
+    /// squeezing an up node below `floor_w`.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0` or the floors alone exceed the budget.
+    #[must_use]
+    pub fn new(budget_w: f64, floor_w: f64, nodes: usize) -> Self {
+        assert!(nodes > 0, "governor needs at least one node");
+        assert!(
+            floor_w * nodes as f64 <= budget_w,
+            "per-node floors exceed the cluster budget"
+        );
+        Self {
+            budget_w,
+            floor_w,
+            load_ewma: vec![None; nodes],
+        }
+    }
+
+    /// The cluster-wide budget, in watts.
+    #[must_use]
+    pub fn budget_w(&self) -> f64 {
+        self.budget_w
+    }
+
+    /// Forget the smoothed load — called at the start of a fresh replay.
+    pub fn reset(&mut self) {
+        self.load_ewma.fill(None);
+    }
+
+    /// Fold in one interval's observed per-node loads (RPS) and return
+    /// the next per-node caps. Down nodes get a zero cap and their share
+    /// flows to the survivors; up nodes split the budget proportionally
+    /// to smoothed load, subject to the floor. The caps of up nodes
+    /// always sum to the full budget (work-conserving split).
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ from the node count.
+    pub fn observe_and_split(&mut self, loads_rps: &[f64], up: &[bool]) -> Vec<f64> {
+        let n = self.load_ewma.len();
+        assert_eq!(loads_rps.len(), n, "one load per node");
+        assert_eq!(up.len(), n, "one liveness flag per node");
+        for (e, &l) in self.load_ewma.iter_mut().zip(loads_rps) {
+            *e = Some(match *e {
+                None => l,
+                Some(prev) => 0.5 * prev + 0.5 * l,
+            });
+        }
+        let n_up = up.iter().filter(|&&u| u).count();
+        let mut caps = vec![0.0; n];
+        if n_up == 0 {
+            return caps;
+        }
+        // Iterative water-filling: split proportionally to smoothed load,
+        // pin any node that would fall below the floor to the floor, and
+        // re-split the remainder among the rest. Each pass pins at least
+        // one node, so this terminates. Deterministic: no iteration-order
+        // ambiguity, ties resolved by node index implicitly.
+        let mut pinned = vec![false; n];
+        loop {
+            let free: Vec<usize> = (0..n).filter(|&i| up[i] && !pinned[i]).collect();
+            if free.is_empty() {
+                break;
+            }
+            let pinned_up = (0..n).filter(|&i| up[i] && pinned[i]).count();
+            let remaining = self.budget_w - self.floor_w * pinned_up as f64;
+            let weight: f64 = free.iter().map(|&i| self.load_ewma[i].unwrap_or(0.0)).sum();
+            let mut changed = false;
+            for &i in &free {
+                let share = if weight > 0.0 {
+                    remaining * self.load_ewma[i].unwrap_or(0.0) / weight
+                } else {
+                    remaining / free.len() as f64
+                };
+                if share < self.floor_w {
+                    pinned[i] = true;
+                    caps[i] = self.floor_w;
+                    changed = true;
+                } else {
+                    caps[i] = share;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        caps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total_up(caps: &[f64], up: &[bool]) -> f64 {
+        caps.iter()
+            .zip(up)
+            .filter(|&(_, &u)| u)
+            .map(|(c, _)| c)
+            .sum()
+    }
+
+    #[test]
+    fn idle_cluster_splits_evenly() {
+        let mut g = PowerGovernor::new(1000.0, 100.0, 4);
+        let caps = g.observe_and_split(&[0.0; 4], &[true; 4]);
+        for c in &caps {
+            assert!((c - 250.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn busy_nodes_take_the_larger_share() {
+        let mut g = PowerGovernor::new(1000.0, 100.0, 2);
+        let caps = g.observe_and_split(&[30.0, 10.0], &[true, true]);
+        assert!((caps[0] - 750.0).abs() < 1e-9);
+        assert!((caps[1] - 250.0).abs() < 1e-9);
+        assert!((total_up(&caps, &[true, true]) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floor_protects_idle_nodes_and_split_stays_work_conserving() {
+        let mut g = PowerGovernor::new(1000.0, 150.0, 3);
+        let caps = g.observe_and_split(&[100.0, 0.0, 0.0], &[true; 3]);
+        assert!((caps[1] - 150.0).abs() < 1e-9, "idle node pinned to floor");
+        assert!((caps[2] - 150.0).abs() < 1e-9);
+        assert!(
+            (caps[0] - 700.0).abs() < 1e-9,
+            "remainder goes to the busy node"
+        );
+    }
+
+    #[test]
+    fn down_node_releases_its_share() {
+        let mut g = PowerGovernor::new(900.0, 100.0, 3);
+        let up = [true, false, true];
+        let caps = g.observe_and_split(&[10.0, 10.0, 10.0], &up);
+        assert_eq!(caps[1], 0.0);
+        assert!((caps[0] - 450.0).abs() < 1e-9);
+        assert!((caps[2] - 450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_signal_is_smoothed_not_instantaneous() {
+        let mut g = PowerGovernor::new(1000.0, 0.0, 2);
+        let _ = g.observe_and_split(&[40.0, 0.0], &[true, true]);
+        // One quiet interval halves node 0's EWMA (20 vs 20): even split
+        // would need equal smoothed loads, so node 0 still leads.
+        let caps = g.observe_and_split(&[0.0, 20.0], &[true, true]);
+        assert!(caps[0] > caps[1] - 1e-9);
+        // After reset the history is gone and the new interval seeds.
+        g.reset();
+        let caps = g.observe_and_split(&[0.0, 20.0], &[true, true]);
+        assert_eq!(caps[0], 0.0);
+        assert!((caps[1] - 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,330 @@
+//! One leaf node of the cluster: a full per-node Poly stack — monitor,
+//! model, optimizer, and discrete-event simulator — stepped interval by
+//! interval by the [`Cluster`](crate::Cluster) driver instead of owning
+//! its own trace loop. The re-planning logic (degraded-pool detection,
+//! change hysteresis, model feedback) mirrors `poly_core::PolyRuntime`
+//! exactly; what is new is the externally imposed power cap from the
+//! cluster governor and the fail-stop / drain / recover lifecycle the
+//! front-end router observes.
+
+use poly_core::{IntervalObs, NodeSetup, Optimizer, PolicyPrediction, SystemMonitor};
+use poly_dse::KernelDesignSpace;
+use poly_ir::KernelGraph;
+use poly_sched::Pool;
+use poly_sim::{FaultPlan, Policy, Simulator};
+
+/// What happened to a node at an interval boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeTransition {
+    /// Health unchanged since the last boundary.
+    Steady,
+    /// Every device fail-stopped: the node is down. Carries the number of
+    /// in-flight/queued requests drained for the router to redistribute.
+    WentDown(usize),
+    /// A previously down node has at least one healthy device again.
+    CameBack,
+}
+
+/// One interval's measurements from a node, as reported to the cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeIntervalStats {
+    /// Requests offered to the node during the interval.
+    pub arrived: usize,
+    /// Requests completed during the interval.
+    pub completed: usize,
+    /// Completions over the QoS bound.
+    pub violations: usize,
+    /// Measured p99 over the interval (0 when nothing completed).
+    pub p99_ms: f64,
+    /// Mean node power over the interval, in watts.
+    pub avg_power_w: f64,
+    /// Node energy over the interval, in joules.
+    pub energy_j: f64,
+    /// Work items still queued at interval end.
+    pub queued: usize,
+    /// Healthy devices at interval end.
+    pub healthy_devices: usize,
+    /// Whether this interval adopted a different policy.
+    pub policy_changed: bool,
+    /// Raw completion latencies — the cluster merges these across nodes
+    /// to compute *fleet* percentiles (per-node p99s do not average).
+    pub latency_samples: Vec<f64>,
+}
+
+/// A leaf node: provisioned hardware plus its private Poly control loop.
+#[derive(Debug)]
+pub struct ClusterNode {
+    graph: KernelGraph,
+    spaces: Vec<KernelDesignSpace>,
+    setup: NodeSetup,
+    optimizer: Optimizer,
+    monitor: SystemMonitor,
+    bound_ms: f64,
+    /// Cap currently imposed by the cluster governor (starts at the
+    /// node's provisioned cap).
+    power_cap_w: f64,
+    /// Set when the governor moved the cap materially or the node just
+    /// recovered — the next `begin_interval` re-plans unconditionally.
+    force_replan: bool,
+    sim: Option<Simulator>,
+    policy: Option<Policy>,
+    predicted: Option<PolicyPrediction>,
+    /// Pool the last plan was made against; divergence from the
+    /// simulator's available pool forces a re-plan.
+    avail: Pool,
+    down: bool,
+    last_policy_changed: bool,
+}
+
+impl ClusterNode {
+    /// Node for `graph` with explored design `spaces` on `setup`.
+    #[must_use]
+    pub fn new(
+        graph: KernelGraph,
+        spaces: Vec<KernelDesignSpace>,
+        setup: NodeSetup,
+        bound_ms: f64,
+    ) -> Self {
+        let avail = setup.pool.clone();
+        let power_cap_w = setup.power_cap_w;
+        Self {
+            graph,
+            spaces,
+            setup,
+            optimizer: Optimizer::new(),
+            monitor: SystemMonitor::new(8),
+            bound_ms,
+            power_cap_w,
+            force_replan: false,
+            sim: None,
+            policy: None,
+            predicted: None,
+            avail,
+            down: false,
+            last_policy_changed: false,
+        }
+    }
+
+    /// The node's provisioned setup.
+    #[must_use]
+    pub fn setup(&self) -> &NodeSetup {
+        &self.setup
+    }
+
+    /// Whether the node is currently fail-stopped.
+    #[must_use]
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Predicted sustainable capacity under the current policy, in RPS
+    /// (0 before the first plan).
+    #[must_use]
+    pub fn capacity_rps(&self) -> f64 {
+        self.predicted.as_ref().map_or(0.0, |p| p.capacity_rps)
+    }
+
+    /// The governor-imposed power cap, in watts.
+    #[must_use]
+    pub fn power_cap_w(&self) -> f64 {
+        self.power_cap_w
+    }
+
+    /// Work items queued on the node right now.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.sim.as_ref().map_or(0, Simulator::queued)
+    }
+
+    /// The monitor's smoothed load estimate, in RPS.
+    #[must_use]
+    pub fn load_estimate_rps(&self) -> f64 {
+        self.monitor.load_estimate_rps()
+    }
+
+    /// Start a fresh trace replay: reset the monitor so its EWMA re-seeds
+    /// from this replay's first observation (stale state from a previous
+    /// replay must not leak across runs), plan an initial policy for
+    /// `first_rps`, and build a fresh simulator with `faults` scripted.
+    pub fn begin_replay(&mut self, first_rps: f64, faults: &FaultPlan) {
+        self.monitor.reset();
+        self.power_cap_w = self.setup.power_cap_w;
+        self.force_replan = false;
+        self.down = false;
+        self.last_policy_changed = false;
+        self.avail = self.setup.pool.clone();
+        let (policy, predicted) = self.optimizer.plan_for_load_capped(
+            &self.graph,
+            &self.spaces,
+            &self.setup.pool,
+            &self.setup.gpu,
+            self.bound_ms,
+            first_rps,
+            self.power_cap_w,
+        );
+        let mut sim = Simulator::new(
+            self.graph.clone(),
+            &self.setup.pool,
+            policy.clone(),
+            self.setup.sim_config.clone(),
+        );
+        sim.inject_faults(faults);
+        self.sim = Some(sim);
+        self.policy = Some(policy);
+        self.predicted = Some(predicted);
+    }
+
+    /// Impose a new power cap from the cluster governor. A materially
+    /// different cap (> 5% relative move) schedules an unconditional
+    /// re-plan at the next interval so the node's policy tracks its
+    /// budget; jitter below that threshold is absorbed to avoid
+    /// reconfiguration churn.
+    pub fn set_power_cap(&mut self, cap_w: f64) {
+        if (cap_w - self.power_cap_w).abs() > 0.05 * self.power_cap_w.max(1.0) {
+            self.force_replan = true;
+        }
+        self.power_cap_w = cap_w;
+    }
+
+    /// Interval-boundary health check. Detects fail-stop of the last
+    /// device (drains the node, returning how many requests the router
+    /// must redistribute) and recovery (schedules a cold re-plan).
+    ///
+    /// # Panics
+    /// Panics if called before [`begin_replay`](Self::begin_replay).
+    pub fn maintain(&mut self) -> NodeTransition {
+        let sim = self.sim.as_mut().expect("begin_replay first");
+        let healthy = sim.healthy_devices();
+        if !self.down && healthy == 0 {
+            self.down = true;
+            // Drain: abandon everything the dead node holds so the
+            // front-end can re-issue it elsewhere.
+            let cancelled = sim.cancel_pending();
+            NodeTransition::WentDown(cancelled)
+        } else if self.down && healthy > 0 {
+            self.down = false;
+            // The node comes back cold: its last plan may target a pool
+            // that no longer matches, and its monitor history is from
+            // before the outage.
+            self.force_replan = true;
+            NodeTransition::CameBack
+        } else {
+            NodeTransition::Steady
+        }
+    }
+
+    /// Re-plan for the coming interval from the load estimate `est_rps`,
+    /// mirroring `PolyRuntime`: degraded availability or a pending forced
+    /// re-plan (cap move, recovery) bypasses the change hysteresis;
+    /// otherwise the current policy is kept unless it is about to violate
+    /// QoS or the candidate saves meaningful power. Returns whether the
+    /// policy changed.
+    ///
+    /// # Panics
+    /// Panics if called before [`begin_replay`](Self::begin_replay).
+    pub fn begin_interval(&mut self, est_rps: f64) -> bool {
+        self.last_policy_changed = false;
+        if self.down {
+            return false;
+        }
+        let sim = self.sim.as_mut().expect("begin_replay first");
+        let now_avail = sim.available_pool();
+        let degraded = now_avail != self.avail;
+        if degraded {
+            self.avail = now_avail;
+        }
+        let force = std::mem::take(&mut self.force_replan);
+        if self.avail.is_empty() {
+            // Nothing left to plan on; ride out the outage.
+            return false;
+        }
+        let policy = self.policy.as_mut().expect("begin_replay first");
+        let (next, pred) = self.optimizer.plan_for_load_capped(
+            &self.graph,
+            &self.spaces,
+            &self.avail,
+            &self.setup.gpu,
+            self.bound_ms,
+            est_rps,
+            self.power_cap_w,
+        );
+        let mut changed = false;
+        if degraded || force {
+            if next != *policy {
+                changed = true;
+                sim.set_policy(next.clone());
+                *policy = next;
+            }
+            self.predicted = Some(pred);
+        } else {
+            // Hysteresis: a policy change pays FPGA reconfiguration and
+            // transient tail spikes. "Ok" now also requires the current
+            // policy to fit the governor's cap (with 5% slack) — a node
+            // holding a policy hungrier than its budget is not ok.
+            let cur_pred =
+                self.optimizer
+                    .model()
+                    .predict(&self.graph, policy, &self.avail, est_rps);
+            let cur_ok = cur_pred.p99_ms <= self.bound_ms * 0.85
+                && cur_pred.bottleneck_util <= 0.85
+                && cur_pred.avg_power_w <= self.power_cap_w * 1.05;
+            let worthwhile = pred.avg_power_w < cur_pred.avg_power_w * 0.92;
+            if next != *policy && (!cur_ok || worthwhile) {
+                changed = true;
+                sim.set_policy(next.clone());
+                *policy = next;
+                self.predicted = Some(pred);
+            } else {
+                self.predicted = Some(cur_pred);
+            }
+        }
+        self.last_policy_changed = changed;
+        changed
+    }
+
+    /// Offer `arrivals` (absolute times) and run the node's simulation to
+    /// `end_ms`, returning the interval's measurements. Feeds the node's
+    /// monitor and (for statistically sound, transition-free intervals)
+    /// the model's correction loop.
+    ///
+    /// # Panics
+    /// Panics if called before [`begin_replay`](Self::begin_replay).
+    pub fn run_to(&mut self, arrivals: &[f64], end_ms: f64) -> NodeIntervalStats {
+        let sim = self.sim.as_mut().expect("begin_replay first");
+        sim.enqueue_arrivals(arrivals);
+        sim.reset_accounting();
+        sim.advance_to(end_ms);
+        let report = sim.finish(end_ms);
+        let (arrived, completed, latency) = sim.drain_segment();
+        let _ = sim.take_fault_counts();
+        let queued = sim.queued();
+        let healthy_devices = sim.healthy_devices();
+        let p99 = latency.p99();
+        let violations = latency.violations_over(self.bound_ms);
+
+        let predicted_p99 = self.predicted.as_ref().map_or(f64::INFINITY, |p| p.p99_ms);
+        if completed >= 30 && !self.last_policy_changed && predicted_p99.is_finite() {
+            self.optimizer.model_mut().observe(predicted_p99, p99);
+        }
+        self.monitor.observe(IntervalObs {
+            duration_ms: report.duration_ms,
+            arrived,
+            completed,
+            p99_ms: p99,
+            avg_power_w: report.avg_power_w,
+            queued,
+        });
+        NodeIntervalStats {
+            arrived,
+            completed,
+            violations,
+            p99_ms: p99,
+            avg_power_w: report.avg_power_w,
+            energy_j: report.energy_j,
+            queued,
+            healthy_devices,
+            policy_changed: self.last_policy_changed,
+            latency_samples: latency.samples().to_vec(),
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Front-end request routing and admission control.
+//!
+//! The router dispatches each arriving request to one leaf node using a
+//! pluggable [`RoutingPolicy`]. Decisions are made against a
+//! *start-of-interval snapshot* of every node ([`NodeView`]) plus a
+//! per-interval ledger of what the router itself has already assigned —
+//! exactly the periodically refreshed view a real front-end holds: it
+//! never observes a node's queue mid-flight, only the health/load reports
+//! nodes push each re-planning interval. This also keeps every node's
+//! discrete-event simulation independent, so a cluster replay is
+//! deterministic regardless of worker-thread count.
+
+/// The router's snapshot of one leaf node at the start of an interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeView {
+    /// Whether the node has any healthy device (fail-stopped nodes are
+    /// excluded from routing until they recover).
+    pub up: bool,
+    /// Work items queued on the node at the snapshot.
+    pub queued: usize,
+    /// Mean node power over the previous interval, in watts.
+    pub power_w: f64,
+    /// The node's current power cap from the cluster governor, in watts.
+    pub power_cap_w: f64,
+    /// The node's predicted sustainable capacity under its current
+    /// policy, in RPS.
+    pub capacity_rps: f64,
+}
+
+/// How the front-end assigns requests to nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Cycle through the up nodes in index order.
+    RoundRobin,
+    /// Send each request to the node with the fewest queued + already
+    /// assigned requests (power-oblivious load balancing).
+    JoinShortestQueue,
+    /// Weight nodes by power headroom: prefer the node with the largest
+    /// `(cap - recent power)` budget, discounted by what this interval
+    /// has already assigned to it.
+    PowerHeadroom,
+    /// QoS-aware admission control: each node only accepts up to
+    /// `headroom x capacity` requests per interval; excess traffic is
+    /// *deferred* to the next interval while the backlog lasts and *shed*
+    /// beyond that, so admitted requests keep meeting the latency bound
+    /// instead of everyone queueing past it.
+    QosAware,
+}
+
+impl RoutingPolicy {
+    /// All policies, in the order the experiment figure compares them.
+    pub const ALL: [RoutingPolicy; 4] = [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::JoinShortestQueue,
+        RoutingPolicy::PowerHeadroom,
+        RoutingPolicy::QosAware,
+    ];
+
+    /// Display name as used in figures and CSVs.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round-robin",
+            RoutingPolicy::JoinShortestQueue => "join-shortest-queue",
+            RoutingPolicy::PowerHeadroom => "power-headroom",
+            RoutingPolicy::QosAware => "qos-aware",
+        }
+    }
+}
+
+/// What the router did with one interval's arrivals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteOutcome {
+    /// Arrival times assigned to each node, in time order.
+    pub per_node: Vec<Vec<f64>>,
+    /// Requests admitted this interval that had been deferred earlier.
+    pub drained_backlog: usize,
+    /// Requests still held in the backlog at interval end.
+    pub deferred: usize,
+    /// Requests dropped this interval (admission refused, backlog full).
+    pub shed: usize,
+}
+
+/// The front-end router: one [`RoutingPolicy`] plus the cross-interval
+/// state it needs (round-robin cursor, deferral backlog).
+#[derive(Debug, Clone)]
+pub struct Router {
+    policy: RoutingPolicy,
+    cursor: usize,
+    backlog: Vec<f64>,
+    /// Fraction of a node's predicted capacity the QoS-aware policy is
+    /// willing to fill per interval (mirrors the optimizer's headroom).
+    headroom: f64,
+    /// Deferral bound: beyond this many waiting requests the QoS-aware
+    /// policy sheds instead of deferring.
+    max_backlog: usize,
+}
+
+impl Router {
+    /// Router for `policy` with the default admission headroom (0.85) and
+    /// backlog bound.
+    #[must_use]
+    pub fn new(policy: RoutingPolicy) -> Self {
+        Self {
+            policy,
+            cursor: usize::MAX, // first round-robin pick is node 0
+            backlog: Vec::new(),
+            headroom: 0.85,
+            max_backlog: 1024,
+        }
+    }
+
+    /// The routing policy.
+    #[must_use]
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Bound the deferral backlog: beyond `n` waiting requests the
+    /// QoS-aware policy (or an all-nodes-down interval) sheds instead of
+    /// deferring. Deferred requests are latency bombs — a request parked
+    /// for a whole interval has already lost most of its budget — so the
+    /// bound should reflect how much delayed work the SLO tolerates.
+    pub fn set_max_backlog(&mut self, n: usize) {
+        self.max_backlog = n;
+    }
+
+    /// Forget all cross-interval state (cursor, backlog) — called at the
+    /// start of a fresh trace replay.
+    pub fn reset(&mut self) {
+        self.cursor = usize::MAX;
+        self.backlog.clear();
+    }
+
+    /// Requests currently deferred.
+    #[must_use]
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Route one interval's arrivals (absolute times within
+    /// `[start_ms, start_ms + interval_ms)`) across the nodes of `views`.
+    /// Previously deferred requests are re-offered first, re-timed to the
+    /// interval start.
+    ///
+    /// # Panics
+    /// Panics if `views` is empty.
+    pub fn route_interval(
+        &mut self,
+        views: &[NodeView],
+        arrivals: &[f64],
+        start_ms: f64,
+        interval_ms: f64,
+    ) -> RouteOutcome {
+        assert!(!views.is_empty(), "cluster has no nodes");
+        let n = views.len();
+        let mut per_node: Vec<Vec<f64>> = vec![Vec::new(); n];
+        let mut assigned = vec![0usize; n];
+        // QoS budgets: how many admissions each node can absorb this
+        // interval while its predicted p99 stays inside the bound
+        // (headroom x capacity), less what is already queued on it.
+        let budgets: Vec<f64> = views
+            .iter()
+            .map(|v| {
+                (v.capacity_rps * self.headroom * interval_ms / 1000.0 - v.queued as f64).max(0.0)
+            })
+            .collect();
+
+        // Oldest first: the deferred backlog re-enters ahead of this
+        // interval's fresh arrivals, re-timed to the interval start.
+        let waiting: Vec<f64> = std::mem::take(&mut self.backlog)
+            .into_iter()
+            .map(|_| start_ms)
+            .chain(arrivals.iter().copied())
+            .collect();
+        let drained_candidates = waiting.len() - arrivals.len();
+
+        let mut shed = 0usize;
+        let any_up = views.iter().any(|v| v.up);
+        for &t in &waiting {
+            let target = if !any_up {
+                None
+            } else {
+                match self.policy {
+                    RoutingPolicy::RoundRobin => self.next_round_robin(views),
+                    RoutingPolicy::JoinShortestQueue => (0..n)
+                        .filter(|&i| views[i].up)
+                        .min_by_key(|&i| views[i].queued + assigned[i]),
+                    RoutingPolicy::PowerHeadroom => (0..n)
+                        .filter(|&i| views[i].up)
+                        .map(|i| {
+                            let head = (views[i].power_cap_w - views[i].power_w).max(0.0);
+                            (i, head / (1.0 + assigned[i] as f64))
+                        })
+                        .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+                        .map(|(i, _)| i),
+                    // Shortest-queue among the *admissible* nodes: the
+                    // budget decides who may accept more work this
+                    // interval, the queue decides who should. (Max
+                    // remaining budget alone would funnel whole
+                    // intervals onto whichever node predicts the
+                    // largest capacity.)
+                    RoutingPolicy::QosAware => (0..n)
+                        .filter(|&i| views[i].up && budgets[i] - assigned[i] as f64 >= 1.0)
+                        .min_by_key(|&i| views[i].queued + assigned[i]),
+                }
+            };
+            match target {
+                Some(i) => {
+                    assigned[i] += 1;
+                    per_node[i].push(t);
+                }
+                // No admissible node: defer while the backlog lasts,
+                // shed beyond it.
+                None => {
+                    if self.backlog.len() < self.max_backlog {
+                        self.backlog.push(t);
+                    } else {
+                        shed += 1;
+                    }
+                }
+            }
+        }
+        RouteOutcome {
+            per_node,
+            drained_backlog: drained_candidates.saturating_sub(self.backlog.len() + shed),
+            deferred: self.backlog.len(),
+            shed,
+        }
+    }
+
+    /// Next up node after the cursor, wrapping; `None` when every node is
+    /// down.
+    fn next_round_robin(&mut self, views: &[NodeView]) -> Option<usize> {
+        let n = views.len();
+        for k in 1..=n {
+            let i = self.cursor.wrapping_add(k) % n;
+            if views[i].up {
+                self.cursor = i;
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(up: bool, queued: usize, power_w: f64, capacity_rps: f64) -> NodeView {
+        NodeView {
+            up,
+            queued,
+            power_w,
+            power_cap_w: 500.0,
+            capacity_rps,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_up_nodes_only() {
+        let mut r = Router::new(RoutingPolicy::RoundRobin);
+        let views = [
+            view(true, 0, 0.0, 100.0),
+            view(false, 0, 0.0, 100.0),
+            view(true, 0, 0.0, 100.0),
+        ];
+        let out = r.route_interval(&views, &[0.0, 1.0, 2.0, 3.0], 0.0, 1000.0);
+        assert_eq!(out.per_node[0], vec![0.0, 2.0]);
+        assert!(out.per_node[1].is_empty(), "down node receives nothing");
+        assert_eq!(out.per_node[2], vec![1.0, 3.0]);
+        assert_eq!((out.deferred, out.shed), (0, 0));
+    }
+
+    #[test]
+    fn jsq_prefers_emptier_nodes_counting_own_assignments() {
+        let mut r = Router::new(RoutingPolicy::JoinShortestQueue);
+        let views = [view(true, 5, 0.0, 100.0), view(true, 0, 0.0, 100.0)];
+        let out = r.route_interval(&views, &[0.0, 1.0, 2.0], 0.0, 1000.0);
+        // All three go to node 1 until its ledger catches up with node
+        // 0's queue — 5 > 0, 5 > 1, 5 > 2.
+        assert_eq!(out.per_node[1].len(), 3);
+        assert!(out.per_node[0].is_empty());
+    }
+
+    #[test]
+    fn power_headroom_prefers_the_coolest_node() {
+        let mut r = Router::new(RoutingPolicy::PowerHeadroom);
+        // Node 0 is near its cap, node 1 is cold.
+        let views = [view(true, 0, 480.0, 100.0), view(true, 0, 100.0, 100.0)];
+        let out = r.route_interval(&views, &[0.0, 1.0], 0.0, 1000.0);
+        assert_eq!(out.per_node[1].len(), 2);
+    }
+
+    #[test]
+    fn qos_aware_sheds_when_cluster_is_saturated() {
+        let mut r = Router::new(RoutingPolicy::QosAware);
+        r.max_backlog = 2;
+        // Each node admits 0.85 x 2 rps x 1 s ≈ 1 request per interval.
+        let views = [view(true, 0, 0.0, 2.0), view(true, 0, 0.0, 2.0)];
+        let arrivals: Vec<f64> = (0..6).map(f64::from).collect();
+        let out = r.route_interval(&views, &arrivals, 0.0, 1000.0);
+        let admitted: usize = out.per_node.iter().map(Vec::len).sum();
+        assert_eq!(admitted, 2, "one per node under the QoS budget");
+        assert_eq!(out.deferred, 2, "backlog bound respected");
+        assert_eq!(out.shed, 2, "the rest is shed");
+        // Deferred requests re-enter first next interval, re-timed.
+        let out2 = r.route_interval(&views, &[], 1000.0, 1000.0);
+        let admitted2: usize = out2.per_node.iter().map(Vec::len).sum();
+        assert_eq!(admitted2, 2);
+        assert_eq!(out2.drained_backlog, 2);
+        assert!(out2.per_node.iter().flatten().all(|&t| t == 1000.0));
+    }
+
+    #[test]
+    fn queued_backlog_counts_against_qos_budget() {
+        let mut r = Router::new(RoutingPolicy::QosAware);
+        // Node 0's standing queue already exceeds its per-interval
+        // budget, so everything goes to node 1.
+        let views = [view(true, 50, 0.0, 10.0), view(true, 0, 0.0, 10.0)];
+        let out = r.route_interval(&views, &[0.0, 1.0, 2.0], 0.0, 1000.0);
+        assert!(out.per_node[0].is_empty());
+        assert_eq!(out.per_node[1].len(), 3);
+    }
+
+    #[test]
+    fn all_nodes_down_defers_everything() {
+        let mut r = Router::new(RoutingPolicy::RoundRobin);
+        let views = [view(false, 0, 0.0, 100.0)];
+        let out = r.route_interval(&views, &[0.0, 1.0], 0.0, 1000.0);
+        assert_eq!(out.deferred, 2);
+        assert_eq!(r.backlog_len(), 2);
+        // Recovery: the backlog drains to the node once it is back.
+        let up = [view(true, 0, 0.0, 100.0)];
+        let out2 = r.route_interval(&up, &[], 1000.0, 1000.0);
+        assert_eq!(out2.per_node[0].len(), 2);
+        assert_eq!(out2.drained_backlog, 2);
+        assert_eq!(r.backlog_len(), 0);
+    }
+
+    #[test]
+    fn reset_clears_cursor_and_backlog() {
+        let mut r = Router::new(RoutingPolicy::RoundRobin);
+        let views = [view(true, 0, 0.0, 1.0), view(true, 0, 0.0, 1.0)];
+        let _ = r.route_interval(&views, &[0.0], 0.0, 1000.0);
+        let down = [view(false, 0, 0.0, 1.0), view(false, 0, 0.0, 1.0)];
+        let _ = r.route_interval(&down, &[1.0], 0.0, 1000.0);
+        assert_eq!(r.backlog_len(), 1);
+        r.reset();
+        assert_eq!(r.backlog_len(), 0);
+        // Cursor restarts at node 0.
+        let out = r.route_interval(&views, &[0.0], 0.0, 1000.0);
+        assert_eq!(out.per_node[0].len(), 1);
+    }
+}

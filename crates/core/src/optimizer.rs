@@ -114,6 +114,36 @@ impl Optimizer {
         bound_ms: f64,
         rps: f64,
     ) -> (Policy, PolicyPrediction) {
+        self.plan_for_load_capped(graph, spaces, pool, gpu_model, bound_ms, rps, f64::INFINITY)
+    }
+
+    /// [`plan_for_load`](Self::plan_for_load) under a node power cap: among
+    /// the QoS-feasible candidates, prefer those whose predicted mean power
+    /// stays within `power_cap_w` — the hook a cluster-wide power governor
+    /// uses when it re-splits the fleet budget across nodes.
+    ///
+    /// The cap is a *soft* constraint: when no QoS-feasible candidate fits
+    /// under it, the lowest-power feasible candidate is chosen anyway (QoS
+    /// is never sacrificed to the budget), and under overload the
+    /// highest-capacity candidate wins regardless of power — the paper's
+    /// "shift to higher performance mode" reaction. A cap of
+    /// `f64::INFINITY` reduces exactly to [`plan_for_load`].
+    ///
+    /// # Panics
+    /// Panics if the scheduler cannot produce any plan (mismatched spaces
+    /// or empty pool) — configuration errors, not runtime conditions.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_for_load_capped(
+        &mut self,
+        graph: &KernelGraph,
+        spaces: &[KernelDesignSpace],
+        pool: &Pool,
+        gpu_model: &GpuModel,
+        bound_ms: f64,
+        rps: f64,
+        power_cap_w: f64,
+    ) -> (Policy, PolicyPrediction) {
         let mut candidates: Vec<Policy> = Vec::new();
 
         // 1–2: the two-step plan and the latency-only plan.
@@ -139,13 +169,21 @@ impl Optimizer {
         let ok = |p: &PolicyPrediction| {
             p.p99_ms <= bound_ms * self.headroom && p.bottleneck_util <= self.headroom
         };
-        let chosen = if preds.iter().any(ok) {
+        let capped = |p: &PolicyPrediction| ok(p) && p.avg_power_w <= power_cap_w;
+        let min_power = |filter: &dyn Fn(&PolicyPrediction) -> bool| {
             candidates
                 .iter()
                 .zip(&preds)
-                .filter(|(_, p)| ok(p))
+                .filter(|(_, p)| filter(p))
                 .min_by(|a, b| a.1.avg_power_w.total_cmp(&b.1.avg_power_w))
                 .map(|(c, _)| c)
+        };
+        let chosen = if preds.iter().any(&capped) {
+            min_power(&capped)
+        } else if preds.iter().any(ok) {
+            // Nothing fits the budget: keep QoS and get as close to the
+            // cap as the hardware allows.
+            min_power(&ok)
         } else {
             candidates
                 .iter()
@@ -359,6 +397,38 @@ mod tests {
         assert_eq!(policy.of(KernelId(0)).kind, DeviceKind::Gpu);
         assert_eq!(policy.of(KernelId(1)).kind, DeviceKind::Fpga);
         assert_eq!(policy.of(KernelId(1)).impl_index, 0);
+    }
+
+    #[test]
+    fn uncapped_plan_matches_plan_for_load() {
+        let (app, spaces, gpu) = setup();
+        let pool = Pool::heterogeneous(1, 4);
+        let mut a = Optimizer::new();
+        let mut b = Optimizer::new();
+        let (pa, ra) = a.plan_for_load(&app, &spaces, &pool, &gpu, 200.0, 5.0);
+        let (pb, rb) =
+            b.plan_for_load_capped(&app, &spaces, &pool, &gpu, 200.0, 5.0, f64::INFINITY);
+        assert_eq!(pa, pb);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn power_cap_is_soft_and_never_breaks_qos() {
+        let (app, spaces, gpu) = setup();
+        let pool = Pool::heterogeneous(1, 4);
+        let mut opt = Optimizer::new();
+        let (_, loose) =
+            opt.plan_for_load_capped(&app, &spaces, &pool, &gpu, 200.0, 5.0, f64::INFINITY);
+        // A cap below every candidate's power: QoS still holds and the
+        // lowest-power feasible plan is chosen (same as the loose pick,
+        // which already minimizes power).
+        let (_, tight) = opt.plan_for_load_capped(&app, &spaces, &pool, &gpu, 200.0, 5.0, 1.0);
+        assert!(tight.p99_ms <= 200.0, "{tight:?}");
+        assert!(tight.avg_power_w <= loose.avg_power_w + 1e-9);
+        // A cap sitting exactly at the loose pick's power keeps it.
+        let (_, at) =
+            opt.plan_for_load_capped(&app, &spaces, &pool, &gpu, 200.0, 5.0, loose.avg_power_w);
+        assert!((at.avg_power_w - loose.avg_power_w).abs() < 1e-9);
     }
 
     #[test]

@@ -176,4 +176,51 @@ mod tests {
         assert_eq!(p.subset(&[true; 5]), p);
         assert_eq!(p.subset(&[]), p);
     }
+
+    #[test]
+    fn without_device_on_unknown_id_is_identity() {
+        let p = Pool::heterogeneous(1, 2);
+        // First out-of-range id and a far-out one both leave every device
+        // in place, ids unshifted.
+        assert_eq!(p.without_device(DeviceId(3)), p);
+        assert_eq!(p.without_device(DeviceId(usize::MAX)), p);
+        assert_eq!(
+            p.without_device(DeviceId(3)).kind(DeviceId(0)),
+            DeviceKind::Gpu
+        );
+        // The empty pool has no valid id at all.
+        let empty = Pool::new(&[]);
+        assert_eq!(empty.without_device(DeviceId(0)), empty);
+    }
+
+    #[test]
+    fn without_device_removes_last_of_a_kind() {
+        // Removing the only GPU leaves an FPGA-only pool that reports the
+        // platform as absent — what the optimizer re-plans against after
+        // the failure.
+        let p = Pool::heterogeneous(1, 2);
+        let no_gpu = p.without_device(DeviceId(0));
+        assert!(!no_gpu.has(DeviceKind::Gpu));
+        assert!(no_gpu.devices_of(DeviceKind::Gpu).next().is_none());
+        assert_eq!(no_gpu.len(), 2);
+        // Device ids compact: the former d1 (FPGA) is now d0.
+        assert_eq!(no_gpu.kind(DeviceId(0)), DeviceKind::Fpga);
+        // Removing the only FPGA of a 1-FPGA pool likewise empties the kind.
+        let one_fpga = Pool::heterogeneous(2, 1);
+        let no_fpga = one_fpga.without_device(DeviceId(2));
+        assert!(!no_fpga.has(DeviceKind::Fpga));
+        assert_eq!(no_fpga.count(DeviceKind::Gpu), 2);
+    }
+
+    #[test]
+    fn subset_with_all_false_mask_is_empty() {
+        let p = Pool::heterogeneous(2, 3);
+        let none = p.subset(&[false; 5]);
+        assert!(none.is_empty());
+        assert_eq!(none.len(), 0);
+        assert!(!none.has(DeviceKind::Gpu));
+        assert!(!none.has(DeviceKind::Fpga));
+        // Subset of the empty pool stays empty regardless of the mask.
+        assert!(Pool::new(&[]).subset(&[true, false]).is_empty());
+    }
 }

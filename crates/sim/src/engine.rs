@@ -882,6 +882,32 @@ impl Simulator {
         )
     }
 
+    /// Abandon every request that has not completed yet: clear device
+    /// queues and in-flight books, drop stranded work, and mark the
+    /// victims finished so their already-scheduled completion events
+    /// become stale. Returns how many requests were abandoned — the
+    /// traffic a front-end router must redistribute to other nodes when
+    /// it drains this one (e.g. after a whole-node fail-stop).
+    ///
+    /// Scripted fault events stay queued, so a later recovery still
+    /// returns the devices to service.
+    pub fn cancel_pending(&mut self) -> usize {
+        for d in &mut self.devices {
+            d.queue.clear();
+            d.inflight.clear();
+        }
+        self.stranded.clear();
+        let mut cancelled = 0;
+        for r in &mut self.requests {
+            if r.kernels_left > 0 {
+                cancelled += 1;
+                r.kernels_left = 0;
+                r.done.fill(true);
+            }
+        }
+        cancelled
+    }
+
     /// Re-dispatch work stranded by failures (called when a recovery or a
     /// policy change may have made it dispatchable again).
     fn redispatch_stranded(&mut self) {
@@ -1466,6 +1492,53 @@ mod tests {
         assert_eq!(events, 2, "fail-stop + recovery");
         assert_eq!(retried, 1);
         assert_eq!(s.take_fault_counts(), (0, 0), "counts drained");
+    }
+
+    #[test]
+    fn cancel_pending_abandons_incomplete_requests() {
+        // Single FPGA, 10 ms service: at t = 25 the first two requests are
+        // done and three are queued or in flight. Draining the node
+        // abandons exactly those three; they never complete.
+        let mut s = Simulator::new(
+            graph1(),
+            &Pool::heterogeneous(0, 1),
+            Policy::from_impls(vec![fpga_impl(0, 10.0)]),
+            SimConfig::default(),
+        );
+        s.enqueue_arrivals(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        s.advance_to(25.0);
+        let cancelled = s.cancel_pending();
+        assert_eq!(cancelled, 3);
+        assert_eq!(s.queued(), 0, "queues drained");
+        s.drain();
+        let r = s.finish(1000.0);
+        assert_eq!(r.completed, 2, "abandoned requests never complete");
+        // A second drain has nothing left to cancel.
+        assert_eq!(s.cancel_pending(), 0);
+    }
+
+    #[test]
+    fn cancel_pending_preserves_scripted_recovery() {
+        // The only device fails at t = 5 stranding the request; the router
+        // drains the node, but the scripted recovery at t = 100 still
+        // fires and the node serves fresh traffic afterwards.
+        let mut s = Simulator::new(
+            graph1(),
+            &Pool::heterogeneous(0, 1),
+            Policy::from_impls(vec![fpga_impl(0, 10.0)]),
+            SimConfig::default(),
+        );
+        s.inject_faults(&FaultPlan::new().fail_stop(5.0, 0).recover(100.0, 0));
+        s.enqueue_arrivals(&[0.0]);
+        s.advance_to(50.0);
+        assert_eq!(s.healthy_devices(), 0);
+        assert_eq!(s.cancel_pending(), 1);
+        s.advance_to(150.0);
+        assert_eq!(s.healthy_devices(), 1, "recovery survives the drain");
+        s.enqueue_arrivals(&[150.0]);
+        s.drain();
+        let r = s.finish(1000.0);
+        assert_eq!(r.completed, 1, "post-recovery traffic is served");
     }
 
     // --- batch-hold deferral gate ------------------------------------------

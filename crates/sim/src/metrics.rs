@@ -221,6 +221,15 @@ impl LatencyStats {
         self.grid.last().map_or(0.0, |&(_, v)| v)
     }
 
+    /// The raw latency samples, in no particular order. A multi-node
+    /// front-end merges per-node segment samples through this accessor to
+    /// compute *cluster-wide* percentiles — per-node p99s cannot be
+    /// averaged into a fleet p99.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
     /// Number of samples strictly above `bound_ms` — the exact exceedance
     /// count, with no float round-trip through [`violation_ratio`]
     /// (Self::violation_ratio).
@@ -367,6 +376,19 @@ mod tests {
         let c = LatencyStats::from_shared(&dirty, &mut scratch);
         assert_eq!(c.len(), 2);
         assert_eq!(c.max(), 3.0);
+    }
+
+    #[test]
+    fn samples_exposes_raw_buffer_for_merging() {
+        let a = LatencyStats::from_samples(vec![10.0, 200.0]);
+        let b = LatencyStats::from_samples(vec![30.0, 40.0]);
+        let merged: Vec<f64> = a.samples().iter().chain(b.samples()).copied().collect();
+        let m = LatencyStats::from_samples(merged);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.max(), 200.0);
+        // The fleet p99 is dominated by the one slow node, which averaging
+        // per-node p99s would hide.
+        assert!(m.p99() > (a.p99() + b.p99()) / 2.0);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! - [`apps`] — the six QoS-sensitive benchmark applications
 //! - [`core`] — the Poly framework (monitor / model / optimizer loop,
 //!   provisioning, TCO)
+//! - [`cluster`] — the multi-node layer above single leaf nodes: front-end
+//!   routing with QoS-aware admission, cluster-wide power budgeting, and
+//!   node-level fault domains
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory; `EXPERIMENTS.md` records paper-vs-measured results for every
@@ -22,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 pub use poly_apps as apps;
+pub use poly_cluster as cluster;
 pub use poly_core as core;
 pub use poly_device as device;
 pub use poly_dse as dse;
