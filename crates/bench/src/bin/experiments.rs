@@ -2,7 +2,8 @@
 //!
 //! Usage: `experiments [--jobs N] <id>` where `<id>` is one of
 //! `table1 table2 table3 table45 fig1a fig1b fig1c fig1d fig1ef fig6 fig7
-//! fig8 fig9 fig10 fig11 fig12 fault cluster fig13 fig14 ablations all` (or
+//! fig8 fig9 fig10 fig11 fig12 fault cluster chaos fig13 fig14 ablations
+//! all` (or
 //! `quick` for the subset used in smoke tests). Results are printed and
 //! written to `results/<id>.csv`.
 //!
@@ -29,7 +30,7 @@ use poly_dse::{DesignSpaceCache, Explorer};
 use poly_par::par_map;
 use poly_sched::Scheduler;
 use poly_sim::workload::{google_trace_24h, TracePoint};
-use poly_sim::{FaultPlan, Policy};
+use poly_sim::{BackoffPolicy, FaultPlan, HedgeConfig, LifecycleConfig, Policy, RetryPolicy};
 use std::fmt::Write as _;
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -84,6 +85,7 @@ const EXPERIMENTS: &[(&str, FigFn)] = &[
     ("fig12", fig12),
     ("fault", fault),
     ("cluster", cluster),
+    ("chaos", chaos),
     ("fig13", fig13),
     ("fig14", fig14),
     ("ablations", ablations),
@@ -1098,7 +1100,7 @@ fn fault(out: &mut String) {
             "{name:14} mean power {:6.1} W  completed {completed:6}  violations {violations:5} ({:5.2}%)  retried {:3}  recovery {:7.0} ms",
             report.mean_power_w,
             report.violation_ratio * 100.0,
-            report.retried_requests,
+            report.retry.device_retries,
             report.mean_recovery_ms
         );
         let mut part = Csv::new(FAULT_HEADER);
@@ -1192,6 +1194,8 @@ fn cluster(out: &mut String) {
                 power_budget_w: 260.0 * NODES as f64,
                 node_floor_w: 40.0,
                 max_backlog: 512,
+                lifecycle: LifecycleConfig::default(),
+                breaker: None,
             },
         );
         let report = cl.run_trace(
@@ -1211,7 +1215,7 @@ fn cluster(out: &mut String) {
             report.energy_j,
             report.violation_ratio * 100.0,
             report.shed,
-            report.redistributed,
+            report.retry.redistributed,
             report.mean_util_skew
         );
         let mut part = Csv::new(CLUSTER_HEADER);
@@ -1254,6 +1258,171 @@ const CLUSTER_HEADER: &[&str] = &[
     "violations",
     "completed",
     "skew",
+];
+
+/// Chaos campaign (DESIGN.md §12) — a seeded random node-level fault
+/// campaign against a 3-node fleet, replayed under four request-lifecycle
+/// configurations of increasing sophistication. Every replay is audited
+/// against the simulator's conservation invariants (every admitted
+/// request reaches exactly one terminal state, refunded busy-energy never
+/// exceeds booked). The full stack must strictly beat the no-lifecycle
+/// baseline on QoS violations under the *same* faults and seed.
+fn chaos(out: &mut String) {
+    outln!(
+        out,
+        "== Chaos: request-lifecycle configs under a random fault campaign (3 x Setting-I Heter nodes) =="
+    );
+    let app = asr();
+    const NODES: usize = 3;
+    // The afternoon-peak 8 hours of the diurnal trace, re-timed to start
+    // at zero: high enough load that a faulted node's share genuinely
+    // overloads the survivors.
+    let trace: Vec<TracePoint> = replay_trace()[96..192]
+        .iter()
+        .enumerate()
+        .map(|(i, p)| TracePoint {
+            start_ms: i as f64 * TRACE_INTERVAL_MS,
+            utilization: p.utilization,
+        })
+        .collect();
+    let duration_ms = trace.len() as f64 * TRACE_INTERVAL_MS;
+    // ~47 RPS/node at trace peak vs ~75 RPS single-node capacity: the
+    // healthy fleet absorbs it, a two-node fleet is pressed hard.
+    const CHAOS_MAX_RPS: f64 = 140.0;
+    // Seeded chaos: up to 4 random fail-stop / slowdown episodes per
+    // node, each 2-12% of the window. Node-level plan (device = node).
+    let node_faults = FaultPlan::random_campaign(0xC4A05, NODES, duration_ms, 4);
+    node_faults
+        .validate()
+        .expect("campaign must be well-formed");
+    outln!(
+        out,
+        "campaign seed 0xC4A05: {} node-level fault events over {:.0} min",
+        node_faults.events().len(),
+        duration_ms / 60_000.0
+    );
+    let deadline = LifecycleConfig {
+        deadline_factor: Some(2.0),
+        ..LifecycleConfig::default()
+    };
+    let retry = LifecycleConfig {
+        deadline_factor: Some(2.0),
+        retry: RetryPolicy::Backoff(BackoffPolicy::default()),
+        ..LifecycleConfig::default()
+    };
+    let full = LifecycleConfig {
+        deadline_factor: Some(2.0),
+        retry: RetryPolicy::Backoff(BackoffPolicy::default()),
+        hedge: Some(HedgeConfig::default()),
+    };
+    let configs: [(&str, LifecycleConfig, Option<poly_cluster::BreakerConfig>); 4] = [
+        ("no-lifecycle", LifecycleConfig::default(), None),
+        ("deadline-cancel", deadline, None),
+        ("deadline+retry", retry, None),
+        (
+            "full-lifecycle",
+            full,
+            Some(poly_cluster::BreakerConfig::default()),
+        ),
+    ];
+    // The four replays are independent deterministic simulations.
+    let runs = par_map(jobs(), &configs, |_, (name, lifecycle, breaker)| {
+        let setup = table_iii(Setting::I, Architecture::HeterPoly);
+        let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+        let spaces = cache().explore_graph(&explorer, app.kernels(), 1);
+        let setups = vec![setup; NODES];
+        let mut cl = Cluster::new(
+            &app,
+            &spaces,
+            setups,
+            ClusterConfig {
+                bound_ms: QOS_BOUND_MS,
+                // Plain shortest-queue: no QoS-aware shedding, so the
+                // lifecycle machinery (not admission control) does the
+                // protective work and the configs separate cleanly.
+                routing: RoutingPolicy::JoinShortestQueue,
+                power_budget_w: 260.0 * NODES as f64,
+                node_floor_w: 40.0,
+                max_backlog: 512,
+                lifecycle: lifecycle.clone(),
+                breaker: *breaker,
+            },
+        );
+        let report = cl.run_trace(&trace, TRACE_INTERVAL_MS, CHAOS_MAX_RPS, 2029, &node_faults);
+        // Invariant audit: conservation must hold on every node.
+        let (merged, per_node) = cl.audits();
+        for (j, a) in per_node.iter().enumerate() {
+            a.check()
+                .unwrap_or_else(|e| panic!("{name}: node {j} audit failed: {e}"));
+        }
+        merged
+            .check()
+            .unwrap_or_else(|e| panic!("{name}: merged audit failed: {e}"));
+        let violations: usize = report.intervals.iter().map(|r| r.violations).sum();
+        let mut block = String::new();
+        outln!(
+            block,
+            "{name:16} p99 {:7.1} ms  completed {:6}  violations {violations:5} ({:5.2}%)  timed-out {:5}  retried {:4}  exhausted {:3}  hedges {:3} (won {:3})  redistributed {:3}",
+            report.p99_ms,
+            report.completed,
+            report.violation_ratio * 100.0,
+            report.timed_out,
+            report.retry.device_retries,
+            report.retry.exhausted,
+            report.retry.hedges_fired,
+            report.retry.hedge_wins,
+            report.retry.redistributed
+        );
+        let mut part = Csv::new(CHAOS_HEADER);
+        for (i, r) in report.intervals.iter().enumerate() {
+            if i % 2 == 0 {
+                part.row()
+                    .s(*name)
+                    .f(i as f64 / 12.0)
+                    .f(r.utilization)
+                    .f(r.p99_ms)
+                    .f(r.power_w)
+                    .n(r.nodes_up)
+                    .n(r.shed)
+                    .n(r.redistributed)
+                    .n(r.timed_out)
+                    .n(r.violations)
+                    .n(r.completed);
+            }
+        }
+        (block, part, violations, report.completed)
+    });
+    let mut csv = Csv::new(CHAOS_HEADER);
+    for (block, part, _, _) in &runs {
+        out.push_str(block);
+        csv.append(part.clone());
+    }
+    let (baseline, full_stack) = (runs[0].2, runs[3].2);
+    assert!(
+        full_stack < baseline,
+        "full lifecycle must strictly reduce violations: {full_stack} !< {baseline}"
+    );
+    outln!(
+        out,
+        "violations under chaos: no-lifecycle {baseline} vs full-lifecycle {full_stack} ({:.0}% fewer); all audits green",
+        (1.0 - full_stack as f64 / baseline as f64) * 100.0
+    );
+    csv.save(out, "chaos_trace");
+}
+
+/// `chaos_trace.csv` columns (shared by the per-config builders).
+const CHAOS_HEADER: &[&str] = &[
+    "config",
+    "hour",
+    "utilization",
+    "p99_ms",
+    "power_w",
+    "nodes_up",
+    "shed",
+    "redistributed",
+    "timed_out",
+    "violations",
+    "completed",
 ];
 
 // ---------------------------------------------------------------------------

@@ -10,12 +10,14 @@
 //! node-index order, so replays of *different* routing policies can be
 //! fanned out across worker threads without perturbing each other.
 
-use crate::{ClusterNode, NodeTransition, NodeView, PowerGovernor, Router, RoutingPolicy};
+use crate::{
+    BreakerConfig, ClusterNode, NodeTransition, NodeView, PowerGovernor, Router, RoutingPolicy,
+};
 use poly_core::NodeSetup;
 use poly_dse::KernelDesignSpace;
 use poly_ir::KernelGraph;
 use poly_sim::workload::{poisson, TracePoint};
-use poly_sim::{FaultEvent, FaultPlan, LatencyStats};
+use poly_sim::{AuditReport, FaultEvent, FaultPlan, LatencyStats, LifecycleConfig, RetryStats};
 
 /// Cluster-level knobs.
 #[derive(Debug, Clone)]
@@ -33,6 +35,13 @@ pub struct ClusterConfig {
     /// Router deferral bound: beyond this many waiting requests excess
     /// traffic is shed instead of deferred to the next interval.
     pub max_backlog: usize,
+    /// Request-lifecycle policy (deadlines, bounded retries, hedging)
+    /// applied to every node's simulator. The default reproduces the
+    /// legacy run-forever/retry-forever behavior bit-for-bit.
+    pub lifecycle: LifecycleConfig,
+    /// Per-node router circuit breakers; `None` disables them (legacy
+    /// routing).
+    pub breaker: Option<BreakerConfig>,
 }
 
 /// One interval of a cluster trace run.
@@ -59,6 +68,9 @@ pub struct ClusterIntervalRecord {
     pub shed: usize,
     /// Requests re-issued after a node drain this interval.
     pub redistributed: usize,
+    /// Requests abandoned past their deadline this interval (0 unless
+    /// the lifecycle config sets deadlines).
+    pub timed_out: usize,
     /// Load-balance skew across up nodes: `(max - min) / mean` of
     /// per-node completions (0 with fewer than two up nodes).
     pub util_skew: f64,
@@ -80,8 +92,12 @@ pub struct ClusterReport {
     pub completed: usize,
     /// Requests shed by admission control over the trace.
     pub shed: usize,
-    /// Requests re-issued after node drains over the trace.
-    pub redistributed: usize,
+    /// Unified re-issue ledger: front-end redistribution after node
+    /// drains (`redistributed`), device-level fail-stop retries, bounded
+    /// retry exhaustion, and hedging, merged across all nodes.
+    pub retry: RetryStats,
+    /// Requests abandoned past their deadline over the trace.
+    pub timed_out: usize,
     /// Mean per-interval load-balance skew across up nodes.
     pub mean_util_skew: f64,
 }
@@ -132,10 +148,16 @@ impl Cluster {
         let n = setups.len();
         let nodes = setups
             .into_iter()
-            .map(|s| ClusterNode::new(graph.clone(), spaces.to_vec(), s, config.bound_ms))
+            .map(|mut s| {
+                s.sim_config.lifecycle = config.lifecycle.clone();
+                ClusterNode::new(graph.clone(), spaces.to_vec(), s, config.bound_ms)
+            })
             .collect();
         let mut router = Router::new(config.routing);
         router.set_max_backlog(config.max_backlog);
+        if let Some(breaker) = config.breaker {
+            router.enable_breakers(breaker, n);
+        }
         Self {
             nodes,
             router,
@@ -185,6 +207,7 @@ impl Cluster {
         let mut total_violations = 0usize;
         let mut total_shed = 0usize;
         let mut total_redistributed = 0usize;
+        let mut total_timed_out = 0usize;
         let mut skew_sum = 0.0;
         // Per-node power and assigned load from the previous interval —
         // the stale-snapshot signals the router and governor act on.
@@ -265,25 +288,32 @@ impl Cluster {
             let mut interval_samples: Vec<f64> = Vec::new();
             let mut completed = 0usize;
             let mut violations = 0usize;
+            let mut timed_out = 0usize;
             let mut power_w = 0.0;
             let mut nodes_up = 0usize;
             let mut per_node_completed: Vec<usize> = Vec::with_capacity(n);
+            let mut health: Vec<(usize, usize, bool)> = Vec::with_capacity(n);
             for (j, node) in self.nodes.iter_mut().enumerate() {
                 let stats = node.run_to(&outcome.per_node[j], end);
                 last_power_w[j] = stats.avg_power_w;
                 last_assigned_rps[j] = outcome.per_node[j].len() as f64 * 1000.0 / interval_ms;
                 completed += stats.completed;
                 violations += stats.violations;
+                timed_out += stats.timed_out;
                 power_w += stats.avg_power_w;
                 energy_j += stats.energy_j;
                 if stats.healthy_devices > 0 {
                     nodes_up += 1;
                     per_node_completed.push(stats.completed);
                 }
+                health.push((stats.completed, stats.violations, stats.healthy_devices > 0));
                 interval_samples.extend_from_slice(&stats.latency_samples);
             }
+            // Feed the router's circuit breakers (no-op when disabled).
+            self.router.observe_health(&health);
             total_completed += completed;
             total_violations += violations;
+            total_timed_out += timed_out;
 
             // 6. Aggregate: fleet p99 from merged samples, load-balance
             //    skew across the up nodes.
@@ -315,11 +345,19 @@ impl Cluster {
                 completed,
                 shed: outcome.shed,
                 redistributed,
+                timed_out,
                 util_skew,
             });
         }
 
         let p99_ms = LatencyStats::from_samples(all_samples).p99();
+        // Unified ledger: node-level retries/hedges merged across the
+        // fleet, plus this run's front-end redistribution.
+        let mut retry = RetryStats::default();
+        for node in &self.nodes {
+            retry.merge(&node.retry_stats());
+        }
+        retry.redistributed += total_redistributed;
         ClusterReport {
             energy_j,
             p99_ms,
@@ -330,7 +368,8 @@ impl Cluster {
             },
             completed: total_completed,
             shed: total_shed,
-            redistributed: total_redistributed,
+            retry,
+            timed_out: total_timed_out,
             mean_util_skew: if intervals.is_empty() {
                 0.0
             } else {
@@ -344,6 +383,31 @@ impl Cluster {
     #[must_use]
     pub fn config(&self) -> &ClusterConfig {
         &self.config
+    }
+
+    /// Merged lifecycle audit across every node's simulator, plus the
+    /// per-node reports. `merged.check()` asserts the cluster-wide
+    /// conservation invariants after a run.
+    #[must_use]
+    pub fn audits(&self) -> (AuditReport, Vec<AuditReport>) {
+        let per_node: Vec<AuditReport> = self.nodes.iter().map(ClusterNode::audit).collect();
+        let mut merged = AuditReport::default();
+        for a in &per_node {
+            merged.merge(a);
+        }
+        (merged, per_node)
+    }
+
+    /// The leaf nodes, in router index order.
+    #[must_use]
+    pub fn nodes(&self) -> &[ClusterNode] {
+        &self.nodes
+    }
+
+    /// The router's per-node circuit breakers (empty when disabled).
+    #[must_use]
+    pub fn breakers(&self) -> &[crate::CircuitBreaker] {
+        self.router.breakers()
     }
 }
 

@@ -18,6 +18,8 @@
 //! - [`Router`] / [`RoutingPolicy`] — round-robin, join-shortest-queue,
 //!   power-headroom-weighted, and QoS-aware admission control that
 //!   defers/sheds traffic when projected p99 would exceed the bound
+//! - [`CircuitBreaker`] — per-node closed → open → half-open breaker
+//!   that cuts traffic to nodes whose violation rate trips a threshold
 //! - [`PowerGovernor`] — load-proportional re-split of the fleet power
 //!   budget, feeding per-node caps into each node's optimizer
 //! - [`Cluster`] — the trace driver tying it together
@@ -25,11 +27,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod breaker;
 mod cluster;
 mod governor;
 mod node;
 mod router;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cluster::{node_fault_plan, Cluster, ClusterConfig, ClusterIntervalRecord, ClusterReport};
 pub use governor::PowerGovernor;
 pub use node::{ClusterNode, NodeIntervalStats, NodeTransition};

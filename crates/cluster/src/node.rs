@@ -44,6 +44,13 @@ pub struct NodeIntervalStats {
     pub queued: usize,
     /// Healthy devices at interval end.
     pub healthy_devices: usize,
+    /// Device-level retry re-issues (fault recovery) during the interval.
+    pub retried: usize,
+    /// Requests abandoned during the interval because their deadline
+    /// passed (zero unless the node's lifecycle config sets deadlines).
+    pub timed_out: usize,
+    /// Requests that exhausted their bounded retry budget this interval.
+    pub failed: usize,
     /// Whether this interval adopted a different policy.
     pub policy_changed: bool,
     /// Raw completion latencies — the cluster merges these across nodes
@@ -296,7 +303,8 @@ impl ClusterNode {
         sim.advance_to(end_ms);
         let report = sim.finish(end_ms);
         let (arrived, completed, latency) = sim.drain_segment();
-        let _ = sim.take_fault_counts();
+        let (_, retried) = sim.take_fault_counts();
+        let (timed_out, failed) = sim.take_lifecycle_counts();
         let queued = sim.queued();
         let healthy_devices = sim.healthy_devices();
         let p99 = latency.p99();
@@ -323,8 +331,29 @@ impl ClusterNode {
             energy_j: report.energy_j,
             queued,
             healthy_devices,
+            retried,
+            timed_out,
+            failed,
             policy_changed: self.last_policy_changed,
             latency_samples: latency.samples().to_vec(),
         }
+    }
+
+    /// Cumulative re-issue ledger of the node's simulator since
+    /// `begin_replay` (zeroed before the first replay).
+    #[must_use]
+    pub fn retry_stats(&self) -> poly_sim::RetryStats {
+        self.sim
+            .as_ref()
+            .map_or_else(poly_sim::RetryStats::default, Simulator::retry_stats)
+    }
+
+    /// The node simulator's lifecycle/energy audit counters (see
+    /// [`poly_sim::AuditReport`]); zeroed report before `begin_replay`.
+    #[must_use]
+    pub fn audit(&self) -> poly_sim::AuditReport {
+        self.sim
+            .as_ref()
+            .map_or_else(poly_sim::AuditReport::default, Simulator::audit)
     }
 }

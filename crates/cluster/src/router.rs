@@ -9,6 +9,13 @@
 //! nodes push each re-planning interval. This also keeps every node's
 //! discrete-event simulation independent, so a cluster replay is
 //! deterministic regardless of worker-thread count.
+//!
+//! Optionally each node is guarded by a [`CircuitBreaker`]
+//! ([`Router::enable_breakers`]): nodes whose intervals keep violating
+//! the QoS bound are cut off and re-admitted through a bounded probe
+//! ramp, on top of whatever the routing policy decides.
+
+use crate::{BreakerConfig, CircuitBreaker};
 
 /// The router's snapshot of one leaf node at the start of an interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,6 +101,8 @@ pub struct Router {
     /// Deferral bound: beyond this many waiting requests the QoS-aware
     /// policy sheds instead of deferring.
     max_backlog: usize,
+    /// Per-node circuit breakers; empty while breakers are disabled.
+    breakers: Vec<CircuitBreaker>,
 }
 
 impl Router {
@@ -107,7 +116,43 @@ impl Router {
             backlog: Vec::new(),
             headroom: 0.85,
             max_backlog: 1024,
+            breakers: Vec::new(),
         }
+    }
+
+    /// Guard each of `n` nodes with a circuit breaker. Breakers start
+    /// closed; feed them with [`observe_health`](Self::observe_health)
+    /// once per interval.
+    pub fn enable_breakers(&mut self, config: BreakerConfig, n: usize) {
+        self.breakers = vec![CircuitBreaker::new(config); n];
+    }
+
+    /// Per-node breaker states (empty while breakers are disabled).
+    #[must_use]
+    pub fn breakers(&self) -> &[CircuitBreaker] {
+        &self.breakers
+    }
+
+    /// Feed every breaker one interval's `(completed, violations, up)`
+    /// observation, in node order. No-op while breakers are disabled.
+    ///
+    /// # Panics
+    /// Panics if `stats` does not cover every breaker-guarded node.
+    pub fn observe_health(&mut self, stats: &[(usize, usize, bool)]) {
+        if self.breakers.is_empty() {
+            return;
+        }
+        assert_eq!(stats.len(), self.breakers.len(), "one entry per node");
+        for (b, &(completed, violations, up)) in self.breakers.iter_mut().zip(stats) {
+            b.observe(completed, violations, up);
+        }
+    }
+
+    /// Whether node `i` may take one more request this interval, given
+    /// `assigned` already routed to it (breaker gate only; always true
+    /// while breakers are disabled).
+    fn admits(&self, i: usize, assigned: usize) -> bool {
+        self.breakers.get(i).is_none_or(|b| b.admits(assigned))
     }
 
     /// The routing policy.
@@ -130,6 +175,9 @@ impl Router {
     pub fn reset(&mut self) {
         self.cursor = usize::MAX;
         self.backlog.clear();
+        for b in &mut self.breakers {
+            b.reset();
+        }
     }
 
     /// Requests currently deferred.
@@ -140,8 +188,8 @@ impl Router {
 
     /// Route one interval's arrivals (absolute times within
     /// `[start_ms, start_ms + interval_ms)`) across the nodes of `views`.
-    /// Previously deferred requests are re-offered first, re-timed to the
-    /// interval start.
+    /// Previously deferred requests are re-offered first, paced evenly
+    /// across the interval.
     ///
     /// # Panics
     /// Panics if `views` is empty.
@@ -167,10 +215,20 @@ impl Router {
             .collect();
 
         // Oldest first: the deferred backlog re-enters ahead of this
-        // interval's fresh arrivals, re-timed to the interval start.
-        let waiting: Vec<f64> = std::mem::take(&mut self.backlog)
-            .into_iter()
-            .map(|_| start_ms)
+        // interval's fresh arrivals. Re-admissions are *paced* evenly
+        // across the interval rather than re-timed to its start — a
+        // synchronized re-entry herd lands on a node as one burst that
+        // can blow every request's latency budget at once (worst on a
+        // half-open node, whose probe quota would arrive as a single
+        // spike, time out wholesale, and keep the breaker from ever
+        // closing). Backlog still takes admission priority; only the
+        // timestamps spread.
+        let drained: Vec<f64> = std::mem::take(&mut self.backlog);
+        let pace = interval_ms / drained.len().max(1) as f64;
+        let waiting: Vec<f64> = drained
+            .iter()
+            .enumerate()
+            .map(|(i, _)| start_ms + pace * i as f64)
             .chain(arrivals.iter().copied())
             .collect();
         let drained_candidates = waiting.len() - arrivals.len();
@@ -182,12 +240,12 @@ impl Router {
                 None
             } else {
                 match self.policy {
-                    RoutingPolicy::RoundRobin => self.next_round_robin(views),
+                    RoutingPolicy::RoundRobin => self.next_round_robin(views, &assigned),
                     RoutingPolicy::JoinShortestQueue => (0..n)
-                        .filter(|&i| views[i].up)
+                        .filter(|&i| views[i].up && self.admits(i, assigned[i]))
                         .min_by_key(|&i| views[i].queued + assigned[i]),
                     RoutingPolicy::PowerHeadroom => (0..n)
-                        .filter(|&i| views[i].up)
+                        .filter(|&i| views[i].up && self.admits(i, assigned[i]))
                         .map(|i| {
                             let head = (views[i].power_cap_w - views[i].power_w).max(0.0);
                             (i, head / (1.0 + assigned[i] as f64))
@@ -201,7 +259,11 @@ impl Router {
                     // intervals onto whichever node predicts the
                     // largest capacity.)
                     RoutingPolicy::QosAware => (0..n)
-                        .filter(|&i| views[i].up && budgets[i] - assigned[i] as f64 >= 1.0)
+                        .filter(|&i| {
+                            views[i].up
+                                && budgets[i] - assigned[i] as f64 >= 1.0
+                                && self.admits(i, assigned[i])
+                        })
                         .min_by_key(|&i| views[i].queued + assigned[i]),
                 }
             };
@@ -221,6 +283,12 @@ impl Router {
                 }
             }
         }
+        // Paced backlog re-admissions interleave with fresh arrivals, so
+        // restore time order per node before handing the lists to the
+        // node simulations.
+        for node in &mut per_node {
+            node.sort_by(f64::total_cmp);
+        }
         RouteOutcome {
             per_node,
             drained_backlog: drained_candidates.saturating_sub(self.backlog.len() + shed),
@@ -229,13 +297,13 @@ impl Router {
         }
     }
 
-    /// Next up node after the cursor, wrapping; `None` when every node is
-    /// down.
-    fn next_round_robin(&mut self, views: &[NodeView]) -> Option<usize> {
+    /// Next up, breaker-admissible node after the cursor, wrapping;
+    /// `None` when every node is down or cut off.
+    fn next_round_robin(&mut self, views: &[NodeView], assigned: &[usize]) -> Option<usize> {
         let n = views.len();
         for k in 1..=n {
             let i = self.cursor.wrapping_add(k) % n;
-            if views[i].up {
+            if views[i].up && self.admits(i, assigned[i]) {
                 self.cursor = i;
                 return Some(i);
             }
@@ -305,12 +373,17 @@ mod tests {
         assert_eq!(admitted, 2, "one per node under the QoS budget");
         assert_eq!(out.deferred, 2, "backlog bound respected");
         assert_eq!(out.shed, 2, "the rest is shed");
-        // Deferred requests re-enter first next interval, re-timed.
+        // Deferred requests re-enter first next interval, paced across
+        // it instead of re-timed to the boundary as one burst.
         let out2 = r.route_interval(&views, &[], 1000.0, 1000.0);
         let admitted2: usize = out2.per_node.iter().map(Vec::len).sum();
         assert_eq!(admitted2, 2);
         assert_eq!(out2.drained_backlog, 2);
-        assert!(out2.per_node.iter().flatten().all(|&t| t == 1000.0));
+        let times: Vec<f64> = out2.per_node.iter().flatten().copied().collect();
+        assert!(
+            times.contains(&1000.0) && times.contains(&1500.0),
+            "{times:?}"
+        );
     }
 
     #[test]

@@ -34,6 +34,8 @@ fn cluster(nodes: usize, routing: RoutingPolicy) -> Cluster {
             power_budget_w: 260.0 * nodes as f64,
             node_floor_w: 40.0,
             max_backlog: 200,
+            lifecycle: poly_sim::LifecycleConfig::default(),
+            breaker: None,
         },
     )
 }
@@ -77,7 +79,7 @@ fn healthy_cluster_spreads_load_and_meets_qos() {
     let report = c.run_trace(&flat_trace(8, 0.5), INTERVAL_MS, 45.0, 7, &FaultPlan::new());
     assert!(report.completed > 0);
     assert_eq!(report.shed, 0, "no admission pressure at half load");
-    assert_eq!(report.redistributed, 0);
+    assert_eq!(report.retry.redistributed, 0);
     assert!(
         report.violation_ratio < 0.05,
         "violation ratio {}",
@@ -95,16 +97,13 @@ fn healthy_cluster_spreads_load_and_meets_qos() {
 fn node_fail_stop_drains_and_redistributes() {
     let report = run(RoutingPolicy::RoundRobin, &one_node_outage());
     let down: Vec<usize> = report.intervals.iter().map(|r| r.nodes_up).collect();
-    assert!(
-        down.contains(&2),
-        "node 0 outage must be visible: {down:?}"
-    );
+    assert!(down.contains(&2), "node 0 outage must be visible: {down:?}");
     assert!(
         down.last() == Some(&3),
         "node 0 must be back by trace end: {down:?}"
     );
     assert!(
-        report.redistributed > 0,
+        report.retry.redistributed > 0,
         "drained requests must be re-issued to survivors"
     );
     // The recovered node rejoins routing: completions in the final

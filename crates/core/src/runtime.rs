@@ -7,7 +7,7 @@ use crate::{IntervalObs, NodeSetup, Optimizer, SystemMonitor};
 use poly_dse::KernelDesignSpace;
 use poly_ir::KernelGraph;
 use poly_sim::workload::{poisson, TracePoint};
-use poly_sim::{FaultPlan, Policy, Simulator};
+use poly_sim::{FaultPlan, Policy, RetryStats, Simulator};
 
 /// How the runtime selects policies.
 #[derive(Debug, Clone)]
@@ -64,8 +64,13 @@ pub struct TraceReport {
     pub prediction_error: f64,
     /// Total fault events applied over the trace.
     pub fault_events: usize,
-    /// Total work items retried after fail-stops.
-    pub retried_requests: usize,
+    /// Unified re-issue ledger over the trace: fail-stop retries, bounded
+    /// retry exhaustion, and hedging (`redistributed` stays 0 at node
+    /// level).
+    pub retry: RetryStats,
+    /// Requests abandoned past their deadline over the trace (0 unless
+    /// the node's lifecycle config sets deadlines).
+    pub timed_out: usize,
     /// Mean time from a fail-stop to the first subsequent interval whose
     /// measured p99 is back under the bound, in milliseconds (0 when no
     /// fail-stop was injected or service never recovered).
@@ -179,7 +184,6 @@ impl PolyRuntime {
         let mut total_completed = 0usize;
         let mut total_violations = 0usize;
         let mut total_fault_events = 0usize;
-        let mut total_retried = 0usize;
         let mut err_sum = 0.0;
         let mut err_n = 0usize;
 
@@ -271,7 +275,6 @@ impl PolyRuntime {
             total_completed += completed;
             total_violations += violations;
             total_fault_events += fault_events;
-            total_retried += retried;
             energy_mj += report.energy_j * 1000.0;
 
             // Feed measurements back into the model, excluding intervals
@@ -348,7 +351,8 @@ impl PolyRuntime {
                 0.0
             },
             fault_events: total_fault_events,
-            retried_requests: total_retried,
+            retry: sim.retry_stats(),
+            timed_out: sim.audit().timed_out,
             mean_recovery_ms: if recovery_n > 0 {
                 recovery_sum / recovery_n as f64
             } else {

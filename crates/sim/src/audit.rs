@@ -1,0 +1,231 @@
+//! Conservation-invariant auditing of a simulation run.
+//!
+//! The engine keeps cheap, always-on lifetime counters (independent of
+//! the per-interval accounting resets) from which
+//! [`Simulator::audit`](crate::Simulator::audit) builds an
+//! [`AuditReport`]. [`AuditReport::check`] asserts the invariants every
+//! correct run must satisfy — the chaos harness sweeps them over many
+//! randomized fault campaigns:
+//!
+//! - **conservation** — every admitted request is completed, timed out,
+//!   failed, or cancelled *exactly once*; the rest are still pending;
+//! - **no double terminals** — no request reaches two terminal states
+//!   (e.g. a stale completion after a cancellation);
+//! - **balanced energy** — busy-energy refunds (fail-stop kills,
+//!   deadline/hedge cancellations) never exceed what was booked;
+//! - **monotone clock** — the event loop never steps time backwards.
+
+/// Lifetime accounting of one simulator, for invariant checking.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AuditReport {
+    /// Requests ever enqueued.
+    pub admitted: usize,
+    /// Requests that completed every kernel stage.
+    pub completed: usize,
+    /// Requests abandoned at their deadline.
+    pub timed_out: usize,
+    /// Requests failed after exhausting their retry budget.
+    pub failed: usize,
+    /// Requests abandoned by [`cancel_pending`](crate::Simulator::cancel_pending)
+    /// (node drain).
+    pub cancelled: usize,
+    /// Requests still in flight (queued, executing, stranded, or not yet
+    /// arrived).
+    pub pending: usize,
+    /// Completion events ignored because their attempt tag was stale or
+    /// the request had already reached a terminal state (informational —
+    /// staleness is how cancellation works, not an error).
+    pub stale_completions: usize,
+    /// Terminal transitions attempted on an already-terminal request.
+    /// Must be zero.
+    pub double_terminal: usize,
+    /// Events popped with a timestamp behind the clock. Must be zero.
+    pub clock_regressions: usize,
+    /// Busy energy ever booked by executions, in millijoules.
+    pub booked_busy_mj: f64,
+    /// Busy energy refunded by kills and cancellations, in millijoules.
+    pub refunded_busy_mj: f64,
+}
+
+/// A violated simulation invariant, found by [`AuditReport::check`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AuditError {
+    /// Terminal + pending request counts do not add up to admissions.
+    Conservation {
+        /// Requests admitted.
+        admitted: usize,
+        /// Sum of terminal outcomes.
+        terminal: usize,
+        /// Requests still pending.
+        pending: usize,
+    },
+    /// A request reached two terminal states.
+    DoubleTerminal(usize),
+    /// The event clock stepped backwards.
+    ClockRegression(usize),
+    /// More busy energy was refunded than ever booked.
+    EnergyImbalance {
+        /// Millijoules booked.
+        booked_mj: f64,
+        /// Millijoules refunded.
+        refunded_mj: f64,
+    },
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            AuditError::Conservation {
+                admitted,
+                terminal,
+                pending,
+            } => write!(
+                f,
+                "request conservation violated: {admitted} admitted but \
+                 {terminal} terminal + {pending} pending"
+            ),
+            AuditError::DoubleTerminal(n) => {
+                write!(f, "{n} request(s) reached two terminal states")
+            }
+            AuditError::ClockRegression(n) => {
+                write!(f, "event clock stepped backwards {n} time(s)")
+            }
+            AuditError::EnergyImbalance {
+                booked_mj,
+                refunded_mj,
+            } => write!(
+                f,
+                "busy-energy refunds ({refunded_mj:.3} mJ) exceed bookings \
+                 ({booked_mj:.3} mJ)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+impl AuditReport {
+    /// Sum of terminal outcomes.
+    #[must_use]
+    pub fn terminal(&self) -> usize {
+        self.completed + self.timed_out + self.failed + self.cancelled
+    }
+
+    /// Check every invariant, returning the first violation.
+    ///
+    /// # Errors
+    /// The violated invariant, if any.
+    pub fn check(&self) -> Result<(), AuditError> {
+        if self.terminal() + self.pending != self.admitted {
+            return Err(AuditError::Conservation {
+                admitted: self.admitted,
+                terminal: self.terminal(),
+                pending: self.pending,
+            });
+        }
+        if self.double_terminal > 0 {
+            return Err(AuditError::DoubleTerminal(self.double_terminal));
+        }
+        if self.clock_regressions > 0 {
+            return Err(AuditError::ClockRegression(self.clock_regressions));
+        }
+        if self.refunded_busy_mj > self.booked_busy_mj + 1e-6 {
+            return Err(AuditError::EnergyImbalance {
+                booked_mj: self.booked_busy_mj,
+                refunded_mj: self.refunded_busy_mj,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fold another simulator's audit into this one (cluster-level
+    /// aggregation; the per-node invariants compose additively).
+    pub fn merge(&mut self, other: &AuditReport) {
+        self.admitted += other.admitted;
+        self.completed += other.completed;
+        self.timed_out += other.timed_out;
+        self.failed += other.failed;
+        self.cancelled += other.cancelled;
+        self.pending += other.pending;
+        self.stale_completions += other.stale_completions;
+        self.double_terminal += other.double_terminal;
+        self.clock_regressions += other.clock_regressions;
+        self.booked_busy_mj += other.booked_busy_mj;
+        self.refunded_busy_mj += other.refunded_busy_mj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_report_checks_green() {
+        let r = AuditReport {
+            admitted: 10,
+            completed: 6,
+            timed_out: 2,
+            failed: 1,
+            cancelled: 0,
+            pending: 1,
+            stale_completions: 4,
+            booked_busy_mj: 100.0,
+            refunded_busy_mj: 40.0,
+            ..AuditReport::default()
+        };
+        assert!(r.check().is_ok());
+        assert_eq!(r.terminal(), 9);
+    }
+
+    #[test]
+    fn each_invariant_trips() {
+        let ok = AuditReport {
+            admitted: 1,
+            completed: 1,
+            ..AuditReport::default()
+        };
+        assert!(ok.check().is_ok());
+        let lost = AuditReport { admitted: 2, ..ok };
+        assert!(matches!(lost.check(), Err(AuditError::Conservation { .. })));
+        let double = AuditReport {
+            double_terminal: 1,
+            ..ok
+        };
+        assert!(matches!(double.check(), Err(AuditError::DoubleTerminal(1))));
+        let clock = AuditReport {
+            clock_regressions: 2,
+            ..ok
+        };
+        assert!(matches!(clock.check(), Err(AuditError::ClockRegression(2))));
+        let energy = AuditReport {
+            booked_busy_mj: 1.0,
+            refunded_busy_mj: 2.0,
+            ..ok
+        };
+        assert!(matches!(
+            energy.check(),
+            Err(AuditError::EnergyImbalance { .. })
+        ));
+        // Errors render.
+        let msg = format!("{}", energy.check().unwrap_err());
+        assert!(msg.contains("refunds"));
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let a = AuditReport {
+            admitted: 3,
+            completed: 2,
+            pending: 1,
+            booked_busy_mj: 5.0,
+            ..AuditReport::default()
+        };
+        let mut m = a;
+        m.merge(&a);
+        assert_eq!(m.admitted, 6);
+        assert_eq!(m.completed, 4);
+        assert_eq!(m.pending, 2);
+        assert!((m.booked_busy_mj - 10.0).abs() < 1e-12);
+        assert!(m.check().is_ok());
+    }
+}

@@ -9,6 +9,9 @@ pub(crate) struct WorkItem {
     pub req: usize,
     pub kernel: KernelId,
     pub ready_ms: f64,
+    /// This copy is a hedge duplicate (win attribution only; the `done`
+    /// flag already makes duplicates safe).
+    pub hedge: bool,
 }
 
 /// One batch the device has committed to: the work items it serves, the

@@ -1,5 +1,8 @@
+use crate::audit::AuditReport;
 use crate::device::{DeviceState, DeviceStats, InflightItem, WorkItem};
 use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+use crate::lifecycle::{hedge_delay_from, LifecycleConfig, RetryPolicy};
+use crate::metrics::RetryStats;
 use crate::{KernelImpl, LatencyStats, Policy, TotalF64};
 use poly_device::{DeviceKind, PcieLink};
 use poly_ir::{KernelGraph, KernelId};
@@ -25,6 +28,9 @@ pub struct SimConfig {
     pub fpga_idle_w: f64,
     /// FPGA reconfiguration time in milliseconds.
     pub fpga_reconfig_ms: f64,
+    /// Per-request lifecycle policy (deadlines, bounded retries, hedged
+    /// dispatch). The default disables all of it — legacy behavior.
+    pub lifecycle: LifecycleConfig,
 }
 
 impl Default for SimConfig {
@@ -35,6 +41,7 @@ impl Default for SimConfig {
             gpu_idle_w: 42.0,
             fpga_idle_w: 4.5,
             fpga_reconfig_ms: 220.0,
+            lifecycle: LifecycleConfig::default(),
         }
     }
 }
@@ -53,16 +60,42 @@ enum EventKind {
     },
     /// `attempt` invalidates completions of executions killed by a device
     /// fail-stop: a stale event whose attempt no longer matches the
-    /// request's counter is ignored.
+    /// request's counter is ignored. `hedge` marks completions of hedge
+    /// copies (win attribution only).
     Complete {
         req: usize,
         kernel: KernelId,
         attempt: u32,
+        hedge: bool,
     },
     /// Scripted fault (index into `Simulator::faults`).
     Fault {
         idx: usize,
     },
+    /// The request's deadline: if it is still incomplete, every copy of
+    /// its work is cancelled and it is marked timed out.
+    Deadline {
+        req: usize,
+    },
+    /// Hedge check scheduled at dispatch + hedge delay: if the stage is
+    /// still outstanding under the same attempt, fire a second copy on
+    /// another device.
+    HedgeFire {
+        req: usize,
+        kernel: KernelId,
+        attempt: u32,
+    },
+}
+
+/// Where a request ended up. `InFlight` until exactly one terminal
+/// transition; the audit counters assert that exactly-once property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    InFlight,
+    Completed,
+    TimedOut,
+    Failed,
+    Cancelled,
 }
 
 #[derive(Debug, Clone)]
@@ -74,6 +107,11 @@ struct ReqState {
     /// Per-kernel dispatch attempt, bumped when a fail-stop kills the
     /// in-flight execution so its scheduled completion becomes stale.
     attempt: Vec<u32>,
+    /// Absolute deadline (∞ when deadlines are disabled).
+    deadline_ms: f64,
+    /// Per-kernel flag: a hedge copy was fired for this stage.
+    hedged: Vec<bool>,
+    outcome: Outcome,
 }
 
 /// Per-kernel execution breakdown over a simulation window.
@@ -160,9 +198,12 @@ pub struct SimReport {
     pub kernels: Vec<KernelStats>,
     /// Fail-stop faults applied since construction.
     pub device_failures: usize,
-    /// Work items requeued onto surviving devices after fail-stops,
-    /// since construction.
-    pub retried_requests: usize,
+    /// Re-issue accounting (fail-stop retries, exhausted retry budgets,
+    /// hedges) since construction.
+    pub retry: RetryStats,
+    /// Requests abandoned at their deadline since construction (0 unless
+    /// the lifecycle config enables deadlines).
+    pub timed_out: usize,
 }
 
 impl std::fmt::Display for SimReport {
@@ -228,12 +269,30 @@ pub struct Simulator {
     stranded: Vec<WorkItem>,
     /// Fail-stops applied since construction.
     fault_failures: usize,
-    /// Work items retried after fail-stops, since construction.
-    fault_retries: usize,
+    /// Re-issue ledger (fail-stop retries, exhausted budgets, hedges),
+    /// since construction.
+    retry_stats: RetryStats,
     /// Fault events applied since the last `take_fault_counts`.
     seg_fault_events: usize,
     /// Retried work items since the last `take_fault_counts`.
     seg_retries: usize,
+    /// Requests timed out / failed since the last `take_lifecycle_counts`.
+    seg_timeouts: usize,
+    seg_failed: usize,
+    /// Rolling per-kernel stage-latency windows feeding the hedge-delay
+    /// quantile (filled only when hedging is enabled).
+    hedge_window: Vec<std::collections::VecDeque<f64>>,
+    // --- lifetime audit counters (never reset; see `audit`) ---------------
+    life_admitted: usize,
+    life_completed: usize,
+    life_timed_out: usize,
+    life_failed: usize,
+    life_cancelled: usize,
+    audit_stale: usize,
+    audit_double_terminal: usize,
+    audit_clock_regressions: usize,
+    booked_busy_mj: f64,
+    refunded_busy_mj: f64,
 }
 
 impl Simulator {
@@ -277,9 +336,22 @@ impl Simulator {
             faults: Vec::new(),
             stranded: Vec::new(),
             fault_failures: 0,
-            fault_retries: 0,
+            retry_stats: RetryStats::default(),
             seg_fault_events: 0,
             seg_retries: 0,
+            seg_timeouts: 0,
+            seg_failed: 0,
+            hedge_window: vec![std::collections::VecDeque::new(); n_kernels],
+            life_admitted: 0,
+            life_completed: 0,
+            life_timed_out: 0,
+            life_failed: 0,
+            life_cancelled: 0,
+            audit_stale: 0,
+            audit_double_terminal: 0,
+            audit_clock_regressions: 0,
+            booked_busy_mj: 0.0,
+            refunded_busy_mj: 0.0,
         };
         sim.preload_bitstreams();
         sim.recompute_wait_budgets();
@@ -452,20 +524,35 @@ impl Simulator {
     }
 
     /// Enqueue request arrivals at the given absolute times (ms). Times
-    /// before the current simulation time are clamped to "now".
+    /// before the current simulation time are clamped to "now". When the
+    /// lifecycle config sets a deadline factor, each request also gets an
+    /// absolute deadline (`arrival + factor × bound`) at which all its
+    /// outstanding work is cancelled.
     pub fn enqueue_arrivals(&mut self, times: &[f64]) {
+        let factor = self.config.lifecycle.deadline_factor;
         for &t in times {
             let req = self.requests.len();
+            let arrival_ms = t.max(self.now);
+            let deadline_ms = factor.map_or(f64::INFINITY, |f| {
+                arrival_ms + f * self.config.latency_bound_ms
+            });
             self.requests.push(ReqState {
-                arrival_ms: t.max(self.now),
+                arrival_ms,
                 remaining_preds: (0..self.graph.len())
                     .map(|i| self.graph.predecessors(KernelId(i)).count())
                     .collect(),
                 done: vec![false; self.graph.len()],
                 kernels_left: self.graph.len(),
                 attempt: vec![0; self.graph.len()],
+                deadline_ms,
+                hedged: vec![false; self.graph.len()],
+                outcome: Outcome::InFlight,
             });
-            self.push(t.max(self.now), EventKind::Arrival { req });
+            self.life_admitted += 1;
+            self.push(arrival_ms, EventKind::Arrival { req });
+            if deadline_ms.is_finite() {
+                self.push(deadline_ms, EventKind::Deadline { req });
+            }
         }
     }
 
@@ -481,6 +568,9 @@ impl Simulator {
                 break;
             }
             let Reverse((TotalF64(et), _, kind)) = self.events.pop().expect("peeked");
+            if et < self.now - 1e-9 {
+                self.audit_clock_regressions += 1;
+            }
             self.now = self.now.max(et);
             self.handle(kind);
         }
@@ -491,6 +581,9 @@ impl Simulator {
     /// then return the absolute completion time.
     pub fn drain(&mut self) -> f64 {
         while let Some(Reverse((TotalF64(et), _, kind))) = self.events.pop() {
+            if et < self.now - 1e-9 {
+                self.audit_clock_regressions += 1;
+            }
             self.now = self.now.max(et);
             self.handle(kind);
         }
@@ -500,6 +593,11 @@ impl Simulator {
     fn handle(&mut self, kind: EventKind) {
         match kind {
             EventKind::Arrival { req } => {
+                // A request cancelled before its arrival event fired (node
+                // drain between enqueue and arrival) never enters.
+                if self.requests[req].outcome != Outcome::InFlight {
+                    return;
+                }
                 self.arrived += 1;
                 self.segment_arrived += 1;
                 if self.last_arrival_ms >= 0.0 {
@@ -518,15 +616,39 @@ impl Simulator {
                 }
             }
             EventKind::Dispatch { req, kernel } => {
+                {
+                    let r = &self.requests[req];
+                    // The request is already settled (hedge twin finished
+                    // the stage, or a terminal transition happened while
+                    // this dispatch was in flight).
+                    if r.outcome != Outcome::InFlight || r.done[kernel.0] {
+                        return;
+                    }
+                    // Doomed work is cancelled at dispatch instead of
+                    // queued: a stage with no remaining budget cannot
+                    // produce an in-bound completion.
+                    if self.now >= r.deadline_ms {
+                        self.abort_request(req, Outcome::TimedOut);
+                        return;
+                    }
+                }
                 let item = WorkItem {
                     req,
                     kernel,
                     ready_ms: self.now,
+                    hedge: false,
                 };
-                match self.choose_device(kernel) {
+                // Snapshot the hedge delay before try_start records this
+                // stage's own projected latency into the window — a slow
+                // primary must not inflate its own hedge delay.
+                let hedge_delay = self.hedge_delay_ms(kernel);
+                match self.choose_device(kernel, None) {
                     Some(dev) => {
                         self.devices[dev].queue.push_back(item);
                         self.try_start(dev);
+                        if let Some(delay) = hedge_delay {
+                            self.maybe_schedule_hedge(req, kernel, delay);
+                        }
                     }
                     // Every device of the required kind is down: park the
                     // work until a re-plan or a recovery.
@@ -543,9 +665,115 @@ impl Simulator {
                 req,
                 kernel,
                 attempt,
-            } => self.complete(req, kernel, attempt),
+                hedge,
+            } => self.complete(req, kernel, attempt, hedge),
             EventKind::Fault { idx } => self.apply_fault(idx),
+            EventKind::Deadline { req } => {
+                if self.requests[req].outcome == Outcome::InFlight {
+                    self.abort_request(req, Outcome::TimedOut);
+                }
+            }
+            EventKind::HedgeFire {
+                req,
+                kernel,
+                attempt,
+            } => self.hedge_fire(req, kernel, attempt),
         }
+    }
+
+    /// Schedule a hedge check for the stage just dispatched. The caller
+    /// sampled `delay` from the latency window *before* the stage
+    /// started, so the quantile reflects its peers, not itself.
+    fn maybe_schedule_hedge(&mut self, req: usize, kernel: KernelId, delay: f64) {
+        let r = &self.requests[req];
+        if r.hedged[kernel.0] {
+            return; // one hedge per stage
+        }
+        let attempt = r.attempt[kernel.0];
+        let at = self.now + delay;
+        // Never hedge past the deadline: the copy could not win in time.
+        if at >= r.deadline_ms {
+            return;
+        }
+        self.push(
+            at,
+            EventKind::HedgeFire {
+                req,
+                kernel,
+                attempt,
+            },
+        );
+    }
+
+    /// The current hedge delay for `kernel`: the configured quantile over
+    /// its rolling stage-latency window, floored at `min_delay_ms`.
+    /// `None` while hedging is disabled or the window is cold.
+    fn hedge_delay_ms(&self, kernel: KernelId) -> Option<f64> {
+        let h = self.config.lifecycle.hedge.as_ref()?;
+        let w = &self.hedge_window[kernel.0];
+        if w.len() < h.min_samples.max(1) {
+            return None;
+        }
+        let samples: Vec<f64> = w.iter().copied().collect();
+        Some(hedge_delay_from(&samples, h.quantile).max(h.min_delay_ms))
+    }
+
+    /// Fire the hedge for a stage that is still outstanding: queue a
+    /// duplicate copy on a device other than the one holding the primary.
+    /// First completion wins (the `done` flag makes the duplicate safe);
+    /// the loser is cancelled and its booked busy energy refunded.
+    fn hedge_fire(&mut self, req: usize, kernel: KernelId, attempt: u32) {
+        let now = self.now;
+        let k = kernel.0;
+        {
+            let r = &self.requests[req];
+            if r.outcome != Outcome::InFlight
+                || r.done[k]
+                || r.attempt[k] != attempt
+                || r.hedged[k]
+                || now >= r.deadline_ms
+            {
+                return;
+            }
+        }
+        // Locate the device holding the primary copy (queued or in
+        // flight); a stranded primary has nothing to race against.
+        let holder = self.devices.iter().position(|d| {
+            d.queue
+                .iter()
+                .any(|it| it.req == req && it.kernel == kernel)
+                || d.inflight.iter().any(|e| {
+                    e.item.req == req
+                        && e.item.kernel == kernel
+                        && e.attempt == attempt
+                        && e.completion_ms > now + 1e-12
+                })
+        });
+        let Some(holder) = holder else { return };
+        let Some(alt) = self.choose_device(kernel, Some(holder)) else {
+            return;
+        };
+        // A hedge only helps when the copy can start ahead of the queued
+        // primary. Duplicating into a device that is itself backlogged
+        // amplifies load exactly when the system can least afford it — a
+        // synchronized burst would hedge every request at once, double
+        // every queue, and starve both copies past the deadline.
+        let alt_ready = {
+            let d = &self.devices[alt];
+            d.queue.is_empty() && d.busy_until.max(now) < self.requests[req].deadline_ms
+        };
+        if !alt_ready {
+            return;
+        }
+        self.requests[req].hedged[k] = true;
+        self.retry_stats.hedges_fired += 1;
+        self.devices[alt].queue.push_back(WorkItem {
+            req,
+            kernel,
+            ready_ms: now,
+            hedge: true,
+        });
+        self.try_start(alt);
     }
 
     /// Device selection for `kernel`: affinity-with-spill. Each kernel has
@@ -556,8 +784,10 @@ impl Simulator {
     /// additionally charged the reconfiguration time. Returns `None` when
     /// every device of the required kind is currently failed (the caller
     /// strands the work); an outright-missing platform is still a panic —
-    /// that is a planning bug, not a runtime fault.
-    fn choose_device(&self, kernel: KernelId) -> Option<usize> {
+    /// that is a planning bug, not a runtime fault. `exclude` removes one
+    /// device from consideration (hedged dispatch must not double down on
+    /// the device holding the primary copy).
+    fn choose_device(&self, kernel: KernelId, exclude: Option<usize>) -> Option<usize> {
         let imp = self.policy.of(kernel);
         let all: Vec<usize> = self
             .devices
@@ -573,7 +803,7 @@ impl Simulator {
         );
         let mut peers: Vec<usize> = all
             .into_iter()
-            .filter(|&i| self.devices[i].healthy)
+            .filter(|&i| self.devices[i].healthy && Some(i) != exclude)
             .collect();
         if peers.is_empty() {
             return None;
@@ -675,7 +905,14 @@ impl Simulator {
                     .max(1) as f64;
                 // Wait only when the batch is expected to fill within the
                 // remaining slack; otherwise launch the partial batch now.
-                let fill_ms = f64::from(imp.batch - same) / (self.arrival_rate / peers);
+                // The rate EWMA only updates on arrivals, so after a burst
+                // it stays frozen at its peak and predicts imminent fill
+                // forever; the gap since the last arrival is evidence too,
+                // and once it exceeds the EWMA's own expected inter-arrival
+                // the gap is the better estimate.
+                let gap = (now - self.last_arrival_ms).max(0.01);
+                let rate = self.arrival_rate.min(1.0 / gap);
+                let fill_ms = f64::from(imp.batch - same) / (rate / peers);
                 if now + fill_ms <= deadline {
                     let wake = (now + 1.2 * fill_ms).min(deadline);
                     self.devices[dev].executing = false;
@@ -736,12 +973,26 @@ impl Simulator {
         }
         self.kernel_stats[front.kernel.0].busy_ms += busy_until - now;
         d.account_busy(now, busy_until, imp.active_power_w);
+        self.booked_busy_mj += imp.active_power_w * (busy_until - now).max(0.0);
+        let d = &mut self.devices[dev];
         d.idle_power_w = imp.idle_power_w;
         d.active_power_w = imp.active_power_w;
         d.executing = true;
         d.busy_until = busy_until;
 
         self.push(busy_until, EventKind::DeviceFree { dev });
+        if let Some(h) = self.config.lifecycle.hedge {
+            // Feed the rolling stage-latency window that the hedge delay
+            // quantile is computed over (dispatch-to-completion, queueing
+            // included — hedges race the whole stage, not just execution).
+            let w = &mut self.hedge_window[front.kernel.0];
+            for item in &batch {
+                if w.len() >= h.window.max(1) {
+                    w.pop_front();
+                }
+                w.push_back(completion - item.ready_ms);
+            }
+        }
         for item in batch {
             let attempt = self.requests[item.req].attempt[item.kernel.0];
             self.devices[dev].inflight.push(InflightItem {
@@ -755,23 +1006,42 @@ impl Simulator {
                     req: item.req,
                     kernel: item.kernel,
                     attempt,
+                    hedge: item.hedge,
                 },
             );
         }
     }
 
-    fn complete(&mut self, req: usize, kernel: KernelId, attempt: u32) {
+    fn complete(&mut self, req: usize, kernel: KernelId, attempt: u32, hedge: bool) {
         let now = self.now;
+        let was_hedged;
         {
             let r = &mut self.requests[req];
+            // The request reached a terminal state (deadline, retry
+            // exhaustion, node drain) while this completion was in flight.
+            if r.outcome != Outcome::InFlight {
+                self.audit_stale += 1;
+                return;
+            }
             // A stale completion: the execution that scheduled this event
-            // was killed by a fail-stop and the kernel was re-dispatched
-            // under a higher attempt number.
+            // was killed by a fail-stop (or invalidated by a cancellation)
+            // and the kernel was re-dispatched under a higher attempt
+            // number — or the hedge twin already finished this stage.
             if r.done[kernel.0] || r.attempt[kernel.0] != attempt {
+                self.audit_stale += 1;
                 return;
             }
             r.done[kernel.0] = true;
             r.kernels_left -= 1;
+            was_hedged = r.hedged[kernel.0];
+        }
+        if was_hedged {
+            if hedge {
+                self.retry_stats.hedge_wins += 1;
+            }
+            // First completion wins: cancel the losing copy wherever it is
+            // and refund whatever busy time it still held booked.
+            self.cancel_duplicates(req, kernel);
         }
         let my_kind = self.policy.of(kernel).kind;
         let succs: Vec<(KernelId, u64)> = self
@@ -793,12 +1063,132 @@ impl Simulator {
             }
         }
         if self.requests[req].kernels_left == 0 {
+            self.set_terminal(req, Outcome::Completed);
             let latency = now - self.requests[req].arrival_ms;
             Arc::make_mut(&mut self.latencies).push(latency);
             self.segment_latencies.push(latency);
             self.completed += 1;
             self.segment_completed += 1;
         }
+    }
+
+    /// Move `req` to a terminal outcome, exactly once. A second terminal
+    /// transition is counted as an audit violation and ignored.
+    fn set_terminal(&mut self, req: usize, outcome: Outcome) {
+        let r = &mut self.requests[req];
+        if r.outcome != Outcome::InFlight {
+            self.audit_double_terminal += 1;
+            return;
+        }
+        r.outcome = outcome;
+        match outcome {
+            Outcome::InFlight => unreachable!("terminal transition to InFlight"),
+            Outcome::Completed => self.life_completed += 1,
+            Outcome::TimedOut => {
+                self.life_timed_out += 1;
+                self.seg_timeouts += 1;
+            }
+            Outcome::Failed => {
+                self.life_failed += 1;
+                self.seg_failed += 1;
+            }
+            Outcome::Cancelled => self.life_cancelled += 1,
+        }
+    }
+
+    /// Abandon every copy of `req`'s outstanding work — queued, stranded,
+    /// or in flight — and settle the request with `outcome`. In-flight
+    /// executions are invalidated through the attempt counters (their
+    /// scheduled completions go stale) and the busy time a now-empty
+    /// batch still held booked is refunded.
+    fn abort_request(&mut self, req: usize, outcome: Outcome) {
+        let now = self.now;
+        let mut touched: Vec<usize> = Vec::new();
+        for (i, d) in self.devices.iter_mut().enumerate() {
+            let before = d.queue.len() + d.inflight.len();
+            d.queue.retain(|it| it.req != req);
+            if before != d.queue.len() + d.inflight.len() {
+                touched.push(i);
+            }
+        }
+        self.stranded.retain(|it| it.req != req);
+        // Bump every stage's attempt: any completion still scheduled for
+        // this request is now stale (belt and braces — the terminal
+        // outcome alone already makes them stale).
+        for a in &mut self.requests[req].attempt {
+            *a += 1;
+        }
+        for (i, d) in self.devices.iter_mut().enumerate() {
+            let before = d.inflight.len();
+            d.inflight
+                .retain(|e| !(e.item.req == req && e.completion_ms > now + 1e-12));
+            if d.inflight.len() != before {
+                touched.push(i);
+            }
+        }
+        self.set_terminal(req, outcome);
+        for dev in touched {
+            self.cut_if_idle(dev);
+        }
+    }
+
+    /// Remove the losing copies of a hedged stage after its first
+    /// completion: queued duplicates are dropped, in-flight duplicates are
+    /// invalidated (the `done` flag makes their completions stale), and
+    /// devices whose batch just emptied get their booked busy time
+    /// refunded.
+    fn cancel_duplicates(&mut self, req: usize, kernel: KernelId) {
+        let now = self.now;
+        let mut touched: Vec<usize> = Vec::new();
+        for (i, d) in self.devices.iter_mut().enumerate() {
+            let before = d.queue.len() + d.inflight.len();
+            d.queue.retain(|it| !(it.req == req && it.kernel == kernel));
+            d.inflight.retain(|e| {
+                !(e.item.req == req && e.item.kernel == kernel && e.completion_ms > now + 1e-12)
+            });
+            if d.queue.len() + d.inflight.len() != before {
+                touched.push(i);
+            }
+        }
+        self.stranded
+            .retain(|it| !(it.req == req && it.kernel == kernel));
+        for dev in touched {
+            self.cut_if_idle(dev);
+        }
+    }
+
+    /// If device `dev` is mid-execution but every work item of its
+    /// current batch has been cancelled, cut the execution short: refund
+    /// the remaining pre-booked busy energy and free the device now.
+    fn cut_if_idle(&mut self, dev: usize) {
+        let now = self.now;
+        let has_live = {
+            let d = &self.devices[dev];
+            if !d.healthy || !d.executing || d.busy_until <= now + 1e-12 {
+                return;
+            }
+            d.inflight.iter().any(|e| {
+                e.completion_ms > now + 1e-12
+                    && self.requests[e.item.req].outcome == Outcome::InFlight
+                    && !self.requests[e.item.req].done[e.item.kernel.0]
+                    && self.requests[e.item.req].attempt[e.item.kernel.0] == e.attempt
+            })
+        };
+        if has_live {
+            return;
+        }
+        let d = &mut self.devices[dev];
+        let cut = d.busy_until.min(d.accounted_to_ms) - now;
+        if cut > 0.0 {
+            let refund = d.active_power_w * cut;
+            d.busy_energy_mj -= refund;
+            d.busy_ms -= cut;
+            d.accounted_to_ms = now;
+            self.refunded_busy_mj += refund;
+        }
+        d.executing = false;
+        d.busy_until = now;
+        self.push(now, EventKind::DeviceFree { dev });
     }
 
     /// Discard all statistics gathered so far (latencies, counters, and
@@ -891,18 +1281,42 @@ impl Simulator {
     ///
     /// Scripted fault events stay queued, so a later recovery still
     /// returns the devices to service.
+    /// Calling it on an empty or already-drained simulator — including a
+    /// second consecutive call — is a deterministic no-op: nothing is
+    /// double-counted and no busy energy is refunded twice.
     pub fn cancel_pending(&mut self) -> usize {
+        let now = self.now;
         for d in &mut self.devices {
             d.queue.clear();
             d.inflight.clear();
+            // A healthy device cut off mid-execution gets its remaining
+            // pre-booked busy energy refunded (the work will never
+            // finish); a failed device was already refunded at the
+            // fail-stop. `executing` guards double refunds: the first
+            // call clears it, so a second call skips the block.
+            if d.healthy && d.executing && d.busy_until > now + 1e-12 {
+                let cut = d.busy_until.min(d.accounted_to_ms) - now;
+                if cut > 0.0 {
+                    let refund = d.active_power_w * cut;
+                    d.busy_energy_mj -= refund;
+                    d.busy_ms -= cut;
+                    d.accounted_to_ms = now;
+                    self.refunded_busy_mj += refund;
+                }
+                d.executing = false;
+                d.busy_until = now;
+            }
         }
         self.stranded.clear();
         let mut cancelled = 0;
-        for r in &mut self.requests {
-            if r.kernels_left > 0 {
+        for req in 0..self.requests.len() {
+            if self.requests[req].outcome == Outcome::InFlight {
                 cancelled += 1;
-                r.kernels_left = 0;
-                r.done.fill(true);
+                // Stale-ify every scheduled completion of the victim.
+                for a in &mut self.requests[req].attempt {
+                    *a += 1;
+                }
+                self.set_terminal(req, Outcome::Cancelled);
             }
         }
         cancelled
@@ -935,7 +1349,7 @@ impl Simulator {
                 }
                 self.fault_failures += 1;
                 self.seg_fault_events += 1;
-                let mut to_retry: Vec<WorkItem> = Vec::new();
+                let mut queued_victims: Vec<WorkItem> = Vec::new();
                 {
                     let d = &mut self.devices[device];
                     // The busy-energy account was pre-booked to the end of
@@ -944,9 +1358,11 @@ impl Simulator {
                     if d.executing && d.busy_until > now {
                         let cut = d.busy_until.min(d.accounted_to_ms) - now;
                         if cut > 0.0 {
-                            d.busy_energy_mj -= d.active_power_w * cut;
+                            let refund = d.active_power_w * cut;
+                            d.busy_energy_mj -= refund;
                             d.busy_ms -= cut;
                             d.accounted_to_ms = now;
+                            self.refunded_busy_mj += refund;
                         }
                     }
                     d.account_idle_until(now);
@@ -955,10 +1371,11 @@ impl Simulator {
                     d.busy_until = now;
                     d.loaded = None;
                     d.idle_power_w = 0.0;
-                    to_retry.extend(d.queue.drain(..));
+                    queued_victims.extend(d.queue.drain(..));
                 }
                 // Kill the in-flight batch: bump each victim's attempt so
                 // its scheduled completion becomes stale, then retry it.
+                let mut to_retry: Vec<WorkItem> = Vec::new();
                 let inflight = std::mem::take(&mut self.devices[device].inflight);
                 for entry in inflight {
                     let r = &mut self.requests[entry.item.req];
@@ -971,16 +1388,54 @@ impl Simulator {
                         to_retry.push(entry.item);
                     }
                 }
-                self.fault_retries += to_retry.len();
-                self.seg_retries += to_retry.len();
-                for item in to_retry {
-                    self.push(
-                        now,
-                        EventKind::Dispatch {
-                            req: item.req,
-                            kernel: item.kernel,
-                        },
-                    );
+                match self.config.lifecycle.retry {
+                    // Legacy: re-dispatch everything immediately, without
+                    // bound; queued victims keep their attempt counter.
+                    RetryPolicy::Immediate => {
+                        to_retry.extend(queued_victims);
+                        self.retry_stats.device_retries += to_retry.len();
+                        self.seg_retries += to_retry.len();
+                        for item in to_retry {
+                            self.push(
+                                now,
+                                EventKind::Dispatch {
+                                    req: item.req,
+                                    kernel: item.kernel,
+                                },
+                            );
+                        }
+                    }
+                    RetryPolicy::Backoff(policy) => {
+                        // Queued (never-started) victims also count this
+                        // kill against their stage's retry budget, so the
+                        // bound is uniform across queue positions.
+                        for item in &queued_victims {
+                            self.requests[item.req].attempt[item.kernel.0] += 1;
+                        }
+                        to_retry.extend(queued_victims);
+                        for item in to_retry {
+                            if self.requests[item.req].outcome != Outcome::InFlight {
+                                continue; // settled while the kill ran
+                            }
+                            let n = self.requests[item.req].attempt[item.kernel.0];
+                            if n > policy.max_retries {
+                                self.retry_stats.exhausted += 1;
+                                self.abort_request(item.req, Outcome::Failed);
+                                continue;
+                            }
+                            self.retry_stats.device_retries += 1;
+                            self.seg_retries += 1;
+                            let key = ((item.req as u64) << 20) | item.kernel.0 as u64;
+                            let delay = policy.delay_ms(n, key);
+                            self.push(
+                                now + delay,
+                                EventKind::Dispatch {
+                                    req: item.req,
+                                    kernel: item.kernel,
+                                },
+                            );
+                        }
+                    }
                 }
             }
             FaultKind::Slowdown { factor } => {
@@ -1059,7 +1514,59 @@ impl Simulator {
             devices,
             kernels: self.kernel_stats.clone(),
             device_failures: self.fault_failures,
-            retried_requests: self.fault_retries,
+            retry: self.retry_stats,
+            timed_out: self.life_timed_out,
+        }
+    }
+
+    /// Requests timed out and failed since the last call (the monitor's
+    /// lifecycle signal).
+    pub fn take_lifecycle_counts(&mut self) -> (usize, usize) {
+        (
+            std::mem::replace(&mut self.seg_timeouts, 0),
+            std::mem::replace(&mut self.seg_failed, 0),
+        )
+    }
+
+    /// Milliseconds of deadline budget request `req` has left (∞ when
+    /// deadlines are disabled, 0 when the deadline has passed).
+    ///
+    /// # Panics
+    /// Panics if `req` was never enqueued.
+    #[must_use]
+    pub fn remaining_budget_ms(&self, req: usize) -> f64 {
+        (self.requests[req].deadline_ms - self.now).max(0.0)
+    }
+
+    /// Cumulative re-issue ledger since construction (also embedded in
+    /// [`SimReport`] by [`finish`](Self::finish)).
+    #[must_use]
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry_stats
+    }
+
+    /// Lifetime conservation accounting for invariant checking — see
+    /// [`AuditReport`]. Counters are never reset (they survive
+    /// [`reset_accounting`](Self::reset_accounting)), so the report covers
+    /// the whole life of the simulator.
+    #[must_use]
+    pub fn audit(&self) -> AuditReport {
+        AuditReport {
+            admitted: self.life_admitted,
+            completed: self.life_completed,
+            timed_out: self.life_timed_out,
+            failed: self.life_failed,
+            cancelled: self.life_cancelled,
+            pending: self
+                .requests
+                .iter()
+                .filter(|r| r.outcome == Outcome::InFlight)
+                .count(),
+            stale_completions: self.audit_stale,
+            double_terminal: self.audit_double_terminal,
+            clock_regressions: self.audit_clock_regressions,
+            booked_busy_mj: self.booked_busy_mj,
+            refunded_busy_mj: self.refunded_busy_mj,
         }
     }
 }
@@ -1067,6 +1574,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lifecycle::{BackoffPolicy, HedgeConfig};
     use poly_ir::{KernelBuilder, KernelGraphBuilder, OpFunc, PatternKind, Shape};
 
     fn graph2() -> KernelGraph {
@@ -1386,7 +1894,7 @@ mod tests {
         let r = s.finish(1000.0);
         assert_eq!(r.completed, 1);
         assert_eq!(r.device_failures, 1);
-        assert_eq!(r.retried_requests, 1);
+        assert_eq!(r.retry.device_retries, 1);
         assert!(
             (r.latency.max() - 15.0).abs() < 1e-6,
             "retried completion at 15, got {}",
@@ -1567,8 +2075,10 @@ mod tests {
 
     /// Queue two same-kernel requests directly (bypassing the arrival
     /// EWMA) so the `same >= 2` gate is reachable with a chosen
-    /// `arrival_rate`.
+    /// `arrival_rate`. Marks the last arrival as "now" so the chosen
+    /// rate reads as fresh, not stale.
     fn seed_two(s: &mut Simulator) {
+        s.last_arrival_ms = s.now;
         for i in 0..2 {
             s.requests.push(ReqState {
                 arrival_ms: s.now,
@@ -1576,11 +2086,15 @@ mod tests {
                 done: vec![false],
                 kernels_left: 1,
                 attempt: vec![0],
+                deadline_ms: f64::INFINITY,
+                hedged: vec![false],
+                outcome: Outcome::InFlight,
             });
             s.devices[0].queue.push_back(WorkItem {
                 req: i,
                 kernel: KernelId(0),
                 ready_ms: s.now,
+                hedge: false,
             });
         }
     }
@@ -1609,6 +2123,21 @@ mod tests {
     }
 
     #[test]
+    fn batch_hold_skipped_when_rate_estimate_is_stale() {
+        // The EWMA still reads one arrival per ms from an old burst, but
+        // nothing has arrived for 12 ms. The gap refutes the estimate
+        // (capped rate 1/12), the predicted fill blows the 40 ms budget,
+        // and the partial batch launches instead of waiting it out.
+        let mut s = hold_sim();
+        seed_two(&mut s);
+        s.now = 12.0;
+        s.arrival_rate = 1.0;
+        s.last_arrival_ms = 0.0;
+        s.try_start(0);
+        assert!(s.devices[0].executing, "stale rate must not hold the batch");
+    }
+
+    #[test]
     fn batch_hold_skipped_when_deadline_passed() {
         // Requests arrived at t = 0 with a 40 ms budget; at t = 50 the
         // deadline is in the past and the partial batch must launch now.
@@ -1629,6 +2158,7 @@ mod tests {
         let mut s = hold_sim();
         seed_two(&mut s);
         s.now = 16.0;
+        s.last_arrival_ms = s.now; // fresh estimate: an arrival just landed
         s.arrival_rate = 0.25;
         s.try_start(0);
         assert!(!s.devices[0].executing, "batch held open");
@@ -1639,6 +2169,307 @@ mod tests {
         s.drain();
         let r = s.finish(1000.0);
         assert_eq!(r.completed, 2);
+    }
+
+    #[test]
+    fn burst_after_idle_launches_partial_batches_promptly() {
+        // The arrival-rate EWMA only updates on arrivals, so after a
+        // synchronized burst followed by silence it stays frozen at its
+        // peak. A second burst must not be held the full wait budget on
+        // the strength of that stale estimate: the gap since the last
+        // arrival caps the rate, so partial batches launch promptly and
+        // deadlined requests survive.
+        let mut s = Simulator::new(
+            graph2(),
+            &Pool::heterogeneous(2, 2),
+            Policy::from_impls(vec![gpu_impl(0, 40.0, 8), fpga_impl(1, 10.0)]),
+            SimConfig {
+                lifecycle: LifecycleConfig {
+                    deadline_factor: Some(2.0),
+                    retry: RetryPolicy::Backoff(BackoffPolicy::default()),
+                    hedge: Some(HedgeConfig::default()),
+                },
+                ..SimConfig::default()
+            },
+        );
+        let warm: Vec<f64> = (0..50).map(|i| i as f64 * 15.0).collect();
+        s.enqueue_arrivals(&warm);
+        s.advance_to(1000.0);
+        let before = s.audit();
+        // Quiet gap, then bursts of 32 simultaneous arrivals (the shape a
+        // half-open breaker's probe quota or a drained backlog produces).
+        for i in 0..5 {
+            let t = 10_000.0 + i as f64 * 10_000.0;
+            s.enqueue_arrivals(&vec![t; 32]);
+            s.advance_to(t + 10_000.0);
+        }
+        let a = s.audit();
+        a.check().expect("audit green");
+        assert!(
+            a.completed - before.completed > 100,
+            "bursts must complete: {}",
+            a.completed - before.completed
+        );
+    }
+
+    // --- request lifecycle: deadlines, bounded retries, hedging ------------
+
+    fn lifecycle_sim(lifecycle: LifecycleConfig) -> Simulator {
+        Simulator::new(
+            graph1(),
+            &Pool::heterogeneous(0, 2),
+            Policy::from_impls(vec![fpga_impl(0, 10.0)]),
+            SimConfig {
+                lifecycle,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn deadline_cancels_doomed_work() {
+        // Single FPGA, 10 ms latency, deadline = arrival + 25 ms
+        // (0.125 × 200 ms bound). Ten simultaneous arrivals: the first two
+        // complete (10, 20 ms); everything else is past its deadline at
+        // t = 25 and is cancelled — queued and in-flight alike.
+        let mut s = Simulator::new(
+            graph1(),
+            &Pool::heterogeneous(0, 1),
+            Policy::from_impls(vec![fpga_impl(0, 10.0)]),
+            SimConfig {
+                lifecycle: LifecycleConfig {
+                    deadline_factor: Some(0.125),
+                    ..LifecycleConfig::default()
+                },
+                ..SimConfig::default()
+            },
+        );
+        s.enqueue_arrivals(&[0.0; 10]);
+        s.drain();
+        let r = s.finish(1000.0);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.timed_out, 8);
+        let a = s.audit();
+        a.check().expect("audit invariants hold");
+        assert_eq!(a.completed, 2);
+        assert_eq!(a.timed_out, 8);
+        assert_eq!(a.pending, 0);
+        assert!(
+            a.refunded_busy_mj > 0.0,
+            "the in-flight victim's booked busy energy is refunded"
+        );
+        assert!(a.refunded_busy_mj <= a.booked_busy_mj);
+    }
+
+    #[test]
+    fn deadline_budget_propagates_across_stages() {
+        // Two-stage DAG under a 200 ms bound with factor 1.0: the budget
+        // shrinks monotonically as the request advances and is never
+        // negative at any point the clock stops at.
+        let mut s = Simulator::new(
+            graph2(),
+            &Pool::heterogeneous(0, 2),
+            Policy::from_impls(vec![fpga_impl(0, 10.0), fpga_impl(1, 20.0)]),
+            SimConfig {
+                lifecycle: LifecycleConfig {
+                    deadline_factor: Some(1.0),
+                    ..LifecycleConfig::default()
+                },
+                ..SimConfig::default()
+            },
+        );
+        s.enqueue_arrivals(&[0.0]);
+        let mut last = s.remaining_budget_ms(0);
+        assert!((last - 200.0).abs() < 1e-9, "{last}");
+        for t in [5.0, 10.0, 15.0, 30.0, 250.0] {
+            s.advance_to(t);
+            let b = s.remaining_budget_ms(0);
+            assert!(b >= 0.0, "budget never negative: {b}");
+            assert!(b <= last + 1e-9, "budget monotone: {b} after {last}");
+            last = b;
+        }
+        let r = s.finish(1000.0);
+        assert_eq!(r.completed, 1, "in-budget request completes normally");
+        assert_eq!(r.timed_out, 0);
+        assert_eq!(s.remaining_budget_ms(0), 0.0, "budget exhausted at 250+");
+        s.audit().check().expect("audit invariants hold");
+    }
+
+    #[test]
+    fn backoff_delays_the_retry() {
+        // Same scenario as `fail_stop_retries_inflight_on_survivor`, but
+        // with jitter-free backoff: the retry waits base_ms = 5 ms, so the
+        // victim completes at 5 (kill) + 5 (backoff) + 10 = 20 ms instead
+        // of 15.
+        let mut s = lifecycle_sim(LifecycleConfig {
+            retry: RetryPolicy::Backoff(BackoffPolicy {
+                jitter_frac: 0.0,
+                ..BackoffPolicy::default()
+            }),
+            ..LifecycleConfig::default()
+        });
+        s.inject_faults(&FaultPlan::new().fail_stop(5.0, 0));
+        s.enqueue_arrivals(&[0.0]);
+        s.drain();
+        let r = s.finish(1000.0);
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.retry.device_retries, 1);
+        assert_eq!(r.retry.exhausted, 0);
+        assert!(
+            (r.latency.max() - 20.0).abs() < 1e-6,
+            "retry delayed by 5 ms backoff, got {}",
+            r.latency.max()
+        );
+        s.audit().check().expect("audit invariants hold");
+    }
+
+    #[test]
+    fn exhausted_retry_budget_fails_the_request() {
+        // One FPGA that keeps dying mid-execution. max_retries = 1: the
+        // first kill retries (after 5 ms), the second kill exhausts the
+        // budget and the request is failed — not retried forever.
+        let mut s = Simulator::new(
+            graph1(),
+            &Pool::heterogeneous(0, 1),
+            Policy::from_impls(vec![fpga_impl(0, 10.0)]),
+            SimConfig {
+                lifecycle: LifecycleConfig {
+                    retry: RetryPolicy::Backoff(BackoffPolicy {
+                        max_retries: 1,
+                        jitter_frac: 0.0,
+                        ..BackoffPolicy::default()
+                    }),
+                    ..LifecycleConfig::default()
+                },
+                ..SimConfig::default()
+            },
+        );
+        // Kill at 5 (retry dispatches at 10), recover at 6, kill again at
+        // 12 mid-retry: attempt 2 > max_retries 1 → failed.
+        s.inject_faults(
+            &FaultPlan::new()
+                .fail_stop(5.0, 0)
+                .recover(6.0, 0)
+                .fail_stop(12.0, 0)
+                .recover(13.0, 0),
+        );
+        s.enqueue_arrivals(&[0.0]);
+        s.drain();
+        let r = s.finish(1000.0);
+        assert_eq!(r.completed, 0, "request failed, not completed");
+        assert_eq!(r.retry.device_retries, 1);
+        assert_eq!(r.retry.exhausted, 1);
+        let a = s.audit();
+        a.check().expect("audit invariants hold");
+        assert_eq!(a.failed, 1);
+        assert_eq!(a.pending, 0);
+    }
+
+    #[test]
+    fn hedge_fires_against_slow_primary_and_wins() {
+        // Warm the latency window with 8 nominal requests (~10 ms each),
+        // then derate device 0 by 5×. The next request's primary copy
+        // takes 50 ms; the hedge fires at ~10 ms on device 1 and wins.
+        let mut s = lifecycle_sim(LifecycleConfig {
+            hedge: Some(HedgeConfig {
+                quantile: 0.95,
+                min_delay_ms: 1.0,
+                window: 16,
+                min_samples: 4,
+            }),
+            ..LifecycleConfig::default()
+        });
+        let warmup: Vec<f64> = (0..8).map(|i| f64::from(i) * 50.0).collect();
+        s.enqueue_arrivals(&warmup);
+        s.advance_to(400.0);
+        s.inject_faults(&FaultPlan::new().slow_down(400.0, 0, 5.0));
+        s.enqueue_arrivals(&[450.0]);
+        s.drain();
+        let r = s.finish(1000.0);
+        assert_eq!(r.completed, 9);
+        assert_eq!(r.retry.hedges_fired, 1);
+        assert_eq!(r.retry.hedge_wins, 1);
+        // The hedged request finished well under the derated 50 ms.
+        assert!(r.latency.max() < 40.0, "{}", r.latency.max());
+        let a = s.audit();
+        a.check().expect("audit invariants hold");
+        assert_eq!(
+            a.stale_completions, 1,
+            "the losing copy's completion event arrives stale"
+        );
+        assert!(
+            a.refunded_busy_mj > 0.0,
+            "loser's booked busy time refunded"
+        );
+    }
+
+    #[test]
+    fn hedge_suppressed_when_every_alternate_is_backlogged() {
+        // A synchronized burst puts queued work on both devices; every
+        // stage out-waits the hedge delay, but duplicating into an
+        // equally backlogged peer queue would only double the load. The
+        // load guard must suppress all of them.
+        let mut s = lifecycle_sim(LifecycleConfig {
+            hedge: Some(HedgeConfig {
+                quantile: 0.95,
+                min_delay_ms: 1.0,
+                window: 16,
+                min_samples: 4,
+            }),
+            ..LifecycleConfig::default()
+        });
+        let warmup: Vec<f64> = (0..8).map(|i| f64::from(i) * 50.0).collect();
+        s.enqueue_arrivals(&warmup);
+        s.advance_to(400.0);
+        s.enqueue_arrivals(&[450.0; 10]);
+        s.drain();
+        let r = s.finish(1000.0);
+        assert_eq!(r.completed, 18);
+        assert_eq!(
+            r.retry.hedges_fired, 0,
+            "no hedge may fire into a backlogged queue"
+        );
+        s.audit().check().expect("audit invariants hold");
+    }
+
+    #[test]
+    fn cancel_pending_is_idempotent_and_refunds_once() {
+        // Empty simulator: nothing to cancel.
+        let mut empty = lifecycle_sim(LifecycleConfig::default());
+        assert_eq!(empty.cancel_pending(), 0);
+        assert_eq!(empty.cancel_pending(), 0);
+        empty.audit().check().expect("empty audit holds");
+
+        // Mid-execution drain: the running request is cancelled, its
+        // remaining busy energy refunded exactly once; the second call is
+        // a no-op (no double count, no double refund).
+        let mut s = Simulator::new(
+            graph1(),
+            &Pool::heterogeneous(0, 1),
+            Policy::from_impls(vec![fpga_impl(0, 10.0)]),
+            SimConfig::default(),
+        );
+        s.enqueue_arrivals(&[0.0, 1.0]);
+        s.advance_to(5.0);
+        assert_eq!(s.cancel_pending(), 2);
+        let refunded = s.audit().refunded_busy_mj;
+        assert!(refunded > 0.0, "in-flight execution refunded");
+        assert_eq!(s.cancel_pending(), 0, "second drain is a no-op");
+        assert_eq!(
+            s.audit().refunded_busy_mj,
+            refunded,
+            "no double busy-energy refund"
+        );
+        s.drain();
+        let r = s.finish(1000.0);
+        assert_eq!(r.completed, 0);
+        let a = s.audit();
+        a.check().expect("audit invariants hold");
+        assert_eq!(a.cancelled, 2);
+        assert_eq!(a.pending, 0);
+        // Energy books: 5 ms of busy time at 25 W remain accounted, the
+        // rest of the 10 ms execution was refunded.
+        assert!(a.refunded_busy_mj <= a.booked_busy_mj);
     }
 
     #[test]

@@ -133,7 +133,194 @@ impl FaultPlan {
             .iter()
             .filter(|e| matches!(e.kind, FaultKind::FailStop))
     }
+
+    /// Validate the per-device event ordering.
+    ///
+    /// The simulator tolerates sloppy plans at runtime (a second
+    /// fail-stop on a down device is ignored, slowdown factors below 1
+    /// are clamped), but a *generator* of plans should not emit them —
+    /// an overlapping script usually means the campaign is not testing
+    /// what its author thinks. Rejected orderings, per device:
+    ///
+    /// - a `FailStop` while the device is already down,
+    /// - a `Slowdown` while the device is down (it would silently no-op),
+    /// - two events for the same device at the same instant (ambiguous
+    ///   — the tie would be broken by insertion order, not the script),
+    /// - non-finite or negative event times, and non-finite or sub-1
+    ///   slowdown factors.
+    ///
+    /// # Errors
+    /// The first offending event, as a typed [`FaultPlanError`].
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        use std::collections::HashMap;
+        let mut down: HashMap<usize, bool> = HashMap::new();
+        let mut prev: Option<&FaultEvent> = None;
+        for e in &self.events {
+            if !e.at_ms.is_finite() || e.at_ms < 0.0 {
+                return Err(FaultPlanError::InvalidTime {
+                    device: e.device,
+                    at_ms: e.at_ms,
+                });
+            }
+            if let Some(p) = prev {
+                if p.device == e.device && p.at_ms == e.at_ms {
+                    return Err(FaultPlanError::SameInstantConflict {
+                        device: e.device,
+                        at_ms: e.at_ms,
+                    });
+                }
+            }
+            let is_down = down.entry(e.device).or_insert(false);
+            match e.kind {
+                FaultKind::FailStop => {
+                    if *is_down {
+                        return Err(FaultPlanError::FailStopWhileDown {
+                            device: e.device,
+                            at_ms: e.at_ms,
+                        });
+                    }
+                    *is_down = true;
+                }
+                FaultKind::Slowdown { factor } => {
+                    if !factor.is_finite() || factor < 1.0 {
+                        return Err(FaultPlanError::InvalidFactor {
+                            device: e.device,
+                            at_ms: e.at_ms,
+                            factor,
+                        });
+                    }
+                    if *is_down {
+                        return Err(FaultPlanError::SlowdownWhileDown {
+                            device: e.device,
+                            at_ms: e.at_ms,
+                        });
+                    }
+                }
+                FaultKind::Recover => *is_down = false,
+            }
+            prev = Some(e);
+        }
+        Ok(())
+    }
+
+    /// Seeded random fault campaign over `targets` fault domains (device
+    /// or node indices `0..targets`) spanning `duration_ms`.
+    ///
+    /// Each target independently suffers up to `max_episodes` episodes —
+    /// an outage (`FailStop` … `Recover`) or a throttling window
+    /// (`Slowdown` … `Recover`) of 2–12% of the span, placed uniformly
+    /// and non-overlapping. Deterministic in `seed` and always
+    /// [`validate`](Self::validate)-clean, so chaos sweeps replay
+    /// bit-identically.
+    #[must_use]
+    pub fn random_campaign(seed: u64, targets: usize, duration_ms: f64, max_episodes: u32) -> Self {
+        use rand::{Rng, SeedableRng};
+        let mut plan = Self::new();
+        for target in 0..targets {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(crate::lifecycle::mix(
+                seed,
+                target as u64,
+                0x05EED,
+            ));
+            let episodes = rng.gen_range(0..=max_episodes);
+            let mut taken: Vec<(f64, f64)> = Vec::new();
+            for _ in 0..episodes {
+                let frac: f64 = rng.gen_range(0.02..0.12);
+                let len = duration_ms * frac;
+                let start: f64 = rng.gen_range(0.0..(duration_ms - len).max(1.0));
+                let end = start + len;
+                // Skip episodes overlapping one already scripted for this
+                // target (touching endpoints count as overlap: equal-time
+                // same-device events are ambiguous).
+                if taken.iter().any(|&(s, e)| start <= e && s <= end) {
+                    continue;
+                }
+                taken.push((start, end));
+                plan = if rng.gen_bool(0.5) {
+                    plan.fail_stop(start, target)
+                } else {
+                    plan.slow_down(start, target, rng.gen_range(1.5..4.0))
+                };
+                plan = plan.recover(end, target);
+            }
+        }
+        plan
+    }
 }
+
+/// A structurally invalid [`FaultPlan`], found by [`FaultPlan::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlanError {
+    /// A non-finite or negative event time.
+    InvalidTime {
+        /// Offending device.
+        device: usize,
+        /// Offending time.
+        at_ms: f64,
+    },
+    /// A non-finite or sub-1 slowdown factor.
+    InvalidFactor {
+        /// Offending device.
+        device: usize,
+        /// Offending time.
+        at_ms: f64,
+        /// The factor.
+        factor: f64,
+    },
+    /// Two events for the same device at the same instant.
+    SameInstantConflict {
+        /// Offending device.
+        device: usize,
+        /// The shared instant.
+        at_ms: f64,
+    },
+    /// A `FailStop` scripted while the device is already down.
+    FailStopWhileDown {
+        /// Offending device.
+        device: usize,
+        /// Offending time.
+        at_ms: f64,
+    },
+    /// A `Slowdown` scripted while the device is down.
+    SlowdownWhileDown {
+        /// Offending device.
+        device: usize,
+        /// Offending time.
+        at_ms: f64,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FaultPlanError::InvalidTime { device, at_ms } => {
+                write!(f, "invalid event time {at_ms} for device {device}")
+            }
+            FaultPlanError::InvalidFactor {
+                device,
+                at_ms,
+                factor,
+            } => write!(
+                f,
+                "invalid slowdown factor {factor} for device {device} at {at_ms} ms"
+            ),
+            FaultPlanError::SameInstantConflict { device, at_ms } => {
+                write!(f, "two events for device {device} at {at_ms} ms")
+            }
+            FaultPlanError::FailStopWhileDown { device, at_ms } => {
+                write!(
+                    f,
+                    "fail-stop at {at_ms} ms but device {device} is already down"
+                )
+            }
+            FaultPlanError::SlowdownWhileDown { device, at_ms } => {
+                write!(f, "slowdown at {at_ms} ms but device {device} is down")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 #[cfg(test)]
 mod tests {
@@ -154,5 +341,111 @@ mod tests {
     fn empty_plan_is_empty() {
         assert!(FaultPlan::new().is_empty());
         assert!(FaultPlan::default().events().is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_well_ordered_plans() {
+        let plan = FaultPlan::new()
+            .fail_stop(100.0, 0)
+            .recover(200.0, 0)
+            .slow_down(250.0, 0, 2.0)
+            .recover(300.0, 0)
+            .fail_stop(100.0, 1); // other device may overlap in time
+        assert!(plan.validate().is_ok());
+        assert!(FaultPlan::new().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_fail_stop_while_down() {
+        let plan = FaultPlan::new().fail_stop(100.0, 0).fail_stop(200.0, 0);
+        assert_eq!(
+            plan.validate(),
+            Err(FaultPlanError::FailStopWhileDown {
+                device: 0,
+                at_ms: 200.0
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_slowdown_while_down() {
+        // The tricky ordering from the issue: Slowdown after FailStop
+        // without a Recover in between.
+        let plan = FaultPlan::new()
+            .fail_stop(100.0, 0)
+            .slow_down(150.0, 0, 2.0);
+        assert_eq!(
+            plan.validate(),
+            Err(FaultPlanError::SlowdownWhileDown {
+                device: 0,
+                at_ms: 150.0
+            })
+        );
+        // With the recover it is fine.
+        let ok = FaultPlan::new()
+            .fail_stop(100.0, 0)
+            .recover(120.0, 0)
+            .slow_down(150.0, 0, 2.0);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_same_instant_conflicts() {
+        let plan = FaultPlan::new().slow_down(100.0, 0, 2.0).recover(100.0, 0);
+        assert_eq!(
+            plan.validate(),
+            Err(FaultPlanError::SameInstantConflict {
+                device: 0,
+                at_ms: 100.0
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_times_and_factors() {
+        assert!(matches!(
+            FaultPlan::new().fail_stop(-1.0, 0).validate(),
+            Err(FaultPlanError::InvalidTime { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::new().fail_stop(f64::NAN, 0).validate(),
+            Err(FaultPlanError::InvalidTime { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::new().slow_down(10.0, 0, 0.5).validate(),
+            Err(FaultPlanError::InvalidFactor { .. })
+        ));
+        // Errors render.
+        let msg = FaultPlan::new()
+            .slow_down(10.0, 0, 0.5)
+            .validate()
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("slowdown factor"));
+    }
+
+    #[test]
+    fn random_campaigns_are_valid_and_deterministic() {
+        for seed in 0..100u64 {
+            let plan = FaultPlan::random_campaign(seed, 4, 100_000.0, 3);
+            plan.validate()
+                .unwrap_or_else(|e| panic!("seed {seed} produced an invalid campaign: {e}"));
+            assert_eq!(
+                plan,
+                FaultPlan::random_campaign(seed, 4, 100_000.0, 3),
+                "same seed replays the same campaign"
+            );
+        }
+        // Different seeds produce different campaigns (checked on two
+        // fixed seeds known to script at least one event each).
+        let a = FaultPlan::random_campaign(1, 4, 100_000.0, 3);
+        let b = FaultPlan::random_campaign(2, 4, 100_000.0, 3);
+        assert_ne!(a, b);
+        // Every fault targets a scripted domain and recovers in-span.
+        assert!(a.events().iter().all(|e| e.device < 4));
+        assert!(a
+            .events()
+            .iter()
+            .all(|e| e.at_ms >= 0.0 && e.at_ms <= 100_000.0));
     }
 }

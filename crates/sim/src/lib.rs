@@ -26,23 +26,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod device;
 mod engine;
 mod ep;
 mod fault;
+mod lifecycle;
 mod load;
 mod metrics;
 mod policy;
 mod time;
 pub mod workload;
 
+pub use audit::{AuditError, AuditReport};
 pub use device::DeviceStats;
 pub use engine::{
     ExecutionRecord, KernelStats, SimConfig, SimReport, Simulator, GPU_PARKED_FRACTION,
 };
 pub use ep::{ep_metric, EpCurve, EpPoint};
-pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};
+pub use lifecycle::{hedge_delay_from, BackoffPolicy, HedgeConfig, LifecycleConfig, RetryPolicy};
 pub use load::{max_rps_under_qos, max_rps_under_qos_par, steady_state, LoadPoint, LoadSweep};
-pub use metrics::LatencyStats;
+pub use metrics::{LatencyStats, RetryStats};
 pub use policy::{KernelImpl, Policy};
 pub use time::TotalF64;

@@ -226,7 +226,8 @@ mod tests {
             devices: vec![],
             kernels: vec![],
             device_failures: 0,
-            retried_requests: 0,
+            retry: crate::RetryStats::default(),
+            timed_out: 0,
         }
     }
 

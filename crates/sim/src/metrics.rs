@@ -1,5 +1,46 @@
 use std::sync::{Arc, Mutex};
 
+/// Unified re-issue accounting, shared by the node and the cluster
+/// layers. PR 2 counted node-level fail-stop retries and PR 3 counted
+/// cluster-level redistribution in two unrelated scalars; this struct is
+/// the single ledger both feed, so "how much work was re-issued, and
+/// why" reads off one place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryStats {
+    /// Work items re-dispatched onto surviving devices after a device
+    /// fail-stop killed or orphaned them (node level; counted per
+    /// kernel-stage item, so one request can contribute several).
+    pub device_retries: usize,
+    /// Requests failed after a kernel stage exhausted its bounded retry
+    /// budget (only under `RetryPolicy::Backoff`; always 0 under the
+    /// legacy immediate policy).
+    pub exhausted: usize,
+    /// Requests re-issued by the front-end after a whole-node drain
+    /// (cluster level; always 0 in single-node reports).
+    pub redistributed: usize,
+    /// Hedge copies fired for slow stages (node level).
+    pub hedges_fired: usize,
+    /// Stages won by the hedge copy rather than the primary.
+    pub hedge_wins: usize,
+}
+
+impl RetryStats {
+    /// Fold another ledger into this one (cluster aggregation).
+    pub fn merge(&mut self, other: &RetryStats) {
+        self.device_retries += other.device_retries;
+        self.exhausted += other.exhausted;
+        self.redistributed += other.redistributed;
+        self.hedges_fired += other.hedges_fired;
+        self.hedge_wins += other.hedge_wins;
+    }
+
+    /// Total extra dispatches caused by faults and hedging.
+    #[must_use]
+    pub fn total_reissues(&self) -> usize {
+        self.device_retries + self.redistributed + self.hedges_fired
+    }
+}
+
 /// Quantiles precomputed by the digest. Every quantile the framework
 /// queries (p50/p95/p99 plus the 1st/10th percentiles used by tests and
 /// calibration) maps onto one of these grid points, so lookups are O(log

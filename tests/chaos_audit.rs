@@ -1,0 +1,163 @@
+//! Chaos audit: seeded random fault campaigns against every lifecycle
+//! configuration, with the simulator's conservation invariants checked
+//! after each run. The sweep is deterministic (fixed seed list), so CI
+//! failures replay exactly; any seed that trips an invariant is a real
+//! lifecycle accounting bug, not flake.
+
+use poly::device::DeviceKind;
+use poly::ir::{
+    KernelBuilder, KernelGraph, KernelGraphBuilder, KernelId, OpFunc, PatternKind, Shape,
+};
+use poly::sched::Pool;
+use poly::sim::workload::poisson;
+use poly::sim::{
+    AuditReport, BackoffPolicy, FaultPlan, HedgeConfig, KernelImpl, LifecycleConfig, Policy,
+    RetryPolicy, SimConfig, Simulator,
+};
+
+/// GPU front stage feeding an FPGA back stage — the smallest graph that
+/// exercises batching, cross-device transfer, and DAG budget
+/// propagation at once.
+fn two_stage_app() -> KernelGraph {
+    let k0 = KernelBuilder::new("k0")
+        .pattern("m", PatternKind::Map, Shape::d1(1024), &[OpFunc::Mac])
+        .build()
+        .expect("valid");
+    KernelGraphBuilder::new("chaos-app")
+        .kernel(k0.clone())
+        .kernel(k0.with_name("k1"))
+        .edge("k0", "k1", 1 << 18)
+        .build()
+        .expect("valid app")
+}
+
+fn gpu_impl(kernel: usize, latency: f64, batch: u32) -> KernelImpl {
+    KernelImpl {
+        kernel: KernelId(kernel),
+        kind: DeviceKind::Gpu,
+        impl_index: 0,
+        latency_ms: latency,
+        latency_single_ms: latency / f64::from(batch.max(1)) * 1.4,
+        service_ms: latency / f64::from(batch.max(1)),
+        batch,
+        active_power_w: 180.0,
+        idle_power_w: 40.0,
+    }
+}
+
+fn fpga_impl(kernel: usize, latency: f64) -> KernelImpl {
+    KernelImpl {
+        kernel: KernelId(kernel),
+        kind: DeviceKind::Fpga,
+        impl_index: 0,
+        latency_ms: latency,
+        latency_single_ms: latency,
+        service_ms: latency * 0.9,
+        batch: 1,
+        active_power_w: 25.0,
+        idle_power_w: 5.0,
+    }
+}
+
+/// The four lifecycle configurations the chaos figure compares.
+fn configs() -> [(&'static str, LifecycleConfig); 4] {
+    let deadline = LifecycleConfig {
+        deadline_factor: Some(2.0),
+        ..LifecycleConfig::default()
+    };
+    let retry = LifecycleConfig {
+        retry: RetryPolicy::Backoff(BackoffPolicy::default()),
+        ..deadline.clone()
+    };
+    let full = LifecycleConfig {
+        hedge: Some(HedgeConfig {
+            min_samples: 8,
+            ..HedgeConfig::default()
+        }),
+        ..retry
+    };
+    [
+        ("no-lifecycle", LifecycleConfig::default()),
+        ("deadline-cancel", deadline),
+        ("deadline+retry", retry),
+        ("full-lifecycle", full),
+    ]
+}
+
+/// One seeded chaos run: a random fault campaign over the device pool
+/// plus a Poisson arrival stream, drained to completion.
+fn run(seed: u64, lifecycle: LifecycleConfig) -> (AuditReport, usize) {
+    const DURATION_MS: f64 = 60_000.0;
+    let mut sim = Simulator::new(
+        two_stage_app(),
+        &Pool::heterogeneous(1, 2),
+        Policy::from_impls(vec![gpu_impl(0, 40.0, 8), fpga_impl(1, 12.0)]),
+        SimConfig {
+            lifecycle,
+            ..SimConfig::default()
+        },
+    );
+    // Device-level campaign across all 3 devices: fail-stops, slowdowns,
+    // recoveries — the validator proves the generator's plans are
+    // well-formed before they are scripted.
+    let faults = FaultPlan::random_campaign(seed, 3, DURATION_MS, 3);
+    faults.validate().expect("campaign must be well-formed");
+    sim.inject_faults(&faults);
+    let arrivals = poisson(40.0, DURATION_MS, seed ^ 0xA11CE);
+    let offered = arrivals.len();
+    sim.enqueue_arrivals(&arrivals);
+    sim.advance_to(DURATION_MS);
+    sim.drain();
+    (sim.audit(), offered)
+}
+
+#[test]
+fn audit_invariants_hold_across_seeds_and_configs() {
+    for seed in 0..16u64 {
+        for (name, lifecycle) in configs() {
+            let (audit, offered) = run(seed, lifecycle);
+            audit
+                .check()
+                .unwrap_or_else(|e| panic!("seed {seed} {name}: {e}\n{audit:?}"));
+            // Conservation: every offered request reaches exactly one
+            // terminal outcome once the queue drains (faults may strand
+            // work only while a device kind has no healthy member, and
+            // drain() runs past the last recovery).
+            assert_eq!(
+                audit.admitted, offered,
+                "seed {seed} {name}: admissions lost"
+            );
+            assert_eq!(
+                audit.terminal() + audit.pending,
+                offered,
+                "seed {seed} {name}: requests leaked\n{audit:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn legacy_config_never_times_out_or_fails() {
+    // The default lifecycle must keep PR 2 semantics: no deadlines, no
+    // bounded retries — so no request can end TimedOut or Failed no
+    // matter what the campaign does.
+    for seed in [3u64, 7, 11] {
+        let (audit, _) = run(seed, LifecycleConfig::default());
+        assert_eq!(audit.timed_out, 0, "seed {seed}");
+        assert_eq!(audit.failed, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn full_lifecycle_bounds_overload_tail_damage() {
+    // Under a fault campaign the deadline configs convert unbounded
+    // queueing (arbitrarily late completions) into explicit timeouts;
+    // the audit's terminal split must reflect that, not lose requests.
+    let (full, offered) = run(9, configs()[3].1.clone());
+    full.check().expect("audit green");
+    assert_eq!(full.terminal() + full.pending, offered);
+    assert!(
+        full.completed > 0,
+        "the full stack must still serve under chaos"
+    );
+}

@@ -180,6 +180,7 @@ fn fault_free_plan_is_identical_to_plain_run_trace() {
     );
     assert_eq!(ra, rb);
     assert_eq!(ra.fault_events, 0);
-    assert_eq!(ra.retried_requests, 0);
+    assert_eq!(ra.retry, poly_sim::RetryStats::default());
+    assert_eq!(ra.timed_out, 0);
     assert_eq!(ra.mean_recovery_ms, 0.0);
 }
