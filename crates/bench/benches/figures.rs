@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use poly_apps::{asr, QOS_BOUND_MS};
 use poly_core::provision::{power_split, table_iii, Architecture, Setting};
 use poly_core::tco::{monthly_tco_usd, TcoParams};
-use poly_core::{Optimizer, PolyRuntime, RuntimeMode};
+use poly_core::{AppContext, Optimizer, PolyRuntime, RunSpec};
 use poly_dse::Explorer;
 use poly_sim::workload::google_trace_24h;
 use poly_sim::{ep_metric, steady_state};
@@ -71,9 +71,10 @@ fn bench_figures(c: &mut Criterion) {
             .into_iter()
             .take(6)
             .collect();
+        let ctx = AppContext::new(app.clone(), spaces.clone(), setup.clone(), QOS_BOUND_MS);
         b.iter(|| {
-            let mut rt = PolyRuntime::new(app.clone(), spaces.clone(), setup.clone(), QOS_BOUND_MS);
-            rt.run_trace(&trace, 2_000.0, 30.0, &RuntimeMode::Poly, 1)
+            let mut rt = PolyRuntime::new(ctx.clone());
+            rt.run(&RunSpec::new(&trace, 2_000.0, 30.0).seed(1))
         })
     });
 

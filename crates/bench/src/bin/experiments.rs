@@ -2,8 +2,8 @@
 //!
 //! Usage: `experiments [--jobs N] <id>` where `<id>` is one of
 //! `table1 table2 table3 table45 fig1a fig1b fig1c fig1d fig1ef fig6 fig7
-//! fig8 fig9 fig10 fig11 fig12 fault cluster chaos fig13 fig14 ablations
-//! all` (or
+//! fig8 fig9 fig10 fig11 fig12 fault cluster chaos obs fig13 fig14
+//! ablations all` (or
 //! `quick` for the subset used in smoke tests). Results are printed and
 //! written to `results/<id>.csv`.
 //!
@@ -24,9 +24,13 @@ use poly_bench::System;
 use poly_cluster::{Cluster, ClusterConfig, RoutingPolicy};
 use poly_core::provision::{power_split, table_iii, Architecture, Setting};
 use poly_core::tco::{cost_efficiency, monthly_tco_usd, TcoParams};
-use poly_core::{Optimizer, PolyRuntime, RuntimeMode};
+use poly_core::{AppContext, Optimizer, PolyRuntime, RunSpec, RuntimeMode};
 use poly_device::{catalog, DeviceKind, PcieLink};
 use poly_dse::{DesignSpaceCache, Explorer};
+use poly_obs::{
+    chrome_trace_json, latency_summary, queue_wait_summary, service_summary, Event as ObsEvent,
+    MemRecorder,
+};
 use poly_par::par_map;
 use poly_sched::Scheduler;
 use poly_sim::workload::{google_trace_24h, TracePoint};
@@ -86,6 +90,7 @@ const EXPERIMENTS: &[(&str, FigFn)] = &[
     ("fault", fault),
     ("cluster", cluster),
     ("chaos", chaos),
+    ("obs", obs),
     ("fig13", fig13),
     ("fig14", fig14),
     ("ablations", ablations),
@@ -988,8 +993,12 @@ fn fig12(out: &mut String) {
                 RuntimeMode::Static(policy)
             }
         };
-        let mut rt = PolyRuntime::new(app.clone(), spaces, setup, QOS_BOUND_MS);
-        let report = rt.run_trace(&trace, TRACE_INTERVAL_MS, max_rps, &mode, 2011);
+        let mut rt = PolyRuntime::new(AppContext::new(app.clone(), spaces, setup, QOS_BOUND_MS));
+        let report = rt.run(
+            &RunSpec::new(&trace, TRACE_INTERVAL_MS, max_rps)
+                .mode(mode)
+                .seed(2011),
+        );
         let served: usize = report.intervals.iter().map(|r| r.completed).sum();
         let mut block = String::new();
         outln!(
@@ -1089,9 +1098,13 @@ fn fault(out: &mut String) {
                 .expect("latency plan");
             RuntimeMode::Static(Policy::from_plan(&plan, &spaces, &setup.gpu))
         };
-        let mut rt = PolyRuntime::new(app.clone(), spaces, setup, QOS_BOUND_MS);
-        let report =
-            rt.run_trace_with_faults(&trace, TRACE_INTERVAL_MS, MAX_RPS, &mode, 2011, &faults);
+        let mut rt = PolyRuntime::new(AppContext::new(app.clone(), spaces, setup, QOS_BOUND_MS));
+        let report = rt.run(
+            &RunSpec::new(&trace, TRACE_INTERVAL_MS, MAX_RPS)
+                .mode(mode)
+                .seed(2011)
+                .faults(faults.clone()),
+        );
         let violations: usize = report.intervals.iter().map(|r| r.violations).sum();
         let completed: usize = report.intervals.iter().map(|r| r.completed).sum();
         let mut block = String::new();
@@ -1423,6 +1436,224 @@ const CHAOS_HEADER: &[&str] = &[
     "timed_out",
     "violations",
     "completed",
+];
+
+/// Observability flamechart (DESIGN.md §13) — replays a shortened chaos
+/// campaign with a [`MemRecorder`] attached to every layer (simulator
+/// spans, runtime re-plan decisions, cluster routing / breaker /
+/// governor events) and exports the full-lifecycle run as a Chrome
+/// `trace_event` JSON plus a per-config event/histogram summary CSV.
+/// Recording must not perturb the simulation, and the exported trace is
+/// byte-identical for every `--jobs` count (CI diffs it).
+fn obs(out: &mut String) {
+    outln!(
+        out,
+        "== Observability: structured telemetry of the chaos campaign (3 x Setting-I Heter nodes) =="
+    );
+    let app = asr();
+    const NODES: usize = 3;
+    // The first 4 afternoon-peak hours of the chaos window (§12),
+    // re-timed to zero — enough activity for a representative
+    // flamechart at half the chaos runtime.
+    let trace: Vec<TracePoint> = replay_trace()[96..144]
+        .iter()
+        .enumerate()
+        .map(|(i, p)| TracePoint {
+            start_ms: i as f64 * TRACE_INTERVAL_MS,
+            utilization: p.utilization,
+        })
+        .collect();
+    let duration_ms = trace.len() as f64 * TRACE_INTERVAL_MS;
+    const OBS_MAX_RPS: f64 = 140.0;
+    let node_faults = FaultPlan::random_campaign(0xC4A05, NODES, duration_ms, 4);
+    node_faults
+        .validate()
+        .expect("campaign must be well-formed");
+    let full = LifecycleConfig {
+        deadline_factor: Some(2.0),
+        retry: RetryPolicy::Backoff(BackoffPolicy::default()),
+        hedge: Some(HedgeConfig::default()),
+    };
+    let configs: [(&str, LifecycleConfig, Option<poly_cluster::BreakerConfig>); 2] = [
+        ("no-lifecycle", LifecycleConfig::default(), None),
+        (
+            "full-lifecycle",
+            full,
+            Some(poly_cluster::BreakerConfig::default()),
+        ),
+    ];
+    // Independent deterministic replays, one MemRecorder each.
+    let runs = par_map(jobs(), &configs, |_, (name, lifecycle, breaker)| {
+        let setup = table_iii(Setting::I, Architecture::HeterPoly);
+        let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+        let spaces = cache().explore_graph(&explorer, app.kernels(), 1);
+        let setups = vec![setup; NODES];
+        let mut cl = Cluster::new(
+            &app,
+            &spaces,
+            setups,
+            ClusterConfig {
+                bound_ms: QOS_BOUND_MS,
+                routing: RoutingPolicy::JoinShortestQueue,
+                power_budget_w: 260.0 * NODES as f64,
+                node_floor_w: 40.0,
+                max_backlog: 512,
+                lifecycle: lifecycle.clone(),
+                breaker: *breaker,
+            },
+        );
+        let rec = MemRecorder::new();
+        cl.set_recorder(Some(Box::new(rec.clone())));
+        let report = cl.run_trace(&trace, TRACE_INTERVAL_MS, OBS_MAX_RPS, 2029, &node_faults);
+        let samples = rec.samples();
+        assert_eq!(rec.dropped(), 0, "{name}: recorder buffer overflowed");
+
+        let count = |kind: &str| samples.iter().filter(|s| s.event.kind() == kind).count();
+        let replans = samples
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.event,
+                    ObsEvent::Interval {
+                        policy_changed: true,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let latency = latency_summary(&samples);
+        let queue = queue_wait_summary(&samples, None);
+        let service = service_summary(&samples, None);
+        let mut block = String::new();
+        outln!(
+            block,
+            "{name:14} {:6} events  spans {:5}  intervals {:3} (replans {:2})  faults {:2}  hedges {:3}  breaker moves {:2}  completed {:6}",
+            samples.len(),
+            count("exec-start"),
+            count("interval"),
+            replans,
+            count("fault"),
+            count("hedge-fired"),
+            count("breaker"),
+            report.completed,
+        );
+        let mut part = Csv::new(OBS_HEADER);
+        part.row()
+            .s(*name)
+            .n(samples.len())
+            .n(count("exec-start"))
+            .n(count("interval"))
+            .n(replans)
+            .n(count("fault"))
+            .n(count("hedge-fired"))
+            .n(count("route"))
+            .n(count("shed"))
+            .n(count("breaker"))
+            .n(count("governor-split"))
+            .f(latency.map_or(0.0, |h| h.p50))
+            .f(latency.map_or(0.0, |h| h.p99))
+            .f(queue.map_or(0.0, |h| h.p99))
+            .f(service.map_or(0.0, |h| h.p99));
+        // Per-interval control-plane summary straight from the recorded
+        // Interval events: one row per (node track, interval), with the
+        // re-plan reason and predicted-vs-observed p99.
+        let mut ivals = Csv::new(OBS_INTERVAL_HEADER);
+        for s in &samples {
+            if let ObsEvent::Interval {
+                index,
+                offered_rps,
+                load_est_rps,
+                policy_changed,
+                reason,
+                predicted_p99_ms,
+                observed_p99_ms,
+                power_w,
+                completed,
+                violations,
+                ..
+            } = s.event
+            {
+                ivals
+                    .row()
+                    .s(*name)
+                    .n(s.track as usize)
+                    .n(index)
+                    .s(reason)
+                    .n(usize::from(policy_changed))
+                    .f(offered_rps)
+                    .f(load_est_rps)
+                    .f(predicted_p99_ms)
+                    .f(observed_p99_ms)
+                    .f(power_w)
+                    .n(completed)
+                    .n(violations);
+            }
+        }
+        (block, part, ivals, samples)
+    });
+    let mut csv = Csv::new(OBS_HEADER);
+    let mut ivals = Csv::new(OBS_INTERVAL_HEADER);
+    for (block, part, part_ivals, _) in &runs {
+        out.push_str(block);
+        csv.append(part.clone());
+        ivals.append(part_ivals.clone());
+    }
+    // Flamechart of the full-lifecycle run: every exec span on its
+    // node/device row, control-plane re-plans and cluster events on
+    // dedicated tracks.
+    let json = chrome_trace_json(&runs[1].3);
+    assert!(
+        json.starts_with("{\"traceEvents\":["),
+        "invalid trace shell"
+    );
+    assert!(
+        json.contains("\"ph\":\"X\"") && json.contains("\"process_name\""),
+        "trace must contain spans and track metadata"
+    );
+    std::fs::create_dir_all("results").expect("create results directory");
+    std::fs::write("results/obs_trace.json", &json).expect("write obs trace");
+    outln!(
+        out,
+        "  -> wrote results/obs_trace.json ({} bytes)",
+        json.len()
+    );
+    csv.save(out, "obs_summary");
+    ivals.save(out, "obs_intervals");
+}
+
+/// `obs_summary.csv` columns (shared by the per-config builders).
+const OBS_HEADER: &[&str] = &[
+    "config",
+    "events",
+    "exec_spans",
+    "intervals",
+    "replans",
+    "faults",
+    "hedges",
+    "routes",
+    "shed_events",
+    "breaker_transitions",
+    "governor_splits",
+    "latency_p50_ms",
+    "latency_p99_ms",
+    "queue_wait_p99_ms",
+    "service_p99_ms",
+];
+
+/// `obs_intervals.csv` columns: the control-plane interval stream.
+const OBS_INTERVAL_HEADER: &[&str] = &[
+    "config",
+    "track",
+    "interval",
+    "reason",
+    "policy_changed",
+    "offered_rps",
+    "load_est_rps",
+    "predicted_p99_ms",
+    "observed_p99_ms",
+    "power_w",
+    "completed",
+    "violations",
 ];
 
 // ---------------------------------------------------------------------------

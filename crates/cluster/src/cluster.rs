@@ -11,11 +11,13 @@
 //! fanned out across worker threads without perturbing each other.
 
 use crate::{
-    BreakerConfig, ClusterNode, NodeTransition, NodeView, PowerGovernor, Router, RoutingPolicy,
+    BreakerConfig, BreakerState, ClusterNode, NodeTransition, NodeView, PowerGovernor, Router,
+    RoutingPolicy,
 };
-use poly_core::NodeSetup;
+use poly_core::{AppContext, NodeSetup};
 use poly_dse::KernelDesignSpace;
 use poly_ir::KernelGraph;
+use poly_obs::{Event as ObsEvent, Recorder};
 use poly_sim::workload::{poisson, TracePoint};
 use poly_sim::{AuditReport, FaultEvent, FaultPlan, LatencyStats, LifecycleConfig, RetryStats};
 
@@ -122,6 +124,15 @@ pub fn node_fault_plan(cluster_plan: &FaultPlan, node: usize, devices: usize) ->
     out
 }
 
+/// Stable telemetry label for a breaker state.
+fn breaker_label(state: BreakerState) -> &'static str {
+    match state {
+        BreakerState::Closed => "closed",
+        BreakerState::Open { .. } => "open",
+        BreakerState::HalfOpen => "half-open",
+    }
+}
+
 /// N leaf nodes behind a front-end router with a shared power budget.
 #[derive(Debug)]
 pub struct Cluster {
@@ -129,6 +140,8 @@ pub struct Cluster {
     router: Router,
     governor: PowerGovernor,
     config: ClusterConfig,
+    /// Driver-level telemetry sink (track 0); nodes get tagged clones.
+    recorder: Option<Box<dyn Recorder>>,
 }
 
 impl Cluster {
@@ -146,13 +159,20 @@ impl Cluster {
     ) -> Self {
         assert!(!setups.is_empty(), "cluster needs at least one node");
         let n = setups.len();
-        let nodes = setups
-            .into_iter()
-            .map(|mut s| {
-                s.sim_config.lifecycle = config.lifecycle.clone();
-                ClusterNode::new(graph.clone(), spaces.to_vec(), s, config.bound_ms)
-            })
-            .collect();
+        // One shared context for graph + design spaces; per-node setups
+        // are swapped in without re-cloning the shared halves.
+        let mut setups = setups;
+        let first = {
+            let mut s = setups.remove(0);
+            s.sim_config.lifecycle = config.lifecycle.clone();
+            s
+        };
+        let ctx = AppContext::new(graph.clone(), spaces.to_vec(), first, config.bound_ms);
+        let mut nodes = vec![ClusterNode::new(ctx.clone())];
+        nodes.extend(setups.into_iter().map(|mut s| {
+            s.sim_config.lifecycle = config.lifecycle.clone();
+            ClusterNode::new(ctx.with_setup(s))
+        }));
         let mut router = Router::new(config.routing);
         router.set_max_backlog(config.max_backlog);
         if let Some(breaker) = config.breaker {
@@ -163,6 +183,42 @@ impl Cluster {
             router,
             governor: PowerGovernor::new(config.power_budget_w, config.node_floor_w, n),
             config,
+            recorder: None,
+        }
+    }
+
+    /// Attach (or detach) a telemetry recorder. The driver keeps track 0
+    /// for cluster-level events (routing, shed, breaker transitions,
+    /// governor re-splits); node `j` records on track `j + 1`.
+    pub fn set_recorder(&mut self, recorder: Option<Box<dyn Recorder>>) {
+        match recorder {
+            Some(mut rec) => {
+                for (j, node) in self.nodes.iter_mut().enumerate() {
+                    let mut clone = rec.box_clone();
+                    clone.set_track(j as u32 + 1);
+                    node.set_recorder(Some(clone));
+                }
+                rec.set_track(0);
+                self.recorder = Some(rec);
+            }
+            None => {
+                for node in &mut self.nodes {
+                    node.set_recorder(None);
+                }
+                self.recorder = None;
+            }
+        }
+    }
+
+    /// Whether an enabled recorder is attached to the driver.
+    fn recording(&self) -> bool {
+        self.recorder.as_ref().is_some_and(|r| r.enabled())
+    }
+
+    /// Record a driver-level (track 0) event.
+    fn obs(&mut self, t_ms: f64, event: ObsEvent) {
+        if let Some(r) = self.recorder.as_mut() {
+            r.record(t_ms, event);
         }
     }
 
@@ -192,6 +248,7 @@ impl Cluster {
         node_faults: &FaultPlan,
     ) -> ClusterReport {
         let n = self.nodes.len();
+        let recording = self.recording();
         self.router.reset();
         self.governor.reset();
         let first_rps = trace.first().map_or(0.0, |p| p.utilization * max_rps);
@@ -240,6 +297,17 @@ impl Cluster {
                 for (node, cap) in self.nodes.iter_mut().zip(&caps) {
                     node.set_power_cap(*cap);
                 }
+                if recording {
+                    for (j, cap) in caps.iter().enumerate() {
+                        self.obs(
+                            start,
+                            ObsEvent::GovernorSplit {
+                                node: j,
+                                cap_w: *cap,
+                            },
+                        );
+                    }
+                }
             }
 
             // 3. Per-node re-planning from each node's own monitor (the
@@ -283,6 +351,23 @@ impl Cluster {
                 .router
                 .route_interval(&views, &arrivals, start, interval_ms);
             total_shed += outcome.shed;
+            if recording {
+                for (j, assigned) in outcome.per_node.iter().enumerate() {
+                    let event = ObsEvent::Route {
+                        node: j,
+                        assigned: assigned.len(),
+                    };
+                    self.obs(start, event);
+                }
+                if outcome.shed > 0 {
+                    self.obs(
+                        start,
+                        ObsEvent::Shed {
+                            count: outcome.shed,
+                        },
+                    );
+                }
+            }
 
             // 5. Advance every node's simulation to the interval end.
             let mut interval_samples: Vec<f64> = Vec::new();
@@ -310,7 +395,30 @@ impl Cluster {
                 interval_samples.extend_from_slice(&stats.latency_samples);
             }
             // Feed the router's circuit breakers (no-op when disabled).
+            let before: Vec<&'static str> = if recording {
+                self.router
+                    .breakers()
+                    .iter()
+                    .map(|b| breaker_label(b.state()))
+                    .collect()
+            } else {
+                Vec::new()
+            };
             self.router.observe_health(&health);
+            if recording {
+                let transitions: Vec<(usize, &'static str, &'static str)> = before
+                    .iter()
+                    .zip(self.router.breakers())
+                    .enumerate()
+                    .filter_map(|(j, (from, b))| {
+                        let to = breaker_label(b.state());
+                        (to != *from).then_some((j, *from, to))
+                    })
+                    .collect();
+                for (node, from, to) in transitions {
+                    self.obs(end, ObsEvent::BreakerTransition { node, from, to });
+                }
+            }
             total_completed += completed;
             total_violations += violations;
             total_timed_out += timed_out;

@@ -7,9 +7,8 @@
 //! cluster governor and the fail-stop / drain / recover lifecycle the
 //! front-end router observes.
 
-use poly_core::{IntervalObs, NodeSetup, Optimizer, PolicyPrediction, SystemMonitor};
-use poly_dse::KernelDesignSpace;
-use poly_ir::KernelGraph;
+use poly_core::{AppContext, IntervalObs, NodeSetup, Optimizer, PolicyPrediction, SystemMonitor};
+use poly_obs::{Event as ObsEvent, Recorder};
 use poly_sched::Pool;
 use poly_sim::{FaultPlan, Policy, Simulator};
 
@@ -61,12 +60,9 @@ pub struct NodeIntervalStats {
 /// A leaf node: provisioned hardware plus its private Poly control loop.
 #[derive(Debug)]
 pub struct ClusterNode {
-    graph: KernelGraph,
-    spaces: Vec<KernelDesignSpace>,
-    setup: NodeSetup,
+    ctx: AppContext,
     optimizer: Optimizer,
     monitor: SystemMonitor,
-    bound_ms: f64,
     /// Cap currently imposed by the cluster governor (starts at the
     /// node's provisioned cap).
     power_cap_w: f64,
@@ -81,26 +77,27 @@ pub struct ClusterNode {
     avail: Pool,
     down: bool,
     last_policy_changed: bool,
+    /// Why the last `begin_interval` planned the way it did (telemetry).
+    last_reason: &'static str,
+    /// Load estimate the last plan was made for (telemetry).
+    last_est_rps: f64,
+    /// Intervals run since `begin_replay` (telemetry).
+    interval_idx: usize,
+    /// Telemetry sink; a clone is attached to the node's simulator at
+    /// `begin_replay`.
+    recorder: Option<Box<dyn Recorder>>,
 }
 
 impl ClusterNode {
-    /// Node for `graph` with explored design `spaces` on `setup`.
+    /// Node for the application/node bundle `ctx`.
     #[must_use]
-    pub fn new(
-        graph: KernelGraph,
-        spaces: Vec<KernelDesignSpace>,
-        setup: NodeSetup,
-        bound_ms: f64,
-    ) -> Self {
-        let avail = setup.pool.clone();
-        let power_cap_w = setup.power_cap_w;
+    pub fn new(ctx: AppContext) -> Self {
+        let avail = ctx.setup().pool.clone();
+        let power_cap_w = ctx.setup().power_cap_w;
         Self {
-            graph,
-            spaces,
-            setup,
+            ctx,
             optimizer: Optimizer::new(),
             monitor: SystemMonitor::new(8),
-            bound_ms,
             power_cap_w,
             force_replan: false,
             sim: None,
@@ -109,13 +106,17 @@ impl ClusterNode {
             avail,
             down: false,
             last_policy_changed: false,
+            last_reason: "initial",
+            last_est_rps: 0.0,
+            interval_idx: 0,
+            recorder: None,
         }
     }
 
     /// The node's provisioned setup.
     #[must_use]
     pub fn setup(&self) -> &NodeSetup {
-        &self.setup
+        self.ctx.setup()
     }
 
     /// Whether the node is currently fail-stopped.
@@ -149,33 +150,56 @@ impl ClusterNode {
         self.monitor.load_estimate_rps()
     }
 
+    /// Attach (or detach) a telemetry recorder. The cluster driver tags
+    /// each node's handle with its own track before calling this; the
+    /// handle is propagated into the node's simulator at the next
+    /// [`begin_replay`](Self::begin_replay) (and immediately, when a
+    /// replay is already in progress).
+    pub fn set_recorder(&mut self, recorder: Option<Box<dyn Recorder>>) {
+        if let Some(sim) = self.sim.as_mut() {
+            sim.set_recorder(recorder.clone());
+        }
+        self.recorder = recorder;
+    }
+
+    /// Whether an enabled recorder is attached.
+    fn recording(&self) -> bool {
+        self.recorder.as_ref().is_some_and(|r| r.enabled())
+    }
+
     /// Start a fresh trace replay: reset the monitor so its EWMA re-seeds
     /// from this replay's first observation (stale state from a previous
     /// replay must not leak across runs), plan an initial policy for
     /// `first_rps`, and build a fresh simulator with `faults` scripted.
     pub fn begin_replay(&mut self, first_rps: f64, faults: &FaultPlan) {
         self.monitor.reset();
-        self.power_cap_w = self.setup.power_cap_w;
+        self.power_cap_w = self.ctx.setup().power_cap_w;
         self.force_replan = false;
         self.down = false;
         self.last_policy_changed = false;
-        self.avail = self.setup.pool.clone();
+        self.last_reason = "initial";
+        self.last_est_rps = first_rps;
+        self.interval_idx = 0;
+        self.avail = self.ctx.setup().pool.clone();
         let (policy, predicted) = self.optimizer.plan_for_load_capped(
-            &self.graph,
-            &self.spaces,
-            &self.setup.pool,
-            &self.setup.gpu,
-            self.bound_ms,
+            self.ctx.graph(),
+            self.ctx.spaces(),
+            &self.ctx.setup().pool,
+            &self.ctx.setup().gpu,
+            self.ctx.bound_ms(),
             first_rps,
             self.power_cap_w,
         );
         let mut sim = Simulator::new(
-            self.graph.clone(),
-            &self.setup.pool,
+            self.ctx.graph_owned(),
+            &self.ctx.setup().pool,
             policy.clone(),
-            self.setup.sim_config.clone(),
+            self.ctx.setup().sim_config.clone(),
         );
         sim.inject_faults(faults);
+        if self.recording() {
+            sim.set_recorder(self.recorder.clone());
+        }
         self.sim = Some(sim);
         self.policy = Some(policy);
         self.predicted = Some(predicted);
@@ -231,7 +255,9 @@ impl ClusterNode {
     /// Panics if called before [`begin_replay`](Self::begin_replay).
     pub fn begin_interval(&mut self, est_rps: f64) -> bool {
         self.last_policy_changed = false;
+        self.last_est_rps = est_rps;
         if self.down {
+            self.last_reason = "down-hold";
             return false;
         }
         let sim = self.sim.as_mut().expect("begin_replay first");
@@ -243,20 +269,22 @@ impl ClusterNode {
         let force = std::mem::take(&mut self.force_replan);
         if self.avail.is_empty() {
             // Nothing left to plan on; ride out the outage.
+            self.last_reason = "outage-hold";
             return false;
         }
         let policy = self.policy.as_mut().expect("begin_replay first");
         let (next, pred) = self.optimizer.plan_for_load_capped(
-            &self.graph,
-            &self.spaces,
+            self.ctx.graph(),
+            self.ctx.spaces(),
             &self.avail,
-            &self.setup.gpu,
-            self.bound_ms,
+            &self.ctx.setup().gpu,
+            self.ctx.bound_ms(),
             est_rps,
             self.power_cap_w,
         );
         let mut changed = false;
         if degraded || force {
+            self.last_reason = if degraded { "degraded" } else { "forced" };
             if next != *policy {
                 changed = true;
                 sim.set_policy(next.clone());
@@ -271,17 +299,19 @@ impl ClusterNode {
             let cur_pred =
                 self.optimizer
                     .model()
-                    .predict(&self.graph, policy, &self.avail, est_rps);
-            let cur_ok = cur_pred.p99_ms <= self.bound_ms * 0.85
+                    .predict(self.ctx.graph(), policy, &self.avail, est_rps);
+            let cur_ok = cur_pred.p99_ms <= self.ctx.bound_ms() * 0.85
                 && cur_pred.bottleneck_util <= 0.85
                 && cur_pred.avg_power_w <= self.power_cap_w * 1.05;
             let worthwhile = pred.avg_power_w < cur_pred.avg_power_w * 0.92;
             if next != *policy && (!cur_ok || worthwhile) {
+                self.last_reason = if cur_ok { "power-save" } else { "qos-pressure" };
                 changed = true;
                 sim.set_policy(next.clone());
                 *policy = next;
                 self.predicted = Some(pred);
             } else {
+                self.last_reason = "hold";
                 self.predicted = Some(cur_pred);
             }
         }
@@ -308,7 +338,7 @@ impl ClusterNode {
         let queued = sim.queued();
         let healthy_devices = sim.healthy_devices();
         let p99 = latency.p99();
-        let violations = latency.violations_over(self.bound_ms);
+        let violations = latency.violations_over(self.ctx.bound_ms());
 
         let predicted_p99 = self.predicted.as_ref().map_or(f64::INFINITY, |p| p.p99_ms);
         if completed >= 30 && !self.last_policy_changed && predicted_p99.is_finite() {
@@ -322,6 +352,32 @@ impl ClusterNode {
             avg_power_w: report.avg_power_w,
             queued,
         });
+        if self.recording() {
+            let index = self.interval_idx;
+            let offered_rps = if report.duration_ms > 0.0 {
+                arrivals.len() as f64 * 1000.0 / report.duration_ms
+            } else {
+                0.0
+            };
+            let event = ObsEvent::Interval {
+                index,
+                start_ms: end_ms - report.duration_ms,
+                dur_ms: report.duration_ms,
+                offered_rps,
+                load_est_rps: self.last_est_rps,
+                policy_changed: self.last_policy_changed,
+                reason: self.last_reason,
+                predicted_p99_ms: predicted_p99,
+                observed_p99_ms: p99,
+                power_w: report.avg_power_w,
+                completed,
+                violations,
+            };
+            if let Some(r) = self.recorder.as_mut() {
+                r.record(end_ms, event);
+            }
+        }
+        self.interval_idx += 1;
         NodeIntervalStats {
             arrived,
             completed,

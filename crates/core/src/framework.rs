@@ -3,7 +3,7 @@
 //! exploration at construction, then plans, load-aware policies, and
 //! simulators on demand.
 
-use crate::{NodeSetup, Optimizer, PolicyPrediction, PolyRuntime};
+use crate::{AppContext, NodeSetup, Optimizer, PolicyPrediction, PolyRuntime};
 use poly_dse::{DesignSpaceCache, Explorer, KernelDesignSpace};
 use poly_ir::KernelGraph;
 use poly_sched::{ScheduleError, SchedulePlan, Scheduler};
@@ -143,7 +143,12 @@ impl Poly {
     /// Convert into the interval-driven trace runtime (Figs. 11–12).
     #[must_use]
     pub fn into_runtime(self, bound_ms: f64) -> PolyRuntime {
-        PolyRuntime::new(self.graph, self.spaces, self.setup, bound_ms)
+        PolyRuntime::new(AppContext::new(
+            self.graph,
+            self.spaces,
+            self.setup,
+            bound_ms,
+        ))
     }
 }
 

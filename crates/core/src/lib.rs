@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod context;
 mod framework;
 mod model;
 mod monitor;
@@ -33,9 +34,10 @@ pub mod provision;
 mod runtime;
 pub mod tco;
 
+pub use context::AppContext;
 pub use framework::Poly;
 pub use model::{PolicyPrediction, SystemModel};
 pub use monitor::{IntervalObs, SystemMonitor};
 pub use optimizer::{policy_from_points, Optimizer};
 pub use provision::{Architecture, NodeSetup, Setting};
-pub use runtime::{IntervalRecord, PolyRuntime, RuntimeMode, TraceReport};
+pub use runtime::{IntervalRecord, PolyRuntime, RunSpec, RuntimeMode, TraceReport};

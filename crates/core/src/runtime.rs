@@ -2,12 +2,16 @@
 //! simulator, re-planning every interval over a utilization trace — the
 //! machinery behind the 24-hour trace evaluation (Figs. 11–12) and the
 //! QoS-violation / prediction-error analysis of Section VI-C.
+//!
+//! A run is described by a [`RunSpec`] (workload, mode, seed, faults,
+//! lifecycle override, telemetry recorder) and executed by
+//! [`PolyRuntime::run`]; the legacy positional entry points survive as
+//! deprecated shims.
 
-use crate::{IntervalObs, NodeSetup, Optimizer, SystemMonitor};
-use poly_dse::KernelDesignSpace;
-use poly_ir::KernelGraph;
+use crate::{AppContext, IntervalObs, Optimizer, SystemMonitor};
+use poly_obs::{Event as ObsEvent, Recorder};
 use poly_sim::workload::{poisson, TracePoint};
-use poly_sim::{FaultPlan, Policy, RetryStats, Simulator};
+use poly_sim::{FaultPlan, LifecycleConfig, Policy, RetryStats, Simulator};
 
 /// How the runtime selects policies.
 #[derive(Debug, Clone)]
@@ -77,33 +81,103 @@ pub struct TraceReport {
     pub mean_recovery_ms: f64,
 }
 
+/// Everything that defines one trace run: the workload (trace, interval,
+/// load scaling), the planning mode, the arrival seed, an optional fault
+/// plan, an optional per-run lifecycle override, and an optional
+/// telemetry recorder.
+///
+/// Build with [`RunSpec::new`] plus the chained setters; unset options
+/// default to fault-free, the node's configured lifecycle, and no
+/// recording — which reproduces the legacy `run_trace` behavior exactly.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    trace: Vec<TracePoint>,
+    interval_ms: f64,
+    max_rps: f64,
+    mode: RuntimeMode,
+    seed: u64,
+    faults: FaultPlan,
+    lifecycle: Option<LifecycleConfig>,
+    recorder: Option<Box<dyn Recorder>>,
+}
+
+impl RunSpec {
+    /// A run replaying `trace` with `interval_ms` sampling / re-planning
+    /// period at `max_rps` load scaling. Defaults: [`RuntimeMode::Poly`],
+    /// seed 0, no faults, configured lifecycle, no recorder.
+    #[must_use]
+    pub fn new(trace: &[TracePoint], interval_ms: f64, max_rps: f64) -> Self {
+        Self {
+            trace: trace.to_vec(),
+            interval_ms,
+            max_rps,
+            mode: RuntimeMode::Poly,
+            seed: 0,
+            faults: FaultPlan::new(),
+            lifecycle: None,
+            recorder: None,
+        }
+    }
+
+    /// Planning mode ([`RuntimeMode::Poly`] or a static baseline).
+    #[must_use]
+    pub fn mode(mut self, mode: RuntimeMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Seed for the Poisson arrival process.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scripted device fault plan.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Override the node's request-lifecycle config for this run.
+    #[must_use]
+    pub fn lifecycle(mut self, lifecycle: LifecycleConfig) -> Self {
+        self.lifecycle = Some(lifecycle);
+        self
+    }
+
+    /// Attach a telemetry recorder (e.g. a `MemRecorder` handle; keep a
+    /// clone to read the samples back after the run).
+    #[must_use]
+    pub fn recorder(mut self, recorder: impl Recorder + 'static) -> Self {
+        self.recorder = Some(Box::new(recorder));
+        self
+    }
+
+    /// The trace being replayed.
+    #[must_use]
+    pub fn trace(&self) -> &[TracePoint] {
+        &self.trace
+    }
+}
+
 /// The Poly runtime for one application on one provisioned node.
 #[derive(Debug)]
 pub struct PolyRuntime {
-    graph: KernelGraph,
-    spaces: Vec<KernelDesignSpace>,
-    setup: NodeSetup,
+    ctx: AppContext,
     optimizer: Optimizer,
     monitor: SystemMonitor,
-    bound_ms: f64,
 }
 
 impl PolyRuntime {
-    /// Runtime for `graph` with its explored design `spaces` on `setup`.
+    /// Runtime for the application/node bundle `ctx`.
     #[must_use]
-    pub fn new(
-        graph: KernelGraph,
-        spaces: Vec<KernelDesignSpace>,
-        setup: NodeSetup,
-        bound_ms: f64,
-    ) -> Self {
+    pub fn new(ctx: AppContext) -> Self {
         Self {
-            graph,
-            spaces,
-            setup,
+            ctx,
             optimizer: Optimizer::new(),
             monitor: SystemMonitor::new(8),
-            bound_ms,
         }
     }
 
@@ -113,71 +187,72 @@ impl PolyRuntime {
         &self.optimizer
     }
 
-    /// Replay a utilization trace at `max_rps` scaling, re-planning every
-    /// interval (Poly mode) or holding one policy (static mode).
-    ///
-    /// `interval_ms` is both the trace sampling period and the re-planning
-    /// period; `seed` drives the Poisson arrivals.
+    /// The application/node bundle this runtime drives.
     #[must_use]
-    pub fn run_trace(
-        &mut self,
-        trace: &[TracePoint],
-        interval_ms: f64,
-        max_rps: f64,
-        mode: &RuntimeMode,
-        seed: u64,
-    ) -> TraceReport {
-        self.run_trace_with_faults(trace, interval_ms, max_rps, mode, seed, &FaultPlan::new())
+    pub fn context(&self) -> &AppContext {
+        &self.ctx
     }
 
-    /// [`run_trace`](Self::run_trace) with a scripted device [`FaultPlan`]:
-    /// devices fail-stop, throttle, and recover at the scripted times, and
-    /// in Poly mode the runtime detects the changed availability at the
-    /// next interval and re-plans onto the surviving devices (bypassing
-    /// the change hysteresis — a failure is never "not worthwhile").
+    /// Replay `spec`: re-plan every interval from monitor feedback (Poly
+    /// mode) or hold one policy (static mode), applying the spec's fault
+    /// plan and recording telemetry into its recorder (if any).
+    ///
+    /// In Poly mode a device fault is detected at the next interval and
+    /// the runtime re-plans onto the surviving devices, bypassing the
+    /// change hysteresis — a failure is never "not worthwhile".
     #[must_use]
-    pub fn run_trace_with_faults(
-        &mut self,
-        trace: &[TracePoint],
-        interval_ms: f64,
-        max_rps: f64,
-        mode: &RuntimeMode,
-        seed: u64,
-        faults: &FaultPlan,
-    ) -> TraceReport {
+    #[allow(clippy::too_many_lines)]
+    pub fn run(&mut self, spec: &RunSpec) -> TraceReport {
+        let trace = &spec.trace;
+        let interval_ms = spec.interval_ms;
+        let mode = &spec.mode;
+        let faults = &spec.faults;
+        let bound_ms = self.ctx.bound_ms();
+
         // A fresh trace is a fresh workload context: re-seed the load EWMA
         // from what this trace actually offers.
         self.monitor.reset();
         // Initial policy: plan for the first interval's load.
-        let first_rps = trace.first().map_or(0.0, |p| p.utilization * max_rps);
+        let first_rps = trace.first().map_or(0.0, |p| p.utilization * spec.max_rps);
         let (mut policy, mut predicted) = match mode {
             RuntimeMode::Poly => self.optimizer.plan_for_load(
-                &self.graph,
-                &self.spaces,
-                &self.setup.pool,
-                &self.setup.gpu,
-                self.bound_ms,
+                self.ctx.graph(),
+                self.ctx.spaces(),
+                &self.ctx.setup().pool,
+                &self.ctx.setup().gpu,
+                bound_ms,
                 first_rps,
             ),
             RuntimeMode::Static(p) => {
-                let pred =
-                    self.optimizer
-                        .model()
-                        .predict(&self.graph, p, &self.setup.pool, first_rps);
+                let pred = self.optimizer.model().predict(
+                    self.ctx.graph(),
+                    p,
+                    &self.ctx.setup().pool,
+                    first_rps,
+                );
                 (p.clone(), pred)
             }
         };
 
+        let mut sim_config = self.ctx.setup().sim_config.clone();
+        if let Some(lc) = &spec.lifecycle {
+            sim_config.lifecycle = lc.clone();
+        }
         let mut sim = Simulator::new(
-            self.graph.clone(),
-            &self.setup.pool,
+            self.ctx.graph_owned(),
+            &self.ctx.setup().pool,
             policy.clone(),
-            self.setup.sim_config.clone(),
+            sim_config,
         );
         sim.inject_faults(faults);
+        let mut recorder = spec.recorder.clone();
+        let recording = recorder.as_ref().is_some_and(|r| r.enabled());
+        if recording {
+            sim.set_recorder(recorder.clone());
+        }
         // The pool the last plan was made against; diverging availability
         // (a fault fired during the previous interval) forces a re-plan.
-        let mut avail = self.setup.pool.clone();
+        let mut avail = self.ctx.setup().pool.clone();
 
         let mut intervals = Vec::with_capacity(trace.len());
         let mut energy_mj = 0.0;
@@ -190,11 +265,17 @@ impl PolyRuntime {
         for (i, point) in trace.iter().enumerate() {
             let start = point.start_ms;
             let end = start + interval_ms;
-            let offered_rps = point.utilization * max_rps;
+            let offered_rps = point.utilization * spec.max_rps;
 
             // Re-plan from the monitor's estimate (skip the first interval,
             // already planned).
             let mut policy_changed = false;
+            let mut reason: &'static str = match (i, mode) {
+                (0, RuntimeMode::Poly) => "initial",
+                (_, RuntimeMode::Static(_)) => "static",
+                _ => "hold",
+            };
+            let mut load_est = if i == 0 { first_rps } else { offered_rps };
             if i > 0 {
                 if let RuntimeMode::Poly = mode {
                     let now_avail = sim.available_pool();
@@ -203,18 +284,21 @@ impl PolyRuntime {
                         avail = now_avail;
                     }
                     let est = self.monitor.load_estimate_rps().max(offered_rps * 0.1);
+                    load_est = est;
                     if avail.is_empty() {
                         // Nothing left to plan on; ride out the outage with
                         // the current (inert) policy.
+                        reason = "outage-hold";
                     } else if degraded {
                         // Availability changed since the last plan: re-plan
                         // unconditionally onto what actually remains.
+                        reason = "degraded";
                         let (next, pred) = self.optimizer.plan_for_load(
-                            &self.graph,
-                            &self.spaces,
+                            self.ctx.graph(),
+                            self.ctx.spaces(),
                             &avail,
-                            &self.setup.gpu,
-                            self.bound_ms,
+                            &self.ctx.setup().gpu,
+                            bound_ms,
                             est,
                         );
                         if next != policy {
@@ -225,11 +309,11 @@ impl PolyRuntime {
                         predicted = pred;
                     } else {
                         let (next, pred) = self.optimizer.plan_for_load(
-                            &self.graph,
-                            &self.spaces,
+                            self.ctx.graph(),
+                            self.ctx.spaces(),
                             &avail,
-                            &self.setup.gpu,
-                            self.bound_ms,
+                            &self.ctx.setup().gpu,
+                            bound_ms,
                             est,
                         );
                         // Hysteresis: a policy change pays FPGA reconfiguration
@@ -239,11 +323,12 @@ impl PolyRuntime {
                         let cur_pred =
                             self.optimizer
                                 .model()
-                                .predict(&self.graph, &policy, &avail, est);
-                        let cur_ok = cur_pred.p99_ms <= self.bound_ms * 0.85
-                            && cur_pred.bottleneck_util <= 0.85;
+                                .predict(self.ctx.graph(), &policy, &avail, est);
+                        let cur_ok =
+                            cur_pred.p99_ms <= bound_ms * 0.85 && cur_pred.bottleneck_util <= 0.85;
                         let worthwhile = pred.avg_power_w < cur_pred.avg_power_w * 0.92;
                         if next != policy && (!cur_ok || worthwhile) {
+                            reason = if cur_ok { "power-save" } else { "qos-pressure" };
                             policy_changed = true;
                             sim.set_policy(next.clone());
                             policy = next;
@@ -256,10 +341,11 @@ impl PolyRuntime {
             }
 
             // Offer this interval's arrivals and run it.
-            let arrivals: Vec<f64> = poisson(offered_rps, interval_ms, seed.wrapping_add(i as u64))
-                .into_iter()
-                .map(|t| start + t)
-                .collect();
+            let arrivals: Vec<f64> =
+                poisson(offered_rps, interval_ms, spec.seed.wrapping_add(i as u64))
+                    .into_iter()
+                    .map(|t| start + t)
+                    .collect();
             sim.enqueue_arrivals(&arrivals);
             sim.reset_accounting();
             sim.advance_to(end);
@@ -269,7 +355,7 @@ impl PolyRuntime {
             let p99 = latency.p99();
             // Exact exceedance count — the former reconstruction through
             // `violation_ratio * completed` could drift off-by-one.
-            let violations = latency.violations_over(self.bound_ms);
+            let violations = latency.violations_over(bound_ms);
             let (fault_events, retried) = sim.take_fault_counts();
             let healthy_devices = sim.healthy_devices();
             total_completed += completed;
@@ -300,6 +386,28 @@ impl PolyRuntime {
                 queued: sim.queued(),
             });
 
+            if recording {
+                if let Some(r) = recorder.as_mut() {
+                    r.record(
+                        end,
+                        ObsEvent::Interval {
+                            index: i,
+                            start_ms: start,
+                            dur_ms: interval_ms,
+                            offered_rps,
+                            load_est_rps: load_est,
+                            policy_changed,
+                            reason,
+                            predicted_p99_ms: predicted.p99_ms,
+                            observed_p99_ms: p99,
+                            power_w: report.avg_power_w,
+                            completed,
+                            violations,
+                        },
+                    );
+                }
+            }
+
             intervals.push(IntervalRecord {
                 start_ms: start,
                 utilization: point.utilization,
@@ -324,7 +432,7 @@ impl PolyRuntime {
         for f in faults.fail_stops() {
             if let Some(r) = intervals
                 .iter()
-                .find(|r| r.start_ms >= f.at_ms && r.completed > 0 && r.p99_ms <= self.bound_ms)
+                .find(|r| r.start_ms >= f.at_ms && r.completed > 0 && r.p99_ms <= bound_ms)
             {
                 recovery_sum += r.start_ms + interval_ms - f.at_ms;
                 recovery_n += 1;
@@ -360,6 +468,45 @@ impl PolyRuntime {
             },
         }
     }
+
+    /// Replay a utilization trace at `max_rps` scaling, re-planning every
+    /// interval (Poly mode) or holding one policy (static mode).
+    #[deprecated(note = "build a RunSpec and call PolyRuntime::run")]
+    #[must_use]
+    pub fn run_trace(
+        &mut self,
+        trace: &[TracePoint],
+        interval_ms: f64,
+        max_rps: f64,
+        mode: &RuntimeMode,
+        seed: u64,
+    ) -> TraceReport {
+        self.run(
+            &RunSpec::new(trace, interval_ms, max_rps)
+                .mode(mode.clone())
+                .seed(seed),
+        )
+    }
+
+    /// Trace replay with a scripted device [`FaultPlan`].
+    #[deprecated(note = "build a RunSpec (with .faults()) and call PolyRuntime::run")]
+    #[must_use]
+    pub fn run_trace_with_faults(
+        &mut self,
+        trace: &[TracePoint],
+        interval_ms: f64,
+        max_rps: f64,
+        mode: &RuntimeMode,
+        seed: u64,
+        faults: &FaultPlan,
+    ) -> TraceReport {
+        self.run(
+            &RunSpec::new(trace, interval_ms, max_rps)
+                .mode(mode.clone())
+                .seed(seed)
+                .faults(faults.clone()),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -373,7 +520,7 @@ mod tests {
         let setup = table_iii(Setting::I, Architecture::HeterPoly);
         let ex = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
         let spaces = app.kernels().iter().map(|k| ex.explore(k)).collect();
-        PolyRuntime::new(app, spaces, setup, 200.0)
+        PolyRuntime::new(AppContext::new(app, spaces, setup, 200.0))
     }
 
     fn flat_trace(n: usize, util: f64, interval_ms: f64) -> Vec<TracePoint> {
@@ -389,7 +536,7 @@ mod tests {
     fn light_load_trace_is_violation_free_and_cheap() {
         let mut rt = runtime();
         let trace = flat_trace(6, 0.15, 10_000.0);
-        let report = rt.run_trace(&trace, 10_000.0, 20.0, &RuntimeMode::Poly, 7);
+        let report = rt.run(&RunSpec::new(&trace, 10_000.0, 20.0).seed(7));
         assert_eq!(report.intervals.len(), 6);
         assert!(report.violation_ratio < 0.05, "{}", report.violation_ratio);
         assert!(report.mean_power_w > 0.0);
@@ -403,7 +550,7 @@ mod tests {
             p.start_ms += 40_000.0;
             p
         }));
-        let report = rt.run_trace(&trace, 10_000.0, 20.0, &RuntimeMode::Poly, 11);
+        let report = rt.run(&RunSpec::new(&trace, 10_000.0, 20.0).seed(11));
         // Some interval after the step must adopt a different policy.
         assert!(
             report.intervals.iter().skip(4).any(|r| r.policy_changed),
@@ -429,7 +576,11 @@ mod tests {
             .unwrap();
         let policy = Policy::from_plan(&plan, &spaces, &setup.gpu);
         let trace = flat_trace(5, 0.3, 10_000.0);
-        let report = rt.run_trace(&trace, 10_000.0, 15.0, &RuntimeMode::Static(policy), 3);
+        let report = rt.run(
+            &RunSpec::new(&trace, 10_000.0, 15.0)
+                .mode(RuntimeMode::Static(policy))
+                .seed(3),
+        );
         assert!(report.intervals.iter().all(|r| !r.policy_changed));
     }
 
@@ -437,7 +588,18 @@ mod tests {
     fn prediction_error_is_bounded() {
         let mut rt = runtime();
         let trace = flat_trace(8, 0.3, 10_000.0);
-        let report = rt.run_trace(&trace, 10_000.0, 20.0, &RuntimeMode::Poly, 21);
+        let report = rt.run(&RunSpec::new(&trace, 10_000.0, 20.0).seed(21));
         assert!(report.prediction_error <= 1.0);
+    }
+
+    #[test]
+    fn deprecated_shims_forward_to_run() {
+        let trace = flat_trace(3, 0.2, 10_000.0);
+        let mut a = runtime();
+        let via_spec = a.run(&RunSpec::new(&trace, 10_000.0, 20.0).seed(5));
+        let mut b = runtime();
+        #[allow(deprecated)]
+        let via_shim = b.run_trace(&trace, 10_000.0, 20.0, &RuntimeMode::Poly, 5);
+        assert_eq!(via_spec, via_shim);
     }
 }

@@ -1,0 +1,348 @@
+//! Chrome `trace_event` exporter: renders the control/device view of a
+//! sample buffer as JSON loadable in `chrome://tracing` or Perfetto.
+//!
+//! The flamechart carries device-occupancy spans (`ExecStart`), control
+//! intervals (`Interval`), and instant markers (faults, hedges, routing,
+//! breaker transitions, governor re-splits). Per-request stage events
+//! stay out of the JSON — they are queried through the histogram API and
+//! CSV summaries instead — which keeps trace files bounded.
+//!
+//! Output is deterministic: samples render in buffer order, metadata
+//! rows sort by `(pid, tid)`, and every float prints with fixed
+//! precision (non-finite values map to `-1`).
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, Sample};
+
+/// Track row reserved for a node's control-loop intervals.
+const TID_CONTROL: usize = 900;
+/// Track row reserved for cluster actions targeting a node.
+const TID_CLUSTER: usize = 901;
+/// Track row for cluster-wide load shedding.
+const TID_SHED: usize = 902;
+
+/// Fixed-precision float for JSON args; non-finite values become `-1`.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "-1".to_string()
+    }
+}
+
+/// Milliseconds → trace_event microseconds, fixed precision.
+fn us(ms: f64) -> String {
+    if ms.is_finite() {
+        format!("{:.3}", ms * 1000.0)
+    } else {
+        "-1".to_string()
+    }
+}
+
+#[derive(Default)]
+struct Writer {
+    entries: Vec<String>,
+    names: BTreeMap<(usize, usize), String>,
+}
+
+impl Writer {
+    fn name_row(&mut self, pid: usize, tid: usize, name: impl Into<String>) {
+        self.names.entry((pid, tid)).or_insert_with(|| name.into());
+    }
+
+    fn span(&mut self, pid: usize, tid: usize, t_ms: f64, dur_ms: f64, name: &str, args: &str) {
+        self.entries.push(format!(
+            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"dur\":{},\"name\":\"{name}\",\"args\":{{{args}}}}}",
+            us(t_ms),
+            us(dur_ms.max(0.0)),
+        ));
+    }
+
+    fn instant(&mut self, pid: usize, tid: usize, t_ms: f64, name: &str, args: &str) {
+        self.entries.push(format!(
+            "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"s\":\"t\",\"name\":\"{name}\",\"args\":{{{args}}}}}",
+            us(t_ms),
+        ));
+    }
+}
+
+/// Render `samples` as a Chrome `trace_event` JSON document.
+///
+/// Processes (`pid`) are tracks: with any multi-track sample present,
+/// pid 0 is the cluster driver and pid `n` is node `n-1`; a single-track
+/// buffer is just "node". Threads (`tid`) are device rows plus reserved
+/// control/cluster rows.
+#[must_use]
+pub fn chrome_trace_json(samples: &[Sample]) -> String {
+    let multi = samples.iter().any(|s| s.track > 0);
+    let mut w = Writer::default();
+
+    for s in samples {
+        let pid = s.track as usize;
+        match &s.event {
+            Event::ExecStart {
+                device,
+                device_kind,
+                kernel,
+                impl_index,
+                batch,
+                reconfig_ms,
+                busy_ms,
+                exec_ms,
+            } => {
+                w.name_row(pid, *device, format!("dev{device} {device_kind}"));
+                let name = format!("k{kernel} x{batch}");
+                let args = format!(
+                    "\"impl\":{impl_index},\"batch\":{batch},\"reconfig_ms\":{},\"exec_ms\":{}",
+                    num(*reconfig_ms),
+                    num(*exec_ms)
+                );
+                w.span(pid, *device, s.t_ms, *busy_ms, &name, &args);
+            }
+            Event::Interval {
+                start_ms,
+                dur_ms,
+                offered_rps,
+                load_est_rps,
+                policy_changed,
+                reason,
+                predicted_p99_ms,
+                observed_p99_ms,
+                power_w,
+                completed,
+                violations,
+                ..
+            } => {
+                w.name_row(pid, TID_CONTROL, "control");
+                let name = if *policy_changed {
+                    format!("replan:{reason}")
+                } else {
+                    (*reason).to_string()
+                };
+                let args = format!(
+                    "\"offered_rps\":{},\"load_est_rps\":{},\"predicted_p99_ms\":{},\"observed_p99_ms\":{},\"power_w\":{},\"completed\":{completed},\"violations\":{violations}",
+                    num(*offered_rps),
+                    num(*load_est_rps),
+                    num(*predicted_p99_ms),
+                    num(*observed_p99_ms),
+                    num(*power_w)
+                );
+                w.span(pid, TID_CONTROL, *start_ms, *dur_ms, &name, &args);
+            }
+            Event::Fault { device, kind } => {
+                w.name_row(pid, *device, format!("dev{device}"));
+                w.instant(pid, *device, s.t_ms, &format!("fault:{kind}"), "");
+            }
+            Event::HedgeFired { device, kernel, .. } => {
+                w.name_row(pid, *device, format!("dev{device}"));
+                w.instant(
+                    pid,
+                    *device,
+                    s.t_ms,
+                    "hedge",
+                    &format!("\"kernel\":{kernel}"),
+                );
+            }
+            Event::Route { node, assigned } => {
+                let pid = node + 1;
+                w.name_row(pid, TID_CLUSTER, "cluster");
+                w.instant(
+                    pid,
+                    TID_CLUSTER,
+                    s.t_ms,
+                    "route",
+                    &format!("\"assigned\":{assigned}"),
+                );
+            }
+            Event::BreakerTransition { node, from, to } => {
+                let pid = node + 1;
+                w.name_row(pid, TID_CLUSTER, "cluster");
+                w.instant(
+                    pid,
+                    TID_CLUSTER,
+                    s.t_ms,
+                    &format!("breaker:{from}->{to}"),
+                    "",
+                );
+            }
+            Event::GovernorSplit { node, cap_w } => {
+                let pid = node + 1;
+                w.name_row(pid, TID_CLUSTER, "cluster");
+                w.instant(
+                    pid,
+                    TID_CLUSTER,
+                    s.t_ms,
+                    "cap",
+                    &format!("\"cap_w\":{}", num(*cap_w)),
+                );
+            }
+            Event::Shed { count } => {
+                w.name_row(0, TID_SHED, "shed");
+                w.instant(0, TID_SHED, s.t_ms, "shed", &format!("\"count\":{count}"));
+            }
+            // Per-request stage events are served by the histogram/CSV
+            // exporters; keeping them out of the JSON bounds its size.
+            _ => {}
+        }
+    }
+
+    let mut rows: Vec<String> = Vec::with_capacity(w.entries.len() + 2 * w.names.len());
+    let mut seen_pids: Vec<usize> = w.names.keys().map(|&(pid, _)| pid).collect();
+    seen_pids.dedup();
+    for pid in seen_pids {
+        let pname = if multi {
+            if pid == 0 {
+                "cluster-driver".to_string()
+            } else {
+                format!("node{}", pid - 1)
+            }
+        } else {
+            "node".to_string()
+        };
+        rows.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"{pname}\"}}}}"
+        ));
+    }
+    for ((pid, tid), tname) in &w.names {
+        rows.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{tname}\"}}}}"
+        ));
+    }
+    rows.extend(w.entries);
+
+    let mut doc = String::from("{\"traceEvents\":[\n");
+    doc.push_str(&rows.join(",\n"));
+    doc.push_str("\n]}\n");
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Sample;
+
+    fn sample(t_ms: f64, seq: u64, track: u32, event: Event) -> Sample {
+        Sample {
+            t_ms,
+            seq,
+            track,
+            event,
+        }
+    }
+
+    #[test]
+    fn exports_spans_instants_and_metadata() {
+        let samples = vec![
+            sample(
+                1.0,
+                0,
+                0,
+                Event::ExecStart {
+                    device: 2,
+                    device_kind: "fpga",
+                    kernel: 1,
+                    impl_index: 3,
+                    batch: 4,
+                    reconfig_ms: 0.5,
+                    busy_ms: 2.5,
+                    exec_ms: 2.0,
+                },
+            ),
+            sample(
+                3.0,
+                1,
+                0,
+                Event::Fault {
+                    device: 2,
+                    kind: "fail-stop",
+                },
+            ),
+            sample(
+                0.0,
+                2,
+                0,
+                Event::Interval {
+                    index: 0,
+                    start_ms: 0.0,
+                    dur_ms: 10.0,
+                    offered_rps: 30.0,
+                    load_est_rps: 28.0,
+                    policy_changed: true,
+                    reason: "initial",
+                    predicted_p99_ms: f64::INFINITY,
+                    observed_p99_ms: 5.0,
+                    power_w: 100.0,
+                    completed: 9,
+                    violations: 0,
+                },
+            ),
+        ];
+        let json = chrome_trace_json(&samples);
+        assert!(json.starts_with("{\"traceEvents\":[\n"));
+        assert!(json.ends_with("\n]}\n"));
+        assert!(json.contains("\"name\":\"k1 x4\""));
+        assert!(json.contains("\"dur\":2500.000"));
+        assert!(json.contains("\"name\":\"fault:fail-stop\""));
+        assert!(json.contains("\"name\":\"replan:initial\""));
+        // Non-finite predicted p99 maps to -1, never to "inf".
+        assert!(json.contains("\"predicted_p99_ms\":-1"));
+        assert!(!json.contains("inf\""));
+        // Metadata precedes events.
+        let meta = json.find("thread_name").unwrap();
+        let span = json.find("\"ph\":\"X\"").unwrap();
+        assert!(meta < span);
+        assert!(json.contains("\"name\":\"dev2 fpga\""));
+    }
+
+    #[test]
+    fn cluster_events_land_on_node_tracks() {
+        let samples = vec![
+            sample(
+                10.0,
+                0,
+                0,
+                Event::Route {
+                    node: 1,
+                    assigned: 7,
+                },
+            ),
+            sample(
+                10.0,
+                1,
+                0,
+                Event::BreakerTransition {
+                    node: 0,
+                    from: "closed",
+                    to: "open",
+                },
+            ),
+            sample(10.0, 2, 0, Event::Shed { count: 3 }),
+            sample(
+                10.0,
+                3,
+                2,
+                Event::ExecStart {
+                    device: 0,
+                    device_kind: "gpu",
+                    kernel: 0,
+                    impl_index: 0,
+                    batch: 1,
+                    reconfig_ms: 0.0,
+                    busy_ms: 1.0,
+                    exec_ms: 1.0,
+                },
+            ),
+        ];
+        let json = chrome_trace_json(&samples);
+        assert!(json.contains("\"name\":\"breaker:closed->open\""));
+        assert!(json.contains("\"name\":\"cluster-driver\""));
+        assert!(json.contains("\"name\":\"node1\""));
+        assert!(json.contains("\"count\":3"));
+    }
+
+    #[test]
+    fn empty_buffer_is_still_valid_json_shell() {
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[\n\n]}\n");
+    }
+}

@@ -1,0 +1,224 @@
+//! Telemetry event schema: primitives only (indices, floats, `&'static
+//! str` labels), so recording allocates nothing beyond the sample buffer
+//! and exporters never need string escaping.
+
+/// One telemetry event. Variants are grouped by the layer that emits
+/// them: request lifecycle and device execution come from the DES,
+/// `Interval` from the runtime's control loop, and the rest from the
+/// cluster driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A request entered the system (all of its kernel stages enqueued).
+    ReqEnqueue {
+        /// Request index within the current segment.
+        req: usize,
+        /// Absolute deadline in sim-ms (`f64::INFINITY` when deadlines
+        /// are disabled).
+        deadline_ms: f64,
+    },
+    /// A kernel stage was placed on a device queue.
+    StageDispatch {
+        /// Request index.
+        req: usize,
+        /// Kernel index within the application graph.
+        kernel: usize,
+        /// Device index within the pool.
+        device: usize,
+        /// Attempt number (0 = first try, >0 = retry).
+        attempt: u32,
+        /// Whether this is a hedge duplicate.
+        hedge: bool,
+    },
+    /// A kernel stage had no live device to run on and was stranded.
+    StageStranded {
+        /// Request index.
+        req: usize,
+        /// Kernel index.
+        kernel: usize,
+    },
+    /// A device started executing a batch (one span on the device's
+    /// timeline row; per-request detail rides on `StageStart`).
+    ExecStart {
+        /// Device index within the pool.
+        device: usize,
+        /// Device kind label ("gpu" / "fpga").
+        device_kind: &'static str,
+        /// Kernel index the batch belongs to.
+        kernel: usize,
+        /// Implementation index chosen by the active policy.
+        impl_index: usize,
+        /// Number of requests in the batch.
+        batch: usize,
+        /// Reconfiguration stall charged before execution, ms.
+        reconfig_ms: f64,
+        /// Device occupancy for this batch (reconfig + occupancy), ms.
+        busy_ms: f64,
+        /// Latency-visible execution time for the batch, ms.
+        exec_ms: f64,
+    },
+    /// One request's stage started executing within a batch.
+    StageStart {
+        /// Request index.
+        req: usize,
+        /// Kernel index.
+        kernel: usize,
+        /// Device index.
+        device: usize,
+        /// Attempt number.
+        attempt: u32,
+        /// Whether this copy is a hedge duplicate.
+        hedge: bool,
+        /// Time spent waiting in the device queue, ms.
+        queue_wait_ms: f64,
+        /// Service time until stage completion, ms.
+        service_ms: f64,
+    },
+    /// One request's stage finished.
+    StageComplete {
+        /// Request index.
+        req: usize,
+        /// Kernel index.
+        kernel: usize,
+    },
+    /// The hedging policy fired a duplicate stage onto another device.
+    HedgeFired {
+        /// Request index.
+        req: usize,
+        /// Kernel index.
+        kernel: usize,
+        /// Device the duplicate was sent to.
+        device: usize,
+    },
+    /// A request completed all stages.
+    ReqComplete {
+        /// Request index.
+        req: usize,
+        /// End-to-end latency, ms.
+        latency_ms: f64,
+    },
+    /// A request was cancelled at its deadline.
+    ReqTimedOut {
+        /// Request index.
+        req: usize,
+    },
+    /// A request failed permanently (retries exhausted).
+    ReqFailed {
+        /// Request index.
+        req: usize,
+    },
+    /// A request was cancelled for another reason (device went down and
+    /// lifecycle policy gave up, segment drain, ...).
+    ReqCancelled {
+        /// Request index.
+        req: usize,
+    },
+    /// A fault-plan event was applied to a device.
+    Fault {
+        /// Device index.
+        device: usize,
+        /// Fault kind label ("fail-stop" / "slowdown" / "recover").
+        kind: &'static str,
+    },
+    /// One control-loop interval summary from the runtime.
+    Interval {
+        /// Interval index within the trace.
+        index: usize,
+        /// Interval start, sim-ms.
+        start_ms: f64,
+        /// Interval length, ms.
+        dur_ms: f64,
+        /// Offered load for the interval, requests/s.
+        offered_rps: f64,
+        /// The monitor's load estimate the plan was chosen for, req/s.
+        load_est_rps: f64,
+        /// Whether the optimizer switched policy this interval.
+        policy_changed: bool,
+        /// Why the interval planned the way it did ("hold",
+        /// "qos-pressure", "power-save", "degraded", "forced",
+        /// "initial").
+        reason: &'static str,
+        /// Model-predicted p99 for the chosen policy, ms.
+        predicted_p99_ms: f64,
+        /// Observed p99 over the interval, ms.
+        observed_p99_ms: f64,
+        /// Mean power draw over the interval, W.
+        power_w: f64,
+        /// Requests completed in the interval.
+        completed: usize,
+        /// QoS violations in the interval.
+        violations: usize,
+    },
+    /// The cluster router assigned arrivals to a node this interval.
+    Route {
+        /// Node index.
+        node: usize,
+        /// Requests routed to the node.
+        assigned: usize,
+    },
+    /// The cluster router shed requests (every node saturated or down).
+    Shed {
+        /// Requests shed this interval.
+        count: usize,
+    },
+    /// A per-node circuit breaker changed state.
+    BreakerTransition {
+        /// Node index.
+        node: usize,
+        /// Previous state label ("closed" / "open" / "half-open").
+        from: &'static str,
+        /// New state label.
+        to: &'static str,
+    },
+    /// The power governor re-split the cluster budget.
+    GovernorSplit {
+        /// Node index.
+        node: usize,
+        /// New node power cap, W.
+        cap_w: f64,
+    },
+}
+
+impl Event {
+    /// Short stable label for the variant (used by exporters and CSV
+    /// summaries).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::ReqEnqueue { .. } => "req-enqueue",
+            Event::StageDispatch { .. } => "stage-dispatch",
+            Event::StageStranded { .. } => "stage-stranded",
+            Event::ExecStart { .. } => "exec-start",
+            Event::StageStart { .. } => "stage-start",
+            Event::StageComplete { .. } => "stage-complete",
+            Event::HedgeFired { .. } => "hedge-fired",
+            Event::ReqComplete { .. } => "req-complete",
+            Event::ReqTimedOut { .. } => "req-timed-out",
+            Event::ReqFailed { .. } => "req-failed",
+            Event::ReqCancelled { .. } => "req-cancelled",
+            Event::Fault { .. } => "fault",
+            Event::Interval { .. } => "interval",
+            Event::Route { .. } => "route",
+            Event::Shed { .. } => "shed",
+            Event::BreakerTransition { .. } => "breaker",
+            Event::GovernorSplit { .. } => "governor-split",
+        }
+    }
+}
+
+/// One recorded event with its ordering key: sim time, then a stable
+/// per-buffer sequence number, plus the track (cluster node) it came
+/// from. Samples in a [`crate::MemRecorder`] buffer are totally ordered
+/// by `(t_ms, seq)` by construction — `seq` increases monotonically and
+/// ties in `t_ms` resolve by emission order, which the simulator keeps
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sim time the event was recorded at, ms.
+    pub t_ms: f64,
+    /// Stable sequence number within the owning buffer.
+    pub seq: u64,
+    /// Track (0 = single node / cluster driver, 1.. = cluster nodes).
+    pub track: u32,
+    /// The event.
+    pub event: Event,
+}

@@ -1,0 +1,145 @@
+//! In-memory histogram queries over recorded samples: latency-breakdown
+//! summaries (queue wait, service time, end-to-end latency) computed
+//! directly from the per-request stage events.
+
+use crate::event::{Event, Sample};
+
+/// Percentile summary of one metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: usize,
+    /// Smallest observation.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((q * sorted.len() as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    sorted[idx]
+}
+
+/// Summarize a set of observations; `None` when empty. Values sort by
+/// total order, so the result is deterministic for any input order.
+#[must_use]
+pub fn summarize(values: &[f64]) -> Option<HistogramSummary> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    Some(HistogramSummary {
+        count: v.len(),
+        min: v[0],
+        p50: percentile(&v, 0.50),
+        p95: percentile(&v, 0.95),
+        p99: percentile(&v, 0.99),
+        max: *v.last().expect("non-empty"),
+        mean,
+    })
+}
+
+/// Queue-wait distribution from `StageStart` events, optionally
+/// restricted to one kernel.
+#[must_use]
+pub fn queue_wait_summary(samples: &[Sample], kernel: Option<usize>) -> Option<HistogramSummary> {
+    let vals: Vec<f64> = samples
+        .iter()
+        .filter_map(|s| match s.event {
+            Event::StageStart {
+                kernel: k,
+                queue_wait_ms,
+                ..
+            } if kernel.is_none_or(|want| want == k) => Some(queue_wait_ms),
+            _ => None,
+        })
+        .collect();
+    summarize(&vals)
+}
+
+/// Service-time distribution from `StageStart` events, optionally
+/// restricted to one kernel.
+#[must_use]
+pub fn service_summary(samples: &[Sample], kernel: Option<usize>) -> Option<HistogramSummary> {
+    let vals: Vec<f64> = samples
+        .iter()
+        .filter_map(|s| match s.event {
+            Event::StageStart {
+                kernel: k,
+                service_ms,
+                ..
+            } if kernel.is_none_or(|want| want == k) => Some(service_ms),
+            _ => None,
+        })
+        .collect();
+    summarize(&vals)
+}
+
+/// End-to-end latency distribution from `ReqComplete` events.
+#[must_use]
+pub fn latency_summary(samples: &[Sample]) -> Option<HistogramSummary> {
+    let vals: Vec<f64> = samples
+        .iter()
+        .filter_map(|s| match s.event {
+            Event::ReqComplete { latency_ms, .. } => Some(latency_ms),
+            _ => None,
+        })
+        .collect();
+    summarize(&vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_small_set() {
+        let h = summarize(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.p50, 2.0);
+        assert_eq!(h.p99, 3.0);
+        assert_eq!(h.max, 3.0);
+        assert!((h.mean - 2.0).abs() < 1e-12);
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn stage_queries_filter_by_kernel() {
+        let mk = |kernel, queue_wait_ms, service_ms| Sample {
+            t_ms: 0.0,
+            seq: 0,
+            track: 0,
+            event: Event::StageStart {
+                req: 0,
+                kernel,
+                device: 0,
+                attempt: 0,
+                hedge: false,
+                queue_wait_ms,
+                service_ms,
+            },
+        };
+        let samples = vec![mk(0, 1.0, 10.0), mk(1, 5.0, 20.0), mk(0, 3.0, 30.0)];
+        let all = queue_wait_summary(&samples, None).unwrap();
+        assert_eq!(all.count, 3);
+        let k0 = queue_wait_summary(&samples, Some(0)).unwrap();
+        assert_eq!(k0.count, 2);
+        assert_eq!(k0.max, 3.0);
+        let svc = service_summary(&samples, Some(1)).unwrap();
+        assert_eq!(svc.mean, 20.0);
+        assert!(latency_summary(&samples).is_none());
+    }
+}

@@ -6,6 +6,7 @@ use crate::metrics::RetryStats;
 use crate::{KernelImpl, LatencyStats, Policy, TotalF64};
 use poly_device::{DeviceKind, PcieLink};
 use poly_ir::{KernelGraph, KernelId};
+use poly_obs::{Event as ObsEvent, Recorder};
 use poly_sched::Pool;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -293,6 +294,10 @@ pub struct Simulator {
     audit_clock_regressions: usize,
     booked_busy_mj: f64,
     refunded_busy_mj: f64,
+    /// Telemetry sink (`None` = recording off). The recorder keeps its
+    /// own sequence numbering and never feeds back into simulation state,
+    /// so attaching one cannot perturb results.
+    recorder: Option<Box<dyn Recorder>>,
 }
 
 impl Simulator {
@@ -352,6 +357,7 @@ impl Simulator {
             audit_clock_regressions: 0,
             booked_busy_mj: 0.0,
             refunded_busy_mj: 0.0,
+            recorder: None,
         };
         sim.preload_bitstreams();
         sim.recompute_wait_budgets();
@@ -506,6 +512,33 @@ impl Simulator {
         self.timeline.as_deref().unwrap_or(&[])
     }
 
+    /// Attach (or detach, with `None`) a telemetry [`Recorder`]. Every
+    /// emission site gates on [`Recorder::enabled`] before constructing
+    /// an event, so a `NullRecorder` (or no recorder) costs one branch.
+    pub fn set_recorder(&mut self, recorder: Option<Box<dyn Recorder>>) {
+        self.recorder = recorder;
+    }
+
+    /// Whether an enabled recorder is attached (emission sites use this
+    /// to skip event construction entirely when recording is off).
+    #[must_use]
+    pub fn recording(&self) -> bool {
+        self.recorder.as_ref().is_some_and(|r| r.enabled())
+    }
+
+    /// Record `event` at sim time `t_ms`.
+    fn obs_at(&mut self, t_ms: f64, event: ObsEvent) {
+        if let Some(r) = &mut self.recorder {
+            r.record(t_ms, event);
+        }
+    }
+
+    /// Record `event` at the current sim time.
+    fn obs(&mut self, event: ObsEvent) {
+        let now = self.now;
+        self.obs_at(now, event);
+    }
+
     /// Replace the execution policy. Running executions finish under the
     /// old implementations; future dispatches use the new ones (FPGAs pay
     /// reconfiguration when the loaded bitstream no longer matches).
@@ -552,6 +585,9 @@ impl Simulator {
             self.push(arrival_ms, EventKind::Arrival { req });
             if deadline_ms.is_finite() {
                 self.push(deadline_ms, EventKind::Deadline { req });
+            }
+            if self.recording() {
+                self.obs_at(arrival_ms, ObsEvent::ReqEnqueue { req, deadline_ms });
             }
         }
     }
@@ -645,6 +681,16 @@ impl Simulator {
                 match self.choose_device(kernel, None) {
                     Some(dev) => {
                         self.devices[dev].queue.push_back(item);
+                        if self.recording() {
+                            let attempt = self.requests[req].attempt[kernel.0];
+                            self.obs(ObsEvent::StageDispatch {
+                                req,
+                                kernel: kernel.0,
+                                device: dev,
+                                attempt,
+                                hedge: false,
+                            });
+                        }
                         self.try_start(dev);
                         if let Some(delay) = hedge_delay {
                             self.maybe_schedule_hedge(req, kernel, delay);
@@ -652,7 +698,15 @@ impl Simulator {
                     }
                     // Every device of the required kind is down: park the
                     // work until a re-plan or a recovery.
-                    None => self.stranded.push(item),
+                    None => {
+                        self.stranded.push(item);
+                        if self.recording() {
+                            self.obs(ObsEvent::StageStranded {
+                                req,
+                                kernel: kernel.0,
+                            });
+                        }
+                    }
                 }
             }
             EventKind::DeviceFree { dev } => {
@@ -773,6 +827,13 @@ impl Simulator {
             ready_ms: now,
             hedge: true,
         });
+        if self.recording() {
+            self.obs(ObsEvent::HedgeFired {
+                req,
+                kernel: k,
+                device: alt,
+            });
+        }
         self.try_start(alt);
     }
 
@@ -981,6 +1042,21 @@ impl Simulator {
         d.busy_until = busy_until;
 
         self.push(busy_until, EventKind::DeviceFree { dev });
+        if self.recording() {
+            self.obs(ObsEvent::ExecStart {
+                device: dev,
+                device_kind: match imp.kind {
+                    DeviceKind::Gpu => "gpu",
+                    DeviceKind::Fpga => "fpga",
+                },
+                kernel: front.kernel.0,
+                impl_index: imp.impl_index,
+                batch: batch.len(),
+                reconfig_ms: start - now,
+                busy_ms: busy_until - now,
+                exec_ms: exec,
+            });
+        }
         if let Some(h) = self.config.lifecycle.hedge {
             // Feed the rolling stage-latency window that the hedge delay
             // quantile is computed over (dispatch-to-completion, queueing
@@ -995,6 +1071,17 @@ impl Simulator {
         }
         for item in batch {
             let attempt = self.requests[item.req].attempt[item.kernel.0];
+            if self.recording() {
+                self.obs(ObsEvent::StageStart {
+                    req: item.req,
+                    kernel: item.kernel.0,
+                    device: dev,
+                    attempt,
+                    hedge: item.hedge,
+                    queue_wait_ms: (start - item.ready_ms).max(0.0),
+                    service_ms: completion - start,
+                });
+            }
             self.devices[dev].inflight.push(InflightItem {
                 item,
                 attempt,
@@ -1043,6 +1130,12 @@ impl Simulator {
             // and refund whatever busy time it still held booked.
             self.cancel_duplicates(req, kernel);
         }
+        if self.recording() {
+            self.obs(ObsEvent::StageComplete {
+                req,
+                kernel: kernel.0,
+            });
+        }
         let my_kind = self.policy.of(kernel).kind;
         let succs: Vec<(KernelId, u64)> = self
             .graph
@@ -1069,6 +1162,12 @@ impl Simulator {
             self.segment_latencies.push(latency);
             self.completed += 1;
             self.segment_completed += 1;
+            if self.recording() {
+                self.obs(ObsEvent::ReqComplete {
+                    req,
+                    latency_ms: latency,
+                });
+            }
         }
     }
 
@@ -1093,6 +1192,17 @@ impl Simulator {
                 self.seg_failed += 1;
             }
             Outcome::Cancelled => self.life_cancelled += 1,
+        }
+        if self.recording() {
+            // `Completed` is reported by the caller as `ReqComplete`
+            // (which carries the latency); only the failure outcomes are
+            // recorded here.
+            match outcome {
+                Outcome::TimedOut => self.obs(ObsEvent::ReqTimedOut { req }),
+                Outcome::Failed => self.obs(ObsEvent::ReqFailed { req }),
+                Outcome::Cancelled => self.obs(ObsEvent::ReqCancelled { req }),
+                Outcome::InFlight | Outcome::Completed => {}
+            }
         }
     }
 
@@ -1349,6 +1459,12 @@ impl Simulator {
                 }
                 self.fault_failures += 1;
                 self.seg_fault_events += 1;
+                if self.recording() {
+                    self.obs(ObsEvent::Fault {
+                        device,
+                        kind: "fail-stop",
+                    });
+                }
                 let mut queued_victims: Vec<WorkItem> = Vec::new();
                 {
                     let d = &mut self.devices[device];
@@ -1443,6 +1559,12 @@ impl Simulator {
                 if d.healthy {
                     d.derate = factor.max(1.0);
                     self.seg_fault_events += 1;
+                    if self.recording() {
+                        self.obs(ObsEvent::Fault {
+                            device,
+                            kind: "slowdown",
+                        });
+                    }
                 }
             }
             FaultKind::Recover => {
@@ -1466,6 +1588,12 @@ impl Simulator {
                 if was_down {
                     self.seg_fault_events += 1;
                     self.apply_idle_floors();
+                    if self.recording() {
+                        self.obs(ObsEvent::Fault {
+                            device,
+                            kind: "recover",
+                        });
+                    }
                 }
                 self.redispatch_stranded();
                 self.push(now, EventKind::DeviceFree { dev: device });

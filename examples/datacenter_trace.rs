@@ -8,7 +8,7 @@
 
 use poly::apps::{asr, QOS_BOUND_MS};
 use poly::core::provision::{table_iii, Architecture, Setting};
-use poly::core::{Optimizer, PolyRuntime, RuntimeMode};
+use poly::core::{AppContext, Optimizer, PolyRuntime, RunSpec, RuntimeMode};
 use poly::dse::Explorer;
 use poly::sim::workload::google_trace_24h;
 
@@ -35,18 +35,17 @@ fn main() {
     // Static baseline: the best fixed policy, never re-planned.
     let static_policy =
         Optimizer::new().max_capacity_policy(&app, &spaces, &setup.pool, &setup.gpu, QOS_BOUND_MS);
-    let mut rt = PolyRuntime::new(app.clone(), spaces.clone(), setup.clone(), QOS_BOUND_MS);
-    let static_report = rt.run_trace(
-        &trace,
-        interval_ms,
-        max_rps,
-        &RuntimeMode::Static(static_policy),
-        9,
+    let ctx = AppContext::new(app, spaces, setup, QOS_BOUND_MS);
+    let mut rt = PolyRuntime::new(ctx.clone());
+    let static_report = rt.run(
+        &RunSpec::new(&trace, interval_ms, max_rps)
+            .mode(RuntimeMode::Static(static_policy))
+            .seed(9),
     );
 
     // Poly: monitor -> model -> optimizer every interval.
-    let mut rt = PolyRuntime::new(app, spaces, setup, QOS_BOUND_MS);
-    let poly_report = rt.run_trace(&trace, interval_ms, max_rps, &RuntimeMode::Poly, 9);
+    let mut rt = PolyRuntime::new(ctx);
+    let poly_report = rt.run(&RunSpec::new(&trace, interval_ms, max_rps).seed(9));
 
     println!("interval  util   offered   poly-P(W)  static-P(W)  poly-p99  replanned");
     for (i, (p, s)) in poly_report

@@ -1,0 +1,101 @@
+//! One error type for the whole workspace: every fallible layer — IR
+//! construction, scheduling, fault-plan validation, post-run audits —
+//! defines its own precise error enum, and this module folds them into a
+//! single [`enum@Error`] so callers composing several layers can use one
+//! `Result` type and `?` throughout.
+
+use std::fmt;
+
+use poly_ir::IrError;
+use poly_sched::ScheduleError;
+use poly_sim::{AuditError, FaultPlanError};
+
+/// Any error the Poly workspace can produce, by originating layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// IR construction / validation failed (cycles, bad edges, …).
+    Ir(IrError),
+    /// The two-step scheduler found no feasible plan.
+    Schedule(ScheduleError),
+    /// A post-run lifecycle/energy audit invariant was violated.
+    Audit(AuditError),
+    /// A fault plan failed validation (unknown device, bad ordering, …).
+    FaultPlan(FaultPlanError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Ir(e) => write!(f, "ir: {e}"),
+            Error::Schedule(e) => write!(f, "schedule: {e}"),
+            Error::Audit(e) => write!(f, "audit: {e}"),
+            Error::FaultPlan(e) => write!(f, "fault plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Ir(e) => Some(e),
+            Error::Schedule(e) => Some(e),
+            Error::Audit(e) => Some(e),
+            Error::FaultPlan(e) => Some(e),
+        }
+    }
+}
+
+impl From<IrError> for Error {
+    fn from(e: IrError) -> Self {
+        Error::Ir(e)
+    }
+}
+
+impl From<ScheduleError> for Error {
+    fn from(e: ScheduleError) -> Self {
+        Error::Schedule(e)
+    }
+}
+
+impl From<AuditError> for Error {
+    fn from(e: AuditError) -> Self {
+        Error::Audit(e)
+    }
+}
+
+impl From<FaultPlanError> for Error {
+    fn from(e: FaultPlanError) -> Self {
+        Error::FaultPlan(e)
+    }
+}
+
+/// Workspace-wide result alias over [`enum@Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule_err() -> ScheduleError {
+        ScheduleError::NoImplementation {
+            kernel: "k3".into(),
+        }
+    }
+
+    #[test]
+    fn layers_convert_and_display_with_their_origin() {
+        let e: Error = schedule_err().into();
+        assert!(matches!(e, Error::Schedule(_)));
+        assert!(e.to_string().starts_with("schedule: "));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn question_mark_folds_layer_errors() {
+        fn plan() -> Result<()> {
+            Err(schedule_err())?;
+            Ok(())
+        }
+        assert!(matches!(plan(), Err(Error::Schedule(_))));
+    }
+}

@@ -17,6 +17,13 @@
 //! - [`cluster`] — the multi-node layer above single leaf nodes: front-end
 //!   routing with QoS-aware admission, cluster-wide power budgeting, and
 //!   node-level fault domains
+//! - [`obs`] — structured telemetry: per-request spans, per-interval
+//!   runtime events, and cluster events, with Chrome trace / CSV /
+//!   histogram exporters (zero-cost when no recorder is attached)
+//!
+//! Layer-specific errors ([`ir::IrError`], [`sched::ScheduleError`],
+//! [`sim::AuditError`], [`sim::FaultPlanError`]) unify into the top-level
+//! [`enum@Error`] via `From`, so multi-layer callers can `?` throughout.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory; `EXPERIMENTS.md` records paper-vs-measured results for every
@@ -30,5 +37,9 @@ pub use poly_core as core;
 pub use poly_device as device;
 pub use poly_dse as dse;
 pub use poly_ir as ir;
+pub use poly_obs as obs;
 pub use poly_sched as sched;
 pub use poly_sim as sim;
+
+mod error;
+pub use error::{Error, Result};

@@ -5,7 +5,7 @@
 
 use poly::apps::{asr, QOS_BOUND_MS};
 use poly::core::provision::{table_iii, Architecture, Setting};
-use poly::core::{PolyRuntime, RuntimeMode, TraceReport};
+use poly::core::{AppContext, PolyRuntime, RunSpec, RuntimeMode, TraceReport};
 use poly::dse::Explorer;
 use poly::sched::Scheduler;
 use poly::sim::workload::TracePoint;
@@ -47,14 +47,12 @@ fn gpu_outage() -> FaultPlan {
 
 fn run(mode: &RuntimeMode) -> TraceReport {
     let (app, spaces, setup) = heter();
-    let mut rt = PolyRuntime::new(app, spaces, setup, QOS_BOUND_MS);
-    rt.run_trace_with_faults(
-        &flat_trace(12),
-        INTERVAL_MS,
-        20.0,
-        mode,
-        2011,
-        &gpu_outage(),
+    let mut rt = PolyRuntime::new(AppContext::new(app, spaces, setup, QOS_BOUND_MS));
+    rt.run(
+        &RunSpec::new(&flat_trace(12), INTERVAL_MS, 20.0)
+            .mode(mode.clone())
+            .seed(2011)
+            .faults(gpu_outage()),
     )
 }
 
@@ -163,20 +161,18 @@ fn poly_replans_onto_survivors_and_beats_static() {
 
 #[test]
 fn fault_free_plan_is_identical_to_plain_run_trace() {
-    // `run_trace` is now a thin wrapper over the fault-aware path with an
-    // empty plan; both entry points must agree exactly.
+    // An empty fault plan is the default: a spec without `.faults()` and
+    // one carrying an explicitly empty plan must agree exactly.
     let (app, spaces, setup) = heter();
+    let ctx = AppContext::new(app, spaces, setup, QOS_BOUND_MS);
     let trace = flat_trace(4);
-    let mut a = PolyRuntime::new(app.clone(), spaces.clone(), setup.clone(), QOS_BOUND_MS);
-    let ra = a.run_trace(&trace, INTERVAL_MS, 20.0, &RuntimeMode::Poly, 7);
-    let mut b = PolyRuntime::new(app, spaces, setup, QOS_BOUND_MS);
-    let rb = b.run_trace_with_faults(
-        &trace,
-        INTERVAL_MS,
-        20.0,
-        &RuntimeMode::Poly,
-        7,
-        &FaultPlan::new(),
+    let mut a = PolyRuntime::new(ctx.clone());
+    let ra = a.run(&RunSpec::new(&trace, INTERVAL_MS, 20.0).seed(7));
+    let mut b = PolyRuntime::new(ctx);
+    let rb = b.run(
+        &RunSpec::new(&trace, INTERVAL_MS, 20.0)
+            .seed(7)
+            .faults(FaultPlan::new()),
     );
     assert_eq!(ra, rb);
     assert_eq!(ra.fault_events, 0);

@@ -3,7 +3,7 @@
 
 use poly::apps::{asr, QOS_BOUND_MS};
 use poly::core::provision::{table_iii, Architecture, Setting};
-use poly::core::{Optimizer, PolyRuntime, RuntimeMode};
+use poly::core::{AppContext, Optimizer, PolyRuntime, RunSpec, RuntimeMode};
 use poly::device::DeviceKind;
 use poly::dse::Explorer;
 use poly::sim::steady_state;
@@ -86,8 +86,8 @@ fn burst_in_trace_recovers_within_a_few_intervals() {
             utilization: util,
         });
     }
-    let mut rt = PolyRuntime::new(app, spaces, setup, QOS_BOUND_MS);
-    let report = rt.run_trace(&trace, interval, 60.0, &RuntimeMode::Poly, 99);
+    let mut rt = PolyRuntime::new(AppContext::new(app, spaces, setup, QOS_BOUND_MS));
+    let report = rt.run(&RunSpec::new(&trace, interval, 60.0).seed(99));
     // The tail must eventually come back under the bound.
     let tail: Vec<f64> = report.intervals[16..].iter().map(|r| r.p99_ms).collect();
     assert!(
@@ -109,10 +109,15 @@ fn static_and_poly_modes_agree_on_offered_load() {
         .collect();
     let fixed =
         Optimizer::new().max_capacity_policy(&app, &spaces, &setup.pool, &setup.gpu, QOS_BOUND_MS);
-    let mut rt1 = PolyRuntime::new(app.clone(), spaces.clone(), setup.clone(), QOS_BOUND_MS);
-    let r1 = rt1.run_trace(&trace, 10_000.0, 30.0, &RuntimeMode::Static(fixed), 5);
-    let mut rt2 = PolyRuntime::new(app, spaces, setup, QOS_BOUND_MS);
-    let r2 = rt2.run_trace(&trace, 10_000.0, 30.0, &RuntimeMode::Poly, 5);
+    let ctx = AppContext::new(app, spaces, setup, QOS_BOUND_MS);
+    let mut rt1 = PolyRuntime::new(ctx.clone());
+    let r1 = rt1.run(
+        &RunSpec::new(&trace, 10_000.0, 30.0)
+            .mode(RuntimeMode::Static(fixed))
+            .seed(5),
+    );
+    let mut rt2 = PolyRuntime::new(ctx);
+    let r2 = rt2.run(&RunSpec::new(&trace, 10_000.0, 30.0).seed(5));
     let arrived =
         |r: &poly::core::TraceReport| -> usize { r.intervals.iter().map(|i| i.completed).sum() };
     // Same seed, same offered load: completion counts within a few
