@@ -1,13 +1,26 @@
-//! Parallel-engine benchmarks: serial vs parallel load sweeps and cached
-//! vs uncached design-space exploration — the two levers behind the
-//! `experiments --jobs N` wall-clock win.
+//! Parallel-engine benchmarks: serial vs parallel load sweeps, cached vs
+//! uncached design-space exploration, and the timer-wheel event core
+//! against the binary-heap baseline it replaced — the levers behind the
+//! `experiments --jobs N` wall-clock win and the DES steady-state
+//! throughput.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use poly_apps::{asr, QOS_BOUND_MS};
 use poly_core::provision::{table_iii, Architecture, Setting};
 use poly_core::Optimizer;
 use poly_dse::{DesignSpaceCache, Explorer};
-use poly_sim::{steady_state, LoadSweep, SimReport};
+use poly_sim::{steady_state, EventQueue, LoadSweep, SimReport, TotalF64};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Splitmix-style step: pseudo-random event delta in `[0, 4096)` ms (the
+/// wheel's full horizon), deterministic across runs.
+fn next_delta_ms(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1_442_695_040_888_963_407);
+    (*state >> 33) as f64 * (4096.0 / 2_147_483_648.0)
+}
 
 fn bench_sweep(c: &mut Criterion) {
     let app = asr();
@@ -53,6 +66,53 @@ fn bench_sweep(c: &mut Criterion) {
         let _ = cache.explore(&explorer, kernel);
         b.iter(|| cache.explore(black_box(&explorer), black_box(kernel)))
     });
+
+    // Event-core hold pattern: pop the earliest event, schedule a
+    // successor a pseudo-random delta into the future, at a standing
+    // population of 100k events (a 100-node fleet's aggregate in-flight
+    // set at the `scale` figure) and 1M events (the ROADMAP's
+    // millions-of-users fleet). One iteration = one pop + one push. The
+    // heap baseline is the `BinaryHeap<Reverse<(TotalF64, seq, payload)>>`
+    // the engine ran on before the timer wheel; both structures pop in
+    // identical `(t, seq)` order (property-tested in poly-sim's
+    // `equeue_order`).
+    //
+    // More samples than the sweep benches: these bodies are nanoseconds,
+    // so per-sample noise is large and the min over many samples is the
+    // honest statistic. Elements(1) => the JSON carries events/sec.
+    group.sample_size(40);
+    group.throughput(criterion::Throughput::Elements(1));
+    for (tag, depth) in [("100k", 100_000usize), ("1m", 1_000_000)] {
+        group.bench_function(format!("event_core_wheel_pop_push_{tag}"), |b| {
+            let mut rng = 0x243F_6A88_85A3_08D3u64;
+            let mut q: EventQueue<u32> = EventQueue::new();
+            for i in 0..depth {
+                q.push(next_delta_ms(&mut rng), i as u32);
+            }
+            b.iter(|| {
+                let (t, _, v) = q.pop().expect("standing population");
+                q.push(t + next_delta_ms(&mut rng), black_box(v));
+            })
+        });
+        group.bench_function(format!("event_core_heap_pop_push_{tag}"), |b| {
+            let mut rng = 0x243F_6A88_85A3_08D3u64;
+            let mut seq = 0u64;
+            let mut h: BinaryHeap<Reverse<(TotalF64, u64, u32)>> = BinaryHeap::new();
+            for i in 0..depth {
+                seq += 1;
+                h.push(Reverse((TotalF64(next_delta_ms(&mut rng)), seq, i as u32)));
+            }
+            b.iter(|| {
+                let Reverse((t, _, v)) = h.pop().expect("standing population");
+                seq += 1;
+                h.push(Reverse((
+                    TotalF64(t.0 + next_delta_ms(&mut rng)),
+                    seq,
+                    black_box(v),
+                )));
+            })
+        });
+    }
     group.finish();
 }
 

@@ -3,9 +3,12 @@
 //! Usage: `experiments [--jobs N] <id>` where `<id>` is one of
 //! `table1 table2 table3 table45 fig1a fig1b fig1c fig1d fig1ef fig6 fig7
 //! fig8 fig9 fig10 fig11 fig12 fault cluster chaos obs fig13 fig14
-//! ablations all` (or
+//! ablations scale all` (or
 //! `quick` for the subset used in smoke tests). Results are printed and
-//! written to `results/<id>.csv`.
+//! written to `results/<id>.csv`. `all` runs everything except the
+//! `scale` stress figure, which is invoked explicitly (its size is
+//! tunable via `POLY_SCALE_NODES` / `POLY_SCALE_DAYS` /
+//! `POLY_SCALE_MAX_RPS` for smoke runs).
 //!
 //! `--jobs N` (or the `POLY_JOBS` environment variable) sets the worker
 //! thread count; the default is the machine's available parallelism.
@@ -94,7 +97,12 @@ const EXPERIMENTS: &[(&str, FigFn)] = &[
     ("fig13", fig13),
     ("fig14", fig14),
     ("ablations", ablations),
+    ("scale", scale),
 ];
+
+/// Figures excluded from `all`: the scale stress dwarfs every other
+/// figure's runtime and is regenerated explicitly (`experiments scale`).
+const NOT_IN_ALL: &[&str] = &["scale"];
 
 const QUICK: &[&str] = &["table45", "table3", "fig1c", "fig6"];
 
@@ -128,7 +136,11 @@ fn main() {
     JOBS.set(n_jobs).expect("set once");
 
     let names: Vec<&str> = match what.as_str() {
-        "all" => EXPERIMENTS.iter().map(|&(n, _)| n).collect(),
+        "all" => EXPERIMENTS
+            .iter()
+            .map(|&(n, _)| n)
+            .filter(|n| !NOT_IN_ALL.contains(n))
+            .collect(),
         "quick" => QUICK.to_vec(),
         other => match EXPERIMENTS.iter().find(|&&(n, _)| n == other) {
             Some(&(n, _)) => vec![n],
@@ -1211,6 +1223,9 @@ fn cluster(out: &mut String) {
                 breaker: None,
             },
         );
+        // Per-interval node stepping fans out over the worker budget;
+        // the CSV is byte-identical for every job count (CI diffs it).
+        cl.set_jobs(jobs());
         let report = cl.run_trace(
             &trace,
             TRACE_INTERVAL_MS,
@@ -1361,6 +1376,7 @@ fn chaos(out: &mut String) {
                 breaker: *breaker,
             },
         );
+        cl.set_jobs(jobs());
         let report = cl.run_trace(&trace, TRACE_INTERVAL_MS, CHAOS_MAX_RPS, 2029, &node_faults);
         // Invariant audit: conservation must hold on every node.
         let (merged, per_node) = cl.audits();
@@ -1504,6 +1520,11 @@ fn obs(out: &mut String) {
         );
         let rec = MemRecorder::new();
         cl.set_recorder(Some(Box::new(rec.clone())));
+        // With the recorder attached the cluster steps its nodes
+        // serially regardless of the job budget (telemetry sequence
+        // numbers are emission-ordered); setting jobs anyway exercises
+        // that fallback in CI's jobs-1-vs-N diff.
+        cl.set_jobs(jobs());
         let report = cl.run_trace(&trace, TRACE_INTERVAL_MS, OBS_MAX_RPS, 2029, &node_faults);
         let samples = rec.samples();
         assert_eq!(rec.dropped(), 0, "{name}: recorder buffer overflowed");
@@ -1880,3 +1901,144 @@ fn fig14(out: &mut String) {
         &rows,
     );
 }
+
+// ---------------------------------------------------------------------------
+// Scale stress (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+/// Scale-figure trace interval: 10 simulated minutes per point.
+const SCALE_INTERVAL_MS: f64 = 600_000.0;
+
+/// Positive-number environment override for the scale figure's size
+/// (CI's reduced smoke run); falls back to `default` when unset,
+/// unparsable, or non-positive.
+fn env_knob(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|&x| x > 0.0)
+        .unwrap_or(default)
+}
+
+/// Scale stress (DESIGN.md §14) — a week-long diurnal replay on a
+/// 100-node fleet, ~10^8 requests end to end, exercising the timer-wheel
+/// event core, the arena-compacted request state, and the
+/// interval-barrier parallel node stepping at production scale. Not part
+/// of `all` (it dwarfs every other figure); CI smoke-runs it with the
+/// `POLY_SCALE_NODES` / `POLY_SCALE_DAYS` / `POLY_SCALE_MAX_RPS` knobs
+/// and diffs `--jobs 1` against `--jobs 4`. The CSV is byte-identical
+/// for every job count; wall-clock and throughput go to stderr only.
+fn scale(out: &mut String) {
+    let nodes = env_knob("POLY_SCALE_NODES", 100.0) as usize;
+    let days = env_knob("POLY_SCALE_DAYS", 7.0);
+    let max_rps = env_knob("POLY_SCALE_MAX_RPS", 400.0);
+    outln!(
+        out,
+        "== Scale: {nodes}-node fleet, {days:.2}-day diurnal trace, {max_rps:.0} RPS peak =="
+    );
+    let app = asr();
+    // One 24-hour diurnal profile (288 five-minute points), resampled to
+    // the 10-minute interval grid and tiled across the days.
+    let day = google_trace_24h(300_000.0, 2011);
+    let points_per_day = 144.0;
+    let n_points = (days * points_per_day).round().max(1.0) as usize;
+    let trace: Vec<TracePoint> = (0..n_points)
+        .map(|i| TracePoint {
+            start_ms: i as f64 * SCALE_INTERVAL_MS,
+            utilization: day[(i * 2) % day.len()].utilization,
+        })
+        .collect();
+    let offered: f64 = trace
+        .iter()
+        .map(|p| p.utilization * max_rps * SCALE_INTERVAL_MS / 1000.0)
+        .sum();
+    outln!(
+        out,
+        "{} intervals of {:.0} s, ~{:.2e} requests offered fleet-wide",
+        trace.len(),
+        SCALE_INTERVAL_MS / 1000.0,
+        offered
+    );
+
+    let setup = table_iii(Setting::I, Architecture::HeterPoly);
+    let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+    let spaces = cache().explore_graph(&explorer, app.kernels(), 1);
+    let setups = vec![setup; nodes];
+    let mut cl = Cluster::new(
+        &app,
+        &spaces,
+        setups,
+        ClusterConfig {
+            bound_ms: QOS_BOUND_MS,
+            routing: RoutingPolicy::QosAware,
+            power_budget_w: 260.0 * nodes as f64,
+            node_floor_w: 40.0,
+            max_backlog: 512 * nodes,
+            lifecycle: LifecycleConfig::default(),
+            breaker: None,
+        },
+    );
+    cl.set_jobs(jobs());
+    let t = Instant::now();
+    let report = cl.run_trace(&trace, SCALE_INTERVAL_MS, max_rps, 2011, &FaultPlan::new());
+    let wall = t.elapsed().as_secs_f64();
+    // Machine-dependent throughput goes to stderr so the figure's stdout
+    // and CSV stay byte-comparable across runs and job counts.
+    eprintln!(
+        "[scale] {} completions in {wall:.1}s wall ({:.0} completions/s, sim/wall speedup {:.0}x, jobs={})",
+        report.completed,
+        report.completed as f64 / wall.max(1e-9),
+        trace.len() as f64 * SCALE_INTERVAL_MS / 1000.0 / wall.max(1e-9),
+        jobs()
+    );
+
+    let violations: usize = report.intervals.iter().map(|r| r.violations).sum();
+    outln!(
+        out,
+        "completed {}  p99 {:.1} ms  violations {violations} ({:.3}%)  shed {}  energy {:.3e} J",
+        report.completed,
+        report.p99_ms,
+        report.violation_ratio * 100.0,
+        report.shed,
+        report.energy_j
+    );
+    // One CSV row per 4 simulated hours (every 24th interval) plus the
+    // totals row — compact enough to commit, dense enough to plot.
+    let mut csv = Csv::new(SCALE_HEADER);
+    for (i, r) in report.intervals.iter().enumerate() {
+        if i % 24 == 0 {
+            csv.row()
+                .f(i as f64 / 6.0)
+                .f(r.utilization)
+                .f(r.p99_ms)
+                .f(r.power_w)
+                .n(r.nodes_up)
+                .n(r.shed)
+                .n(r.violations)
+                .n(r.completed);
+        }
+    }
+    let sim_s = trace.len() as f64 * SCALE_INTERVAL_MS / 1000.0;
+    csv.row()
+        .s("total")
+        .f(offered / (max_rps * sim_s))
+        .f(report.p99_ms)
+        .f(report.energy_j / sim_s)
+        .n(nodes)
+        .n(report.shed)
+        .n(violations)
+        .n(report.completed);
+    csv.save(out, "scale_trace");
+}
+
+/// `scale_trace.csv` columns.
+const SCALE_HEADER: &[&str] = &[
+    "hour",
+    "utilization",
+    "p99_ms",
+    "power_w",
+    "nodes_up",
+    "shed",
+    "violations",
+    "completed",
+];

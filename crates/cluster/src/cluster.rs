@@ -5,10 +5,15 @@
 //! device-level [`FaultPlan`] machinery.
 //!
 //! Determinism contract: given the same trace, seed, config, and fault
-//! plan, `run_trace` produces bit-identical reports — every node's
-//! simulation is sequential and the router/governor state evolves in
-//! node-index order, so replays of *different* routing policies can be
-//! fanned out across worker threads without perturbing each other.
+//! plan, `run_trace` produces bit-identical reports *for every job
+//! count*. Each node's event loop is sequential and private; interval
+//! boundaries are conservative synchronization barriers, so with
+//! [`set_jobs`](Cluster::set_jobs) the N node simulations of one
+//! interval fan out across worker threads and their results merge in
+//! node-index order — byte-identical to the serial schedule. Router and
+//! governor state evolves only at barriers, in node-index order.
+//! (Replays of *different* routing policies can additionally be fanned
+//! out across threads without perturbing each other.)
 
 use crate::{
     BreakerConfig, BreakerState, ClusterNode, NodeTransition, NodeView, PowerGovernor, Router,
@@ -18,8 +23,9 @@ use poly_core::{AppContext, NodeSetup};
 use poly_dse::KernelDesignSpace;
 use poly_ir::KernelGraph;
 use poly_obs::{Event as ObsEvent, Recorder};
+use poly_par::par_map_mut;
 use poly_sim::workload::{poisson, TracePoint};
-use poly_sim::{AuditReport, FaultEvent, FaultPlan, LatencyStats, LifecycleConfig, RetryStats};
+use poly_sim::{quantile_of, AuditReport, FaultEvent, FaultPlan, LifecycleConfig, RetryStats};
 
 /// Cluster-level knobs.
 #[derive(Debug, Clone)]
@@ -142,6 +148,9 @@ pub struct Cluster {
     config: ClusterConfig,
     /// Driver-level telemetry sink (track 0); nodes get tagged clones.
     recorder: Option<Box<dyn Recorder>>,
+    /// Worker threads for per-interval node stepping (default 1 =
+    /// serial). See [`set_jobs`](Self::set_jobs).
+    jobs: usize,
 }
 
 impl Cluster {
@@ -184,7 +193,19 @@ impl Cluster {
             governor: PowerGovernor::new(config.power_budget_w, config.node_floor_w, n),
             config,
             recorder: None,
+            jobs: 1,
         }
+    }
+
+    /// Set the worker-thread budget for stepping the node simulations of
+    /// each interval. Nodes simulate privately between the interval
+    /// barriers and merge in node-index order, so the report is
+    /// byte-identical for every job count. With an enabled recorder
+    /// attached the stepping stays serial regardless (telemetry sequence
+    /// numbers are allocated in emission order, which must not depend on
+    /// thread interleaving).
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs.max(1);
     }
 
     /// Attach (or detach) a telemetry recorder. The driver keeps track 0
@@ -257,8 +278,14 @@ impl Cluster {
             node.begin_replay(first_rps / n as f64, &plan);
         }
 
+        // Telemetry must stay serial: recorder sequence numbers are
+        // allocated in emission order across the whole buffer.
+        let step_jobs = if recording { 1 } else { self.jobs };
         let mut intervals = Vec::with_capacity(trace.len());
         let mut all_samples: Vec<f64> = Vec::new();
+        // Fleet-percentile buffers, recycled across intervals.
+        let mut interval_samples: Vec<f64> = Vec::new();
+        let mut q_scratch: Vec<f64> = Vec::new();
         let mut energy_j = 0.0;
         let mut total_completed = 0usize;
         let mut total_violations = 0usize;
@@ -370,7 +397,15 @@ impl Cluster {
             }
 
             // 5. Advance every node's simulation to the interval end.
-            let mut interval_samples: Vec<f64> = Vec::new();
+            //    The interval boundary is a conservative synchronization
+            //    barrier: no event crosses nodes mid-interval, so the N
+            //    private event loops fan out across `step_jobs` workers
+            //    and their stats merge below in node-index order —
+            //    byte-identical to the serial schedule.
+            let per_node_stats = par_map_mut(step_jobs, &mut self.nodes, |j, node| {
+                node.run_to(&outcome.per_node[j], end)
+            });
+            interval_samples.clear();
             let mut completed = 0usize;
             let mut violations = 0usize;
             let mut timed_out = 0usize;
@@ -378,8 +413,7 @@ impl Cluster {
             let mut nodes_up = 0usize;
             let mut per_node_completed: Vec<usize> = Vec::with_capacity(n);
             let mut health: Vec<(usize, usize, bool)> = Vec::with_capacity(n);
-            for (j, node) in self.nodes.iter_mut().enumerate() {
-                let stats = node.run_to(&outcome.per_node[j], end);
+            for (j, stats) in per_node_stats.iter().enumerate() {
                 last_power_w[j] = stats.avg_power_w;
                 last_assigned_rps[j] = outcome.per_node[j].len() as f64 * 1000.0 / interval_ms;
                 completed += stats.completed;
@@ -392,7 +426,7 @@ impl Cluster {
                     per_node_completed.push(stats.completed);
                 }
                 health.push((stats.completed, stats.violations, stats.healthy_devices > 0));
-                interval_samples.extend_from_slice(&stats.latency_samples);
+                interval_samples.extend_from_slice(self.nodes[j].segment_samples());
             }
             // Feed the router's circuit breakers (no-op when disabled).
             let before: Vec<&'static str> = if recording {
@@ -440,7 +474,7 @@ impl Cluster {
             };
             skew_sum += util_skew;
             all_samples.extend_from_slice(&interval_samples);
-            let p99 = LatencyStats::from_samples(interval_samples).p99();
+            let p99 = quantile_of(&interval_samples, 0.99, &mut q_scratch);
 
             intervals.push(ClusterIntervalRecord {
                 start_ms: start,
@@ -458,7 +492,7 @@ impl Cluster {
             });
         }
 
-        let p99_ms = LatencyStats::from_samples(all_samples).p99();
+        let p99_ms = quantile_of(&all_samples, 0.99, &mut q_scratch);
         // Unified ledger: node-level retries/hedges merged across the
         // fleet, plus this run's front-end redistribution.
         let mut retry = RetryStats::default();

@@ -10,7 +10,7 @@
 use poly_core::{AppContext, IntervalObs, NodeSetup, Optimizer, PolicyPrediction, SystemMonitor};
 use poly_obs::{Event as ObsEvent, Recorder};
 use poly_sched::Pool;
-use poly_sim::{FaultPlan, Policy, Simulator};
+use poly_sim::{quantile_of, violations_of, FaultPlan, Policy, Simulator};
 
 /// What happened to a node at an interval boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,9 +52,6 @@ pub struct NodeIntervalStats {
     pub failed: usize,
     /// Whether this interval adopted a different policy.
     pub policy_changed: bool,
-    /// Raw completion latencies — the cluster merges these across nodes
-    /// to compute *fleet* percentiles (per-node p99s do not average).
-    pub latency_samples: Vec<f64>,
 }
 
 /// A leaf node: provisioned hardware plus its private Poly control loop.
@@ -86,6 +83,13 @@ pub struct ClusterNode {
     /// Telemetry sink; a clone is attached to the node's simulator at
     /// `begin_replay`.
     recorder: Option<Box<dyn Recorder>>,
+    /// Last interval's raw completion latencies, recycled every interval
+    /// ([`Simulator::drain_segment_into`]) — the cluster merges these
+    /// across nodes for *fleet* percentiles (per-node p99s do not
+    /// average) without a per-interval allocation.
+    seg_samples: Vec<f64>,
+    /// Quantile-selection scratch ([`quantile_of`]), likewise recycled.
+    q_scratch: Vec<f64>,
 }
 
 impl ClusterNode {
@@ -110,6 +114,8 @@ impl ClusterNode {
             last_est_rps: 0.0,
             interval_idx: 0,
             recorder: None,
+            seg_samples: Vec::new(),
+            q_scratch: Vec::new(),
         }
     }
 
@@ -332,13 +338,13 @@ impl ClusterNode {
         sim.reset_accounting();
         sim.advance_to(end_ms);
         let report = sim.finish(end_ms);
-        let (arrived, completed, latency) = sim.drain_segment();
+        let (arrived, completed) = sim.drain_segment_into(&mut self.seg_samples);
         let (_, retried) = sim.take_fault_counts();
         let (timed_out, failed) = sim.take_lifecycle_counts();
         let queued = sim.queued();
         let healthy_devices = sim.healthy_devices();
-        let p99 = latency.p99();
-        let violations = latency.violations_over(self.ctx.bound_ms());
+        let p99 = quantile_of(&self.seg_samples, 0.99, &mut self.q_scratch);
+        let violations = violations_of(&self.seg_samples, self.ctx.bound_ms());
 
         let predicted_p99 = self.predicted.as_ref().map_or(f64::INFINITY, |p| p.p99_ms);
         if completed >= 30 && !self.last_policy_changed && predicted_p99.is_finite() {
@@ -391,8 +397,14 @@ impl ClusterNode {
             timed_out,
             failed,
             policy_changed: self.last_policy_changed,
-            latency_samples: latency.samples().to_vec(),
         }
+    }
+
+    /// Raw completion latencies of the last [`run_to`](Self::run_to)
+    /// interval (recycled buffer — read before the next interval runs).
+    #[must_use]
+    pub fn segment_samples(&self) -> &[f64] {
+        &self.seg_samples
     }
 
     /// Cumulative re-issue ledger of the node's simulator since

@@ -74,6 +74,35 @@ fn replay_is_deterministic() {
 }
 
 #[test]
+fn parallel_stepping_is_bitwise_identical_to_serial() {
+    // Interval boundaries are conservative sync barriers and per-node
+    // results merge in node-index order, so the job count must never
+    // change a report — under faults and for every routing policy.
+    for policy in RoutingPolicy::ALL {
+        let at_jobs = |jobs: usize| -> ClusterReport {
+            let mut c = cluster(3, policy);
+            c.set_jobs(jobs);
+            c.run_trace(
+                &flat_trace(12, 0.9),
+                INTERVAL_MS,
+                60.0,
+                42,
+                &one_node_outage(),
+            )
+        };
+        let serial = at_jobs(1);
+        for jobs in [2, 4] {
+            assert_eq!(
+                serial,
+                at_jobs(jobs),
+                "jobs={jobs} diverged from serial for {}",
+                policy.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn healthy_cluster_spreads_load_and_meets_qos() {
     let mut c = cluster(3, RoutingPolicy::RoundRobin);
     let report = c.run_trace(&flat_trace(8, 0.5), INTERVAL_MS, 45.0, 7, &FaultPlan::new());

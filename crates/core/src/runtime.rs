@@ -5,13 +5,14 @@
 //!
 //! A run is described by a [`RunSpec`] (workload, mode, seed, faults,
 //! lifecycle override, telemetry recorder) and executed by
-//! [`PolyRuntime::run`]; the legacy positional entry points survive as
-//! deprecated shims.
+//! [`PolyRuntime::run`].
 
 use crate::{AppContext, IntervalObs, Optimizer, SystemMonitor};
 use poly_obs::{Event as ObsEvent, Recorder};
 use poly_sim::workload::{poisson, TracePoint};
-use poly_sim::{FaultPlan, LifecycleConfig, Policy, RetryStats, Simulator};
+use poly_sim::{
+    quantile_of, violations_of, FaultPlan, LifecycleConfig, Policy, RetryStats, Simulator,
+};
 
 /// How the runtime selects policies.
 #[derive(Debug, Clone)]
@@ -255,6 +256,11 @@ impl PolyRuntime {
         let mut avail = self.ctx.setup().pool.clone();
 
         let mut intervals = Vec::with_capacity(trace.len());
+        // Per-interval measurement buffers, recycled across intervals
+        // (`drain_segment_into` + the slice quantile helpers replace a
+        // per-interval digest allocation).
+        let mut seg_samples: Vec<f64> = Vec::new();
+        let mut q_scratch: Vec<f64> = Vec::new();
         let mut energy_mj = 0.0;
         let mut total_completed = 0usize;
         let mut total_violations = 0usize;
@@ -350,12 +356,12 @@ impl PolyRuntime {
             sim.reset_accounting();
             sim.advance_to(end);
             let report = sim.finish(end);
-            let (arrived, completed, latency) = sim.drain_segment();
+            let (arrived, completed) = sim.drain_segment_into(&mut seg_samples);
 
-            let p99 = latency.p99();
+            let p99 = quantile_of(&seg_samples, 0.99, &mut q_scratch);
             // Exact exceedance count — the former reconstruction through
             // `violation_ratio * completed` could drift off-by-one.
-            let violations = latency.violations_over(bound_ms);
+            let violations = violations_of(&seg_samples, bound_ms);
             let (fault_events, retried) = sim.take_fault_counts();
             let healthy_devices = sim.healthy_devices();
             total_completed += completed;
@@ -468,45 +474,6 @@ impl PolyRuntime {
             },
         }
     }
-
-    /// Replay a utilization trace at `max_rps` scaling, re-planning every
-    /// interval (Poly mode) or holding one policy (static mode).
-    #[deprecated(note = "build a RunSpec and call PolyRuntime::run")]
-    #[must_use]
-    pub fn run_trace(
-        &mut self,
-        trace: &[TracePoint],
-        interval_ms: f64,
-        max_rps: f64,
-        mode: &RuntimeMode,
-        seed: u64,
-    ) -> TraceReport {
-        self.run(
-            &RunSpec::new(trace, interval_ms, max_rps)
-                .mode(mode.clone())
-                .seed(seed),
-        )
-    }
-
-    /// Trace replay with a scripted device [`FaultPlan`].
-    #[deprecated(note = "build a RunSpec (with .faults()) and call PolyRuntime::run")]
-    #[must_use]
-    pub fn run_trace_with_faults(
-        &mut self,
-        trace: &[TracePoint],
-        interval_ms: f64,
-        max_rps: f64,
-        mode: &RuntimeMode,
-        seed: u64,
-        faults: &FaultPlan,
-    ) -> TraceReport {
-        self.run(
-            &RunSpec::new(trace, interval_ms, max_rps)
-                .mode(mode.clone())
-                .seed(seed)
-                .faults(faults.clone()),
-        )
-    }
 }
 
 #[cfg(test)]
@@ -590,16 +557,5 @@ mod tests {
         let trace = flat_trace(8, 0.3, 10_000.0);
         let report = rt.run(&RunSpec::new(&trace, 10_000.0, 20.0).seed(21));
         assert!(report.prediction_error <= 1.0);
-    }
-
-    #[test]
-    fn deprecated_shims_forward_to_run() {
-        let trace = flat_trace(3, 0.2, 10_000.0);
-        let mut a = runtime();
-        let via_spec = a.run(&RunSpec::new(&trace, 10_000.0, 20.0).seed(5));
-        let mut b = runtime();
-        #[allow(deprecated)]
-        let via_shim = b.run_trace(&trace, 10_000.0, 20.0, &RuntimeMode::Poly, 5);
-        assert_eq!(via_spec, via_shim);
     }
 }

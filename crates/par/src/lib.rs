@@ -136,6 +136,58 @@ where
         .collect()
 }
 
+/// Like [`par_map`] but gives `f` **mutable** access to each item in
+/// place (e.g. step a fleet of simulator nodes, one worker per node, and
+/// collect each node's interval stats).
+///
+/// # Panics
+/// Propagates panics from `f` like [`par_map`].
+pub fn par_map_mut<T, R, F>(jobs: usize, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let jobs = jobs.min(items.len()).max(1);
+    if jobs <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let inputs: Vec<Mutex<Option<&mut T>>> =
+        items.iter_mut().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Mutex<Option<R>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
+    {
+        let slots = &slots;
+        let inputs = &inputs;
+        let next = &next;
+        let f = &f;
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = inputs.get(i) else { break };
+                    let item = slot
+                        .lock()
+                        .expect("input slot poisoned")
+                        .take()
+                        .expect("each index claimed once");
+                    let r = f(i, item);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        });
+    }
+    slots
+        .iter_mut()
+        .map(|m| {
+            m.get_mut()
+                .expect("result slot poisoned")
+                .take()
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,11 +224,30 @@ mod tests {
     }
 
     #[test]
+    fn mut_variant_mutates_in_place_and_returns_in_order() {
+        let mut items: Vec<u64> = (0..57).collect();
+        for jobs in [1, 2, 8] {
+            let out = par_map_mut(jobs, &mut items, |i, x| {
+                *x += 1;
+                (i, *x)
+            });
+            for (i, &(idx, val)) in out.iter().enumerate() {
+                assert_eq!(idx, i, "jobs={jobs}");
+                assert_eq!(val, items[i], "jobs={jobs}");
+            }
+        }
+        // Three passes, each +1 per element.
+        let expect: Vec<u64> = (0..57).map(|x| x + 3).collect();
+        assert_eq!(items, expect);
+    }
+
+    #[test]
     fn empty_and_single_inputs() {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(8, &empty, |_, &x| x).is_empty());
         assert_eq!(par_map(8, &[5u32], |_, &x| x + 1), vec![6]);
         assert_eq!(par_map_owned(8, vec![5u32], |_, x| x + 1), vec![6]);
+        assert_eq!(par_map_mut(8, &mut [5u32], |_, x| *x + 1), vec![6]);
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! Struct-of-arrays request-state arena for the discrete-event engine.
+//!
+//! The engine previously kept one `ReqState` per request, each owning
+//! four heap `Vec`s (`remaining_preds`, `done`, `attempt`, `hedged`) —
+//! four allocations *per arrival* on the hot path, and unbounded growth
+//! over a long replay because settled requests were never reclaimed.
+//!
+//! [`ReqArena`] flattens that state into parallel flat arrays indexed by
+//! `request * n_kernels` (per-kernel state) or `request` (per-request
+//! scalars). Admitting a request is a handful of slice extends from a
+//! precomputed predecessor-count template — no per-request allocation in
+//! steady state — and a prefix of *settled* requests can be compacted
+//! away at measurement boundaries without renumbering: request indices
+//! are global and monotone (a `base` offset maps them into the live
+//! window), which matters because the backoff-jitter key and the audit
+//! trail are derived from those indices.
+//!
+//! Compaction safety rests on one invariant, checked by every engine
+//! access path: a compacted request is **settled** (its `outcome` left
+//! `InFlight`), and every event handler consults
+//! [`is_settled`](ReqArena::is_settled) — which answers `true` for the
+//! compacted range without touching storage — before reading any
+//! per-kernel state. Settled requests hold no queued or future-completion
+//! work, so no live path ever indexes below `base`.
+
+/// Where a request ended up. `InFlight` until exactly one terminal
+/// transition; the audit counters assert that exactly-once property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Outcome {
+    InFlight,
+    Completed,
+    TimedOut,
+    Failed,
+    Cancelled,
+}
+
+/// Struct-of-arrays request state with global (never reused) indices.
+#[derive(Debug, Clone)]
+pub(crate) struct ReqArena {
+    /// Kernels per request (the DAG size).
+    k: usize,
+    /// Global index of the first request still held; everything below is
+    /// compacted (and was settled).
+    base: usize,
+    /// Per-kernel predecessor counts of the DAG — the initial value of
+    /// each new request's `remaining_preds` window.
+    pred_template: Vec<u16>,
+    // --- per-request scalars (index: req - base) --------------------------
+    arrival_ms: Vec<f64>,
+    deadline_ms: Vec<f64>,
+    kernels_left: Vec<u32>,
+    outcome: Vec<Outcome>,
+    // --- per-kernel state (index: (req - base) * k + kernel) --------------
+    remaining_preds: Vec<u16>,
+    done: Vec<bool>,
+    attempt: Vec<u32>,
+    hedged: Vec<bool>,
+}
+
+impl ReqArena {
+    /// Arena for requests walking a `k`-kernel DAG whose per-kernel
+    /// predecessor counts are `pred_template`.
+    pub(crate) fn new(pred_template: Vec<u16>) -> Self {
+        Self {
+            k: pred_template.len(),
+            base: 0,
+            pred_template,
+            arrival_ms: Vec::new(),
+            deadline_ms: Vec::new(),
+            kernels_left: Vec::new(),
+            outcome: Vec::new(),
+            remaining_preds: Vec::new(),
+            done: Vec::new(),
+            attempt: Vec::new(),
+            hedged: Vec::new(),
+        }
+    }
+
+    /// Total requests ever admitted (compacted ones included): the next
+    /// request's global index.
+    pub(crate) fn len(&self) -> usize {
+        self.base + self.arrival_ms.len()
+    }
+
+    /// Global indices of the retained (non-compacted) window.
+    pub(crate) fn live_range(&self) -> std::ops::Range<usize> {
+        self.base..self.len()
+    }
+
+    /// Admit a request; returns its global index.
+    pub(crate) fn push(&mut self, arrival_ms: f64, deadline_ms: f64) -> usize {
+        let req = self.len();
+        self.arrival_ms.push(arrival_ms);
+        self.deadline_ms.push(deadline_ms);
+        self.kernels_left
+            .push(u32::try_from(self.k).expect("kernel count fits u32"));
+        self.outcome.push(Outcome::InFlight);
+        self.remaining_preds.extend_from_slice(&self.pred_template);
+        self.done.extend(std::iter::repeat_n(false, self.k));
+        self.attempt.extend(std::iter::repeat_n(0u32, self.k));
+        self.hedged.extend(std::iter::repeat_n(false, self.k));
+        req
+    }
+
+    /// Local window offset of global request `req`.
+    ///
+    /// # Panics
+    /// Panics (in debug and release) if `req` was compacted — callers
+    /// must consult [`is_settled`](Self::is_settled) first on any path a
+    /// stale event can reach.
+    fn at(&self, req: usize) -> usize {
+        assert!(
+            req >= self.base,
+            "request {req} was compacted (base {})",
+            self.base
+        );
+        req - self.base
+    }
+
+    fn kat(&self, req: usize, kernel: usize) -> usize {
+        debug_assert!(kernel < self.k);
+        self.at(req) * self.k + kernel
+    }
+
+    /// Whether `req` reached a terminal outcome (compacted requests are
+    /// settled by construction).
+    pub(crate) fn is_settled(&self, req: usize) -> bool {
+        req < self.base || self.outcome[req - self.base] != Outcome::InFlight
+    }
+
+    /// Terminal (or in-flight) outcome of a *retained* request. The
+    /// engine itself only ever needs the settled/in-flight distinction
+    /// ([`is_settled`](Self::is_settled)); tests assert exact outcomes.
+    #[cfg(test)]
+    pub(crate) fn outcome(&self, req: usize) -> Outcome {
+        self.outcome[self.at(req)]
+    }
+
+    pub(crate) fn set_outcome(&mut self, req: usize, outcome: Outcome) {
+        let i = self.at(req);
+        self.outcome[i] = outcome;
+    }
+
+    pub(crate) fn arrival_ms(&self, req: usize) -> f64 {
+        self.arrival_ms[self.at(req)]
+    }
+
+    pub(crate) fn deadline_ms(&self, req: usize) -> f64 {
+        self.deadline_ms[self.at(req)]
+    }
+
+    #[cfg(test)]
+    pub(crate) fn kernels_left(&self, req: usize) -> u32 {
+        self.kernels_left[self.at(req)]
+    }
+
+    /// Decrement `kernels_left`, returning the new value.
+    pub(crate) fn dec_kernels_left(&mut self, req: usize) -> u32 {
+        let i = self.at(req);
+        self.kernels_left[i] -= 1;
+        self.kernels_left[i]
+    }
+
+    pub(crate) fn done(&self, req: usize, kernel: usize) -> bool {
+        self.done[self.kat(req, kernel)]
+    }
+
+    pub(crate) fn set_done(&mut self, req: usize, kernel: usize) {
+        let i = self.kat(req, kernel);
+        self.done[i] = true;
+    }
+
+    pub(crate) fn attempt(&self, req: usize, kernel: usize) -> u32 {
+        self.attempt[self.kat(req, kernel)]
+    }
+
+    pub(crate) fn bump_attempt(&mut self, req: usize, kernel: usize) {
+        let i = self.kat(req, kernel);
+        self.attempt[i] += 1;
+    }
+
+    /// Bump every stage's attempt (stale-ifies all scheduled completions
+    /// of the request).
+    pub(crate) fn bump_all_attempts(&mut self, req: usize) {
+        let i = self.at(req) * self.k;
+        for a in &mut self.attempt[i..i + self.k] {
+            *a += 1;
+        }
+    }
+
+    pub(crate) fn hedged(&self, req: usize, kernel: usize) -> bool {
+        self.hedged[self.kat(req, kernel)]
+    }
+
+    pub(crate) fn set_hedged(&mut self, req: usize, kernel: usize) {
+        let i = self.kat(req, kernel);
+        self.hedged[i] = true;
+    }
+
+    /// Decrement a successor's remaining-predecessor count, returning the
+    /// new value.
+    pub(crate) fn dec_remaining_preds(&mut self, req: usize, kernel: usize) -> u16 {
+        let i = self.kat(req, kernel);
+        self.remaining_preds[i] -= 1;
+        self.remaining_preds[i]
+    }
+
+    /// Retained requests still in flight (the audit's `pending` count;
+    /// compacted requests are settled and contribute zero).
+    pub(crate) fn pending(&self) -> usize {
+        self.outcome
+            .iter()
+            .filter(|&&o| o == Outcome::InFlight)
+            .count()
+    }
+
+    /// Drop the settled prefix of the window, keeping global indices
+    /// stable via `base`. Called at measurement boundaries; the live
+    /// suffix is tiny compared to a long replay's total admissions, so
+    /// the memmove is cheap and memory stays bounded by the in-flight
+    /// population, not the trace length.
+    pub(crate) fn compact(&mut self) {
+        let settled = self
+            .outcome
+            .iter()
+            .take_while(|&&o| o != Outcome::InFlight)
+            .count();
+        if settled == 0 {
+            return;
+        }
+        self.base += settled;
+        self.arrival_ms.drain(..settled);
+        self.deadline_ms.drain(..settled);
+        self.kernels_left.drain(..settled);
+        self.outcome.drain(..settled);
+        self.remaining_preds.drain(..settled * self.k);
+        self.done.drain(..settled * self.k);
+        self.attempt.drain(..settled * self.k);
+        self.hedged.drain(..settled * self.k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena2() -> ReqArena {
+        // Two-kernel chain: kernel 0 has no predecessors, kernel 1 has 1.
+        ReqArena::new(vec![0, 1])
+    }
+
+    #[test]
+    fn push_initializes_from_template() {
+        let mut a = arena2();
+        let r = a.push(5.0, 100.0);
+        assert_eq!(r, 0);
+        assert_eq!(a.arrival_ms(r), 5.0);
+        assert_eq!(a.deadline_ms(r), 100.0);
+        assert_eq!(a.kernels_left(r), 2);
+        assert_eq!(a.outcome(r), Outcome::InFlight);
+        assert!(!a.done(r, 0) && !a.done(r, 1));
+        assert_eq!(a.attempt(r, 0), 0);
+        assert!(!a.hedged(r, 1));
+        assert_eq!(a.dec_remaining_preds(r, 1), 0);
+    }
+
+    #[test]
+    fn compaction_keeps_global_indices() {
+        let mut a = arena2();
+        for i in 0..10 {
+            let r = a.push(i as f64, f64::INFINITY);
+            assert_eq!(r, i);
+        }
+        // Settle the first seven, leave 7..10 in flight.
+        for r in 0..7 {
+            a.set_outcome(r, Outcome::Completed);
+        }
+        a.compact();
+        assert_eq!(a.len(), 10, "global count unchanged");
+        assert_eq!(a.live_range(), 7..10);
+        assert_eq!(a.pending(), 3);
+        for r in 0..7 {
+            assert!(a.is_settled(r), "compacted request {r} reads settled");
+        }
+        assert!(!a.is_settled(7));
+        assert_eq!(a.arrival_ms(8), 8.0, "retained state intact");
+        // New admissions continue the global numbering.
+        assert_eq!(a.push(99.0, f64::INFINITY), 10);
+        // A settled-but-unsorted suffix does not compact past the first
+        // in-flight request.
+        a.set_outcome(9, Outcome::Cancelled);
+        a.compact();
+        assert_eq!(a.live_range(), 7..11, "request 7 still pins the window");
+    }
+
+    #[test]
+    #[should_panic(expected = "compacted")]
+    fn direct_access_to_compacted_request_panics() {
+        let mut a = arena2();
+        a.push(0.0, f64::INFINITY);
+        a.set_outcome(0, Outcome::Completed);
+        a.compact();
+        let _ = a.arrival_ms(0);
+    }
+
+    #[test]
+    fn per_kernel_state_is_independent_across_requests() {
+        let mut a = arena2();
+        let r0 = a.push(0.0, f64::INFINITY);
+        let r1 = a.push(1.0, f64::INFINITY);
+        a.set_done(r0, 1);
+        a.bump_attempt(r1, 0);
+        a.set_hedged(r1, 1);
+        assert!(a.done(r0, 1) && !a.done(r1, 1));
+        assert_eq!(a.attempt(r0, 0), 0);
+        assert_eq!(a.attempt(r1, 0), 1);
+        assert!(a.hedged(r1, 1) && !a.hedged(r0, 1));
+        a.bump_all_attempts(r0);
+        assert_eq!((a.attempt(r0, 0), a.attempt(r0, 1)), (1, 1));
+        assert_eq!((a.attempt(r1, 0), a.attempt(r1, 1)), (1, 0));
+    }
+}

@@ -1,15 +1,16 @@
+use crate::arena::{Outcome, ReqArena};
 use crate::audit::AuditReport;
 use crate::device::{DeviceState, DeviceStats, InflightItem, WorkItem};
+use crate::equeue::EventQueue;
 use crate::fault::{FaultEvent, FaultKind, FaultPlan};
-use crate::lifecycle::{hedge_delay_from, LifecycleConfig, RetryPolicy};
+use crate::lifecycle::{LifecycleConfig, RetryPolicy};
 use crate::metrics::RetryStats;
-use crate::{KernelImpl, LatencyStats, Policy, TotalF64};
+use crate::{KernelImpl, LatencyStats, Policy};
 use poly_device::{DeviceKind, PcieLink};
 use poly_ir::{KernelGraph, KernelId};
 use poly_obs::{Event as ObsEvent, Recorder};
 use poly_sched::Pool;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Fraction of GPU board idle power drawn when the current policy leaves
@@ -86,33 +87,6 @@ enum EventKind {
         kernel: KernelId,
         attempt: u32,
     },
-}
-
-/// Where a request ended up. `InFlight` until exactly one terminal
-/// transition; the audit counters assert that exactly-once property.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Outcome {
-    InFlight,
-    Completed,
-    TimedOut,
-    Failed,
-    Cancelled,
-}
-
-#[derive(Debug, Clone)]
-struct ReqState {
-    arrival_ms: f64,
-    remaining_preds: Vec<usize>,
-    done: Vec<bool>,
-    kernels_left: usize,
-    /// Per-kernel dispatch attempt, bumped when a fail-stop kills the
-    /// in-flight execution so its scheduled completion becomes stale.
-    attempt: Vec<u32>,
-    /// Absolute deadline (∞ when deadlines are disabled).
-    deadline_ms: f64,
-    /// Per-kernel flag: a hedge copy was fired for this stage.
-    hedged: Vec<bool>,
-    outcome: Outcome,
 }
 
 /// Per-kernel execution breakdown over a simulation window.
@@ -238,10 +212,13 @@ pub struct Simulator {
     policy: Policy,
     config: SimConfig,
     devices: Vec<DeviceState>,
-    events: BinaryHeap<Reverse<(TotalF64, u64, EventKind)>>,
-    requests: Vec<ReqState>,
+    /// Timer-wheel event queue; stamps each event with a monotone
+    /// sequence number and pops in exact `(time, seq)` order.
+    events: EventQueue<EventKind>,
+    /// Struct-of-arrays request state with global, never-reused indices
+    /// (settled prefixes compact away at accounting resets).
+    requests: ReqArena,
     now: f64,
-    seq: u64,
     arrived: usize,
     completed: usize,
     stats_since: f64,
@@ -282,7 +259,18 @@ pub struct Simulator {
     seg_failed: usize,
     /// Rolling per-kernel stage-latency windows feeding the hedge-delay
     /// quantile (filled only when hedging is enabled).
-    hedge_window: Vec<std::collections::VecDeque<f64>>,
+    hedge_window: Vec<VecDeque<f64>>,
+    // --- reusable scratch buffers (hot-path allocation elimination) --------
+    /// Batch under formation in `try_start`.
+    batch_scratch: Vec<WorkItem>,
+    /// Queue remainder while a batch forms in `try_start`.
+    rest_scratch: VecDeque<WorkItem>,
+    /// Successor edges of the completing kernel in `complete`.
+    succ_scratch: Vec<(KernelId, u64)>,
+    /// Devices touched by a cancellation sweep.
+    touched_scratch: Vec<usize>,
+    /// Hedge-window copy for quantile selection.
+    hedge_scratch: Vec<f64>,
     // --- lifetime audit counters (never reset; see `audit`) ---------------
     life_admitted: usize,
     life_completed: usize,
@@ -316,15 +304,20 @@ impl Simulator {
                 }
             })
             .collect();
+        let pred_template: Vec<u16> = (0..n_kernels)
+            .map(|i| {
+                u16::try_from(graph.predecessors(KernelId(i)).count())
+                    .expect("predecessor count fits u16")
+            })
+            .collect();
         let mut sim = Self {
             graph,
             policy,
             config,
             devices,
-            events: BinaryHeap::new(),
-            requests: Vec::new(),
+            events: EventQueue::new(),
+            requests: ReqArena::new(pred_template),
             now: 0.0,
-            seq: 0,
             arrived: 0,
             completed: 0,
             stats_since: 0.0,
@@ -346,7 +339,12 @@ impl Simulator {
             seg_retries: 0,
             seg_timeouts: 0,
             seg_failed: 0,
-            hedge_window: vec![std::collections::VecDeque::new(); n_kernels],
+            hedge_window: vec![VecDeque::new(); n_kernels],
+            batch_scratch: Vec::new(),
+            rest_scratch: VecDeque::new(),
+            succ_scratch: Vec::new(),
+            touched_scratch: Vec::new(),
+            hedge_scratch: Vec::new(),
             life_admitted: 0,
             life_completed: 0,
             life_timed_out: 0,
@@ -564,23 +562,11 @@ impl Simulator {
     pub fn enqueue_arrivals(&mut self, times: &[f64]) {
         let factor = self.config.lifecycle.deadline_factor;
         for &t in times {
-            let req = self.requests.len();
             let arrival_ms = t.max(self.now);
             let deadline_ms = factor.map_or(f64::INFINITY, |f| {
                 arrival_ms + f * self.config.latency_bound_ms
             });
-            self.requests.push(ReqState {
-                arrival_ms,
-                remaining_preds: (0..self.graph.len())
-                    .map(|i| self.graph.predecessors(KernelId(i)).count())
-                    .collect(),
-                done: vec![false; self.graph.len()],
-                kernels_left: self.graph.len(),
-                attempt: vec![0; self.graph.len()],
-                deadline_ms,
-                hedged: vec![false; self.graph.len()],
-                outcome: Outcome::InFlight,
-            });
+            let req = self.requests.push(arrival_ms, deadline_ms);
             self.life_admitted += 1;
             self.push(arrival_ms, EventKind::Arrival { req });
             if deadline_ms.is_finite() {
@@ -593,17 +579,16 @@ impl Simulator {
     }
 
     fn push(&mut self, t: f64, kind: EventKind) {
-        self.seq += 1;
-        self.events.push(Reverse((TotalF64(t), self.seq, kind)));
+        self.events.push(t, kind);
     }
 
     /// Process all events up to (and including) time `t`.
     pub fn advance_to(&mut self, t: f64) {
-        while let Some(Reverse((TotalF64(et), _, _))) = self.events.peek() {
-            if *et > t {
+        while let Some(et) = self.events.peek_time() {
+            if et > t {
                 break;
             }
-            let Reverse((TotalF64(et), _, kind)) = self.events.pop().expect("peeked");
+            let (et, _, kind) = self.events.pop().expect("peeked");
             if et < self.now - 1e-9 {
                 self.audit_clock_regressions += 1;
             }
@@ -616,7 +601,7 @@ impl Simulator {
     /// Run until the event queue drains (all enqueued requests complete),
     /// then return the absolute completion time.
     pub fn drain(&mut self) -> f64 {
-        while let Some(Reverse((TotalF64(et), _, kind))) = self.events.pop() {
+        while let Some((et, _, kind)) = self.events.pop() {
             if et < self.now - 1e-9 {
                 self.audit_clock_regressions += 1;
             }
@@ -631,7 +616,7 @@ impl Simulator {
             EventKind::Arrival { req } => {
                 // A request cancelled before its arrival event fired (node
                 // drain between enqueue and arrival) never enters.
-                if self.requests[req].outcome != Outcome::InFlight {
+                if self.requests.is_settled(req) {
                     return;
                 }
                 self.arrived += 1;
@@ -652,21 +637,18 @@ impl Simulator {
                 }
             }
             EventKind::Dispatch { req, kernel } => {
-                {
-                    let r = &self.requests[req];
-                    // The request is already settled (hedge twin finished
-                    // the stage, or a terminal transition happened while
-                    // this dispatch was in flight).
-                    if r.outcome != Outcome::InFlight || r.done[kernel.0] {
-                        return;
-                    }
-                    // Doomed work is cancelled at dispatch instead of
-                    // queued: a stage with no remaining budget cannot
-                    // produce an in-bound completion.
-                    if self.now >= r.deadline_ms {
-                        self.abort_request(req, Outcome::TimedOut);
-                        return;
-                    }
+                // The request is already settled (hedge twin finished
+                // the stage, or a terminal transition happened while
+                // this dispatch was in flight).
+                if self.requests.is_settled(req) || self.requests.done(req, kernel.0) {
+                    return;
+                }
+                // Doomed work is cancelled at dispatch instead of
+                // queued: a stage with no remaining budget cannot
+                // produce an in-bound completion.
+                if self.now >= self.requests.deadline_ms(req) {
+                    self.abort_request(req, Outcome::TimedOut);
+                    return;
                 }
                 let item = WorkItem {
                     req,
@@ -682,7 +664,7 @@ impl Simulator {
                     Some(dev) => {
                         self.devices[dev].queue.push_back(item);
                         if self.recording() {
-                            let attempt = self.requests[req].attempt[kernel.0];
+                            let attempt = self.requests.attempt(req, kernel.0);
                             self.obs(ObsEvent::StageDispatch {
                                 req,
                                 kernel: kernel.0,
@@ -723,7 +705,7 @@ impl Simulator {
             } => self.complete(req, kernel, attempt, hedge),
             EventKind::Fault { idx } => self.apply_fault(idx),
             EventKind::Deadline { req } => {
-                if self.requests[req].outcome == Outcome::InFlight {
+                if !self.requests.is_settled(req) {
                     self.abort_request(req, Outcome::TimedOut);
                 }
             }
@@ -739,14 +721,13 @@ impl Simulator {
     /// sampled `delay` from the latency window *before* the stage
     /// started, so the quantile reflects its peers, not itself.
     fn maybe_schedule_hedge(&mut self, req: usize, kernel: KernelId, delay: f64) {
-        let r = &self.requests[req];
-        if r.hedged[kernel.0] {
+        if self.requests.hedged(req, kernel.0) {
             return; // one hedge per stage
         }
-        let attempt = r.attempt[kernel.0];
+        let attempt = self.requests.attempt(req, kernel.0);
         let at = self.now + delay;
         // Never hedge past the deadline: the copy could not win in time.
-        if at >= r.deadline_ms {
+        if at >= self.requests.deadline_ms(req) {
             return;
         }
         self.push(
@@ -762,14 +743,23 @@ impl Simulator {
     /// The current hedge delay for `kernel`: the configured quantile over
     /// its rolling stage-latency window, floored at `min_delay_ms`.
     /// `None` while hedging is disabled or the window is cold.
-    fn hedge_delay_ms(&self, kernel: KernelId) -> Option<f64> {
-        let h = self.config.lifecycle.hedge.as_ref()?;
+    fn hedge_delay_ms(&mut self, kernel: KernelId) -> Option<f64> {
+        let h = self.config.lifecycle.hedge?;
         let w = &self.hedge_window[kernel.0];
         if w.len() < h.min_samples.max(1) {
             return None;
         }
-        let samples: Vec<f64> = w.iter().copied().collect();
-        Some(hedge_delay_from(&samples, h.quantile).max(h.min_delay_ms))
+        // Same nearest-rank selection as `hedge_delay_from`, but over the
+        // reusable scratch buffer instead of a fresh sorted copy.
+        let mut scratch = std::mem::take(&mut self.hedge_scratch);
+        scratch.clear();
+        scratch.extend(w.iter().copied());
+        scratch.sort_by(f64::total_cmp);
+        let n = scratch.len();
+        let rank = ((h.quantile * n as f64).ceil() as usize).clamp(1, n) - 1;
+        let delay = scratch[rank].max(h.min_delay_ms);
+        self.hedge_scratch = scratch;
+        Some(delay)
     }
 
     /// Fire the hedge for a stage that is still outstanding: queue a
@@ -779,16 +769,13 @@ impl Simulator {
     fn hedge_fire(&mut self, req: usize, kernel: KernelId, attempt: u32) {
         let now = self.now;
         let k = kernel.0;
+        if self.requests.is_settled(req)
+            || self.requests.done(req, k)
+            || self.requests.attempt(req, k) != attempt
+            || self.requests.hedged(req, k)
+            || now >= self.requests.deadline_ms(req)
         {
-            let r = &self.requests[req];
-            if r.outcome != Outcome::InFlight
-                || r.done[k]
-                || r.attempt[k] != attempt
-                || r.hedged[k]
-                || now >= r.deadline_ms
-            {
-                return;
-            }
+            return;
         }
         // Locate the device holding the primary copy (queued or in
         // flight); a stranded primary has nothing to race against.
@@ -814,12 +801,12 @@ impl Simulator {
         // every queue, and starve both copies past the deadline.
         let alt_ready = {
             let d = &self.devices[alt];
-            d.queue.is_empty() && d.busy_until.max(now) < self.requests[req].deadline_ms
+            d.queue.is_empty() && d.busy_until.max(now) < self.requests.deadline_ms(req)
         };
         if !alt_ready {
             return;
         }
-        self.requests[req].hedged[k] = true;
+        self.requests.set_hedged(req, k);
         self.retry_stats.hedges_fired += 1;
         self.devices[alt].queue.push_back(WorkItem {
             req,
@@ -850,50 +837,75 @@ impl Simulator {
     /// the device holding the primary copy).
     fn choose_device(&self, kernel: KernelId, exclude: Option<usize>) -> Option<usize> {
         let imp = self.policy.of(kernel);
-        let all: Vec<usize> = self
-            .devices
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.kind == imp.kind)
-            .map(|(i, _)| i)
-            .collect();
+        // Pass 1 (allocation-free: the peer set is characterized by
+        // counters instead of materialized): count devices of the kind,
+        // healthy non-excluded peers, and — for FPGAs — peers already
+        // configured for this kernel and whether all of those are
+        // backlogged.
+        let mut any_of_kind = false;
+        let mut n_peers = 0usize;
+        let mut n_matching = 0usize;
+        let mut all_backlogged = true;
+        for (i, d) in self.devices.iter().enumerate() {
+            if d.kind != imp.kind {
+                continue;
+            }
+            any_of_kind = true;
+            if !d.healthy || Some(i) == exclude {
+                continue;
+            }
+            n_peers += 1;
+            if imp.kind == DeviceKind::Fpga && d.loaded == Some((kernel, imp.impl_index)) {
+                n_matching += 1;
+                if d.queue.len() < 3 {
+                    all_backlogged = false;
+                }
+            }
+        }
         assert!(
-            !all.is_empty(),
+            any_of_kind,
             "no device of kind {} in pool for kernel {kernel}",
             imp.kind
         );
-        let mut peers: Vec<usize> = all
-            .into_iter()
-            .filter(|&i| self.devices[i].healthy && Some(i) != exclude)
-            .collect();
-        if peers.is_empty() {
+        if n_peers == 0 {
             return None;
         }
         // FPGA dispatch is bitstream-sticky: transient queue pressure must
         // not trigger reconfiguration storms (each swap poisons another
         // kernel's home), so only devices already configured for this
         // kernel are eligible — unless none exists (fresh policy), in
-        // which case any peer may be reconfigured once.
-        if imp.kind == DeviceKind::Fpga {
-            let matching: Vec<usize> = peers
-                .iter()
-                .copied()
-                .filter(|&i| self.devices[i].loaded == Some((kernel, imp.impl_index)))
-                .collect();
-            if !matching.is_empty() {
-                // Expansion hysteresis: only consider reconfiguring an
-                // additional device when every configured device already
-                // has a sustained backlog.
-                let all_backlogged = matching.iter().all(|&i| self.devices[i].queue.len() >= 3);
-                if !all_backlogged {
-                    peers = matching;
-                }
+        // which case any peer may be reconfigured once. Expansion
+        // hysteresis: only consider reconfiguring an additional device
+        // when every configured device already has a sustained backlog.
+        let restrict = imp.kind == DeviceKind::Fpga && n_matching > 0 && !all_backlogged;
+        let eligible = |i: usize, d: &DeviceState| {
+            d.kind == imp.kind
+                && d.healthy
+                && Some(i) != exclude
+                && (!restrict || d.loaded == Some((kernel, imp.impl_index)))
+        };
+        // Pass 2: the home device — the (kernel mod peers)-th eligible
+        // device in index order, same as indexing the former peers Vec.
+        let n_eligible = if restrict { n_matching } else { n_peers };
+        let home_pos = kernel.0 % n_eligible;
+        let mut home = usize::MAX;
+        let mut pos = 0usize;
+        for (i, d) in self.devices.iter().enumerate() {
+            if !eligible(i, d) {
+                continue;
             }
+            if pos == home_pos {
+                home = i;
+                break;
+            }
+            pos += 1;
         }
-        let home = peers[kernel.0 % peers.len()];
+        // Pass 3: least-loaded eligible device (strict-less, first min).
         let mut best: Option<(f64, usize)> = None;
-        for &i in &peers {
-            let d = &self.devices[i];
+        for (i, d) in self.devices.iter().enumerate() {
+            if !eligible(i, d) {
+                continue;
+            }
             // A derated (throttled) device works through its backlog
             // `derate`× slower, so weight its queue accordingly.
             let mut score =
@@ -952,7 +964,7 @@ impl Simulator {
                 .count()
                 .try_into()
                 .unwrap_or(u32::MAX);
-            let deadline = self.requests[front.req].arrival_ms + budget;
+            let deadline = self.requests.arrival_ms(front.req) + budget;
             // Queue gate: only hold the batch open when a partial batch is
             // already forming (the device is trending throughput-bound);
             // a lone request at moderate load starts immediately.
@@ -982,12 +994,15 @@ impl Simulator {
                 }
             }
         }
-        let d = &mut self.devices[dev];
-
         // Gather up to `batch` queued items of the same kernel (GPU
-        // batching); preserve the order of everything else.
-        let mut batch = Vec::new();
-        let mut rest = std::collections::VecDeque::new();
+        // batching); preserve the order of everything else. Both buffers
+        // are engine-owned scratch, so steady-state batch formation
+        // allocates nothing (the drained queue becomes the next scratch).
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        let mut rest = std::mem::take(&mut self.rest_scratch);
+        batch.clear();
+        rest.clear();
+        let d = &mut self.devices[dev];
         while let Some(item) = d.queue.pop_front() {
             if item.kernel == front.kernel && batch.len() < imp.batch as usize {
                 batch.push(item);
@@ -995,7 +1010,7 @@ impl Simulator {
                 rest.push_back(item);
             }
         }
-        d.queue = rest;
+        self.rest_scratch = std::mem::replace(&mut d.queue, rest);
 
         let mut start = now;
         if d.kind == DeviceKind::Fpga && d.loaded != Some((front.kernel, imp.impl_index)) {
@@ -1069,8 +1084,8 @@ impl Simulator {
                 w.push_back(completion - item.ready_ms);
             }
         }
-        for item in batch {
-            let attempt = self.requests[item.req].attempt[item.kernel.0];
+        for &item in &batch {
+            let attempt = self.requests.attempt(item.req, item.kernel.0);
             if self.recording() {
                 self.obs(ObsEvent::StageStart {
                     req: item.req,
@@ -1097,31 +1112,29 @@ impl Simulator {
                 },
             );
         }
+        batch.clear();
+        self.batch_scratch = batch;
     }
 
     fn complete(&mut self, req: usize, kernel: KernelId, attempt: u32, hedge: bool) {
         let now = self.now;
-        let was_hedged;
-        {
-            let r = &mut self.requests[req];
-            // The request reached a terminal state (deadline, retry
-            // exhaustion, node drain) while this completion was in flight.
-            if r.outcome != Outcome::InFlight {
-                self.audit_stale += 1;
-                return;
-            }
-            // A stale completion: the execution that scheduled this event
-            // was killed by a fail-stop (or invalidated by a cancellation)
-            // and the kernel was re-dispatched under a higher attempt
-            // number — or the hedge twin already finished this stage.
-            if r.done[kernel.0] || r.attempt[kernel.0] != attempt {
-                self.audit_stale += 1;
-                return;
-            }
-            r.done[kernel.0] = true;
-            r.kernels_left -= 1;
-            was_hedged = r.hedged[kernel.0];
+        // The request reached a terminal state (deadline, retry
+        // exhaustion, node drain) while this completion was in flight.
+        if self.requests.is_settled(req) {
+            self.audit_stale += 1;
+            return;
         }
+        // A stale completion: the execution that scheduled this event
+        // was killed by a fail-stop (or invalidated by a cancellation)
+        // and the kernel was re-dispatched under a higher attempt
+        // number — or the hedge twin already finished this stage.
+        if self.requests.done(req, kernel.0) || self.requests.attempt(req, kernel.0) != attempt {
+            self.audit_stale += 1;
+            return;
+        }
+        self.requests.set_done(req, kernel.0);
+        let kernels_left = self.requests.dec_kernels_left(req);
+        let was_hedged = self.requests.hedged(req, kernel.0);
         if was_hedged {
             if hedge {
                 self.retry_stats.hedge_wins += 1;
@@ -1137,15 +1150,11 @@ impl Simulator {
             });
         }
         let my_kind = self.policy.of(kernel).kind;
-        let succs: Vec<(KernelId, u64)> = self
-            .graph
-            .successors(kernel)
-            .map(|e| (e.to, e.bytes))
-            .collect();
-        for (succ, bytes) in succs {
-            let r = &mut self.requests[req];
-            r.remaining_preds[succ.0] -= 1;
-            if r.remaining_preds[succ.0] == 0 {
+        let mut succs = std::mem::take(&mut self.succ_scratch);
+        succs.clear();
+        succs.extend(self.graph.successors(kernel).map(|e| (e.to, e.bytes)));
+        for &(succ, bytes) in &succs {
+            if self.requests.dec_remaining_preds(req, succ.0) == 0 {
                 let succ_kind = self.policy.of(succ).kind;
                 let transfer = if succ_kind == my_kind {
                     0.0
@@ -1155,9 +1164,11 @@ impl Simulator {
                 self.push(now + transfer, EventKind::Dispatch { req, kernel: succ });
             }
         }
-        if self.requests[req].kernels_left == 0 {
+        succs.clear();
+        self.succ_scratch = succs;
+        if kernels_left == 0 {
             self.set_terminal(req, Outcome::Completed);
-            let latency = now - self.requests[req].arrival_ms;
+            let latency = now - self.requests.arrival_ms(req);
             Arc::make_mut(&mut self.latencies).push(latency);
             self.segment_latencies.push(latency);
             self.completed += 1;
@@ -1174,12 +1185,11 @@ impl Simulator {
     /// Move `req` to a terminal outcome, exactly once. A second terminal
     /// transition is counted as an audit violation and ignored.
     fn set_terminal(&mut self, req: usize, outcome: Outcome) {
-        let r = &mut self.requests[req];
-        if r.outcome != Outcome::InFlight {
+        if self.requests.is_settled(req) {
             self.audit_double_terminal += 1;
             return;
         }
-        r.outcome = outcome;
+        self.requests.set_outcome(req, outcome);
         match outcome {
             Outcome::InFlight => unreachable!("terminal transition to InFlight"),
             Outcome::Completed => self.life_completed += 1,
@@ -1213,7 +1223,8 @@ impl Simulator {
     /// batch still held booked is refunded.
     fn abort_request(&mut self, req: usize, outcome: Outcome) {
         let now = self.now;
-        let mut touched: Vec<usize> = Vec::new();
+        let mut touched = std::mem::take(&mut self.touched_scratch);
+        touched.clear();
         for (i, d) in self.devices.iter_mut().enumerate() {
             let before = d.queue.len() + d.inflight.len();
             d.queue.retain(|it| it.req != req);
@@ -1225,9 +1236,7 @@ impl Simulator {
         // Bump every stage's attempt: any completion still scheduled for
         // this request is now stale (belt and braces — the terminal
         // outcome alone already makes them stale).
-        for a in &mut self.requests[req].attempt {
-            *a += 1;
-        }
+        self.requests.bump_all_attempts(req);
         for (i, d) in self.devices.iter_mut().enumerate() {
             let before = d.inflight.len();
             d.inflight
@@ -1237,9 +1246,11 @@ impl Simulator {
             }
         }
         self.set_terminal(req, outcome);
-        for dev in touched {
+        for &dev in &touched {
             self.cut_if_idle(dev);
         }
+        touched.clear();
+        self.touched_scratch = touched;
     }
 
     /// Remove the losing copies of a hedged stage after its first
@@ -1249,7 +1260,8 @@ impl Simulator {
     /// refunded.
     fn cancel_duplicates(&mut self, req: usize, kernel: KernelId) {
         let now = self.now;
-        let mut touched: Vec<usize> = Vec::new();
+        let mut touched = std::mem::take(&mut self.touched_scratch);
+        touched.clear();
         for (i, d) in self.devices.iter_mut().enumerate() {
             let before = d.queue.len() + d.inflight.len();
             d.queue.retain(|it| !(it.req == req && it.kernel == kernel));
@@ -1262,9 +1274,11 @@ impl Simulator {
         }
         self.stranded
             .retain(|it| !(it.req == req && it.kernel == kernel));
-        for dev in touched {
+        for &dev in &touched {
             self.cut_if_idle(dev);
         }
+        touched.clear();
+        self.touched_scratch = touched;
     }
 
     /// If device `dev` is mid-execution but every work item of its
@@ -1279,9 +1293,9 @@ impl Simulator {
             }
             d.inflight.iter().any(|e| {
                 e.completion_ms > now + 1e-12
-                    && self.requests[e.item.req].outcome == Outcome::InFlight
-                    && !self.requests[e.item.req].done[e.item.kernel.0]
-                    && self.requests[e.item.req].attempt[e.item.kernel.0] == e.attempt
+                    && !self.requests.is_settled(e.item.req)
+                    && !self.requests.done(e.item.req, e.item.kernel.0)
+                    && self.requests.attempt(e.item.req, e.item.kernel.0) == e.attempt
             })
         };
         if has_live {
@@ -1319,7 +1333,13 @@ impl Simulator {
         self.segment_latencies.clear();
         self.segment_arrived = 0;
         self.segment_completed = 0;
-        self.kernel_stats = vec![KernelStats::default(); self.graph.len()];
+        for ks in &mut self.kernel_stats {
+            *ks = KernelStats::default();
+        }
+        // Measurement boundaries are also when the settled request prefix
+        // is reclaimed: over a long replay the arena stays bounded by the
+        // in-flight population instead of growing with the trace.
+        self.requests.compact();
     }
 
     /// Statistics since the last call (the system monitor's view): arrived
@@ -1329,6 +1349,22 @@ impl Simulator {
         let arrived = std::mem::replace(&mut self.segment_arrived, 0);
         let completed = std::mem::replace(&mut self.segment_completed, 0);
         (arrived, completed, stats)
+    }
+
+    /// Allocation-free [`drain_segment`](Self::drain_segment): swaps the
+    /// segment's raw latency samples into `out` (clearing it first) so an
+    /// interval-stepping driver can recycle one buffer per node instead of
+    /// building a fresh digest every interval. Returns `(arrived,
+    /// completed)`; percentiles come from the slice helpers
+    /// ([`quantile_of`](crate::quantile_of) /
+    /// [`violations_of`](crate::violations_of)), which match the digest
+    /// bit-for-bit.
+    pub fn drain_segment_into(&mut self, out: &mut Vec<f64>) -> (usize, usize) {
+        out.clear();
+        std::mem::swap(out, &mut self.segment_latencies);
+        let arrived = std::mem::replace(&mut self.segment_arrived, 0);
+        let completed = std::mem::replace(&mut self.segment_completed, 0);
+        (arrived, completed)
     }
 
     /// Total queued work items across devices, plus work stranded by
@@ -1419,13 +1455,11 @@ impl Simulator {
         }
         self.stranded.clear();
         let mut cancelled = 0;
-        for req in 0..self.requests.len() {
-            if self.requests[req].outcome == Outcome::InFlight {
+        for req in self.requests.live_range() {
+            if !self.requests.is_settled(req) {
                 cancelled += 1;
                 // Stale-ify every scheduled completion of the victim.
-                for a in &mut self.requests[req].attempt {
-                    *a += 1;
-                }
+                self.requests.bump_all_attempts(req);
                 self.set_terminal(req, Outcome::Cancelled);
             }
         }
@@ -1494,13 +1528,18 @@ impl Simulator {
                 let mut to_retry: Vec<WorkItem> = Vec::new();
                 let inflight = std::mem::take(&mut self.devices[device].inflight);
                 for entry in inflight {
-                    let r = &mut self.requests[entry.item.req];
+                    let req = entry.item.req;
                     let k = entry.item.kernel.0;
+                    // A settled request never holds a live future
+                    // completion (the settling path invalidated it), so
+                    // the settled check short-circuits before any
+                    // per-kernel state is touched.
                     if entry.completion_ms > now + 1e-12
-                        && !r.done[k]
-                        && r.attempt[k] == entry.attempt
+                        && !self.requests.is_settled(req)
+                        && !self.requests.done(req, k)
+                        && self.requests.attempt(req, k) == entry.attempt
                     {
-                        r.attempt[k] += 1;
+                        self.requests.bump_attempt(req, k);
                         to_retry.push(entry.item);
                     }
                 }
@@ -1526,14 +1565,14 @@ impl Simulator {
                         // kill against their stage's retry budget, so the
                         // bound is uniform across queue positions.
                         for item in &queued_victims {
-                            self.requests[item.req].attempt[item.kernel.0] += 1;
+                            self.requests.bump_attempt(item.req, item.kernel.0);
                         }
                         to_retry.extend(queued_victims);
                         for item in to_retry {
-                            if self.requests[item.req].outcome != Outcome::InFlight {
+                            if self.requests.is_settled(item.req) {
                                 continue; // settled while the kill ran
                             }
-                            let n = self.requests[item.req].attempt[item.kernel.0];
+                            let n = self.requests.attempt(item.req, item.kernel.0);
                             if n > policy.max_retries {
                                 self.retry_stats.exhausted += 1;
                                 self.abort_request(item.req, Outcome::Failed);
@@ -1660,10 +1699,12 @@ impl Simulator {
     /// deadlines are disabled, 0 when the deadline has passed).
     ///
     /// # Panics
-    /// Panics if `req` was never enqueued.
+    /// Panics if `req` was never enqueued, or if it settled before the
+    /// last [`reset_accounting`](Self::reset_accounting) (settled request
+    /// state is compacted away at measurement boundaries).
     #[must_use]
     pub fn remaining_budget_ms(&self, req: usize) -> f64 {
-        (self.requests[req].deadline_ms - self.now).max(0.0)
+        (self.requests.deadline_ms(req) - self.now).max(0.0)
     }
 
     /// Cumulative re-issue ledger since construction (also embedded in
@@ -1685,11 +1726,7 @@ impl Simulator {
             timed_out: self.life_timed_out,
             failed: self.life_failed,
             cancelled: self.life_cancelled,
-            pending: self
-                .requests
-                .iter()
-                .filter(|r| r.outcome == Outcome::InFlight)
-                .count(),
+            pending: self.requests.pending(),
             stale_completions: self.audit_stale,
             double_terminal: self.audit_double_terminal,
             clock_regressions: self.audit_clock_regressions,
@@ -2208,18 +2245,10 @@ mod tests {
     fn seed_two(s: &mut Simulator) {
         s.last_arrival_ms = s.now;
         for i in 0..2 {
-            s.requests.push(ReqState {
-                arrival_ms: s.now,
-                remaining_preds: vec![0],
-                done: vec![false],
-                kernels_left: 1,
-                attempt: vec![0],
-                deadline_ms: f64::INFINITY,
-                hedged: vec![false],
-                outcome: Outcome::InFlight,
-            });
+            let req = s.requests.push(s.now, f64::INFINITY);
+            assert_eq!(req, i);
             s.devices[0].queue.push_back(WorkItem {
-                req: i,
+                req,
                 kernel: KernelId(0),
                 ready_ms: s.now,
                 hedge: false,
@@ -2290,7 +2319,7 @@ mod tests {
         s.arrival_rate = 0.25;
         s.try_start(0);
         assert!(!s.devices[0].executing, "batch held open");
-        let Reverse((TotalF64(wake), _, _)) = *s.events.peek().expect("wake event queued");
+        let wake = s.events.peek_time().expect("wake event queued");
         assert_eq!(wake, 40.0, "wake capped at the deadline");
         s.advance_to(40.0);
         assert!(s.devices[0].executing, "partial batch launched at deadline");

@@ -26,10 +26,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod audit;
 mod device;
 mod engine;
 mod ep;
+mod equeue;
 mod fault;
 mod lifecycle;
 mod load;
@@ -44,9 +46,10 @@ pub use engine::{
     ExecutionRecord, KernelStats, SimConfig, SimReport, Simulator, GPU_PARKED_FRACTION,
 };
 pub use ep::{ep_metric, EpCurve, EpPoint};
+pub use equeue::EventQueue;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};
 pub use lifecycle::{hedge_delay_from, BackoffPolicy, HedgeConfig, LifecycleConfig, RetryPolicy};
 pub use load::{max_rps_under_qos, max_rps_under_qos_par, steady_state, LoadPoint, LoadSweep};
-pub use metrics::{LatencyStats, RetryStats};
+pub use metrics::{quantile_of, violations_of, LatencyStats, RetryStats};
 pub use policy::{KernelImpl, Policy};
 pub use time::TotalF64;

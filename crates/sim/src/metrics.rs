@@ -146,6 +146,44 @@ fn digest(samples: &mut [f64]) -> (f64, Vec<(usize, f64)>) {
     (mean, grid)
 }
 
+/// The `q`-quantile (nearest-rank) of a raw sample slice, without
+/// building a [`LatencyStats`] digest.
+///
+/// Non-finite samples are filtered exactly as [`LatencyStats::from_samples`]
+/// filters them, the rank is the same nearest-rank formula, and the value
+/// is selected with the same `total_cmp` comparator — so for any slice
+/// this returns bit-identical results to
+/// `LatencyStats::from_samples(slice.to_vec()).quantile(q)`. `scratch` is
+/// a caller-owned reusable buffer (cleared and refilled here); the slice
+/// itself is never touched, and steady-state callers allocate nothing.
+/// An empty (or all-non-finite) input yields `0.0`.
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile_of(samples: &[f64], q: f64, scratch: &mut Vec<f64>) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    scratch.clear();
+    scratch.extend(samples.iter().copied().filter(|x| x.is_finite()));
+    if scratch.is_empty() {
+        return 0.0;
+    }
+    let rank = rank0(q, scratch.len());
+    let (_, &mut v, _) = scratch.select_nth_unstable_by(rank, |a, b| a.total_cmp(b));
+    v
+}
+
+/// Number of finite samples strictly above `bound_ms` — the slice twin of
+/// [`LatencyStats::violations_over`] (which counts over an already
+/// finite-filtered buffer).
+#[must_use]
+pub fn violations_of(samples: &[f64], bound_ms: f64) -> usize {
+    samples
+        .iter()
+        .filter(|&&x| x.is_finite() && x > bound_ms)
+        .count()
+}
+
 impl LatencyStats {
     /// Summarize a set of latency samples (milliseconds). Order of the
     /// input does not matter; an empty input yields all-zero statistics.
@@ -430,6 +468,30 @@ mod tests {
         // The fleet p99 is dominated by the one slow node, which averaging
         // per-node p99s would hide.
         assert!(m.p99() > (a.p99() + b.p99()) / 2.0);
+    }
+
+    #[test]
+    fn slice_helpers_match_digest_path() {
+        let mut scratch = Vec::new();
+        for n in [1usize, 2, 7, 100, 997] {
+            let samples: Vec<f64> = (0..n).map(|i| ((i * 7919) % n) as f64 * 0.5).collect();
+            let s = LatencyStats::from_samples(samples.clone());
+            for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                assert_eq!(
+                    quantile_of(&samples, q, &mut scratch).to_bits(),
+                    s.quantile(q).to_bits(),
+                    "n={n} q={q}"
+                );
+            }
+            assert_eq!(violations_of(&samples, 10.0), s.violations_over(10.0));
+        }
+        // Non-finite entries are filtered identically on both paths.
+        let dirty = vec![1.0, f64::NAN, 3.0, f64::INFINITY, 2.0];
+        let s = LatencyStats::from_samples(dirty.clone());
+        assert_eq!(quantile_of(&dirty, 0.99, &mut scratch), s.p99());
+        assert_eq!(violations_of(&dirty, 1.5), s.violations_over(1.5));
+        assert_eq!(quantile_of(&[], 0.5, &mut scratch), 0.0);
+        assert_eq!(violations_of(&[], 0.0), 0);
     }
 
     #[test]
