@@ -474,7 +474,9 @@ impl Cluster {
             };
             skew_sum += util_skew;
             all_samples.extend_from_slice(&interval_samples);
-            let p99 = quantile_of(&interval_samples, 0.99, &mut q_scratch);
+            // `None` means no interval completions; the record's
+            // `completed == 0` keeps that distinguishable from a true 0.
+            let p99 = quantile_of(&interval_samples, 0.99, &mut q_scratch).unwrap_or(0.0);
 
             intervals.push(ClusterIntervalRecord {
                 start_ms: start,
@@ -492,7 +494,9 @@ impl Cluster {
             });
         }
 
-        let p99_ms = quantile_of(&all_samples, 0.99, &mut q_scratch);
+        // A run with zero fleet-wide completions reports 0.0 alongside
+        // `completed == 0`, which keeps "no samples" distinguishable.
+        let p99_ms = quantile_of(&all_samples, 0.99, &mut q_scratch).unwrap_or(0.0);
         // Unified ledger: node-level retries/hedges merged across the
         // fleet, plus this run's front-end redistribution.
         let mut retry = RetryStats::default();

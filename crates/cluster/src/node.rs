@@ -343,18 +343,24 @@ impl ClusterNode {
         let (timed_out, failed) = sim.take_lifecycle_counts();
         let queued = sim.queued();
         let healthy_devices = sim.healthy_devices();
+        // `None` means no segment completions; every consumer below pairs
+        // the 0.0 fallback with the `completed` count, so "no samples"
+        // stays distinguishable from a true zero.
         let p99 = quantile_of(&self.seg_samples, 0.99, &mut self.q_scratch);
         let violations = violations_of(&self.seg_samples, self.ctx.bound_ms());
 
         let predicted_p99 = self.predicted.as_ref().map_or(f64::INFINITY, |p| p.p99_ms);
         if completed >= 30 && !self.last_policy_changed && predicted_p99.is_finite() {
-            self.optimizer.model_mut().observe(predicted_p99, p99);
+            // The completion gate guarantees the segment has samples.
+            self.optimizer
+                .model_mut()
+                .observe(predicted_p99, p99.unwrap_or(0.0));
         }
         self.monitor.observe(IntervalObs {
             duration_ms: report.duration_ms,
             arrived,
             completed,
-            p99_ms: p99,
+            p99_ms: p99.unwrap_or(0.0),
             avg_power_w: report.avg_power_w,
             queued,
         });
@@ -374,7 +380,7 @@ impl ClusterNode {
                 policy_changed: self.last_policy_changed,
                 reason: self.last_reason,
                 predicted_p99_ms: predicted_p99,
-                observed_p99_ms: p99,
+                observed_p99_ms: p99.unwrap_or(0.0),
                 power_w: report.avg_power_w,
                 completed,
                 violations,
@@ -388,7 +394,7 @@ impl ClusterNode {
             arrived,
             completed,
             violations,
-            p99_ms: p99,
+            p99_ms: p99.unwrap_or(0.0),
             avg_power_w: report.avg_power_w,
             energy_j: report.energy_j,
             queued,

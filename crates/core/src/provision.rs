@@ -124,6 +124,7 @@ fn sim_config(gpu: &GpuModel, fpga: &FpgaModel) -> SimConfig {
         fpga_idle_w: fpga.spec().static_power_w,
         fpga_reconfig_ms: fpga.spec().reconfig_ms,
         lifecycle: poly_sim::LifecycleConfig::default(),
+        dynamic: None,
     }
 }
 

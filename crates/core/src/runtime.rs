@@ -9,10 +9,17 @@
 
 use crate::{AppContext, IntervalObs, Optimizer, SystemMonitor};
 use poly_obs::{Event as ObsEvent, Recorder};
-use poly_sim::workload::{poisson, TracePoint};
+use poly_sim::workload::{poisson, SizeDist, TracePoint};
 use poly_sim::{
-    quantile_of, violations_of, FaultPlan, LifecycleConfig, Policy, RetryStats, Simulator,
+    quantile_of, violations_of, DynamicDispatch, FaultPlan, LifecycleConfig, Policy, RetryStats,
+    Simulator,
 };
+
+/// Alternates the dispatch-time chooser keeps per kernel when the
+/// dynamic layer is enabled (primary + up to three fallbacks — enough
+/// to retain both the min-latency and the most-efficient implementation
+/// of each platform).
+const DYNAMIC_TOP_K: usize = 4;
 
 /// How the runtime selects policies.
 #[derive(Debug, Clone)]
@@ -32,7 +39,8 @@ pub struct IntervalRecord {
     pub utilization: f64,
     /// Offered load in RPS.
     pub offered_rps: f64,
-    /// Measured p99 latency over the interval (0 if nothing completed).
+    /// Measured p99 latency over the interval (0 if nothing completed —
+    /// `completed == 0` distinguishes that from a true zero).
     pub p99_ms: f64,
     /// Model-predicted p99 for the adopted policy (Poly mode only).
     pub predicted_p99_ms: f64,
@@ -100,6 +108,8 @@ pub struct RunSpec {
     faults: FaultPlan,
     lifecycle: Option<LifecycleConfig>,
     recorder: Option<Box<dyn Recorder>>,
+    sizes: SizeDist,
+    dynamic: Option<DynamicDispatch>,
 }
 
 impl RunSpec {
@@ -117,6 +127,8 @@ impl RunSpec {
             faults: FaultPlan::new(),
             lifecycle: None,
             recorder: None,
+            sizes: SizeDist::Nominal,
+            dynamic: None,
         }
     }
 
@@ -153,6 +165,26 @@ impl RunSpec {
     #[must_use]
     pub fn recorder(mut self, recorder: impl Recorder + 'static) -> Self {
         self.recorder = Some(Box::new(recorder));
+        self
+    }
+
+    /// Per-request input-size distribution (default
+    /// [`SizeDist::Nominal`], i.e. every request exactly nominal — the
+    /// legacy behavior, bit for bit).
+    #[must_use]
+    pub fn sizes(mut self, sizes: SizeDist) -> Self {
+        self.sizes = sizes;
+        self
+    }
+
+    /// Enable the hybrid static/dynamic scheduling layer: planning still
+    /// produces the interval policy, but each kernel keeps its top-k
+    /// implementations and dispatch picks among them per request by input
+    /// size and per-device queue depth (with work stealing when
+    /// `dynamic.steal`). Off by default — the purely static plan.
+    #[must_use]
+    pub fn dynamic(mut self, dynamic: DynamicDispatch) -> Self {
+        self.dynamic = Some(dynamic);
         self
     }
 
@@ -194,6 +226,21 @@ impl PolyRuntime {
         &self.ctx
     }
 
+    /// Attach the design spaces' top-k alternates to `policy` when the
+    /// spec enables dynamic dispatch; identity otherwise.
+    fn attach_alternates(&self, policy: Policy, spec: &RunSpec, bound_ms: f64) -> Policy {
+        if spec.dynamic.is_some() {
+            policy.with_alternates(
+                self.ctx.spaces(),
+                &self.ctx.setup().gpu,
+                bound_ms,
+                DYNAMIC_TOP_K,
+            )
+        } else {
+            policy
+        }
+    }
+
     /// Replay `spec`: re-plan every interval from monitor feedback (Poly
     /// mode) or hold one policy (static mode), applying the spec's fault
     /// plan and recording telemetry into its recorder (if any).
@@ -215,7 +262,7 @@ impl PolyRuntime {
         self.monitor.reset();
         // Initial policy: plan for the first interval's load.
         let first_rps = trace.first().map_or(0.0, |p| p.utilization * spec.max_rps);
-        let (mut policy, mut predicted) = match mode {
+        let (policy, mut predicted) = match mode {
             RuntimeMode::Poly => self.optimizer.plan_for_load(
                 self.ctx.graph(),
                 self.ctx.spaces(),
@@ -234,11 +281,15 @@ impl PolyRuntime {
                 (p.clone(), pred)
             }
         };
+        // With the dynamic layer on, every adopted policy also carries
+        // the plan's top-k alternates for the dispatch-time chooser.
+        let mut policy = self.attach_alternates(policy, spec, bound_ms);
 
         let mut sim_config = self.ctx.setup().sim_config.clone();
         if let Some(lc) = &spec.lifecycle {
             sim_config.lifecycle = lc.clone();
         }
+        sim_config.dynamic = spec.dynamic;
         let mut sim = Simulator::new(
             self.ctx.graph_owned(),
             &self.ctx.setup().pool,
@@ -307,6 +358,7 @@ impl PolyRuntime {
                             bound_ms,
                             est,
                         );
+                        let next = self.attach_alternates(next, spec, bound_ms);
                         if next != policy {
                             policy_changed = true;
                             sim.set_policy(next.clone());
@@ -322,6 +374,7 @@ impl PolyRuntime {
                             bound_ms,
                             est,
                         );
+                        let next = self.attach_alternates(next, spec, bound_ms);
                         // Hysteresis: a policy change pays FPGA reconfiguration
                         // and transient tail spikes, so keep the current policy
                         // unless it is about to violate QoS or the candidate
@@ -352,13 +405,26 @@ impl PolyRuntime {
                     .into_iter()
                     .map(|t| start + t)
                     .collect();
-            sim.enqueue_arrivals(&arrivals);
+            if matches!(spec.sizes, SizeDist::Nominal) {
+                sim.enqueue_arrivals(&arrivals);
+            } else {
+                // Decorrelate the size stream from the arrival stream
+                // (same per-interval index, different seed lineage).
+                let size_seed = spec
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64);
+                let sizes = spec.sizes.sample(arrivals.len(), size_seed);
+                sim.enqueue_arrivals_sized(&arrivals, &sizes);
+            }
             sim.reset_accounting();
             sim.advance_to(end);
             let report = sim.finish(end);
             let (arrived, completed) = sim.drain_segment_into(&mut seg_samples);
 
-            let p99 = quantile_of(&seg_samples, 0.99, &mut q_scratch);
+            // `None` (no completions) folds to 0.0 for the records below;
+            // their `completed` field keeps it distinguishable.
+            let p99 = quantile_of(&seg_samples, 0.99, &mut q_scratch).unwrap_or(0.0);
             // Exact exceedance count — the former reconstruction through
             // `violation_ratio * completed` could drift off-by-one.
             let violations = violations_of(&seg_samples, bound_ms);

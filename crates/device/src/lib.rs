@@ -48,6 +48,7 @@ mod gpu;
 mod kind;
 mod pcie;
 mod power;
+mod size;
 mod spec;
 
 pub use estimate::Estimate;
@@ -56,4 +57,5 @@ pub use gpu::{GpuModel, GpuTuning};
 pub use kind::DeviceKind;
 pub use pcie::PcieLink;
 pub use power::DvfsLevel;
+pub use size::{size_scale, FPGA_FIXED_FRAC, GPU_FIXED_FRAC};
 pub use spec::{FpgaSpec, GpuSpec};

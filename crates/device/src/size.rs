@@ -1,0 +1,74 @@
+//! Input-size scaling of the analytical models.
+//!
+//! The catalog models are evaluated against one *nominal* kernel profile;
+//! per-request inputs in an irregular workload deviate from it by a
+//! relative factor (1.0 = nominal). Execution time does not scale purely
+//! linearly with that factor: each platform has a fixed overhead share
+//! that is size-independent — kernel launch/dispatch on the GPU, host
+//! handoff and pipeline fill on the FPGA — while the remaining share
+//! (memory traffic, iteration count) grows with the input.
+//!
+//! [`size_scale`] captures this with a two-term model,
+//! `fixed + (1 - fixed) * size`, the standard serial-fraction shape.
+//! The GPU's fixed share is large (dispatch overhead, occupancy ramp);
+//! the FPGA's is small (a deep initiation-interval pipeline streams
+//! elements, so time is nearly proportional to element count).
+
+use crate::kind::DeviceKind;
+
+/// Size-independent fraction of GPU execution time (launch/dispatch
+/// overhead, occupancy ramp).
+pub const GPU_FIXED_FRAC: f64 = 0.35;
+
+/// Size-independent fraction of FPGA execution time (host handoff,
+/// pipeline fill) — small, because pipelined streaming scales with the
+/// element count.
+pub const FPGA_FIXED_FRAC: f64 = 0.10;
+
+/// Multiplier on nominal execution time (and dynamic energy) for a
+/// request whose input is `size` × the nominal profile.
+///
+/// Exactly `1.0` for `size == 1.0` — nominal-size requests are
+/// bit-identical to the unscaled models, so workloads without size
+/// variation reproduce the unsized simulation exactly.
+#[must_use]
+pub fn size_scale(kind: DeviceKind, size: f64) -> f64 {
+    if size == 1.0 {
+        return 1.0;
+    }
+    let fixed = match kind {
+        DeviceKind::Gpu => GPU_FIXED_FRAC,
+        DeviceKind::Fpga => FPGA_FIXED_FRAC,
+    };
+    fixed + (1.0 - fixed) * size.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_size_is_exact_identity() {
+        assert_eq!(size_scale(DeviceKind::Gpu, 1.0).to_bits(), 1.0f64.to_bits());
+        assert_eq!(
+            size_scale(DeviceKind::Fpga, 1.0).to_bits(),
+            1.0f64.to_bits()
+        );
+    }
+
+    #[test]
+    fn gpu_amortizes_small_inputs_better_than_fpga() {
+        // Half-size input: GPU keeps more of its fixed overhead.
+        assert!(size_scale(DeviceKind::Gpu, 0.5) > size_scale(DeviceKind::Fpga, 0.5));
+        // Double-size input: FPGA grows closer to 2x.
+        assert!(size_scale(DeviceKind::Fpga, 2.0) > size_scale(DeviceKind::Gpu, 2.0));
+    }
+
+    #[test]
+    fn scale_is_monotone_and_floored() {
+        assert!(size_scale(DeviceKind::Gpu, 4.0) > size_scale(DeviceKind::Gpu, 2.0));
+        // Degenerate sizes clamp at the fixed fraction, never negative.
+        assert_eq!(size_scale(DeviceKind::Gpu, -3.0), GPU_FIXED_FRAC);
+        assert_eq!(size_scale(DeviceKind::Fpga, 0.0), FPGA_FIXED_FRAC);
+    }
+}

@@ -77,6 +77,28 @@ impl DesignPoint {
     pub fn dynamic_energy_mj(&self) -> f64 {
         self.estimate.dynamic_energy_mj()
     }
+
+    /// Predicted latency for an input `size` × the nominal profile
+    /// (see [`poly_device::size_scale`]).
+    #[must_use]
+    pub fn latency_ms_for(&self, size: f64) -> f64 {
+        self.estimate.latency_ms * poly_device::size_scale(self.kind, size)
+    }
+
+    /// Predicted per-request device occupancy for an input `size` × the
+    /// nominal profile.
+    #[must_use]
+    pub fn service_ms_for(&self, size: f64) -> f64 {
+        self.estimate.service_ms * poly_device::size_scale(self.kind, size)
+    }
+
+    /// Predicted dynamic energy for an input `size` × the nominal
+    /// profile (dynamic energy tracks active time, so it scales with the
+    /// same factor as occupancy).
+    #[must_use]
+    pub fn dynamic_energy_mj_for(&self, size: f64) -> f64 {
+        self.estimate.dynamic_energy_mj() * poly_device::size_scale(self.kind, size)
+    }
 }
 
 /// The design space of one kernel: Pareto frontiers per platform plus the
@@ -226,6 +248,22 @@ mod tests {
         assert_eq!(best.latency_ms(), 40.0);
         // An impossible bound yields none.
         assert!(s.most_efficient_within(DeviceKind::Fpga, 1.0).is_none());
+    }
+
+    #[test]
+    fn size_parameterized_estimates_scale() {
+        let s = space();
+        let p = &s.gpu[0];
+        // Nominal size is bit-exact identity with the unsized accessors.
+        assert_eq!(p.latency_ms_for(1.0).to_bits(), p.latency_ms().to_bits());
+        assert_eq!(p.service_ms_for(1.0).to_bits(), p.service_ms().to_bits());
+        assert!(p.latency_ms_for(2.0) > p.latency_ms());
+        assert!(p.dynamic_energy_mj_for(0.5) < p.dynamic_energy_mj());
+        // FPGA time tracks size more closely than GPU time.
+        let f = &s.fpga[0];
+        let gpu_ratio = p.latency_ms_for(2.0) / p.latency_ms();
+        let fpga_ratio = f.latency_ms_for(2.0) / f.latency_ms();
+        assert!(fpga_ratio > gpu_ratio);
     }
 
     #[test]

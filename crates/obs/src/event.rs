@@ -89,6 +89,33 @@ pub enum Event {
         /// Device the duplicate was sent to.
         device: usize,
     },
+    /// The dynamic dispatch chooser overrode the interval plan's primary
+    /// implementation for one request-stage.
+    DynamicChoice {
+        /// Request index.
+        req: usize,
+        /// Kernel index.
+        kernel: usize,
+        /// Device the stage was dispatched to.
+        device: usize,
+        /// Index into the policy's top-k alternate list (never 0 — the
+        /// primary choice is not reported as an override).
+        alt: u8,
+        /// Frontier implementation index of the chosen alternate.
+        impl_index: usize,
+    },
+    /// An idle device poached a queued stage from a backlogged peer
+    /// (dynamic dispatch layer).
+    WorkSteal {
+        /// Request index.
+        req: usize,
+        /// Kernel index.
+        kernel: usize,
+        /// Device the entry was stolen from.
+        from: usize,
+        /// Idle device the entry now runs on.
+        to: usize,
+    },
     /// A request completed all stages.
     ReqComplete {
         /// Request index.
@@ -191,6 +218,8 @@ impl Event {
             Event::StageStart { .. } => "stage-start",
             Event::StageComplete { .. } => "stage-complete",
             Event::HedgeFired { .. } => "hedge-fired",
+            Event::DynamicChoice { .. } => "dynamic-choice",
+            Event::WorkSteal { .. } => "work-steal",
             Event::ReqComplete { .. } => "req-complete",
             Event::ReqTimedOut { .. } => "req-timed-out",
             Event::ReqFailed { .. } => "req-failed",

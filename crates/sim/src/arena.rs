@@ -48,6 +48,9 @@ pub(crate) struct ReqArena {
     // --- per-request scalars (index: req - base) --------------------------
     arrival_ms: Vec<f64>,
     deadline_ms: Vec<f64>,
+    /// Relative input size (1.0 = the nominal profile the models were
+    /// evaluated against).
+    size: Vec<f64>,
     kernels_left: Vec<u32>,
     outcome: Vec<Outcome>,
     // --- per-kernel state (index: (req - base) * k + kernel) --------------
@@ -67,6 +70,7 @@ impl ReqArena {
             pred_template,
             arrival_ms: Vec::new(),
             deadline_ms: Vec::new(),
+            size: Vec::new(),
             kernels_left: Vec::new(),
             outcome: Vec::new(),
             remaining_preds: Vec::new(),
@@ -87,11 +91,21 @@ impl ReqArena {
         self.base..self.len()
     }
 
-    /// Admit a request; returns its global index.
+    /// Admit a nominal-size request; returns its global index. (Test
+    /// convenience — the engine always goes through
+    /// [`push_sized`](Self::push_sized).)
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn push(&mut self, arrival_ms: f64, deadline_ms: f64) -> usize {
+        self.push_sized(arrival_ms, deadline_ms, 1.0)
+    }
+
+    /// Admit a request with relative input size `size`; returns its
+    /// global index.
+    pub(crate) fn push_sized(&mut self, arrival_ms: f64, deadline_ms: f64, size: f64) -> usize {
         let req = self.len();
         self.arrival_ms.push(arrival_ms);
         self.deadline_ms.push(deadline_ms);
+        self.size.push(size);
         self.kernels_left
             .push(u32::try_from(self.k).expect("kernel count fits u32"));
         self.outcome.push(Outcome::InFlight);
@@ -147,6 +161,11 @@ impl ReqArena {
 
     pub(crate) fn deadline_ms(&self, req: usize) -> f64 {
         self.deadline_ms[self.at(req)]
+    }
+
+    /// Relative input size of a retained request (1.0 = nominal).
+    pub(crate) fn size(&self, req: usize) -> f64 {
+        self.size[self.at(req)]
     }
 
     #[cfg(test)]
@@ -231,6 +250,7 @@ impl ReqArena {
         self.base += settled;
         self.arrival_ms.drain(..settled);
         self.deadline_ms.drain(..settled);
+        self.size.drain(..settled);
         self.kernels_left.drain(..settled);
         self.outcome.drain(..settled);
         self.remaining_preds.drain(..settled * self.k);
@@ -256,6 +276,9 @@ mod tests {
         assert_eq!(r, 0);
         assert_eq!(a.arrival_ms(r), 5.0);
         assert_eq!(a.deadline_ms(r), 100.0);
+        assert_eq!(a.size(r).to_bits(), 1.0f64.to_bits());
+        let r2 = a.push_sized(6.0, 100.0, 2.5);
+        assert_eq!(a.size(r2), 2.5);
         assert_eq!(a.kernels_left(r), 2);
         assert_eq!(a.outcome(r), Outcome::InFlight);
         assert!(!a.done(r, 0) && !a.done(r, 1));

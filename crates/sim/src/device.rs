@@ -9,6 +9,16 @@ pub(crate) struct WorkItem {
     pub req: usize,
     pub kernel: KernelId,
     pub ready_ms: f64,
+    /// Expected per-request device occupancy of *this* entry under the
+    /// implementation it was dispatched with (size-scaled), in ms. Queue
+    /// delay estimates sum these, so mixed-cost queues price each entry
+    /// at its own expected service time rather than the candidate's.
+    pub est_ms: f64,
+    /// Implementation alternate this entry was dispatched under: index
+    /// into the policy's top-k list for its kernel (0 = the interval
+    /// plan's primary choice — the only value while the dynamic chooser
+    /// is off).
+    pub alt: u8,
     /// This copy is a hedge duplicate (win attribution only; the `done`
     /// flag already makes duplicates safe).
     pub hedge: bool,

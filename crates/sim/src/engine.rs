@@ -33,6 +33,12 @@ pub struct SimConfig {
     /// Per-request lifecycle policy (deadlines, bounded retries, hedged
     /// dispatch). The default disables all of it — legacy behavior.
     pub lifecycle: LifecycleConfig,
+    /// Dispatch-time dynamic layer over the interval plan (`None` = the
+    /// purely static plan, the default): per-request implementation
+    /// choice among the policy's top-k alternates, plus work-stealing to
+    /// idle devices. Takes effect only when the active [`Policy`] carries
+    /// alternates ([`Policy::with_alternates`]).
+    pub dynamic: Option<DynamicDispatch>,
 }
 
 impl Default for SimConfig {
@@ -44,7 +50,26 @@ impl Default for SimConfig {
             fpga_idle_w: 4.5,
             fpga_reconfig_ms: 220.0,
             lifecycle: LifecycleConfig::default(),
+            dynamic: None,
         }
+    }
+}
+
+/// Configuration of the hybrid static/dynamic dispatch layer: at
+/// dispatch time each request picks among the interval plan's top-k
+/// implementations by its own input size and the current per-device
+/// queue estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynamicDispatch {
+    /// Work-stealing escape hatch: a device going idle with an empty
+    /// queue pulls the newest item from the most backlogged queue it can
+    /// serve without a bitstream swap.
+    pub steal: bool,
+}
+
+impl Default for DynamicDispatch {
+    fn default() -> Self {
+        Self { steal: true }
     }
 }
 
@@ -226,6 +251,10 @@ pub struct Simulator {
     /// kernel must start to keep the QoS bound reachable); 0 disables
     /// waiting. Recomputed on policy changes.
     wait_budget: Vec<f64>,
+    /// Cached topological order of the graph (the dynamic chooser's
+    /// downstream-margin pass walks it in reverse on every at-risk
+    /// dispatch).
+    topo_order: Vec<KernelId>,
     /// EWMA arrival rate (requests per ms), for adaptive batching.
     arrival_rate: f64,
     last_arrival_ms: f64,
@@ -271,6 +300,8 @@ pub struct Simulator {
     touched_scratch: Vec<usize>,
     /// Hedge-window copy for quantile selection.
     hedge_scratch: Vec<f64>,
+    /// Per-kernel remainder table for `downstream_margin`.
+    margin_scratch: Vec<f64>,
     // --- lifetime audit counters (never reset; see `audit`) ---------------
     life_admitted: usize,
     life_completed: usize,
@@ -322,6 +353,7 @@ impl Simulator {
             completed: 0,
             stats_since: 0.0,
             wait_budget: Vec::new(),
+            topo_order: Vec::new(),
             arrival_rate: 0.0,
             last_arrival_ms: -1.0,
             latencies: Arc::new(Vec::new()),
@@ -345,6 +377,7 @@ impl Simulator {
             succ_scratch: Vec::new(),
             touched_scratch: Vec::new(),
             hedge_scratch: Vec::new(),
+            margin_scratch: Vec::new(),
             life_admitted: 0,
             life_completed: 0,
             life_timed_out: 0,
@@ -420,6 +453,82 @@ impl Simulator {
                 }
             })
             .collect();
+        self.topo_order = order;
+    }
+
+    /// Downstream margin for one request of relative input `size` about
+    /// to dispatch `kernel`: the critical path from `kernel` (exclusive)
+    /// to the sinks, each node priced at the best implementation the
+    /// dispatcher could *actually* use there — the node's primary, or a
+    /// top-k FPGA alternate whose bitstream is resident right now (an
+    /// open express lane). Each candidate costs its size-scaled
+    /// single-request latency plus the current backlog of the least
+    /// loaded device it may run on. Pricing only reachable options is
+    /// what keeps the margin honest: a nominally fast GPU alternate the
+    /// dispatcher will never take (it would land on the plan's scarce
+    /// bottleneck device) must not make an at-risk request look safe,
+    /// and an unloaded lane costs infinity until someone opens it.
+    fn downstream_margin(&mut self, kernel: KernelId, size: f64) -> f64 {
+        let sg = poly_device::size_scale(DeviceKind::Gpu, size);
+        let sf = poly_device::size_scale(DeviceKind::Fpga, size);
+        // Per-device backlog right now: busy tail plus queued work, derated.
+        let now = self.now;
+        let load: Vec<f64> = self
+            .devices
+            .iter()
+            .map(|d| {
+                let queued: f64 = d.queue.iter().map(|it| it.est_ms).sum();
+                (d.busy_until.max(now) - now) + queued * d.derate
+            })
+            .collect();
+        let order = std::mem::take(&mut self.topo_order);
+        let mut rem = std::mem::take(&mut self.margin_scratch);
+        rem.clear();
+        rem.resize(self.graph.len(), 0.0);
+        for &id in order.iter().rev() {
+            let mut best = 0.0_f64;
+            for e in self.graph.successors(id) {
+                let prim = self.policy.of(e.to);
+                let mut node = f64::INFINITY;
+                for imp in self.policy.alts_of(e.to) {
+                    let is_primary = imp.kind == prim.kind && imp.impl_index == prim.impl_index;
+                    // Mirror the dispatch rule exactly: a downstream node
+                    // runs its primary or escapes through a resident FPGA
+                    // lane; it never escapes to the GPU.
+                    if !is_primary && imp.kind != DeviceKind::Fpga {
+                        continue;
+                    }
+                    // Congestion of the devices this implementation may
+                    // actually run on: any healthy GPU, or the healthy
+                    // FPGAs holding exactly this bitstream (infinite if
+                    // none — an unloaded lane is not an option).
+                    let mut cong = f64::INFINITY;
+                    for (i, d) in self.devices.iter().enumerate() {
+                        if !d.healthy {
+                            continue;
+                        }
+                        let ok = match imp.kind {
+                            DeviceKind::Gpu => d.kind == DeviceKind::Gpu,
+                            DeviceKind::Fpga => d.loaded == Some((e.to, imp.impl_index)),
+                        };
+                        if ok {
+                            cong = cong.min(load[i]);
+                        }
+                    }
+                    let scale = match imp.kind {
+                        DeviceKind::Gpu => sg,
+                        DeviceKind::Fpga => sf,
+                    };
+                    node = node.min(imp.latency_single_ms * scale + cong);
+                }
+                best = best.max(node + rem[e.to.0]);
+            }
+            rem[id.0] = best;
+        }
+        let margin = rem[kernel.0];
+        self.margin_scratch = rem;
+        self.topo_order = order;
+        margin
     }
 
     /// Configure FPGA devices with the policy's bitstreams at time zero,
@@ -560,21 +669,40 @@ impl Simulator {
     /// absolute deadline (`arrival + factor × bound`) at which all its
     /// outstanding work is cancelled.
     pub fn enqueue_arrivals(&mut self, times: &[f64]) {
-        let factor = self.config.lifecycle.deadline_factor;
         for &t in times {
-            let arrival_ms = t.max(self.now);
-            let deadline_ms = factor.map_or(f64::INFINITY, |f| {
-                arrival_ms + f * self.config.latency_bound_ms
-            });
-            let req = self.requests.push(arrival_ms, deadline_ms);
-            self.life_admitted += 1;
-            self.push(arrival_ms, EventKind::Arrival { req });
-            if deadline_ms.is_finite() {
-                self.push(deadline_ms, EventKind::Deadline { req });
-            }
-            if self.recording() {
-                self.obs_at(arrival_ms, ObsEvent::ReqEnqueue { req, deadline_ms });
-            }
+            self.enqueue_one(t, 1.0);
+        }
+    }
+
+    /// [`enqueue_arrivals`](Self::enqueue_arrivals) with per-request
+    /// relative input sizes (`sizes[i]` pairs with `times[i]`; 1.0 =
+    /// nominal). Execution and energy scale per
+    /// [`poly_device::size_scale`]; the deadline stays the QoS bound —
+    /// the SLO does not grow with the input.
+    ///
+    /// # Panics
+    /// Panics unless `times` and `sizes` have equal length.
+    pub fn enqueue_arrivals_sized(&mut self, times: &[f64], sizes: &[f64]) {
+        assert_eq!(times.len(), sizes.len(), "one size per arrival");
+        for (&t, &size) in times.iter().zip(sizes) {
+            self.enqueue_one(t, size);
+        }
+    }
+
+    fn enqueue_one(&mut self, t: f64, size: f64) {
+        let factor = self.config.lifecycle.deadline_factor;
+        let arrival_ms = t.max(self.now);
+        let deadline_ms = factor.map_or(f64::INFINITY, |f| {
+            arrival_ms + f * self.config.latency_bound_ms
+        });
+        let req = self.requests.push_sized(arrival_ms, deadline_ms, size);
+        self.life_admitted += 1;
+        self.push(arrival_ms, EventKind::Arrival { req });
+        if deadline_ms.is_finite() {
+            self.push(deadline_ms, EventKind::Deadline { req });
+        }
+        if self.recording() {
+            self.obs_at(arrival_ms, ObsEvent::ReqEnqueue { req, deadline_ms });
         }
     }
 
@@ -650,18 +778,21 @@ impl Simulator {
                     self.abort_request(req, Outcome::TimedOut);
                     return;
                 }
-                let item = WorkItem {
-                    req,
-                    kernel,
-                    ready_ms: self.now,
-                    hedge: false,
-                };
+                let size = self.requests.size(req);
                 // Snapshot the hedge delay before try_start records this
                 // stage's own projected latency into the window — a slow
                 // primary must not inflate its own hedge delay.
                 let hedge_delay = self.hedge_delay_ms(kernel);
-                match self.choose_device(kernel, None) {
-                    Some(dev) => {
+                match self.choose_dispatch(req, kernel, None) {
+                    Some((dev, alt, est_ms)) => {
+                        let item = WorkItem {
+                            req,
+                            kernel,
+                            ready_ms: self.now,
+                            est_ms,
+                            alt,
+                            hedge: false,
+                        };
                         self.devices[dev].queue.push_back(item);
                         if self.recording() {
                             let attempt = self.requests.attempt(req, kernel.0);
@@ -672,6 +803,16 @@ impl Simulator {
                                 attempt,
                                 hedge: false,
                             });
+                            if alt != 0 {
+                                let imp = self.impl_of(kernel, alt);
+                                self.obs(ObsEvent::DynamicChoice {
+                                    req,
+                                    kernel: kernel.0,
+                                    device: dev,
+                                    alt,
+                                    impl_index: imp.impl_index,
+                                });
+                            }
                         }
                         self.try_start(dev);
                         if let Some(delay) = hedge_delay {
@@ -681,7 +822,16 @@ impl Simulator {
                     // Every device of the required kind is down: park the
                     // work until a re-plan or a recovery.
                     None => {
-                        self.stranded.push(item);
+                        let imp = *self.policy.of(kernel);
+                        let est_ms = imp.service_ms * poly_device::size_scale(imp.kind, size);
+                        self.stranded.push(WorkItem {
+                            req,
+                            kernel,
+                            ready_ms: self.now,
+                            est_ms,
+                            alt: 0,
+                            hedge: false,
+                        });
                         if self.recording() {
                             self.obs(ObsEvent::StageStranded {
                                 req,
@@ -695,6 +845,11 @@ impl Simulator {
                 if self.devices[dev].healthy && self.devices[dev].busy_until <= self.now + 1e-12 {
                     self.devices[dev].executing = false;
                     self.try_start(dev);
+                    // Still idle after draining its own queue: poach from
+                    // the deepest compatible backlog (dynamic mode only).
+                    if !self.devices[dev].executing {
+                        self.try_steal(dev);
+                    }
                 }
             }
             EventKind::Complete {
@@ -791,7 +946,7 @@ impl Simulator {
                 })
         });
         let Some(holder) = holder else { return };
-        let Some(alt) = self.choose_device(kernel, Some(holder)) else {
+        let Some((alt_dev, alt, est_ms)) = self.choose_dispatch(req, kernel, Some(holder)) else {
             return;
         };
         // A hedge only helps when the copy can start ahead of the queued
@@ -800,7 +955,7 @@ impl Simulator {
         // synchronized burst would hedge every request at once, double
         // every queue, and starve both copies past the deadline.
         let alt_ready = {
-            let d = &self.devices[alt];
+            let d = &self.devices[alt_dev];
             d.queue.is_empty() && d.busy_until.max(now) < self.requests.deadline_ms(req)
         };
         if !alt_ready {
@@ -808,35 +963,47 @@ impl Simulator {
         }
         self.requests.set_hedged(req, k);
         self.retry_stats.hedges_fired += 1;
-        self.devices[alt].queue.push_back(WorkItem {
+        self.devices[alt_dev].queue.push_back(WorkItem {
             req,
             kernel,
             ready_ms: now,
+            est_ms,
+            alt,
             hedge: true,
         });
         if self.recording() {
             self.obs(ObsEvent::HedgeFired {
                 req,
                 kernel: k,
-                device: alt,
+                device: alt_dev,
             });
         }
-        self.try_start(alt);
+        self.try_start(alt_dev);
     }
 
-    /// Device selection for `kernel`: affinity-with-spill. Each kernel has
-    /// a *home* device among its platform (stable hash), which keeps GPU
-    /// batches of the same kernel together and avoids convoy effects from
-    /// interleaving kernel types; heavily loaded homes spill to the least
-    /// loaded peer. FPGA devices loaded with a different bitstream are
-    /// additionally charged the reconfiguration time. Returns `None` when
-    /// every device of the required kind is currently failed (the caller
-    /// strands the work); an outright-missing platform is still a panic —
-    /// that is a planning bug, not a runtime fault. `exclude` removes one
-    /// device from consideration (hedged dispatch must not double down on
-    /// the device holding the primary copy).
-    fn choose_device(&self, kernel: KernelId, exclude: Option<usize>) -> Option<usize> {
-        let imp = self.policy.of(kernel);
+    /// Device selection for one implementation: affinity-with-spill. Each
+    /// kernel has a *home* device among the implementation's platform
+    /// (stable hash), which keeps GPU batches of the same kernel together
+    /// and avoids convoy effects from interleaving kernel types; heavily
+    /// loaded homes spill to the least loaded peer. FPGA devices loaded
+    /// with a different bitstream are additionally charged the
+    /// reconfiguration time. Returns the winning device together with the
+    /// load score it won on (the dynamic chooser compares these across
+    /// alternates), or `None` when every device of the required kind is
+    /// currently failed (the caller strands the work). `exclude` removes
+    /// one device from consideration (hedged dispatch must not double
+    /// down on the device holding the primary copy). With `require_kind`,
+    /// an outright-missing platform is a panic — a *plan* targeting an
+    /// absent platform is a planning bug, not a runtime fault; alternate
+    /// probes pass `false` because an alternate's platform may
+    /// legitimately be absent from this node's pool.
+    fn choose_device_for(
+        &self,
+        imp: &KernelImpl,
+        exclude: Option<usize>,
+        require_kind: bool,
+    ) -> Option<(usize, f64)> {
+        let kernel = imp.kernel;
         // Pass 1 (allocation-free: the peer set is characterized by
         // counters instead of materialized): count devices of the kind,
         // healthy non-excluded peers, and — for FPGAs — peers already
@@ -862,11 +1029,14 @@ impl Simulator {
                 }
             }
         }
-        assert!(
-            any_of_kind,
-            "no device of kind {} in pool for kernel {kernel}",
-            imp.kind
-        );
+        if !any_of_kind {
+            assert!(
+                !require_kind,
+                "no device of kind {} in pool for kernel {kernel}",
+                imp.kind
+            );
+            return None;
+        }
         if n_peers == 0 {
             return None;
         }
@@ -906,10 +1076,15 @@ impl Simulator {
             if !eligible(i, d) {
                 continue;
             }
-            // A derated (throttled) device works through its backlog
-            // `derate`× slower, so weight its queue accordingly.
-            let mut score =
-                d.busy_until.max(self.now) + d.queue.len() as f64 * imp.service_ms * d.derate;
+            // Price the backlog at each queued entry's own expected
+            // service time (mixed-cost queues would otherwise be priced
+            // uniformly at *this* candidate's service time, under- or
+            // over-stating the wait whenever the queue holds other
+            // kernels or other sizes). A derated (throttled) device
+            // works through its backlog `derate`× slower, so weight the
+            // sum accordingly.
+            let queued_ms: f64 = d.queue.iter().map(|it| it.est_ms).sum();
+            let mut score = d.busy_until.max(self.now) + queued_ms * d.derate;
             if i != home && d.kind == DeviceKind::Gpu {
                 // GPU spill only pays off when the home is congested by
                 // more than one average execution (batch locality); FPGA
@@ -926,7 +1101,231 @@ impl Simulator {
                 best = Some((score, i));
             }
         }
-        Some(best.map(|(_, i)| i).expect("non-empty peers"))
+        Some(best.expect("non-empty peers")).map(|(s, i)| (i, s))
+    }
+
+    /// Resolve the implementation a queued entry was dispatched under:
+    /// alternate `alt` of the policy's top-k list for `kernel`, falling
+    /// back to the primary when a re-plan shrank the list underneath an
+    /// already-queued entry.
+    fn impl_of(&self, kernel: KernelId, alt: u8) -> KernelImpl {
+        let alts = self.policy.alts_of(kernel);
+        alts.get(alt as usize).copied().unwrap_or(alts[0])
+    }
+
+    /// Dispatch-time device/implementation choice for one request of
+    /// relative input `size`: returns `(device, alternate, expected
+    /// occupancy ms)`.
+    ///
+    /// With the dynamic layer off (no [`DynamicDispatch`] config or no
+    /// alternates attached to the policy) this reduces exactly to the
+    /// static plan: the primary implementation on the device
+    /// `choose_device_for` picks.
+    ///
+    /// With it on, the chooser is *deadline-driven*: the primary is the
+    /// interval plan's power-optimal pick, so it stays in force whenever
+    /// this request's projected completion — queue score plus size-scaled
+    /// execution plus the downstream critical path at this request's size
+    /// — still meets the request's QoS target. Only a request the static
+    /// plan is about to sink (an oversized input, or a burst victim
+    /// behind a deep backlog) is repriced across the top-k alternates,
+    /// and it escapes only to an alternate that (a) needs no FPGA
+    /// reconfiguration — bitstream swaps poison a loaded kernel's home
+    /// and storm under exactly the burst pressure that triggers escapes —
+    /// and (b) is itself projected to *make* the target. Among saving
+    /// alternates the cheapest by per-item active energy wins (ties keep
+    /// the earliest alternate, for determinism): rescue is an exception
+    /// path and should cost as little power as possible. A doomed request
+    /// that no alternate can save stays on the power-optimal primary
+    /// rather than burning a fast implementation's energy on a lost
+    /// cause.
+    fn choose_dispatch(
+        &mut self,
+        req: usize,
+        kernel: KernelId,
+        exclude: Option<usize>,
+    ) -> Option<(usize, u8, f64)> {
+        let size = self.requests.size(req);
+        let dynamic = self.config.dynamic.is_some() && self.policy.has_alternates();
+        let primary = *self.policy.of(kernel);
+        let primary_scale = poly_device::size_scale(primary.kind, size);
+        let primary_est = primary.service_ms * primary_scale;
+        let primary_pick = self.choose_device_for(&primary, exclude, true);
+        if !dynamic {
+            return primary_pick.map(|(dev, _)| (dev, 0, primary_est));
+        }
+        // Absolute QoS target, and the downstream critical path (rescaled
+        // to this request's size) that must still fit after this stage.
+        let target = self.requests.arrival_ms(req) + self.config.latency_bound_ms;
+        let margin = self.downstream_margin(kernel, size);
+        if let Some((dev, score)) = primary_pick {
+            let projected = score + primary.latency_single_ms * primary_scale;
+            if projected + margin <= target {
+                return Some((dev, 0, primary_est));
+            }
+        }
+        // (energy, projected completion, device, alternate, occupancy).
+        let mut rescue: Option<(f64, f64, usize, u8, f64)> = None;
+        for (alt, imp) in self.policy.alts_of(kernel).iter().enumerate().skip(1) {
+            // Escapes are FPGA-lane-only. Every empirical variant of
+            // GPU-targeted rescue lost: at high load the lone GPU *is*
+            // the plan (k0/k3 of every request funnel through it), and
+            // even at low load escapes fire during exactly the bursts
+            // that precede plan escalation, so the "parked" GPU they
+            // pile onto is about to become the bottleneck.
+            if imp.kind != DeviceKind::Fpga || !self.fpga_loaded(kernel, imp.impl_index) {
+                continue;
+            }
+            let scale = poly_device::size_scale(imp.kind, size);
+            // The primary kept the missing-platform panic above (a plan
+            // that targets an absent platform is a planning bug);
+            // alternates on absent platforms are simply skipped.
+            let Some((dev, score)) = self.choose_device_for(imp, exclude, false) else {
+                continue;
+            };
+            // Strict residency: the escape runs only on a device already
+            // holding this exact bitstream. `choose_device_for` may spill
+            // to an unconfigured peer when the lane is backlogged; taking
+            // that pick would reconfigure a device mid-burst (poisoning
+            // whatever home it had) — the one storm the lane design
+            // exists to avoid. A full lane means no escape this time.
+            if self.devices[dev].loaded != Some((kernel, imp.impl_index)) {
+                continue;
+            }
+            let projected = score + imp.latency_single_ms * scale;
+            if projected + margin > target {
+                continue;
+            }
+            let energy = imp.latency_single_ms * scale * imp.active_power_w;
+            if rescue.is_none_or(|(e, p, ..)| (energy, projected) < (e, p)) {
+                let alt = u8::try_from(alt).unwrap_or(u8::MAX);
+                rescue = Some((energy, projected, dev, alt, imp.service_ms * scale));
+            }
+        }
+        if let Some((_, _, dev, alt, est_ms)) = rescue {
+            return Some((dev, alt, est_ms));
+        }
+        // No feasible rescue. If the primary cannot make the target
+        // either, the request is doomed — it will violate no matter
+        // where it runs. A doomed request owes the system two things:
+        // cost as little energy as possible, and get out of the way of
+        // requests that can still be saved. Both point the same
+        // direction: *shed* the stage to a resident FPGA alternate
+        // whenever that is strictly cheaper per item than the primary —
+        // which in practice moves a doomed request's GPU stages
+        // (hundreds of watts on the plan's bottleneck device) onto an
+        // idle leftover bitstream at tens of watts, freeing the GPU for
+        // requests with live deadlines. Feasibility is deliberately not
+        // checked: the request misses either way, and slower-but-cheaper
+        // is exactly the right trade for a lost cause.
+        let doomed = primary_pick.is_none_or(|(_, score)| {
+            score + primary.latency_single_ms * primary_scale + margin > target
+        });
+        if doomed {
+            let primary_energy = primary.latency_single_ms * primary_scale * primary.active_power_w;
+            // (energy, device, alternate, occupancy).
+            let mut shed: Option<(f64, usize, u8, f64)> = None;
+            for (alt, imp) in self.policy.alts_of(kernel).iter().enumerate().skip(1) {
+                if imp.kind != DeviceKind::Fpga || !self.fpga_loaded(kernel, imp.impl_index) {
+                    continue;
+                }
+                let scale = poly_device::size_scale(imp.kind, size);
+                let energy = imp.latency_single_ms * scale * imp.active_power_w;
+                if energy >= primary_energy {
+                    continue;
+                }
+                let Some((dev, _)) = self.choose_device_for(imp, exclude, false) else {
+                    continue;
+                };
+                if self.devices[dev].loaded != Some((kernel, imp.impl_index)) {
+                    continue;
+                }
+                if shed.is_none_or(|(e, ..)| energy < e) {
+                    let alt = u8::try_from(alt).unwrap_or(u8::MAX);
+                    shed = Some((energy, dev, alt, imp.service_ms * scale));
+                }
+            }
+            if let Some((_, dev, alt, est_ms)) = shed {
+                return Some((dev, alt, est_ms));
+            }
+        }
+        primary_pick.map(|(dev, _)| (dev, 0, primary_est))
+    }
+
+    /// Whether any healthy FPGA currently holds the `(kernel,
+    /// impl_index)` bitstream. Dynamic escapes only target already-loaded
+    /// bitstreams — an escape must never trigger a reconfiguration.
+    fn fpga_loaded(&self, kernel: KernelId, impl_index: usize) -> bool {
+        self.devices
+            .iter()
+            .any(|d| d.healthy && d.loaded == Some((kernel, impl_index)))
+    }
+
+    /// Work stealing (dynamic mode only): an idle device poaches the
+    /// *youngest* entry from the deepest compatible backlog. Steals are
+    /// *same-implementation only* — the thief must be able to run the
+    /// entry exactly as priced (same platform; for FPGAs, the bitstream
+    /// already loaded), so a steal is a pure queue migration: identical
+    /// execution and energy, strictly less waiting. Cross-platform
+    /// steals are deliberately excluded — re-pricing a queued entry onto
+    /// the other platform's alternate either pays a reconfiguration or
+    /// drags work onto the plan's scarce fast device, both of which
+    /// showed up as net losses under burst pressure. Stealing the queue
+    /// tail (not the head) preserves the victim's batch currently
+    /// forming at the front.
+    fn try_steal(&mut self, dev: usize) {
+        let steal = matches!(self.config.dynamic, Some(dc) if dc.steal);
+        if !steal || !self.policy.has_alternates() {
+            return;
+        }
+        let thief_kind = self.devices[dev].kind;
+        let thief_loaded = self.devices[dev].loaded;
+        if !self.devices[dev].healthy
+            || self.devices[dev].executing
+            || !self.devices[dev].queue.is_empty()
+        {
+            return;
+        }
+        // Deepest victim with at least two waiting entries whose tail can
+        // run on the thief (strict-greater, first max: deterministic).
+        let mut best: Option<(usize, usize)> = None;
+        for (v, d) in self.devices.iter().enumerate() {
+            if v == dev || d.queue.len() < 2 {
+                continue;
+            }
+            let Some(item) = d.queue.back() else { continue };
+            if item.hedge {
+                continue; // hedge copies are placement-pinned by design
+            }
+            let imp = self.impl_of(item.kernel, item.alt);
+            let movable = imp.kind == thief_kind
+                && (thief_kind != DeviceKind::Fpga
+                    || thief_loaded == Some((item.kernel, imp.impl_index)));
+            if !movable {
+                continue;
+            }
+            if best.is_none_or(|(bl, _)| d.queue.len() > bl) {
+                best = Some((d.queue.len(), v));
+            }
+        }
+        let Some((_, victim)) = best else {
+            return;
+        };
+        let item = self.devices[victim]
+            .queue
+            .pop_back()
+            .expect("victim queue checked non-empty");
+        self.devices[dev].queue.push_back(item);
+        self.retry_stats.steals += 1;
+        if self.recording() {
+            self.obs(ObsEvent::WorkSteal {
+                req: item.req,
+                kernel: item.kernel.0,
+                from: victim,
+                to: dev,
+            });
+        }
+        self.try_start(dev);
     }
 
     /// Start the next batch on device `dev` if it is healthy, idle, and
@@ -948,7 +1347,7 @@ impl Simulator {
             self.devices[dev].executing = false;
             return;
         };
-        let imp: KernelImpl = *self.policy.of(front.kernel);
+        let imp: KernelImpl = self.impl_of(front.kernel, front.alt);
 
         // Deliberate batch formation (DjiNN-style): hold a partial GPU
         // batch open while (a) the oldest request's slack still allows it
@@ -1004,7 +1403,13 @@ impl Simulator {
         rest.clear();
         let d = &mut self.devices[dev];
         while let Some(item) = d.queue.pop_front() {
-            if item.kernel == front.kernel && batch.len() < imp.batch as usize {
+            // Batches are homogeneous in (kernel, alternate): entries
+            // dispatched under different implementations must not share
+            // a launch.
+            if item.kernel == front.kernel
+                && item.alt == front.alt
+                && batch.len() < imp.batch as usize
+            {
                 batch.push(item);
             } else {
                 rest.push_back(item);
@@ -1030,9 +1435,24 @@ impl Simulator {
                 ks.queue_wait_ms += (start - item.ready_ms).max(0.0);
             }
         }
-        let exec = imp.exec_ms(n) * d.derate;
+        // Size scaling: the batch runs as long as its mean scale factor
+        // (GPU lanes run the same launch; the widest input dominates the
+        // mean it contributes to), and an FPGA pipeline streams each
+        // request for its own scaled service time. At all-nominal sizes
+        // every factor is exactly 1.0, the sum is exactly `n`, and both
+        // expressions are bit-identical to the unscaled model.
+        let scale_sum: f64 = batch
+            .iter()
+            .map(|it| poly_device::size_scale(imp.kind, self.requests.size(it.req)))
+            .sum();
+        let scale_mean = scale_sum / f64::from(n.max(1));
+        let exec = imp.exec_ms(n) * scale_mean * d.derate;
         let completion = start + exec;
-        let busy_until = start + imp.occupancy_ms(n) * d.derate;
+        let occupancy = match imp.kind {
+            DeviceKind::Gpu => imp.exec_ms(n) * scale_mean,
+            DeviceKind::Fpga => imp.service_ms * scale_sum,
+        };
+        let busy_until = start + occupancy * d.derate;
         if let Some(tl) = &mut self.timeline {
             if tl.len() < 100_000 {
                 tl.push(ExecutionRecord {
@@ -2251,6 +2671,8 @@ mod tests {
                 req,
                 kernel: KernelId(0),
                 ready_ms: s.now,
+                est_ms: s.policy.of(KernelId(0)).service_ms,
+                alt: 0,
                 hedge: false,
             });
         }
@@ -2641,5 +3063,221 @@ mod tests {
         let r = s.finish(5000.0);
         assert_eq!(r.completed, 5);
         assert!(r.latency.max() < 30.0, "{}", r.latency.max());
+    }
+
+    /// Regression for the queue-delay estimate: pricing every queued
+    /// entry at the *candidate's* `service_ms` (the old formula) sees a
+    /// queue of one 100 ms entry as "one × 10 ms" and misroutes new work
+    /// onto the device with the expensive backlog. Summing each entry's
+    /// own estimate routes to the genuinely shorter queue.
+    #[test]
+    fn mixed_cost_queue_estimate_routes_to_cheapest_backlog() {
+        let mut s = sim(
+            vec![gpu_impl(0, 10.0, 1), gpu_impl(1, 10.0, 1)],
+            Pool::heterogeneous(2, 0),
+        );
+        // Home for kernel 0 is device 0; it holds one expensive queued
+        // stage (est 100 ms). Device 1 holds two cheap ones (1 ms each).
+        for (dev, est) in [(0usize, 100.0), (1, 1.0), (1, 1.0)] {
+            s.devices[dev].queue.push_back(WorkItem {
+                req: 0,
+                kernel: KernelId(1),
+                ready_ms: 0.0,
+                est_ms: est,
+                alt: 0,
+                hedge: false,
+            });
+        }
+        let imp = gpu_impl(0, 10.0, 1);
+        let (dev, score) = s
+            .choose_device_for(&imp, None, true)
+            .expect("healthy GPUs exist");
+        // New pricing: dev0 = 100, dev1 = 2 + 10 (spill) = 12. The old
+        // per-candidate formula gave dev0 = 1×10 = 10 vs dev1 = 2×10 +
+        // 10 = 30 and picked the 100 ms backlog.
+        assert_eq!(dev, 1, "must avoid the expensive backlog");
+        assert!((score - 12.0).abs() < 1e-9, "score {score}");
+    }
+
+    /// A policy for the dynamic-layer tests: GPU front stage with an
+    /// FPGA alternate, FPGA back stage with a second (faster, hungrier)
+    /// FPGA implementation as its alternate.
+    fn dyn_policy() -> Policy {
+        let p0 = gpu_impl(0, 40.0, 8);
+        let p1 = fpga_impl(1, 12.0);
+        let alt0 = KernelImpl {
+            impl_index: 1,
+            ..fpga_impl(0, 30.0)
+        };
+        let alt1 = KernelImpl {
+            impl_index: 1,
+            latency_ms: 8.0,
+            latency_single_ms: 8.0,
+            service_ms: 7.2,
+            active_power_w: 60.0,
+            ..fpga_impl(1, 8.0)
+        };
+        Policy::from_impls(vec![p0, p1]).with_alternate_impls(vec![vec![p0, alt0], vec![p1, alt1]])
+    }
+
+    fn burst_arrivals() -> Vec<f64> {
+        // Bursty: ramped clumps that backlog the GPU batch stage.
+        (0..200).map(|i| f64::from(i / 8) * 20.0).collect()
+    }
+
+    fn sizes_for(n: usize) -> Vec<f64> {
+        crate::workload::SizeDist::heavy_tail().sample(n, 7)
+    }
+
+    fn run_dyn(policy: Policy, dynamic: Option<DynamicDispatch>) -> SimReport {
+        let mut s = Simulator::new(
+            graph2(),
+            &Pool::heterogeneous(1, 2),
+            policy,
+            SimConfig {
+                dynamic,
+                ..SimConfig::default()
+            },
+        );
+        let arrivals = burst_arrivals();
+        let sizes = sizes_for(arrivals.len());
+        s.enqueue_arrivals_sized(&arrivals, &sizes);
+        s.drain();
+        s.audit().check().expect("audit invariants hold");
+        s.finish(60_000.0)
+    }
+
+    /// With the dynamic layer off, carrying alternates must change
+    /// nothing, and turning the knob on without alternates must be
+    /// equally inert — both reduce to the static plan bit-for-bit.
+    #[test]
+    fn dynamic_off_is_byte_identical_to_static() {
+        let baseline = run_dyn(
+            Policy::from_impls(vec![gpu_impl(0, 40.0, 8), fpga_impl(1, 12.0)]),
+            None,
+        );
+        let with_alts = run_dyn(dyn_policy(), None);
+        let knob_only = run_dyn(
+            Policy::from_impls(vec![gpu_impl(0, 40.0, 8), fpga_impl(1, 12.0)]),
+            Some(DynamicDispatch::default()),
+        );
+        for (name, r) in [("alternates-off", &with_alts), ("knob-no-alts", &knob_only)] {
+            assert_eq!(r.completed, baseline.completed, "{name}");
+            assert_eq!(r.energy_j.to_bits(), baseline.energy_j.to_bits(), "{name}");
+            let (a, b) = (baseline.latency.samples(), r.latency.samples());
+            assert_eq!(a.len(), b.len(), "{name}");
+            assert!(
+                a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{name}: latency stream diverged"
+            );
+        }
+    }
+
+    /// The dynamic chooser is deterministic: two identical runs produce
+    /// bit-identical latency streams, energy, and steal counts.
+    #[test]
+    fn dynamic_chooser_is_deterministic() {
+        let a = run_dyn(dyn_policy(), Some(DynamicDispatch::default()));
+        let b = run_dyn(dyn_policy(), Some(DynamicDispatch::default()));
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+        assert_eq!(a.retry.steals, b.retry.steals);
+        assert!(a
+            .latency
+            .samples()
+            .iter()
+            .zip(b.latency.samples())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    /// Work stealing is a pure same-implementation queue migration: an
+    /// idle device with the right bitstream takes the tail of the
+    /// deepest backlog, unchanged.
+    #[test]
+    fn steal_migrates_tail_to_idle_same_impl_device() {
+        let mut s = Simulator::new(
+            graph2(),
+            &Pool::heterogeneous(0, 2),
+            Policy::from_impls(vec![fpga_impl(0, 10.0), fpga_impl(1, 20.0)])
+                .with_alternate_impls(vec![vec![fpga_impl(0, 10.0)], vec![fpga_impl(1, 20.0)]]),
+            SimConfig {
+                dynamic: Some(DynamicDispatch::default()),
+                ..SimConfig::default()
+            },
+        );
+        // A far-future arrival materializes request 0 in the arena so a
+        // stolen stage can actually start on the thief.
+        s.enqueue_arrivals(&[1e9]);
+        // Both devices hold kernel 0's bitstream; device 1 has the
+        // backlog, device 0 is idle.
+        s.devices[0].loaded = Some((KernelId(0), 0));
+        s.devices[1].loaded = Some((KernelId(0), 0));
+        let item = WorkItem {
+            req: 0,
+            kernel: KernelId(0),
+            ready_ms: 0.0,
+            est_ms: 9.0,
+            alt: 0,
+            hedge: false,
+        };
+        // One queued entry is below the two-entry floor: no steal.
+        s.devices[1].queue.push_back(item);
+        s.try_steal(0);
+        assert_eq!(
+            s.retry_stats.steals, 0,
+            "single-entry queues are not farmed"
+        );
+        // Two entries: the thief takes the tail and starts it; the
+        // victim keeps its front.
+        s.devices[1].queue.push_back(item);
+        s.try_steal(0);
+        assert_eq!(s.retry_stats.steals, 1);
+        assert_eq!(
+            s.devices[0].queue.len() + s.devices[0].inflight.len(),
+            1,
+            "tail moved to the thief"
+        );
+        assert_eq!(s.devices[1].queue.len(), 1, "victim keeps its front");
+    }
+
+    /// Deadline cancellation interacts with per-request sizes through
+    /// the DAG budget: an oversized request whose size-scaled stages
+    /// overrun `deadline_factor × bound` is abandoned at its deadline,
+    /// while a nominal one sharing the run completes — and the audit
+    /// stays conserved with the refunded busy energy booked once.
+    #[test]
+    fn deadline_cancellation_respects_request_sizes() {
+        let mut s = Simulator::new(
+            graph2(),
+            &Pool::heterogeneous(0, 2),
+            Policy::from_impls(vec![fpga_impl(0, 40.0), fpga_impl(1, 40.0)]),
+            SimConfig {
+                lifecycle: LifecycleConfig {
+                    deadline_factor: Some(2.0),
+                    ..LifecycleConfig::default()
+                },
+                ..SimConfig::default()
+            },
+        );
+        // size 8 ⇒ FPGA scale 0.1 + 0.9×8 = 7.3 ⇒ ≈292 ms per stage;
+        // two stages blow through its 450 ms deadline mid-flight on the
+        // second stage. size 1 finishes both stages in ~80 ms.
+        s.enqueue_arrivals_sized(&[0.0, 50.0], &[1.0, 8.0]);
+        s.drain();
+        let r = s.finish(5_000.0);
+        let a = s.audit();
+        a.check().expect("audit invariants hold");
+        assert_eq!(r.completed, 1, "nominal request completes");
+        assert_eq!(a.timed_out, 1, "oversized request hits its deadline");
+        assert_eq!(a.terminal(), 2, "both requests reach a terminal state");
+        assert!(
+            a.refunded_busy_mj > 0.0,
+            "the cancelled stage's remaining busy energy is refunded"
+        );
+        assert!(
+            r.latency.max() < 200.0,
+            "the survivor is not delayed past the bound by the doomed one: {}",
+            r.latency.max()
+        );
     }
 }

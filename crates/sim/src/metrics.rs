@@ -22,6 +22,9 @@ pub struct RetryStats {
     pub hedges_fired: usize,
     /// Stages won by the hedge copy rather than the primary.
     pub hedge_wins: usize,
+    /// Queued entries poached by an idle device under the dynamic
+    /// dispatch layer (node level; 0 while the layer is off).
+    pub steals: usize,
 }
 
 impl RetryStats {
@@ -32,6 +35,7 @@ impl RetryStats {
         self.redistributed += other.redistributed;
         self.hedges_fired += other.hedges_fired;
         self.hedge_wins += other.hedge_wins;
+        self.steals += other.steals;
     }
 
     /// Total extra dispatches caused by faults and hedging.
@@ -152,25 +156,37 @@ fn digest(samples: &mut [f64]) -> (f64, Vec<(usize, f64)>) {
 /// Non-finite samples are filtered exactly as [`LatencyStats::from_samples`]
 /// filters them, the rank is the same nearest-rank formula, and the value
 /// is selected with the same `total_cmp` comparator — so for any slice
-/// this returns bit-identical results to
+/// with at least one finite sample this returns bit-identical results to
 /// `LatencyStats::from_samples(slice.to_vec()).quantile(q)`. `scratch` is
 /// a caller-owned reusable buffer (cleared and refilled here); the slice
 /// itself is never touched, and steady-state callers allocate nothing.
-/// An empty (or all-non-finite) input yields `0.0`.
 ///
-/// # Panics
-/// Panics if `q` is outside `[0, 1]`.
+/// `q` outside `[0, 1]` (including NaN) is clamped to the nearest valid
+/// quantile rather than panicking — an out-of-range request from noisy
+/// config arithmetic must degrade to min/max, not crash a run. An empty
+/// (or all-non-finite) input returns `None`: "no finite samples" is a
+/// distinct condition from a true zero quantile, and every caller
+/// decides its own fallback explicitly.
 #[must_use]
-pub fn quantile_of(samples: &[f64], q: f64, scratch: &mut Vec<f64>) -> f64 {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+pub fn quantile_of(samples: &[f64], q: f64, scratch: &mut Vec<f64>) -> Option<f64> {
     scratch.clear();
     scratch.extend(samples.iter().copied().filter(|x| x.is_finite()));
     if scratch.is_empty() {
-        return 0.0;
+        return None;
     }
-    let rank = rank0(q, scratch.len());
+    let rank = rank0(clamp_q(q), scratch.len());
     let (_, &mut v, _) = scratch.select_nth_unstable_by(rank, |a, b| a.total_cmp(b));
-    v
+    Some(v)
+}
+
+/// Clamp a requested quantile into `[0, 1]`; NaN maps to 1.0 (the
+/// conservative "report the worst" end).
+fn clamp_q(q: f64) -> f64 {
+    if q.is_nan() {
+        1.0
+    } else {
+        q.clamp(0.0, 1.0)
+    }
 }
 
 /// Number of finite samples strictly above `bound_ms` — the slice twin of
@@ -236,23 +252,34 @@ impl LatencyStats {
         self.samples.is_empty()
     }
 
-    /// The `q`-quantile latency (nearest-rank), `q` in `\[0, 1\]`.
+    /// The `q`-quantile latency (nearest-rank). `q` outside `\[0, 1\]`
+    /// (including NaN) clamps to the nearest valid quantile instead of
+    /// panicking, mirroring [`quantile_of`].
+    ///
+    /// An empty digest returns `0.0` for figure convenience; callers that
+    /// must distinguish "no samples" from a true zero check
+    /// [`is_empty`](Self::is_empty) (or use [`try_quantile`]
+    /// (Self::try_quantile), the `Option` form).
     ///
     /// Grid quantiles (all the ones the framework uses) are answered from
     /// the precomputed digest; anything else is selected once and
     /// memoized, so only the *first* query at a given off-grid rank pays a
     /// pass over the samples.
-    ///
-    /// # Panics
-    /// Panics if `q` is outside `\[0, 1\]`.
     #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        self.try_quantile(q).unwrap_or(0.0)
+    }
+
+    /// [`quantile`](Self::quantile) that reports "no finite samples" as
+    /// `None` instead of folding it into `0.0`.
+    #[must_use]
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
+        let q = clamp_q(q);
         if self.samples.is_empty() {
-            return 0.0;
+            return None;
         }
         let rank = rank0(q, self.samples.len());
-        match self.grid.binary_search_by_key(&rank, |&(r, _)| r) {
+        Some(match self.grid.binary_search_by_key(&rank, |&(r, _)| r) {
             Ok(i) => self.grid[i].1,
             Err(_) => {
                 let mut memo = self.memo.lock().expect("memo lock poisoned");
@@ -267,7 +294,7 @@ impl LatencyStats {
                     }
                 }
             }
-        }
+        })
     }
 
     /// Median latency.
@@ -347,6 +374,11 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.p99(), 0.0);
         assert_eq!(s.violation_ratio(100.0), 0.0);
+        // The Option form keeps "no samples" distinguishable from a
+        // distribution whose p99 is truly zero.
+        assert_eq!(s.try_quantile(0.99), None);
+        let zero = LatencyStats::from_samples(vec![0.0]);
+        assert_eq!(zero.try_quantile(0.99), Some(0.0));
     }
 
     #[test]
@@ -372,9 +404,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "quantile")]
-    fn out_of_range_quantile_panics() {
-        let _ = LatencyStats::from_samples(vec![1.0]).quantile(1.5);
+    fn out_of_range_quantile_clamps() {
+        let s = LatencyStats::from_samples(vec![1.0, 2.0, 3.0]);
+        // Out-of-range requests degrade to the nearest valid quantile
+        // instead of panicking mid-run.
+        assert_eq!(s.quantile(1.5), s.quantile(1.0));
+        assert_eq!(s.quantile(-0.2), s.quantile(0.0));
+        // NaN maps to the conservative worst-case end.
+        assert_eq!(s.quantile(f64::NAN), s.quantile(1.0));
+        let mut scratch = Vec::new();
+        assert_eq!(quantile_of(&[1.0, 2.0, 3.0], 7.0, &mut scratch), Some(3.0));
+        assert_eq!(
+            quantile_of(&[1.0, 2.0, 3.0], f64::NAN, &mut scratch),
+            Some(3.0)
+        );
+        assert_eq!(quantile_of(&[1.0, 2.0, 3.0], -1.0, &mut scratch), Some(1.0));
+    }
+
+    #[test]
+    fn no_finite_samples_is_none_not_zero() {
+        let mut scratch = Vec::new();
+        assert_eq!(quantile_of(&[], 0.5, &mut scratch), None);
+        assert_eq!(
+            quantile_of(
+                &[f64::NAN, f64::INFINITY, f64::NEG_INFINITY],
+                0.5,
+                &mut scratch
+            ),
+            None
+        );
+        // A genuine zero sample still reports as Some(0.0).
+        assert_eq!(quantile_of(&[0.0], 0.5, &mut scratch), Some(0.0));
     }
 
     /// The digest must agree with a full sort at every quantile the
@@ -478,7 +538,7 @@ mod tests {
             let s = LatencyStats::from_samples(samples.clone());
             for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
                 assert_eq!(
-                    quantile_of(&samples, q, &mut scratch).to_bits(),
+                    quantile_of(&samples, q, &mut scratch).unwrap().to_bits(),
                     s.quantile(q).to_bits(),
                     "n={n} q={q}"
                 );
@@ -488,10 +548,65 @@ mod tests {
         // Non-finite entries are filtered identically on both paths.
         let dirty = vec![1.0, f64::NAN, 3.0, f64::INFINITY, 2.0];
         let s = LatencyStats::from_samples(dirty.clone());
-        assert_eq!(quantile_of(&dirty, 0.99, &mut scratch), s.p99());
+        assert_eq!(quantile_of(&dirty, 0.99, &mut scratch), Some(s.p99()));
         assert_eq!(violations_of(&dirty, 1.5), s.violations_over(1.5));
-        assert_eq!(quantile_of(&[], 0.5, &mut scratch), 0.0);
+        assert_eq!(quantile_of(&[], 0.5, &mut scratch), None);
         assert_eq!(violations_of(&[], 0.0), 0);
+    }
+
+    /// Property sweep: on hundreds of seeded pseudo-random slices mixing
+    /// finite values with NaN/±∞ in varying proportions, the slice
+    /// helpers must agree bit-for-bit with the `LatencyStats` digest
+    /// path at every quantile — including out-of-range and NaN `q` —
+    /// and `None` must appear exactly when no finite sample exists.
+    #[test]
+    fn slice_helpers_property_sweep_mixed_inputs() {
+        // Deterministic xorshift: the sweep replays exactly on failure.
+        let mut state = 0x9E37_79B9_7F4A_7C15_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut scratch = Vec::new();
+        for case in 0..300 {
+            let n = (next() % 50) as usize; // 0..=49, empties included
+            let dirt = next() % 4; // 0: clean .. 3: mostly non-finite
+            let samples: Vec<f64> = (0..n)
+                .map(|_| match next() % 4 {
+                    d if d < dirt => match next() % 3 {
+                        0 => f64::NAN,
+                        1 => f64::INFINITY,
+                        _ => f64::NEG_INFINITY,
+                    },
+                    _ => (next() % 10_000) as f64 * 0.1,
+                })
+                .collect();
+            let finite = samples.iter().filter(|x| x.is_finite()).count();
+            let stats = LatencyStats::from_samples(samples.clone());
+            assert_eq!(stats.len(), finite, "case {case}: finite filter");
+            for q in [-1.0, 0.0, 0.01, 0.37, 0.5, 0.99, 1.0, 1.5, f64::NAN] {
+                let slice = quantile_of(&samples, q, &mut scratch);
+                let digest = stats.try_quantile(q);
+                assert_eq!(
+                    slice.map(f64::to_bits),
+                    digest.map(f64::to_bits),
+                    "case {case} q={q}: slice vs digest"
+                );
+                assert_eq!(
+                    slice.is_none(),
+                    finite == 0,
+                    "case {case} q={q}: None iff no finite"
+                );
+            }
+            let bound = (next() % 1_000) as f64;
+            assert_eq!(
+                violations_of(&samples, bound),
+                stats.violations_over(bound),
+                "case {case} bound={bound}"
+            );
+        }
     }
 
     #[test]

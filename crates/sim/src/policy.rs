@@ -1,8 +1,39 @@
 use poly_device::{DeviceKind, GpuModel, GpuTuning};
-use poly_dse::{KernelDesignSpace, Tuning};
+use poly_dse::{DesignPoint, KernelDesignSpace, Tuning};
 use poly_ir::KernelId;
 use poly_sched::SchedulePlan;
 use std::sync::Arc;
+
+/// Materialize one design point as a simulator-executable [`KernelImpl`]
+/// (recomputing the GPU batch-of-one latency the frontier does not carry).
+fn impl_from_point(
+    kernel: KernelId,
+    space: &KernelDesignSpace,
+    point: &DesignPoint,
+    gpu_model: &GpuModel,
+) -> KernelImpl {
+    let latency_single_ms = match &point.tuning {
+        Tuning::Gpu(t) => {
+            let single = GpuTuning {
+                batch: 1,
+                ..t.clone()
+            };
+            gpu_model.estimate(&space.profile, &single).latency_ms
+        }
+        Tuning::Fpga(_) => point.estimate.latency_ms,
+    };
+    KernelImpl {
+        kernel,
+        kind: point.kind,
+        impl_index: point.index,
+        latency_ms: point.estimate.latency_ms,
+        latency_single_ms,
+        service_ms: point.estimate.service_ms,
+        batch: point.estimate.batch,
+        active_power_w: point.estimate.active_power_w,
+        idle_power_w: point.estimate.idle_power_w,
+    }
+}
 
 /// The implementation the current policy selects for one kernel, with
 /// everything the simulator needs to execute it.
@@ -67,6 +98,11 @@ impl KernelImpl {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Policy {
     impls: Arc<Vec<KernelImpl>>,
+    /// Per-kernel top-k implementation alternates for the dispatch-time
+    /// chooser; `alts[k][0]` is always the interval plan's primary pick.
+    /// Empty (the default) means "primary only" — the purely static
+    /// interval plan.
+    alts: Arc<Vec<Vec<KernelImpl>>>,
 }
 
 impl Policy {
@@ -92,31 +128,12 @@ impl Policy {
             .map(|a| {
                 let space = &spaces[a.kernel.0];
                 let point = &space.points(a.kind)[a.impl_index];
-                let latency_single_ms = match &point.tuning {
-                    Tuning::Gpu(t) => {
-                        let single = GpuTuning {
-                            batch: 1,
-                            ..t.clone()
-                        };
-                        gpu_model.estimate(&space.profile, &single).latency_ms
-                    }
-                    Tuning::Fpga(_) => point.estimate.latency_ms,
-                };
-                KernelImpl {
-                    kernel: a.kernel,
-                    kind: a.kind,
-                    impl_index: a.impl_index,
-                    latency_ms: point.estimate.latency_ms,
-                    latency_single_ms,
-                    service_ms: point.estimate.service_ms,
-                    batch: point.estimate.batch,
-                    active_power_w: point.estimate.active_power_w,
-                    idle_power_w: point.estimate.idle_power_w,
-                }
+                impl_from_point(a.kernel, space, point, gpu_model)
             })
             .collect();
         Self {
             impls: Arc::new(impls),
+            alts: Arc::new(Vec::new()),
         }
     }
 
@@ -126,6 +143,109 @@ impl Policy {
     pub fn from_impls(impls: Vec<KernelImpl>) -> Self {
         Self {
             impls: Arc::new(impls),
+            alts: Arc::new(Vec::new()),
+        }
+    }
+
+    /// Retain the interval plan's top-`k` implementations per kernel for
+    /// the dispatch-time chooser, instead of the primary pick alone.
+    ///
+    /// Alternates per kernel, deduplicated by `(platform, index)` and
+    /// capped at `k`: the primary first, then the platform latency
+    /// champions and the most energy-efficient point within
+    /// `bound_ms`, ordered by ascending predicted latency — a fast
+    /// escape for oversized requests and an efficient sink for small
+    /// ones.
+    #[must_use]
+    pub fn with_alternates(
+        &self,
+        spaces: &[KernelDesignSpace],
+        gpu_model: &GpuModel,
+        bound_ms: f64,
+        k: usize,
+    ) -> Self {
+        let alts: Vec<Vec<KernelImpl>> = self
+            .impls
+            .iter()
+            .map(|primary| {
+                let space = &spaces[primary.kernel.0];
+                let mut list = vec![*primary];
+                let mut candidates: Vec<&DesignPoint> = [DeviceKind::Gpu, DeviceKind::Fpga]
+                    .iter()
+                    .flat_map(|&kind| {
+                        [
+                            space.min_latency(kind),
+                            space.most_efficient_within(kind, bound_ms),
+                        ]
+                    })
+                    .flatten()
+                    .collect();
+                candidates.sort_by(|a, b| a.latency_ms().total_cmp(&b.latency_ms()));
+                for point in candidates {
+                    if list.len() >= k.max(1) {
+                        break;
+                    }
+                    if list
+                        .iter()
+                        .any(|i| i.kind == point.kind && i.impl_index == point.index)
+                    {
+                        continue;
+                    }
+                    list.push(impl_from_point(primary.kernel, space, point, gpu_model));
+                }
+                list
+            })
+            .collect();
+        Self {
+            impls: Arc::clone(&self.impls),
+            alts: Arc::new(alts),
+        }
+    }
+
+    /// Attach hand-built alternate lists (tests and synthetic
+    /// experiments — the production path derives them from the design
+    /// spaces via [`with_alternates`](Self::with_alternates)). Each
+    /// per-kernel list must start with that kernel's primary
+    /// implementation, mirroring the derived layout.
+    ///
+    /// # Panics
+    /// Panics if the list count does not match the kernel count or a
+    /// list does not lead with its kernel's primary.
+    #[must_use]
+    pub fn with_alternate_impls(&self, alts: Vec<Vec<KernelImpl>>) -> Self {
+        assert_eq!(alts.len(), self.impls.len(), "one list per kernel");
+        for (k, list) in alts.iter().enumerate() {
+            let primary = &self.impls[k];
+            assert!(
+                list.first()
+                    .is_some_and(|f| f.kind == primary.kind && f.impl_index == primary.impl_index),
+                "kernel {k}: alternate list must lead with the primary"
+            );
+        }
+        Self {
+            impls: Arc::clone(&self.impls),
+            alts: Arc::new(alts),
+        }
+    }
+
+    /// Whether the policy carries dispatch-time alternates.
+    #[must_use]
+    pub fn has_alternates(&self) -> bool {
+        !self.alts.is_empty()
+    }
+
+    /// The top-k implementation list for `kernel`: the primary pick
+    /// first, alternates after. Without attached alternates this is the
+    /// one-element primary slice.
+    ///
+    /// # Panics
+    /// Panics if `kernel` is out of range.
+    #[must_use]
+    pub fn alts_of(&self, kernel: KernelId) -> &[KernelImpl] {
+        if self.alts.is_empty() {
+            std::slice::from_ref(self.of(kernel))
+        } else {
+            &self.alts[kernel.0]
         }
     }
 
@@ -212,6 +332,15 @@ mod tests {
         assert_eq!(k.exec_ms(1), 30.0);
         assert_eq!(k.occupancy_ms(1), 25.0);
         assert!(k.occupancy_ms(1) < k.latency_ms);
+    }
+
+    #[test]
+    fn alts_default_to_primary_only() {
+        let p = Policy::from_impls(vec![gpu_impl()]);
+        assert!(!p.has_alternates());
+        let a = p.alts_of(KernelId(0));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0], *p.of(KernelId(0)));
     }
 
     #[test]

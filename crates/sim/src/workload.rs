@@ -81,6 +81,89 @@ pub fn mmpp(
     out
 }
 
+/// Per-request input-size distribution (relative to the nominal kernel
+/// profile; 1.0 = nominal). Drives the irregular-workload scenario: the
+/// interval plan is chosen for the aggregate load, while each request's
+/// actual cost scales with its sampled size
+/// (see [`poly_device::size_scale`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeDist {
+    /// Every request at the nominal size (the classic Poly workload).
+    Nominal,
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Smallest relative size.
+        lo: f64,
+        /// Largest relative size.
+        hi: f64,
+    },
+    /// Heavy-tailed lognormal with the given `median` and log-space
+    /// `sigma`, truncated at `cap` (a datacenter trace shape: most
+    /// requests small, a fat tail of huge ones).
+    Lognormal {
+        /// Median relative size (the lognormal's `e^mu`).
+        median: f64,
+        /// Log-space standard deviation (tail heaviness).
+        sigma: f64,
+        /// Truncation bound on sampled sizes.
+        cap: f64,
+    },
+}
+
+impl SizeDist {
+    /// A default heavy-tail shape for experiments: median 0.7, sigma 0.9,
+    /// capped at 8x nominal (mean ≈ 1.0, p99 ≈ 5.7x).
+    #[must_use]
+    pub fn heavy_tail() -> Self {
+        SizeDist::Lognormal {
+            median: 0.7,
+            sigma: 0.9,
+            cap: 8.0,
+        }
+    }
+
+    /// Approximate mean of the distribution (ignoring the lognormal
+    /// truncation) — the admission-control size hint.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            SizeDist::Nominal => 1.0,
+            SizeDist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            SizeDist::Lognormal { median, sigma, .. } => median * (0.5 * sigma * sigma).exp(),
+        }
+    }
+
+    /// Sample `n` sizes, deterministic in `seed`. `Nominal` yields exact
+    /// `1.0`s, so the sized request path reproduces the unsized
+    /// simulation bit-for-bit.
+    #[must_use]
+    pub fn sample(&self, n: usize, seed: u64) -> Vec<f64> {
+        if matches!(self, SizeDist::Nominal) {
+            return vec![1.0; n];
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| match *self {
+                SizeDist::Nominal => 1.0,
+                SizeDist::Uniform { lo, hi } => {
+                    if hi > lo {
+                        rng.gen_range(lo..hi)
+                    } else {
+                        lo
+                    }
+                }
+                SizeDist::Lognormal { median, sigma, cap } => {
+                    // Box–Muller: two uniforms -> one standard normal.
+                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    (median * (sigma * z).exp()).min(cap)
+                }
+            })
+            .collect()
+    }
+}
+
 /// One point of a utilization trace: the interval starting at
 /// `start_ms` runs at `utilization` (fraction of the node's max RPS).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -213,6 +296,39 @@ mod tests {
             google_trace_24h(300_000.0, 5),
             google_trace_24h(300_000.0, 5)
         );
+    }
+
+    #[test]
+    fn nominal_sizes_are_exactly_one() {
+        let s = SizeDist::Nominal.sample(100, 3);
+        assert!(s.iter().all(|x| x.to_bits() == 1.0f64.to_bits()));
+        assert_eq!(SizeDist::Nominal.mean(), 1.0);
+    }
+
+    #[test]
+    fn size_samples_are_deterministic_and_bounded() {
+        let d = SizeDist::Uniform { lo: 0.5, hi: 2.0 };
+        let a = d.sample(1000, 7);
+        assert_eq!(a, d.sample(1000, 7));
+        assert_ne!(a, d.sample(1000, 8));
+        assert!(a.iter().all(|&x| (0.5..2.0).contains(&x)));
+        let mean = a.iter().sum::<f64>() / a.len() as f64;
+        assert!((mean - d.mean()).abs() < 0.1, "{mean}");
+    }
+
+    #[test]
+    fn heavy_tail_is_skewed_and_capped() {
+        let d = SizeDist::heavy_tail();
+        let a = d.sample(20_000, 11);
+        assert!(a.iter().all(|&x| x > 0.0 && x <= 8.0));
+        let mean = a.iter().sum::<f64>() / a.len() as f64;
+        let mut sorted = a.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[a.len() / 2];
+        // Right-skew: mean well above median; a real tail past 3x nominal.
+        assert!(mean > median * 1.2, "mean {mean} median {median}");
+        assert!(sorted[a.len() * 99 / 100] > 3.0);
+        assert!((mean - d.mean()).abs() < 0.15, "{mean} vs {}", d.mean());
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Dynamic-dispatch audit smoke: seeded Poisson campaigns with the
+//! hybrid static/dynamic chooser enabled (alternates attached, stealing
+//! on) and heavy-tailed per-request sizes, with the simulator's
+//! conservation invariants checked after each run. The sweep is
+//! deterministic, so CI failures replay exactly: any tripped invariant
+//! is a real accounting bug in the dynamic layer, not flake.
+
+use poly::device::DeviceKind;
+use poly::ir::{
+    KernelBuilder, KernelGraph, KernelGraphBuilder, KernelId, OpFunc, PatternKind, Shape,
+};
+use poly::sched::Pool;
+use poly::sim::workload::{poisson, SizeDist};
+use poly::sim::{
+    AuditReport, DynamicDispatch, KernelImpl, LifecycleConfig, Policy, SimConfig, Simulator,
+};
+
+/// GPU front stage feeding an FPGA back stage — batching, cross-device
+/// transfer, and DAG budget propagation in the smallest graph.
+fn two_stage_app() -> KernelGraph {
+    let k0 = KernelBuilder::new("k0")
+        .pattern("m", PatternKind::Map, Shape::d1(1024), &[OpFunc::Mac])
+        .build()
+        .expect("valid");
+    KernelGraphBuilder::new("dyn-app")
+        .kernel(k0.clone())
+        .kernel(k0.with_name("k1"))
+        .edge("k0", "k1", 1 << 18)
+        .build()
+        .expect("valid app")
+}
+
+fn gpu_impl(kernel: usize, latency: f64, batch: u32) -> KernelImpl {
+    KernelImpl {
+        kernel: KernelId(kernel),
+        kind: DeviceKind::Gpu,
+        impl_index: 0,
+        latency_ms: latency,
+        latency_single_ms: latency / f64::from(batch.max(1)) * 1.4,
+        service_ms: latency / f64::from(batch.max(1)),
+        batch,
+        active_power_w: 180.0,
+        idle_power_w: 40.0,
+    }
+}
+
+fn fpga_impl(kernel: usize, impl_index: usize, latency: f64, power: f64) -> KernelImpl {
+    KernelImpl {
+        kernel: KernelId(kernel),
+        kind: DeviceKind::Fpga,
+        impl_index,
+        latency_ms: latency,
+        latency_single_ms: latency,
+        service_ms: latency * 0.9,
+        batch: 1,
+        active_power_w: power,
+        idle_power_w: 5.0,
+    }
+}
+
+/// A policy carrying top-k alternates: the GPU front stage can escape to
+/// an FPGA implementation, the FPGA back stage to a faster, hungrier
+/// second implementation.
+fn dynamic_policy() -> Policy {
+    let p0 = gpu_impl(0, 40.0, 8);
+    let p1 = fpga_impl(1, 0, 12.0, 25.0);
+    Policy::from_impls(vec![p0, p1]).with_alternate_impls(vec![
+        vec![p0, fpga_impl(0, 1, 30.0, 30.0)],
+        vec![p1, fpga_impl(1, 1, 8.0, 60.0)],
+    ])
+}
+
+/// One seeded run: heavy-tailed sizes over a Poisson stream with the
+/// dynamic layer on, drained to completion.
+fn run(seed: u64, lifecycle: LifecycleConfig) -> (AuditReport, usize) {
+    const DURATION_MS: f64 = 30_000.0;
+    let mut sim = Simulator::new(
+        two_stage_app(),
+        &Pool::heterogeneous(1, 2),
+        dynamic_policy(),
+        SimConfig {
+            lifecycle,
+            dynamic: Some(DynamicDispatch::default()),
+            ..SimConfig::default()
+        },
+    );
+    let arrivals = poisson(40.0, DURATION_MS, seed ^ 0xD11A);
+    let sizes = SizeDist::heavy_tail().sample(arrivals.len(), seed);
+    let offered = arrivals.len();
+    sim.enqueue_arrivals_sized(&arrivals, &sizes);
+    sim.advance_to(DURATION_MS);
+    sim.drain();
+    (sim.audit(), offered)
+}
+
+#[test]
+fn audit_invariants_hold_with_dynamic_chooser_across_seeds() {
+    for seed in 0..8u64 {
+        for (name, lifecycle) in [
+            ("no-lifecycle", LifecycleConfig::default()),
+            (
+                "deadline-cancel",
+                LifecycleConfig {
+                    deadline_factor: Some(2.0),
+                    ..LifecycleConfig::default()
+                },
+            ),
+        ] {
+            let (audit, offered) = run(seed, lifecycle);
+            audit
+                .check()
+                .unwrap_or_else(|e| panic!("seed {seed} {name}: {e}\n{audit:?}"));
+            assert_eq!(
+                audit.admitted, offered,
+                "seed {seed} {name}: admissions lost"
+            );
+            assert_eq!(
+                audit.terminal() + audit.pending,
+                offered,
+                "seed {seed} {name}: requests leaked\n{audit:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dynamic_runs_replay_bit_exactly() {
+    // Same seed twice: the chooser, steals, and sheds must be fully
+    // deterministic — the audit ledgers agree field for field.
+    let (a, _) = run(5, LifecycleConfig::default());
+    let (b, _) = run(5, LifecycleConfig::default());
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
