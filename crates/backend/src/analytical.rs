@@ -1,0 +1,166 @@
+//! The analytical backend: the existing GPU/FPGA models behind the
+//! [`Client`] API. Estimates are produced by the *same* model calls the
+//! design-space explorer makes, so for any design point the executable's
+//! estimate is bit-identical to the point's — the whole legacy pipeline
+//! flows through unchanged.
+
+use crate::{
+    BackendError, Capabilities, Client, DeviceDescription, ExecReport, Executable, KernelWorkload,
+    MemoryDescription, PlatformKind,
+};
+use poly_device::{DeviceKind, Estimate, FpgaModel, GpuModel};
+use poly_dse::Tuning;
+
+/// Client wrapping the analytical [`GpuModel`] / [`FpgaModel`] pair of
+/// one hardware setting, advertising `gpus` GPU devices followed by
+/// `fpgas` FPGA devices (ordinal order matches the legacy
+/// `Pool::heterogeneous` layout).
+#[derive(Debug, Clone)]
+pub struct AnalyticalClient {
+    gpu: GpuModel,
+    fpga: FpgaModel,
+    gpus: usize,
+    fpgas: usize,
+}
+
+impl AnalyticalClient {
+    /// Client for `gpus` + `fpgas` devices of the given models.
+    #[must_use]
+    pub fn new(gpu: GpuModel, fpga: FpgaModel, gpus: usize, fpgas: usize) -> Self {
+        Self {
+            gpu,
+            fpga,
+            gpus,
+            fpgas,
+        }
+    }
+
+    /// The wrapped GPU model.
+    #[must_use]
+    pub fn gpu(&self) -> &GpuModel {
+        &self.gpu
+    }
+
+    /// The wrapped FPGA model.
+    #[must_use]
+    pub fn fpga(&self) -> &FpgaModel {
+        &self.fpga
+    }
+
+    fn gpu_description(&self, ordinal: usize) -> DeviceDescription {
+        let s = self.gpu.spec();
+        DeviceDescription {
+            ordinal,
+            platform: PlatformKind::Accel(DeviceKind::Gpu),
+            name: s.name.clone(),
+            memory: MemoryDescription {
+                bytes: (s.mem_gb * (1u64 << 30) as f64) as u64,
+                bandwidth_gbs: s.mem_bandwidth_gbs,
+            },
+            peak_power_w: s.peak_power_w,
+            idle_power_w: s.idle_power_w,
+            bitstream_slots: 0,
+        }
+    }
+
+    fn fpga_description(&self, ordinal: usize) -> DeviceDescription {
+        let s = self.fpga.spec();
+        DeviceDescription {
+            ordinal,
+            platform: PlatformKind::Accel(DeviceKind::Fpga),
+            name: s.name.clone(),
+            memory: MemoryDescription {
+                bytes: s.bram_bytes,
+                bandwidth_gbs: s.mem_bandwidth_gbs,
+            },
+            peak_power_w: s.peak_power_w,
+            idle_power_w: s.static_power_w,
+            bitstream_slots: 1,
+        }
+    }
+}
+
+impl Client for AnalyticalClient {
+    fn name(&self) -> &'static str {
+        "analytical"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        let mut devices = Vec::with_capacity(self.gpus + self.fpgas);
+        for _ in 0..self.gpus {
+            devices.push(self.gpu_description(devices.len()));
+        }
+        for _ in 0..self.fpgas {
+            devices.push(self.fpga_description(devices.len()));
+        }
+        Capabilities {
+            backend: "analytical",
+            measured: false,
+            devices,
+        }
+    }
+
+    fn compile(&self, workload: &KernelWorkload) -> Result<Box<dyn Executable>, BackendError> {
+        let tuning = workload
+            .tuning
+            .as_ref()
+            .ok_or(BackendError::MissingTuning)?;
+        let (estimate, device) = match tuning {
+            Tuning::Gpu(t) => {
+                if self.gpus == 0 {
+                    return Err(BackendError::UnsupportedPlatform(PlatformKind::Accel(
+                        DeviceKind::Gpu,
+                    )));
+                }
+                (
+                    self.gpu.estimate(&workload.profile, t),
+                    self.gpu_description(0),
+                )
+            }
+            Tuning::Fpga(t) => {
+                if self.fpgas == 0 {
+                    return Err(BackendError::UnsupportedPlatform(PlatformKind::Accel(
+                        DeviceKind::Fpga,
+                    )));
+                }
+                let est = self
+                    .fpga
+                    .estimate(&workload.profile, t)
+                    .map_err(|e| BackendError::DoesNotFit(e.to_string()))?;
+                (est, self.fpga_description(self.gpus))
+            }
+        };
+        Ok(Box::new(AnalyticalExecutable {
+            kernel: workload.name.clone(),
+            device,
+            estimate,
+        }))
+    }
+}
+
+/// One kernel implementation evaluated by the analytical models:
+/// executing it just returns the model's estimate.
+#[derive(Debug, Clone)]
+pub struct AnalyticalExecutable {
+    kernel: String,
+    device: DeviceDescription,
+    estimate: Estimate,
+}
+
+impl Executable for AnalyticalExecutable {
+    fn kernel(&self) -> &str {
+        &self.kernel
+    }
+
+    fn device(&self) -> &DeviceDescription {
+        &self.device
+    }
+
+    fn estimate(&self) -> Estimate {
+        self.estimate.clone()
+    }
+
+    fn execute(&self) -> Result<ExecReport, BackendError> {
+        Ok(ExecReport::from_estimate(&self.estimate))
+    }
+}

@@ -1,0 +1,153 @@
+//! Calibration harness: per-kernel analytical-vs-measured latency.
+//!
+//! For each micro-kernel class present in the application, one fixed
+//! *reference* problem is measured first to establish the host's
+//! sustained Gflop/s in that class. Each application kernel is then
+//! predicted from its op count at the reference rate (the same shape of
+//! reasoning the analytical GPU/FPGA models apply to their platforms)
+//! and the prediction is compared with the kernel's own measured
+//! execution. The relative-error distribution is the first end-to-end
+//! validation signal for op-count-driven latency modeling in this
+//! repository.
+
+use crate::kernels::{MicroKernel, MicroKernelClass};
+use crate::CpuClient;
+use poly_ir::KernelProfile;
+
+/// One kernel's calibration row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// Kernel name.
+    pub kernel: String,
+    /// Micro-kernel class it mapped to.
+    pub class: &'static str,
+    /// Latency predicted from the class reference rate, ms.
+    pub predicted_ms: f64,
+    /// Measured (op-ratio-scaled) latency, ms.
+    pub measured_ms: f64,
+    /// `|measured − predicted| / measured`.
+    pub rel_err: f64,
+    /// Achieved throughput of the measured run, Gflop/s.
+    pub gflops: f64,
+    /// Result checksum (thread-count independent).
+    pub checksum: f64,
+}
+
+/// The calibration sweep's aggregate error statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationSummary {
+    /// Per-kernel rows in input order.
+    pub per_kernel: Vec<Calibration>,
+    /// Mean relative error.
+    pub mean_rel_err: f64,
+    /// Median relative error.
+    pub median_rel_err: f64,
+    /// Maximum relative error.
+    pub max_rel_err: f64,
+    /// Measured sustained Gflop/s per class: `(label, gflops)`.
+    pub class_gflops: Vec<(&'static str, f64)>,
+}
+
+/// Fixed reference problem for a class (sizes chosen to be comfortably
+/// measurable and cache-resident-ish without dwarfing the sweep).
+fn reference(class: MicroKernelClass) -> MicroKernel {
+    let (dim, ops) = match class {
+        MicroKernelClass::Gemm => (256usize, 2.0 * 256.0f64.powi(3)),
+        MicroKernelClass::Stencil => (1 << 21, 5.0 * (1u64 << 21) as f64),
+        MicroKernelClass::Stream => (1 << 22, 2.0 * (1u64 << 22) as f64),
+    };
+    MicroKernel {
+        class,
+        dim,
+        ops_per_run: ops,
+        repeats: 2,
+        total_ops: ops,
+    }
+}
+
+/// Run the calibration sweep over `(name, profile)` kernels on `client`.
+///
+/// # Panics
+/// Panics if `kernels` is empty.
+#[must_use]
+pub fn calibrate(client: &CpuClient, kernels: &[(String, KernelProfile)]) -> CalibrationSummary {
+    assert!(!kernels.is_empty(), "nothing to calibrate");
+    let threads = client.threads();
+
+    // Reference rates, one measurement per class present.
+    let mut class_gflops: Vec<(&'static str, f64)> = Vec::new();
+    let mut rate_of = |class: MicroKernelClass| -> f64 {
+        if let Some(&(_, g)) = class_gflops.iter().find(|(l, _)| *l == class.label()) {
+            return g;
+        }
+        let run = reference(class).run(threads);
+        class_gflops.push((class.label(), run.gflops));
+        run.gflops
+    };
+
+    let mut per_kernel = Vec::with_capacity(kernels.len());
+    for (name, profile) in kernels {
+        let micro = MicroKernel::for_profile(profile);
+        let ref_gflops = rate_of(micro.class);
+        // Predicted: total ops at the class's measured sustained rate.
+        let predicted_ms = micro.total_ops / (ref_gflops * 1e6);
+        let report = client.measure(name, profile);
+        let measured_ms = report.latency_ms;
+        per_kernel.push(Calibration {
+            kernel: name.clone(),
+            class: micro.class.label(),
+            predicted_ms,
+            measured_ms,
+            rel_err: (measured_ms - predicted_ms).abs() / measured_ms.max(1e-9),
+            gflops: report.gflops,
+            checksum: report.checksum,
+        });
+    }
+
+    let mut errs: Vec<f64> = per_kernel.iter().map(|c| c.rel_err).collect();
+    errs.sort_by(f64::total_cmp);
+    let mean_rel_err = errs.iter().sum::<f64>() / errs.len() as f64;
+    let median_rel_err = errs[errs.len() / 2];
+    let max_rel_err = *errs.last().expect("non-empty");
+    CalibrationSummary {
+        per_kernel,
+        mean_rel_err,
+        median_rel_err,
+        max_rel_err,
+        class_gflops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poly_ir::{KernelBuilder, OpFunc, PatternKind, Shape};
+
+    #[test]
+    fn sweep_produces_finite_errors_and_reference_rates() {
+        let mk = |name: &str, w: u64, iters: u64| {
+            (
+                name.to_string(),
+                KernelBuilder::new(name)
+                    .pattern("m", PatternKind::Map, Shape::d2(w, 64), &[OpFunc::Mac])
+                    .iterations(iters)
+                    .build()
+                    .unwrap()
+                    .profile(),
+            )
+        };
+        let kernels = vec![mk("a", 128, 20), mk("b", 256, 40)];
+        let client = CpuClient::new(2);
+        let summary = calibrate(&client, &kernels);
+        assert_eq!(summary.per_kernel.len(), 2);
+        assert!(summary.mean_rel_err.is_finite());
+        assert!(summary.max_rel_err >= summary.median_rel_err);
+        assert!(!summary.class_gflops.is_empty());
+        for (_, g) in &summary.class_gflops {
+            assert!(*g > 0.0);
+        }
+        for c in &summary.per_kernel {
+            assert!(c.predicted_ms > 0.0 && c.measured_ms > 0.0);
+        }
+    }
+}

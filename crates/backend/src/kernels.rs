@@ -1,0 +1,325 @@
+//! Representative CPU micro-kernels, sized from the IR's op counts.
+//!
+//! The CPU backend cannot run an application kernel's real code (there
+//! is none — the IR is abstract), so it executes a *representative*
+//! micro-kernel of the same computational class and op count: a blocked
+//! GEMM for compute-dense kernels, a 3-point stencil sweep for stencil
+//! patterns, and a streaming multiply-reduce for bandwidth-bound ones.
+//! Work fans out over a [`poly_par`] pool in a **fixed** number of
+//! chunks combined in index order, so the f32 result checksum is
+//! bit-identical for any thread count; only the wall-clock measurement
+//! varies.
+//!
+//! Kernels whose total op count exceeds [`MICRO_OPS_CAP`] run a capped
+//! share and scale the measured latency by the op ratio — calibration
+//! stays fast on the big LSTM kernels without losing the measured
+//! throughput signal.
+
+use poly_ir::{KernelProfile, PatternKind};
+use std::time::Instant;
+
+/// Op-count ceiling one micro-kernel execution actually runs. Fixed (no
+/// env knob) so the committed `backend_model.csv` dimensions and
+/// checksums never depend on the environment.
+pub const MICRO_OPS_CAP: f64 = 5.0e7;
+
+/// Minimum ops per timed run: smaller kernels repeat until they cross
+/// this floor so the wall-clock sample rises above timer noise.
+const MICRO_OPS_FLOOR: f64 = 1.0e7;
+
+/// Fixed parallel chunk count. Results are combined in chunk-index
+/// order, which makes checksums independent of the worker count.
+pub const MICRO_CHUNKS: usize = 64;
+
+/// The computational class a kernel profile maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroKernelClass {
+    /// Compute-dense (high ops/element): blocked GEMM.
+    Gemm,
+    /// Stencil patterns present: 3-point 1-D stencil sweep.
+    Stencil,
+    /// Bandwidth-bound streaming: elementwise multiply + reduce.
+    Stream,
+}
+
+impl MicroKernelClass {
+    /// Stable label for CSV output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MicroKernelClass::Gemm => "gemm",
+            MicroKernelClass::Stencil => "stencil",
+            MicroKernelClass::Stream => "stream",
+        }
+    }
+}
+
+/// One sized micro-kernel: what will actually run on the thread pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroKernel {
+    /// Computational class.
+    pub class: MicroKernelClass,
+    /// Problem dimension: GEMM side length, or element count.
+    pub dim: usize,
+    /// Scalar ops one execution of the sized problem performs.
+    pub ops_per_run: f64,
+    /// Timed repetitions of the sized problem.
+    pub repeats: usize,
+    /// Ops of the full application kernel this run represents
+    /// (`profile.total_flops()`); the measured latency is scaled by
+    /// `total_ops / ops_per_run`.
+    pub total_ops: f64,
+}
+
+/// What one measured execution produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroRun {
+    /// Wall-clock of one sized run, in milliseconds (elapsed / repeats).
+    pub run_ms: f64,
+    /// Latency attributed to the full kernel, in milliseconds
+    /// (`run_ms × total_ops / ops_per_run`).
+    pub latency_ms: f64,
+    /// Achieved throughput of the sized run, in Gflop/s.
+    pub gflops: f64,
+    /// f32 result checksum — identical for any thread count.
+    pub checksum: f64,
+}
+
+/// Deterministic f32 in roughly `[-1, 1)` from an index (splitmix-style
+/// hash; no RNG state, so chunk workers need no shared stream).
+fn lcg_f32(i: u64) -> f32 {
+    let mut x = i
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0x6A09_E667);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    ((x >> 40) as f32) / 8_388_608.0 - 1.0
+}
+
+impl MicroKernel {
+    /// Size a micro-kernel for `profile`: classify by pattern mix and
+    /// arithmetic density, then choose dimensions so one run stays under
+    /// [`MICRO_OPS_CAP`] ops (with repeats pulling tiny kernels up to a
+    /// measurable floor).
+    #[must_use]
+    pub fn for_profile(profile: &KernelProfile) -> Self {
+        let total_ops = profile.total_flops().max(1.0);
+        let capped = total_ops.min(MICRO_OPS_CAP);
+        let has_stencil = profile
+            .pattern_kinds
+            .iter()
+            .any(|k| matches!(k, PatternKind::Stencil { .. }));
+        let class = if has_stencil {
+            MicroKernelClass::Stencil
+        } else if profile.ops_per_element() >= 8.0 {
+            MicroKernelClass::Gemm
+        } else {
+            MicroKernelClass::Stream
+        };
+        let (dim, ops_per_run) = match class {
+            MicroKernelClass::Gemm => {
+                let s = ((capped / 2.0).cbrt() as usize).clamp(32, 384);
+                (s, 2.0 * (s * s * s) as f64)
+            }
+            MicroKernelClass::Stencil => {
+                let n = ((capped / 5.0) as usize).clamp(1 << 12, 1 << 23);
+                (n, 5.0 * n as f64)
+            }
+            MicroKernelClass::Stream => {
+                let n = ((capped / 2.0) as usize).clamp(1 << 12, 1 << 24);
+                (n, 2.0 * n as f64)
+            }
+        };
+        let repeats = ((MICRO_OPS_FLOOR / ops_per_run).ceil() as usize).max(1);
+        Self {
+            class,
+            dim,
+            ops_per_run,
+            repeats,
+            total_ops,
+        }
+    }
+
+    /// Execute on up to `threads` workers, measuring wall clock.
+    #[must_use]
+    pub fn run(&self, threads: usize) -> MicroRun {
+        let start = Instant::now();
+        let mut checksum = 0.0f64;
+        for rep in 0..self.repeats {
+            // Perturb the data seed per repeat so the compiler cannot
+            // hoist the computation out of the repeat loop.
+            checksum = match self.class {
+                MicroKernelClass::Gemm => gemm(self.dim, rep as u64, threads),
+                MicroKernelClass::Stencil => stencil(self.dim, rep as u64, threads),
+                MicroKernelClass::Stream => stream(self.dim, rep as u64, threads),
+            };
+        }
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        let run_ms = (elapsed_ms / self.repeats as f64).max(1e-6);
+        MicroRun {
+            run_ms,
+            latency_ms: run_ms * (self.total_ops / self.ops_per_run),
+            gflops: self.ops_per_run / (run_ms * 1e6),
+            checksum,
+        }
+    }
+}
+
+/// Chunk `[begin, end)` of `0..n` for chunk `c` of [`MICRO_CHUNKS`].
+fn chunk_bounds(n: usize, c: usize) -> (usize, usize) {
+    (n * c / MICRO_CHUNKS, n * (c + 1) / MICRO_CHUNKS)
+}
+
+/// Blocked `C = A × B` over row bands; returns the checksum of `C`.
+fn gemm(s: usize, seed: u64, threads: usize) -> f64 {
+    let a: Vec<f32> = (0..s * s).map(|i| lcg_f32(i as u64 ^ seed)).collect();
+    let b: Vec<f32> = (0..s * s)
+        .map(|i| lcg_f32((i as u64).wrapping_add(0x5DEE_CE66) ^ seed))
+        .collect();
+    let chunks: Vec<usize> = (0..MICRO_CHUNKS).collect();
+    let partials = poly_par::par_map(threads, &chunks, |_, &c| {
+        let (lo, hi) = chunk_bounds(s, c);
+        let mut sum = 0.0f64;
+        let mut row = vec![0.0f32; s];
+        for i in lo..hi {
+            row.iter_mut().for_each(|v| *v = 0.0);
+            for (l, &aval) in a[i * s..(i + 1) * s].iter().enumerate() {
+                let brow = &b[l * s..(l + 1) * s];
+                for (j, &bval) in brow.iter().enumerate() {
+                    row[j] += aval * bval;
+                }
+            }
+            sum += row.iter().map(|&v| f64::from(v)).sum::<f64>();
+        }
+        sum
+    });
+    partials.iter().sum()
+}
+
+/// One 3-point stencil sweep; returns the checksum of the output.
+fn stencil(n: usize, seed: u64, threads: usize) -> f64 {
+    let x: Vec<f32> = (0..n).map(|i| lcg_f32(i as u64 ^ seed)).collect();
+    let chunks: Vec<usize> = (0..MICRO_CHUNKS).collect();
+    let partials = poly_par::par_map(threads, &chunks, |_, &c| {
+        let (lo, hi) = chunk_bounds(n, c);
+        let mut sum = 0.0f64;
+        for i in lo..hi {
+            let left = if i == 0 { x[n - 1] } else { x[i - 1] };
+            let right = if i + 1 == n { x[0] } else { x[i + 1] };
+            let y = 0.25f32 * left + 0.5f32 * x[i] + 0.25f32 * right;
+            sum += f64::from(y);
+        }
+        sum
+    });
+    partials.iter().sum()
+}
+
+/// Streaming multiply-reduce; returns the reduction value.
+fn stream(n: usize, seed: u64, threads: usize) -> f64 {
+    let x: Vec<f32> = (0..n).map(|i| lcg_f32(i as u64 ^ seed)).collect();
+    let chunks: Vec<usize> = (0..MICRO_CHUNKS).collect();
+    let partials = poly_par::par_map(threads, &chunks, |_, &c| {
+        let (lo, hi) = chunk_bounds(n, c);
+        let mut acc = 0.0f32;
+        for &v in &x[lo..hi] {
+            acc += v * v;
+        }
+        f64::from(acc)
+    });
+    partials.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poly_ir::{KernelBuilder, OpFunc, Shape};
+
+    fn profile(kind: PatternKind, shape: Shape, iters: u64) -> KernelProfile {
+        KernelBuilder::new("k")
+            .pattern("p", kind, shape, &[OpFunc::Mac])
+            .iterations(iters)
+            .build()
+            .unwrap()
+            .profile()
+    }
+
+    #[test]
+    fn classification_follows_pattern_mix() {
+        let dense = profile(PatternKind::Map, Shape::d2(512, 512), 100);
+        // Map over d2 has 1 Mac (2 ops) per element — stream class.
+        assert_eq!(
+            MicroKernel::for_profile(&dense).class,
+            MicroKernelClass::Stream
+        );
+        let st = profile(PatternKind::Stencil { neighbors: 3 }, Shape::d1(4096), 10);
+        assert_eq!(
+            MicroKernel::for_profile(&st).class,
+            MicroKernelClass::Stencil
+        );
+    }
+
+    #[test]
+    fn sizing_respects_the_ops_cap() {
+        let big = profile(PatternKind::Map, Shape::d2(2048, 2048), 10_000);
+        let mk = MicroKernel::for_profile(&big);
+        assert!(mk.ops_per_run <= MICRO_OPS_CAP * 1.01, "{mk:?}");
+        assert!(mk.total_ops > mk.ops_per_run);
+        assert_eq!(mk.repeats, 1);
+    }
+
+    #[test]
+    fn tiny_kernels_repeat_to_the_floor() {
+        let tiny = profile(PatternKind::Map, Shape::d1(64), 1);
+        let mk = MicroKernel::for_profile(&tiny);
+        assert!(mk.repeats >= 1);
+        assert!(mk.ops_per_run * mk.repeats as f64 >= MICRO_OPS_FLOOR * 0.99);
+    }
+
+    #[test]
+    fn checksum_is_thread_count_independent() {
+        for mk in [
+            MicroKernel {
+                class: MicroKernelClass::Gemm,
+                dim: 96,
+                ops_per_run: 2.0 * 96.0f64.powi(3),
+                repeats: 1,
+                total_ops: 2.0 * 96.0f64.powi(3),
+            },
+            MicroKernel {
+                class: MicroKernelClass::Stencil,
+                dim: 1 << 14,
+                ops_per_run: 5.0 * (1 << 14) as f64,
+                repeats: 1,
+                total_ops: 5.0 * (1 << 14) as f64,
+            },
+            MicroKernel {
+                class: MicroKernelClass::Stream,
+                dim: 1 << 14,
+                ops_per_run: 2.0 * (1 << 14) as f64,
+                repeats: 1,
+                total_ops: 2.0 * (1 << 14) as f64,
+            },
+        ] {
+            let c1 = mk.run(1).checksum;
+            let c4 = mk.run(4).checksum;
+            assert_eq!(c1.to_bits(), c4.to_bits(), "{:?}", mk.class);
+            assert!(c1.abs() > 0.0, "degenerate checksum for {:?}", mk.class);
+        }
+    }
+
+    #[test]
+    fn measured_latency_scales_with_the_op_ratio() {
+        let mk = MicroKernel {
+            class: MicroKernelClass::Stream,
+            dim: 1 << 14,
+            ops_per_run: 2.0 * (1 << 14) as f64,
+            repeats: 4,
+            total_ops: 8.0 * (1 << 14) as f64,
+        };
+        let run = mk.run(2);
+        assert!(run.run_ms > 0.0);
+        assert!((run.latency_ms / run.run_ms - 4.0).abs() < 1e-9);
+        assert!(run.gflops > 0.0);
+    }
+}

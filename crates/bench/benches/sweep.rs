@@ -6,6 +6,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use poly_apps::{asr, QOS_BOUND_MS};
+use poly_backend::MicroKernel;
 use poly_core::provision::{table_iii, Architecture, Setting};
 use poly_core::Optimizer;
 use poly_dse::{DesignSpaceCache, Explorer};
@@ -111,6 +112,27 @@ fn bench_sweep(c: &mut Criterion) {
                     black_box(v),
                 )));
             })
+        });
+    }
+
+    // CPU-backend kernel execution: the real work `ExecBackend::Cpu`
+    // performs when it re-times a policy. One iteration = one sized
+    // micro-kernel execution (the backend's unit of measurement), on the
+    // smallest ASR kernel so a sample stays ~100 ms. Two views per
+    // thread count: `exec` carries Elements(1) (executions/sec in the
+    // JSON), `flops` carries Elements(ops-executed) so elem/s reads
+    // directly as flop/s.
+    group.sample_size(5);
+    let micro = MicroKernel::for_profile(&app.kernels()[3].profile());
+    let executed = (micro.ops_per_run * micro.repeats as f64) as u64;
+    for threads in [1usize, 2, 4] {
+        group.throughput(criterion::Throughput::Elements(1));
+        group.bench_function(format!("cpu_backend_exec_t{threads}"), |b| {
+            b.iter(|| black_box(micro.run(black_box(threads))))
+        });
+        group.throughput(criterion::Throughput::Elements(executed));
+        group.bench_function(format!("cpu_backend_flops_t{threads}"), |b| {
+            b.iter(|| black_box(micro.run(black_box(threads))))
         });
     }
     group.finish();

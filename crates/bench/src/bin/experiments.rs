@@ -2,13 +2,15 @@
 //!
 //! Usage: `experiments [--jobs N] <id>` where `<id>` is one of
 //! `table1 table2 table3 table45 fig1a fig1b fig1c fig1d fig1ef fig6 fig7
-//! fig8 fig9 fig10 fig11 fig12 fault cluster chaos obs fig13 fig14
+//! fig8 fig9 fig10 fig11 fig12 fault cluster chaos obs backend fig13 fig14
 //! ablations scale all` (or
 //! `quick` for the subset used in smoke tests). Results are printed and
 //! written to `results/<id>.csv`. `all` runs everything except the
-//! `scale` stress figure, which is invoked explicitly (its size is
-//! tunable via `POLY_SCALE_NODES` / `POLY_SCALE_DAYS` /
-//! `POLY_SCALE_MAX_RPS` for smoke runs).
+//! `scale` stress figure (invoked explicitly; its size is tunable via
+//! `POLY_SCALE_NODES` / `POLY_SCALE_DAYS` / `POLY_SCALE_MAX_RPS` for
+//! smoke runs) and the `backend` calibration figure (it measures real
+//! CPU wall clock, which `all`'s parallel fan-out would corrupt;
+//! `POLY_BACKEND_TOL` bounds its accepted model error).
 //!
 //! `--jobs N` (or the `POLY_JOBS` environment variable) sets the worker
 //! thread count; the default is the machine's available parallelism.
@@ -22,6 +24,10 @@
 //! wall-clock times.
 
 use poly_apps::{asr, suite, QOS_BOUND_MS};
+use poly_backend::{
+    accel_pool, calibrate::calibrate, AnalyticalClient, Client as BackendClient, CpuClient,
+    KernelWorkload,
+};
 use poly_bench::csvout::{f2, save_csv, Csv};
 use poly_bench::System;
 use poly_cluster::{Cluster, ClusterConfig, RoutingPolicy};
@@ -97,6 +103,7 @@ const EXPERIMENTS: &[(&str, FigFn)] = &[
     ("cluster", cluster),
     ("chaos", chaos),
     ("obs", obs),
+    ("backend", backend),
     ("fig13", fig13),
     ("fig14", fig14),
     ("ablations", ablations),
@@ -104,8 +111,11 @@ const EXPERIMENTS: &[(&str, FigFn)] = &[
 ];
 
 /// Figures excluded from `all`: the scale stress dwarfs every other
-/// figure's runtime and is regenerated explicitly (`experiments scale`).
-const NOT_IN_ALL: &[&str] = &["scale"];
+/// figure's runtime, and the backend calibration measures real CPU
+/// wall clock — running it alongside `all`'s parallel figure fan-out
+/// would time contention, not the kernels. Both are regenerated
+/// explicitly (`experiments scale` / `experiments backend`).
+const NOT_IN_ALL: &[&str] = &["scale", "backend"];
 
 const QUICK: &[&str] = &["table45", "table3", "fig1c", "fig6"];
 
@@ -1894,6 +1904,232 @@ fn ablations(out: &mut String) {
     rows.push(vec!["model_p99_error".into(), f2(before), f2(after)]);
 
     save_csv(out, "ablations", &["ablation", "before", "after"], &rows);
+}
+
+/// Backend calibration (DESIGN.md §16) — validates the pluggable
+/// execution-backend seam end to end:
+///
+/// 1. capability-driven pool construction reproduces every Table III
+///    node layout byte for byte;
+/// 2. the analytical backend is bit-identical to the explorer on every
+///    design point of the whole benchmark suite;
+/// 3. the CPU backend really executes each kernel's sized micro-kernel
+///    and the calibration harness reports the analytical-vs-measured
+///    latency error distribution.
+///
+/// Two CSVs: `backend_model.csv` is committed and fully deterministic
+/// (micro-kernel sizing, result checksums, analytical latencies — CI
+/// diffs it across `--jobs` counts); `backend_calibration.csv` carries
+/// the measured wall-clock figures and is gitignored (they vary run to
+/// run by design). `POLY_BACKEND_TOL` bounds the accepted max relative
+/// error (generous default: the point is the report, not a hard gate).
+fn backend(out: &mut String) {
+    outln!(
+        out,
+        "== Backend: capability pools, analytical bit-equivalence, CPU calibration =="
+    );
+
+    // 1. Capability-driven pools must reproduce the provisioned layouts.
+    let mut layouts = 0usize;
+    for setting in Setting::ALL {
+        for arch in ARCHS {
+            let n = table_iii(setting, arch);
+            let client = AnalyticalClient::new(n.gpu.clone(), n.fpga.clone(), n.gpus(), n.fpgas());
+            assert_eq!(
+                accel_pool(&client),
+                n.pool,
+                "{} {}: capability pool diverged",
+                setting.name(),
+                arch.name()
+            );
+            layouts += 1;
+        }
+    }
+    outln!(
+        out,
+        "capability pools: {layouts}/9 Table III layouts reproduced from device advertisements"
+    );
+
+    // 2. Analytical backend: every design point of every suite kernel,
+    //    compiled through the backend seam, estimates to exactly the
+    //    explorer's figures.
+    let setup = table_iii(Setting::I, Architecture::HeterPoly);
+    let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+    let client = AnalyticalClient::new(
+        setup.gpu.clone(),
+        setup.fpga.clone(),
+        setup.gpus(),
+        setup.fpgas(),
+    );
+    let mut points_checked = 0usize;
+    for app in suite() {
+        for kernel in app.kernels() {
+            let space = cache().explore(&explorer, kernel);
+            for kind in [DeviceKind::Gpu, DeviceKind::Fpga] {
+                for point in space.points(kind) {
+                    let exe = client
+                        .compile(
+                            &KernelWorkload::from_kernel(kernel).with_tuning(point.tuning.clone()),
+                        )
+                        .expect("explorer points compile");
+                    let est = exe.estimate();
+                    let same = est.latency_ms.to_bits() == point.estimate.latency_ms.to_bits()
+                        && est.service_ms.to_bits() == point.estimate.service_ms.to_bits()
+                        && est.active_power_w.to_bits() == point.estimate.active_power_w.to_bits()
+                        && est.idle_power_w.to_bits() == point.estimate.idle_power_w.to_bits()
+                        && est.batch == point.estimate.batch;
+                    assert!(
+                        same,
+                        "{} {} r{}: backend estimate diverged from explorer",
+                        kernel.name(),
+                        kind.name(),
+                        point.index
+                    );
+                    points_checked += 1;
+                }
+            }
+        }
+    }
+    outln!(
+        out,
+        "analytical backend: {points_checked} design points bit-identical to the explorer"
+    );
+
+    // 3. CPU calibration sweep over the whole suite (names are
+    //    app-qualified: the client caches measurements by name).
+    let cpu = CpuClient::new(jobs().clamp(1, 4));
+    let kernels: Vec<(String, poly_ir::KernelProfile)> = suite()
+        .iter()
+        .flat_map(|app| {
+            app.kernels()
+                .iter()
+                .map(|k| (format!("{}/{}", app.name(), k.name()), k.profile()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let summary = calibrate(&cpu, &kernels);
+    for (class, gflops) in &summary.class_gflops {
+        outln!(out, "reference {class:7} sustained {gflops:6.2} Gflop/s");
+    }
+    outln!(
+        out,
+        "{:24} {:7} {:>12} {:>12} {:>7} {:>7}",
+        "kernel",
+        "class",
+        "predicted",
+        "measured",
+        "err",
+        "Gflop/s"
+    );
+    for c in &summary.per_kernel {
+        outln!(
+            out,
+            "{:24} {:7} {:>10.1}ms {:>10.1}ms {:>6.1}% {:>7.2}",
+            c.kernel,
+            c.class,
+            c.predicted_ms,
+            c.measured_ms,
+            c.rel_err * 100.0,
+            c.gflops
+        );
+    }
+    outln!(
+        out,
+        "model error: mean {:.1}%  median {:.1}%  max {:.1}%",
+        summary.mean_rel_err * 100.0,
+        summary.median_rel_err * 100.0,
+        summary.max_rel_err * 100.0
+    );
+
+    // Committed, deterministic: micro-kernel sizing, result checksums
+    // (thread-count independent), and the analytical primary latencies.
+    let mut model_rows = Vec::new();
+    for app in suite() {
+        for kernel in app.kernels() {
+            let name = format!("{}/{}", app.name(), kernel.name());
+            let c = summary
+                .per_kernel
+                .iter()
+                .find(|c| c.kernel == name)
+                .expect("every suite kernel was calibrated");
+            let profile = kernel.profile();
+            let micro = poly_backend::MicroKernel::for_profile(&profile);
+            let space = cache().explore(&explorer, kernel);
+            let lat_of = |kind: DeviceKind| {
+                space
+                    .min_latency(kind)
+                    .map_or_else(|| "-".to_string(), |p| f2(p.latency_ms()))
+            };
+            model_rows.push(vec![
+                name,
+                c.class.to_string(),
+                format!("{:.0}", profile.total_flops()),
+                profile.elements.to_string(),
+                profile.iterations.to_string(),
+                micro.dim.to_string(),
+                micro.repeats.to_string(),
+                format!("{:e}", c.checksum),
+                lat_of(DeviceKind::Gpu),
+                lat_of(DeviceKind::Fpga),
+            ]);
+        }
+    }
+    save_csv(
+        out,
+        "backend_model",
+        &[
+            "kernel",
+            "class",
+            "total_flops",
+            "elements",
+            "iterations",
+            "micro_dim",
+            "micro_repeats",
+            "checksum",
+            "gpu_min_latency_ms",
+            "fpga_min_latency_ms",
+        ],
+        &model_rows,
+    );
+
+    // Measured wall-clock figures: gitignored, they vary run to run.
+    let cal_rows: Vec<Vec<String>> = summary
+        .per_kernel
+        .iter()
+        .map(|c| {
+            vec![
+                c.kernel.clone(),
+                c.class.to_string(),
+                f2(c.predicted_ms),
+                f2(c.measured_ms),
+                f2(c.rel_err),
+                f2(c.gflops),
+            ]
+        })
+        .collect();
+    save_csv(
+        out,
+        "backend_calibration",
+        &[
+            "kernel",
+            "class",
+            "predicted_ms",
+            "measured_ms",
+            "rel_err",
+            "gflops",
+        ],
+        &cal_rows,
+    );
+
+    let tol: f64 = std::env::var("POLY_BACKEND_TOL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+    assert!(
+        summary.max_rel_err <= tol,
+        "calibration error {:.2} exceeds tolerance {tol}",
+        summary.max_rel_err
+    );
 }
 
 /// Fig. 13 — max throughput vs GPU/FPGA power split (1000 W cap).

@@ -7,7 +7,9 @@
 //! cluster governor and the fail-stop / drain / recover lifecycle the
 //! front-end router observes.
 
-use poly_core::{AppContext, IntervalObs, NodeSetup, Optimizer, PolicyPrediction, SystemMonitor};
+use poly_core::{
+    retime_policy, AppContext, IntervalObs, NodeSetup, Optimizer, PolicyPrediction, SystemMonitor,
+};
 use poly_obs::{Event as ObsEvent, Recorder};
 use poly_sched::Pool;
 use poly_sim::{quantile_of, violations_of, FaultPlan, Policy, Simulator};
@@ -196,11 +198,17 @@ impl ClusterNode {
             first_rps,
             self.power_cap_w,
         );
+        // Each node re-times its plan for its own provisioned backend
+        // (identity on analytical nodes), so a mixed fleet runs modeled
+        // and measured nodes side by side.
+        let policy = retime_policy(&policy, &self.ctx.setup().backend, self.ctx.graph());
+        let mut sim_config = self.ctx.setup().sim_config.clone();
+        sim_config.backend_label = self.ctx.setup().backend.label();
         let mut sim = Simulator::new(
             self.ctx.graph_owned(),
             &self.ctx.setup().pool,
             policy.clone(),
-            self.ctx.setup().sim_config.clone(),
+            sim_config,
         );
         sim.inject_faults(faults);
         if self.recording() {
@@ -288,6 +296,7 @@ impl ClusterNode {
             est_rps,
             self.power_cap_w,
         );
+        let next = retime_policy(&next, &self.ctx.setup().backend, self.ctx.graph());
         let mut changed = false;
         if degraded || force {
             self.last_reason = if degraded { "degraded" } else { "forced" };

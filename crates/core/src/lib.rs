@@ -40,4 +40,4 @@ pub use model::{PolicyPrediction, SystemModel};
 pub use monitor::{IntervalObs, SystemMonitor};
 pub use optimizer::{policy_from_points, Optimizer};
 pub use provision::{Architecture, NodeSetup, Setting};
-pub use runtime::{IntervalRecord, PolyRuntime, RunSpec, RuntimeMode, TraceReport};
+pub use runtime::{retime_policy, IntervalRecord, PolyRuntime, RunSpec, RuntimeMode, TraceReport};

@@ -1,5 +1,6 @@
 //! Leaf-node architecture assembly under a power cap (Table III).
 
+use poly_backend::{accel_pool, AnalyticalClient, ExecBackend};
 use poly_device::{catalog, FpgaModel, GpuModel, PcieLink};
 use poly_sched::Pool;
 use poly_sim::SimConfig;
@@ -91,6 +92,10 @@ pub struct NodeSetup {
     pub sim_config: SimConfig,
     /// The power cap the node was provisioned under, in watts.
     pub power_cap_w: f64,
+    /// Execution backend the node runs kernels on (default analytical —
+    /// the bit-identical modeled path). Cluster nodes each carry their
+    /// own, so a fleet can mix modeled and measured nodes.
+    pub backend: ExecBackend,
 }
 
 impl NodeSetup {
@@ -125,7 +130,23 @@ fn sim_config(gpu: &GpuModel, fpga: &FpgaModel) -> SimConfig {
         fpga_reconfig_ms: fpga.spec().reconfig_ms,
         lifecycle: poly_sim::LifecycleConfig::default(),
         dynamic: None,
+        backend_label: ExecBackend::Analytical.label(),
     }
+}
+
+/// Capability-driven pool construction: ask the analytical client what
+/// devices a node of `gpus` + `fpgas` carries and build the pool from
+/// the advertisement — byte-identical to the former hand-built
+/// `Pool::heterogeneous(gpus, fpgas)` literal, but derived from the
+/// backend's [`Capabilities`](poly_backend::Capabilities) rather than
+/// asserted.
+fn provisioned_pool(gpu: &GpuModel, fpga: &FpgaModel, gpus: usize, fpgas: usize) -> Pool {
+    accel_pool(&AnalyticalClient::new(
+        gpu.clone(),
+        fpga.clone(),
+        gpus,
+        fpgas,
+    ))
 }
 
 /// Assemble the node of Table III for `(setting, architecture)` under the
@@ -146,14 +167,16 @@ pub fn table_iii(setting: Setting, architecture: Architecture) -> NodeSetup {
     let gpu = setting.gpu();
     let fpga = setting.fpga();
     let sim_config = sim_config(&gpu, &fpga);
+    let pool = provisioned_pool(&gpu, &fpga, gpus, fpgas);
     NodeSetup {
         architecture,
         setting,
-        pool: Pool::heterogeneous(gpus, fpgas),
+        pool,
         gpu,
         fpga,
         sim_config,
         power_cap_w: 500.0,
+        backend: ExecBackend::Analytical,
     }
 }
 
@@ -191,14 +214,16 @@ pub fn power_split(setting: Setting, power_cap_w: f64, gpu_share: f64) -> NodeSe
         Architecture::HeterPoly
     };
     let sim_config = sim_config(&gpu, &fpga);
+    let pool = provisioned_pool(&gpu, &fpga, gpus, fpgas);
     NodeSetup {
         architecture,
         setting,
-        pool: Pool::heterogeneous(gpus, fpgas),
+        pool,
         gpu,
         fpga,
         sim_config,
         power_cap_w,
+        backend: ExecBackend::Analytical,
     }
 }
 
@@ -255,5 +280,25 @@ mod tests {
     #[should_panic(expected = "share")]
     fn bad_share_panics() {
         let _ = power_split(Setting::I, 500.0, 1.5);
+    }
+
+    #[test]
+    fn capability_driven_pool_matches_the_legacy_literal() {
+        // The pool is now derived from the analytical client's device
+        // advertisement; it must stay exactly the hand-built layout.
+        for setting in Setting::ALL {
+            for arch in [
+                Architecture::HomoGpu,
+                Architecture::HomoFpga,
+                Architecture::HeterPoly,
+            ] {
+                let n = table_iii(setting, arch);
+                assert_eq!(n.pool, Pool::heterogeneous(n.gpus(), n.fpgas()));
+                assert!(n.backend.is_analytical());
+                assert_eq!(n.sim_config.backend_label, "analytical");
+            }
+        }
+        let split = power_split(Setting::II, 1000.0, 0.5);
+        assert_eq!(split.pool, Pool::heterogeneous(split.gpus(), split.fpgas()));
     }
 }

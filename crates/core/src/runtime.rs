@@ -8,11 +8,13 @@
 //! [`PolyRuntime::run`].
 
 use crate::{AppContext, IntervalObs, Optimizer, SystemMonitor};
+use poly_backend::ExecBackend;
+use poly_ir::{KernelGraph, KernelId};
 use poly_obs::{Event as ObsEvent, Recorder};
 use poly_sim::workload::{poisson, SizeDist, TracePoint};
 use poly_sim::{
-    quantile_of, violations_of, DynamicDispatch, FaultPlan, LifecycleConfig, Policy, RetryStats,
-    Simulator,
+    quantile_of, violations_of, DynamicDispatch, FaultPlan, KernelImpl, LifecycleConfig, Policy,
+    RetryStats, Simulator,
 };
 
 /// Alternates the dispatch-time chooser keeps per kernel when the
@@ -110,6 +112,7 @@ pub struct RunSpec {
     recorder: Option<Box<dyn Recorder>>,
     sizes: SizeDist,
     dynamic: Option<DynamicDispatch>,
+    backend: Option<ExecBackend>,
 }
 
 impl RunSpec {
@@ -129,6 +132,7 @@ impl RunSpec {
             recorder: None,
             sizes: SizeDist::Nominal,
             dynamic: None,
+            backend: None,
         }
     }
 
@@ -188,10 +192,67 @@ impl RunSpec {
         self
     }
 
+    /// Override the node's provisioned execution backend for this run
+    /// (default: the [`NodeSetup::backend`](crate::NodeSetup) the context
+    /// carries). With [`ExecBackend::Cpu`], every adopted policy is
+    /// re-timed from real host execution — see [`retime_policy`].
+    #[must_use]
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
     /// The trace being replayed.
     #[must_use]
     pub fn trace(&self) -> &[TracePoint] {
         &self.trace
+    }
+}
+
+/// Re-time `policy` for `backend`.
+///
+/// On the analytical backend this is the identity — the modeled
+/// latencies flow into the DES untouched, bit-identical to the
+/// pre-backend path. On the CPU backend every implementation — the
+/// per-kernel primaries *and* the dispatch-time alternates, uniformly —
+/// has its timing replaced by the measured wall-clock of the kernel's
+/// micro-kernel execution ([`poly_backend::CpuClient::measure`]): batch
+/// collapses to 1 and the power figures become the host package's. The
+/// platform assignment (`kind`, `impl_index`) is untouched, so plan
+/// structure, bitstream residency, and policy-change accounting are
+/// preserved while the DES clock advances on measured time — modeled
+/// transfer/reconfiguration overheads and measured kernel time coexist
+/// in one clock.
+///
+/// Measurements are cached per kernel in the client, so re-timing the
+/// same policy twice in one process is bit-stable (and cheap).
+#[must_use]
+pub fn retime_policy(policy: &Policy, backend: &ExecBackend, graph: &KernelGraph) -> Policy {
+    let Some(client) = backend.cpu() else {
+        return policy.clone();
+    };
+    let kernels = graph.kernels();
+    let retime = |imp: &KernelImpl| -> KernelImpl {
+        let k = &kernels[imp.kernel.0];
+        let report = client.measure(k.name(), &k.profile());
+        KernelImpl {
+            latency_ms: report.latency_ms,
+            latency_single_ms: report.latency_ms,
+            service_ms: report.service_ms,
+            batch: report.batch,
+            active_power_w: report.active_power_w,
+            idle_power_w: report.idle_power_w,
+            ..*imp
+        }
+    };
+    let retimed = Policy::from_impls(policy.impls().iter().map(retime).collect());
+    if policy.has_alternates() {
+        let alts = (0..policy.len())
+            .map(|k| policy.alts_of(KernelId(k)).iter().map(retime).collect())
+            .collect();
+        retimed.with_alternate_impls(alts)
+    } else {
+        retimed
     }
 }
 
@@ -226,10 +287,20 @@ impl PolyRuntime {
         &self.ctx
     }
 
-    /// Attach the design spaces' top-k alternates to `policy` when the
-    /// spec enables dynamic dispatch; identity otherwise.
-    fn attach_alternates(&self, policy: Policy, spec: &RunSpec, bound_ms: f64) -> Policy {
-        if spec.dynamic.is_some() {
+    /// Make a planned policy adoptable: attach the design spaces' top-k
+    /// alternates when the spec enables dynamic dispatch, then re-time
+    /// everything for the run's execution backend (identity on the
+    /// analytical backend — see [`retime_policy`]). Planning itself
+    /// always works on the analytical design spaces; the backend only
+    /// replaces the adopted timings.
+    fn adopt(
+        &self,
+        policy: Policy,
+        spec: &RunSpec,
+        bound_ms: f64,
+        backend: &ExecBackend,
+    ) -> Policy {
+        let policy = if spec.dynamic.is_some() {
             policy.with_alternates(
                 self.ctx.spaces(),
                 &self.ctx.setup().gpu,
@@ -238,7 +309,8 @@ impl PolyRuntime {
             )
         } else {
             policy
-        }
+        };
+        retime_policy(&policy, backend, self.ctx.graph())
     }
 
     /// Replay `spec`: re-plan every interval from monitor feedback (Poly
@@ -256,6 +328,10 @@ impl PolyRuntime {
         let mode = &spec.mode;
         let faults = &spec.faults;
         let bound_ms = self.ctx.bound_ms();
+        let backend = spec
+            .backend
+            .clone()
+            .unwrap_or_else(|| self.ctx.setup().backend.clone());
 
         // A fresh trace is a fresh workload context: re-seed the load EWMA
         // from what this trace actually offers.
@@ -282,14 +358,16 @@ impl PolyRuntime {
             }
         };
         // With the dynamic layer on, every adopted policy also carries
-        // the plan's top-k alternates for the dispatch-time chooser.
-        let mut policy = self.attach_alternates(policy, spec, bound_ms);
+        // the plan's top-k alternates for the dispatch-time chooser; a
+        // measured backend then re-times the whole policy.
+        let mut policy = self.adopt(policy, spec, bound_ms, &backend);
 
         let mut sim_config = self.ctx.setup().sim_config.clone();
         if let Some(lc) = &spec.lifecycle {
             sim_config.lifecycle = lc.clone();
         }
         sim_config.dynamic = spec.dynamic;
+        sim_config.backend_label = backend.label();
         let mut sim = Simulator::new(
             self.ctx.graph_owned(),
             &self.ctx.setup().pool,
@@ -358,7 +436,7 @@ impl PolyRuntime {
                             bound_ms,
                             est,
                         );
-                        let next = self.attach_alternates(next, spec, bound_ms);
+                        let next = self.adopt(next, spec, bound_ms, &backend);
                         if next != policy {
                             policy_changed = true;
                             sim.set_policy(next.clone());
@@ -374,7 +452,7 @@ impl PolyRuntime {
                             bound_ms,
                             est,
                         );
-                        let next = self.attach_alternates(next, spec, bound_ms);
+                        let next = self.adopt(next, spec, bound_ms, &backend);
                         // Hysteresis: a policy change pays FPGA reconfiguration
                         // and transient tail spikes, so keep the current policy
                         // unless it is about to violate QoS or the candidate

@@ -57,6 +57,21 @@ impl Estimate {
     pub fn requests_per_joule(&self) -> f64 {
         1000.0 / self.energy_per_request_mj().max(1e-12)
     }
+
+    /// Whether every figure is physically meaningful: finite and
+    /// non-negative times and powers. The analytical models guarantee
+    /// this for any input profile (including degenerate zero-op,
+    /// zero-iteration ones — see the model edge-case guards); backends
+    /// assert it before feeding an estimate into the DES clock.
+    #[must_use]
+    pub fn is_physical(&self) -> bool {
+        let ok = |v: f64| v.is_finite() && v >= 0.0;
+        ok(self.latency_ms)
+            && ok(self.service_ms)
+            && ok(self.active_power_w)
+            && ok(self.idle_power_w)
+            && self.batch >= 1
+    }
 }
 
 impl std::fmt::Display for Estimate {
@@ -104,5 +119,41 @@ mod tests {
     fn display_mentions_the_key_figures() {
         let s = est().to_string();
         assert!(s.contains("40.00 ms") && s.contains("batch 4") && s.contains("200.0 W"));
+    }
+
+    #[test]
+    fn physicality_check_pins_the_boundaries() {
+        assert!(est().is_physical());
+        // Exactly-zero figures are physical (an idle estimate)...
+        let zero = Estimate {
+            latency_ms: 0.0,
+            service_ms: 0.0,
+            batch: 1,
+            active_power_w: 0.0,
+            idle_power_w: 0.0,
+            resources: None,
+        };
+        assert!(zero.is_physical());
+        // ...but negatives, NaNs, infinities, and batch 0 are not.
+        for bad in [
+            Estimate {
+                latency_ms: -1e-12,
+                ..zero.clone()
+            },
+            Estimate {
+                service_ms: f64::NAN,
+                ..zero.clone()
+            },
+            Estimate {
+                active_power_w: f64::INFINITY,
+                ..zero.clone()
+            },
+            Estimate {
+                batch: 0,
+                ..zero.clone()
+            },
+        ] {
+            assert!(!bad.is_physical(), "{bad:?}");
+        }
     }
 }

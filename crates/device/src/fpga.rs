@@ -222,9 +222,12 @@ impl FpgaModel {
         // Lanes actually fed with data: BRAM ports bound the on-chip
         // bandwidth; operator affinity then scales the whole datapath's
         // efficiency (LUT-friendly operator mixes pipeline tighter than
-        // the generic-II assumption, float-heavy mixes looser).
+        // the generic-II assumption, float-heavy mixes looser). Affinity
+        // is clamped to its documented [0.5, 2.0] range — a hand-built
+        // profile with affinity 0 would otherwise divide by zero below
+        // (identity for analyzed profiles, which stay in range).
         let fed_lanes = f64::from(t.lanes()).min(f64::from(t.bram_ports.max(1)) * ELEMS_PER_PORT)
-            * profile.fpga_affinity;
+            * profile.fpga_affinity.clamp(0.5, 2.0);
 
         let elements = profile.elements as f64;
         let per_iter_cycles = if t.pipelined {

@@ -152,7 +152,10 @@ impl GpuModel {
         let t_mem = bytes / (self.spec.mem_bandwidth_gbs * coalesce * 1e6);
 
         // --- iteration loop ---------------------------------------------------
-        let iters = profile.iterations as f64;
+        // A hand-built profile may carry zero iterations; the dispatch
+        // discount below would otherwise under-charge the cold launch.
+        // Identity for every analyzed profile (iterations >= 1).
+        let iters = (profile.iterations as f64).max(1.0);
         // Successive launches of the same kernel pipeline in the driver:
         // the first pays the full overhead, the rest a reduced dispatch fee
         // (command-queue batching keeps the GPU fed at ~10% of a cold

@@ -33,7 +33,9 @@ pub const FPGA_FIXED_FRAC: f64 = 0.10;
 /// variation reproduce the unsized simulation exactly.
 #[must_use]
 pub fn size_scale(kind: DeviceKind, size: f64) -> f64 {
-    if size == 1.0 {
+    // Non-finite sizes (NaN / ±inf from a degenerate sampler) fall back
+    // to nominal rather than poisoning the latency estimate.
+    if size == 1.0 || !size.is_finite() {
         return 1.0;
     }
     let fixed = match kind {
@@ -70,5 +72,17 @@ mod tests {
         // Degenerate sizes clamp at the fixed fraction, never negative.
         assert_eq!(size_scale(DeviceKind::Gpu, -3.0), GPU_FIXED_FRAC);
         assert_eq!(size_scale(DeviceKind::Fpga, 0.0), FPGA_FIXED_FRAC);
+    }
+
+    #[test]
+    fn non_finite_sizes_fall_back_to_nominal() {
+        for kind in [DeviceKind::Gpu, DeviceKind::Fpga] {
+            assert_eq!(size_scale(kind, f64::NAN).to_bits(), 1.0f64.to_bits());
+            assert_eq!(size_scale(kind, f64::INFINITY).to_bits(), 1.0f64.to_bits());
+            assert_eq!(
+                size_scale(kind, f64::NEG_INFINITY).to_bits(),
+                1.0f64.to_bits()
+            );
+        }
     }
 }

@@ -84,6 +84,7 @@ pub fn chrome_trace_json(samples: &[Sample]) -> String {
             Event::ExecStart {
                 device,
                 device_kind,
+                backend,
                 kernel,
                 impl_index,
                 batch,
@@ -94,7 +95,7 @@ pub fn chrome_trace_json(samples: &[Sample]) -> String {
                 w.name_row(pid, *device, format!("dev{device} {device_kind}"));
                 let name = format!("k{kernel} x{batch}");
                 let args = format!(
-                    "\"impl\":{impl_index},\"batch\":{batch},\"reconfig_ms\":{},\"exec_ms\":{}",
+                    "\"impl\":{impl_index},\"batch\":{batch},\"backend\":\"{backend}\",\"reconfig_ms\":{},\"exec_ms\":{}",
                     num(*reconfig_ms),
                     num(*exec_ms)
                 );
@@ -241,6 +242,7 @@ mod tests {
                 Event::ExecStart {
                     device: 2,
                     device_kind: "fpga",
+                    backend: "analytical",
                     kernel: 1,
                     impl_index: 3,
                     batch: 4,
@@ -325,6 +327,7 @@ mod tests {
                 Event::ExecStart {
                     device: 0,
                     device_kind: "gpu",
+                    backend: "cpu",
                     kernel: 0,
                     impl_index: 0,
                     batch: 1,

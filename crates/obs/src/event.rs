@@ -43,6 +43,9 @@ pub enum Event {
         device: usize,
         /// Device kind label ("gpu" / "fpga").
         device_kind: &'static str,
+        /// Execution backend the span's timing came from ("analytical"
+        /// = modeled, "cpu" = measured host execution).
+        backend: &'static str,
         /// Kernel index the batch belongs to.
         kernel: usize,
         /// Implementation index chosen by the active policy.

@@ -31,6 +31,16 @@ impl Pool {
         }
     }
 
+    /// Pool from any ordered kind sequence — the capability-driven
+    /// constructor: a backend client advertises its devices and the pool
+    /// is derived from them (see `poly_backend::accel_pool`).
+    #[must_use]
+    pub fn from_kinds(kinds: impl IntoIterator<Item = DeviceKind>) -> Self {
+        Self {
+            kinds: kinds.into_iter().collect(),
+        }
+    }
+
     /// Pool with `gpus` GPUs followed by `fpgas` FPGAs.
     ///
     /// ```rust
@@ -40,9 +50,9 @@ impl Pool {
     /// ```
     #[must_use]
     pub fn heterogeneous(gpus: usize, fpgas: usize) -> Self {
-        let mut kinds = vec![DeviceKind::Gpu; gpus];
-        kinds.extend(std::iter::repeat_n(DeviceKind::Fpga, fpgas));
-        Self { kinds }
+        let kinds = std::iter::repeat_n(DeviceKind::Gpu, gpus)
+            .chain(std::iter::repeat_n(DeviceKind::Fpga, fpgas));
+        Self::from_kinds(kinds)
     }
 
     /// Device kinds in id order.
@@ -93,18 +103,26 @@ impl Pool {
         self.count(kind) > 0
     }
 
+    /// The capability subset keeping devices for which `keep` holds —
+    /// the single degradation primitive [`without_device`](Self::without_device)
+    /// and [`subset`](Self::subset) are both expressed through. Ids
+    /// compact (the surviving devices renumber from 0), matching what a
+    /// backend would advertise after losing hardware.
+    fn retained(&self, keep: impl Fn(usize) -> bool) -> Self {
+        Self::from_kinds(
+            self.kinds
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| keep(i))
+                .map(|(_, &k)| k),
+        )
+    }
+
     /// The pool with device `id` removed — the degraded pool after a
     /// fail-stop. Returns `self` unchanged if `id` is out of range.
     #[must_use]
     pub fn without_device(&self, id: DeviceId) -> Self {
-        let kinds = self
-            .kinds
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != id.0)
-            .map(|(_, &k)| k)
-            .collect();
-        Self { kinds }
+        self.retained(|i| i != id.0)
     }
 
     /// The pool restricted to devices whose `healthy` flag is set (missing
@@ -112,14 +130,7 @@ impl Pool {
     /// arbitrary set of failures.
     #[must_use]
     pub fn subset(&self, healthy: &[bool]) -> Self {
-        let kinds = self
-            .kinds
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| healthy.get(i).copied().unwrap_or(true))
-            .map(|(_, &k)| k)
-            .collect();
-        Self { kinds }
+        self.retained(|i| healthy.get(i).copied().unwrap_or(true))
     }
 }
 
@@ -210,6 +221,18 @@ mod tests {
         let no_fpga = one_fpga.without_device(DeviceId(2));
         assert!(!no_fpga.has(DeviceKind::Fpga));
         assert_eq!(no_fpga.count(DeviceKind::Gpu), 2);
+    }
+
+    #[test]
+    fn from_kinds_preserves_order_and_matches_heterogeneous() {
+        let kinds = [DeviceKind::Gpu, DeviceKind::Fpga, DeviceKind::Fpga];
+        let p = Pool::from_kinds(kinds);
+        assert_eq!(p.kinds(), &kinds);
+        assert_eq!(p, Pool::heterogeneous(1, 2));
+        // An interleaved (non-heterogeneous) layout round-trips too.
+        let mixed = [DeviceKind::Fpga, DeviceKind::Gpu, DeviceKind::Fpga];
+        assert_eq!(Pool::from_kinds(mixed).kinds(), &mixed);
+        assert!(Pool::from_kinds([]).is_empty());
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub struct SimConfig {
     /// idle devices. Takes effect only when the active [`Policy`] carries
     /// alternates ([`Policy::with_alternates`]).
     pub dynamic: Option<DynamicDispatch>,
+    /// Label of the execution backend whose timing feeds the DES clock
+    /// ("analytical" = modeled, "cpu" = host-measured), stamped onto
+    /// every `ExecStart` telemetry span. Purely informational — the
+    /// engine advances on whatever latencies the active [`Policy`]
+    /// carries, so measured and analytical time coexist in one clock.
+    pub backend_label: &'static str,
 }
 
 impl Default for SimConfig {
@@ -51,6 +57,7 @@ impl Default for SimConfig {
             fpga_reconfig_ms: 220.0,
             lifecycle: LifecycleConfig::default(),
             dynamic: None,
+            backend_label: "analytical",
         }
     }
 }
@@ -1484,6 +1491,7 @@ impl Simulator {
                     DeviceKind::Gpu => "gpu",
                     DeviceKind::Fpga => "fpga",
                 },
+                backend: self.config.backend_label,
                 kernel: front.kernel.0,
                 impl_index: imp.impl_index,
                 batch: batch.len(),

@@ -8,6 +8,10 @@
 //!
 //! - [`ir`] — parallel-pattern IR (patterns, CDFG, PPG, kernel DAGs, DSL)
 //! - [`device`] — analytical GPU/FPGA models and the accelerator catalog
+//! - [`backend`] — pluggable execution backends behind a PJRT-style
+//!   client/device/executable API: the analytical backend wraps the
+//!   device models bit-identically, the CPU backend really executes
+//!   representative micro-kernels and reports measured wall-clock
 //! - [`dse`] — offline kernel analysis and design-space exploration
 //! - [`sched`] — the two-step runtime kernel scheduler
 //! - [`sim`] — discrete-event datacenter simulator and metrics
@@ -32,6 +36,7 @@
 #![forbid(unsafe_code)]
 
 pub use poly_apps as apps;
+pub use poly_backend as backend;
 pub use poly_cluster as cluster;
 pub use poly_core as core;
 pub use poly_device as device;
