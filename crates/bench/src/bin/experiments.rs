@@ -2,7 +2,8 @@
 //!
 //! Usage: `experiments [--jobs N] <id>` where `<id>` is one of
 //! `table1 table2 table3 table45 fig1a fig1b fig1c fig1d fig1ef fig6 fig7
-//! fig8 fig9 fig10 fig11 fig12 fault cluster chaos obs backend fig13 fig14
+//! fig8 fig9 fig10 fig11 fig12 fault cluster chaos elastic obs backend
+//! fig13 fig14
 //! ablations scale all` (or
 //! `quick` for the subset used in smoke tests). Results are printed and
 //! written to `results/<id>.csv`. `all` runs everything except the
@@ -23,14 +24,16 @@
 //! summary reports the cache's hit/miss counts alongside per-figure
 //! wall-clock times.
 
-use poly_apps::{asr, suite, QOS_BOUND_MS};
+use poly_apps::{asr, matrix_factorization, suite, QOS_BOUND_MS};
 use poly_backend::{
     accel_pool, calibrate::calibrate, AnalyticalClient, Client as BackendClient, CpuClient,
     KernelWorkload,
 };
 use poly_bench::csvout::{f2, save_csv, Csv};
 use poly_bench::System;
-use poly_cluster::{Cluster, ClusterConfig, RoutingPolicy};
+use poly_cluster::{
+    AutoscaleConfig, Cluster, ClusterConfig, ClusterNode, FlexConfig, RoutingPolicy,
+};
 use poly_core::provision::{power_split, table_iii, Architecture, Setting};
 use poly_core::tco::{cost_efficiency, monthly_tco_usd, TcoParams};
 use poly_core::{AppContext, Optimizer, PolyRuntime, RunSpec, RuntimeMode};
@@ -102,6 +105,7 @@ const EXPERIMENTS: &[(&str, FigFn)] = &[
     ("irregular", irregular),
     ("cluster", cluster),
     ("chaos", chaos),
+    ("elastic", elastic),
     ("obs", obs),
     ("backend", backend),
     ("fig13", fig13),
@@ -1548,6 +1552,261 @@ const CHAOS_HEADER: &[&str] = &[
     "shed",
     "redistributed",
     "timed_out",
+    "violations",
+    "completed",
+];
+
+/// Elastic fleet (DESIGN.md §17) — multi-tenant QoS classes, elastic
+/// autoscaling, and preemptible spot capacity over the 24 h diurnal
+/// trace. Three replays on a 4-node Setting-I Heter fleet, each node
+/// hosting a strict ASR tenant (200 ms bound, weight 3) and a lenient
+/// matrix-factorization tenant (600 ms bound, weight 1):
+///
+/// - `fixed`: all four nodes serve all day — the provisioning baseline.
+/// - `spot-notice`: the autoscaler follows the diurnal load, and two
+///   nodes are spot instances revoked with a 30 s notice (node 3 through
+///   the overnight lull, node 2 at the evening shoulder). The driver
+///   drains each ahead of its deadline, so no breaker ever trips.
+/// - `spot-surprise`: the same capacity losses as unannounced
+///   fail-stops — the control showing what the notice is worth.
+///
+/// Asserted in-figure: all lifecycle audits green; zero breaker trips
+/// with notice and at least one without; the noticed elastic fleet stays
+/// within noise of the fixed fleet's violation ratio at measurably lower
+/// energy and node-hours.
+fn elastic(out: &mut String) {
+    outln!(
+        out,
+        "== Elastic: QoS classes + autoscaler + spot nodes, 24 h trace (4 x Setting-I Heter nodes, 2 tenants/node) =="
+    );
+    let strict_app = asr();
+    let lenient_app = matrix_factorization();
+    let trace = replay_trace();
+    let hour_ms = |h: f64| h * 12.0 * TRACE_INTERVAL_MS;
+    const NODES: usize = 4;
+    /// Lenient tenant's p99 bound: three times the strict ASR bound.
+    const LENIENT_BOUND_MS: f64 = 600.0;
+    /// ~45 RPS/node at trace peak across both tenants: comfortable for
+    /// the full fleet, tight for the lull-sized elastic fleet.
+    const ELASTIC_MAX_RPS: f64 = 180.0;
+    /// Spot revocation notice: three re-planning intervals.
+    const NOTICE_MS: f64 = 30_000.0;
+    let noticed = FaultPlan::new()
+        .revoke(hour_ms(2.0), 3, NOTICE_MS)
+        .recover(hour_ms(8.0), 3)
+        .revoke(hour_ms(20.0), 2, NOTICE_MS)
+        .recover(hour_ms(23.0), 2);
+    // Same capacity losses, no warning: fail-stop exactly where each
+    // noticed revocation's deadline lands.
+    let surprise = FaultPlan::new()
+        .fail_stop(hour_ms(2.0) + NOTICE_MS, 3)
+        .recover(hour_ms(8.0), 3)
+        .fail_stop(hour_ms(20.0) + NOTICE_MS, 2)
+        .recover(hour_ms(23.0), 2);
+    // A 3-node floor keeps enough headroom that the morning ramp lands
+    // on a fleet that can absorb it while a scale-up is still warming;
+    // shrinking to 2 overnight saves a little more energy but the first
+    // traffic spike then overloads the survivors and trips breakers.
+    let autoscale = AutoscaleConfig {
+        min_nodes: 3,
+        target_rps_per_node: 45.0,
+        warmup_ms: NOTICE_MS,
+        cooldown_intervals: 3,
+        ..AutoscaleConfig::default()
+    };
+    outln!(
+        out,
+        "spot schedule: node 3 revoked 02:00 + {NOTICE_MS:.0} ms notice (back 08:00), node 2 revoked 20:00 (back 23:00)"
+    );
+    let configs: [(&str, FaultPlan, Option<AutoscaleConfig>); 3] = [
+        ("fixed", FaultPlan::new(), None),
+        ("spot-notice", noticed, Some(autoscale.clone())),
+        ("spot-surprise", surprise, Some(autoscale)),
+    ];
+    // The three replays are independent deterministic simulations.
+    let runs = par_map(jobs(), &configs, |_, (name, faults, autoscale)| {
+        let setup = table_iii(Setting::I, Architecture::HeterPoly);
+        let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+        let strict_spaces = cache().explore_graph(&explorer, strict_app.kernels(), 1);
+        let lenient_spaces = cache().explore_graph(&explorer, lenient_app.kernels(), 1);
+        let strict_ctx = AppContext::new(
+            strict_app.clone(),
+            strict_spaces,
+            setup.clone(),
+            QOS_BOUND_MS,
+        )
+        .with_tenant("asr-strict", 3.0);
+        let lenient_ctx = AppContext::new(
+            lenient_app.clone(),
+            lenient_spaces,
+            setup.clone(),
+            LENIENT_BOUND_MS,
+        )
+        .with_tenant("mf-lenient", 1.0);
+        let nodes: Vec<ClusterNode> = (0..NODES)
+            .map(|_| ClusterNode::new_multi(vec![strict_ctx.clone(), lenient_ctx.clone()]))
+            .collect();
+        let mut cl = Cluster::from_nodes(
+            nodes,
+            ClusterConfig {
+                bound_ms: QOS_BOUND_MS,
+                routing: RoutingPolicy::QosAware,
+                // Roomier than the single-tenant cluster figure: each
+                // node's cap is split again across two tenants, and the
+                // strict tenant must hold its 200 ms bound on its share.
+                power_budget_w: 380.0 * NODES as f64,
+                node_floor_w: 40.0,
+                max_backlog: 512,
+                lifecycle: LifecycleConfig::default(),
+                breaker: Some(poly_cluster::BreakerConfig::default()),
+            },
+        )
+        .expect("valid cluster");
+        cl.set_jobs(jobs());
+        let flex = FlexConfig {
+            autoscale: autoscale.clone(),
+            traffic_mix: vec![0.75, 0.25],
+            // Idle platform draw per powered-on node — the term elastic
+            // scale-down saves. ~30% of the mean loaded draw, in line
+            // with modern servers' idle-to-peak ratios.
+            node_static_w: 80.0,
+        };
+        let report = cl
+            .run_trace_flex(
+                &trace,
+                TRACE_INTERVAL_MS,
+                ELASTIC_MAX_RPS,
+                2017,
+                faults,
+                &flex,
+            )
+            .expect("valid elastic run");
+        // Invariant audit: conservation must hold on every node even
+        // across drains, revocations, and scale events.
+        let (merged, per_node) = cl.audits();
+        for (j, a) in per_node.iter().enumerate() {
+            a.check()
+                .unwrap_or_else(|e| panic!("{name}: node {j} audit failed: {e}"));
+        }
+        merged
+            .check()
+            .unwrap_or_else(|e| panic!("{name}: merged audit failed: {e}"));
+        // Fleet cost: node-hours priced at the per-node-hour share of the
+        // monthly TCO (730 h/month) at this run's mean power draw.
+        let duration_h = trace.len() as f64 * TRACE_INTERVAL_MS / 3_600_000.0;
+        let mean_power_per_node = if report.node_hours > 0.0 {
+            report.energy_j / 3600.0 / report.node_hours
+        } else {
+            0.0
+        };
+        let tco_node_hour =
+            monthly_tco_usd(&setup, mean_power_per_node, &TcoParams::default()) / 730.0;
+        let cost = report.node_hours * tco_node_hour;
+        let mut block = String::new();
+        outln!(
+            block,
+            "{name:13} p99 {:6.1} ms  violations {:5.2}%  energy {:8.0} J  node-hours {:5.2} (of {:.2})  cost ${cost:6.2}  trips {}  shed {:5}  redistributed {:4}",
+            report.p99_ms,
+            report.violation_ratio * 100.0,
+            report.energy_j,
+            report.node_hours,
+            NODES as f64 * duration_h,
+            report.breaker_trips,
+            report.shed,
+            report.retry.redistributed
+        );
+        for (c, &(completed, violations, shed)) in report.per_class.iter().enumerate() {
+            let label = cl.nodes()[0].tenant_label(c);
+            outln!(
+                block,
+                "  class {c} {label:10} completed {completed:6}  violations {violations:5} ({:5.2}%)  shed {shed:5}",
+                if completed > 0 {
+                    violations as f64 / completed as f64 * 100.0
+                } else {
+                    0.0
+                }
+            );
+        }
+        let mut part = Csv::new(ELASTIC_HEADER);
+        for (i, r) in report.intervals.iter().enumerate() {
+            if i % 4 == 0 {
+                part.row()
+                    .s(*name)
+                    .f(i as f64 / 12.0)
+                    .f(r.utilization)
+                    .f(r.p99_ms)
+                    .f(r.power_w)
+                    .n(r.nodes_up)
+                    .n(r.nodes_active)
+                    .n(r.shed)
+                    .n(r.redistributed)
+                    .n(r.violations)
+                    .n(r.completed);
+            }
+        }
+        (
+            block,
+            part,
+            report.breaker_trips,
+            report.violation_ratio,
+            report.energy_j,
+            report.node_hours,
+        )
+    });
+    let mut csv = Csv::new(ELASTIC_HEADER);
+    for (block, part, ..) in &runs {
+        out.push_str(block);
+        csv.append(part.clone());
+    }
+    let (fixed_vr, fixed_energy, fixed_hours) = (runs[0].3, runs[0].4, runs[0].5);
+    let (notice_trips, notice_vr, notice_energy, notice_hours) =
+        (runs[1].2, runs[1].3, runs[1].4, runs[1].5);
+    assert_eq!(
+        notice_trips, 0,
+        "noticed revocations must never trip a breaker"
+    );
+    assert!(
+        runs[2].2 > 0,
+        "surprise fail-stops must trip at least one breaker"
+    );
+    assert!(
+        notice_energy < fixed_energy,
+        "elastic fleet must save energy: {notice_energy} !< {fixed_energy}"
+    );
+    assert!(
+        notice_hours < fixed_hours,
+        "elastic fleet must save node-hours: {notice_hours} !< {fixed_hours}"
+    );
+    assert!(
+        notice_vr <= fixed_vr + 0.02,
+        "elastic+spot must stay within noise of the fixed fleet's violation ratio: {notice_vr} vs {fixed_vr}"
+    );
+    outln!(
+        out,
+        "elastic+spot vs fixed: violations {:.2}% vs {:.2}%, energy {:.0} J vs {:.0} J ({:.0}% saved), node-hours {:.2} vs {:.2}; notice prevents all breaker trips ({} under surprise)",
+        notice_vr * 100.0,
+        fixed_vr * 100.0,
+        notice_energy,
+        fixed_energy,
+        (1.0 - notice_energy / fixed_energy) * 100.0,
+        notice_hours,
+        fixed_hours,
+        runs[2].2
+    );
+    csv.save(out, "elastic_trace");
+}
+
+/// `elastic_trace.csv` columns (shared by the per-config builders).
+const ELASTIC_HEADER: &[&str] = &[
+    "config",
+    "hour",
+    "utilization",
+    "p99_ms",
+    "power_w",
+    "nodes_up",
+    "nodes_active",
+    "shed",
+    "redistributed",
     "violations",
     "completed",
 ];

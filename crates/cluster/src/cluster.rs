@@ -16,8 +16,8 @@
 //! out across threads without perturbing each other.)
 
 use crate::{
-    BreakerConfig, BreakerState, ClusterNode, NodeTransition, NodeView, PowerGovernor, Router,
-    RoutingPolicy,
+    Autoscaler, BreakerConfig, BreakerState, ClassNodeView, ClusterNode, NodeShare, NodeTransition,
+    NodeView, PowerGovernor, Router, RoutingPolicy, ScaleAction,
 };
 use poly_core::{AppContext, NodeSetup};
 use poly_dse::KernelDesignSpace;
@@ -25,7 +25,116 @@ use poly_ir::KernelGraph;
 use poly_obs::{Event as ObsEvent, Recorder};
 use poly_par::par_map_mut;
 use poly_sim::workload::{poisson, TracePoint};
-use poly_sim::{quantile_of, AuditReport, FaultEvent, FaultPlan, LifecycleConfig, RetryStats};
+use poly_sim::{
+    quantile_of, AuditReport, FaultEvent, FaultKind, FaultPlan, FaultPlanError, LifecycleConfig,
+    RetryStats,
+};
+
+/// Typed misconfiguration errors: a cluster that cannot run fails at
+/// construction (or at the entry of a run), not somewhere mid-trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The cluster was given no nodes.
+    NoNodes,
+    /// Multi-tenant nodes disagree on how many tenants they host.
+    MismatchedTenancy {
+        /// Offending node.
+        node: usize,
+        /// Its tenant count.
+        classes: usize,
+        /// The fleet-wide tenant count (node 0's).
+        expected: usize,
+    },
+    /// A non-finite or non-positive re-planning interval.
+    NonPositiveInterval {
+        /// The offending interval, ms.
+        interval_ms: f64,
+    },
+    /// An empty utilization trace.
+    EmptyTrace,
+    /// A non-finite or non-positive cluster power budget.
+    InvalidBudget {
+        /// The offending budget, W.
+        budget_w: f64,
+    },
+    /// A non-finite or negative per-node power floor.
+    InvalidFloor {
+        /// The offending floor, W.
+        floor_w: f64,
+    },
+    /// A non-finite or non-positive QoS bound.
+    InvalidBound {
+        /// The offending bound, ms.
+        bound_ms: f64,
+    },
+    /// A traffic mix whose shares are not finite, non-negative, and
+    /// sized one-per-class.
+    InvalidTrafficMix,
+    /// A non-finite or negative per-node static (idle) platform draw.
+    InvalidStaticDraw {
+        /// The offending draw, W.
+        static_w: f64,
+    },
+    /// The node-level fault plan failed validation (out-of-range node
+    /// index, overlapping revocations, …).
+    FaultPlan(FaultPlanError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ClusterError::NoNodes => write!(f, "cluster needs at least one node"),
+            ClusterError::MismatchedTenancy {
+                node,
+                classes,
+                expected,
+            } => write!(
+                f,
+                "node {node} hosts {classes} tenants but the fleet hosts {expected}"
+            ),
+            ClusterError::NonPositiveInterval { interval_ms } => {
+                write!(
+                    f,
+                    "re-planning interval must be positive, got {interval_ms} ms"
+                )
+            }
+            ClusterError::EmptyTrace => write!(f, "utilization trace is empty"),
+            ClusterError::InvalidBudget { budget_w } => {
+                write!(f, "cluster power budget must be positive, got {budget_w} W")
+            }
+            ClusterError::InvalidFloor { floor_w } => {
+                write!(
+                    f,
+                    "per-node power floor must be non-negative, got {floor_w} W"
+                )
+            }
+            ClusterError::InvalidBound { bound_ms } => {
+                write!(f, "QoS bound must be positive, got {bound_ms} ms")
+            }
+            ClusterError::InvalidTrafficMix => {
+                write!(
+                    f,
+                    "traffic mix must be one finite non-negative share per class"
+                )
+            }
+            ClusterError::InvalidStaticDraw { static_w } => {
+                write!(
+                    f,
+                    "per-node static draw must be non-negative, got {static_w} W"
+                )
+            }
+            ClusterError::FaultPlan(ref e) => write!(f, "invalid node fault plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<FaultPlanError> for ClusterError {
+    fn from(e: FaultPlanError) -> Self {
+        ClusterError::FaultPlan(e)
+    }
+}
 
 /// Cluster-level knobs.
 #[derive(Debug, Clone)]
@@ -50,6 +159,52 @@ pub struct ClusterConfig {
     /// Per-node router circuit breakers; `None` disables them (legacy
     /// routing).
     pub breaker: Option<BreakerConfig>,
+}
+
+impl ClusterConfig {
+    /// Check the config for values that cannot run: non-positive QoS
+    /// bound or power budget, negative floor.
+    ///
+    /// # Errors
+    /// The first offence, as a typed [`ClusterError`].
+    pub fn validate(&self) -> Result<(), ClusterError> {
+        if !self.bound_ms.is_finite() || self.bound_ms <= 0.0 {
+            return Err(ClusterError::InvalidBound {
+                bound_ms: self.bound_ms,
+            });
+        }
+        if !self.power_budget_w.is_finite() || self.power_budget_w <= 0.0 {
+            return Err(ClusterError::InvalidBudget {
+                budget_w: self.power_budget_w,
+            });
+        }
+        if !self.node_floor_w.is_finite() || self.node_floor_w < 0.0 {
+            return Err(ClusterError::InvalidFloor {
+                floor_w: self.node_floor_w,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Options for the elastic / multi-tenant run loop
+/// ([`Cluster::run_trace_flex`]).
+#[derive(Debug, Clone)]
+pub struct FlexConfig {
+    /// Elastic fleet sizing; `None` keeps the provisioned fleet fixed
+    /// (spot revocations are still honored).
+    pub autoscale: Option<crate::AutoscaleConfig>,
+    /// Per-class share of the offered load, one entry per tenant
+    /// (normalized over its sum).
+    pub traffic_mix: Vec<f64>,
+    /// Static platform draw of a powered-on node in watts (fans, DRAM
+    /// refresh, VRM losses — everything the kernel-level simulation's
+    /// dynamic execution energy does not see). Charged per active node
+    /// per interval into the reported power/energy, so scaling a node
+    /// down to zero actually saves its idle draw; routing and plan
+    /// selection still see dynamic power only. 0.0 reproduces the bare
+    /// dynamic accounting.
+    pub node_static_w: f64,
 }
 
 /// One interval of a cluster trace run.
@@ -82,6 +237,10 @@ pub struct ClusterIntervalRecord {
     /// Load-balance skew across up nodes: `(max - min) / mean` of
     /// per-node completions (0 with fewer than two up nodes).
     pub util_skew: f64,
+    /// Nodes administratively in service (serving or warming) at the
+    /// interval. Fixed fleets report the provisioned fleet size; elastic
+    /// runs scale it with the autoscaler's decisions.
+    pub nodes_active: usize,
 }
 
 /// Aggregate results of a cluster trace run.
@@ -108,6 +267,14 @@ pub struct ClusterReport {
     pub timed_out: usize,
     /// Mean per-interval load-balance skew across up nodes.
     pub mean_util_skew: f64,
+    /// Active-node time integrated over the trace, in node-hours — the
+    /// fleet-size cost an elastic run saves against a fixed one.
+    pub node_hours: f64,
+    /// Circuit-breaker trips (closed → open transitions) over the trace.
+    pub breaker_trips: usize,
+    /// Per-class (completed, violations, shed) totals, tenant-indexed
+    /// (single-tenant runs have one entry).
+    pub per_class: Vec<(usize, usize, usize)>,
 }
 
 /// Expand a *node-level* fault plan (device index = node index) into the
@@ -139,6 +306,25 @@ fn breaker_label(state: BreakerState) -> &'static str {
     }
 }
 
+/// Load-balance skew across the serving nodes: `(max - min) / mean` of
+/// per-node completions, 0 with fewer than two nodes or no completions.
+fn completion_skew(per_node_completed: &[usize]) -> f64 {
+    if per_node_completed.len() < 2 {
+        return 0.0;
+    }
+    let (max, min, sum) = per_node_completed
+        .iter()
+        .fold((usize::MIN, usize::MAX, 0usize), |(mx, mn, s), &c| {
+            (mx.max(c), mn.min(c), s + c)
+        });
+    let mean = sum as f64 / per_node_completed.len() as f64;
+    if mean > 0.0 {
+        (max as f64 - min as f64) / mean
+    } else {
+        0.0
+    }
+}
+
 /// N leaf nodes behind a front-end router with a shared power budget.
 #[derive(Debug)]
 pub struct Cluster {
@@ -157,8 +343,7 @@ impl Cluster {
     /// Cluster of identical-application nodes, one per entry of `setups`.
     ///
     /// # Panics
-    /// Panics if `setups` is empty or the governor floors exceed the
-    /// budget.
+    /// Panics if [`try_new`](Self::try_new) rejects the configuration.
     #[must_use]
     pub fn new(
         graph: &KernelGraph,
@@ -166,8 +351,26 @@ impl Cluster {
         setups: Vec<NodeSetup>,
         config: ClusterConfig,
     ) -> Self {
-        assert!(!setups.is_empty(), "cluster needs at least one node");
-        let n = setups.len();
+        Self::try_new(graph, spaces, setups, config)
+            .unwrap_or_else(|e| panic!("invalid cluster configuration: {e}"))
+    }
+
+    /// [`new`](Self::new), but misconfiguration (no nodes, bad budget /
+    /// floor / bound) fails with a typed error at construction instead
+    /// of somewhere mid-run.
+    ///
+    /// # Errors
+    /// The first offence, as a typed [`ClusterError`].
+    pub fn try_new(
+        graph: &KernelGraph,
+        spaces: &[KernelDesignSpace],
+        setups: Vec<NodeSetup>,
+        config: ClusterConfig,
+    ) -> Result<Self, ClusterError> {
+        config.validate()?;
+        if setups.is_empty() {
+            return Err(ClusterError::NoNodes);
+        }
         // One shared context for graph + design spaces; per-node setups
         // are swapped in without re-cloning the shared halves.
         let mut setups = setups;
@@ -182,19 +385,48 @@ impl Cluster {
             s.sim_config.lifecycle = config.lifecycle.clone();
             ClusterNode::new(ctx.with_setup(s))
         }));
+        Self::from_nodes(nodes, config)
+    }
+
+    /// Cluster over pre-built nodes — the multi-tenant entry point: each
+    /// node may host several [`AppContext`]s
+    /// (see [`ClusterNode::new_multi`]), as long as every node hosts the
+    /// same class list.
+    ///
+    /// # Errors
+    /// The first offence, as a typed [`ClusterError`].
+    pub fn from_nodes(
+        nodes: Vec<ClusterNode>,
+        config: ClusterConfig,
+    ) -> Result<Self, ClusterError> {
+        config.validate()?;
+        if nodes.is_empty() {
+            return Err(ClusterError::NoNodes);
+        }
+        let classes = nodes[0].tenant_count();
+        for (j, node) in nodes.iter().enumerate() {
+            if node.tenant_count() != classes {
+                return Err(ClusterError::MismatchedTenancy {
+                    node: j,
+                    classes: node.tenant_count(),
+                    expected: classes,
+                });
+            }
+        }
+        let n = nodes.len();
         let mut router = Router::new(config.routing);
         router.set_max_backlog(config.max_backlog);
         if let Some(breaker) = config.breaker {
             router.enable_breakers(breaker, n);
         }
-        Self {
+        Ok(Self {
             nodes,
             router,
             governor: PowerGovernor::new(config.power_budget_w, config.node_floor_w, n),
             config,
             recorder: None,
             jobs: 1,
-        }
+        })
     }
 
     /// Set the worker-thread budget for stepping the node simulations of
@@ -292,6 +524,8 @@ impl Cluster {
         let mut total_shed = 0usize;
         let mut total_redistributed = 0usize;
         let mut total_timed_out = 0usize;
+        let mut total_breaker_trips = 0usize;
+        let mut node_hours = 0.0;
         let mut skew_sum = 0.0;
         // Per-node power and assigned load from the previous interval —
         // the stale-snapshot signals the router and governor act on.
@@ -429,50 +663,17 @@ impl Cluster {
                 interval_samples.extend_from_slice(self.nodes[j].segment_samples());
             }
             // Feed the router's circuit breakers (no-op when disabled).
-            let before: Vec<&'static str> = if recording {
-                self.router
-                    .breakers()
-                    .iter()
-                    .map(|b| breaker_label(b.state()))
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            self.router.observe_health(&health);
-            if recording {
-                let transitions: Vec<(usize, &'static str, &'static str)> = before
-                    .iter()
-                    .zip(self.router.breakers())
-                    .enumerate()
-                    .filter_map(|(j, (from, b))| {
-                        let to = breaker_label(b.state());
-                        (to != *from).then_some((j, *from, to))
-                    })
-                    .collect();
-                for (node, from, to) in transitions {
-                    self.obs(end, ObsEvent::BreakerTransition { node, from, to });
-                }
-            }
+            total_breaker_trips += self.observe_breakers(&health, end, recording);
             total_completed += completed;
             total_violations += violations;
             total_timed_out += timed_out;
 
             // 6. Aggregate: fleet p99 from merged samples, load-balance
             //    skew across the up nodes.
-            let util_skew = if per_node_completed.len() >= 2 {
-                let max = *per_node_completed.iter().max().unwrap() as f64;
-                let min = *per_node_completed.iter().min().unwrap() as f64;
-                let mean = per_node_completed.iter().sum::<usize>() as f64
-                    / per_node_completed.len() as f64;
-                if mean > 0.0 {
-                    (max - min) / mean
-                } else {
-                    0.0
-                }
-            } else {
-                0.0
-            };
+            let util_skew = completion_skew(&per_node_completed);
             skew_sum += util_skew;
+            let nodes_active = self.nodes.iter().filter(|nd| nd.is_active()).count();
+            node_hours += nodes_active as f64 * interval_ms / 3_600_000.0;
             all_samples.extend_from_slice(&interval_samples);
             // `None` means no interval completions; the record's
             // `completed == 0` keeps that distinguishable from a true 0.
@@ -491,6 +692,7 @@ impl Cluster {
                 redistributed,
                 timed_out,
                 util_skew,
+                nodes_active,
             });
         }
 
@@ -521,8 +723,576 @@ impl Cluster {
             } else {
                 skew_sum / intervals.len() as f64
             },
+            node_hours,
+            breaker_trips: total_breaker_trips,
+            per_class: vec![(total_completed, total_violations, total_shed)],
             intervals,
         }
+    }
+
+    /// Feed one interval's `(completed, violations, up)` health to the
+    /// router's breakers, record any state transitions, and return the
+    /// number of trips (transitions into open) this caused. No-op (0)
+    /// while breakers are disabled.
+    fn observe_breakers(
+        &mut self,
+        health: &[(usize, usize, bool)],
+        end_ms: f64,
+        recording: bool,
+    ) -> usize {
+        let before: Vec<&'static str> = self
+            .router
+            .breakers()
+            .iter()
+            .map(|b| breaker_label(b.state()))
+            .collect();
+        self.router.observe_health(health);
+        let transitions: Vec<(usize, &'static str, &'static str)> = before
+            .iter()
+            .zip(self.router.breakers())
+            .enumerate()
+            .filter_map(|(j, (from, b))| {
+                let to = breaker_label(b.state());
+                (to != *from).then_some((j, *from, to))
+            })
+            .collect();
+        let mut trips = 0;
+        for (node, from, to) in transitions {
+            if to == "open" {
+                trips += 1;
+            }
+            if recording {
+                self.obs(end_ms, ObsEvent::BreakerTransition { node, from, to });
+            }
+        }
+        trips
+    }
+
+    /// Shared parameter validation for the run entry points.
+    fn validate_run(
+        &self,
+        trace: &[TracePoint],
+        interval_ms: f64,
+        node_faults: &FaultPlan,
+    ) -> Result<(), ClusterError> {
+        if !interval_ms.is_finite() || interval_ms <= 0.0 {
+            return Err(ClusterError::NonPositiveInterval { interval_ms });
+        }
+        if trace.is_empty() {
+            return Err(ClusterError::EmptyTrace);
+        }
+        node_faults.validate_for(self.nodes.len())?;
+        Ok(())
+    }
+
+    /// [`run_trace`](Self::run_trace), but invalid run parameters — a
+    /// non-positive interval, an empty trace, a fault plan that indexes
+    /// a node the cluster does not have or overlaps revocations — fail
+    /// with a typed error before anything runs.
+    ///
+    /// # Errors
+    /// The first offence, as a typed [`ClusterError`].
+    pub fn try_run_trace(
+        &mut self,
+        trace: &[TracePoint],
+        interval_ms: f64,
+        max_rps: f64,
+        seed: u64,
+        node_faults: &FaultPlan,
+    ) -> Result<ClusterReport, ClusterError> {
+        self.validate_run(trace, interval_ms, node_faults)?;
+        Ok(self.run_trace(trace, interval_ms, max_rps, seed, node_faults))
+    }
+
+    /// The elastic / multi-tenant run loop: [`run_trace`](Self::run_trace)
+    /// plus three robustness layers.
+    ///
+    /// - **QoS classes** — the offered load is split across the nodes'
+    ///   tenants by `flex.traffic_mix`, each class drawing its own
+    ///   deterministic Poisson stream; the router admits per class
+    ///   ([`Router::route_classes`]), so a lenient tenant cannot starve a
+    ///   strict one.
+    /// - **Elastic autoscaling** — with `flex.autoscale` set, a
+    ///   deterministic [`Autoscaler`] activates nodes (which warm up
+    ///   advertising zero capacity) and drains them through the same
+    ///   cancel-and-redistribute path a node death uses. Inactive nodes
+    ///   are modeled powered off: they contribute neither power/energy
+    ///   nor node-hours, while powered-on nodes are charged
+    ///   `flex.node_static_w` of idle platform draw on top of their
+    ///   dynamic execution power — the term a scale-down actually saves.
+    /// - **Spot revocations** — [`FaultKind::Revoke`] events in
+    ///   `node_faults` (node-indexed, like all node fault plans) announce
+    ///   a fail-stop `notice_ms` ahead. The driver drains the node at the
+    ///   first boundary inside the notice window, so its in-flight work is
+    ///   redistributed *before* the capacity disappears and the node's
+    ///   breaker never trips. Revocations whose notice is shorter than an
+    ///   interval behave like surprise fail-stops.
+    ///
+    /// Deterministic in all inputs for every
+    /// [`set_jobs`](Self::set_jobs) count, like `run_trace`.
+    ///
+    /// # Errors
+    /// The first invalid run parameter, as a typed [`ClusterError`].
+    pub fn run_trace_flex(
+        &mut self,
+        trace: &[TracePoint],
+        interval_ms: f64,
+        max_rps: f64,
+        seed: u64,
+        node_faults: &FaultPlan,
+        flex: &FlexConfig,
+    ) -> Result<ClusterReport, ClusterError> {
+        self.validate_run(trace, interval_ms, node_faults)?;
+        let n = self.nodes.len();
+        let classes = self.nodes[0].tenant_count();
+        if flex.traffic_mix.len() != classes
+            || flex.traffic_mix.iter().any(|m| !m.is_finite() || *m < 0.0)
+            || flex.traffic_mix.iter().sum::<f64>() <= 0.0
+        {
+            return Err(ClusterError::InvalidTrafficMix);
+        }
+        if !flex.node_static_w.is_finite() || flex.node_static_w < 0.0 {
+            return Err(ClusterError::InvalidStaticDraw {
+                static_w: flex.node_static_w,
+            });
+        }
+        let mix_sum: f64 = flex.traffic_mix.iter().sum();
+        let mix: Vec<f64> = flex.traffic_mix.iter().map(|m| m / mix_sum).collect();
+        let weights: Vec<f64> = (0..classes)
+            .map(|c| self.nodes[0].tenant_weight(c))
+            .collect();
+        let recording = self.recording();
+        self.router.reset();
+        self.governor.reset();
+        let mut autoscaler = flex.autoscale.clone().map(Autoscaler::new);
+
+        let first_rps = trace.first().map_or(0.0, |p| p.utilization * max_rps);
+        for (j, node) in self.nodes.iter_mut().enumerate() {
+            let plan = node_fault_plan(node_faults, j, node.setup().pool.len());
+            let shares: Vec<f64> = mix.iter().map(|m| first_rps * m / n as f64).collect();
+            node.begin_replay_multi(&shares, &plan);
+        }
+
+        // Spot revocations scripted against nodes: drained proactively at
+        // the first boundary inside `[at_ms, deadline)`. The device-level
+        // fail-stop at the deadline is already lowered into each node's
+        // fault plan by the engine.
+        struct Revocation {
+            at_ms: f64,
+            node: usize,
+            deadline_ms: f64,
+            consumed: bool,
+        }
+        let mut revocations: Vec<Revocation> = node_faults
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Revoke { notice_ms } => Some(Revocation {
+                    at_ms: e.at_ms,
+                    node: e.device,
+                    deadline_ms: e.at_ms + notice_ms.max(0.0),
+                    consumed: false,
+                }),
+                _ => None,
+            })
+            .collect();
+        revocations.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms).then(a.node.cmp(&b.node)));
+        // `Some(deadline)` while node j is drained ahead of a pending
+        // revocation — its outage is *expected*, so breakers see it as a
+        // quiet healthy node instead of tripping.
+        let mut pending_revoke: Vec<Option<f64>> = vec![None; n];
+
+        let step_jobs = if recording { 1 } else { self.jobs };
+        let mut intervals = Vec::with_capacity(trace.len());
+        let mut all_samples: Vec<f64> = Vec::new();
+        let mut interval_samples: Vec<f64> = Vec::new();
+        let mut q_scratch: Vec<f64> = Vec::new();
+        let mut energy_j = 0.0;
+        let mut total_completed = 0usize;
+        let mut total_violations = 0usize;
+        let mut total_shed = 0usize;
+        let mut total_redistributed = 0usize;
+        let mut total_timed_out = 0usize;
+        let mut total_breaker_trips = 0usize;
+        let mut node_hours = 0.0;
+        let mut skew_sum = 0.0;
+        let mut class_completed = vec![0usize; classes];
+        let mut class_violations = vec![0usize; classes];
+        let mut class_shed = vec![0usize; classes];
+        let mut last_power_w = vec![0.0; n];
+        let mut last_assigned_rps = vec![0.0; n];
+
+        for (i, point) in trace.iter().enumerate() {
+            let start = point.start_ms;
+            let end = start + interval_ms;
+            let offered_rps = point.utilization * max_rps;
+            // Per-class drained work re-entering the router at this
+            // boundary (node deaths, revocation drains, scale-downs).
+            let mut redistributed_class = vec![0usize; classes];
+
+            // 1. Boundary health check. A hardware recovery on a node
+            //    that was administratively drained (revocation, scale
+            //    down) does not resume serving by itself: the autoscaler
+            //    re-adds it when load wants it, or — without an
+            //    autoscaler — it rejoins with one interval of warm-up.
+            for (j, pending) in pending_revoke.iter_mut().enumerate() {
+                match self.nodes[j].maintain_at(start) {
+                    NodeTransition::WentDown(d) => {
+                        total_redistributed += d;
+                        for (c, &dc) in self.nodes[j].last_drained_per_class().iter().enumerate() {
+                            redistributed_class[c] += dc;
+                        }
+                    }
+                    NodeTransition::CameBack => {
+                        *pending = None;
+                        if !self.nodes[j].is_active() && autoscaler.is_none() {
+                            let ready = start + interval_ms;
+                            self.nodes[j].activate(Some(ready));
+                            self.obs(
+                                start,
+                                ObsEvent::ScaleUp {
+                                    node: j,
+                                    ready_ms: ready,
+                                },
+                            );
+                        }
+                    }
+                    NodeTransition::Steady => {}
+                }
+            }
+
+            // 2. Act on revocation notices whose window covers this
+            //    boundary: drain the node now, redistribute its work, and
+            //    flag the coming outage as expected.
+            for r in &mut revocations {
+                if r.consumed || r.at_ms > start {
+                    continue;
+                }
+                r.consumed = true;
+                if start >= r.deadline_ms || self.nodes[r.node].is_down() {
+                    // Notice shorter than an interval (or the node is
+                    // already dead): nothing to save — surprise path.
+                    continue;
+                }
+                let drained = if self.nodes[r.node].is_active() {
+                    let d = self.nodes[r.node].drain();
+                    for (c, &dc) in self.nodes[r.node]
+                        .last_drained_per_class()
+                        .iter()
+                        .enumerate()
+                    {
+                        redistributed_class[c] += dc;
+                    }
+                    total_redistributed += d;
+                    d
+                } else {
+                    0
+                };
+                pending_revoke[r.node] = Some(r.deadline_ms);
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.record(
+                        start,
+                        ObsEvent::SpotRevoke {
+                            node: r.node,
+                            deadline_ms: r.deadline_ms,
+                            drained,
+                        },
+                    );
+                }
+            }
+
+            // 3. Elastic fleet sizing off the governor's smoothed load
+            //    estimates (no estimate yet at the first boundary).
+            if i > 0 {
+                if let Some(scaler) = autoscaler.as_mut() {
+                    let eligible: Vec<bool> =
+                        self.nodes.iter().map(ClusterNode::is_routable).collect();
+                    let blocked: Vec<bool> = self
+                        .nodes
+                        .iter()
+                        .enumerate()
+                        .map(|(j, nd)| {
+                            nd.is_down() || nd.is_warming() || pending_revoke[j].is_some()
+                        })
+                        .collect();
+                    let load: f64 = (0..n)
+                        .map(|j| self.governor.load_estimate(j).unwrap_or(0.0))
+                        .sum();
+                    match scaler.decide(load, &eligible, &blocked) {
+                        ScaleAction::Up(j) => {
+                            let ready = start + scaler.config().warmup_ms;
+                            self.nodes[j].activate(Some(ready));
+                            self.obs(
+                                start,
+                                ObsEvent::ScaleUp {
+                                    node: j,
+                                    ready_ms: ready,
+                                },
+                            );
+                        }
+                        ScaleAction::Down(j) => {
+                            let drained = self.nodes[j].drain();
+                            for (c, &dc) in
+                                self.nodes[j].last_drained_per_class().iter().enumerate()
+                            {
+                                redistributed_class[c] += dc;
+                            }
+                            total_redistributed += drained;
+                            self.obs(start, ObsEvent::ScaleDown { node: j, drained });
+                        }
+                        ScaleAction::Hold => {}
+                    }
+                }
+            }
+
+            // 4. Governor re-split with scale-aware node states: off
+            //    nodes draw nothing, warming nodes are pinned at the
+            //    floor, serving nodes share by load.
+            if i > 0 {
+                let states: Vec<NodeShare> = self
+                    .nodes
+                    .iter()
+                    .map(|nd| {
+                        if nd.is_down() || !nd.is_active() {
+                            NodeShare::Off
+                        } else if nd.is_warming() {
+                            NodeShare::Warming
+                        } else {
+                            NodeShare::Active { weight: 1.0 }
+                        }
+                    })
+                    .collect();
+                let caps = self
+                    .governor
+                    .observe_and_split_states(&last_assigned_rps, &states);
+                for (node, cap) in self.nodes.iter_mut().zip(&caps) {
+                    node.set_power_cap(*cap);
+                }
+                if recording {
+                    for (j, cap) in caps.iter().enumerate() {
+                        self.obs(
+                            start,
+                            ObsEvent::GovernorSplit {
+                                node: j,
+                                cap_w: *cap,
+                            },
+                        );
+                    }
+                }
+            }
+
+            // 5. Per-node re-planning (the first interval was planned by
+            //    `begin_replay_multi`).
+            if i > 0 {
+                let n_rt = self.nodes.iter().filter(|nd| nd.is_routable()).count();
+                let floor_est = if n_rt > 0 {
+                    offered_rps / n_rt as f64 * 0.1
+                } else {
+                    0.0
+                };
+                for node in &mut self.nodes {
+                    let est = node.load_estimate_rps().max(floor_est);
+                    let _ = node.begin_interval(est);
+                }
+            }
+
+            // 6. Per-class arrivals: redistributed work (re-timed to the
+            //    boundary) ahead of each class's own Poisson stream.
+            //    Class 0 keeps the legacy stream seed; further classes
+            //    draw independent streams.
+            let class_arrivals: Vec<Vec<f64>> = (0..classes)
+                .map(|c| {
+                    let class_seed = if c == 0 {
+                        seed.wrapping_add(i as u64)
+                    } else {
+                        (seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                            .wrapping_add(i as u64)
+                    };
+                    let mut a: Vec<f64> = std::iter::repeat_n(start, redistributed_class[c])
+                        .chain(
+                            poisson(offered_rps * mix[c], interval_ms, class_seed)
+                                .into_iter()
+                                .map(|t| start + t),
+                        )
+                        .collect();
+                    a.sort_by(f64::total_cmp);
+                    a
+                })
+                .collect();
+            let redistributed: usize = redistributed_class.iter().sum();
+
+            // 7. Route: per-class admission against per-tenant views.
+            let views: Vec<NodeView> = self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(j, node)| NodeView {
+                    up: node.is_routable(),
+                    queued: node.queued(),
+                    power_w: last_power_w[j],
+                    power_cap_w: node.power_cap_w(),
+                    capacity_rps: node.capacity_rps(),
+                })
+                .collect();
+            let class_views: Vec<Vec<ClassNodeView>> = self
+                .nodes
+                .iter()
+                .map(|nd| {
+                    (0..classes)
+                        .map(|c| ClassNodeView {
+                            queued: nd.queued_of(c),
+                            capacity_rps: nd.capacity_rps_of(c),
+                        })
+                        .collect()
+                })
+                .collect();
+            let arr_slices: Vec<&[f64]> = class_arrivals.iter().map(Vec::as_slice).collect();
+            let outcome = self.router.route_classes(
+                &views,
+                &class_views,
+                &arr_slices,
+                &weights,
+                start,
+                interval_ms,
+            );
+            total_shed += outcome.shed;
+            if recording {
+                for j in 0..n {
+                    let assigned: usize = outcome.per_node[j].iter().map(Vec::len).sum();
+                    self.obs(start, ObsEvent::Route { node: j, assigned });
+                }
+                if outcome.shed > 0 {
+                    self.obs(
+                        start,
+                        ObsEvent::Shed {
+                            count: outcome.shed,
+                        },
+                    );
+                }
+                for (c, &(admitted, deferred, shed)) in outcome.per_class.iter().enumerate() {
+                    self.obs(
+                        start,
+                        ObsEvent::ClassAdmission {
+                            class: c,
+                            admitted,
+                            deferred,
+                            shed,
+                        },
+                    );
+                }
+            }
+
+            // 8. Step every node to the interval end (same barrier
+            //    semantics as `run_trace`).
+            let per_node_stats = par_map_mut(step_jobs, &mut self.nodes, |j, node| {
+                let slices: Vec<&[f64]> = outcome.per_node[j].iter().map(Vec::as_slice).collect();
+                node.run_to_classes(&slices, end)
+            });
+
+            // 9. Aggregate. Inactive nodes are modeled powered off: their
+            //    (idle) power and energy stay out of the report, and
+            //    their expected outages are fed to the breakers as quiet
+            //    healthy intervals.
+            interval_samples.clear();
+            let mut completed = 0usize;
+            let mut violations = 0usize;
+            let mut timed_out = 0usize;
+            let mut power_w = 0.0;
+            let mut nodes_up = 0usize;
+            let mut per_node_completed: Vec<usize> = Vec::with_capacity(n);
+            let mut health: Vec<(usize, usize, bool)> = Vec::with_capacity(n);
+            for (j, stats) in per_node_stats.iter().enumerate() {
+                let active = self.nodes[j].is_active();
+                last_power_w[j] = if active { stats.avg_power_w } else { 0.0 };
+                let assigned: usize = outcome.per_node[j].iter().map(Vec::len).sum();
+                last_assigned_rps[j] = assigned as f64 * 1000.0 / interval_ms;
+                completed += stats.completed;
+                violations += stats.violations;
+                timed_out += stats.timed_out;
+                if active {
+                    power_w += stats.avg_power_w + flex.node_static_w;
+                    energy_j += stats.energy_j + flex.node_static_w * interval_ms / 1000.0;
+                }
+                if stats.healthy_devices > 0 {
+                    nodes_up += 1;
+                }
+                if views[j].up {
+                    per_node_completed.push(stats.completed);
+                }
+                let expected_down = pending_revoke[j].is_some() || !active;
+                health.push(if expected_down {
+                    (0, 0, true)
+                } else {
+                    (stats.completed, stats.violations, stats.healthy_devices > 0)
+                });
+                for (c, &(cc, cv)) in stats.per_class.iter().enumerate() {
+                    class_completed[c] += cc;
+                    class_violations[c] += cv;
+                }
+                interval_samples.extend_from_slice(self.nodes[j].segment_samples());
+            }
+            for (c, &(_, _, s)) in outcome.per_class.iter().enumerate() {
+                class_shed[c] += s;
+            }
+            total_breaker_trips += self.observe_breakers(&health, end, recording);
+            total_completed += completed;
+            total_violations += violations;
+            total_timed_out += timed_out;
+
+            let util_skew = completion_skew(&per_node_completed);
+            skew_sum += util_skew;
+            let nodes_active = self.nodes.iter().filter(|nd| nd.is_active()).count();
+            node_hours += nodes_active as f64 * interval_ms / 3_600_000.0;
+            all_samples.extend_from_slice(&interval_samples);
+            let p99 = quantile_of(&interval_samples, 0.99, &mut q_scratch).unwrap_or(0.0);
+
+            intervals.push(ClusterIntervalRecord {
+                start_ms: start,
+                utilization: point.utilization,
+                offered_rps,
+                p99_ms: p99,
+                power_w,
+                nodes_up,
+                violations,
+                completed,
+                shed: outcome.shed,
+                redistributed,
+                timed_out,
+                util_skew,
+                nodes_active,
+            });
+        }
+
+        let p99_ms = quantile_of(&all_samples, 0.99, &mut q_scratch).unwrap_or(0.0);
+        let mut retry = RetryStats::default();
+        for node in &self.nodes {
+            retry.merge(&node.retry_stats());
+        }
+        retry.redistributed += total_redistributed;
+        Ok(ClusterReport {
+            energy_j,
+            p99_ms,
+            violation_ratio: if total_completed > 0 {
+                total_violations as f64 / total_completed as f64
+            } else {
+                0.0
+            },
+            completed: total_completed,
+            shed: total_shed,
+            retry,
+            timed_out: total_timed_out,
+            mean_util_skew: if intervals.is_empty() {
+                0.0
+            } else {
+                skew_sum / intervals.len() as f64
+            },
+            node_hours,
+            breaker_trips: total_breaker_trips,
+            per_class: (0..classes)
+                .map(|c| (class_completed[c], class_violations[c], class_shed[c]))
+                .collect(),
+            intervals,
+        })
     }
 
     /// The cluster configuration.

@@ -8,6 +8,120 @@
 //! their share back to the survivors. Cap changes feed each node's
 //! optimizer through [`crate::ClusterNode::set_power_cap`], which
 //! triggers a re-plan when the split moves materially.
+//!
+//! With elastic fleets the split also has to understand *states*: a
+//! scaled-down or revoked node draws nothing ([`NodeShare::Off`]), a
+//! node still warming up draws the floor but earns no load-proportional
+//! share ([`NodeShare::Warming`]), and an active node competes for the
+//! budget at its QoS weight ([`NodeShare::Active`]). The same weighted
+//! water-fill is reused inside a node to split its cap across tenants.
+
+/// How one participant takes part in a [`weighted_water_fill`] split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeShare {
+    /// Powered off (scaled down, failed, or revoked): zero cap, and its
+    /// share flows to the survivors.
+    Off,
+    /// Warming up: pinned at the floor — enough to boot, no
+    /// load-proportional share until it starts serving.
+    Warming,
+    /// Serving: competes for the budget at `weight × smoothed load`.
+    Active {
+        /// QoS weight multiplying the participant's demand signal.
+        weight: f64,
+    },
+}
+
+/// Split `budget_w` across participants by iterative weighted
+/// water-filling. `demands` is the (smoothed) load signal per
+/// participant; each [`NodeShare::Active`] participant competes at
+/// `demand × weight`, [`NodeShare::Warming`] participants are pinned at
+/// the floor, and [`NodeShare::Off`] participants get zero.
+///
+/// When the floors alone would exceed the budget (possible at runtime —
+/// the eligible count changes as nodes scale), the floor degrades
+/// proportionally to `budget / eligible` instead of over-subscribing,
+/// so the split stays work-conserving. Caps of eligible participants
+/// always sum to the full budget.
+///
+/// Deterministic: no iteration-order ambiguity, ties resolved by index.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+#[must_use]
+pub fn weighted_water_fill(
+    budget_w: f64,
+    floor_w: f64,
+    demands: &[f64],
+    states: &[NodeShare],
+) -> Vec<f64> {
+    let n = states.len();
+    assert_eq!(demands.len(), n, "one demand per participant");
+    let mut caps = vec![0.0; n];
+    let eligible = states
+        .iter()
+        .filter(|s| !matches!(s, NodeShare::Off))
+        .count();
+    if eligible == 0 {
+        return caps;
+    }
+    // Graceful floor scaling: never let the floors over-subscribe the
+    // budget — degrade them evenly instead.
+    let floor_w = if floor_w * eligible as f64 > budget_w {
+        budget_w / eligible as f64
+    } else {
+        floor_w
+    };
+    // Warming participants are pinned at the floor up front; the
+    // water-fill then runs over the active set only.
+    let mut pinned = vec![false; n];
+    for i in 0..n {
+        if matches!(states[i], NodeShare::Warming) {
+            pinned[i] = true;
+            caps[i] = floor_w;
+        }
+    }
+    // Iterative water-filling: split proportionally to weighted demand,
+    // pin any participant that would fall below the floor to the floor,
+    // and re-split the remainder among the rest. Each pass pins at
+    // least one participant, so this terminates.
+    let weighted = |i: usize| match states[i] {
+        NodeShare::Active { weight } => demands[i] * weight,
+        _ => 0.0,
+    };
+    loop {
+        let free: Vec<usize> = (0..n)
+            .filter(|&i| !matches!(states[i], NodeShare::Off) && !pinned[i])
+            .collect();
+        if free.is_empty() {
+            break;
+        }
+        let pinned_eligible = (0..n)
+            .filter(|&i| !matches!(states[i], NodeShare::Off) && pinned[i])
+            .count();
+        let remaining = budget_w - floor_w * pinned_eligible as f64;
+        let weight: f64 = free.iter().map(|&i| weighted(i)).sum();
+        let mut changed = false;
+        for &i in &free {
+            let share = if weight > 0.0 {
+                remaining * weighted(i) / weight
+            } else {
+                remaining / free.len() as f64
+            };
+            if share < floor_w {
+                pinned[i] = true;
+                caps[i] = floor_w;
+                changed = true;
+            } else {
+                caps[i] = share;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    caps
+}
 
 /// Splits a fixed cluster power budget across nodes proportionally to a
 /// smoothed per-node load signal, with a per-node floor.
@@ -23,17 +137,15 @@ pub struct PowerGovernor {
 
 impl PowerGovernor {
     /// Governor over `nodes` nodes sharing `budget_w` watts, never
-    /// squeezing an up node below `floor_w`.
+    /// squeezing an up node below `floor_w` (unless the floors alone
+    /// would exceed the budget, in which case the floor degrades evenly
+    /// — see [`weighted_water_fill`]).
     ///
     /// # Panics
-    /// Panics if `nodes == 0` or the floors alone exceed the budget.
+    /// Panics if `nodes == 0`.
     #[must_use]
     pub fn new(budget_w: f64, floor_w: f64, nodes: usize) -> Self {
         assert!(nodes > 0, "governor needs at least one node");
-        assert!(
-            floor_w * nodes as f64 <= budget_w,
-            "per-node floors exceed the cluster budget"
-        );
         Self {
             budget_w,
             floor_w,
@@ -52,6 +164,13 @@ impl PowerGovernor {
         self.load_ewma.fill(None);
     }
 
+    /// The smoothed load estimate for `node`, if one has been observed.
+    /// The autoscaler reads this to decide when to grow or drain.
+    #[must_use]
+    pub fn load_estimate(&self, node: usize) -> Option<f64> {
+        self.load_ewma[node]
+    }
+
     /// Fold in one interval's observed per-node loads (RPS) and return
     /// the next per-node caps. Down nodes get a zero cap and their share
     /// flows to the survivors; up nodes split the budget proportionally
@@ -61,54 +180,44 @@ impl PowerGovernor {
     /// # Panics
     /// Panics if the slice lengths differ from the node count.
     pub fn observe_and_split(&mut self, loads_rps: &[f64], up: &[bool]) -> Vec<f64> {
+        assert_eq!(up.len(), self.load_ewma.len(), "one liveness flag per node");
+        let states: Vec<NodeShare> = up
+            .iter()
+            .map(|&u| {
+                if u {
+                    NodeShare::Active { weight: 1.0 }
+                } else {
+                    NodeShare::Off
+                }
+            })
+            .collect();
+        self.observe_and_split_states(loads_rps, &states)
+    }
+
+    /// State-aware variant of [`observe_and_split`](Self::observe_and_split):
+    /// off nodes get zero, warming nodes the floor, active nodes a
+    /// weighted load-proportional share. The smoothed load keeps
+    /// updating for every node regardless of state, so a node re-enters
+    /// the split with its history intact.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ from the node count.
+    pub fn observe_and_split_states(
+        &mut self,
+        loads_rps: &[f64],
+        states: &[NodeShare],
+    ) -> Vec<f64> {
         let n = self.load_ewma.len();
         assert_eq!(loads_rps.len(), n, "one load per node");
-        assert_eq!(up.len(), n, "one liveness flag per node");
+        assert_eq!(states.len(), n, "one state per node");
         for (e, &l) in self.load_ewma.iter_mut().zip(loads_rps) {
             *e = Some(match *e {
                 None => l,
                 Some(prev) => 0.5 * prev + 0.5 * l,
             });
         }
-        let n_up = up.iter().filter(|&&u| u).count();
-        let mut caps = vec![0.0; n];
-        if n_up == 0 {
-            return caps;
-        }
-        // Iterative water-filling: split proportionally to smoothed load,
-        // pin any node that would fall below the floor to the floor, and
-        // re-split the remainder among the rest. Each pass pins at least
-        // one node, so this terminates. Deterministic: no iteration-order
-        // ambiguity, ties resolved by node index implicitly.
-        let mut pinned = vec![false; n];
-        loop {
-            let free: Vec<usize> = (0..n).filter(|&i| up[i] && !pinned[i]).collect();
-            if free.is_empty() {
-                break;
-            }
-            let pinned_up = (0..n).filter(|&i| up[i] && pinned[i]).count();
-            let remaining = self.budget_w - self.floor_w * pinned_up as f64;
-            let weight: f64 = free.iter().map(|&i| self.load_ewma[i].unwrap_or(0.0)).sum();
-            let mut changed = false;
-            for &i in &free {
-                let share = if weight > 0.0 {
-                    remaining * self.load_ewma[i].unwrap_or(0.0) / weight
-                } else {
-                    remaining / free.len() as f64
-                };
-                if share < self.floor_w {
-                    pinned[i] = true;
-                    caps[i] = self.floor_w;
-                    changed = true;
-                } else {
-                    caps[i] = share;
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-        caps
+        let demands: Vec<f64> = self.load_ewma.iter().map(|e| e.unwrap_or(0.0)).collect();
+        weighted_water_fill(self.budget_w, self.floor_w, &demands, states)
     }
 }
 
@@ -177,5 +286,99 @@ mod tests {
         let caps = g.observe_and_split(&[0.0, 20.0], &[true, true]);
         assert_eq!(caps[0], 0.0);
         assert!((caps[1] - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_nodes_down_yields_zero_caps() {
+        let mut g = PowerGovernor::new(900.0, 100.0, 3);
+        let caps = g.observe_and_split(&[10.0, 10.0, 10.0], &[false; 3]);
+        assert_eq!(caps, vec![0.0; 3]);
+        // The EWMA still updated: once a node comes back its history is
+        // intact and it immediately earns a load-proportional share.
+        let caps = g.observe_and_split(&[0.0, 0.0, 0.0], &[false, true, false]);
+        assert_eq!(caps[0], 0.0);
+        assert_eq!(caps[2], 0.0);
+        assert!((caps[1] - 900.0).abs() < 1e-9, "sole survivor takes all");
+    }
+
+    #[test]
+    fn floors_exceeding_budget_degrade_evenly() {
+        // 4 × 300 W floors against a 1000 W budget: instead of
+        // over-subscribing, everyone gets budget / eligible.
+        let mut g = PowerGovernor::new(1000.0, 300.0, 4);
+        let caps = g.observe_and_split(&[0.0; 4], &[true; 4]);
+        for c in &caps {
+            assert!((c - 250.0).abs() < 1e-9);
+        }
+        assert!((caps.iter().sum::<f64>() - 1000.0).abs() < 1e-9);
+        // With one node down the floors fit again and apply unscaled.
+        let caps = g.observe_and_split(&[50.0, 0.0, 0.0, 0.0], &[true, true, true, false]);
+        assert!((caps[1] - 300.0).abs() < 1e-9);
+        assert!((caps[2] - 300.0).abs() < 1e-9);
+        assert!((caps[0] - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warming_node_is_pinned_at_the_floor() {
+        let mut g = PowerGovernor::new(1000.0, 100.0, 3);
+        let states = [
+            NodeShare::Active { weight: 1.0 },
+            NodeShare::Active { weight: 1.0 },
+            NodeShare::Warming,
+        ];
+        // The warm-up node gets exactly the floor even though it has no
+        // load history; the actives split the rest by load.
+        let caps = g.observe_and_split_states(&[30.0, 10.0, 0.0], &states);
+        assert!((caps[2] - 100.0).abs() < 1e-9, "warming node at the floor");
+        assert!((caps[0] - 675.0).abs() < 1e-9);
+        assert!((caps[1] - 225.0).abs() < 1e-9);
+        assert!((caps.iter().sum::<f64>() - 1000.0).abs() < 1e-9);
+        // Mid-trace it activates: its EWMA picked up while warming, so
+        // it joins the proportional split seamlessly.
+        let all_active = [NodeShare::Active { weight: 1.0 }; 3];
+        let caps = g.observe_and_split_states(&[30.0, 10.0, 20.0], &all_active);
+        assert!(caps[2] > 100.0, "active node now earns a load share");
+        assert!((caps.iter().sum::<f64>() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_weights_bias_the_fill() {
+        // Equal demand, 3× weight: the weighted node takes 3× the share.
+        let caps = weighted_water_fill(
+            800.0,
+            0.0,
+            &[10.0, 10.0],
+            &[
+                NodeShare::Active { weight: 3.0 },
+                NodeShare::Active { weight: 1.0 },
+            ],
+        );
+        assert!((caps[0] - 600.0).abs() < 1e-9);
+        assert!((caps[1] - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn legacy_split_matches_state_split() {
+        // The `up: &[bool]` entry point is a thin veneer over the
+        // state-aware fill — same EWMA, same caps, bit for bit.
+        let mut legacy = PowerGovernor::new(1000.0, 100.0, 3);
+        let mut states = PowerGovernor::new(1000.0, 100.0, 3);
+        let loads = [[5.0, 40.0, 0.0], [12.0, 3.0, 7.0], [0.0, 0.0, 60.0]];
+        let ups = [[true, true, true], [true, false, true], [false, true, true]];
+        for (l, u) in loads.iter().zip(&ups) {
+            let a = legacy.observe_and_split(l, u);
+            let s: Vec<NodeShare> = u
+                .iter()
+                .map(|&x| {
+                    if x {
+                        NodeShare::Active { weight: 1.0 }
+                    } else {
+                        NodeShare::Off
+                    }
+                })
+                .collect();
+            let b = states.observe_and_split_states(l, &s);
+            assert_eq!(a, b);
+        }
     }
 }

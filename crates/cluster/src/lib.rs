@@ -27,14 +27,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod autoscale;
 mod breaker;
 mod cluster;
 mod governor;
 mod node;
 mod router;
 
+pub use autoscale::{AutoscaleConfig, Autoscaler, ScaleAction};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
-pub use cluster::{node_fault_plan, Cluster, ClusterConfig, ClusterIntervalRecord, ClusterReport};
-pub use governor::PowerGovernor;
+pub use cluster::{
+    node_fault_plan, Cluster, ClusterConfig, ClusterError, ClusterIntervalRecord, ClusterReport,
+    FlexConfig,
+};
+pub use governor::{weighted_water_fill, NodeShare, PowerGovernor};
 pub use node::{ClusterNode, NodeIntervalStats, NodeTransition};
-pub use router::{NodeView, RouteOutcome, Router, RoutingPolicy};
+pub use router::{ClassNodeView, ClassRouteOutcome, NodeView, RouteOutcome, Router, RoutingPolicy};

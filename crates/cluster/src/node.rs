@@ -1,11 +1,27 @@
-//! One leaf node of the cluster: a full per-node Poly stack — monitor,
+//! One leaf node of the cluster: per-tenant Poly stacks — monitor,
 //! model, optimizer, and discrete-event simulator — stepped interval by
 //! interval by the [`Cluster`](crate::Cluster) driver instead of owning
-//! its own trace loop. The re-planning logic (degraded-pool detection,
+//! their own trace loop. The re-planning logic (degraded-pool detection,
 //! change hysteresis, model feedback) mirrors `poly_core::PolyRuntime`
 //! exactly; what is new is the externally imposed power cap from the
-//! cluster governor and the fail-stop / drain / recover lifecycle the
-//! front-end router observes.
+//! cluster governor, the fail-stop / drain / recover lifecycle the
+//! front-end router observes, and multi-tenancy: a node may host
+//! several [`AppContext`]s (distinct DAGs, distinct latency bounds,
+//! distinct QoS weights) sharing its hardware.
+//!
+//! ## Tenancy model
+//!
+//! Each tenant runs a private simulator over the node's full device
+//! pool — a fractional time-multiplexing approximation: tenants share
+//! the boards in time, and contention is modeled through the power
+//! split (a tenant squeezed to a small share of the node cap plans a
+//! slower, cooler policy). The node's cap is split across tenants every
+//! interval by the same weighted water-fill the cluster governor uses
+//! across nodes, with demand = the tenant monitor's load EWMA × its
+//! QoS weight. Reported node power dedups the idle draw of the shared
+//! hardware (each private simulator accounts the boards' idle power;
+//! the physical node pays it once), so a single-tenant node reports
+//! exactly what it always did.
 
 use poly_core::{
     retime_policy, AppContext, IntervalObs, NodeSetup, Optimizer, PolicyPrediction, SystemMonitor,
@@ -14,26 +30,33 @@ use poly_obs::{Event as ObsEvent, Recorder};
 use poly_sched::Pool;
 use poly_sim::{quantile_of, violations_of, FaultPlan, Policy, Simulator};
 
+use crate::governor::{weighted_water_fill, NodeShare};
+
 /// What happened to a node at an interval boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeTransition {
     /// Health unchanged since the last boundary.
     Steady,
     /// Every device fail-stopped: the node is down. Carries the number of
-    /// in-flight/queued requests drained for the router to redistribute.
+    /// in-flight/queued requests drained for the router to redistribute
+    /// (summed across tenants — [`ClusterNode::last_drained_per_class`]
+    /// has the per-class breakdown).
     WentDown(usize),
     /// A previously down node has at least one healthy device again.
     CameBack,
 }
 
 /// One interval's measurements from a node, as reported to the cluster.
+/// Counts are summed across the node's tenants; power and energy are
+/// idle-deduped to the physical node (see the module docs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeIntervalStats {
     /// Requests offered to the node during the interval.
     pub arrived: usize,
     /// Requests completed during the interval.
     pub completed: usize,
-    /// Completions over the QoS bound.
+    /// Completions over the QoS bound (each tenant judged against its
+    /// own bound).
     pub violations: usize,
     /// Measured p99 over the interval (0 when nothing completed).
     pub p99_ms: f64,
@@ -52,21 +75,22 @@ pub struct NodeIntervalStats {
     pub timed_out: usize,
     /// Requests that exhausted their bounded retry budget this interval.
     pub failed: usize,
-    /// Whether this interval adopted a different policy.
+    /// Whether this interval adopted a different policy on any tenant.
     pub policy_changed: bool,
+    /// Per-class (completed, violations) breakdown, tenant-indexed.
+    pub per_class: Vec<(usize, usize)>,
 }
 
-/// A leaf node: provisioned hardware plus its private Poly control loop.
+/// One tenant's private Poly control loop on a node.
 #[derive(Debug)]
-pub struct ClusterNode {
+struct TenantRt {
     ctx: AppContext,
     optimizer: Optimizer,
     monitor: SystemMonitor,
-    /// Cap currently imposed by the cluster governor (starts at the
-    /// node's provisioned cap).
-    power_cap_w: f64,
-    /// Set when the governor moved the cap materially or the node just
-    /// recovered — the next `begin_interval` re-plans unconditionally.
+    /// This tenant's share of the node cap.
+    cap_w: f64,
+    /// Set when the split moved materially or the node just recovered —
+    /// the next `begin_interval` re-plans unconditionally.
     force_replan: bool,
     sim: Option<Simulator>,
     policy: Option<Policy>,
@@ -74,120 +98,48 @@ pub struct ClusterNode {
     /// Pool the last plan was made against; divergence from the
     /// simulator's available pool forces a re-plan.
     avail: Pool,
-    down: bool,
     last_policy_changed: bool,
     /// Why the last `begin_interval` planned the way it did (telemetry).
     last_reason: &'static str,
     /// Load estimate the last plan was made for (telemetry).
     last_est_rps: f64,
-    /// Intervals run since `begin_replay` (telemetry).
-    interval_idx: usize,
-    /// Telemetry sink; a clone is attached to the node's simulator at
-    /// `begin_replay`.
-    recorder: Option<Box<dyn Recorder>>,
     /// Last interval's raw completion latencies, recycled every interval
     /// ([`Simulator::drain_segment_into`]) — the cluster merges these
     /// across nodes for *fleet* percentiles (per-node p99s do not
     /// average) without a per-interval allocation.
     seg_samples: Vec<f64>,
-    /// Quantile-selection scratch ([`quantile_of`]), likewise recycled.
-    q_scratch: Vec<f64>,
 }
 
-impl ClusterNode {
-    /// Node for the application/node bundle `ctx`.
-    #[must_use]
-    pub fn new(ctx: AppContext) -> Self {
+impl TenantRt {
+    fn new(ctx: AppContext) -> Self {
         let avail = ctx.setup().pool.clone();
-        let power_cap_w = ctx.setup().power_cap_w;
+        let cap_w = ctx.setup().power_cap_w;
         Self {
             ctx,
             optimizer: Optimizer::new(),
             monitor: SystemMonitor::new(8),
-            power_cap_w,
+            cap_w,
             force_replan: false,
             sim: None,
             policy: None,
             predicted: None,
             avail,
-            down: false,
             last_policy_changed: false,
             last_reason: "initial",
             last_est_rps: 0.0,
-            interval_idx: 0,
-            recorder: None,
             seg_samples: Vec::new(),
-            q_scratch: Vec::new(),
         }
     }
 
-    /// The node's provisioned setup.
-    #[must_use]
-    pub fn setup(&self) -> &NodeSetup {
-        self.ctx.setup()
-    }
-
-    /// Whether the node is currently fail-stopped.
-    #[must_use]
-    pub fn is_down(&self) -> bool {
-        self.down
-    }
-
-    /// Predicted sustainable capacity under the current policy, in RPS
-    /// (0 before the first plan).
-    #[must_use]
-    pub fn capacity_rps(&self) -> f64 {
-        self.predicted.as_ref().map_or(0.0, |p| p.capacity_rps)
-    }
-
-    /// The governor-imposed power cap, in watts.
-    #[must_use]
-    pub fn power_cap_w(&self) -> f64 {
-        self.power_cap_w
-    }
-
-    /// Work items queued on the node right now.
-    #[must_use]
-    pub fn queued(&self) -> usize {
-        self.sim.as_ref().map_or(0, Simulator::queued)
-    }
-
-    /// The monitor's smoothed load estimate, in RPS.
-    #[must_use]
-    pub fn load_estimate_rps(&self) -> f64 {
-        self.monitor.load_estimate_rps()
-    }
-
-    /// Attach (or detach) a telemetry recorder. The cluster driver tags
-    /// each node's handle with its own track before calling this; the
-    /// handle is propagated into the node's simulator at the next
-    /// [`begin_replay`](Self::begin_replay) (and immediately, when a
-    /// replay is already in progress).
-    pub fn set_recorder(&mut self, recorder: Option<Box<dyn Recorder>>) {
-        if let Some(sim) = self.sim.as_mut() {
-            sim.set_recorder(recorder.clone());
-        }
-        self.recorder = recorder;
-    }
-
-    /// Whether an enabled recorder is attached.
-    fn recording(&self) -> bool {
-        self.recorder.as_ref().is_some_and(|r| r.enabled())
-    }
-
-    /// Start a fresh trace replay: reset the monitor so its EWMA re-seeds
-    /// from this replay's first observation (stale state from a previous
-    /// replay must not leak across runs), plan an initial policy for
-    /// `first_rps`, and build a fresh simulator with `faults` scripted.
-    pub fn begin_replay(&mut self, first_rps: f64, faults: &FaultPlan) {
+    /// Start a fresh trace replay for this tenant (see
+    /// [`ClusterNode::begin_replay_multi`]).
+    fn begin_replay(&mut self, first_rps: f64, cap_w: f64, faults: &FaultPlan) {
         self.monitor.reset();
-        self.power_cap_w = self.ctx.setup().power_cap_w;
+        self.cap_w = cap_w;
         self.force_replan = false;
-        self.down = false;
         self.last_policy_changed = false;
         self.last_reason = "initial";
         self.last_est_rps = first_rps;
-        self.interval_idx = 0;
         self.avail = self.ctx.setup().pool.clone();
         let (policy, predicted) = self.optimizer.plan_for_load_capped(
             self.ctx.graph(),
@@ -196,7 +148,7 @@ impl ClusterNode {
             &self.ctx.setup().gpu,
             self.ctx.bound_ms(),
             first_rps,
-            self.power_cap_w,
+            self.cap_w,
         );
         // Each node re-times its plan for its own provisioned backend
         // (identity on analytical nodes), so a mixed fleet runs modeled
@@ -211,66 +163,28 @@ impl ClusterNode {
             sim_config,
         );
         sim.inject_faults(faults);
-        if self.recording() {
-            sim.set_recorder(self.recorder.clone());
-        }
         self.sim = Some(sim);
         self.policy = Some(policy);
         self.predicted = Some(predicted);
     }
 
-    /// Impose a new power cap from the cluster governor. A materially
-    /// different cap (> 5% relative move) schedules an unconditional
-    /// re-plan at the next interval so the node's policy tracks its
-    /// budget; jitter below that threshold is absorbed to avoid
-    /// reconfiguration churn.
-    pub fn set_power_cap(&mut self, cap_w: f64) {
-        if (cap_w - self.power_cap_w).abs() > 0.05 * self.power_cap_w.max(1.0) {
+    /// Impose a new cap share. A materially different cap (> 5% relative
+    /// move) schedules an unconditional re-plan at the next interval;
+    /// jitter below that threshold is absorbed to avoid churn.
+    fn set_cap(&mut self, cap_w: f64) {
+        if (cap_w - self.cap_w).abs() > 0.05 * self.cap_w.max(1.0) {
             self.force_replan = true;
         }
-        self.power_cap_w = cap_w;
+        self.cap_w = cap_w;
     }
 
-    /// Interval-boundary health check. Detects fail-stop of the last
-    /// device (drains the node, returning how many requests the router
-    /// must redistribute) and recovery (schedules a cold re-plan).
-    ///
-    /// # Panics
-    /// Panics if called before [`begin_replay`](Self::begin_replay).
-    pub fn maintain(&mut self) -> NodeTransition {
-        let sim = self.sim.as_mut().expect("begin_replay first");
-        let healthy = sim.healthy_devices();
-        if !self.down && healthy == 0 {
-            self.down = true;
-            // Drain: abandon everything the dead node holds so the
-            // front-end can re-issue it elsewhere.
-            let cancelled = sim.cancel_pending();
-            NodeTransition::WentDown(cancelled)
-        } else if self.down && healthy > 0 {
-            self.down = false;
-            // The node comes back cold: its last plan may target a pool
-            // that no longer matches, and its monitor history is from
-            // before the outage.
-            self.force_replan = true;
-            NodeTransition::CameBack
-        } else {
-            NodeTransition::Steady
-        }
-    }
-
-    /// Re-plan for the coming interval from the load estimate `est_rps`,
-    /// mirroring `PolyRuntime`: degraded availability or a pending forced
-    /// re-plan (cap move, recovery) bypasses the change hysteresis;
-    /// otherwise the current policy is kept unless it is about to violate
-    /// QoS or the candidate saves meaningful power. Returns whether the
-    /// policy changed.
-    ///
-    /// # Panics
-    /// Panics if called before [`begin_replay`](Self::begin_replay).
-    pub fn begin_interval(&mut self, est_rps: f64) -> bool {
+    /// Re-plan for the coming interval from the load estimate `est_rps`
+    /// (see [`ClusterNode::begin_interval`]). `down` is the node-wide
+    /// outage flag. Returns whether the policy changed.
+    fn begin_interval(&mut self, est_rps: f64, down: bool) -> bool {
         self.last_policy_changed = false;
         self.last_est_rps = est_rps;
-        if self.down {
+        if down {
             self.last_reason = "down-hold";
             return false;
         }
@@ -294,7 +208,7 @@ impl ClusterNode {
             &self.ctx.setup().gpu,
             self.ctx.bound_ms(),
             est_rps,
-            self.power_cap_w,
+            self.cap_w,
         );
         let next = retime_policy(&next, &self.ctx.setup().backend, self.ctx.graph());
         let mut changed = false;
@@ -317,7 +231,7 @@ impl ClusterNode {
                     .predict(self.ctx.graph(), policy, &self.avail, est_rps);
             let cur_ok = cur_pred.p99_ms <= self.ctx.bound_ms() * 0.85
                 && cur_pred.bottleneck_util <= 0.85
-                && cur_pred.avg_power_w <= self.power_cap_w * 1.05;
+                && cur_pred.avg_power_w <= self.cap_w * 1.05;
             let worthwhile = pred.avg_power_w < cur_pred.avg_power_w * 0.92;
             if next != *policy && (!cur_ok || worthwhile) {
                 self.last_reason = if cur_ok { "power-save" } else { "qos-pressure" };
@@ -333,110 +247,616 @@ impl ClusterNode {
         self.last_policy_changed = changed;
         changed
     }
+}
 
-    /// Offer `arrivals` (absolute times) and run the node's simulation to
-    /// `end_ms`, returning the interval's measurements. Feeds the node's
-    /// monitor and (for statistically sound, transition-free intervals)
-    /// the model's correction loop.
+/// A leaf node: provisioned hardware plus one private Poly control loop
+/// per hosted tenant.
+#[derive(Debug)]
+pub struct ClusterNode {
+    tenants: Vec<TenantRt>,
+    /// Cap currently imposed by the cluster governor (starts at the
+    /// node's provisioned cap).
+    power_cap_w: f64,
+    down: bool,
+    /// Administrative serving flag: `false` while the node is scaled
+    /// down, warming, or drained ahead of a revocation. Unlike `down`
+    /// (hardware fail-stop), an inactive node is healthy — the router
+    /// just must not send it traffic, and the governor gives it no
+    /// load-proportional share.
+    active: bool,
+    /// When warming up, the absolute time serving starts.
+    warming_until_ms: Option<f64>,
+    /// Per-class drain counts of the last `WentDown` / `drain` call.
+    last_drained: Vec<usize>,
+    /// Intervals run since `begin_replay` (telemetry).
+    interval_idx: usize,
+    /// Telemetry sink; a clone is attached to each tenant simulator at
+    /// `begin_replay`.
+    recorder: Option<Box<dyn Recorder>>,
+    /// Quantile-selection scratch ([`quantile_of`]), recycled.
+    q_scratch: Vec<f64>,
+    /// Merged-sample scratch for multi-tenant percentiles, recycled.
+    merged_samples: Vec<f64>,
+}
+
+impl ClusterNode {
+    /// Node for the single application/node bundle `ctx`.
+    #[must_use]
+    pub fn new(ctx: AppContext) -> Self {
+        Self::new_multi(vec![ctx])
+    }
+
+    /// Node hosting one tenant per entry of `ctxs`, sharing its
+    /// hardware. Every context must be provisioned on the same setup
+    /// (the first entry's pool and cap define the node).
+    ///
+    /// # Panics
+    /// Panics if `ctxs` is empty.
+    #[must_use]
+    pub fn new_multi(ctxs: Vec<AppContext>) -> Self {
+        assert!(!ctxs.is_empty(), "node needs at least one tenant");
+        let power_cap_w = ctxs[0].setup().power_cap_w;
+        let n = ctxs.len();
+        Self {
+            tenants: ctxs.into_iter().map(TenantRt::new).collect(),
+            power_cap_w,
+            down: false,
+            active: true,
+            warming_until_ms: None,
+            last_drained: vec![0; n],
+            interval_idx: 0,
+            recorder: None,
+            q_scratch: Vec::new(),
+            merged_samples: Vec::new(),
+        }
+    }
+
+    /// Number of tenants hosted on this node.
+    #[must_use]
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The node's provisioned setup (the first tenant's).
+    #[must_use]
+    pub fn setup(&self) -> &NodeSetup {
+        self.tenants[0].ctx.setup()
+    }
+
+    /// QoS-class label of tenant `class`.
+    ///
+    /// # Panics
+    /// Panics if `class` is out of range.
+    #[must_use]
+    pub fn tenant_label(&self, class: usize) -> &'static str {
+        self.tenants[class].ctx.tenant()
+    }
+
+    /// QoS weight of tenant `class`.
+    #[must_use]
+    pub fn tenant_weight(&self, class: usize) -> f64 {
+        self.tenants[class].ctx.qos_weight()
+    }
+
+    /// Latency bound of tenant `class`, milliseconds.
+    #[must_use]
+    pub fn bound_ms_of(&self, class: usize) -> f64 {
+        self.tenants[class].ctx.bound_ms()
+    }
+
+    /// Whether the node is currently fail-stopped.
+    #[must_use]
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Whether the node is administratively serving (scaled in, warmed
+    /// up, not draining for a revocation).
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Whether the node is routable: serving and not fail-stopped. A
+    /// warming node is *not* routable until `maintain` passes its
+    /// warm-up deadline.
+    #[must_use]
+    pub fn is_routable(&self) -> bool {
+        self.active && !self.down && self.warming_until_ms.is_none()
+    }
+
+    /// Whether the node is warming up.
+    #[must_use]
+    pub fn is_warming(&self) -> bool {
+        self.warming_until_ms.is_some()
+    }
+
+    /// Predicted sustainable capacity under the current policy, in RPS
+    /// (0 before the first plan), summed across tenants.
+    #[must_use]
+    pub fn capacity_rps(&self) -> f64 {
+        self.tenants
+            .iter()
+            .map(|t| t.predicted.as_ref().map_or(0.0, |p| p.capacity_rps))
+            .sum()
+    }
+
+    /// Predicted sustainable capacity of tenant `class`, in RPS.
+    #[must_use]
+    pub fn capacity_rps_of(&self, class: usize) -> f64 {
+        self.tenants[class]
+            .predicted
+            .as_ref()
+            .map_or(0.0, |p| p.capacity_rps)
+    }
+
+    /// The governor-imposed power cap, in watts.
+    #[must_use]
+    pub fn power_cap_w(&self) -> f64 {
+        self.power_cap_w
+    }
+
+    /// Work items queued on the node right now, summed across tenants.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.tenants
+            .iter()
+            .map(|t| t.sim.as_ref().map_or(0, Simulator::queued))
+            .sum()
+    }
+
+    /// Work items queued for tenant `class` right now.
+    #[must_use]
+    pub fn queued_of(&self, class: usize) -> usize {
+        self.tenants[class]
+            .sim
+            .as_ref()
+            .map_or(0, Simulator::queued)
+    }
+
+    /// The monitor's smoothed load estimate, in RPS, summed across
+    /// tenants.
+    #[must_use]
+    pub fn load_estimate_rps(&self) -> f64 {
+        self.tenants
+            .iter()
+            .map(|t| t.monitor.load_estimate_rps())
+            .sum()
+    }
+
+    /// The smoothed load estimate of tenant `class`, in RPS.
+    #[must_use]
+    pub fn load_estimate_rps_of(&self, class: usize) -> f64 {
+        self.tenants[class].monitor.load_estimate_rps()
+    }
+
+    /// Attach (or detach) a telemetry recorder. The cluster driver tags
+    /// each node's handle with its own track before calling this; the
+    /// handle is propagated into the node's simulators at the next
+    /// [`begin_replay`](Self::begin_replay) (and immediately, when a
+    /// replay is already in progress).
+    pub fn set_recorder(&mut self, recorder: Option<Box<dyn Recorder>>) {
+        for t in &mut self.tenants {
+            if let Some(sim) = t.sim.as_mut() {
+                sim.set_recorder(recorder.clone());
+            }
+        }
+        self.recorder = recorder;
+    }
+
+    /// Whether an enabled recorder is attached.
+    fn recording(&self) -> bool {
+        self.recorder.as_ref().is_some_and(|r| r.enabled())
+    }
+
+    /// Start a fresh trace replay: reset each tenant's monitor so its
+    /// EWMA re-seeds from this replay's first observation, plan an
+    /// initial policy for `first_rps` (split evenly across tenants), and
+    /// build fresh simulators with `faults` scripted into each (node
+    /// faults hit the shared hardware, so every tenant sees them).
+    pub fn begin_replay(&mut self, first_rps: f64, faults: &FaultPlan) {
+        let shares = vec![first_rps / self.tenants.len() as f64; self.tenants.len()];
+        self.begin_replay_multi(&shares, faults);
+    }
+
+    /// [`begin_replay`](Self::begin_replay) with an explicit per-tenant
+    /// first-interval load split.
+    ///
+    /// # Panics
+    /// Panics if `first_rps` has one entry per tenant.
+    pub fn begin_replay_multi(&mut self, first_rps: &[f64], faults: &FaultPlan) {
+        assert_eq!(first_rps.len(), self.tenants.len(), "one load per tenant");
+        self.power_cap_w = self.setup().power_cap_w;
+        self.down = false;
+        self.active = true;
+        self.warming_until_ms = None;
+        self.last_drained = vec![0; self.tenants.len()];
+        self.interval_idx = 0;
+        let caps = self.tenant_caps();
+        for ((t, &rps), cap) in self.tenants.iter_mut().zip(first_rps).zip(caps) {
+            t.begin_replay(rps, cap, faults);
+        }
+        if self.recording() {
+            let recorder = self.recorder.clone();
+            for t in &mut self.tenants {
+                if let Some(sim) = t.sim.as_mut() {
+                    sim.set_recorder(recorder.clone());
+                }
+            }
+        }
+    }
+
+    /// Split the node cap across tenants: the same weighted water-fill
+    /// the governor runs across nodes, with demand = tenant load EWMA ×
+    /// QoS weight and a floor of 10% of an even share. A single tenant
+    /// always gets the full node cap, exactly as before multi-tenancy.
+    fn tenant_caps(&self) -> Vec<f64> {
+        let n = self.tenants.len();
+        if n == 1 {
+            return vec![self.power_cap_w];
+        }
+        let demands: Vec<f64> = self
+            .tenants
+            .iter()
+            .map(|t| t.monitor.load_estimate_rps())
+            .collect();
+        let states: Vec<NodeShare> = self
+            .tenants
+            .iter()
+            .map(|t| NodeShare::Active {
+                weight: t.ctx.qos_weight(),
+            })
+            .collect();
+        let floor = 0.1 * self.power_cap_w / n as f64;
+        weighted_water_fill(self.power_cap_w, floor, &demands, &states)
+    }
+
+    /// Impose a new power cap from the cluster governor, re-splitting it
+    /// across tenants. A materially different tenant share (> 5%
+    /// relative move) schedules an unconditional re-plan at the next
+    /// interval so the tenant's policy tracks its budget; jitter below
+    /// that threshold is absorbed to avoid reconfiguration churn.
+    pub fn set_power_cap(&mut self, cap_w: f64) {
+        self.power_cap_w = cap_w;
+        let caps = self.tenant_caps();
+        for (t, cap) in self.tenants.iter_mut().zip(caps) {
+            t.set_cap(cap);
+        }
+    }
+
+    /// Administratively drain the node (scale-down or pre-revocation):
+    /// cancel everything queued/in-flight across tenants for the router
+    /// to redistribute, and stop advertising capacity. The hardware
+    /// stays healthy; [`activate`](Self::activate) reverses it.
+    /// Returns the number of cancelled requests (per-class breakdown via
+    /// [`last_drained_per_class`](Self::last_drained_per_class)).
+    pub fn drain(&mut self) -> usize {
+        self.active = false;
+        self.warming_until_ms = None;
+        let mut total = 0;
+        for (c, t) in self.tenants.iter_mut().enumerate() {
+            let cancelled = t.sim.as_mut().map_or(0, Simulator::cancel_pending);
+            self.last_drained[c] = cancelled;
+            total += cancelled;
+        }
+        total
+    }
+
+    /// Bring an administratively drained node back into service. With
+    /// `warm_until_ms` set the node warms up first: it draws floor power
+    /// but is not routable until `maintain` is called at a boundary past
+    /// that time. Re-plans are forced — the node returns cold.
+    pub fn activate(&mut self, warm_until_ms: Option<f64>) {
+        self.active = true;
+        self.warming_until_ms = warm_until_ms;
+        for t in &mut self.tenants {
+            t.force_replan = true;
+        }
+    }
+
+    /// Interval-boundary health check at time `now_ms`. Detects
+    /// fail-stop of the last device (drains the node, returning how many
+    /// requests the router must redistribute), recovery (schedules a
+    /// cold re-plan), and warm-up completion.
     ///
     /// # Panics
     /// Panics if called before [`begin_replay`](Self::begin_replay).
-    pub fn run_to(&mut self, arrivals: &[f64], end_ms: f64) -> NodeIntervalStats {
-        let sim = self.sim.as_mut().expect("begin_replay first");
-        sim.enqueue_arrivals(arrivals);
-        sim.reset_accounting();
-        sim.advance_to(end_ms);
-        let report = sim.finish(end_ms);
-        let (arrived, completed) = sim.drain_segment_into(&mut self.seg_samples);
-        let (_, retried) = sim.take_fault_counts();
-        let (timed_out, failed) = sim.take_lifecycle_counts();
-        let queued = sim.queued();
-        let healthy_devices = sim.healthy_devices();
-        // `None` means no segment completions; every consumer below pairs
-        // the 0.0 fallback with the `completed` count, so "no samples"
-        // stays distinguishable from a true zero.
-        let p99 = quantile_of(&self.seg_samples, 0.99, &mut self.q_scratch);
-        let violations = violations_of(&self.seg_samples, self.ctx.bound_ms());
-
-        let predicted_p99 = self.predicted.as_ref().map_or(f64::INFINITY, |p| p.p99_ms);
-        if completed >= 30 && !self.last_policy_changed && predicted_p99.is_finite() {
-            // The completion gate guarantees the segment has samples.
-            self.optimizer
-                .model_mut()
-                .observe(predicted_p99, p99.unwrap_or(0.0));
+    pub fn maintain_at(&mut self, now_ms: f64) -> NodeTransition {
+        if let Some(until) = self.warming_until_ms {
+            if now_ms >= until {
+                self.warming_until_ms = None;
+            }
         }
-        self.monitor.observe(IntervalObs {
-            duration_ms: report.duration_ms,
-            arrived,
-            completed,
-            p99_ms: p99.unwrap_or(0.0),
-            avg_power_w: report.avg_power_w,
-            queued,
-        });
-        if self.recording() {
-            let index = self.interval_idx;
-            let offered_rps = if report.duration_ms > 0.0 {
-                arrivals.len() as f64 * 1000.0 / report.duration_ms
-            } else {
-                0.0
-            };
-            let event = ObsEvent::Interval {
-                index,
-                start_ms: end_ms - report.duration_ms,
-                dur_ms: report.duration_ms,
-                offered_rps,
-                load_est_rps: self.last_est_rps,
-                policy_changed: self.last_policy_changed,
-                reason: self.last_reason,
-                predicted_p99_ms: predicted_p99,
-                observed_p99_ms: p99.unwrap_or(0.0),
-                power_w: report.avg_power_w,
+        let healthy = self.tenants[0]
+            .sim
+            .as_mut()
+            .expect("begin_replay first")
+            .healthy_devices();
+        if !self.down && healthy == 0 {
+            self.down = true;
+            // Drain: abandon everything the dead node holds so the
+            // front-end can re-issue it elsewhere.
+            let mut total = 0;
+            for (c, t) in self.tenants.iter_mut().enumerate() {
+                let cancelled = t.sim.as_mut().map_or(0, Simulator::cancel_pending);
+                self.last_drained[c] = cancelled;
+                total += cancelled;
+            }
+            NodeTransition::WentDown(total)
+        } else if self.down && healthy > 0 {
+            self.down = false;
+            // The node comes back cold: its last plan may target a pool
+            // that no longer matches, and its monitor history is from
+            // before the outage.
+            for t in &mut self.tenants {
+                t.force_replan = true;
+            }
+            NodeTransition::CameBack
+        } else {
+            NodeTransition::Steady
+        }
+    }
+
+    /// [`maintain_at`](Self::maintain_at) without a clock (legacy entry
+    /// point; warm-up deadlines never expire through this path).
+    pub fn maintain(&mut self) -> NodeTransition {
+        self.maintain_at(f64::NEG_INFINITY)
+    }
+
+    /// Per-class breakdown of the most recent drain (node death,
+    /// [`drain`](Self::drain)), tenant-indexed.
+    #[must_use]
+    pub fn last_drained_per_class(&self) -> &[usize] {
+        &self.last_drained
+    }
+
+    /// Re-plan every tenant for the coming interval from the node-level
+    /// load estimate `est_rps`, split across tenants proportionally to
+    /// their own monitors (even split before any history). Returns
+    /// whether any tenant's policy changed.
+    ///
+    /// # Panics
+    /// Panics if called before [`begin_replay`](Self::begin_replay).
+    pub fn begin_interval(&mut self, est_rps: f64) -> bool {
+        let n = self.tenants.len();
+        if n == 1 {
+            let down = self.down;
+            return self.tenants[0].begin_interval(est_rps, down);
+        }
+        let ests: Vec<f64> = {
+            let total: f64 = self
+                .tenants
+                .iter()
+                .map(|t| t.monitor.load_estimate_rps())
+                .sum();
+            self.tenants
+                .iter()
+                .map(|t| {
+                    if total > 0.0 {
+                        est_rps * t.monitor.load_estimate_rps() / total
+                    } else {
+                        est_rps / n as f64
+                    }
+                })
+                .collect()
+        };
+        let down = self.down;
+        let mut changed = false;
+        for (t, est) in self.tenants.iter_mut().zip(ests) {
+            changed |= t.begin_interval(est, down);
+        }
+        changed
+    }
+
+    /// Offer `arrivals` (absolute times) to the single tenant and run
+    /// the node's simulation to `end_ms` (see
+    /// [`run_to_multi`](Self::run_to_multi)).
+    pub fn run_to(&mut self, arrivals: &[f64], end_ms: f64) -> NodeIntervalStats {
+        if self.tenants.len() == 1 {
+            let classes = std::slice::from_ref(&arrivals);
+            return self.run_to_classes(classes, end_ms);
+        }
+        // Multi-tenant nodes offered an unlabeled stream: everything
+        // lands on class 0.
+        let mut classes: Vec<&[f64]> = vec![&[]; self.tenants.len()];
+        classes[0] = arrivals;
+        self.run_to_classes(&classes, end_ms)
+    }
+
+    /// Offer per-class `arrivals` (absolute times, one slice per tenant)
+    /// and run every tenant's simulation to `end_ms`, returning the
+    /// interval's merged measurements. Feeds each tenant's monitor and
+    /// (for statistically sound, transition-free intervals) its model's
+    /// correction loop.
+    ///
+    /// # Panics
+    /// Panics if the class count differs from the tenant count or if
+    /// called before [`begin_replay`](Self::begin_replay).
+    pub fn run_to_classes(&mut self, arrivals: &[&[f64]], end_ms: f64) -> NodeIntervalStats {
+        let n = self.tenants.len();
+        assert_eq!(arrivals.len(), n, "one arrival stream per tenant");
+        let recording = self.recording();
+        let mut out = NodeIntervalStats {
+            arrived: 0,
+            completed: 0,
+            violations: 0,
+            p99_ms: 0.0,
+            avg_power_w: 0.0,
+            energy_j: 0.0,
+            queued: 0,
+            healthy_devices: 0,
+            retried: 0,
+            timed_out: 0,
+            failed: 0,
+            policy_changed: false,
+            per_class: Vec::with_capacity(n),
+        };
+        let mut duration_ms = 0.0;
+        let mut events: Vec<(f64, ObsEvent)> = Vec::new();
+        for (c, t) in self.tenants.iter_mut().enumerate() {
+            let sim = t.sim.as_mut().expect("begin_replay first");
+            sim.enqueue_arrivals(arrivals[c]);
+            sim.reset_accounting();
+            sim.advance_to(end_ms);
+            let report = sim.finish(end_ms);
+            let (arrived, completed) = sim.drain_segment_into(&mut t.seg_samples);
+            let (_, retried) = sim.take_fault_counts();
+            let (timed_out, failed) = sim.take_lifecycle_counts();
+            let queued = sim.queued();
+            out.healthy_devices = sim.healthy_devices();
+            // `None` means no segment completions; every consumer below
+            // pairs the 0.0 fallback with the `completed` count, so "no
+            // samples" stays distinguishable from a true zero.
+            let p99 = quantile_of(&t.seg_samples, 0.99, &mut self.q_scratch);
+            let violations = violations_of(&t.seg_samples, t.ctx.bound_ms());
+
+            let predicted_p99 = t.predicted.as_ref().map_or(f64::INFINITY, |p| p.p99_ms);
+            if completed >= 30 && !t.last_policy_changed && predicted_p99.is_finite() {
+                // The completion gate guarantees the segment has samples.
+                t.optimizer
+                    .model_mut()
+                    .observe(predicted_p99, p99.unwrap_or(0.0));
+            }
+            t.monitor.observe(IntervalObs {
+                duration_ms: report.duration_ms,
+                arrived,
                 completed,
-                violations,
-            };
-            if let Some(r) = self.recorder.as_mut() {
-                r.record(end_ms, event);
+                p99_ms: p99.unwrap_or(0.0),
+                avg_power_w: report.avg_power_w,
+                queued,
+            });
+            if recording {
+                let offered_rps = if report.duration_ms > 0.0 {
+                    arrivals[c].len() as f64 * 1000.0 / report.duration_ms
+                } else {
+                    0.0
+                };
+                events.push((
+                    end_ms,
+                    ObsEvent::Interval {
+                        index: self.interval_idx,
+                        start_ms: end_ms - report.duration_ms,
+                        dur_ms: report.duration_ms,
+                        offered_rps,
+                        load_est_rps: t.last_est_rps,
+                        policy_changed: t.last_policy_changed,
+                        reason: t.last_reason,
+                        predicted_p99_ms: predicted_p99,
+                        observed_p99_ms: p99.unwrap_or(0.0),
+                        power_w: report.avg_power_w,
+                        completed,
+                        violations,
+                    },
+                ));
+            }
+            out.arrived += arrived;
+            out.completed += completed;
+            out.violations += violations;
+            out.avg_power_w += report.avg_power_w;
+            out.energy_j += report.energy_j;
+            out.queued += queued;
+            out.retried += retried;
+            out.timed_out += timed_out;
+            out.failed += failed;
+            out.policy_changed |= t.last_policy_changed;
+            out.per_class.push((completed, violations));
+            duration_ms = report.duration_ms;
+        }
+        // Idle-power dedup: every private simulator accounts the shared
+        // boards' idle draw, but the physical node pays it once. Each
+        // extra tenant over-counts the healthy devices' idle power for
+        // the full interval, minus whatever time its own work kept the
+        // boards busy (busy time was billed at active power, not idle).
+        // Single-tenant nodes take the exact legacy path (no
+        // adjustment).
+        if n > 1 && !self.down {
+            let idle_w = self.shared_idle_w();
+            let over_w = idle_w * (n - 1) as f64;
+            if over_w > 0.0 {
+                out.avg_power_w = (out.avg_power_w - over_w).max(0.0);
+                out.energy_j = (out.energy_j - over_w * duration_ms / 1000.0).max(0.0);
+            }
+        }
+        // Node p99 across tenants: merge the per-tenant segments.
+        if n == 1 {
+            out.p99_ms =
+                quantile_of(&self.tenants[0].seg_samples, 0.99, &mut self.q_scratch).unwrap_or(0.0);
+        } else {
+            self.merged_samples.clear();
+            for t in &self.tenants {
+                self.merged_samples.extend_from_slice(&t.seg_samples);
+            }
+            out.p99_ms =
+                quantile_of(&self.merged_samples, 0.99, &mut self.q_scratch).unwrap_or(0.0);
+        }
+        if recording {
+            for (t_ms, event) in events {
+                if let Some(r) = self.recorder.as_mut() {
+                    r.record(t_ms, event);
+                }
             }
         }
         self.interval_idx += 1;
-        NodeIntervalStats {
-            arrived,
-            completed,
-            violations,
-            p99_ms: p99.unwrap_or(0.0),
-            avg_power_w: report.avg_power_w,
-            energy_j: report.energy_j,
-            queued,
-            healthy_devices,
-            retried,
-            timed_out,
-            failed,
-            policy_changed: self.last_policy_changed,
-        }
+        out
+    }
+
+    /// Idle power of the node's currently healthy devices, in watts —
+    /// what one extra tenant simulator over-counts per interval.
+    fn shared_idle_w(&self) -> f64 {
+        let setup = self.setup();
+        let t = &self.tenants[0];
+        let pool = t
+            .sim
+            .as_ref()
+            .map_or_else(|| setup.pool.clone(), Simulator::available_pool);
+        pool.count(poly_device::DeviceKind::Gpu) as f64 * setup.sim_config.gpu_idle_w
+            + pool.count(poly_device::DeviceKind::Fpga) as f64 * setup.sim_config.fpga_idle_w
     }
 
     /// Raw completion latencies of the last [`run_to`](Self::run_to)
-    /// interval (recycled buffer — read before the next interval runs).
+    /// interval for tenant `class` (recycled buffer — read before the
+    /// next interval runs).
+    #[must_use]
+    pub fn segment_samples_of(&self, class: usize) -> &[f64] {
+        &self.tenants[class].seg_samples
+    }
+
+    /// Raw completion latencies of the last interval, all tenants (for
+    /// single-tenant nodes this is exactly the tenant's buffer).
     #[must_use]
     pub fn segment_samples(&self) -> &[f64] {
-        &self.seg_samples
+        if self.tenants.len() == 1 {
+            &self.tenants[0].seg_samples
+        } else {
+            &self.merged_samples
+        }
     }
 
-    /// Cumulative re-issue ledger of the node's simulator since
-    /// `begin_replay` (zeroed before the first replay).
+    /// Cumulative re-issue ledger of the node's simulators since
+    /// `begin_replay` (zeroed before the first replay), merged across
+    /// tenants.
     #[must_use]
     pub fn retry_stats(&self) -> poly_sim::RetryStats {
-        self.sim
-            .as_ref()
-            .map_or_else(poly_sim::RetryStats::default, Simulator::retry_stats)
+        let mut out = poly_sim::RetryStats::default();
+        for t in &self.tenants {
+            if let Some(sim) = t.sim.as_ref() {
+                out.merge(&sim.retry_stats());
+            }
+        }
+        out
     }
 
-    /// The node simulator's lifecycle/energy audit counters (see
-    /// [`poly_sim::AuditReport`]); zeroed report before `begin_replay`.
+    /// The node simulators' lifecycle/energy audit counters (see
+    /// [`poly_sim::AuditReport`]), merged across tenants; zeroed report
+    /// before `begin_replay`.
     #[must_use]
     pub fn audit(&self) -> poly_sim::AuditReport {
-        self.sim
-            .as_ref()
-            .map_or_else(poly_sim::AuditReport::default, Simulator::audit)
+        let mut out = poly_sim::AuditReport::default();
+        for t in &self.tenants {
+            if let Some(sim) = t.sim.as_ref() {
+                out.merge(&sim.audit());
+            }
+        }
+        out
     }
 }

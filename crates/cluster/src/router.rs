@@ -88,6 +88,32 @@ pub struct RouteOutcome {
     pub shed: usize,
 }
 
+/// The router's per-class view of one node: what one QoS class can see
+/// of its own tenant stack there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassNodeView {
+    /// Work items of this class queued on the node at the snapshot.
+    pub queued: usize,
+    /// The tenant's predicted sustainable capacity on this node, RPS.
+    pub capacity_rps: f64,
+}
+
+/// What the router did with one interval's multi-class arrivals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassRouteOutcome {
+    /// Arrival times assigned per node, per class (`per_node[node][class]`),
+    /// each list in time order.
+    pub per_node: Vec<Vec<Vec<f64>>>,
+    /// Requests admitted this interval that had been deferred earlier.
+    pub drained_backlog: usize,
+    /// Requests still deferred at interval end, summed across classes.
+    pub deferred: usize,
+    /// Requests dropped this interval, summed across classes.
+    pub shed: usize,
+    /// Per-class (admitted, deferred, shed) breakdown.
+    pub per_class: Vec<(usize, usize, usize)>,
+}
+
 /// The front-end router: one [`RoutingPolicy`] plus the cross-interval
 /// state it needs (round-robin cursor, deferral backlog).
 #[derive(Debug, Clone)]
@@ -103,6 +129,9 @@ pub struct Router {
     max_backlog: usize,
     /// Per-node circuit breakers; empty while breakers are disabled.
     breakers: Vec<CircuitBreaker>,
+    /// Per-class deferral backlogs (multi-class routing only; the
+    /// single-class path keeps using `backlog`).
+    class_backlogs: Vec<Vec<f64>>,
 }
 
 impl Router {
@@ -117,6 +146,7 @@ impl Router {
             headroom: 0.85,
             max_backlog: 1024,
             breakers: Vec::new(),
+            class_backlogs: Vec::new(),
         }
     }
 
@@ -175,15 +205,16 @@ impl Router {
     pub fn reset(&mut self) {
         self.cursor = usize::MAX;
         self.backlog.clear();
+        self.class_backlogs.clear();
         for b in &mut self.breakers {
             b.reset();
         }
     }
 
-    /// Requests currently deferred.
+    /// Requests currently deferred (all classes).
     #[must_use]
     pub fn backlog_len(&self) -> usize {
-        self.backlog.len()
+        self.backlog.len() + self.class_backlogs.iter().map(Vec::len).sum::<usize>()
     }
 
     /// Route one interval's arrivals (absolute times within
@@ -294,6 +325,157 @@ impl Router {
             drained_backlog: drained_candidates.saturating_sub(self.backlog.len() + shed),
             deferred: self.backlog.len(),
             shed,
+        }
+    }
+
+    /// Route one interval's arrivals for several QoS classes at once.
+    ///
+    /// `class_views[node][class]` is each tenant's own queue/capacity on
+    /// each node; `arrivals[class]` the class's fresh arrival times;
+    /// `weights[class]` its QoS weight. Classes are processed in
+    /// descending weight order (ties broken by class index), each with
+    /// its *own* admission budget per node — a lenient tenant's flood
+    /// consumes only its own tenant stack's budget, so it can never
+    /// starve a strict one — and its own deferral backlog, bounded by a
+    /// weight-proportional share of the router's backlog bound.
+    ///
+    /// The single-class case of this method routes exactly like
+    /// [`route_interval`](Self::route_interval), but keeps separate
+    /// backlog state; drivers use one or the other for a whole replay.
+    ///
+    /// # Panics
+    /// Panics if `views` is empty or the class dimensions disagree.
+    pub fn route_classes(
+        &mut self,
+        views: &[NodeView],
+        class_views: &[Vec<ClassNodeView>],
+        arrivals: &[&[f64]],
+        weights: &[f64],
+        start_ms: f64,
+        interval_ms: f64,
+    ) -> ClassRouteOutcome {
+        assert!(!views.is_empty(), "cluster has no nodes");
+        let n = views.len();
+        let classes = arrivals.len();
+        assert_eq!(weights.len(), classes, "one weight per class");
+        assert_eq!(class_views.len(), n, "one class-view row per node");
+        for row in class_views {
+            assert_eq!(row.len(), classes, "one class view per class");
+        }
+        if self.class_backlogs.len() != classes {
+            self.class_backlogs = vec![Vec::new(); classes];
+        }
+        // Weight-proportional deferral bounds (at least one slot each).
+        let weight_sum: f64 = weights.iter().sum();
+        let bounds: Vec<usize> = weights
+            .iter()
+            .map(|w| {
+                if weight_sum > 0.0 {
+                    ((self.max_backlog as f64 * w / weight_sum) as usize).max(1)
+                } else {
+                    self.max_backlog / classes.max(1)
+                }
+            })
+            .collect();
+        // Strict-first processing order: descending weight, index ties.
+        let mut order: Vec<usize> = (0..classes).collect();
+        order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]).then(a.cmp(&b)));
+
+        let mut per_node: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); classes]; n];
+        // Node-total assignment ledger (queue pressure, breaker gate)…
+        let mut assigned = vec![0usize; n];
+        // …and the per-class ledger the per-class budgets meter.
+        let mut class_assigned: Vec<Vec<usize>> = vec![vec![0usize; n]; classes];
+        let mut per_class_out = vec![(0usize, 0usize, 0usize); classes];
+        let mut drained_admitted = 0usize;
+        let any_up = views.iter().any(|v| v.up);
+
+        for &c in &order {
+            // Per-class QoS budgets against the class's own tenant stack.
+            let budgets: Vec<f64> = class_views
+                .iter()
+                .map(|row| {
+                    let v = row[c];
+                    (v.capacity_rps * self.headroom * interval_ms / 1000.0 - v.queued as f64)
+                        .max(0.0)
+                })
+                .collect();
+            // Oldest first: the class's deferred backlog re-enters ahead
+            // of its fresh arrivals, paced across the interval (see
+            // `route_interval` for why).
+            let drained: Vec<f64> = std::mem::take(&mut self.class_backlogs[c]);
+            let drained_candidates = drained.len();
+            let pace = interval_ms / drained.len().max(1) as f64;
+            let waiting: Vec<f64> = drained
+                .iter()
+                .enumerate()
+                .map(|(i, _)| start_ms + pace * i as f64)
+                .chain(arrivals[c].iter().copied())
+                .collect();
+            let mut shed = 0usize;
+            let mut admitted = 0usize;
+            for (k, &t) in waiting.iter().enumerate() {
+                let target = if !any_up {
+                    None
+                } else {
+                    match self.policy {
+                        RoutingPolicy::RoundRobin => self.next_round_robin(views, &assigned),
+                        RoutingPolicy::JoinShortestQueue => (0..n)
+                            .filter(|&i| views[i].up && self.admits(i, assigned[i]))
+                            .min_by_key(|&i| views[i].queued + assigned[i]),
+                        RoutingPolicy::PowerHeadroom => (0..n)
+                            .filter(|&i| views[i].up && self.admits(i, assigned[i]))
+                            .map(|i| {
+                                let head = (views[i].power_cap_w - views[i].power_w).max(0.0);
+                                (i, head / (1.0 + assigned[i] as f64))
+                            })
+                            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+                            .map(|(i, _)| i),
+                        // Shortest class queue among the nodes with
+                        // class budget left.
+                        RoutingPolicy::QosAware => (0..n)
+                            .filter(|&i| {
+                                views[i].up
+                                    && budgets[i] - class_assigned[c][i] as f64 >= 1.0
+                                    && self.admits(i, assigned[i])
+                            })
+                            .min_by_key(|&i| class_views[i][c].queued + class_assigned[c][i]),
+                    }
+                };
+                match target {
+                    Some(i) => {
+                        assigned[i] += 1;
+                        class_assigned[c][i] += 1;
+                        per_node[i][c].push(t);
+                        admitted += 1;
+                        if k < drained_candidates {
+                            drained_admitted += 1;
+                        }
+                    }
+                    None => {
+                        if self.class_backlogs[c].len() < bounds[c] {
+                            self.class_backlogs[c].push(t);
+                        } else {
+                            shed += 1;
+                        }
+                    }
+                }
+            }
+            per_class_out[c] = (admitted, self.class_backlogs[c].len(), shed);
+        }
+        for node in &mut per_node {
+            for class in node {
+                class.sort_by(f64::total_cmp);
+            }
+        }
+        let deferred = per_class_out.iter().map(|&(_, d, _)| d).sum();
+        let shed = per_class_out.iter().map(|&(_, _, s)| s).sum();
+        ClassRouteOutcome {
+            per_node,
+            drained_backlog: drained_admitted,
+            deferred,
+            shed,
+            per_class: per_class_out,
         }
     }
 
@@ -410,6 +592,93 @@ mod tests {
         assert_eq!(out2.per_node[0].len(), 2);
         assert_eq!(out2.drained_backlog, 2);
         assert_eq!(r.backlog_len(), 0);
+    }
+
+    fn class_view(queued: usize, capacity_rps: f64) -> ClassNodeView {
+        ClassNodeView {
+            queued,
+            capacity_rps,
+        }
+    }
+
+    #[test]
+    fn lenient_flood_cannot_starve_the_strict_class() {
+        let mut r = Router::new(RoutingPolicy::QosAware);
+        r.max_backlog = 100;
+        // Two nodes, each hosting both tenants with capacity for ~8
+        // requests per class per interval (10 rps × 0.85 × 1 s).
+        let views = [view(true, 0, 0.0, 20.0), view(true, 0, 0.0, 20.0)];
+        let class_views = vec![
+            vec![class_view(0, 10.0), class_view(0, 10.0)],
+            vec![class_view(0, 10.0), class_view(0, 10.0)],
+        ];
+        let strict: Vec<f64> = (0..10).map(f64::from).collect();
+        let lenient: Vec<f64> = (0..200).map(|i| f64::from(i) * 5.0).collect();
+        let out = r.route_classes(
+            &views,
+            &class_views,
+            &[&strict, &lenient],
+            &[3.0, 1.0],
+            0.0,
+            1000.0,
+        );
+        let (strict_admitted, _, strict_shed) = out.per_class[0];
+        // The lenient flood consumed only its own per-class budgets: the
+        // strict class admitted everything its budget allows and shed
+        // nothing.
+        assert_eq!(strict_admitted, 10);
+        assert_eq!(strict_shed, 0);
+        let (lenient_admitted, lenient_deferred, lenient_shed) = out.per_class[1];
+        assert_eq!(lenient_admitted, 16, "2 nodes × 8-request class budget");
+        assert!(lenient_shed > 0, "the flood is shed, not queued forever");
+        assert!(lenient_deferred > 0);
+        // Arrivals land in per-node, per-class lists, time ordered.
+        for node in &out.per_node {
+            for class in node {
+                assert!(class.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn class_backlogs_are_weight_bounded_and_drain_separately() {
+        let mut r = Router::new(RoutingPolicy::QosAware);
+        r.max_backlog = 8;
+        // No capacity anywhere: everything defers up to the per-class
+        // bound (weight 3:1 → 6 and 2 slots).
+        let views = [view(true, 0, 0.0, 0.0)];
+        let class_views = vec![vec![class_view(0, 0.0), class_view(0, 0.0)]];
+        let a: Vec<f64> = (0..10).map(f64::from).collect();
+        let out = r.route_classes(&views, &class_views, &[&a, &a], &[3.0, 1.0], 0.0, 1000.0);
+        assert_eq!(out.per_class[0], (0, 6, 4));
+        assert_eq!(out.per_class[1], (0, 2, 8));
+        assert_eq!(r.backlog_len(), 8);
+        // Capacity restored: each class's backlog drains to its own
+        // tenant stack, strict first.
+        let roomy = vec![vec![class_view(0, 100.0), class_view(0, 100.0)]];
+        let out2 = r.route_classes(&views, &roomy, &[&[], &[]], &[3.0, 1.0], 1000.0, 1000.0);
+        assert_eq!(out2.drained_backlog, 8);
+        assert_eq!(out2.per_node[0][0].len(), 6);
+        assert_eq!(out2.per_node[0][1].len(), 2);
+        assert_eq!(r.backlog_len(), 0);
+    }
+
+    #[test]
+    fn single_class_routing_matches_route_interval() {
+        // One class with weight 1 routes exactly like the legacy path.
+        let arrivals: Vec<f64> = (0..12).map(|i| f64::from(i) * 80.0).collect();
+        let views = [view(true, 2, 0.0, 6.0), view(true, 0, 0.0, 6.0)];
+        let mut legacy = Router::new(RoutingPolicy::QosAware);
+        let legacy_out = legacy.route_interval(&views, &arrivals, 0.0, 1000.0);
+        let mut classy = Router::new(RoutingPolicy::QosAware);
+        let class_views = vec![vec![class_view(2, 6.0)], vec![class_view(0, 6.0)]];
+        let class_out =
+            classy.route_classes(&views, &class_views, &[&arrivals], &[1.0], 0.0, 1000.0);
+        for (j, node) in legacy_out.per_node.iter().enumerate() {
+            assert_eq!(node, &class_out.per_node[j][0]);
+        }
+        assert_eq!(legacy_out.shed, class_out.shed);
+        assert_eq!(legacy_out.deferred, class_out.deferred);
     }
 
     #[test]

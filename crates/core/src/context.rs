@@ -23,6 +23,8 @@ pub struct AppContext {
     spaces: Arc<Vec<KernelDesignSpace>>,
     setup: NodeSetup,
     bound_ms: f64,
+    tenant: &'static str,
+    qos_weight: f64,
 }
 
 impl AppContext {
@@ -40,7 +42,39 @@ impl AppContext {
             spaces: Arc::new(spaces),
             setup,
             bound_ms,
+            tenant: "default",
+            qos_weight: 1.0,
         }
+    }
+
+    /// Tag this context as QoS class `tenant` with admission/power weight
+    /// `weight` (relative to its co-tenants; 1.0 is the single-tenant
+    /// default). Multi-tenant cluster nodes use the weight both in the
+    /// router's per-class admission and in the per-node power split.
+    ///
+    /// # Panics
+    /// Panics if `weight` is not finite and positive.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: &'static str, weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "tenant weight must be finite and positive"
+        );
+        self.tenant = tenant;
+        self.qos_weight = weight;
+        self
+    }
+
+    /// The tenant / QoS-class label (`"default"` unless tagged).
+    #[must_use]
+    pub fn tenant(&self) -> &'static str {
+        self.tenant
+    }
+
+    /// The tenant's QoS weight (1.0 unless tagged).
+    #[must_use]
+    pub fn qos_weight(&self) -> f64 {
+        self.qos_weight
     }
 
     /// The application's kernel graph.
@@ -88,6 +122,8 @@ impl AppContext {
             spaces: Arc::clone(&self.spaces),
             setup,
             bound_ms: self.bound_ms,
+            tenant: self.tenant,
+            qos_weight: self.qos_weight,
         }
     }
 }
@@ -105,9 +141,16 @@ mod tests {
         let ex = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
         let spaces: Vec<_> = app.kernels().iter().map(|k| ex.explore(k)).collect();
         let ctx = AppContext::new(app, spaces, setup.clone(), 200.0);
-        let sibling = ctx.with_setup(setup);
+        let sibling = ctx.with_setup(setup.clone());
         assert!(Arc::ptr_eq(&ctx.graph, &sibling.graph));
         assert!(Arc::ptr_eq(&ctx.spaces, &sibling.spaces));
         assert_eq!(sibling.bound_ms(), 200.0);
+        // Untagged contexts are the single-tenant default.
+        assert_eq!(ctx.tenant(), "default");
+        assert_eq!(ctx.qos_weight(), 1.0);
+        // Tenant tags survive node fan-out.
+        let tagged = ctx.with_tenant("interactive", 3.0).with_setup(setup);
+        assert_eq!(tagged.tenant(), "interactive");
+        assert_eq!(tagged.qos_weight(), 3.0);
     }
 }

@@ -206,6 +206,42 @@ pub enum Event {
         /// New node power cap, W.
         cap_w: f64,
     },
+    /// The autoscaler activated a node (it starts warming up).
+    ScaleUp {
+        /// Node index.
+        node: usize,
+        /// When the node finishes warming and becomes routable, sim-ms.
+        ready_ms: f64,
+    },
+    /// The autoscaler drained a node out of service.
+    ScaleDown {
+        /// Node index.
+        node: usize,
+        /// Requests cancelled by the drain (redistributed by the router).
+        drained: usize,
+    },
+    /// A spot node's revocation notice was acted on: the driver drained
+    /// it ahead of the scripted fail-stop deadline.
+    SpotRevoke {
+        /// Node index.
+        node: usize,
+        /// When the capacity actually disappears, sim-ms.
+        deadline_ms: f64,
+        /// Requests cancelled by the proactive drain.
+        drained: usize,
+    },
+    /// Per-class admission summary for one interval (multi-tenant
+    /// routing only).
+    ClassAdmission {
+        /// QoS class index.
+        class: usize,
+        /// Requests admitted to some node.
+        admitted: usize,
+        /// Requests still deferred at interval end.
+        deferred: usize,
+        /// Requests shed.
+        shed: usize,
+    },
 }
 
 impl Event {
@@ -233,6 +269,10 @@ impl Event {
             Event::Shed { .. } => "shed",
             Event::BreakerTransition { .. } => "breaker",
             Event::GovernorSplit { .. } => "governor-split",
+            Event::ScaleUp { .. } => "scale-up",
+            Event::ScaleDown { .. } => "scale-down",
+            Event::SpotRevoke { .. } => "spot-revoke",
+            Event::ClassAdmission { .. } => "class-admission",
         }
     }
 }

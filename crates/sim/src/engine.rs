@@ -1804,6 +1804,11 @@ impl Simulator {
 
     /// Schedule the events of `plan` as discrete fault events. Events
     /// scripted before the current time fire immediately (at "now").
+    ///
+    /// A [`FaultKind::Revoke`] lowers to a [`FaultKind::FailStop`] at
+    /// `at_ms + notice_ms`: the engine models only the capacity loss at
+    /// the deadline; reacting to the *notice* (draining before the
+    /// deadline) is the cluster layer's job.
     pub fn inject_faults(&mut self, plan: &FaultPlan) {
         for &event in plan.events() {
             assert!(
@@ -1812,6 +1817,14 @@ impl Simulator {
                 event.device,
                 self.devices.len()
             );
+            let event = match event.kind {
+                FaultKind::Revoke { .. } => FaultEvent {
+                    at_ms: event.at_ms + event.kind.effect_delay_ms(),
+                    device: event.device,
+                    kind: FaultKind::FailStop,
+                },
+                _ => event,
+            };
             let idx = self.faults.len();
             self.faults.push(event);
             self.push(event.at_ms.max(self.now), EventKind::Fault { idx });
@@ -2065,6 +2078,9 @@ impl Simulator {
                 self.redispatch_stranded();
                 self.push(now, EventKind::DeviceFree { dev: device });
             }
+            // Revocations are lowered to FailStop at injection time
+            // (`inject_faults`); one can never reach the queue.
+            FaultKind::Revoke { .. } => unreachable!("Revoke is lowered at injection"),
         }
     }
 

@@ -39,6 +39,31 @@ pub enum FaultKind {
     /// The device returns to service at nominal speed, cold: an FPGA must
     /// reload its bitstream, a GPU rejoins at its configured idle power.
     Recover,
+    /// Preemptible-capacity revocation *with notice*: the notice arrives
+    /// at the event time, and the device actually fail-stops
+    /// `notice_ms` later (spot/preemptible instances — the provider
+    /// announces the reclaim, then pulls the hardware). The simulator
+    /// applies the terminal fail-stop at `at_ms + notice_ms`; the notice
+    /// window itself is a *control-plane* signal for routers/autoscalers
+    /// to drain the node proactively instead of letting circuit breakers
+    /// trip after the fact.
+    Revoke {
+        /// Delay between the notice and the actual fail-stop (≥ 0).
+        notice_ms: f64,
+    },
+}
+
+impl FaultKind {
+    /// When the fault takes *effect* relative to its scripted event time:
+    /// identical for every kind except [`FaultKind::Revoke`], whose
+    /// fail-stop lands `notice_ms` after the notice.
+    #[must_use]
+    pub fn effect_delay_ms(self) -> f64 {
+        match self {
+            FaultKind::Revoke { notice_ms } => notice_ms.max(0.0),
+            _ => 0.0,
+        }
+    }
 }
 
 /// One scripted fault: `kind` applied to pool device `device` at `at_ms`.
@@ -115,6 +140,17 @@ impl FaultPlan {
         })
     }
 
+    /// Revoke device `device` with notice: the notice arrives at `at_ms`
+    /// and the device fail-stops at `at_ms + notice_ms`.
+    #[must_use]
+    pub fn revoke(self, at_ms: f64, device: usize, notice_ms: f64) -> Self {
+        self.with(FaultEvent {
+            at_ms,
+            device,
+            kind: FaultKind::Revoke { notice_ms },
+        })
+    }
+
     /// The scripted events, ordered by time.
     #[must_use]
     pub fn events(&self) -> &[FaultEvent] {
@@ -144,16 +180,27 @@ impl FaultPlan {
     ///
     /// - a `FailStop` while the device is already down,
     /// - a `Slowdown` while the device is down (it would silently no-op),
+    /// - a `FailStop` or second `Revoke` inside a pending revocation's
+    ///   notice window, and a `Recover` before the revocation's deadline
+    ///   (the drain protocol would race the fail-stop),
     /// - two events for the same device at the same instant (ambiguous
     ///   — the tie would be broken by insertion order, not the script),
-    /// - non-finite or negative event times, and non-finite or sub-1
-    ///   slowdown factors.
+    /// - non-finite or negative event times, non-finite or sub-1
+    ///   slowdown factors, and non-finite or negative revocation notice.
     ///
     /// # Errors
     /// The first offending event, as a typed [`FaultPlanError`].
     pub fn validate(&self) -> Result<(), FaultPlanError> {
         use std::collections::HashMap;
-        let mut down: HashMap<usize, bool> = HashMap::new();
+        /// Per-device validation state: up, revocation noticed but not
+        /// yet effective (carries the fail-stop deadline), or down.
+        #[derive(Clone, Copy)]
+        enum DevState {
+            Up,
+            Pending(f64),
+            Down,
+        }
+        let mut state: HashMap<usize, DevState> = HashMap::new();
         let mut prev: Option<&FaultEvent> = None;
         for e in &self.events {
             if !e.at_ms.is_finite() || e.at_ms < 0.0 {
@@ -170,16 +217,54 @@ impl FaultPlan {
                     });
                 }
             }
-            let is_down = down.entry(e.device).or_insert(false);
+            let s = state.entry(e.device).or_insert(DevState::Up);
+            // A pending revocation becomes a real fail-stop once its
+            // deadline passes (events are time-ordered, so this resolves
+            // before the current event is judged).
+            if let DevState::Pending(deadline) = *s {
+                if e.at_ms >= deadline {
+                    *s = DevState::Down;
+                }
+            }
             match e.kind {
-                FaultKind::FailStop => {
-                    if *is_down {
+                FaultKind::FailStop => match *s {
+                    DevState::Down => {
                         return Err(FaultPlanError::FailStopWhileDown {
                             device: e.device,
                             at_ms: e.at_ms,
                         });
                     }
-                    *is_down = true;
+                    DevState::Pending(_) => {
+                        return Err(FaultPlanError::RevokeOverlap {
+                            device: e.device,
+                            at_ms: e.at_ms,
+                        });
+                    }
+                    DevState::Up => *s = DevState::Down,
+                },
+                FaultKind::Revoke { notice_ms } => {
+                    if !notice_ms.is_finite() || notice_ms < 0.0 {
+                        return Err(FaultPlanError::InvalidNotice {
+                            device: e.device,
+                            at_ms: e.at_ms,
+                            notice_ms,
+                        });
+                    }
+                    match *s {
+                        DevState::Down => {
+                            return Err(FaultPlanError::FailStopWhileDown {
+                                device: e.device,
+                                at_ms: e.at_ms,
+                            });
+                        }
+                        DevState::Pending(_) => {
+                            return Err(FaultPlanError::RevokeOverlap {
+                                device: e.device,
+                                at_ms: e.at_ms,
+                            });
+                        }
+                        DevState::Up => *s = DevState::Pending(e.at_ms + notice_ms),
+                    }
                 }
                 FaultKind::Slowdown { factor } => {
                     if !factor.is_finite() || factor < 1.0 {
@@ -189,18 +274,50 @@ impl FaultPlan {
                             factor,
                         });
                     }
-                    if *is_down {
+                    // A slowdown during a notice window is fine — the
+                    // device is still serving until the deadline.
+                    if matches!(*s, DevState::Down) {
                         return Err(FaultPlanError::SlowdownWhileDown {
                             device: e.device,
                             at_ms: e.at_ms,
                         });
                     }
                 }
-                FaultKind::Recover => *is_down = false,
+                FaultKind::Recover => match *s {
+                    // Recovering before the revocation fires would race
+                    // the scripted fail-stop.
+                    DevState::Pending(_) => {
+                        return Err(FaultPlanError::RevokeOverlap {
+                            device: e.device,
+                            at_ms: e.at_ms,
+                        });
+                    }
+                    _ => *s = DevState::Up,
+                },
             }
             prev = Some(e);
         }
         Ok(())
+    }
+
+    /// [`validate`](Self::validate) plus a fault-domain bound: every
+    /// event must target an index `< domains`. Use this for *node-level*
+    /// plans before expansion (`node_fault_plan`), where `device` indexes
+    /// a cluster node — an out-of-range index would silently script
+    /// faults against nobody.
+    ///
+    /// # Errors
+    /// The first offending event, as a typed [`FaultPlanError`].
+    pub fn validate_for(&self, domains: usize) -> Result<(), FaultPlanError> {
+        for e in &self.events {
+            if e.device >= domains {
+                return Err(FaultPlanError::DeviceOutOfRange {
+                    device: e.device,
+                    domains,
+                });
+            }
+        }
+        self.validate()
     }
 
     /// Seeded random fault campaign over `targets` fault domains (device
@@ -288,6 +405,31 @@ pub enum FaultPlanError {
         /// Offending time.
         at_ms: f64,
     },
+    /// A non-finite or negative revocation notice.
+    InvalidNotice {
+        /// Offending device.
+        device: usize,
+        /// Offending time.
+        at_ms: f64,
+        /// The notice.
+        notice_ms: f64,
+    },
+    /// A `FailStop`, `Revoke`, or `Recover` scripted inside an earlier
+    /// revocation's notice window on the same device.
+    RevokeOverlap {
+        /// Offending device.
+        device: usize,
+        /// Offending time.
+        at_ms: f64,
+    },
+    /// An event targets a fault domain outside the plan's range
+    /// (see [`FaultPlan::validate_for`]).
+    DeviceOutOfRange {
+        /// Offending index.
+        device: usize,
+        /// Number of valid fault domains.
+        domains: usize,
+    },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -316,6 +458,22 @@ impl std::fmt::Display for FaultPlanError {
             FaultPlanError::SlowdownWhileDown { device, at_ms } => {
                 write!(f, "slowdown at {at_ms} ms but device {device} is down")
             }
+            FaultPlanError::InvalidNotice {
+                device,
+                at_ms,
+                notice_ms,
+            } => write!(
+                f,
+                "invalid revocation notice {notice_ms} ms for device {device} at {at_ms} ms"
+            ),
+            FaultPlanError::RevokeOverlap { device, at_ms } => write!(
+                f,
+                "event at {at_ms} ms overlaps a pending revocation on device {device}"
+            ),
+            FaultPlanError::DeviceOutOfRange { device, domains } => write!(
+                f,
+                "event targets device {device} but the plan has only {domains} fault domains"
+            ),
         }
     }
 }
@@ -422,6 +580,118 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(msg.contains("slowdown factor"));
+    }
+
+    #[test]
+    fn validate_accepts_revoke_then_later_events() {
+        // Revocation window [100, 600): a slowdown inside the window is
+        // fine (the device still serves), and a recover after the
+        // deadline brings it back.
+        let plan = FaultPlan::new()
+            .revoke(100.0, 0, 500.0)
+            .slow_down(200.0, 0, 2.0)
+            .recover(700.0, 0)
+            .fail_stop(800.0, 0);
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_revocations() {
+        // FailStop inside the notice window.
+        let plan = FaultPlan::new().revoke(100.0, 0, 500.0).fail_stop(300.0, 0);
+        assert_eq!(
+            plan.validate(),
+            Err(FaultPlanError::RevokeOverlap {
+                device: 0,
+                at_ms: 300.0
+            })
+        );
+        // A second Revoke inside the window.
+        let plan = FaultPlan::new()
+            .revoke(100.0, 0, 500.0)
+            .revoke(300.0, 0, 100.0);
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultPlanError::RevokeOverlap { .. })
+        ));
+        // A Recover before the deadline races the scripted fail-stop.
+        let plan = FaultPlan::new().revoke(100.0, 0, 500.0).recover(300.0, 0);
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultPlanError::RevokeOverlap { .. })
+        ));
+        // After the deadline the device is down: FailStop is rejected as
+        // while-down, not as overlap.
+        let plan = FaultPlan::new().revoke(100.0, 0, 500.0).fail_stop(700.0, 0);
+        assert_eq!(
+            plan.validate(),
+            Err(FaultPlanError::FailStopWhileDown {
+                device: 0,
+                at_ms: 700.0
+            })
+        );
+        // Another device is unaffected by the window.
+        let plan = FaultPlan::new().revoke(100.0, 0, 500.0).fail_stop(300.0, 1);
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_notice() {
+        assert!(matches!(
+            FaultPlan::new().revoke(100.0, 0, -1.0).validate(),
+            Err(FaultPlanError::InvalidNotice { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::new().revoke(100.0, 0, f64::NAN).validate(),
+            Err(FaultPlanError::InvalidNotice { .. })
+        ));
+        // Zero notice is legal (a revocation with no warning ≡ fail-stop).
+        assert!(FaultPlan::new().revoke(100.0, 0, 0.0).validate().is_ok());
+        let msg = FaultPlan::new()
+            .revoke(100.0, 0, -1.0)
+            .validate()
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("notice"));
+    }
+
+    #[test]
+    fn validate_for_checks_fault_domains() {
+        let plan = FaultPlan::new().fail_stop(100.0, 3);
+        assert!(plan.validate_for(4).is_ok());
+        assert_eq!(
+            plan.validate_for(3),
+            Err(FaultPlanError::DeviceOutOfRange {
+                device: 3,
+                domains: 3
+            })
+        );
+        // Range errors surface before state errors.
+        let bad = FaultPlan::new().fail_stop(100.0, 9).fail_stop(200.0, 9);
+        assert!(matches!(
+            bad.validate_for(2),
+            Err(FaultPlanError::DeviceOutOfRange { .. })
+        ));
+        // And validate_for still runs the full state machine.
+        let overlapping = FaultPlan::new().revoke(100.0, 0, 500.0).fail_stop(300.0, 0);
+        assert!(matches!(
+            overlapping.validate_for(2),
+            Err(FaultPlanError::RevokeOverlap { .. })
+        ));
+        let msg = plan.validate_for(3).unwrap_err().to_string();
+        assert!(msg.contains("fault domains"));
+    }
+
+    #[test]
+    fn effect_delay_is_notice_for_revoke_only() {
+        assert_eq!(
+            FaultKind::Revoke { notice_ms: 250.0 }.effect_delay_ms(),
+            250.0
+        );
+        assert_eq!(FaultKind::Revoke { notice_ms: -5.0 }.effect_delay_ms(), 0.0);
+        assert_eq!(FaultKind::FailStop.effect_delay_ms(), 0.0);
+        assert_eq!(FaultKind::Recover.effect_delay_ms(), 0.0);
+        assert_eq!(FaultKind::Slowdown { factor: 2.0 }.effect_delay_ms(), 0.0);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use std::fmt;
 
+use poly_cluster::ClusterError;
 use poly_ir::IrError;
 use poly_sched::ScheduleError;
 use poly_sim::{AuditError, FaultPlanError};
@@ -21,6 +22,8 @@ pub enum Error {
     Audit(AuditError),
     /// A fault plan failed validation (unknown device, bad ordering, …).
     FaultPlan(FaultPlanError),
+    /// A cluster was misconfigured (no nodes, mismatched tenancy, …).
+    Cluster(ClusterError),
 }
 
 impl fmt::Display for Error {
@@ -30,6 +33,7 @@ impl fmt::Display for Error {
             Error::Schedule(e) => write!(f, "schedule: {e}"),
             Error::Audit(e) => write!(f, "audit: {e}"),
             Error::FaultPlan(e) => write!(f, "fault plan: {e}"),
+            Error::Cluster(e) => write!(f, "cluster: {e}"),
         }
     }
 }
@@ -41,6 +45,7 @@ impl std::error::Error for Error {
             Error::Schedule(e) => Some(e),
             Error::Audit(e) => Some(e),
             Error::FaultPlan(e) => Some(e),
+            Error::Cluster(e) => Some(e),
         }
     }
 }
@@ -66,6 +71,12 @@ impl From<AuditError> for Error {
 impl From<FaultPlanError> for Error {
     fn from(e: FaultPlanError) -> Self {
         Error::FaultPlan(e)
+    }
+}
+
+impl From<ClusterError> for Error {
+    fn from(e: ClusterError) -> Self {
+        Error::Cluster(e)
     }
 }
 

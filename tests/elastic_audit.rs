@@ -1,0 +1,162 @@
+//! Elastic fleet audit: seeded spot-revocation sweeps over a
+//! multi-tenant cluster, with the lifecycle conservation invariants
+//! checked after every run. The schedules are deterministic in the seed,
+//! so CI failures replay exactly. The core claim under test is the spot
+//! contract: a revocation announced at least one re-planning interval
+//! ahead is drained proactively, so the revoked node's circuit breaker
+//! never trips — while the same capacity loss as an unannounced
+//! fail-stop does trip.
+
+use poly::apps::{asr, matrix_factorization, QOS_BOUND_MS};
+use poly::cluster::{
+    AutoscaleConfig, BreakerConfig, Cluster, ClusterConfig, ClusterNode, ClusterReport, FlexConfig,
+    RoutingPolicy,
+};
+use poly::core::provision::{table_iii, Architecture, Setting};
+use poly::core::AppContext;
+use poly::dse::{DesignSpaceCache, Explorer};
+use poly::sim::workload::TracePoint;
+use poly::sim::{FaultPlan, LifecycleConfig};
+
+const INTERVAL_MS: f64 = 10_000.0;
+const NODES: usize = 3;
+/// Comfortable for three nodes, tight for the two survivors of a
+/// revocation — enough pressure to make the drain path do real work.
+const MAX_RPS: f64 = 90.0;
+/// Notice spanning three re-planning intervals, like the elastic figure.
+const NOTICE_MS: f64 = 3.0 * INTERVAL_MS;
+
+/// Three nodes, each hosting a strict ASR tenant (200 ms, weight 3) and
+/// a lenient matrix-factorization tenant (600 ms, weight 1), behind the
+/// QoS-aware router with breakers armed.
+fn fleet() -> Cluster {
+    let setup = table_iii(Setting::I, Architecture::HeterPoly);
+    let explorer = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+    let cache = DesignSpaceCache::new();
+    let strict_app = asr();
+    let lenient_app = matrix_factorization();
+    let strict_spaces = cache.explore_graph(&explorer, strict_app.kernels(), 1);
+    let lenient_spaces = cache.explore_graph(&explorer, lenient_app.kernels(), 1);
+    let strict = AppContext::new(strict_app, strict_spaces, setup.clone(), QOS_BOUND_MS)
+        .with_tenant("asr-strict", 3.0);
+    let lenient = AppContext::new(lenient_app, lenient_spaces, setup, 3.0 * QOS_BOUND_MS)
+        .with_tenant("mf-lenient", 1.0);
+    Cluster::from_nodes(
+        (0..NODES)
+            .map(|_| ClusterNode::new_multi(vec![strict.clone(), lenient.clone()]))
+            .collect(),
+        ClusterConfig {
+            bound_ms: QOS_BOUND_MS,
+            routing: RoutingPolicy::QosAware,
+            power_budget_w: 380.0 * NODES as f64,
+            node_floor_w: 40.0,
+            max_backlog: 256,
+            lifecycle: LifecycleConfig::default(),
+            breaker: Some(BreakerConfig::default()),
+        },
+    )
+    .expect("valid fleet")
+}
+
+/// A small diurnal-shaped trace: 40 re-planning intervals between lull
+/// and shoulder load, fully deterministic.
+fn trace() -> Vec<TracePoint> {
+    (0..40)
+        .map(|i| TracePoint {
+            start_ms: i as f64 * INTERVAL_MS,
+            utilization: 0.45 + 0.25 * (i as f64 / 40.0 * std::f64::consts::TAU).sin(),
+        })
+        .collect()
+}
+
+fn flex(autoscale: Option<AutoscaleConfig>) -> FlexConfig {
+    FlexConfig {
+        autoscale,
+        traffic_mix: vec![0.7, 0.3],
+        node_static_w: 80.0,
+    }
+}
+
+/// The seed picks which node is the spot instance and when its
+/// revocation lands; the same seed also drives the arrival streams.
+fn noticed_plan(seed: u64) -> FaultPlan {
+    let node = (seed as usize) % NODES;
+    let at = (5 + (seed as usize % 7)) as f64 * INTERVAL_MS;
+    FaultPlan::new()
+        .revoke(at, node, NOTICE_MS)
+        .recover(at + 15.0 * INTERVAL_MS, node)
+}
+
+/// The surprise control: the same capacity loss landing exactly where
+/// the noticed revocation's deadline would, with no warning.
+fn surprise_plan(seed: u64) -> FaultPlan {
+    let node = (seed as usize) % NODES;
+    let at = (5 + (seed as usize % 7)) as f64 * INTERVAL_MS;
+    FaultPlan::new()
+        .fail_stop(at + NOTICE_MS, node)
+        .recover(at + 15.0 * INTERVAL_MS, node)
+}
+
+fn run(seed: u64, faults: &FaultPlan, flex_cfg: &FlexConfig, jobs: usize) -> ClusterReport {
+    let mut cl = fleet();
+    cl.set_jobs(jobs);
+    let report = cl
+        .run_trace_flex(&trace(), INTERVAL_MS, MAX_RPS, seed, faults, flex_cfg)
+        .expect("valid elastic run");
+    // Conservation must hold on every node even across drains and
+    // revocations — zero audit errors, per node and merged.
+    let (merged, per_node) = cl.audits();
+    for (j, a) in per_node.iter().enumerate() {
+        a.check()
+            .unwrap_or_else(|e| panic!("seed {seed}: node {j} audit failed: {e}\n{a:?}"));
+    }
+    merged
+        .check()
+        .unwrap_or_else(|e| panic!("seed {seed}: merged audit failed: {e}\n{merged:?}"));
+    report
+}
+
+#[test]
+fn noticed_revocations_never_trip_breakers_across_seeds() {
+    for seed in 0..8u64 {
+        let report = run(seed, &noticed_plan(seed), &flex(None), 1);
+        assert_eq!(
+            report.breaker_trips, 0,
+            "seed {seed}: a noticed revocation tripped a breaker"
+        );
+        assert!(report.completed > 0, "seed {seed}: fleet served nothing");
+        assert!(
+            report.retry.redistributed > 0 || report.shed == 0,
+            "seed {seed}: drain path never engaged yet work was lost"
+        );
+    }
+}
+
+#[test]
+fn surprise_fail_stop_trips_where_notice_does_not() {
+    let seed = 3u64;
+    let noticed = run(seed, &noticed_plan(seed), &flex(None), 1);
+    let surprise = run(seed, &surprise_plan(seed), &flex(None), 1);
+    assert_eq!(noticed.breaker_trips, 0, "notice must pre-drain the node");
+    assert!(
+        surprise.breaker_trips >= 1,
+        "an unannounced fail-stop must trip the dead node's breaker"
+    );
+}
+
+#[test]
+fn elastic_replay_is_jobs_invariant() {
+    // Autoscaler + revocation together, replayed serially and on three
+    // workers: byte-identical reports, interval by interval.
+    let autoscale = AutoscaleConfig {
+        min_nodes: 2,
+        target_rps_per_node: 30.0,
+        warmup_ms: NOTICE_MS,
+        cooldown_intervals: 2,
+        ..AutoscaleConfig::default()
+    };
+    let plan = noticed_plan(1);
+    let serial = run(1, &plan, &flex(Some(autoscale.clone())), 1);
+    let parallel = run(1, &plan, &flex(Some(autoscale)), 3);
+    assert_eq!(serial, parallel, "replay must not depend on worker count");
+}
