@@ -2,8 +2,8 @@
 //!
 //! Usage: `experiments [--jobs N] <id>` where `<id>` is one of
 //! `table1 table2 table3 table45 fig1a fig1b fig1c fig1d fig1ef fig6 fig7
-//! fig8 fig9 fig10 fig11 fig12 fault cluster chaos elastic obs backend
-//! fig13 fig14
+//! fig8 fig9 fig10 fig11 fig12 fault irregular pipeline cluster chaos
+//! elastic obs backend fig13 fig14
 //! ablations scale all` (or
 //! `quick` for the subset used in smoke tests). Results are printed and
 //! written to `results/<id>.csv`. `all` runs everything except the
@@ -24,7 +24,7 @@
 //! summary reports the cache's hit/miss counts alongside per-figure
 //! wall-clock times.
 
-use poly_apps::{asr, matrix_factorization, suite, QOS_BOUND_MS};
+use poly_apps::{asr, image_recognition, matrix_factorization, suite, QOS_BOUND_MS};
 use poly_backend::{
     accel_pool, calibrate::calibrate, AnalyticalClient, Client as BackendClient, CpuClient,
     KernelWorkload,
@@ -32,13 +32,14 @@ use poly_backend::{
 use poly_bench::csvout::{f2, save_csv, Csv};
 use poly_bench::System;
 use poly_cluster::{
-    AutoscaleConfig, Cluster, ClusterConfig, ClusterNode, FlexConfig, RoutingPolicy,
+    AutoscaleConfig, Cluster, ClusterConfig, ClusterNode, ClusterRunSpec, RoutingPolicy,
 };
 use poly_core::provision::{power_split, table_iii, Architecture, Setting};
 use poly_core::tco::{cost_efficiency, monthly_tco_usd, TcoParams};
 use poly_core::{AppContext, Optimizer, PolyRuntime, RunSpec, RuntimeMode};
 use poly_device::{catalog, DeviceKind, PcieLink};
-use poly_dse::{DesignSpaceCache, Explorer};
+use poly_dse::{pipeline_candidates, DesignSpaceCache, Explorer, PipelineCandidate};
+use poly_ir::DEFAULT_TILES;
 use poly_obs::{
     chrome_trace_json, latency_summary, queue_wait_summary, service_summary, Event as ObsEvent,
     MemRecorder,
@@ -47,7 +48,8 @@ use poly_par::par_map;
 use poly_sched::Scheduler;
 use poly_sim::workload::{google_trace_24h, SizeDist, TracePoint};
 use poly_sim::{
-    BackoffPolicy, DynamicDispatch, FaultPlan, HedgeConfig, LifecycleConfig, Policy, RetryPolicy,
+    BackoffPolicy, DynamicDispatch, FaultPlan, HedgeConfig, LifecycleConfig, PipelineConfig,
+    Policy, RetryPolicy,
 };
 use std::fmt::Write as _;
 use std::sync::OnceLock;
@@ -103,6 +105,7 @@ const EXPERIMENTS: &[(&str, FigFn)] = &[
     ("fig12", fig12),
     ("fault", fault),
     ("irregular", irregular),
+    ("pipeline", pipeline),
     ("cluster", cluster),
     ("chaos", chaos),
     ("elastic", elastic),
@@ -1274,6 +1277,122 @@ const IRREGULAR_HEADER: &[&str] = &[
     "completed",
 ];
 
+/// Pipeline (DESIGN.md §18) — cross-kernel pipelined streaming: the DSE's
+/// channel-depth candidates priced and measured on the Heter-Poly node.
+///
+/// For each application, every [`pipeline_candidates`] variant (barrier
+/// plus power-of-two channel depths) is costed (buffer occupancy against
+/// the FPGA's fusion capacity, PCIe spill on overflow) and measured:
+/// max RPS under QoS and p99 at a fixed probe load. The `depth 0` row is
+/// exactly the fig7/fig8 headline configuration — the engine's barrier
+/// path — so the deltas in this figure are the frontier widening those
+/// headline numbers stand to gain. The acceptance assert below pins that
+/// at least one app's frontier strictly widens.
+fn pipeline(out: &mut String) {
+    outln!(
+        out,
+        "== Pipeline: cross-kernel pipelined streaming, channel-depth frontier (Setting-I Heter) =="
+    );
+    let setup = table_iii(Setting::I, Architecture::HeterPoly);
+    // Channel buffers compete with pattern fusion for the same on-chip
+    // storage — price them against the explorer's FPGA fusion capacity.
+    let capacity = setup.fpga.spec().bram_bytes / 2;
+    let apps = [asr(), image_recognition()];
+    // Fixed probe load for the latency column: comfortably inside every
+    // variant's capacity so the p99 delta isolates the pipelining effect.
+    const PROBE_RPS: f64 = 8.0;
+    let tasks: Vec<(usize, PipelineCandidate)> = apps
+        .iter()
+        .enumerate()
+        .flat_map(|(ai, app)| {
+            pipeline_candidates(app, capacity, &setup.sim_config.pcie, DEFAULT_TILES)
+                .into_iter()
+                .map(move |c| (ai, c))
+        })
+        .collect();
+    // One deterministic system per (app, depth) variant; results collect
+    // in input order, so the CSV is byte-identical for every job count.
+    let measured = par_map(jobs(), &tasks, |_, (ai, cand)| {
+        let mut s = setup.clone();
+        s.sim_config.pipeline = PipelineConfig {
+            depth: cand.depth,
+            tiles: cand.tiles,
+        };
+        let mut sys = System::with_setup(&apps[*ai], s, QOS_BOUND_MS);
+        let max_rps = sys.max_rps();
+        let p99 = sys.measure(PROBE_RPS).latency.p99();
+        (max_rps, p99)
+    });
+    let mut csv = Csv::new(&[
+        "app",
+        "depth",
+        "tiles",
+        "buffer_bytes",
+        "spill_bytes",
+        "max_rps",
+        "p99_at_probe_ms",
+    ]);
+    let mut widened = false;
+    for (ai, app) in apps.iter().enumerate() {
+        let rows: Vec<(&PipelineCandidate, (f64, f64))> = tasks
+            .iter()
+            .zip(&measured)
+            .filter(|((ti, _), _)| *ti == ai)
+            .map(|((_, c), &m)| (c, m))
+            .collect();
+        let (barrier_rps, barrier_p99) = rows[0].1;
+        outln!(out, "-- {} (probe {PROBE_RPS:.0} RPS)", app.name());
+        for (cand, (max_rps, p99)) in &rows {
+            outln!(
+                out,
+                "  depth {:2}  buffer {:8} B  spill {:7} B  max {:6.1} RPS ({:+5.1}%)  p99 {:6.1} ms ({:+5.1}%)",
+                cand.depth,
+                cand.buffer_bytes,
+                cand.spill_bytes,
+                max_rps,
+                (max_rps / barrier_rps - 1.0) * 100.0,
+                p99,
+                (p99 / barrier_p99 - 1.0) * 100.0,
+            );
+            csv.row()
+                .s(app.name())
+                .n(cand.depth as usize)
+                .n(cand.tiles as usize)
+                .n(cand.buffer_bytes as usize)
+                .n(cand.spill_bytes as usize)
+                .f(*max_rps)
+                .f(*p99);
+        }
+        let best = rows
+            .iter()
+            .skip(1)
+            .fold(0.0_f64, |acc, (_, (m, _))| acc.max(*m));
+        let best_p99 = rows
+            .iter()
+            .skip(1)
+            .fold(f64::INFINITY, |acc, (_, (_, p))| acc.min(*p));
+        if best > barrier_rps || best_p99 < barrier_p99 {
+            widened = true;
+        }
+        outln!(
+            out,
+            "  best pipelined: max {:.1} RPS vs barrier {:.1} ({:+.1}%), p99 {:.1} ms vs {:.1}",
+            best,
+            barrier_rps,
+            (best / barrier_rps - 1.0) * 100.0,
+            best_p99,
+            barrier_p99,
+        );
+    }
+    // Acceptance criterion: pipelined schedules strictly widen at least
+    // one app's Pareto frontier over the barrier baseline.
+    assert!(
+        widened,
+        "no pipelined depth widened any app's frontier (neither max RPS up nor p99 down)"
+    );
+    csv.save(out, "pipeline_trace");
+}
+
 /// Cluster trace (DESIGN.md §11) — four routing/admission policies over
 /// the 24-hour trace on a 4-node Setting-I Heter fleet with a shared
 /// power budget and a node-level fail-stop at the morning ramp.
@@ -1327,14 +1446,14 @@ fn cluster(out: &mut String) {
         );
         // Per-interval node stepping fans out over the worker budget;
         // the CSV is byte-identical for every job count (CI diffs it).
-        cl.set_jobs(jobs());
-        let report = cl.run_trace(
-            &trace,
-            TRACE_INTERVAL_MS,
-            CLUSTER_MAX_RPS,
-            2011,
-            &node_faults,
-        );
+        let report = cl
+            .run(
+                ClusterRunSpec::new(&trace, TRACE_INTERVAL_MS, CLUSTER_MAX_RPS)
+                    .seed(2011)
+                    .faults(node_faults.clone())
+                    .jobs(jobs()),
+            )
+            .expect("valid cluster run");
         let violations: usize = report.intervals.iter().map(|r| r.violations).sum();
         let mut block = String::new();
         outln!(
@@ -1478,8 +1597,14 @@ fn chaos(out: &mut String) {
                 breaker: *breaker,
             },
         );
-        cl.set_jobs(jobs());
-        let report = cl.run_trace(&trace, TRACE_INTERVAL_MS, CHAOS_MAX_RPS, 2029, &node_faults);
+        let report = cl
+            .run(
+                ClusterRunSpec::new(&trace, TRACE_INTERVAL_MS, CHAOS_MAX_RPS)
+                    .seed(2029)
+                    .faults(node_faults.clone())
+                    .jobs(jobs()),
+            )
+            .expect("valid chaos run");
         // Invariant audit: conservation must hold on every node.
         let (merged, per_node) = cl.audits();
         for (j, a) in per_node.iter().enumerate() {
@@ -1662,25 +1787,19 @@ fn elastic(out: &mut String) {
             },
         )
         .expect("valid cluster");
-        cl.set_jobs(jobs());
-        let flex = FlexConfig {
-            autoscale: autoscale.clone(),
-            traffic_mix: vec![0.75, 0.25],
+        let mut spec = ClusterRunSpec::new(&trace, TRACE_INTERVAL_MS, ELASTIC_MAX_RPS)
+            .seed(2017)
+            .faults(faults.clone())
+            .traffic_mix(vec![0.75, 0.25])
             // Idle platform draw per powered-on node — the term elastic
             // scale-down saves. ~30% of the mean loaded draw, in line
             // with modern servers' idle-to-peak ratios.
-            node_static_w: 80.0,
-        };
-        let report = cl
-            .run_trace_flex(
-                &trace,
-                TRACE_INTERVAL_MS,
-                ELASTIC_MAX_RPS,
-                2017,
-                faults,
-                &flex,
-            )
-            .expect("valid elastic run");
+            .node_static_w(80.0)
+            .jobs(jobs());
+        if let Some(autoscale) = autoscale.clone() {
+            spec = spec.autoscale(autoscale);
+        }
+        let report = cl.run(spec).expect("valid elastic run");
         // Invariant audit: conservation must hold on every node even
         // across drains, revocations, and scale events.
         let (merged, per_node) = cl.audits();
@@ -1876,13 +1995,19 @@ fn obs(out: &mut String) {
             },
         );
         let rec = MemRecorder::new();
-        cl.set_recorder(Some(Box::new(rec.clone())));
         // With the recorder attached the cluster steps its nodes
         // serially regardless of the job budget (telemetry sequence
         // numbers are emission-ordered); setting jobs anyway exercises
         // that fallback in CI's jobs-1-vs-N diff.
-        cl.set_jobs(jobs());
-        let report = cl.run_trace(&trace, TRACE_INTERVAL_MS, OBS_MAX_RPS, 2029, &node_faults);
+        let report = cl
+            .run(
+                ClusterRunSpec::new(&trace, TRACE_INTERVAL_MS, OBS_MAX_RPS)
+                    .seed(2029)
+                    .faults(node_faults.clone())
+                    .recorder(Box::new(rec.clone()))
+                    .jobs(jobs()),
+            )
+            .expect("valid obs run");
         let samples = rec.samples();
         assert_eq!(rec.dropped(), 0, "{name}: recorder buffer overflowed");
 
@@ -2561,9 +2686,14 @@ fn scale(out: &mut String) {
             breaker: None,
         },
     );
-    cl.set_jobs(jobs());
     let t = Instant::now();
-    let report = cl.run_trace(&trace, SCALE_INTERVAL_MS, max_rps, 2011, &FaultPlan::new());
+    let report = cl
+        .run(
+            ClusterRunSpec::new(&trace, SCALE_INTERVAL_MS, max_rps)
+                .seed(2011)
+                .jobs(jobs()),
+        )
+        .expect("valid scale run");
     let wall = t.elapsed().as_secs_f64();
     // Machine-dependent throughput goes to stderr so the figure's stdout
     // and CSV stay byte-comparable across runs and job counts.

@@ -207,6 +207,116 @@ pub struct FlexConfig {
     pub node_static_w: f64,
 }
 
+/// Everything one cluster replay needs, as a builder mirroring the
+/// single-node `RunSpec`: trace, pacing, and the optional layers (fault
+/// plan, autoscaling, traffic mix, telemetry, worker threads) that the
+/// old `run_trace` / `run_trace_flex` entry points took positionally.
+///
+/// [`Cluster::run`] picks the replay loop from the spec: any elastic /
+/// multi-tenant knob (autoscale, an explicit traffic mix, static node
+/// draw, or more than one tenant class) routes through the flex loop;
+/// otherwise the plain single-class loop runs — byte-identical to the
+/// former `run_trace` for identical inputs.
+///
+/// ```no_run
+/// # use poly_cluster::{Cluster, ClusterRunSpec};
+/// # fn demo(cluster: &mut Cluster, trace: &[poly_sim::workload::TracePoint]) {
+/// let report = cluster
+///     .run(ClusterRunSpec::new(trace, 10_000.0, 64.0).seed(2011).jobs(4))
+///     .expect("valid run");
+/// # }
+/// ```
+pub struct ClusterRunSpec<'a> {
+    trace: &'a [TracePoint],
+    interval_ms: f64,
+    max_rps: f64,
+    seed: u64,
+    faults: FaultPlan,
+    autoscale: Option<crate::AutoscaleConfig>,
+    traffic_mix: Option<Vec<f64>>,
+    node_static_w: f64,
+    jobs: Option<usize>,
+    recorder: Option<Box<dyn Recorder>>,
+}
+
+impl<'a> ClusterRunSpec<'a> {
+    /// A plain fault-free replay of `trace` at `max_rps` cluster-wide
+    /// scaling, re-planning every `interval_ms`.
+    #[must_use]
+    pub fn new(trace: &'a [TracePoint], interval_ms: f64, max_rps: f64) -> Self {
+        Self {
+            trace,
+            interval_ms,
+            max_rps,
+            seed: 0,
+            faults: FaultPlan::new(),
+            autoscale: None,
+            traffic_mix: None,
+            node_static_w: 0.0,
+            jobs: None,
+            recorder: None,
+        }
+    }
+
+    /// Seed of the deterministic arrival (and revocation) streams.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Node-level fault plan (`FaultEvent::device` indexes a node; each
+    /// event expands to every device of that node).
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Elastic fleet sizing; routes the replay through the flex loop.
+    #[must_use]
+    pub fn autoscale(mut self, autoscale: crate::AutoscaleConfig) -> Self {
+        self.autoscale = Some(autoscale);
+        self
+    }
+
+    /// Per-class share of the offered load, one entry per tenant class
+    /// (normalized over its sum). Multi-tenant clusters default to an
+    /// equal split when this is not given.
+    #[must_use]
+    pub fn traffic_mix(mut self, mix: Vec<f64>) -> Self {
+        self.traffic_mix = Some(mix);
+        self
+    }
+
+    /// Static platform draw per powered-on node in watts (see
+    /// [`FlexConfig::node_static_w`]); non-zero routes through the flex
+    /// loop so consolidation is actually charged.
+    #[must_use]
+    pub fn node_static_w(mut self, static_w: f64) -> Self {
+        self.node_static_w = static_w;
+        self
+    }
+
+    /// Worker-thread budget for stepping the node simulations (reports
+    /// are byte-identical for every count). Leaves the cluster's current
+    /// setting untouched when not given.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Attach a telemetry recorder for this run (track 0 = cluster
+    /// events, track `j + 1` = node `j`). Stepping stays serial while an
+    /// enabled recorder is attached.
+    #[must_use]
+    pub fn recorder(mut self, recorder: Box<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+}
+
 /// One interval of a cluster trace run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterIntervalRecord {
@@ -487,12 +597,70 @@ impl Cluster {
         self.nodes.is_empty()
     }
 
+    /// Run one replay described by a [`ClusterRunSpec`]: applies the
+    /// spec's `jobs`/`recorder` settings, validates the parameters, and
+    /// picks the replay loop — the plain single-class loop unless an
+    /// elastic or multi-tenant knob (autoscale, traffic mix, static node
+    /// draw, several tenant classes) routes it through the flex loop.
+    /// Deterministic in all spec inputs for every job count.
+    ///
+    /// # Errors
+    /// The first invalid run parameter, as a typed [`ClusterError`].
+    pub fn run(&mut self, spec: ClusterRunSpec<'_>) -> Result<ClusterReport, ClusterError> {
+        let ClusterRunSpec {
+            trace,
+            interval_ms,
+            max_rps,
+            seed,
+            faults,
+            autoscale,
+            traffic_mix,
+            node_static_w,
+            jobs,
+            recorder,
+        } = spec;
+        if let Some(jobs) = jobs {
+            self.set_jobs(jobs);
+        }
+        if let Some(rec) = recorder {
+            self.set_recorder(Some(rec));
+        }
+        self.validate_run(trace, interval_ms, &faults)?;
+        let classes = self.nodes[0].tenant_count();
+        let wants_flex =
+            autoscale.is_some() || traffic_mix.is_some() || node_static_w != 0.0 || classes > 1;
+        if wants_flex {
+            let flex = FlexConfig {
+                autoscale,
+                traffic_mix: traffic_mix.unwrap_or_else(|| vec![1.0; classes]),
+                node_static_w,
+            };
+            self.run_flex_inner(trace, interval_ms, max_rps, seed, &faults, &flex)
+        } else {
+            Ok(self.run_trace_inner(trace, interval_ms, max_rps, seed, &faults))
+        }
+    }
+
     /// Replay a utilization trace at `max_rps` *cluster-wide* scaling.
     /// `node_faults` is a node-level plan: `FaultEvent::device` indexes a
     /// **node**, and each event is expanded to every device of that node
     /// (see [`node_fault_plan`]). Deterministic in all inputs.
+    #[deprecated(note = "use `Cluster::run` with a `ClusterRunSpec`")]
     #[must_use]
     pub fn run_trace(
+        &mut self,
+        trace: &[TracePoint],
+        interval_ms: f64,
+        max_rps: f64,
+        seed: u64,
+        node_faults: &FaultPlan,
+    ) -> ClusterReport {
+        self.run_trace_inner(trace, interval_ms, max_rps, seed, node_faults)
+    }
+
+    /// The plain single-class replay loop (no validation — [`run`]
+    /// validates, the deprecated `run_trace` never did).
+    fn run_trace_inner(
         &mut self,
         trace: &[TracePoint],
         interval_ms: f64,
@@ -785,13 +953,14 @@ impl Cluster {
         Ok(())
     }
 
-    /// [`run_trace`](Self::run_trace), but invalid run parameters — a
-    /// non-positive interval, an empty trace, a fault plan that indexes
-    /// a node the cluster does not have or overlaps revocations — fail
-    /// with a typed error before anything runs.
+    /// Validated plain replay: invalid run parameters — a non-positive
+    /// interval, an empty trace, a fault plan that indexes a node the
+    /// cluster does not have or overlaps revocations — fail with a typed
+    /// error before anything runs.
     ///
     /// # Errors
     /// The first offence, as a typed [`ClusterError`].
+    #[deprecated(note = "use `Cluster::run` with a `ClusterRunSpec`")]
     pub fn try_run_trace(
         &mut self,
         trace: &[TracePoint],
@@ -801,7 +970,7 @@ impl Cluster {
         node_faults: &FaultPlan,
     ) -> Result<ClusterReport, ClusterError> {
         self.validate_run(trace, interval_ms, node_faults)?;
-        Ok(self.run_trace(trace, interval_ms, max_rps, seed, node_faults))
+        Ok(self.run_trace_inner(trace, interval_ms, max_rps, seed, node_faults))
     }
 
     /// The elastic / multi-tenant run loop: [`run_trace`](Self::run_trace)
@@ -833,6 +1002,7 @@ impl Cluster {
     ///
     /// # Errors
     /// The first invalid run parameter, as a typed [`ClusterError`].
+    #[deprecated(note = "use `Cluster::run` with a `ClusterRunSpec`")]
     pub fn run_trace_flex(
         &mut self,
         trace: &[TracePoint],
@@ -843,6 +1013,20 @@ impl Cluster {
         flex: &FlexConfig,
     ) -> Result<ClusterReport, ClusterError> {
         self.validate_run(trace, interval_ms, node_faults)?;
+        self.run_flex_inner(trace, interval_ms, max_rps, seed, node_faults, flex)
+    }
+
+    /// The elastic / multi-tenant replay loop (run parameters are
+    /// validated by the callers; the flex knobs are validated here).
+    fn run_flex_inner(
+        &mut self,
+        trace: &[TracePoint],
+        interval_ms: f64,
+        max_rps: f64,
+        seed: u64,
+        node_faults: &FaultPlan,
+        flex: &FlexConfig,
+    ) -> Result<ClusterReport, ClusterError> {
         let n = self.nodes.len();
         let classes = self.nodes[0].tenant_count();
         if flex.traffic_mix.len() != classes

@@ -38,7 +38,7 @@ pub use autoscale::{AutoscaleConfig, Autoscaler, ScaleAction};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cluster::{
     node_fault_plan, Cluster, ClusterConfig, ClusterError, ClusterIntervalRecord, ClusterReport,
-    FlexConfig,
+    ClusterRunSpec, FlexConfig,
 };
 pub use governor::{weighted_water_fill, NodeShare, PowerGovernor};
 pub use node::{ClusterNode, NodeIntervalStats, NodeTransition};

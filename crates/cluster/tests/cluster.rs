@@ -2,7 +2,7 @@
 //! node-level fault domains, QoS-aware admission under faults, and the
 //! power governor's effect on per-node caps.
 
-use poly_cluster::{Cluster, ClusterConfig, ClusterReport, RoutingPolicy};
+use poly_cluster::{Cluster, ClusterConfig, ClusterReport, ClusterRunSpec, RoutingPolicy};
 use poly_core::provision::{table_iii, Architecture, Setting};
 use poly_core::NodeSetup;
 use poly_dse::{Explorer, KernelDesignSpace};
@@ -54,7 +54,12 @@ fn run(routing: RoutingPolicy, faults: &FaultPlan) -> ClusterReport {
     // 18 RPS per node against ~20 RPS single-node capacity: healthy
     // nodes absorb it, but one node's traffic cannot just be piled onto
     // the survivors without blowing the bound.
-    c.run_trace(&flat_trace(12, 0.9), INTERVAL_MS, 60.0, 42, faults)
+    c.run(
+        ClusterRunSpec::new(&flat_trace(12, 0.9), INTERVAL_MS, 60.0)
+            .seed(42)
+            .faults(faults.clone()),
+    )
+    .expect("valid run")
 }
 
 /// Node 0 fail-stops during interval 3 and recovers during interval 8.
@@ -81,14 +86,13 @@ fn parallel_stepping_is_bitwise_identical_to_serial() {
     for policy in RoutingPolicy::ALL {
         let at_jobs = |jobs: usize| -> ClusterReport {
             let mut c = cluster(3, policy);
-            c.set_jobs(jobs);
-            c.run_trace(
-                &flat_trace(12, 0.9),
-                INTERVAL_MS,
-                60.0,
-                42,
-                &one_node_outage(),
+            c.run(
+                ClusterRunSpec::new(&flat_trace(12, 0.9), INTERVAL_MS, 60.0)
+                    .seed(42)
+                    .faults(one_node_outage())
+                    .jobs(jobs),
             )
+            .expect("valid run")
         };
         let serial = at_jobs(1);
         for jobs in [2, 4] {
@@ -105,7 +109,9 @@ fn parallel_stepping_is_bitwise_identical_to_serial() {
 #[test]
 fn healthy_cluster_spreads_load_and_meets_qos() {
     let mut c = cluster(3, RoutingPolicy::RoundRobin);
-    let report = c.run_trace(&flat_trace(8, 0.5), INTERVAL_MS, 45.0, 7, &FaultPlan::new());
+    let report = c
+        .run(ClusterRunSpec::new(&flat_trace(8, 0.5), INTERVAL_MS, 45.0).seed(7))
+        .expect("valid run");
     assert!(report.completed > 0);
     assert_eq!(report.shed, 0, "no admission pressure at half load");
     assert_eq!(report.retry.redistributed, 0);
@@ -181,13 +187,9 @@ fn qos_aware_routing_beats_round_robin_under_node_failure() {
 #[test]
 fn governor_keeps_cluster_power_near_budget() {
     let mut c = cluster(3, RoutingPolicy::JoinShortestQueue);
-    let report = c.run_trace(
-        &flat_trace(10, 0.7),
-        INTERVAL_MS,
-        45.0,
-        13,
-        &FaultPlan::new(),
-    );
+    let report = c
+        .run(ClusterRunSpec::new(&flat_trace(10, 0.7), INTERVAL_MS, 45.0).seed(13))
+        .expect("valid run");
     let budget = 260.0 * 3.0;
     // The cap is soft (QoS first), but at a comfortably feasible load the
     // capped plans should keep mean cluster power inside the budget.

@@ -131,6 +131,7 @@ fn sim_config(gpu: &GpuModel, fpga: &FpgaModel) -> SimConfig {
         lifecycle: poly_sim::LifecycleConfig::default(),
         dynamic: None,
         backend_label: ExecBackend::Analytical.label(),
+        pipeline: poly_sim::PipelineConfig::default(),
     }
 }
 

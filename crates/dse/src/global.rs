@@ -1,8 +1,11 @@
 //! Global optimization (Section IV-B): cross-pattern analysis — which
 //! adjacent pattern pairs to fuse under the on-chip memory constraint, and
-//! therefore which fused fractions are actually realizable on a device.
+//! therefore which fused fractions are actually realizable on a device —
+//! plus cross-kernel pipelining candidates: bounded inter-kernel channels
+//! priced by on-chip buffer occupancy and PCIe spill when they overflow.
 
-use poly_ir::{Kernel, PatternEdge};
+use poly_device::PcieLink;
+use poly_ir::{ChannelSpec, Kernel, KernelGraph, PatternEdge};
 
 /// A fusion plan for one kernel on one device: the subset of PPG edges
 /// whose traffic stays on chip, chosen greedily by communication intensity
@@ -24,10 +27,10 @@ impl FusionPlan {
         let total_edge_bytes = kernel.ppg().edges().iter().map(|e| e.bytes).sum();
         let mut fused = Vec::new();
         let mut used = 0u64;
-        for edge in kernel.ppg().fusion_candidates() {
-            if used + edge.bytes <= capacity_bytes {
-                used += edge.bytes;
-                fused.push(edge);
+        for cand in kernel.ppg().fusion_candidates() {
+            if used + cand.edge.bytes <= capacity_bytes {
+                used += cand.edge.bytes;
+                fused.push(cand.edge);
             }
         }
         Self {
@@ -74,10 +77,79 @@ impl FusionPlan {
 #[must_use]
 pub fn realizable_fractions(kernel: &Kernel, capacity_bytes: u64) -> Vec<f64> {
     let max = FusionPlan::greedy(kernel, capacity_bytes).fused_fraction();
+    // Degenerate frontiers — a single-pattern kernel (no internal edges)
+    // or zero on-chip capacity — realize only the unfused point. The
+    // finiteness guard keeps a pathological fraction from seeding NaN
+    // into the design space.
+    if !max.is_finite() || max <= 0.0 {
+        return vec![0.0];
+    }
     let mut out = vec![0.0];
     for f in [max / 2.0, max] {
         if f > 0.01 && out.iter().all(|&x: &f64| (x - f).abs() > 0.01) {
             out.push(f);
+        }
+    }
+    out
+}
+
+/// One cross-kernel pipelining variant of an application DAG: every
+/// inter-kernel edge streamed through a bounded channel of `depth` tile
+/// credits. `depth == 0` is the barrier baseline; deeper channels let the
+/// consumer start earlier at the price of on-chip buffer occupancy —
+/// charged against the device's capacity, with the overflow spilled over
+/// PCIe at the link's measured cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineCandidate {
+    /// Channel depth in tile credits applied to every inter-kernel edge.
+    pub depth: u32,
+    /// Tiles each edge payload is split into.
+    pub tiles: u32,
+    /// Total on-chip buffer the channels occupy across all edges.
+    pub buffer_bytes: u64,
+    /// Buffer overflow beyond `capacity_bytes`, resolved off chip.
+    pub spill_bytes: u64,
+    /// Per-request cost of moving the spilled buffer over PCIe.
+    pub spill_ms: f64,
+}
+
+/// Enumerate the pipelining variants of an application DAG worth pricing:
+/// the barrier baseline plus every power-of-two channel depth up to
+/// `tiles`, each costed by total buffer occupancy against `capacity_bytes`
+/// of on-chip memory with overflow charged at PCIe rates. Applications
+/// with no inter-kernel edges admit only the barrier variant.
+#[must_use]
+pub fn pipeline_candidates(
+    graph: &KernelGraph,
+    capacity_bytes: u64,
+    pcie: &PcieLink,
+    tiles: u32,
+) -> Vec<PipelineCandidate> {
+    let mut out = Vec::new();
+    let mut depth = 0u32;
+    loop {
+        let buffer_bytes: u64 = graph
+            .edges()
+            .iter()
+            .map(|e| ChannelSpec::new(e.bytes, tiles, depth).buffer_bytes())
+            .sum();
+        let spill_bytes = buffer_bytes.saturating_sub(capacity_bytes);
+        out.push(PipelineCandidate {
+            depth,
+            tiles,
+            buffer_bytes,
+            spill_bytes,
+            spill_ms: pcie.transfer_ms(spill_bytes),
+        });
+        if depth == 0 {
+            if graph.edges().is_empty() || tiles <= 1 {
+                break;
+            }
+            depth = 1;
+        } else if depth * 2 <= tiles {
+            depth *= 2;
+        } else {
+            break;
         }
     }
     out
@@ -148,5 +220,64 @@ mod tests {
         assert!(plan.fused_edges().is_empty());
         assert_eq!(plan.fused_fraction(), 0.0);
         assert_eq!(plan.bytes_saved(), 0);
+    }
+
+    /// A kernel with one pattern has no internal edges: every derived
+    /// quantity must be the finite degenerate value, never NaN or a panic.
+    #[test]
+    fn single_pattern_kernel_degenerates_cleanly() {
+        let k = KernelBuilder::new("solo")
+            .pattern("m", PatternKind::Map, Shape::d1(64), &[OpFunc::Add])
+            .build()
+            .unwrap();
+        let plan = FusionPlan::greedy(&k, u64::MAX);
+        assert!(plan.fused_edges().is_empty());
+        assert_eq!(plan.fused_fraction(), 0.0);
+        assert!(plan.fused_fraction().is_finite());
+        assert_eq!(realizable_fractions(&k, u64::MAX), vec![0.0]);
+        assert_eq!(realizable_fractions(&k, 0), vec![0.0]);
+    }
+
+    fn two_kernel_app() -> KernelGraph {
+        use poly_ir::KernelGraphBuilder;
+        let k = kernel();
+        KernelGraphBuilder::new("app")
+            .kernel(k.clone().with_name("a"))
+            .kernel(k.with_name("b"))
+            .edge("a", "b", 1 << 20)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pipeline_candidates_charge_buffers_and_spill() {
+        let pcie = poly_device::PcieLink::gen3_x16();
+        // Capacity fits depth 1 (one 128 KiB chunk) but not depth 8.
+        let cands = pipeline_candidates(&two_kernel_app(), 256 << 10, &pcie, 8);
+        assert_eq!(
+            cands.iter().map(|c| c.depth).collect::<Vec<_>>(),
+            vec![0, 1, 2, 4, 8]
+        );
+        let barrier = &cands[0];
+        assert_eq!(barrier.buffer_bytes, 0);
+        assert_eq!(barrier.spill_bytes, 0);
+        assert_eq!(barrier.spill_ms, 0.0);
+        let d1 = &cands[1];
+        assert_eq!(d1.buffer_bytes, 128 << 10);
+        assert_eq!(d1.spill_bytes, 0);
+        let d8 = &cands[4];
+        assert_eq!(d8.buffer_bytes, 1 << 20);
+        assert_eq!(d8.spill_bytes, (1 << 20) - (256 << 10));
+        assert!(d8.spill_ms > 0.0);
+    }
+
+    #[test]
+    fn pipeline_candidates_edgeless_graph_is_barrier_only() {
+        let g = KernelGraph::new("one", vec![kernel()], vec![]).unwrap();
+        let pcie = poly_device::PcieLink::gen3_x16();
+        let cands = pipeline_candidates(&g, 0, &pcie, 8);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].depth, 0);
+        assert_eq!(cands[0].buffer_bytes, 0);
     }
 }

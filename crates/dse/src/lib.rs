@@ -41,7 +41,7 @@ mod table;
 
 pub use cache::{explorer_fingerprint, kernel_fingerprint, DesignSpaceCache};
 pub use explorer::{Explorer, ExplorerConfig};
-pub use global::{realizable_fractions, FusionPlan};
+pub use global::{pipeline_candidates, realizable_fractions, FusionPlan, PipelineCandidate};
 pub use knobs::{FpgaKnobs, GpuKnobs};
 pub use local::{
     fpga_candidates, fpga_candidates_with_fractions, gpu_candidates, gpu_candidates_with_fractions,

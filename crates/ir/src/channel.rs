@@ -1,0 +1,123 @@
+//! Tile-granularity producer/consumer channels derived from graph edges.
+//!
+//! A dependency edge — between two patterns of a kernel's PPG or between
+//! two kernels of the application DAG — carries a known payload
+//! (`bytes`). Barrier execution materializes the whole payload before the
+//! consumer starts. Pipelined streaming instead splits it into `tiles`
+//! equal chunks flowing through a bounded channel of `depth` credits, the
+//! polyhedral-process-network discipline: the producer may run at most
+//! `depth` tiles ahead of the consumer before it stalls, and the buffer
+//! the channel needs is `depth * chunk_bytes` of on-chip storage.
+//!
+//! `depth == 0` is the barrier channel: no streaming, the consumer starts
+//! only after the producer's last tile, exactly today's semantics.
+
+/// Default tile count used when deriving channels from edges: small enough
+/// that per-tile chunks stay coarse, large enough that the downstream
+/// stage starts well before the upstream one finishes.
+pub const DEFAULT_TILES: u32 = 8;
+
+/// One bounded producer/consumer channel over a dependency edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelSpec {
+    /// Total payload crossing the edge, in bytes.
+    pub bytes: u64,
+    /// Number of equal tiles the payload is split into (`>= 1`).
+    pub tiles: u32,
+    /// Channel depth in tile credits. `0` means barrier semantics (the
+    /// consumer waits for the full payload); `>= tiles` means the channel
+    /// never back-pressures the producer.
+    pub depth: u32,
+}
+
+impl ChannelSpec {
+    /// Derive a channel for an edge payload at a given tiling and depth.
+    #[must_use]
+    pub fn new(bytes: u64, tiles: u32, depth: u32) -> Self {
+        Self {
+            bytes,
+            tiles: tiles.max(1),
+            depth,
+        }
+    }
+
+    /// Bytes per tile, rounded up so `tiles * chunk_bytes() >= bytes`.
+    #[must_use]
+    pub fn chunk_bytes(&self) -> u64 {
+        self.bytes.div_ceil(u64::from(self.tiles.max(1)))
+    }
+
+    /// On-chip buffer the channel occupies: one chunk per credit, capped
+    /// at the whole payload (a depth beyond `tiles` buys nothing).
+    #[must_use]
+    pub fn buffer_bytes(&self) -> u64 {
+        u64::from(self.depth.min(self.tiles)) * self.chunk_bytes()
+    }
+
+    /// Whether this channel degenerates to barrier semantics.
+    #[must_use]
+    pub fn is_barrier(&self) -> bool {
+        self.depth == 0 || self.tiles <= 1
+    }
+
+    /// Effective credits: `min(depth, tiles)`, the number of tiles the
+    /// producer may run ahead.
+    #[must_use]
+    pub fn credits(&self) -> u32 {
+        self.depth.min(self.tiles)
+    }
+}
+
+/// Channel depths worth pricing for a payload split into `tiles` chunks:
+/// barrier (0) plus powers of two up to `tiles`. Payloads too small to
+/// tile (`bytes < tiles`) admit only the barrier depth — a sub-byte chunk
+/// is not a meaningful stream.
+#[must_use]
+pub fn feasible_depths(bytes: u64, tiles: u32) -> Vec<u32> {
+    let mut depths = vec![0];
+    if bytes >= u64::from(tiles.max(1)) {
+        let mut d = 1u32;
+        while d <= tiles {
+            depths.push(d);
+            d *= 2;
+        }
+    }
+    depths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_rounds_up_and_covers_payload() {
+        let ch = ChannelSpec::new(1000, 8, 2);
+        assert_eq!(ch.chunk_bytes(), 125);
+        let ch = ChannelSpec::new(1001, 8, 2);
+        assert_eq!(ch.chunk_bytes(), 126);
+        assert!(u64::from(ch.tiles) * ch.chunk_bytes() >= ch.bytes);
+    }
+
+    #[test]
+    fn buffer_is_depth_chunks_capped_at_payload() {
+        let ch = ChannelSpec::new(1024, 8, 2);
+        assert_eq!(ch.buffer_bytes(), 2 * 128);
+        let deep = ChannelSpec::new(1024, 8, 64);
+        assert_eq!(deep.buffer_bytes(), 1024);
+    }
+
+    #[test]
+    fn barrier_degenerate_cases() {
+        assert!(ChannelSpec::new(1024, 8, 0).is_barrier());
+        assert!(ChannelSpec::new(1024, 1, 4).is_barrier());
+        assert!(!ChannelSpec::new(1024, 8, 4).is_barrier());
+        assert_eq!(ChannelSpec::new(1024, 0, 4).tiles, 1);
+    }
+
+    #[test]
+    fn feasible_depths_are_barrier_plus_powers_of_two() {
+        assert_eq!(feasible_depths(1024, 8), vec![0, 1, 2, 4, 8]);
+        assert_eq!(feasible_depths(3, 8), vec![0]); // too small to tile
+        assert_eq!(feasible_depths(0, 8), vec![0]);
+    }
+}

@@ -42,6 +42,7 @@
 pub mod annotation;
 mod builder;
 mod cdfg;
+mod channel;
 mod dtype;
 mod error;
 mod graph;
@@ -55,13 +56,14 @@ mod shape;
 
 pub use builder::{KernelBuilder, KernelGraphBuilder};
 pub use cdfg::{Cdfg, CdfgEdge, CdfgNode, CdfgNodeId, CdfgNodeKind};
+pub use channel::{feasible_depths, ChannelSpec, DEFAULT_TILES};
 pub use dtype::DType;
 pub use error::IrError;
 pub use graph::{KernelEdge, KernelGraph, KernelId};
 pub use kernel::Kernel;
 pub use op::OpFunc;
 pub use pattern::{PatternId, PatternInstance, PatternKind};
-pub use ppg::{PatternEdge, Ppg};
+pub use ppg::{FusionCandidate, PatternEdge, Ppg};
 pub use printer::{print_app, print_kernel};
 pub use profile::KernelProfile;
 pub use shape::Shape;

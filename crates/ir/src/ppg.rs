@@ -1,3 +1,4 @@
+use crate::channel::{feasible_depths, DEFAULT_TILES};
 use crate::{IrError, PatternId, PatternInstance};
 
 /// A data-dependency edge between two patterns of a kernel, annotated with
@@ -153,14 +154,38 @@ impl Ppg {
         self.patterns.iter().map(PatternInstance::flops).sum()
     }
 
-    /// Adjacent pattern pairs ordered by descending communication intensity
-    /// — the fusion candidates the global optimizer evaluates first.
+    /// Adjacent pattern pairs ordered by descending communication
+    /// intensity — the fusion candidates the global optimizer evaluates
+    /// first — with their payoff pre-computed so the DSE and the
+    /// pipeliner stop independently recomputing boundary bytes.
     #[must_use]
-    pub fn fusion_candidates(&self) -> Vec<PatternEdge> {
+    pub fn fusion_candidates(&self) -> Vec<FusionCandidate> {
         let mut edges = self.edges.clone();
         edges.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.from.cmp(&b.from)));
         edges
+            .into_iter()
+            .map(|edge| FusionCandidate {
+                edge,
+                bytes_saved: 2 * edge.bytes,
+                feasible_depths: feasible_depths(edge.bytes, DEFAULT_TILES),
+            })
+            .collect()
     }
+}
+
+/// One fusion/pipelining candidate of the global optimizer: a PPG edge
+/// plus the terms every consumer of the candidate list needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionCandidate {
+    /// The producer→consumer edge under consideration.
+    pub edge: PatternEdge,
+    /// Off-chip traffic eliminated by fusing the pair: the global-memory
+    /// write plus read the edge costs when unfused.
+    pub bytes_saved: u64,
+    /// Channel depths worth pricing when the pair is pipelined instead of
+    /// fused: `[0]` (barrier only) for payloads too small to tile,
+    /// otherwise barrier plus powers of two up to [`DEFAULT_TILES`].
+    pub feasible_depths: Vec<u32>,
 }
 
 #[cfg(test)]
@@ -269,8 +294,13 @@ mod tests {
     fn fusion_candidates_sorted_by_intensity() {
         let ppg = chain3();
         let cands = ppg.fusion_candidates();
-        assert_eq!(cands[0].bytes, 1024);
-        assert_eq!(cands[1].bytes, 4);
+        assert_eq!(cands[0].edge.bytes, 1024);
+        assert_eq!(cands[1].edge.bytes, 4);
+        assert_eq!(cands[0].bytes_saved, 2048);
+        // 1024 bytes over 8 tiles streams at any power-of-two depth; a
+        // 4-byte payload only admits the barrier channel.
+        assert_eq!(cands[0].feasible_depths, vec![0, 1, 2, 4, 8]);
+        assert_eq!(cands[1].feasible_depths, vec![0]);
     }
 
     #[test]

@@ -58,6 +58,15 @@ pub(crate) struct ReqArena {
     done: Vec<bool>,
     attempt: Vec<u32>,
     hedged: Vec<bool>,
+    /// Pipelined streaming: the stage was dispatched early on its
+    /// producer's first tile (its final predecessor count was consumed at
+    /// stream time, so the producer's completion must not decrement it
+    /// again). Never set under barrier semantics.
+    streamed: Vec<bool>,
+    /// Earliest time the streamed stage can see its producer's **last**
+    /// tile; the consumer's completion is floored at this plus one of its
+    /// own tile times. `NEG_INFINITY` = no streaming producer.
+    stream_floor: Vec<f64>,
 }
 
 impl ReqArena {
@@ -77,6 +86,8 @@ impl ReqArena {
             done: Vec::new(),
             attempt: Vec::new(),
             hedged: Vec::new(),
+            streamed: Vec::new(),
+            stream_floor: Vec::new(),
         }
     }
 
@@ -113,6 +124,9 @@ impl ReqArena {
         self.done.extend(std::iter::repeat_n(false, self.k));
         self.attempt.extend(std::iter::repeat_n(0u32, self.k));
         self.hedged.extend(std::iter::repeat_n(false, self.k));
+        self.streamed.extend(std::iter::repeat_n(false, self.k));
+        self.stream_floor
+            .extend(std::iter::repeat_n(f64::NEG_INFINITY, self.k));
         req
     }
 
@@ -224,6 +238,37 @@ impl ReqArena {
         self.remaining_preds[i]
     }
 
+    /// Remaining undone predecessors of a stage (read-only — the streaming
+    /// producer checks it is the *last* one before dispatching early).
+    pub(crate) fn remaining_preds(&self, req: usize, kernel: usize) -> u16 {
+        self.remaining_preds[self.kat(req, kernel)]
+    }
+
+    /// Whether the stage was already dispatched early by a streaming
+    /// producer (its predecessor count was consumed at stream time).
+    pub(crate) fn streamed(&self, req: usize, kernel: usize) -> bool {
+        self.streamed[self.kat(req, kernel)]
+    }
+
+    /// Mark the stage as stream-dispatched. Never cleared: a killed or
+    /// hedged producer must not re-dispatch (or re-decrement) the stage.
+    pub(crate) fn set_streamed(&mut self, req: usize, kernel: usize) {
+        let i = self.kat(req, kernel);
+        self.streamed[i] = true;
+    }
+
+    /// Last-tile availability floor of a streamed stage (`NEG_INFINITY`
+    /// when nothing streams into it).
+    pub(crate) fn stream_floor(&self, req: usize, kernel: usize) -> f64 {
+        self.stream_floor[self.kat(req, kernel)]
+    }
+
+    /// Record when the streaming producer's last tile reaches the stage.
+    pub(crate) fn set_stream_floor(&mut self, req: usize, kernel: usize, floor_ms: f64) {
+        let i = self.kat(req, kernel);
+        self.stream_floor[i] = floor_ms;
+    }
+
     /// Retained requests still in flight (the audit's `pending` count;
     /// compacted requests are settled and contribute zero).
     pub(crate) fn pending(&self) -> usize {
@@ -257,6 +302,8 @@ impl ReqArena {
         self.done.drain(..settled * self.k);
         self.attempt.drain(..settled * self.k);
         self.hedged.drain(..settled * self.k);
+        self.streamed.drain(..settled * self.k);
+        self.stream_floor.drain(..settled * self.k);
     }
 }
 
@@ -324,6 +371,23 @@ mod tests {
         a.set_outcome(0, Outcome::Completed);
         a.compact();
         let _ = a.arrival_ms(0);
+    }
+
+    #[test]
+    fn streaming_state_defaults_and_survives_compaction() {
+        let mut a = arena2();
+        let r0 = a.push(0.0, f64::INFINITY);
+        let r1 = a.push(1.0, f64::INFINITY);
+        assert!(!a.streamed(r0, 1));
+        assert_eq!(a.stream_floor(r0, 1), f64::NEG_INFINITY);
+        assert_eq!(a.remaining_preds(r1, 1), 1);
+        a.set_streamed(r1, 1);
+        a.set_stream_floor(r1, 1, 42.5);
+        a.set_outcome(r0, Outcome::Completed);
+        a.compact();
+        assert!(a.streamed(r1, 1), "stream flag intact across compaction");
+        assert_eq!(a.stream_floor(r1, 1), 42.5);
+        assert!(!a.streamed(r1, 0));
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod workload;
 pub use audit::{AuditError, AuditReport};
 pub use device::DeviceStats;
 pub use engine::{
-    DynamicDispatch, ExecutionRecord, KernelStats, SimConfig, SimReport, Simulator,
+    DynamicDispatch, ExecutionRecord, KernelStats, PipelineConfig, SimConfig, SimReport, Simulator,
     GPU_PARKED_FRACTION,
 };
 pub use ep::{ep_metric, EpCurve, EpPoint};

@@ -220,7 +220,7 @@ fn cpu_checksums_are_thread_and_sample_independent() {
 /// replay is reproducible when the measured node shares its client.
 #[test]
 fn mixed_fleet_runs_both_backends_side_by_side() {
-    use poly::cluster::{Cluster, ClusterConfig, RoutingPolicy};
+    use poly::cluster::{Cluster, ClusterConfig, ClusterRunSpec, RoutingPolicy};
     let (app, spaces, setup) = heter();
     let client = Arc::new(CpuClient::new(2));
     let run = || {
@@ -240,13 +240,8 @@ fn mixed_fleet_runs_both_backends_side_by_side() {
                 breaker: None,
             },
         );
-        cl.run_trace(
-            &flat_trace(3, 0.3),
-            INTERVAL_MS,
-            16.0,
-            2011,
-            &poly::sim::FaultPlan::new(),
-        )
+        cl.run(ClusterRunSpec::new(&flat_trace(3, 0.3), INTERVAL_MS, 16.0).seed(2011))
+            .expect("valid mixed-fleet run")
     };
     let first = run();
     assert!(first.intervals.iter().all(|r| r.completed > 0));

@@ -9,8 +9,8 @@
 
 use poly::apps::{asr, matrix_factorization, QOS_BOUND_MS};
 use poly::cluster::{
-    AutoscaleConfig, BreakerConfig, Cluster, ClusterConfig, ClusterNode, ClusterReport, FlexConfig,
-    RoutingPolicy,
+    AutoscaleConfig, BreakerConfig, Cluster, ClusterConfig, ClusterNode, ClusterReport,
+    ClusterRunSpec, RoutingPolicy,
 };
 use poly::core::provision::{table_iii, Architecture, Setting};
 use poly::core::AppContext;
@@ -69,11 +69,16 @@ fn trace() -> Vec<TracePoint> {
         .collect()
 }
 
-fn flex(autoscale: Option<AutoscaleConfig>) -> FlexConfig {
-    FlexConfig {
-        autoscale,
-        traffic_mix: vec![0.7, 0.3],
-        node_static_w: 80.0,
+/// The elastic knobs every run here shares: a 70/30 strict/lenient
+/// traffic mix and 80 W of static platform draw per powered-on node.
+fn flex_spec<'a>(
+    spec: ClusterRunSpec<'a>,
+    autoscale: Option<AutoscaleConfig>,
+) -> ClusterRunSpec<'a> {
+    let spec = spec.traffic_mix(vec![0.7, 0.3]).node_static_w(80.0);
+    match autoscale {
+        Some(a) => spec.autoscale(a),
+        None => spec,
     }
 }
 
@@ -97,11 +102,20 @@ fn surprise_plan(seed: u64) -> FaultPlan {
         .recover(at + 15.0 * INTERVAL_MS, node)
 }
 
-fn run(seed: u64, faults: &FaultPlan, flex_cfg: &FlexConfig, jobs: usize) -> ClusterReport {
+fn run(
+    seed: u64,
+    faults: &FaultPlan,
+    autoscale: Option<AutoscaleConfig>,
+    jobs: usize,
+) -> ClusterReport {
     let mut cl = fleet();
-    cl.set_jobs(jobs);
+    let trace = trace();
+    let spec = ClusterRunSpec::new(&trace, INTERVAL_MS, MAX_RPS)
+        .seed(seed)
+        .faults(faults.clone())
+        .jobs(jobs);
     let report = cl
-        .run_trace_flex(&trace(), INTERVAL_MS, MAX_RPS, seed, faults, flex_cfg)
+        .run(flex_spec(spec, autoscale))
         .expect("valid elastic run");
     // Conservation must hold on every node even across drains and
     // revocations — zero audit errors, per node and merged.
@@ -119,7 +133,7 @@ fn run(seed: u64, faults: &FaultPlan, flex_cfg: &FlexConfig, jobs: usize) -> Clu
 #[test]
 fn noticed_revocations_never_trip_breakers_across_seeds() {
     for seed in 0..8u64 {
-        let report = run(seed, &noticed_plan(seed), &flex(None), 1);
+        let report = run(seed, &noticed_plan(seed), None, 1);
         assert_eq!(
             report.breaker_trips, 0,
             "seed {seed}: a noticed revocation tripped a breaker"
@@ -135,8 +149,8 @@ fn noticed_revocations_never_trip_breakers_across_seeds() {
 #[test]
 fn surprise_fail_stop_trips_where_notice_does_not() {
     let seed = 3u64;
-    let noticed = run(seed, &noticed_plan(seed), &flex(None), 1);
-    let surprise = run(seed, &surprise_plan(seed), &flex(None), 1);
+    let noticed = run(seed, &noticed_plan(seed), None, 1);
+    let surprise = run(seed, &surprise_plan(seed), None, 1);
     assert_eq!(noticed.breaker_trips, 0, "notice must pre-drain the node");
     assert!(
         surprise.breaker_trips >= 1,
@@ -156,7 +170,7 @@ fn elastic_replay_is_jobs_invariant() {
         ..AutoscaleConfig::default()
     };
     let plan = noticed_plan(1);
-    let serial = run(1, &plan, &flex(Some(autoscale.clone())), 1);
-    let parallel = run(1, &plan, &flex(Some(autoscale)), 3);
+    let serial = run(1, &plan, Some(autoscale.clone()), 1);
+    let parallel = run(1, &plan, Some(autoscale), 3);
     assert_eq!(serial, parallel, "replay must not depend on worker count");
 }

@@ -1,0 +1,172 @@
+//! Cross-kernel pipelined streaming audit (DESIGN.md §18).
+//!
+//! The contract under test has three parts:
+//!
+//! - **barrier equivalence** — `depth == 0` (and the single-tile
+//!   degenerate case) must reproduce the legacy barrier engine *bit for
+//!   bit*: the streaming path adds no arithmetic when disabled, so every
+//!   committed reference CSV stays byte-identical;
+//! - **conservation under streaming** — with channels enabled, every
+//!   admitted request still reaches exactly one terminal state across
+//!   seeded Poisson campaigns (the early-dispatch bookkeeping leaks
+//!   nothing, double-completes nothing);
+//! - **determinism** — the speculative parallel bisection over a
+//!   pipelined engine returns the same capacity figure for every worker
+//!   count, which is what lets the `pipeline` figure commit its CSV.
+
+use poly::apps::{asr, QOS_BOUND_MS};
+use poly::core::provision::{table_iii, Architecture, Setting};
+use poly::core::NodeSetup;
+use poly::dse::Explorer;
+use poly::sim::workload::poisson;
+use poly::sim::{
+    max_rps_under_qos_par, steady_state, PipelineConfig, Policy, SimConfig, SimReport, Simulator,
+};
+
+const WARMUP_MS: f64 = 5_000.0;
+const WINDOW_MS: f64 = 25_000.0;
+
+/// The ASR app on the Setting-I Heter node with its latency-optimal
+/// static plan — a GPU/FPGA kernel chain, so the streaming path crosses
+/// devices and pays real chunk transfers.
+fn heter() -> (poly::ir::KernelGraph, Policy, NodeSetup) {
+    let app = asr();
+    let setup = table_iii(Setting::I, Architecture::HeterPoly);
+    let ex = Explorer::new(setup.gpu.clone(), setup.fpga.clone());
+    let spaces: Vec<_> = app.kernels().iter().map(|k| ex.explore(k)).collect();
+    let plan = poly::sched::Scheduler::default()
+        .plan_latency(&app, &spaces, &setup.pool)
+        .expect("plan");
+    let policy = Policy::from_plan(&plan, &spaces, &setup.gpu);
+    (app, policy, setup)
+}
+
+fn report_at(pipeline: PipelineConfig, rps: f64, seed: u64) -> SimReport {
+    let (app, policy, setup) = heter();
+    let config = SimConfig {
+        pipeline,
+        ..setup.sim_config
+    };
+    steady_state(
+        &app,
+        &setup.pool,
+        &policy,
+        &config,
+        rps,
+        WARMUP_MS,
+        WINDOW_MS,
+        seed,
+    )
+}
+
+/// `depth == 0` and `tiles == 1` are the barrier engine, bit for bit:
+/// identical reports across seeds and loads, not merely close ones.
+#[test]
+fn disabled_pipeline_is_bit_identical_to_barrier_semantics() {
+    for seed in 0..5u64 {
+        for rps in [4.0, 10.0, 18.0] {
+            let barrier = report_at(PipelineConfig::default(), rps, seed);
+            for (name, cfg) in [
+                ("explicit depth 0", PipelineConfig { depth: 0, tiles: 8 }),
+                ("single tile", PipelineConfig { depth: 4, tiles: 1 }),
+            ] {
+                let got = report_at(cfg, rps, seed);
+                assert_eq!(barrier, got, "seed {seed} rps {rps}: {name} diverged");
+            }
+        }
+    }
+}
+
+/// With channels enabled, seeded Poisson campaigns drain with the
+/// conservation invariants intact at every feasible depth.
+#[test]
+fn streamed_runs_stay_audit_green_across_seeds_and_depths() {
+    const DURATION_MS: f64 = 30_000.0;
+    let (app, policy, setup) = heter();
+    for seed in 0..6u64 {
+        for depth in [1u32, 2, 4, 8] {
+            let config = SimConfig {
+                pipeline: PipelineConfig::with_depth(depth),
+                ..setup.sim_config.clone()
+            };
+            let mut sim = Simulator::new(app.clone(), &setup.pool, policy.clone(), config);
+            let arrivals = poisson(12.0, DURATION_MS, seed ^ 0x417E ^ u64::from(depth));
+            let offered = arrivals.len();
+            sim.enqueue_arrivals(&arrivals);
+            sim.advance_to(DURATION_MS);
+            sim.drain();
+            let audit = sim.audit();
+            audit
+                .check()
+                .unwrap_or_else(|e| panic!("seed {seed} depth {depth}: {e}\n{audit:?}"));
+            assert_eq!(audit.admitted, offered, "seed {seed} depth {depth}");
+            assert_eq!(
+                audit.completed, offered,
+                "seed {seed} depth {depth}: fault-free drain must complete everything"
+            );
+        }
+    }
+}
+
+/// At light load the downstream kernel starting on the first tile cuts
+/// end-to-end latency: the pipelined p99 lands strictly under the
+/// barrier p99 while serving the same arrivals.
+#[test]
+fn streaming_improves_tail_latency_at_light_load() {
+    let barrier = report_at(PipelineConfig::default(), 8.0, 42);
+    let streamed = report_at(PipelineConfig::with_depth(4), 8.0, 42);
+    // Completion counts may differ by a request or two: shorter
+    // latencies shift completions across the measurement-window edge.
+    assert!(
+        (barrier.completed as i64 - streamed.completed as i64).abs() <= 2,
+        "same offered load must serve comparable work ({} vs {})",
+        barrier.completed,
+        streamed.completed
+    );
+    assert!(
+        streamed.latency.p99() < barrier.latency.p99(),
+        "streamed p99 {} must beat barrier p99 {}",
+        streamed.latency.p99(),
+        barrier.latency.p99()
+    );
+    assert!(
+        streamed.latency.mean() < barrier.latency.mean(),
+        "streamed mean {} must beat barrier mean {}",
+        streamed.latency.mean(),
+        barrier.latency.mean()
+    );
+}
+
+/// The capacity search over a pipelined engine is jobs-invariant: the
+/// speculative parallel bisection returns the serial result bit for bit
+/// at the barrier depth and at a streaming depth alike.
+#[test]
+fn pipelined_capacity_search_is_jobs_invariant() {
+    let (app, policy, setup) = heter();
+    for depth in [0u32, 4] {
+        let config = SimConfig {
+            pipeline: PipelineConfig::with_depth(depth),
+            ..setup.sim_config.clone()
+        };
+        let eval = |rps: f64| {
+            steady_state(
+                &app,
+                &setup.pool,
+                &policy,
+                &config,
+                rps,
+                WARMUP_MS,
+                WINDOW_MS,
+                42,
+            )
+        };
+        let serial = max_rps_under_qos_par(1, eval, QOS_BOUND_MS, 0.5, 400.0, 0.03);
+        let parallel = max_rps_under_qos_par(4, eval, QOS_BOUND_MS, 0.5, 400.0, 0.03);
+        assert!(serial > 0.0, "depth {depth}: search must find capacity");
+        assert_eq!(
+            serial.to_bits(),
+            parallel.to_bits(),
+            "depth {depth}: jobs=4 diverged from serial ({serial} vs {parallel})"
+        );
+    }
+}
